@@ -1,0 +1,337 @@
+//! The Discord traffic model.
+//!
+//! Behaviours reproduced (paper sections in parentheses):
+//!
+//! * **no STUN/TURN at all** — Discord always relays through its own voice
+//!   infrastructure under every network condition (Table 2, §4.1.3),
+//! * RTP on payload types 96/101/102/120, every type non-compliant
+//!   (Table 5): 4.91 % of RTP messages carry a one-byte-form (0xBEDE)
+//!   extension element with the reserved ID 0 but a non-zero length field
+//!   and non-empty payload (§5.2.2), and 2.58 % — exclusively on payload
+//!   type 120 — use undefined extension profiles drawn from
+//!   0x0084–0xFBD2 (§5.2.2),
+//! * RTCP types 200/201/204/205/206, every type non-compliant (Table 6):
+//!   the payload beyond the header is encrypted in a proprietary (non-SRTCP)
+//!   format, and each message ends with a 3-byte trailer — a 2-byte
+//!   monotonic counter plus a direction byte, 0x80 client→server and 0x00
+//!   server→client (§5.2.3, §5.3),
+//! * sender SSRC = 0 in ~25 % of type-205 transport feedback (§5.3),
+//! * a small fully proprietary residue: the 74-byte IP-discovery packets at
+//!   voice connect and the 8-byte keepalives Discord's voice gateway uses.
+
+use crate::media::{pump_control, ticks, RtpStream};
+use crate::{AppModel, Application, CallScenario};
+use rtc_netemu::{DetRng, TrafficSink};
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::rtcp;
+use rtc_wire::rtp::ONE_BYTE_PROFILE;
+use std::net::SocketAddr;
+
+/// RTP payload types observed in Discord traffic (Table 5).
+pub const DISCORD_RTP_PAYLOAD_TYPES: &[u8] = &[96, 101, 102, 120];
+
+/// The Discord application model.
+#[derive(Debug, Clone, Copy)]
+pub struct Discord;
+
+impl AppModel for Discord {
+    fn application(&self) -> Application {
+        Application::Discord
+    }
+
+    fn generate(&self, scenario: &CallScenario, sink: &mut TrafficSink) {
+        let mut rng = scenario.rng().fork("discord");
+        let sc = scenario.scale;
+        let [a, b] = scenario.device_ips();
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(0);
+
+        let a_media = SocketAddr::new(a, ports.ephemeral_port());
+        let b_media = SocketAddr::new(b, ports.ephemeral_port());
+        let relay = alloc.app_server("discord", "relay", 0);
+
+        // Always relay: four legs.
+        let legs = [
+            (FiveTuple::udp(a_media, relay), true),
+            (FiveTuple::udp(relay, a_media), false),
+            (FiveTuple::udp(b_media, relay), true),
+            (FiveTuple::udp(relay, b_media), false),
+        ];
+
+        // IP discovery at voice connect: 74-byte packets, not a standard RTC
+        // protocol message (fully proprietary residue).
+        for (i, (leg, to_server)) in legs.iter().enumerate() {
+            if !*to_server {
+                continue;
+            }
+            let t = scenario.call_start.plus_millis(40 + i as u64 * 15);
+            let mut p = vec![0x00, 0x01, 0x00, 0x46]; // type, length 70
+            p.extend_from_slice(&rng.bytes(70));
+            sink.push(t, *leg, p);
+            let mut resp = vec![0x00, 0x02, 0x00, 0x46];
+            resp.extend_from_slice(&rng.bytes(70));
+            sink.push(t.plus_millis(30), leg.reversed(), resp);
+        }
+
+        let media_start = scenario.call_start.plus_millis(600);
+        let media_end = scenario.call_end();
+
+        for (i, (leg, to_server)) in legs.iter().enumerate() {
+            let mut leg_rng = rng.fork(&format!("leg{i}"));
+            // Per-call random SSRCs (only Zoom pins SSRCs across calls); the
+            // RTCP plane reports on the same audio source as the media plane.
+            let audio_ssrc = 0x00E0_0000 | (leg_rng.next_u32() & 0x000F_FFF0) | i as u32;
+            let video_ssrc = 0x00F0_0000 | (leg_rng.next_u32() & 0x000F_FFF0) | i as u32;
+            self.media_leg(sink, &mut leg_rng, *leg, media_start, media_end, sc, i, audio_ssrc, video_ssrc);
+            self.rtcp_leg(sink, &mut leg_rng, *leg, media_start, media_end, sc, audio_ssrc, *to_server);
+            // 8-byte voice-gateway keepalives every ~5 s.
+            if *to_server {
+                let mut t = media_start.plus_secs(5);
+                let mut ka: u32 = 0;
+                while t < media_end {
+                    let mut p = vec![0x13, 0x37, 0x00, 0x00];
+                    p.extend_from_slice(&ka.to_be_bytes());
+                    sink.push(t, *leg, p);
+                    ka = ka.wrapping_add(1);
+                    t = t.plus_secs(5);
+                }
+            }
+        }
+
+        self.signaling_tcp(scenario, sink, &mut rng, a);
+    }
+}
+
+impl Discord {
+    #[allow(clippy::too_many_arguments)]
+    fn media_leg(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+        _leg_index: usize,
+        audio_ssrc: u32,
+        video_ssrc: u32,
+    ) {
+        let mut audio = RtpStream::audio(120, audio_ssrc, rng);
+        let mut video = RtpStream::video(96, video_ssrc, rng);
+        let video_pts = [96u8, 101, 102];
+        let span = end.micros_since(start).max(1);
+
+        let emit = |sink: &mut TrafficSink, rng: &mut DetRng, t: Timestamp, stream: &mut RtpStream| {
+            let pt = stream.payload_type;
+            let builder = stream.next_builder(rng);
+            // §5.2.2: undefined extension profiles, exclusively on PT 120.
+            let builder = if pt == 120 && rng.chance(0.057) {
+                let profile = 0x0084 + (rng.below(0xFB4E) as u16);
+                builder.extension(profile, rng.bytes(8))
+            } else if rng.chance(0.0491) {
+                // §5.2.2: one-byte form with reserved ID 0, non-zero length.
+                let mut data = vec![0x02]; // id 0, len field 2 → 3 data bytes
+                data.extend_from_slice(&rng.bytes(3));
+                builder.extension(ONE_BYTE_PROFILE, data)
+            } else {
+                // Ordinary compliant one-byte extension (audio level, id 1).
+                builder.one_byte_extension(&[(1, &[rng.below(127) as u8])])
+            };
+            sink.push_lossy(t, tuple, builder.build());
+        };
+
+        for t in ticks(rng, start, end, 50.0 * sc) {
+            emit(sink, rng, t, &mut audio);
+        }
+        for t in ticks(rng, start, end, 55.0 * sc) {
+            let seg = (t.micros_since(start) * video_pts.len() as u64 / span).min(video_pts.len() as u64 - 1);
+            video.payload_type = video_pts[seg as usize];
+            emit(sink, rng, t, &mut video);
+        }
+    }
+
+    /// RTCP with Discord's proprietary encryption: plaintext header + SSRC,
+    /// scrambled body, 3-byte trailer (2-byte counter + direction byte).
+    #[allow(clippy::too_many_arguments)]
+    fn rtcp_leg(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+        ssrc: u32,
+        to_server: bool,
+    ) {
+        let mut counter: u16 = rng.below(100) as u16;
+        let dir: u8 = if to_server { 0x80 } else { 0x00 };
+        pump_control(sink, rng, tuple, start, end, (10.0 * sc).max(0.08), move |rng, i| {
+            let (pt, count, body_words) = match i % 5 {
+                0 => (rtcp::packet_type::SR, 1, 6 + 6),        // SR header + 1 block
+                1 => (rtcp::packet_type::RR, 1, 1 + 6),        // RR + 1 block
+                2 => (rtcp::packet_type::APP, 3, 2 + 4),       // ssrc + name + data
+                3 => (rtcp::packet_type::RTPFB, 15, 2 + 3),    // transport-cc
+                _ => (rtcp::packet_type::PSFB, 1, 2),          // PLI
+            };
+            // §5.3: sender SSRC 0 in ~25 % of the type-205 feedback.
+            let ssrc_field = if pt == rtcp::packet_type::RTPFB && rng.chance(0.25) { 0 } else { ssrc };
+            let mut body = ssrc_field.to_be_bytes().to_vec();
+            body.extend_from_slice(&rng.bytes(body_words * 4 - 4)); // "encrypted"
+            let mut msg = rtcp::build_raw(count, pt, &body);
+            msg.extend_from_slice(&counter.to_be_bytes());
+            msg.push(dir);
+            counter = counter.wrapping_add(1);
+            msg
+        });
+    }
+
+    fn signaling_tcp(&self, scenario: &CallScenario, sink: &mut TrafficSink, rng: &mut DetRng, a: std::net::IpAddr) {
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(2);
+        let tuple =
+            FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("discord", "signaling", 0));
+        let mut t = scenario.call_start.plus_secs(1);
+        while t < scenario.call_end() {
+            sink.push(t, tuple, rng.bytes_range(80, 240));
+            sink.push(t.plus_millis(70), tuple.reversed(), rng.bytes_range(30, 90));
+            t = t.plus_secs(8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_netemu::NetworkConfig;
+    use rtc_wire::rtp::Packet;
+    use rtc_wire::stun::Message;
+
+    fn run(network: NetworkConfig, secs: u64) -> (CallScenario, Vec<rtc_pcap::trace::Datagram>) {
+        let s = CallScenario::new(Application::Discord, network, 51).scaled(secs, 0.2);
+        let mut sink = TrafficSink::new(s.network.path_profile(), s.rng().fork("path"));
+        Discord.generate(&s, &mut sink);
+        (s, sink.finish().datagrams())
+    }
+
+    #[test]
+    fn no_stun_anywhere() {
+        for net in NetworkConfig::ALL {
+            let (_, dgrams) = run(net, 30);
+            // The IP-discovery packets superficially resemble STUN types but
+            // carry no magic cookie and inconsistent lengths; no datagram
+            // parses as a plausible STUN message with the cookie.
+            let with_cookie = dgrams
+                .iter()
+                .filter_map(|d| Message::new_checked(&d.payload).ok())
+                .filter(|m| m.has_magic_cookie())
+                .count();
+            assert_eq!(with_cookie, 0, "network {net}");
+        }
+    }
+
+    #[test]
+    fn rtp_inventory_matches_table5() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 60);
+        let mut seen = std::collections::HashSet::new();
+        for d in &dgrams {
+            if d.payload.len() > 2 && (200..=207).contains(&d.payload[1]) {
+                continue; // RTCP shares the version pattern with RTP
+            }
+            if let Ok(p) = Packet::new_checked(&d.payload) {
+                if (0x00E0_0000..0x0100_0000).contains(&p.ssrc()) {
+                    assert!(DISCORD_RTP_PAYLOAD_TYPES.contains(&p.payload_type()));
+                    seen.insert(p.payload_type());
+                }
+            }
+        }
+        assert_eq!(seen.len(), DISCORD_RTP_PAYLOAD_TYPES.len(), "saw {seen:?}");
+    }
+
+    #[test]
+    fn reserved_id_zero_rate_near_paper_value() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 120);
+        let mut rtp = 0usize;
+        let mut id0 = 0usize;
+        let mut undefined_profile = 0usize;
+        for d in &dgrams {
+            if let Ok(p) = Packet::new_checked(&d.payload) {
+                if !(0x00E0_0000..0x0100_0000).contains(&p.ssrc()) {
+                    continue;
+                }
+                rtp += 1;
+                if let Some(ext) = p.extension() {
+                    if ext.profile == ONE_BYTE_PROFILE {
+                        if ext.one_byte_elements().iter().any(|e| e.id == 0 && e.wire_len > 0) {
+                            id0 += 1;
+                        }
+                    } else {
+                        undefined_profile += 1;
+                        assert_eq!(p.payload_type(), 120, "undefined profiles only on PT 120");
+                    }
+                }
+            }
+        }
+        let id0_rate = id0 as f64 / rtp as f64;
+        let undef_rate = undefined_profile as f64 / rtp as f64;
+        assert!((0.03..0.07).contains(&id0_rate), "id0 rate {id0_rate}");
+        assert!((0.01..0.045).contains(&undef_rate), "undefined profile rate {undef_rate}");
+    }
+
+    #[test]
+    fn rtcp_trailer_direction_and_counter() {
+        let (s, dgrams) = run(NetworkConfig::WifiP2p, 40);
+        let devices = s.device_ips();
+        let mut seen_types = std::collections::HashSet::new();
+        let mut per_stream: std::collections::HashMap<_, Vec<u16>> = std::collections::HashMap::new();
+        for d in &dgrams {
+            let (packets, trailer) = rtcp::split_compound(&d.payload);
+            if packets.len() == 1 && trailer.len() == 3 {
+                let p = &packets[0];
+                seen_types.insert(p.packet_type());
+                let dir = trailer[2];
+                let to_server = devices.contains(&d.five_tuple.src.ip());
+                if to_server {
+                    assert_eq!(dir, 0x80, "client→server direction byte");
+                } else {
+                    assert_eq!(dir, 0x00, "server→client direction byte");
+                }
+                per_stream
+                    .entry(d.five_tuple)
+                    .or_default()
+                    .push(u16::from_be_bytes([trailer[0], trailer[1]]));
+            }
+        }
+        assert_eq!(seen_types, [200u8, 201, 204, 205, 206].into_iter().collect());
+        for (_, counters) in per_stream {
+            assert!(counters.windows(2).all(|w| w[1] == w[0].wrapping_add(1)), "monotonic counter");
+        }
+    }
+
+    #[test]
+    fn zero_ssrc_share_in_205() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 120);
+        let mut total = 0usize;
+        let mut zero = 0usize;
+        for d in &dgrams {
+            let (packets, trailer) = rtcp::split_compound(&d.payload);
+            if packets.len() == 1 && trailer.len() == 3 && packets[0].packet_type() == 205 {
+                total += 1;
+                if packets[0].ssrc() == Some(0) {
+                    zero += 1;
+                }
+            }
+        }
+        assert!(total > 20);
+        let share = zero as f64 / total as f64;
+        assert!((0.10..0.45).contains(&share), "zero-ssrc share {share}");
+    }
+
+    #[test]
+    fn ip_discovery_and_keepalives_present() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 30);
+        assert_eq!(dgrams.iter().filter(|d| d.payload.len() == 74).count(), 4);
+        assert!(dgrams.iter().any(|d| d.payload.len() == 8 && d.payload.starts_with(&[0x13, 0x37])));
+    }
+}

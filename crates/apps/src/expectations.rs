@@ -1,0 +1,184 @@
+//! The ground truth the emulated applications encode, in table form — the
+//! machine-readable version of the paper's Tables 4, 5 and 6.
+//!
+//! The measurement pipeline never reads this module; it exists so tests
+//! (and `EXPERIMENTS.md`) can assert that the pipeline *rediscovers* the
+//! generated behaviour exactly, per application and protocol.
+
+use crate::Application;
+
+/// Whether/how TURN ChannelData framing is expected for an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelDataUse {
+    /// Not observed at all.
+    Absent,
+    /// Observed and compliant.
+    Compliant,
+    /// Observed and non-compliant.
+    NonCompliant,
+}
+
+/// Expected type-level outcome for one application.
+#[derive(Debug, Clone, Copy)]
+pub struct Expectation {
+    /// STUN/TURN message types expected compliant (raw 16-bit values).
+    pub stun_compliant: &'static [u16],
+    /// STUN/TURN message types expected non-compliant.
+    pub stun_noncompliant: &'static [u16],
+    /// ChannelData expectation.
+    pub channeldata: ChannelDataUse,
+    /// RTP payload types expected compliant.
+    pub rtp_compliant: &'static [u8],
+    /// RTP payload types expected non-compliant.
+    pub rtp_noncompliant: &'static [u8],
+    /// RTCP packet types expected compliant.
+    pub rtcp_compliant: &'static [u8],
+    /// RTCP packet types expected non-compliant.
+    pub rtcp_noncompliant: &'static [u8],
+    /// Number of QUIC packet types expected (all compliant; 0 = no QUIC).
+    pub quic_types: usize,
+}
+
+impl Expectation {
+    /// `(compliant, total)` over every protocol — one row of Table 3.
+    pub fn type_ratio(&self) -> (usize, usize) {
+        let cd_ok = matches!(self.channeldata, ChannelDataUse::Compliant) as usize;
+        let cd_any = (self.channeldata != ChannelDataUse::Absent) as usize;
+        let ok = self.stun_compliant.len()
+            + cd_ok
+            + self.rtp_compliant.len()
+            + self.rtcp_compliant.len()
+            + self.quic_types;
+        let total = self.stun_compliant.len()
+            + self.stun_noncompliant.len()
+            + cd_any
+            + self.rtp_compliant.len()
+            + self.rtp_noncompliant.len()
+            + self.rtcp_compliant.len()
+            + self.rtcp_noncompliant.len()
+            + self.quic_types;
+        (ok, total)
+    }
+}
+
+/// The expectation for one application (paper Tables 4–6; see the
+/// calibration notes in `DESIGN.md` for the deltas).
+pub fn expectation(app: Application) -> Expectation {
+    match app {
+        Application::Zoom => Expectation {
+            stun_compliant: &[],
+            stun_noncompliant: &[0x0001, 0x0002],
+            channeldata: ChannelDataUse::Absent,
+            rtp_compliant: crate::zoom::ZOOM_RTP_PAYLOAD_TYPES,
+            rtp_noncompliant: &[],
+            rtcp_compliant: &[200, 202],
+            rtcp_noncompliant: &[],
+            quic_types: 0,
+        },
+        Application::FaceTime => Expectation {
+            stun_compliant: &[],
+            stun_noncompliant: &[0x0001, 0x0017, 0x0101],
+            channeldata: ChannelDataUse::NonCompliant,
+            rtp_compliant: &[],
+            rtp_noncompliant: &[13, 20, 100, 104, 108],
+            rtcp_compliant: &[],
+            rtcp_noncompliant: &[],
+            quic_types: 4, // long types 0/1/2 + short header
+        },
+        Application::WhatsApp => Expectation {
+            stun_compliant: &[0x0001],
+            stun_noncompliant: &[0x0003, 0x0101, 0x0103, 0x0800, 0x0801, 0x0802, 0x0803, 0x0804, 0x0805],
+            channeldata: ChannelDataUse::Absent,
+            rtp_compliant: &[97, 103, 105, 106, 120],
+            rtp_noncompliant: &[],
+            rtcp_compliant: &[200, 202, 205, 206],
+            rtcp_noncompliant: &[],
+            quic_types: 0,
+        },
+        Application::Messenger => Expectation {
+            stun_compliant: &[
+                0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0104, 0x0108, 0x0109, 0x0113, 0x0118,
+            ],
+            stun_noncompliant: &[0x0001, 0x0003, 0x0101, 0x0103, 0x0800, 0x0801, 0x0802],
+            channeldata: ChannelDataUse::Compliant,
+            rtp_compliant: &[97, 98, 101, 126, 127],
+            rtp_noncompliant: &[],
+            rtcp_compliant: &[200, 201, 205, 206],
+            rtcp_noncompliant: &[],
+            quic_types: 0,
+        },
+        Application::Discord => Expectation {
+            stun_compliant: &[],
+            stun_noncompliant: &[],
+            channeldata: ChannelDataUse::Absent,
+            rtp_compliant: &[],
+            rtp_noncompliant: crate::discord::DISCORD_RTP_PAYLOAD_TYPES,
+            rtcp_compliant: &[],
+            rtcp_noncompliant: &[200, 201, 204, 205, 206],
+            quic_types: 0,
+        },
+        Application::GoogleMeet => Expectation {
+            stun_compliant: &[
+                0x0001, 0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0101, 0x0103, 0x0104, 0x0108,
+                0x0109, 0x0113, 0x0200, 0x0300,
+            ],
+            stun_noncompliant: &[0x0003],
+            channeldata: ChannelDataUse::Compliant,
+            rtp_compliant: crate::meet::MEET_RTP_PAYLOAD_TYPES,
+            rtp_noncompliant: &[],
+            rtcp_compliant: &[],
+            rtcp_noncompliant: crate::meet::MEET_RTCP_TYPES,
+            quic_types: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_the_paper_rows() {
+        // Table 3 rows (Zoom's RTP inventory carries the full Table-5 list;
+        // see DESIGN.md calibration notes).
+        assert_eq!(expectation(Application::Zoom).type_ratio(), (55, 57));
+        assert_eq!(expectation(Application::FaceTime).type_ratio(), (4, 13));
+        assert_eq!(expectation(Application::WhatsApp).type_ratio(), (10, 19));
+        assert_eq!(expectation(Application::Messenger).type_ratio(), (20, 27));
+        assert_eq!(expectation(Application::Discord).type_ratio(), (0, 9));
+        assert_eq!(expectation(Application::GoogleMeet).type_ratio(), (26, 34));
+    }
+
+    #[test]
+    fn inventories_are_disjoint() {
+        for app in Application::ALL {
+            let e = expectation(app);
+            for t in e.stun_compliant {
+                assert!(!e.stun_noncompliant.contains(t), "{app}: {t:#06x} in both");
+            }
+            for t in e.rtp_compliant {
+                assert!(!e.rtp_noncompliant.contains(t), "{app}: RTP {t} in both");
+            }
+            for t in e.rtcp_compliant {
+                assert!(!e.rtcp_noncompliant.contains(t), "{app}: RTCP {t} in both");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_app_totals_match_table3_bottom_row() {
+        let mut stun = (0usize, 0usize);
+        let mut rtcp = (0usize, 0usize);
+        for app in Application::ALL {
+            let e = expectation(app);
+            let cd_ok = matches!(e.channeldata, ChannelDataUse::Compliant) as usize;
+            let cd_any = (e.channeldata != ChannelDataUse::Absent) as usize;
+            stun.0 += e.stun_compliant.len() + cd_ok;
+            stun.1 += e.stun_compliant.len() + e.stun_noncompliant.len() + cd_any;
+            rtcp.0 += e.rtcp_compliant.len();
+            rtcp.1 += e.rtcp_compliant.len() + e.rtcp_noncompliant.len();
+        }
+        assert_eq!(stun, (27, 50), "paper Table 3: STUN/TURN 27/50");
+        assert_eq!(rtcp, (10, 22), "paper Table 3: RTCP 10/22");
+    }
+}

@@ -1,0 +1,452 @@
+//! The FaceTime traffic model.
+//!
+//! Behaviours reproduced (paper sections in parentheses):
+//!
+//! * every RTP message carries header extensions with undefined profile
+//!   identifiers 0x8001 / 0x8500 / 0x8D00 across payload types
+//!   100/104/108/13/20 — 100 % of RTP is non-compliant (§5.2.2, Table 5),
+//! * repeated STUN Binding Requests with undefined attribute 0x8007
+//!   (value 0x00000009 everywhere, 0x00000000 on Wi-Fi P2P, 0x00000005 on
+//!   cellular P2P), sent once per second for a minute with a **constant**
+//!   transaction ID and never answered (§5.2.1),
+//! * Binding Success Responses carrying undefined attribute 0x8008
+//!   (16 random bytes), 29.4 % of them with an ALTERNATE-SERVER attribute
+//!   whose address family is the illegal 0x00 (§5.2.1),
+//! * TURN Data Indications with an unexpected CHANNEL-NUMBER attribute of
+//!   constant value 0x00000000 (§5.2.1),
+//! * relay mode: 89.2 % of datagrams behind a proprietary header starting
+//!   `0x6000`, whose second 16-bit field holds the length of the remaining
+//!   header plus the embedded message; total header length 8–19 bytes
+//!   (§5.3). Because `0x6000` sits in the ChannelData demux range, the DPI
+//!   surfaces these as out-of-range ChannelData frames — the "ChannelData"
+//!   row of Table 4,
+//! * cellular calls: ~10 % of traffic is fully proprietary 36-byte
+//!   keepalives starting `0xDEADBEEFCAFE` with two trailing 4-byte
+//!   counters, at a fixed 20 packets/s (§5.3),
+//! * a small, fully compliant QUIC flow (long header types 0/1/2 plus
+//!   short headers) — the only 100 %-compliant protocol in the study (§5.1),
+//! * **no RTCP** (Table 2).
+
+use crate::media::{ticks, RtpStream};
+use crate::{AppModel, Application, CallScenario};
+use rtc_netemu::{DetRng, NetworkConfig, TrafficSink, TransmissionMode};
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::quic::{LongHeader, LongType, ShortHeader, VERSION_1};
+use rtc_wire::stun::{self, attr, msg_type, MessageBuilder};
+use std::net::SocketAddr;
+
+/// RTP payload types observed in FaceTime traffic (Table 5).
+pub const FACETIME_RTP_PAYLOAD_TYPES: &[u8] = &[100, 104, 108, 13, 20];
+
+/// The undefined RTP extension profiles FaceTime attaches (§5.2.2).
+pub const FACETIME_EXT_PROFILES: &[u16] = &[0x8001, 0x8500, 0x8D00];
+
+/// Build the relay-mode proprietary header for an embedded message of
+/// `inner_len` bytes. Starts `0x6000`; the next 16-bit field is the length
+/// of the remaining header bytes plus the embedded message (§5.3).
+pub fn facetime_header(rng: &mut DetRng, inner_len: usize) -> Vec<u8> {
+    let junk = rng.range(4, 16) as usize; // header total 8..=19 bytes
+    let mut h = Vec::with_capacity(4 + junk);
+    h.extend_from_slice(&0x6000u16.to_be_bytes());
+    h.extend_from_slice(&((junk + inner_len) as u16).to_be_bytes());
+    // Low-valued junk so no interior offset can fake an RTP/RTCP version.
+    h.extend((0..junk).map(|_| rng.below(0x38) as u8));
+    h
+}
+
+/// Build one 36-byte cellular keepalive (§5.3).
+pub fn cellular_keepalive(counter: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(36);
+    p.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE]);
+    p.extend_from_slice(&[0x21; 22]);
+    p.extend_from_slice(&counter.to_be_bytes());
+    p.extend_from_slice(&(counter.wrapping_mul(2)).to_be_bytes());
+    p
+}
+
+/// The FaceTime application model.
+#[derive(Debug, Clone, Copy)]
+pub struct FaceTime;
+
+impl AppModel for FaceTime {
+    fn application(&self) -> Application {
+        Application::FaceTime
+    }
+
+    fn generate(&self, scenario: &CallScenario, sink: &mut TrafficSink) {
+        let mut rng = scenario.rng().fork("facetime");
+        let sc = scenario.scale;
+        let [a, b] = scenario.device_ips();
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(0);
+        let mode = scenario.app.transmission_mode(scenario.network, 0);
+
+        let a_media = SocketAddr::new(a, ports.ephemeral_port());
+        let b_media = SocketAddr::new(b, ports.ephemeral_port());
+        let relay = alloc.app_server("facetime", "relay", 0);
+
+        // Legs: relay mode hairpins through Apple's relays with notably more
+        // traffic per leg (calibrated so the aggregate datagram share behind
+        // the 0x6000 header approaches the paper's 72.3 %).
+        let (legs, rate_mul): (Vec<(FiveTuple, bool)>, f64) = match mode {
+            TransmissionMode::Relay => (
+                vec![
+                    (FiveTuple::udp(a_media, relay), true),
+                    (FiveTuple::udp(relay, a_media), true),
+                    (FiveTuple::udp(b_media, relay), true),
+                    (FiveTuple::udp(relay, b_media), true),
+                ],
+                3.5,
+            ),
+            TransmissionMode::P2p => {
+                (vec![(FiveTuple::udp(a_media, b_media), false), (FiveTuple::udp(b_media, a_media), false)], 1.0)
+            }
+        };
+
+        let media_start = scenario.call_start.plus_millis(700);
+        let media_end = scenario.call_end();
+
+        for (i, (tuple, relayed)) in legs.iter().enumerate() {
+            let mut leg_rng = rng.fork(&format!("leg{i}"));
+            self.media_leg(sink, &mut leg_rng, *tuple, *relayed, media_start, media_end, sc * rate_mul, i);
+            if *relayed {
+                self.turn_indications(sink, &mut leg_rng, *tuple, media_start, media_end, sc, b_media);
+            }
+        }
+
+        self.stun_traffic(scenario, sink, &mut rng, a);
+        self.quic_flow(scenario, sink, &mut rng, a);
+
+        if matches!(scenario.network, NetworkConfig::Cellular) {
+            // Fixed-rate fully proprietary connectivity checks (§5.3).
+            let tuple = FiveTuple::udp(a_media, b_media);
+            let mut counter: u32 = rng.next_u32() & 0x00FF_FFFF;
+            let pps = (20.0 * sc).max(1.0);
+            let interval = (1_000_000.0 / pps) as u64;
+            let mut t = media_start;
+            while t < media_end {
+                sink.push(t, tuple, cellular_keepalive(counter));
+                counter = counter.wrapping_add(1);
+                t = t.plus_micros(interval);
+            }
+        }
+    }
+}
+
+impl FaceTime {
+    #[allow(clippy::too_many_arguments)]
+    fn media_leg(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        relayed: bool,
+        start: Timestamp,
+        end: Timestamp,
+        rate: f64,
+        leg_index: usize,
+    ) {
+        let audio_pt = FACETIME_RTP_PAYLOAD_TYPES[leg_index % 2 + 3]; // 13 or 20
+        let video_pt = FACETIME_RTP_PAYLOAD_TYPES[leg_index % 3]; // 100/104/108
+        let mut audio = RtpStream::audio(audio_pt, 0x00FA_0000 ^ (rng.next_u32() & 0x0F0F_FFF0) ^ leg_index as u32, rng);
+        let mut video = RtpStream::video(video_pt, 0x00FB_0000 ^ (rng.next_u32() & 0x0F0F_FFF0) ^ leg_index as u32, rng);
+
+        let emit = |sink: &mut TrafficSink, rng: &mut DetRng, t: Timestamp, stream: &mut RtpStream| {
+            let profile = *rng.pick(FACETIME_EXT_PROFILES);
+            // Undefined profile ⇒ opaque extension data (RFC 8285 does not
+            // apply); 4-byte aligned.
+            let ext_words = rng.range(1, 4) as usize;
+            let inner = stream
+                .next_builder(rng)
+                .extension(profile, rng.bytes(ext_words * 4))
+                .build();
+            let payload = if relayed && rng.chance(0.892) {
+                let mut h = facetime_header(rng, inner.len());
+                h.extend_from_slice(&inner);
+                h
+            } else {
+                inner
+            };
+            sink.push_lossy(t, tuple, payload);
+        };
+
+        for t in ticks(rng, start, end, 50.0 * rate) {
+            emit(sink, rng, t, &mut audio);
+        }
+        for t in ticks(rng, start, end, 60.0 * rate) {
+            emit(sink, rng, t, &mut video);
+        }
+    }
+
+    /// TURN Data Indications with the illegal CHANNEL-NUMBER attribute
+    /// (constant 4-byte zero; §5.2.1), plus ChannelData frames whose length
+    /// field undercounts the datagram by two bytes — the non-compliant
+    /// "ChannelData" row of Table 4.
+    fn turn_indications(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+        peer: SocketAddr,
+    ) {
+        for t in ticks(rng, start, end, (1.5 * sc).max(0.05)) {
+            let txid = rng.txid();
+            let msg = MessageBuilder::new(msg_type::DATA_INDICATION, txid)
+                .attribute(attr::XOR_PEER_ADDRESS, stun::encode_xor_address(peer, &txid))
+                .attribute(attr::DATA, rng.bytes_range(24, 64))
+                .attribute(attr::CHANNEL_NUMBER, vec![0, 0, 0, 0])
+                .build();
+            sink.push(t, tuple, msg);
+        }
+        for t in ticks(rng, start, end, (0.8 * sc).max(0.04)) {
+            let mut frame = rtc_wire::stun::ChannelData::build(0x40C0, &rng.bytes_range(20, 48));
+            frame.extend_from_slice(&[0x00, 0x17]); // two bytes past the declared length
+            sink.push(t, tuple, frame);
+        }
+    }
+
+    /// STUN traffic: the famous unanswered constant-transaction-ID Binding
+    /// Requests, plus answered exchanges whose responses carry 0x8008 and
+    /// (29.4 %) the family-0x00 ALTERNATE-SERVER (§5.2.1).
+    fn stun_traffic(&self, scenario: &CallScenario, sink: &mut TrafficSink, rng: &mut DetRng, a: std::net::IpAddr) {
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(1);
+        let server = alloc.app_server("facetime", "stun", 0);
+        let tuple = FiveTuple::udp(SocketAddr::new(a, ports.ephemeral_port()), server);
+
+        let attr_0x8007_value: u32 = match (scenario.network, scenario.app.transmission_mode(scenario.network, 0)) {
+            (NetworkConfig::WifiP2p, TransmissionMode::P2p) => 0x0000_0000,
+            (NetworkConfig::Cellular, TransmissionMode::P2p) => 0x0000_0005,
+            _ => 0x0000_0009,
+        };
+
+        // One minute of 1 Hz retransmissions with the SAME transaction ID,
+        // never answered.
+        let constant_txid = rng.txid();
+        let probe_end = scenario.call_start.plus_secs(60).min(scenario.call_end());
+        let mut t = scenario.call_start.plus_millis(300);
+        while t < probe_end {
+            let req = MessageBuilder::new(msg_type::BINDING_REQUEST, constant_txid)
+                .attribute(0x8007, attr_0x8007_value.to_be_bytes().to_vec())
+                .build();
+            sink.push(t, tuple, req);
+            t = t.plus_secs(1);
+        }
+
+        // Answered exchanges every ~5 s for the rest of the call.
+        let mut t = probe_end.plus_secs(1);
+        while t < scenario.call_end() {
+            let txid = rng.txid();
+            let req = MessageBuilder::new(msg_type::BINDING_REQUEST, txid)
+                .attribute(0x8007, 0x0000_0009u32.to_be_bytes().to_vec())
+                .build();
+            let rtt = sink.rtt_us();
+            sink.push(t, tuple, req);
+            let mut resp = MessageBuilder::new(msg_type::BINDING_SUCCESS, txid)
+                .attribute(attr::XOR_MAPPED_ADDRESS, stun::encode_xor_address(tuple.src, &txid));
+            if rng.chance(0.294) {
+                // ALTERNATE-SERVER with address family 0x00 (illegal).
+                let mut bad = stun::encode_address(server);
+                bad[1] = 0x00;
+                resp = resp.attribute(attr::ALTERNATE_SERVER, bad);
+            }
+            resp = resp.attribute(0x8008, rng.bytes(16));
+            sink.push(t.plus_micros(rtt), tuple.reversed(), resp.build());
+            t = t.plus_secs(5);
+        }
+    }
+
+    /// A small, fully compliant QUIC flow: Initial/Handshake exchange, an
+    /// optional 0-RTT packet, then steady short-header traffic.
+    fn quic_flow(&self, scenario: &CallScenario, sink: &mut TrafficSink, rng: &mut DetRng, a: std::net::IpAddr) {
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(4);
+        let server = alloc.app_server("facetime", "quic", 0);
+        let tuple = FiveTuple::udp(SocketAddr::new(a, ports.ephemeral_port()), server);
+
+        let dcid = rng.bytes(8);
+        let scid = rng.bytes(8);
+        let t0 = scenario.call_start.plus_millis(150);
+        let long = |lt: LongType, d: &[u8], s: &[u8], rng: &mut DetRng| {
+            let mut p = LongHeader {
+                fixed_bit: true,
+                long_type: lt,
+                type_specific: 0,
+                version: VERSION_1,
+                dcid: d.to_vec(),
+                scid: s.to_vec(),
+                header_len: 0,
+            }
+            .build();
+            p.extend_from_slice(&rng.bytes_range(600, 1200));
+            p
+        };
+        let rtt = sink.rtt_us();
+        sink.push(t0, tuple, long(LongType::Initial, &dcid, &scid, rng));
+        sink.push(t0.plus_micros(rtt / 2), tuple, long(LongType::ZeroRtt, &dcid, &scid, rng));
+        sink.push(t0.plus_micros(rtt), tuple.reversed(), long(LongType::Initial, &scid, &dcid, rng));
+        sink.push(t0.plus_micros(rtt + 9000), tuple.reversed(), long(LongType::Handshake, &scid, &dcid, rng));
+        sink.push(t0.plus_micros(rtt + 22_000), tuple, long(LongType::Handshake, &dcid, &scid, rng));
+
+        // 1-RTT short-header packets for the rest of the call.
+        let sc = scenario.scale;
+        for t in ticks(rng, t0.plus_secs(1), scenario.call_end(), (1.2 * sc).max(0.05)) {
+            let (d, dir) = if rng.chance(0.5) { (&dcid, tuple) } else { (&scid, tuple.reversed()) };
+            let mut p = ShortHeader { fixed_bit: true, spin: rng.chance(0.5), dcid: d.clone(), header_len: 0 }.build();
+            p.extend_from_slice(&rng.bytes_range(40, 300));
+            sink.push(t, dir, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_wire::rtp::Packet;
+    use rtc_wire::stun::Message;
+
+    fn run(network: NetworkConfig, secs: u64) -> (CallScenario, Vec<rtc_pcap::trace::Datagram>) {
+        let s = CallScenario::new(Application::FaceTime, network, 11).scaled(secs, 0.15);
+        let mut sink = TrafficSink::new(s.network.path_profile(), s.rng().fork("path"));
+        FaceTime.generate(&s, &mut sink);
+        (s, sink.finish().datagrams())
+    }
+
+    #[test]
+    fn all_rtp_has_undefined_extension_profiles() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 40);
+        let mut rtp_count = 0;
+        for d in &dgrams {
+            if let Ok(p) = Packet::new_checked(&d.payload) {
+                rtp_count += 1;
+                let ext = p.extension().expect("facetime rtp always has an extension");
+                assert!(FACETIME_EXT_PROFILES.contains(&ext.profile), "profile {:#06x}", ext.profile);
+                assert!(FACETIME_RTP_PAYLOAD_TYPES.contains(&p.payload_type()));
+            }
+        }
+        assert!(rtp_count > 100, "rtp count {rtp_count}");
+    }
+
+    #[test]
+    fn relay_mode_wraps_most_datagrams_with_0x6000() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 40);
+        let media: Vec<_> = dgrams.iter().filter(|d| d.payload.len() > 60).collect();
+        let wrapped = media.iter().filter(|d| d.payload.len() > 4 && d.payload[0] == 0x60 && d.payload[1] == 0x00).count();
+        let frac = wrapped as f64 / media.len() as f64;
+        assert!(frac > 0.7, "wrapped fraction {frac}");
+        // Length field covers the rest of the datagram exactly.
+        for d in media.iter().filter(|d| d.payload[0] == 0x60 && d.payload[1] == 0x00) {
+            let len = u16::from_be_bytes([d.payload[2], d.payload[3]]) as usize;
+            assert_eq!(4 + len, d.payload.len());
+        }
+    }
+
+    #[test]
+    fn wifi_p2p_has_no_0x6000_header() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 40);
+        assert!(dgrams.iter().all(|d| d.payload.len() < 2 || !(d.payload[0] == 0x60 && d.payload[1] == 0x00)));
+    }
+
+    #[test]
+    fn constant_txid_probes_unanswered() {
+        let (s, dgrams) = run(NetworkConfig::WifiP2p, 90);
+        let stun: Vec<_> = dgrams.iter().filter_map(|d| Message::new_checked(&d.payload).ok().map(|m| (d, m))).collect();
+        let probes: Vec<_> = stun
+            .iter()
+            .filter(|(_, m)| m.message_type() == msg_type::BINDING_REQUEST && m.attribute(0x8007).is_some())
+            .collect();
+        assert!(probes.len() > 30);
+        // The first minute's probes share one transaction ID.
+        let first_min: Vec<_> = probes
+            .iter()
+            .filter(|(d, _)| d.ts < s.call_start.plus_secs(60))
+            .map(|(_, m)| m.transaction_id().to_vec())
+            .collect();
+        assert!(first_min.len() > 30);
+        assert!(first_min.windows(2).all(|w| w[0] == w[1]), "constant txid expected");
+        // And no success response ever echoes that ID.
+        let tx = &first_min[0];
+        assert!(!stun
+            .iter()
+            .any(|(_, m)| m.message_type() == msg_type::BINDING_SUCCESS && m.transaction_id() == &tx[..]));
+    }
+
+    #[test]
+    fn wifi_p2p_uses_zero_0x8007_value() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 30);
+        let v = dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok())
+            .filter(|m| m.message_type() == msg_type::BINDING_REQUEST)
+            .find_map(|m| m.attribute(0x8007).map(|a| a.value.to_vec()))
+            .unwrap();
+        assert_eq!(v, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cellular_keepalives_present_with_counters() {
+        let (_, dgrams) = run(NetworkConfig::Cellular, 40);
+        let kas: Vec<_> = dgrams
+            .iter()
+            .filter(|d| d.payload.len() == 36 && d.payload.starts_with(&[0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE]))
+            .collect();
+        assert!(kas.len() > 20, "keepalives {}", kas.len());
+        let counters: Vec<u32> = kas
+            .iter()
+            .map(|d| u32::from_be_bytes([d.payload[28], d.payload[29], d.payload[30], d.payload[31]]))
+            .collect();
+        assert!(counters.windows(2).all(|w| w[1] == w[0] + 1), "monotonic counter expected");
+    }
+
+    #[test]
+    fn wifi_has_almost_no_keepalives() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 40);
+        assert!(dgrams.iter().all(|d| !(d.payload.len() == 36 && d.payload.starts_with(&[0xDE, 0xAD]))));
+    }
+
+    #[test]
+    fn quic_flow_is_compliant_and_consistent() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 60);
+        let mut cids = std::collections::HashSet::new();
+        let mut longs = 0;
+        let mut shorts = 0;
+        for d in &dgrams {
+            if d.payload.first().map_or(false, |b| b & 0xC0 == 0xC0) {
+                if let Ok(h) = rtc_wire::quic::LongHeader::parse(&d.payload) {
+                    assert_eq!(h.version, VERSION_1);
+                    assert!(h.fixed_bit);
+                    cids.insert(h.dcid.clone());
+                    longs += 1;
+                }
+            } else if d.five_tuple.dst.port() == 443 || d.five_tuple.src.port() == 443 {
+                if let Ok(h) = rtc_wire::quic::ShortHeader::parse(&d.payload, 8) {
+                    assert!(h.fixed_bit);
+                    cids.insert(h.dcid.clone());
+                    shorts += 1;
+                }
+            }
+        }
+        assert!(longs >= 4, "long headers {longs}");
+        assert!(shorts >= 2, "short headers {shorts}");
+        assert_eq!(cids.len(), 2, "exactly the two negotiated CIDs");
+    }
+
+    #[test]
+    fn data_indications_carry_illegal_channel_number() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 40);
+        let dis: Vec<_> = dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok())
+            .filter(|m| m.message_type() == msg_type::DATA_INDICATION)
+            .collect();
+        assert!(!dis.is_empty());
+        for m in &dis {
+            let cn = m.attribute(attr::CHANNEL_NUMBER).expect("channel-number present");
+            assert_eq!(cn.value, &[0, 0, 0, 0]);
+        }
+    }
+}

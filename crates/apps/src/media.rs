@@ -1,0 +1,387 @@
+//! Shared media-plane synthesis: jittered packet schedules, RTP stream
+//! state machines, and compliant RTCP report generation.
+//!
+//! Application models call these helpers and then customize the output —
+//! prepending proprietary headers, attaching non-standard extensions,
+//! scrambling payloads — to reproduce their documented deviations.
+
+use rtc_netemu::{DetRng, TrafficSink};
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::rtcp;
+use rtc_wire::rtp;
+
+/// Produce a jittered schedule of packet times in `[start, end)` at an
+/// average of `pps` packets per second. Rates below one packet per call
+/// still emit at least one packet when `pps > 0`.
+pub fn ticks(rng: &mut DetRng, start: Timestamp, end: Timestamp, pps: f64) -> Vec<Timestamp> {
+    if pps <= 0.0 || end <= start {
+        return Vec::new();
+    }
+    let span_us = end.micros_since(start);
+    let interval_us = (1_000_000.0 / pps).max(1.0);
+    let mut out = Vec::new();
+    let mut t = start.as_micros() as f64 + rng.unit() * interval_us;
+    while (t as u64) < start.as_micros() + span_us {
+        out.push(Timestamp::from_micros(t as u64));
+        // ±10% inter-arrival jitter around the nominal interval.
+        t += interval_us * (0.9 + 0.2 * rng.unit());
+    }
+    if out.is_empty() {
+        out.push(Timestamp::from_micros(start.as_micros() + rng.below(span_us.max(1))));
+    }
+    out
+}
+
+/// The evolving state of one synthetic RTP stream.
+#[derive(Debug, Clone)]
+pub struct RtpStream {
+    /// Payload type.
+    pub payload_type: u8,
+    /// Synchronization source.
+    pub ssrc: u32,
+    /// Next sequence number.
+    pub seq: u16,
+    /// Current media timestamp.
+    pub media_ts: u32,
+    /// Media-timestamp advance per packet (e.g. 960 for 20 ms of 48 kHz audio).
+    pub ts_step: u32,
+    /// Payload length range `[min, max)`.
+    pub payload_len: (usize, usize),
+}
+
+impl RtpStream {
+    /// A 20 ms Opus-like audio stream.
+    pub fn audio(payload_type: u8, ssrc: u32, rng: &mut DetRng) -> RtpStream {
+        RtpStream {
+            payload_type,
+            ssrc,
+            seq: rng.below(30_000) as u16,
+            media_ts: rng.next_u32(),
+            ts_step: 960,
+            payload_len: (60, 140),
+        }
+    }
+
+    /// A 30 fps VP8/H.264-like video stream.
+    pub fn video(payload_type: u8, ssrc: u32, rng: &mut DetRng) -> RtpStream {
+        RtpStream {
+            payload_type,
+            ssrc,
+            seq: rng.below(30_000) as u16,
+            media_ts: rng.next_u32(),
+            ts_step: 3_000,
+            payload_len: (850, 1_150),
+        }
+    }
+
+    /// Advance the stream and emit the next packet as a builder the caller
+    /// can still customize (extensions, markers) before serializing.
+    pub fn next_builder(&mut self, rng: &mut DetRng) -> rtp::PacketBuilder {
+        let len = rng.range(self.payload_len.0 as u64, self.payload_len.1 as u64) as usize;
+        let b = rtp::PacketBuilder::new(self.payload_type, self.seq, self.media_ts, self.ssrc)
+            .marker(rng.chance(0.05))
+            .payload(rng.bytes(len));
+        self.seq = self.seq.wrapping_add(1);
+        self.media_ts = self.media_ts.wrapping_add(self.ts_step);
+        b
+    }
+}
+
+/// Pump a full RTP stream into `sink` on `tuple` between `start` and `end`
+/// at `pps`, letting `finish` turn each builder into the final datagram
+/// payload (attach extensions, prepend proprietary headers, …).
+///
+/// Media is pushed through the lossy path, like real traffic.
+pub fn pump_rtp(
+    sink: &mut TrafficSink,
+    rng: &mut DetRng,
+    tuple: FiveTuple,
+    start: Timestamp,
+    end: Timestamp,
+    pps: f64,
+    stream: &mut RtpStream,
+    mut finish: impl FnMut(&mut DetRng, rtp::PacketBuilder) -> Vec<u8>,
+) {
+    for t in ticks(rng, start, end, pps) {
+        let builder = stream.next_builder(rng);
+        let payload = finish(rng, builder);
+        sink.push_lossy(t, tuple, payload);
+    }
+}
+
+/// Pump periodic control datagrams (RTCP, keepalives…): `make` produces the
+/// datagram payload for each tick. Control traffic is pushed losslessly so
+/// behavioural invariants (exact message counts) survive.
+pub fn pump_control(
+    sink: &mut TrafficSink,
+    rng: &mut DetRng,
+    tuple: FiveTuple,
+    start: Timestamp,
+    end: Timestamp,
+    pps: f64,
+    mut make: impl FnMut(&mut DetRng, usize) -> Vec<u8>,
+) {
+    for (i, t) in ticks(rng, start, end, pps).into_iter().enumerate() {
+        let payload = make(rng, i);
+        sink.push(t, tuple, payload);
+    }
+}
+
+/// One media phase of a call: a time range, the unidirectional legs active
+/// in it, and whether those legs hairpin through a relay.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase start (absolute).
+    pub start: Timestamp,
+    /// Phase end (absolute).
+    pub end: Timestamp,
+    /// Unidirectional media legs.
+    pub legs: Vec<FiveTuple>,
+    /// Whether the phase runs in relay mode.
+    pub relayed: bool,
+}
+
+/// Build the media phase plan for a scenario: one phase per transmission
+/// mode, honoring the app's mid-call relay→P2P switch on cellular
+/// (paper §3.1.1). Relay phases have four legs (each device ↔ its relay),
+/// P2P phases two.
+pub fn phase_plan(
+    scenario: &crate::CallScenario,
+    a_media: std::net::SocketAddr,
+    b_media: std::net::SocketAddr,
+    relay: std::net::SocketAddr,
+) -> Vec<Phase> {
+    use rtc_netemu::TransmissionMode;
+    let media_start = scenario.call_start.plus_millis(700);
+    let media_end = scenario.call_end();
+    let legs_for = |mode: TransmissionMode| match mode {
+        TransmissionMode::Relay => vec![
+            FiveTuple::udp(a_media, relay),
+            FiveTuple::udp(relay, a_media),
+            FiveTuple::udp(b_media, relay),
+            FiveTuple::udp(relay, b_media),
+        ],
+        TransmissionMode::P2p => vec![FiveTuple::udp(a_media, b_media), FiveTuple::udp(b_media, a_media)],
+    };
+    let initial = scenario.app.transmission_mode(scenario.network, 0);
+    match scenario.app.mode_switch_at_s(scenario.network) {
+        Some(s) if scenario.call_secs > s => {
+            let switch = scenario.call_start.plus_secs(s);
+            let later = scenario.app.transmission_mode(scenario.network, s);
+            vec![
+                Phase {
+                    start: media_start,
+                    end: switch,
+                    legs: legs_for(initial),
+                    relayed: initial == TransmissionMode::Relay,
+                },
+                Phase {
+                    start: switch,
+                    end: media_end,
+                    legs: legs_for(later),
+                    relayed: later == TransmissionMode::Relay,
+                },
+            ]
+        }
+        _ => vec![Phase {
+            start: media_start,
+            end: media_end,
+            legs: legs_for(initial),
+            relayed: initial == TransmissionMode::Relay,
+        }],
+    }
+}
+
+/// A compliant RTCP sender report with plausible fields.
+pub fn compliant_sr(rng: &mut DetRng, sender_ssrc: u32, peer_ssrc: u32) -> Vec<u8> {
+    rtcp::SenderReport {
+        ssrc: sender_ssrc,
+        ntp_timestamp: 0xE600_0000_0000_0000 | rng.next_u64() >> 16,
+        rtp_timestamp: rng.next_u32(),
+        packet_count: rng.below(100_000) as u32,
+        octet_count: rng.below(10_000_000) as u32,
+        reports: vec![compliant_block(rng, peer_ssrc)],
+    }
+    .build()
+}
+
+/// A compliant RTCP receiver report.
+pub fn compliant_rr(rng: &mut DetRng, sender_ssrc: u32, peer_ssrc: u32) -> Vec<u8> {
+    rtcp::ReceiverReport { ssrc: sender_ssrc, reports: vec![compliant_block(rng, peer_ssrc)] }.build()
+}
+
+fn compliant_block(rng: &mut DetRng, ssrc: u32) -> rtcp::ReportBlock {
+    rtcp::ReportBlock {
+        ssrc,
+        fraction_lost: rng.below(8) as u8,
+        cumulative_lost: rng.below(200) as i32,
+        highest_seq: rng.next_u32() & 0x000F_FFFF,
+        jitter: rng.below(400) as u32,
+        last_sr: rng.next_u32(),
+        delay_since_last_sr: rng.below(65_536) as u32,
+    }
+}
+
+/// A compliant SDES packet carrying a CNAME.
+pub fn compliant_sdes(rng: &mut DetRng, ssrc: u32) -> Vec<u8> {
+    let cname = format!("{:08x}@rtc.example", rng.next_u32());
+    rtcp::Sdes {
+        chunks: vec![rtcp::SdesChunk { ssrc, items: vec![(rtcp::sdes_item::CNAME, cname.into_bytes())] }],
+    }
+    .build()
+}
+
+/// A compliant transport-layer feedback packet (type 205, transport-cc).
+pub fn compliant_rtpfb(rng: &mut DetRng, sender_ssrc: u32, media_ssrc: u32) -> Vec<u8> {
+    // Transport-cc FCI: base seq, status count, reference time, fb count.
+    let mut fci = Vec::new();
+    fci.extend_from_slice(&(rng.below(60_000) as u16).to_be_bytes());
+    fci.extend_from_slice(&(rng.range(1, 30) as u16).to_be_bytes());
+    fci.extend_from_slice(&rng.next_u32().to_be_bytes());
+    rtcp::Feedback {
+        packet_type: rtcp::packet_type::RTPFB,
+        fmt: rtcp::rtpfb_fmt::TRANSPORT_CC,
+        sender_ssrc,
+        media_ssrc,
+        fci,
+    }
+    .build()
+}
+
+/// A compliant payload-specific feedback packet (type 206, PLI).
+pub fn compliant_psfb(rng: &mut DetRng, sender_ssrc: u32, media_ssrc: u32) -> Vec<u8> {
+    let _ = rng;
+    rtcp::Feedback {
+        packet_type: rtcp::packet_type::PSFB,
+        fmt: rtcp::psfb_fmt::PLI,
+        sender_ssrc,
+        media_ssrc,
+        fci: Vec::new(),
+    }
+    .build()
+}
+
+/// A compliant XR packet (type 207) with receiver-reference-time and DLRR
+/// blocks (RFC 3611).
+pub fn compliant_xr(rng: &mut DetRng, ssrc: u32) -> Vec<u8> {
+    rtc_wire::xr::Xr {
+        ssrc,
+        blocks: vec![
+            rtc_wire::xr::Block::ReceiverReferenceTime { ntp_timestamp: rng.next_u64() },
+            rtc_wire::xr::Block::Dlrr {
+                sub_blocks: vec![(ssrc ^ 1, rng.next_u32(), rng.below(65_536) as u32)],
+            },
+        ],
+    }
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_netemu::NetworkConfig;
+
+    fn rng() -> DetRng {
+        DetRng::new(77)
+    }
+
+    #[test]
+    fn ticks_rate_is_calibrated() {
+        let mut r = rng();
+        let t = ticks(&mut r, Timestamp::ZERO, Timestamp::from_secs(10), 50.0);
+        assert!((460..=540).contains(&t.len()), "count = {}", t.len());
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        assert!(t.iter().all(|&x| x < Timestamp::from_secs(10)));
+    }
+
+    #[test]
+    fn ticks_low_rate_emits_at_least_one() {
+        let mut r = rng();
+        let t = ticks(&mut r, Timestamp::ZERO, Timestamp::from_secs(2), 0.01);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ticks_empty_cases() {
+        let mut r = rng();
+        assert!(ticks(&mut r, Timestamp::ZERO, Timestamp::from_secs(1), 0.0).is_empty());
+        assert!(ticks(&mut r, Timestamp::from_secs(2), Timestamp::from_secs(1), 10.0).is_empty());
+    }
+
+    #[test]
+    fn rtp_stream_advances() {
+        let mut r = rng();
+        let mut s = RtpStream::audio(111, 0xABCD, &mut r);
+        let seq0 = s.seq;
+        let ts0 = s.media_ts;
+        let bytes = s.next_builder(&mut r).build();
+        let p = rtp::Packet::new_checked(&bytes).unwrap();
+        assert_eq!(p.payload_type(), 111);
+        assert_eq!(p.ssrc(), 0xABCD);
+        assert_eq!(p.sequence_number(), seq0);
+        assert_eq!(s.seq, seq0.wrapping_add(1));
+        assert_eq!(s.media_ts, ts0.wrapping_add(960));
+        assert!((60..140).contains(&p.payload().len()));
+    }
+
+    #[test]
+    fn pump_rtp_emits_parsable_packets() {
+        let mut r = rng();
+        let mut sink = TrafficSink::new(NetworkConfig::WifiP2p.path_profile(), DetRng::new(1));
+        let tuple = FiveTuple::udp("192.168.1.101:50000".parse().unwrap(), "192.168.1.102:50001".parse().unwrap());
+        let mut s = RtpStream::video(96, 7, &mut r);
+        pump_rtp(
+            &mut sink,
+            &mut r,
+            tuple,
+            Timestamp::ZERO,
+            Timestamp::from_secs(2),
+            30.0,
+            &mut s,
+            |_, b| b.build(),
+        );
+        let trace = sink.finish();
+        let d = trace.datagrams();
+        assert!(d.len() > 40, "got {}", d.len());
+        for dg in &d {
+            let p = rtp::Packet::new_checked(&dg.payload).unwrap();
+            assert_eq!(p.ssrc(), 7);
+        }
+        // Sequence numbers increase (with possible loss gaps).
+        let seqs: Vec<u16> = d
+            .iter()
+            .map(|dg| rtp::Packet::new_checked(&dg.payload).unwrap().sequence_number())
+            .collect();
+        assert!(seqs.windows(2).all(|w| w[1] > w[0] || w[1].wrapping_sub(w[0]) < 10));
+    }
+
+    #[test]
+    fn compliant_rtcp_builders_parse() {
+        let mut r = rng();
+        for bytes in [
+            compliant_sr(&mut r, 1, 2),
+            compliant_rr(&mut r, 1, 2),
+            compliant_sdes(&mut r, 1),
+            compliant_rtpfb(&mut r, 1, 2),
+            compliant_psfb(&mut r, 1, 2),
+            compliant_xr(&mut r, 1),
+        ] {
+            let (packets, rest) = rtcp::split_compound(&bytes);
+            assert_eq!(packets.len(), 1);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn pump_control_counts_exactly() {
+        let mut r = rng();
+        let mut sink = TrafficSink::new(NetworkConfig::Cellular.path_profile(), DetRng::new(2));
+        let tuple = FiveTuple::udp("174.192.14.21:4000".parse().unwrap(), "203.0.113.1:5000".parse().unwrap());
+        pump_control(&mut sink, &mut r, tuple, Timestamp::ZERO, Timestamp::from_secs(5), 2.0, |r, i| {
+            compliant_sr(r, i as u32, 9)
+        });
+        // Control pushes are lossless: the sink holds exactly the ticks.
+        assert!((8..=12).contains(&sink.len()), "len = {}", sink.len());
+    }
+}

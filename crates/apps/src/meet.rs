@@ -1,0 +1,419 @@
+//! The Google Meet traffic model.
+//!
+//! Behaviours reproduced (paper sections in parentheses):
+//!
+//! * the largest and most compliant STUN/TURN vocabulary of the study
+//!   (Table 4): full ICE binding exchanges, the libwebrtc GOOG-PING
+//!   extension (0x0200/0x0300, counted compliant because it is publicly
+//!   documented), a complete TURN session (Allocate success *and* error,
+//!   Refresh, CreatePermission, ChannelBind, Send/Data Indications) and
+//!   ChannelData framing of **all** relayed media — which is why STUN/TURN
+//!   contributes ~20 % of Meet's messages (Table 2),
+//! * the single non-compliant STUN/TURN type: Allocate Requests (0x0003)
+//!   repurposed as a periodic ping-pong connectivity check — a semantic
+//!   (criterion 5) violation; the responses stay compliant (§4.2, Table 4),
+//! * fully compliant RTP over eleven payload types
+//!   (100/103/104/109/111/114/35/36/63/96/97, Table 5) with valid RFC 8285
+//!   one-byte extensions,
+//! * SRTCP on every RTCP message: E-flag set and a monotonically increasing
+//!   31-bit index. In Wi-Fi P2P and cellular calls the trailer carries the
+//!   mandatory 10-byte authentication tag; in **relayed Wi-Fi calls most
+//!   messages omit the tag** (4-byte trailer), violating RFC 3711 — which
+//!   makes all seven observed RTCP types non-compliant (§5.2.3, Table 6),
+//! * relay → P2P switch ~30 s into cellular calls (§3.1.1).
+
+use crate::media::{phase_plan, pump_control, ticks, RtpStream};
+use crate::{ice, AppModel, Application, CallScenario};
+use rtc_netemu::{DetRng, NetworkConfig, TrafficSink};
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::rtcp::{self, SrtcpTrailer};
+use rtc_wire::stun::{msg_type, ChannelData, MessageBuilder};
+use std::net::SocketAddr;
+
+/// RTP payload types observed in Google Meet traffic (Table 5).
+pub const MEET_RTP_PAYLOAD_TYPES: &[u8] = &[100, 103, 104, 109, 111, 114, 35, 36, 63, 96, 97];
+
+/// The RTCP packet types Meet emits (Table 6) — all rendered non-compliant
+/// by the relayed-Wi-Fi missing-auth-tag behaviour.
+pub const MEET_RTCP_TYPES: &[u8] = &[200, 201, 202, 204, 205, 206, 207];
+
+/// The Google Meet application model.
+#[derive(Debug, Clone, Copy)]
+pub struct GoogleMeet;
+
+impl AppModel for GoogleMeet {
+    fn application(&self) -> Application {
+        Application::GoogleMeet
+    }
+
+    fn generate(&self, scenario: &CallScenario, sink: &mut TrafficSink) {
+        let mut rng = scenario.rng().fork("meet");
+        let sc = scenario.scale;
+        let [a, b] = scenario.device_ips();
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(0);
+
+        let a_media = SocketAddr::new(a, ports.ephemeral_port());
+        let b_media = SocketAddr::new(b, ports.ephemeral_port());
+        let relay = alloc.app_server("meet", "relay", 0);
+        let a_ctl = FiveTuple::udp(a_media, relay);
+
+        // Compliant TURN setup, with one compliant Allocate Error first
+        // (credentials handshake — 401 then success).
+        let t0 = scenario.call_start.plus_millis(20);
+        let (req, txid) = ice::allocate_request(&mut rng);
+        let rtt = sink.rtt_us();
+        sink.push(t0, a_ctl, req);
+        let mut unauth = vec![0, 0, 4, 1];
+        unauth.extend_from_slice(b"Unauthorized");
+        let err = MessageBuilder::new(msg_type::ALLOCATE_ERROR, txid)
+            .attribute(rtc_wire::stun::attr::ERROR_CODE, unauth)
+            .attribute(rtc_wire::stun::attr::REALM, b"turn.google.example".to_vec())
+            .attribute(rtc_wire::stun::attr::NONCE, rng.bytes(16))
+            .build();
+        sink.push(t0.plus_micros(rtt), a_ctl.reversed(), err);
+        let setup_done = ice::turn_setup(
+            sink,
+            &mut rng,
+            t0.plus_micros(rtt + 4_000),
+            a_ctl,
+            0x4001,
+            b_media,
+            alloc.app_server("meet", "relay", 1),
+        );
+        ice::turn_refresh_loop(sink, &mut rng, a_ctl, setup_done, scenario.call_end(), 60);
+
+        // One compliant Send/Data Indication pair right after setup.
+        let d_out = rng.bytes(48);
+        sink.push(setup_done, a_ctl, ice::send_indication(&mut rng, b_media, &d_out));
+        let d_in = rng.bytes(48);
+        sink.push(setup_done.plus_millis(30), a_ctl.reversed(), ice::data_indication(&mut rng, b_media, &d_in));
+
+        // Media phases. ChannelData wraps ALL relay-phase media.
+        let phases = phase_plan(scenario, a_media, b_media, relay);
+        let relay_wifi = matches!(scenario.network, NetworkConfig::WifiRelay);
+        for (pi, phase) in phases.iter().enumerate() {
+            for (li, leg) in phase.legs.iter().enumerate() {
+                let mut leg_rng = rng.fork(&format!("p{pi}l{li}"));
+                // Per-call random SSRCs; the SRTCP plane reports on the same
+                // audio source the media plane sends.
+                let audio_ssrc = 0x0110_0000 | (leg_rng.next_u32() & 0x000F_FFF0) | li as u32;
+                let video_ssrc = 0x0120_0000 | (leg_rng.next_u32() & 0x000F_FFF0) | li as u32;
+                self.media_leg(sink, &mut leg_rng, *leg, phase.start, phase.end, sc, audio_ssrc, video_ssrc, phase.relayed);
+                self.srtcp_leg(sink, &mut leg_rng, *leg, phase.start, phase.end, sc, audio_ssrc, relay_wifi && phase.relayed);
+            }
+        }
+
+        // ICE connectivity checks: compliant binding exchanges plus
+        // GOOG-PING request/response pairs.
+        let p2p_tuple = FiveTuple::udp(a_media, b_media);
+        let check_tuple = if matches!(scenario.app.transmission_mode(scenario.network, 40), rtc_netemu::TransmissionMode::P2p) {
+            p2p_tuple
+        } else {
+            a_ctl
+        };
+        let mut t = scenario.call_start.plus_secs(2);
+        while t < scenario.call_end() {
+            ice::binding_exchange(sink, &mut rng, t, check_tuple);
+            t = t.plus_secs(5);
+        }
+        let mut t = scenario.call_start.plus_secs(4);
+        while t < scenario.call_end() {
+            let txid = rng.txid();
+            let ping = MessageBuilder::new(msg_type::GOOG_PING_REQUEST, txid).build();
+            let rtt = sink.rtt_us();
+            sink.push(t, check_tuple, ping);
+            let pong = MessageBuilder::new(msg_type::GOOG_PING_SUCCESS, txid).build();
+            sink.push(t.plus_micros(rtt), check_tuple.reversed(), pong);
+            t = t.plus_secs(5);
+        }
+
+        // The violation: Allocate Requests repurposed as a periodic
+        // ping-pong connectivity check (criterion 5, §4.2).
+        let mut t = setup_done.plus_secs(3);
+        while t < scenario.call_end() {
+            let (req, txid) = ice::allocate_request(&mut rng);
+            let rtt = sink.rtt_us();
+            sink.push(t, a_ctl, req);
+            let resp = MessageBuilder::new(msg_type::ALLOCATE_SUCCESS, txid)
+                .attribute(
+                    rtc_wire::stun::attr::XOR_RELAYED_ADDRESS,
+                    rtc_wire::stun::encode_xor_address(relay, &txid),
+                )
+                .attribute(
+                    rtc_wire::stun::attr::XOR_MAPPED_ADDRESS,
+                    rtc_wire::stun::encode_xor_address(a_ctl.src, &txid),
+                )
+                .attribute(rtc_wire::stun::attr::LIFETIME, 600u32.to_be_bytes().to_vec())
+                .attribute(rtc_wire::stun::attr::MESSAGE_INTEGRITY, rng.bytes(20))
+                .build();
+            sink.push(t.plus_micros(rtt), a_ctl.reversed(), resp);
+            t = t.plus_secs(7);
+        }
+
+        self.signaling_tcp(scenario, sink, &mut rng, a);
+    }
+}
+
+impl GoogleMeet {
+    #[allow(clippy::too_many_arguments)]
+    fn media_leg(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+        audio_ssrc: u32,
+        video_ssrc: u32,
+        relayed: bool,
+    ) {
+        let mut audio = RtpStream::audio(111, audio_ssrc, rng);
+        let mut video = RtpStream::video(100, video_ssrc, rng);
+        // Cycle the large Table 5 inventory: audio alternates 111/63/103/104/109,
+        // video 100/96/97/35/36/114.
+        let audio_pts = [111u8, 63, 103, 104, 109];
+        let video_pts = [100u8, 96, 97, 35, 36, 114];
+        let span = end.micros_since(start).max(1);
+
+        let emit = |sink: &mut TrafficSink, rng: &mut DetRng, t: Timestamp, stream: &mut RtpStream| {
+            // Compliant one-byte extensions: audio level (1) + transport-cc seq (3).
+            let level = rng.below(127) as u8;
+            let tcc = (rng.below(60_000) as u16).to_be_bytes();
+            let inner = stream
+                .next_builder(rng)
+                .one_byte_extension(&[(1, &[level]), (3, &tcc)])
+                .build();
+            let payload = if relayed { ChannelData::build(0x4001, &inner) } else { inner };
+            sink.push_lossy(t, tuple, payload);
+        };
+
+        for t in ticks(rng, start, end, 50.0 * sc) {
+            let seg = (t.micros_since(start) * audio_pts.len() as u64 / span).min(audio_pts.len() as u64 - 1);
+            audio.payload_type = audio_pts[seg as usize];
+            emit(sink, rng, t, &mut audio);
+        }
+        for t in ticks(rng, start, end, 60.0 * sc) {
+            let seg = (t.micros_since(start) * video_pts.len() as u64 / span).min(video_pts.len() as u64 - 1);
+            video.payload_type = video_pts[seg as usize];
+            emit(sink, rng, t, &mut video);
+        }
+    }
+
+    /// SRTCP: plaintext header + SSRC, scrambled body, SRTCP trailer. In
+    /// relayed Wi-Fi calls 90 % of messages omit the auth tag (§5.2.3).
+    #[allow(clippy::too_many_arguments)]
+    fn srtcp_leg(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+        ssrc: u32,
+        drop_auth_tag: bool,
+    ) {
+        let mut index: u32 = 1;
+        pump_control(sink, rng, tuple, start, end, (9.0 * sc).max(0.1), move |rng, i| {
+            let (pt, count, body_words) = match MEET_RTCP_TYPES[i % MEET_RTCP_TYPES.len()] {
+                200 => (200u8, 1, 12),
+                201 => (201, 1, 7),
+                202 => (202, 1, 4),
+                204 => (204, 2, 6),
+                205 => (205, 15, 5),
+                206 => (206, 1, 2),
+                _ => (207, 0, 4),
+            };
+            let mut body = ssrc.to_be_bytes().to_vec();
+            body.extend_from_slice(&rng.bytes(body_words * 4 - 4)); // encrypted
+            let mut msg = rtcp::build_raw(count, pt, &body);
+            let tag_len = if drop_auth_tag && rng.chance(0.9) { 0 } else { 10 };
+            let trailer = SrtcpTrailer { encrypted: true, index, auth_tag_len: tag_len };
+            index += 1;
+            msg.extend_from_slice(&trailer.build(rng.next_u64()));
+            msg
+        });
+    }
+
+    fn signaling_tcp(&self, scenario: &CallScenario, sink: &mut TrafficSink, rng: &mut DetRng, a: std::net::IpAddr) {
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(2);
+        let tuple = FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("meet", "signaling", 0));
+        let mut t = scenario.call_start.plus_secs(2);
+        while t < scenario.call_end() {
+            sink.push(t, tuple, rng.bytes_range(100, 400));
+            sink.push(t.plus_millis(50), tuple.reversed(), rng.bytes_range(60, 200));
+            t = t.plus_secs(6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_wire::rtp::Packet;
+    use rtc_wire::stun::Message;
+
+    fn run(network: NetworkConfig, secs: u64) -> (CallScenario, Vec<rtc_pcap::trace::Datagram>) {
+        let s = CallScenario::new(Application::GoogleMeet, network, 61).scaled(secs, 0.15);
+        let mut sink = TrafficSink::new(s.network.path_profile(), s.rng().fork("path"));
+        GoogleMeet.generate(&s, &mut sink);
+        (s, sink.finish().datagrams())
+    }
+
+    #[test]
+    fn stun_inventory_matches_table4() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 90);
+        let types: std::collections::HashSet<u16> = dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok())
+            .filter(|m| m.has_magic_cookie())
+            .map(|m| m.message_type())
+            .collect();
+        for expect in [
+            0x0001u16, 0x0003, 0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0101, 0x0103, 0x0104, 0x0108, 0x0109,
+            0x0113, 0x0200, 0x0300,
+        ] {
+            assert!(types.contains(&expect), "missing {expect:#06x} in {types:?}");
+        }
+    }
+
+    #[test]
+    fn relay_media_is_channeldata_wrapped() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 40);
+        let mut wrapped_rtp = 0;
+        let mut bare_rtp = 0;
+        for d in &dgrams {
+            if d.five_tuple.transport != rtc_wire::ip::Transport::Udp {
+                continue; // TCP signaling payloads are opaque random bytes
+            }
+            if let Ok(cd) = ChannelData::new_checked(&d.payload) {
+                if cd.wire_len() == d.payload.len() && Packet::new_checked(cd.data()).is_ok() {
+                    wrapped_rtp += 1;
+                    assert!(ChannelData::CHANNEL_RANGE.contains(&cd.channel_number()));
+                }
+            } else if d.payload.len() > 2
+                && !(200..=207).contains(&d.payload[1])
+                && Packet::new_checked(&d.payload).is_ok()
+            {
+                bare_rtp += 1;
+            }
+        }
+        assert!(wrapped_rtp > 200, "wrapped {wrapped_rtp}");
+        assert_eq!(bare_rtp, 0, "all relay media must be wrapped");
+    }
+
+    #[test]
+    fn p2p_media_is_bare_and_compliant() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 60);
+        let mut seen = std::collections::HashSet::new();
+        for d in &dgrams {
+            if let Ok(p) = Packet::new_checked(&d.payload) {
+                if (0x0110_0000..0x0130_0000).contains(&p.ssrc()) {
+                    assert!(MEET_RTP_PAYLOAD_TYPES.contains(&p.payload_type()));
+                    let ext = p.extension().unwrap();
+                    assert!(ext.is_one_byte_form());
+                    for e in ext.one_byte_elements() {
+                        assert!((1..=14).contains(&e.id));
+                    }
+                    seen.insert(p.payload_type());
+                }
+            }
+        }
+        assert_eq!(seen.len(), MEET_RTP_PAYLOAD_TYPES.len(), "saw {seen:?}");
+    }
+
+    #[test]
+    fn srtcp_tag_present_outside_relayed_wifi() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 40);
+        let mut checked = 0;
+        for d in &dgrams {
+            let (packets, trailer) = rtcp::split_compound(&d.payload);
+            if packets.len() == 1 && MEET_RTCP_TYPES.contains(&packets[0].packet_type()) && !trailer.is_empty() {
+                assert_eq!(trailer.len(), 14, "full SRTCP trailer expected");
+                let t = SrtcpTrailer::parse(trailer, 10).unwrap();
+                assert!(t.encrypted);
+                checked += 1;
+            }
+        }
+        assert!(checked > 30, "checked {checked}");
+    }
+
+    #[test]
+    fn srtcp_tag_missing_in_relayed_wifi() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 60);
+        let mut four = 0usize;
+        let mut fourteen = 0usize;
+        for d in &dgrams {
+            let (packets, trailer) = rtcp::split_compound(&d.payload);
+            if packets.len() == 1 && MEET_RTCP_TYPES.contains(&packets[0].packet_type()) {
+                match trailer.len() {
+                    4 => four += 1,
+                    14 => fourteen += 1,
+                    0 => {}
+                    n => panic!("unexpected trailer length {n}"),
+                }
+            }
+        }
+        assert!(four > 5 * fourteen.max(1) / 2, "four={four} fourteen={fourteen}");
+        assert!(four > 20);
+    }
+
+    #[test]
+    fn srtcp_index_is_monotonic_per_stream() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 40);
+        let mut per_stream: std::collections::HashMap<_, Vec<u32>> = std::collections::HashMap::new();
+        for d in &dgrams {
+            let (packets, trailer) = rtcp::split_compound(&d.payload);
+            if packets.len() == 1 && trailer.len() == 14 {
+                let t = SrtcpTrailer::parse(trailer, 10).unwrap();
+                per_stream.entry(d.five_tuple).or_default().push(t.index);
+            }
+        }
+        assert!(!per_stream.is_empty());
+        for (_, idx) in per_stream {
+            assert!(idx.windows(2).all(|w| w[1] == w[0] + 1), "monotonic index");
+        }
+    }
+
+    #[test]
+    fn allocate_pingpong_present() {
+        let (s, dgrams) = run(NetworkConfig::WifiRelay, 60);
+        let allocs: Vec<_> = dgrams
+            .iter()
+            .filter(|d| {
+                Message::new_checked(&d.payload)
+                    .map(|m| m.message_type() == msg_type::ALLOCATE_REQUEST)
+                    .unwrap_or(false)
+            })
+            .filter(|d| d.ts > s.call_start.plus_secs(10))
+            .collect();
+        assert!(allocs.len() >= 5, "repeated mid-call allocates: {}", allocs.len());
+    }
+
+    #[test]
+    fn goog_ping_pairs_share_txid() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 30);
+        let mut reqs = std::collections::HashMap::new();
+        let mut paired = 0;
+        for d in &dgrams {
+            if let Ok(m) = Message::new_checked(&d.payload) {
+                match m.message_type() {
+                    msg_type::GOOG_PING_REQUEST => {
+                        reqs.insert(m.transaction_id().to_vec(), ());
+                    }
+                    msg_type::GOOG_PING_SUCCESS => {
+                        if reqs.contains_key(m.transaction_id()) {
+                            paired += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(paired >= 3, "paired {paired}");
+    }
+}

@@ -1,0 +1,380 @@
+//! The Facebook Messenger traffic model.
+//!
+//! Behaviours reproduced (paper sections in parentheses):
+//!
+//! * the richest *mostly compliant* TURN machinery of the consumer apps
+//!   (Table 4): compliant Refresh (0x0004/0x0104), CreatePermission
+//!   (0x0008/0x0108/0x0118), ChannelBind (0x0009/0x0109), Send/Data
+//!   Indications (0x0016/0x0017), Allocate Error (0x0113) and ChannelData,
+//! * non-compliant Binding Requests whose transaction IDs are **sequential**
+//!   rather than random — the paper's example for criterion 2 (§4.2),
+//! * non-compliant 0x0003/0x0103 Allocate messages carrying an undefined
+//!   attribute, and 0x0101 Binding Successes carrying one too (Table 4),
+//! * undefined types 0x0800–0x0802: a short 0x0801/0x0802 burst at setup
+//!   and **six** 0x0800 messages at call termination (§5.2.1),
+//! * fully compliant RTP on payload types 97/98/101/126/127 (Table 5) and
+//!   an unusually chatty, fully compliant RTCP plane — types
+//!   200/201/205/206 at ~10 % of messages (Tables 2, 6),
+//! * relay → P2P switch ~30 s into cellular calls (§3.1.1).
+
+use crate::media::{compliant_psfb, compliant_rr, compliant_rtpfb, compliant_sr, phase_plan, pump_control, ticks, RtpStream};
+use crate::{ice, AppModel, Application, CallScenario};
+use rtc_netemu::{DetRng, TrafficSink};
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::stun::{self, attr, msg_type, ChannelData, MessageBuilder};
+use std::net::SocketAddr;
+
+/// RTP payload types observed in Messenger traffic (Table 5).
+pub const MESSENGER_RTP_PAYLOAD_TYPES: &[u8] = &[97, 98, 101, 126, 127];
+
+/// The Messenger application model.
+#[derive(Debug, Clone, Copy)]
+pub struct Messenger;
+
+impl AppModel for Messenger {
+    fn application(&self) -> Application {
+        Application::Messenger
+    }
+
+    fn generate(&self, scenario: &CallScenario, sink: &mut TrafficSink) {
+        let mut rng = scenario.rng().fork("messenger");
+        let sc = scenario.scale;
+        let [a, b] = scenario.device_ips();
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(0);
+
+        let a_media = SocketAddr::new(a, ports.ephemeral_port());
+        let b_media = SocketAddr::new(b, ports.ephemeral_port());
+        let relay = alloc.app_server("messenger", "relay", 0);
+        let a_ctl = FiveTuple::udp(a_media, relay);
+
+        self.turn_setup(scenario, sink, &mut rng, a_ctl, b_media, relay);
+
+        // Short 0x0801/0x0802 burst at setup (undefined types, Table 4).
+        let burst_t = scenario.call_start.plus_millis(90);
+        for i in 0..6u64 {
+            let txid = rng.txid();
+            let probe = MessageBuilder::new(0x0801, txid).attribute(0x4003, vec![0xFF]).build();
+            sink.push(burst_t.plus_micros(i * 150), a_ctl, probe);
+            let reply = MessageBuilder::new(0x0802, txid).attribute(0x4003, vec![0xFF]).build();
+            sink.push(burst_t.plus_micros(i * 150 + 70), a_ctl.reversed(), reply);
+        }
+
+        // Media phases.
+        let phases = phase_plan(scenario, a_media, b_media, relay);
+        for (pi, phase) in phases.iter().enumerate() {
+            for (li, leg) in phase.legs.iter().enumerate() {
+                let mut leg_rng = rng.fork(&format!("p{pi}l{li}"));
+                self.media_leg(sink, &mut leg_rng, *leg, phase.start, phase.end, sc, li, phase.relayed);
+            }
+        }
+
+        // Binding keepalives with SEQUENTIAL transaction IDs (criterion-2
+        // violation, §4.2), answered by 0x0101s with an undefined attribute.
+        let mut seq_txid = rng.next_u64();
+        let mut t = scenario.call_start.plus_secs(2);
+        while t < scenario.call_end() {
+            let mut txid = [0u8; 12];
+            txid[4..].copy_from_slice(&seq_txid.to_be_bytes());
+            seq_txid += 1;
+            let req = MessageBuilder::new(msg_type::BINDING_REQUEST, txid)
+                .attribute(attr::PRIORITY, (rng.next_u32() >> 1).to_be_bytes().to_vec())
+                .build();
+            let rtt = sink.rtt_us();
+            sink.push(t, a_ctl, req);
+            let resp = MessageBuilder::new(msg_type::BINDING_SUCCESS, txid)
+                .attribute(attr::XOR_MAPPED_ADDRESS, stun::encode_xor_address(a_media, &txid))
+                .attribute(0x4002, rng.bytes(4))
+                .build();
+            sink.push(t.plus_micros(rtt), a_ctl.reversed(), resp);
+            t = t.plus_secs(4);
+        }
+
+        // Six 0x0800 messages at call termination (§5.2.1).
+        let teardown = Timestamp::from_micros(scenario.call_end().as_micros() - 350_000);
+        for i in 0..6u64 {
+            let txid = rng.txid();
+            let msg = MessageBuilder::new(0x0800, txid)
+                .attribute(0x4000, rng.bytes(4))
+                .attribute(attr::XOR_RELAYED_ADDRESS, stun::encode_xor_address(relay, &txid))
+                .build();
+            sink.push(teardown.plus_micros(i * 800), a_ctl, msg);
+        }
+
+        self.signaling_tcp(scenario, sink, &mut rng, a);
+    }
+}
+
+impl Messenger {
+    /// TURN session setup: a first Allocate carrying an undefined attribute
+    /// is rejected with a *compliant* 0x0113 error, the retry succeeds with a
+    /// 0x0103 that again carries the undefined attribute; then compliant
+    /// CreatePermission / ChannelBind / periodic Refresh, plus one compliant
+    /// CreatePermission Error (0x0118) — reproducing Table 4's inventory.
+    fn turn_setup(
+        &self,
+        scenario: &CallScenario,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        a_ctl: FiveTuple,
+        peer: SocketAddr,
+        relay: SocketAddr,
+    ) {
+        let mut t = scenario.call_start.plus_millis(30);
+
+        // Allocate with undefined attribute 0x4001 → 437 Allocation Mismatch.
+        let txid = rng.txid();
+        let req = MessageBuilder::new(msg_type::ALLOCATE_REQUEST, txid)
+            .attribute(attr::REQUESTED_TRANSPORT, vec![17, 0, 0, 0])
+            .attribute(0x4001, rng.bytes(8))
+            .build();
+        let rtt = sink.rtt_us();
+        sink.push(t, a_ctl, req);
+        let mut error_code = vec![0, 0, 4, 37];
+        error_code.extend_from_slice(b"Allocation Mismatch");
+        let err = MessageBuilder::new(msg_type::ALLOCATE_ERROR, txid)
+            .attribute(attr::ERROR_CODE, error_code)
+            .attribute(attr::MESSAGE_INTEGRITY, rng.bytes(20))
+            .build();
+        sink.push(t.plus_micros(rtt), a_ctl.reversed(), err);
+        t = t.plus_micros(rtt + 5_000);
+
+        // Retry succeeds; the success again carries 0x4001 (non-compliant).
+        let txid = rng.txid();
+        let req = MessageBuilder::new(msg_type::ALLOCATE_REQUEST, txid)
+            .attribute(attr::REQUESTED_TRANSPORT, vec![17, 0, 0, 0])
+            .attribute(0x4001, rng.bytes(8))
+            .build();
+        let rtt = sink.rtt_us();
+        sink.push(t, a_ctl, req);
+        let ok = MessageBuilder::new(msg_type::ALLOCATE_SUCCESS, txid)
+            .attribute(attr::XOR_RELAYED_ADDRESS, stun::encode_xor_address(relay, &txid))
+            .attribute(attr::LIFETIME, 600u32.to_be_bytes().to_vec())
+            .attribute(0x4001, rng.bytes(8))
+            .build();
+        sink.push(t.plus_micros(rtt), a_ctl.reversed(), ok);
+        t = t.plus_micros(rtt + 4_000);
+
+        // One compliant CreatePermission that fails (0x0118, Table 4) …
+        let (req, txid) = ice::create_permission(rng, "198.51.100.99:9".parse().unwrap());
+        let rtt = sink.rtt_us();
+        sink.push(t, a_ctl, req);
+        let mut forbidden = vec![0, 0, 4, 3];
+        forbidden.extend_from_slice(b"Forbidden");
+        let err = MessageBuilder::new(msg_type::CREATE_PERMISSION_ERROR, txid)
+            .attribute(attr::ERROR_CODE, forbidden)
+            .attribute(attr::MESSAGE_INTEGRITY, rng.bytes(20))
+            .build();
+        sink.push(t.plus_micros(rtt), a_ctl.reversed(), err);
+        t = t.plus_micros(rtt + 4_000);
+
+        // … then the compliant permission + channel bind for the real peer.
+        let (req, txid) = ice::create_permission(rng, peer);
+        let rtt = sink.rtt_us();
+        sink.push(t, a_ctl, req);
+        sink.push(t.plus_micros(rtt), a_ctl.reversed(), ice::simple_success(rng, msg_type::CREATE_PERMISSION_SUCCESS, txid));
+        t = t.plus_micros(rtt + 3_000);
+        let (req, txid) = ice::channel_bind(rng, 0x4000, peer);
+        let rtt = sink.rtt_us();
+        sink.push(t, a_ctl, req);
+        sink.push(t.plus_micros(rtt), a_ctl.reversed(), ice::simple_success(rng, msg_type::CHANNEL_BIND_SUCCESS, txid));
+        t = t.plus_micros(rtt + 3_000);
+
+        // A Send/Data Indication pair (compliant).
+        let data_out = rng.bytes(40);
+        let si = ice::send_indication(rng, peer, &data_out);
+        sink.push(t, a_ctl, si);
+        let data_in = rng.bytes(40);
+        let di = ice::data_indication(rng, peer, &data_in);
+        sink.push(t.plus_millis(25), a_ctl.reversed(), di);
+
+        // Compliant periodic Refresh for the allocation's lifetime.
+        ice::turn_refresh_loop(sink, rng, a_ctl, scenario.call_start, scenario.call_end(), 60);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn media_leg(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+        leg_index: usize,
+        relayed: bool,
+    ) {
+        let audio_ssrc = 0x00C0_0000 | (rng.next_u32() & 0x000F_FFF0) | leg_index as u32;
+        let video_ssrc = 0x00D0_0000 | (rng.next_u32() & 0x000F_FFF0) | leg_index as u32;
+        let mut audio = RtpStream::audio(101, audio_ssrc, rng);
+        let mut video = RtpStream::video(97, video_ssrc, rng);
+        let video_pts = [97u8, 98, 126, 127];
+        let span = end.micros_since(start).max(1);
+        // ChannelData wrapping appears only briefly after setup (Table 2's
+        // small 1.4 % STUN/TURN share rules out wrapping all relay media).
+        let channeldata_until = start.plus_secs(2);
+
+        let emit = |sink: &mut TrafficSink, rng: &mut DetRng, t: Timestamp, inner: Vec<u8>| {
+            let payload = if relayed && t < channeldata_until && rng.chance(0.8) {
+                ChannelData::build(0x4000, &inner)
+            } else {
+                inner
+            };
+            sink.push_lossy(t, tuple, payload);
+        };
+
+        for t in ticks(rng, start, end, 50.0 * sc) {
+            let bytes = audio.next_builder(rng).build();
+            emit(sink, rng, t, bytes);
+        }
+        for t in ticks(rng, start, end, 60.0 * sc) {
+            let seg = (t.micros_since(start) * video_pts.len() as u64 / span).min(video_pts.len() as u64 - 1);
+            video.payload_type = video_pts[seg as usize];
+            let bytes = video.next_builder(rng).build();
+            emit(sink, rng, t, bytes);
+        }
+
+        // Chatty, fully compliant RTCP (~10 % of messages): 200/201/205/206.
+        let peer = video_ssrc ^ 1;
+        pump_control(sink, rng, tuple, start, end, (12.0 * sc).max(0.08), |rng, i| match i % 4 {
+            0 => compliant_sr(rng, video_ssrc, peer),
+            1 => compliant_rr(rng, audio_ssrc, peer),
+            2 => compliant_rtpfb(rng, audio_ssrc, peer),
+            _ => compliant_psfb(rng, video_ssrc, peer),
+        });
+    }
+
+    fn signaling_tcp(&self, scenario: &CallScenario, sink: &mut TrafficSink, rng: &mut DetRng, a: std::net::IpAddr) {
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(2);
+        let tuple =
+            FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("messenger", "signaling", 0));
+        let mut t = scenario.call_start.plus_secs(3);
+        while t < scenario.call_end() {
+            sink.push(t, tuple, rng.bytes_range(60, 180));
+            sink.push(t.plus_millis(60), tuple.reversed(), rng.bytes_range(40, 100));
+            t = t.plus_secs(12);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_netemu::NetworkConfig;
+    use rtc_wire::rtcp;
+    use rtc_wire::rtp::Packet;
+    use rtc_wire::stun::Message;
+
+    fn run(network: NetworkConfig, secs: u64) -> (CallScenario, Vec<rtc_pcap::trace::Datagram>) {
+        let s = CallScenario::new(Application::Messenger, network, 31).scaled(secs, 0.15);
+        let mut sink = TrafficSink::new(s.network.path_profile(), s.rng().fork("path"));
+        Messenger.generate(&s, &mut sink);
+        (s, sink.finish().datagrams())
+    }
+
+    fn stun_types(dgrams: &[rtc_pcap::trace::Datagram]) -> std::collections::HashSet<u16> {
+        dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok())
+            .map(|m| m.message_type())
+            .collect()
+    }
+
+    #[test]
+    fn stun_type_inventory_matches_table4() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 90);
+        let types = stun_types(&dgrams);
+        for expect in [
+            0x0001u16, 0x0003, 0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0101, 0x0103, 0x0104, 0x0108, 0x0109,
+            0x0113, 0x0118, 0x0800, 0x0801, 0x0802,
+        ] {
+            assert!(types.contains(&expect), "missing {expect:#06x} in {types:?}");
+        }
+        // Plus ChannelData frames at the start of relay media.
+        let has_channeldata = dgrams.iter().any(|d| {
+            ChannelData::new_checked(&d.payload)
+                .map(|cd| cd.channel_number() == 0x4000 && cd.wire_len() == d.payload.len())
+                .unwrap_or(false)
+        });
+        assert!(has_channeldata);
+    }
+
+    #[test]
+    fn binding_request_txids_are_sequential() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 40);
+        let txids: Vec<u64> = dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok())
+            .filter(|m| m.message_type() == msg_type::BINDING_REQUEST)
+            .map(|m| u64::from_be_bytes(m.transaction_id()[4..].try_into().unwrap()))
+            .collect();
+        assert!(txids.len() >= 5);
+        assert!(txids.windows(2).all(|w| w[1] == w[0] + 1), "txids {txids:?}");
+    }
+
+    #[test]
+    fn six_0x0800_at_termination() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 30);
+        let n = dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok())
+            .filter(|m| m.message_type() == 0x0800)
+            .count();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn rtp_inventory_and_compliance() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 60);
+        let mut seen = std::collections::HashSet::new();
+        for d in &dgrams {
+            if d.payload.len() > 2 && (200..=207).contains(&d.payload[1]) {
+                continue; // RTCP shares the version pattern with RTP
+            }
+            if let Ok(p) = Packet::new_checked(&d.payload) {
+                if (0x00C0_0000..0x00E0_0000).contains(&p.ssrc()) {
+                    assert!(MESSENGER_RTP_PAYLOAD_TYPES.contains(&p.payload_type()));
+                    seen.insert(p.payload_type());
+                }
+            }
+        }
+        assert_eq!(seen.len(), MESSENGER_RTP_PAYLOAD_TYPES.len(), "saw {seen:?}");
+    }
+
+    #[test]
+    fn rtcp_is_chatty_and_typed_per_table6() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 60);
+        let mut rtcp_count = 0usize;
+        let mut rtp_count = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for d in &dgrams {
+            let (packets, rest) = rtcp::split_compound(&d.payload);
+            if !packets.is_empty() && rest.is_empty() {
+                rtcp_count += 1;
+                for p in packets {
+                    seen.insert(p.packet_type());
+                }
+            } else if Packet::new_checked(&d.payload).is_ok() {
+                rtp_count += 1;
+            }
+        }
+        assert_eq!(seen, [200u8, 201, 205, 206].into_iter().collect());
+        let share = rtcp_count as f64 / (rtcp_count + rtp_count) as f64;
+        assert!((0.05..0.20).contains(&share), "rtcp share {share}");
+    }
+
+    #[test]
+    fn allocate_error_is_compliant_437() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 30);
+        let err = dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok())
+            .find(|m| m.message_type() == msg_type::ALLOCATE_ERROR)
+            .expect("allocate error present");
+        let code = err.attribute(attr::ERROR_CODE).unwrap();
+        assert_eq!(code.value[2], 4);
+        assert_eq!(code.value[3], 37);
+    }
+}

@@ -1,0 +1,348 @@
+//! The WhatsApp traffic model.
+//!
+//! Behaviours reproduced (paper sections in parentheses):
+//!
+//! * a pre-join burst of 16 `0x0801`/`0x0802` message pairs inside ~2.2 ms:
+//!   each 0x0801 is 500 bytes with a long zero-filled undefined attribute
+//!   0x4004, each 0x0802 a compact 40-byte reply; both carry undefined
+//!   attribute 0x4003 with the fixed value 0xFF, and each pair shares a
+//!   transaction ID (§5.2.1),
+//! * four undefined `0x0800` messages at call termination, carrying
+//!   undefined attribute 0x4000 plus a standard XOR-RELAYED-ADDRESS, sent
+//!   to the servers previously contacted via Allocate (§5.2.1),
+//! * further undefined types 0x0803–0x0805 (Table 4) as periodic keepalive
+//!   variants, and non-compliant uses of 0x0003/0x0101/0x0103 (undefined
+//!   attributes on otherwise-standard TURN/binding messages),
+//! * the single compliant STUN type: standard Binding Requests (Table 4),
+//! * fully compliant RTP on payload types 97/103/105/106/120 and fully
+//!   compliant RTCP types 200/202/205/206 (Tables 5, 6),
+//! * a DTLS-like handshake burst at call start — unrecognizable to the RTC
+//!   protocol set, hence WhatsApp's small fully-proprietary share (Table 2),
+//! * relay → P2P switch ~30 s into cellular calls (§3.1.1).
+
+use crate::media::{
+    compliant_psfb, compliant_rtpfb, compliant_sdes, compliant_sr, phase_plan, pump_control, ticks, RtpStream,
+};
+use crate::{ice, AppModel, Application, CallScenario};
+use rtc_netemu::{DetRng, TrafficSink};
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::stun::{self, attr, MessageBuilder};
+use std::net::SocketAddr;
+
+/// RTP payload types observed in WhatsApp traffic (Table 5).
+pub const WHATSAPP_RTP_PAYLOAD_TYPES: &[u8] = &[97, 103, 105, 106, 120];
+
+/// The WhatsApp application model.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatsApp;
+
+impl AppModel for WhatsApp {
+    fn application(&self) -> Application {
+        Application::WhatsApp
+    }
+
+    fn generate(&self, scenario: &CallScenario, sink: &mut TrafficSink) {
+        let mut rng = scenario.rng().fork("whatsapp");
+        let sc = scenario.scale;
+        let [a, b] = scenario.device_ips();
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(0);
+
+        let a_media = SocketAddr::new(a, ports.ephemeral_port());
+        let b_media = SocketAddr::new(b, ports.ephemeral_port());
+        let relay = alloc.app_server("whatsapp", "relay", 0);
+        let a_ctl = FiveTuple::udp(a_media, relay);
+
+        // --- Call setup -----------------------------------------------------
+        // Pre-join 0x0801/0x0802 burst (16 pairs in ~2.2 ms).
+        let burst_t = scenario.call_start.plus_millis(120);
+        for i in 0..16u64 {
+            let t = burst_t.plus_micros(i * 137); // 16 pairs in ~2.2 ms
+            let txid = rng.txid();
+            let big = MessageBuilder::new(0x0801, txid)
+                .attribute(0x4003, vec![0xFF])
+                .attribute(0x4004, vec![0u8; 468]) // zero-fill pads the message to 500 B
+                .build();
+            debug_assert_eq!(big.len(), 500);
+            sink.push(t, a_ctl, big);
+            let reply = MessageBuilder::new(0x0802, txid)
+                .attribute(0x4003, vec![0xFF])
+                .attribute(0x4004, vec![0u8; 8]) // compact 40-byte reply
+                .build();
+            debug_assert_eq!(reply.len(), 40);
+            sink.push(t.plus_micros(60), a_ctl.reversed(), reply);
+        }
+
+        // Allocate exchange with an undefined attribute 0x4001 on both sides
+        // (Table 4 marks WhatsApp's 0x0003/0x0103 non-compliant).
+        let txid = rng.txid();
+        let alloc_req = MessageBuilder::new(stun::msg_type::ALLOCATE_REQUEST, txid)
+            .attribute(attr::REQUESTED_TRANSPORT, vec![17, 0, 0, 0])
+            .attribute(0x4001, rng.bytes(8))
+            .build();
+        let t_alloc = scenario.call_start.plus_millis(200);
+        let rtt = sink.rtt_us();
+        sink.push(t_alloc, a_ctl, alloc_req);
+        let alloc_resp = MessageBuilder::new(stun::msg_type::ALLOCATE_SUCCESS, txid)
+            .attribute(attr::XOR_RELAYED_ADDRESS, stun::encode_xor_address(relay, &txid))
+            .attribute(attr::LIFETIME, 600u32.to_be_bytes().to_vec())
+            .attribute(0x4001, rng.bytes(8))
+            .build();
+        sink.push(t_alloc.plus_micros(rtt), a_ctl.reversed(), alloc_resp);
+
+        // DTLS-like handshake burst: not an RTC protocol, so the DPI reports
+        // these datagrams as fully proprietary (Table 2's 0.4 %).
+        for i in 0..12u64 {
+            let mut p = vec![0x16, 0xFE, 0xFD]; // DTLS handshake, version 1.2
+            p.extend_from_slice(&rng.bytes_range(80, 240));
+            sink.push(scenario.call_start.plus_millis(300 + i * 35), a_ctl, p);
+        }
+
+        // --- Media phases ---------------------------------------------------
+        let phases = phase_plan(scenario, a_media, b_media, relay);
+        for (pi, phase) in phases.iter().enumerate() {
+            for (li, leg) in phase.legs.iter().enumerate() {
+                let mut leg_rng = rng.fork(&format!("p{pi}l{li}"));
+                self.media_leg(sink, &mut leg_rng, *leg, phase.start, phase.end, sc, li);
+            }
+        }
+
+        // --- In-call STUN ----------------------------------------------------
+        // Compliant Binding Request keepalives (the one compliant type),
+        // answered with 0x0101 responses that carry an undefined attribute.
+        let mut t = scenario.call_start.plus_secs(3);
+        while t < scenario.call_end() {
+            let (req, txid) = ice::binding_request(&mut rng, &[]);
+            let rtt = sink.rtt_us();
+            sink.push(t, a_ctl, req);
+            let resp = MessageBuilder::new(stun::msg_type::BINDING_SUCCESS, txid)
+                .attribute(attr::XOR_MAPPED_ADDRESS, stun::encode_xor_address(a_media, &txid))
+                .attribute(0x4005, rng.bytes(4))
+                .build();
+            sink.push(t.plus_micros(rtt), a_ctl.reversed(), resp);
+            t = t.plus_secs(4);
+        }
+        // Undefined keepalive variants 0x0803/0x0804/0x0805 (Table 4).
+        let mut t = scenario.call_start.plus_secs(6);
+        let mut variant = 0u16;
+        while t < scenario.call_end() {
+            let msg = MessageBuilder::new(0x0803 + variant % 3, rng.txid())
+                .attribute(0x4003, vec![0xFF])
+                .build();
+            sink.push(t, a_ctl, msg);
+            variant += 1;
+            t = t.plus_secs(18);
+        }
+
+        // --- Call termination -------------------------------------------------
+        // Four 0x0800 messages to the Allocate-phase servers, just before
+        // the call tears down (§5.2.1).
+        let teardown = Timestamp::from_micros(scenario.call_end().as_micros() - 400_000);
+        for i in 0..4u64 {
+            let txid = rng.txid();
+            let msg = MessageBuilder::new(0x0800, txid)
+                .attribute(0x4000, rng.bytes(4))
+                .attribute(attr::XOR_RELAYED_ADDRESS, stun::encode_xor_address(relay, &txid))
+                .build();
+            sink.push(teardown.plus_micros(i * 900), a_ctl, msg);
+        }
+
+        self.signaling_tcp(scenario, sink, &mut rng, a);
+    }
+}
+
+impl WhatsApp {
+    fn media_leg(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+        leg_index: usize,
+    ) {
+        // Audio on 120 (Opus-style); video cycles 97/103/105/106 through the
+        // call so the full Table 5 inventory appears (fully compliant RTP).
+        // SSRCs are randomized per call (RFC 3550-conformant) — only Zoom
+        // reuses deterministic SSRC sets across calls (§5.2.2).
+        let audio_ssrc = 0x00A0_0000 | (rng.next_u32() & 0x000F_FFF0) | leg_index as u32;
+        let video_ssrc = 0x00B0_0000 | (rng.next_u32() & 0x000F_FFF0) | leg_index as u32;
+        let mut audio = RtpStream::audio(120, audio_ssrc, rng);
+        let mut video = RtpStream::video(97, video_ssrc, rng);
+        let video_pts = [97u8, 103, 105, 106];
+        let span = end.micros_since(start).max(1);
+
+        for t in ticks(rng, start, end, 50.0 * sc) {
+            let bytes = audio.next_builder(rng).build();
+            sink.push_lossy(t, tuple, bytes);
+        }
+        for t in ticks(rng, start, end, 60.0 * sc) {
+            let seg = (t.micros_since(start) * video_pts.len() as u64 / span).min(video_pts.len() as u64 - 1);
+            video.payload_type = video_pts[seg as usize];
+            let bytes = video.next_builder(rng).build();
+            sink.push_lossy(t, tuple, bytes);
+        }
+
+        // Fully compliant RTCP: SR+SDES compounds and feedback (200/202/205/206).
+        let peer = video_ssrc ^ 1;
+        pump_control(sink, rng, tuple, start, end, (0.7 * sc).max(0.04), |rng, i| {
+            if i % 3 == 2 {
+                let mut c = compliant_rtpfb(rng, audio_ssrc, peer);
+                c.extend_from_slice(&compliant_psfb(rng, audio_ssrc, peer));
+                c
+            } else {
+                let mut c = compliant_sr(rng, video_ssrc, peer);
+                c.extend_from_slice(&compliant_sdes(rng, video_ssrc));
+                c
+            }
+        });
+    }
+
+    fn signaling_tcp(&self, scenario: &CallScenario, sink: &mut TrafficSink, rng: &mut DetRng, a: std::net::IpAddr) {
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(2);
+        let tuple =
+            FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("whatsapp", "signaling", 0));
+        let mut t = scenario.call_start.plus_secs(2);
+        while t < scenario.call_end() {
+            sink.push(t, tuple, rng.bytes_range(50, 160));
+            t = t.plus_secs(15);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_netemu::NetworkConfig;
+    use rtc_wire::rtcp;
+    use rtc_wire::rtp::Packet;
+    use rtc_wire::stun::Message;
+
+    fn run(network: NetworkConfig, secs: u64) -> (CallScenario, Vec<rtc_pcap::trace::Datagram>) {
+        let s = CallScenario::new(Application::WhatsApp, network, 21).scaled(secs, 0.15);
+        let mut sink = TrafficSink::new(s.network.path_profile(), s.rng().fork("path"));
+        WhatsApp.generate(&s, &mut sink);
+        (s, sink.finish().datagrams())
+    }
+
+    #[test]
+    fn prejoin_burst_is_sixteen_pairs_in_2ms() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 30);
+        let mut pairs: Vec<(rtc_pcap::Timestamp, Vec<u8>)> = Vec::new();
+        let mut replies = std::collections::HashMap::new();
+        for d in &dgrams {
+            if let Ok(m) = Message::new_checked(&d.payload) {
+                match m.message_type() {
+                    0x0801 => pairs.push((d.ts, m.transaction_id().to_vec())),
+                    0x0802 => {
+                        replies.insert(m.transaction_id().to_vec(), d.payload.len());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(pairs.len(), 16);
+        assert_eq!(replies.len(), 16);
+        // Every 0x0801 has a same-txid 0x0802 of 40 bytes.
+        for (_, txid) in &pairs {
+            assert_eq!(replies.get(txid), Some(&40));
+        }
+        // The burst spans roughly 2.2 ms.
+        let span = pairs.last().unwrap().0.micros_since(pairs[0].0);
+        assert!((1_500..3_500).contains(&span), "span {span}us");
+    }
+
+    #[test]
+    fn call_end_0x0800_messages() {
+        let (s, dgrams) = run(NetworkConfig::WifiRelay, 30);
+        let enders: Vec<_> = dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok().map(|m| (d, m)))
+            .filter(|(_, m)| m.message_type() == 0x0800)
+            .collect();
+        assert_eq!(enders.len(), 4);
+        let near_end = rtc_pcap::Timestamp::from_micros(s.call_end().as_micros() - 2_000_000);
+        for (d, m) in &enders {
+            assert!(d.ts < s.call_end());
+            assert!(d.ts > near_end);
+            assert!(m.attribute(0x4000).is_some());
+            assert!(m.attribute(rtc_wire::stun::attr::XOR_RELAYED_ADDRESS).is_some());
+        }
+    }
+
+    #[test]
+    fn stun_type_inventory_matches_table4() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 60);
+        let types: std::collections::HashSet<u16> = dgrams
+            .iter()
+            .filter_map(|d| Message::new_checked(&d.payload).ok())
+            .map(|m| m.message_type())
+            .collect();
+        for expect in [0x0001u16, 0x0101, 0x0800, 0x0801, 0x0802, 0x0803, 0x0804, 0x0805, 0x0003, 0x0103] {
+            assert!(types.contains(&expect), "missing type {expect:#06x} in {types:?}");
+        }
+    }
+
+    #[test]
+    fn rtp_payload_types_match_table5_and_are_extension_free() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 60);
+        let mut seen = std::collections::HashSet::new();
+        for d in &dgrams {
+            if let Ok(p) = Packet::new_checked(&d.payload) {
+                if (0x00A0_0000..0x00C0_0000).contains(&p.ssrc()) {
+                    assert!(WHATSAPP_RTP_PAYLOAD_TYPES.contains(&p.payload_type()), "pt {}", p.payload_type());
+                    assert!(p.extension().is_none());
+                    seen.insert(p.payload_type());
+                }
+            }
+        }
+        assert_eq!(seen.len(), WHATSAPP_RTP_PAYLOAD_TYPES.len(), "saw {seen:?}");
+    }
+
+    #[test]
+    fn rtcp_types_match_table6() {
+        let (_, dgrams) = run(NetworkConfig::WifiP2p, 60);
+        let mut seen = std::collections::HashSet::new();
+        for d in &dgrams {
+            let (packets, rest) = rtcp::split_compound(&d.payload);
+            if !packets.is_empty() && rest.is_empty() {
+                for p in packets {
+                    seen.insert(p.packet_type());
+                }
+            }
+        }
+        assert_eq!(seen, [200u8, 202, 205, 206].into_iter().collect());
+    }
+
+    #[test]
+    fn dtls_burst_present() {
+        let (_, dgrams) = run(NetworkConfig::WifiRelay, 30);
+        let dtls = dgrams.iter().filter(|d| d.payload.starts_with(&[0x16, 0xFE, 0xFD])).count();
+        assert_eq!(dtls, 12);
+    }
+
+    #[test]
+    fn cellular_switches_relay_to_p2p() {
+        let (s, dgrams) = run(NetworkConfig::Cellular, 60);
+        let [a, b] = s.device_ips();
+        let p2p_media = dgrams
+            .iter()
+            .filter(|d| d.five_tuple.src.ip() == a && d.five_tuple.dst.ip() == b)
+            .filter(|d| Packet::new_checked(&d.payload).is_ok())
+            .count();
+        let relay_media = dgrams
+            .iter()
+            .filter(|d| d.five_tuple.src.ip() == a && d.five_tuple.dst.ip() != b)
+            .filter(|d| Packet::new_checked(&d.payload).is_ok())
+            .count();
+        assert!(p2p_media > 0, "p2p media after the switch");
+        assert!(relay_media > 0, "relay media before the switch");
+        // P2P phase (30..60 s) should carry roughly as much media as the relay
+        // phase (0..30 s).
+        let ratio = p2p_media as f64 / relay_media.max(1) as f64;
+        assert!(ratio > 0.3, "ratio {ratio}");
+    }
+}

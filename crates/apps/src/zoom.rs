@@ -1,0 +1,560 @@
+//! The Zoom traffic model.
+//!
+//! Behaviours reproduced (paper sections in parentheses):
+//!
+//! * every RTP/RTCP datagram sits behind a 24–39-byte proprietary header
+//!   with an SFU section (direction byte, 4-byte per-stream media ID) and a
+//!   media section (type 15 = audio RTP, 16 = video RTP, 33–35 = RTCP);
+//!   in relay-path settings 6.9 % of packets use the additional type-7
+//!   wrapper, flipping the direction byte to 0x01/0x05 (§5.3),
+//! * 1000-byte constant-value *filler* datagrams in ramp-up bursts at each
+//!   stream start — to 500 pps in relay mode, 180 pps in P2P — plus
+//!   occasional intra-call bursts; 53 % of Zoom's fully proprietary
+//!   traffic (§5.3),
+//! * deterministic, per-network-configuration SSRC sets that never change
+//!   across calls (§5.2.2),
+//! * 0.21 % of RTP datagrams carry **two** RTP messages: a 7-byte-payload
+//!   PT-110 runt followed by a full message with the same SSRC and
+//!   timestamp but an unrelated sequence number (§5.3),
+//! * legacy RFC 3489 STUN (no magic cookie) with undefined attributes:
+//!   0x0101 (a 20-byte ASCII "1234567890"×2) in Binding Requests and
+//!   0x0103 (8 bytes) in server-sent Shared Secret Requests (0x0002);
+//!   launch-time STUN happens pre-call, mid-call STUN only in Wi-Fi P2P
+//!   (§5.2.1, Table 4),
+//! * a wide RTP payload-type vocabulary (Table 5), cycled through by the
+//!   media streams so the full inventory appears in every call.
+
+use crate::media::{compliant_sdes, compliant_sr, ticks, RtpStream};
+use crate::{AppModel, Application, CallScenario};
+use rtc_netemu::{DetRng, NetworkConfig, TrafficSink, TransmissionMode};
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::rtp::PacketBuilder;
+use rtc_wire::stun::MessageBuilder;
+use std::net::SocketAddr;
+
+/// The RTP payload types observed in Zoom traffic (paper Table 5).
+pub const ZOOM_RTP_PAYLOAD_TYPES: &[u8] = &[
+    0, 3, 4, 5, 10, 12, 13, 19, 20, 25, 33, 35, 38, 41, 45, 46, 49, 59, 68, 69, 74, 75, 82, 83,
+    89, 92, 93, 95, 98, 99, 102, 103, 104, 105, 106, 107, 108, 109, 110, 111, 112, 113, 114, 115,
+    116, 117, 118, 119, 120, 121, 123, 126, 127,
+];
+
+/// The fixed SSRC set Zoom uses in each network setting (§5.2.2):
+/// `[caller video, callee video, caller audio, callee audio]`.
+pub fn zoom_ssrcs(network: NetworkConfig) -> [u32; 4] {
+    match network {
+        NetworkConfig::Cellular => [0x0100_1401, 0x0100_1402, 0x0100_0401, 0x0100_0402],
+        NetworkConfig::WifiP2p => [0x0100_0801, 0x0100_0802, 0x0100_0401, 0x0100_0402],
+        NetworkConfig::WifiRelay => [0x0100_0C01, 0x0100_0C02, 0x0100_0401, 0x0100_0402],
+    }
+}
+
+/// Media-section type codes in the proprietary header (§5.3, after [25]).
+pub mod media_type {
+    /// Audio RTP.
+    pub const AUDIO: u8 = 15;
+    /// Video RTP.
+    pub const VIDEO: u8 = 16;
+    /// RTCP (33–35 observed; we emit 33).
+    pub const RTCP: u8 = 33;
+    /// The wrapper type enclosing one of the above.
+    pub const WRAPPER: u8 = 7;
+}
+
+/// Build Zoom's proprietary header for one packet.
+///
+/// Layout (derived from §5.3 and the prior Zoom-measurement work it cites):
+/// SFU section = direction byte, 4-byte media ID, 2-byte sequence, 4-byte
+/// timestamp, 4 reserved bytes; media section = type byte, flags, 2-byte
+/// length, then type-dependent padding. Totals land in 24–39 bytes:
+/// audio 24, video 27, RTCP 31, +8 when the type-7 wrapper is present.
+pub fn zoom_header(
+    rng: &mut DetRng,
+    to_server: bool,
+    wrapped: bool,
+    media_id: u32,
+    mtype: u8,
+    seq: u16,
+    inner_len: usize,
+) -> Vec<u8> {
+    let mut h = Vec::with_capacity(39);
+    let dir = match (to_server, wrapped) {
+        (true, false) => 0x00,
+        (false, false) => 0x04,
+        (true, true) => 0x01,
+        (false, true) => 0x05,
+    };
+    h.push(dir);
+    h.extend_from_slice(&media_id.to_be_bytes());
+    h.extend_from_slice(&seq.to_be_bytes());
+    h.extend_from_slice(&(rng.next_u32()).to_be_bytes());
+    h.extend_from_slice(&[0x5A, 0x4D, 0x00, 0x00]); // reserved
+    if wrapped {
+        h.push(media_type::WRAPPER);
+        h.push(0);
+        h.extend_from_slice(&((inner_len + 12) as u16).to_be_bytes());
+        h.extend_from_slice(&rng.next_u32().to_be_bytes());
+    }
+    h.push(mtype);
+    h.push(0);
+    h.extend_from_slice(&(inner_len as u16).to_be_bytes());
+    let pad = match mtype {
+        media_type::AUDIO => 5,
+        media_type::VIDEO => 8,
+        _ => 12,
+    };
+    // Padding bytes with low values so no offset inside the header can match
+    // the RTP (version 2) or RTCP structural patterns.
+    h.extend((0..pad).map(|_| (rng.below(0x30)) as u8 | 0x01));
+    h
+}
+
+/// The Zoom application model.
+#[derive(Debug, Clone, Copy)]
+pub struct Zoom;
+
+struct Leg {
+    tuple: FiveTuple,
+    to_server: bool,
+    video_ssrc: u32,
+    audio_ssrc: u32,
+    /// Index used to spread the payload-type inventory across legs.
+    index: usize,
+}
+
+impl AppModel for Zoom {
+    fn application(&self) -> Application {
+        Application::Zoom
+    }
+
+    fn generate(&self, scenario: &CallScenario, sink: &mut TrafficSink) {
+        let mut rng = scenario.rng().fork("zoom");
+        let sc = scenario.scale;
+        let [a, b] = scenario.device_ips();
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(0);
+        let mode = scenario.app.transmission_mode(scenario.network, 0);
+        let ssrcs = zoom_ssrcs(scenario.network);
+
+        let a_media = SocketAddr::new(a, ports.ephemeral_port());
+        let b_media = SocketAddr::new(b, ports.ephemeral_port());
+        let sfu = alloc.app_server("zoom", "sfu", 0);
+
+        let legs: Vec<Leg> = match mode {
+            TransmissionMode::Relay => vec![
+                Leg { tuple: FiveTuple::udp(a_media, sfu), to_server: true, video_ssrc: ssrcs[0], audio_ssrc: ssrcs[2], index: 0 },
+                Leg { tuple: FiveTuple::udp(sfu, a_media), to_server: false, video_ssrc: ssrcs[1], audio_ssrc: ssrcs[3], index: 1 },
+                Leg { tuple: FiveTuple::udp(b_media, sfu), to_server: true, video_ssrc: ssrcs[1], audio_ssrc: ssrcs[3], index: 2 },
+                Leg { tuple: FiveTuple::udp(sfu, b_media), to_server: false, video_ssrc: ssrcs[0], audio_ssrc: ssrcs[2], index: 3 },
+            ],
+            TransmissionMode::P2p => vec![
+                Leg { tuple: FiveTuple::udp(a_media, b_media), to_server: true, video_ssrc: ssrcs[0], audio_ssrc: ssrcs[2], index: 0 },
+                Leg { tuple: FiveTuple::udp(b_media, a_media), to_server: false, video_ssrc: ssrcs[1], audio_ssrc: ssrcs[3], index: 1 },
+            ],
+        };
+
+        let media_start = scenario.call_start.plus_millis(800);
+        let media_end = scenario.call_end();
+        let wrapper_eligible = matches!(mode, TransmissionMode::Relay);
+
+        for leg in &legs {
+            let mut leg_rng = rng.fork(&format!("leg{}", leg.index));
+            self.media_leg(scenario, sink, &mut leg_rng, leg, media_start, media_end, sc, wrapper_eligible);
+            self.filler_bursts(sink, &mut leg_rng, leg.tuple, media_start, media_end, mode, sc);
+            self.control_datagrams(sink, &mut leg_rng, leg.tuple, media_start, media_end, sc);
+        }
+
+        self.stun_traffic(scenario, sink, &mut rng, a, b);
+        self.signaling_tcp(scenario, sink, &mut rng, a);
+    }
+}
+
+impl Zoom {
+    /// Payload types assigned to leg `index`: a strided slice of the full
+    /// inventory so four legs jointly cover all of Table 5's list.
+    fn leg_payload_types(index: usize, legs: usize) -> Vec<u8> {
+        ZOOM_RTP_PAYLOAD_TYPES.iter().copied().skip(index % legs).step_by(legs).collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn media_leg(
+        &self,
+        _scenario: &CallScenario,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        leg: &Leg,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+        wrapper_eligible: bool,
+    ) {
+        // Constrain every media-ID byte below 0x40: no byte of the constant
+        // SFU section may carry the RTP/RTCP version-2 bit pattern, which
+        // would otherwise let a fixed header offset impersonate a
+        // sequence-consistent RTP stream to the DPI.
+        let media_id = rng.next_u32() & 0x3F3F_3F3F;
+        let span = end.micros_since(start).max(1);
+        let stride = if wrapper_eligible { 4 } else { 2 };
+        let pts = Self::leg_payload_types(leg.index, stride);
+        let segments = pts.len() as u64;
+
+        let mut audio = RtpStream::audio(pts[0], leg.audio_ssrc, rng);
+        let mut video = RtpStream::video(pts[0], leg.video_ssrc, rng);
+        let mut runt_seq: u16 = rng.below(1000) as u16 + 40_000;
+        let mut hdr_seq: u16 = 0;
+
+        // Audio packets.
+        for t in ticks(rng, start, end, 50.0 * sc) {
+            let seg = ((t.micros_since(start)) * segments / span).min(segments - 1);
+            audio.payload_type = pts[seg as usize];
+            let inner = audio.next_builder(rng).build();
+            let wrapped = wrapper_eligible && rng.chance(0.069);
+            let mut dgram =
+                zoom_header(rng, leg.to_server, wrapped, media_id, media_type::AUDIO, hdr_seq, inner.len());
+            hdr_seq = hdr_seq.wrapping_add(1);
+            dgram.extend_from_slice(&inner);
+            sink.push_lossy(t, leg.tuple, dgram);
+        }
+
+        // Video packets, with the 0.21 % double-RTP phenomenon on leg 0 (§5.3:
+        // all double-RTP datagrams belong to one stream per call).
+        for t in ticks(rng, start, end, 60.0 * sc) {
+            let seg = ((t.micros_since(start)) * segments / span).min(segments - 1);
+            video.payload_type = pts[seg as usize];
+            let double = leg.index == 0 && rng.chance(0.0021);
+            let wrapped = wrapper_eligible && rng.chance(0.069);
+            let inner = if double {
+                video.payload_type = 110;
+                let full = video.next_builder(rng).build();
+                let full_pkt = rtc_wire::rtp::Packet::new_checked(&full).expect("own packet");
+                let runt = PacketBuilder::new(110, runt_seq, full_pkt.timestamp(), leg.video_ssrc)
+                    .payload(vec![0x11; 7])
+                    .build();
+                runt_seq = runt_seq.wrapping_add(1);
+                let mut both = runt;
+                both.extend_from_slice(&full);
+                both
+            } else {
+                video.next_builder(rng).build()
+            };
+            let mut dgram =
+                zoom_header(rng, leg.to_server, wrapped, media_id, media_type::VIDEO, hdr_seq, inner.len());
+            hdr_seq = hdr_seq.wrapping_add(1);
+            dgram.extend_from_slice(&inner);
+            sink.push_lossy(t, leg.tuple, dgram);
+        }
+
+        // RTCP: SR + SDES compound behind the proprietary header (compliant
+        // inner messages — Table 3: Zoom RTCP 2/2).
+        let peer_ssrc = leg.video_ssrc ^ 0x0000_0003;
+        for t in ticks(rng, start, end, (0.9 * sc).max(0.02)) {
+            let mut compound = compliant_sr(rng, leg.video_ssrc, peer_ssrc);
+            compound.extend_from_slice(&compliant_sdes(rng, leg.video_ssrc));
+            let mut dgram =
+                zoom_header(rng, leg.to_server, false, media_id, media_type::RTCP, hdr_seq, compound.len());
+            hdr_seq = hdr_seq.wrapping_add(1);
+            dgram.extend_from_slice(&compound);
+            sink.push(t, leg.tuple, dgram);
+        }
+    }
+
+    /// Filler bursts (§5.3): 1000 identical bytes per datagram, ramping from
+    /// zero to the mode's peak rate over 10–20 s at stream start, plus an
+    /// occasional intra-call burst.
+    fn filler_bursts(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        mode: TransmissionMode,
+        sc: f64,
+    ) {
+        let peak = match mode {
+            TransmissionMode::Relay => 500.0,
+            TransmissionMode::P2p => 180.0,
+        } * sc;
+        let mut burst_starts = vec![start];
+        let span_s = end.micros_since(start) / 1_000_000;
+        if span_s > 120 && rng.chance(0.7) {
+            burst_starts.push(start.plus_secs(rng.range(60, span_s - 30)));
+        }
+        for (i, bs) in burst_starts.into_iter().enumerate() {
+            let dur_s = rng.range(10, 21);
+            let fill: u8 = 0x01 + (i as u8 % 6);
+            let payload = vec![fill; 1000];
+            // Step the ramp in 100 ms slots.
+            for slot in 0..dur_s * 10 {
+                let t = bs.plus_millis(slot * 100);
+                if t >= end {
+                    break;
+                }
+                let rate = peak * (slot as f64 / (dur_s * 10) as f64);
+                let expect = rate / 10.0;
+                let mut n = expect.floor() as u64;
+                if rng.chance(expect.fract()) {
+                    n += 1;
+                }
+                for j in 0..n {
+                    sink.push(t.plus_micros(j * (100_000 / n.max(1))), tuple, payload.clone());
+                }
+            }
+        }
+    }
+
+    /// The remaining fully proprietary control datagrams (the other 47 % of
+    /// Zoom's fully proprietary traffic).
+    fn control_datagrams(
+        &self,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        tuple: FiveTuple,
+        start: Timestamp,
+        end: Timestamp,
+        sc: f64,
+    ) {
+        for t in ticks(rng, start, end, 9.0 * sc) {
+            let len = rng.range(40, 120) as usize;
+            let mut payload = vec![0x0B, 0x00];
+            // Low-valued bytes: cannot match the RTP/RTCP version pattern.
+            payload.extend((0..len).map(|_| (rng.below(0x3F)) as u8));
+            sink.push(t, tuple, payload);
+        }
+    }
+
+    /// Legacy RFC 3489 STUN with Zoom's undefined attributes (§5.2.1):
+    /// launch-time exchange pre-call in every setting; mid-call exchanges
+    /// only in Wi-Fi P2P.
+    fn stun_traffic(
+        &self,
+        scenario: &CallScenario,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        a: std::net::IpAddr,
+        _b: std::net::IpAddr,
+    ) {
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(1);
+        // Launch-time and in-call STUN use different pool members; a real
+        // deployment resolves different servers, and the stage-2 3-tuple
+        // filter would otherwise (correctly) treat a server also seen
+        // pre-call as background activity.
+        let launch_server = alloc.app_server("zoom", "stun", 1);
+        let call_server = alloc.app_server("zoom", "stun", 0);
+        let client = SocketAddr::new(a, ports.ephemeral_port());
+        let launch_tuple = FiveTuple::udp(client, launch_server);
+        let tuple = FiveTuple::udp(SocketAddr::new(a, ports.ephemeral_port()), call_server);
+
+        let exchange = |sink: &mut TrafficSink, rng: &mut DetRng, t: Timestamp, tuple: FiveTuple| {
+            // Binding Request with undefined attribute 0x0101:
+            // "1234567890" twice, 20 ASCII bytes.
+            let req = MessageBuilder::new_legacy(0x0001, rng.bytes(4).try_into().unwrap(), rng.txid())
+                .attribute(0x0101, b"12345678901234567890".to_vec())
+                .build();
+            sink.push(t, tuple, req);
+            // Server-sent Shared Secret Request with undefined 0x0103 (8 bytes).
+            let rtt = sink.rtt_us();
+            let ssr = MessageBuilder::new_legacy(0x0002, rng.bytes(4).try_into().unwrap(), rng.txid())
+                .attribute(0x0103, rng.bytes(8))
+                .build();
+            sink.push(t.plus_micros(rtt), tuple.reversed(), ssr);
+        };
+
+        // Launch-time STUN: pre-call, in every configuration. The stream sits
+        // outside the call window, so stage-1 filtering removes it — matching
+        // the paper's observation that RTC traffic contains Zoom STUN only in
+        // Wi-Fi P2P calls.
+        let launch = scenario.capture_start().plus_secs(3);
+        exchange(sink, rng, launch, launch_tuple);
+
+        if matches!(scenario.network, NetworkConfig::WifiP2p) {
+            let mut t = scenario.call_start.plus_secs(2);
+            while t < scenario.call_end() {
+                exchange(sink, rng, t, tuple);
+                t = t.plus_secs(10);
+            }
+        }
+    }
+
+    /// In-call signaling heartbeat over TCP (survives filtering: it is part
+    /// of the call session — the paper's Table 1 keeps a small RTC TCP tail).
+    fn signaling_tcp(
+        &self,
+        scenario: &CallScenario,
+        sink: &mut TrafficSink,
+        rng: &mut DetRng,
+        a: std::net::IpAddr,
+    ) {
+        let alloc = scenario.allocator();
+        let mut ports = scenario.port_allocator(2);
+        let tuple = FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("zoom", "signaling", 0));
+        let mut t = scenario.call_start.plus_secs(1);
+        while t < scenario.call_end() {
+            sink.push(t, tuple, rng.bytes_range(60, 200));
+            sink.push(t.plus_millis(80), tuple.reversed(), rng.bytes_range(40, 120));
+            t = t.plus_secs(10);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_wire::rtp::Packet;
+
+    fn scenario(network: NetworkConfig) -> CallScenario {
+        CallScenario::new(Application::Zoom, network, 42).scaled(40, 0.2)
+    }
+
+    fn run(network: NetworkConfig) -> Vec<rtc_pcap::trace::Datagram> {
+        let s = scenario(network);
+        let mut sink = TrafficSink::new(s.network.path_profile(), s.rng().fork("path"));
+        Zoom.generate(&s, &mut sink);
+        sink.finish().datagrams()
+    }
+
+    #[test]
+    fn every_media_datagram_has_proprietary_header() {
+        let dgrams = run(NetworkConfig::WifiRelay);
+        let media: Vec<_> = dgrams
+            .iter()
+            .filter(|d| d.payload.len() > 100 && d.payload.len() != 1000 && d.five_tuple.transport == rtc_wire::ip::Transport::Udp)
+            .collect();
+        assert!(!media.is_empty());
+        // No RTP at offset zero anywhere: the header always comes first.
+        for d in &media {
+            if let Ok(p) = Packet::new_checked(&d.payload) {
+                // Could only happen if header bytes coincidentally parsed.
+                assert_ne!(p.version(), 2, "unexpected bare RTP at offset 0");
+            }
+        }
+    }
+
+    #[test]
+    fn header_lengths_in_paper_range() {
+        let mut rng = DetRng::new(1);
+        for (mtype, wrapped) in [(media_type::AUDIO, false), (media_type::VIDEO, false), (media_type::RTCP, false), (media_type::AUDIO, true), (media_type::RTCP, true)] {
+            let h = zoom_header(&mut rng, true, wrapped, 7, mtype, 0, 500);
+            assert!((24..=39).contains(&h.len()), "len {} for type {mtype} wrapped={wrapped}", h.len());
+        }
+    }
+
+    #[test]
+    fn filler_datagrams_present_and_constant() {
+        let dgrams = run(NetworkConfig::WifiRelay);
+        let fillers: Vec<_> = dgrams
+            .iter()
+            .filter(|d| d.payload.len() == 1000 && d.payload.iter().all(|&b| b == d.payload[0]))
+            .collect();
+        assert!(!fillers.is_empty());
+        for f in &fillers {
+            assert!((0x01..=0x06).contains(&f.payload[0]));
+        }
+    }
+
+    #[test]
+    fn ssrc_sets_match_paper_and_are_stable() {
+        for net in NetworkConfig::ALL {
+            let expected = zoom_ssrcs(net);
+            let dgrams = run(net);
+            let mut seen = std::collections::HashSet::new();
+            for d in &dgrams {
+                // Find RTP behind the header by scanning offsets.
+                for off in 20..40.min(d.payload.len()) {
+                    if let Ok(p) = Packet::new_checked(&d.payload[off..]) {
+                        if expected.contains(&p.ssrc()) {
+                            seen.insert(p.ssrc());
+                        }
+                    }
+                }
+            }
+            assert!(seen.len() >= 2, "network {net}: saw {seen:?}");
+            assert!(seen.iter().all(|s| expected.contains(s)));
+        }
+    }
+
+    #[test]
+    fn wifi_p2p_has_midcall_legacy_stun() {
+        let s = scenario(NetworkConfig::WifiP2p);
+        let dgrams = run(NetworkConfig::WifiP2p);
+        let stun_in_call: Vec<_> = dgrams
+            .iter()
+            .filter(|d| d.ts >= s.call_start && d.ts < s.call_end())
+            .filter_map(|d| rtc_wire::stun::Message::new_checked(&d.payload).ok())
+            .collect();
+        assert!(!stun_in_call.is_empty());
+        assert!(stun_in_call.iter().all(|m| !m.has_magic_cookie()), "zoom stun must be legacy");
+        let types: std::collections::HashSet<u16> = stun_in_call.iter().map(|m| m.message_type()).collect();
+        assert!(types.contains(&0x0001));
+        assert!(types.contains(&0x0002));
+    }
+
+    #[test]
+    fn relay_has_no_midcall_stun() {
+        let s = scenario(NetworkConfig::WifiRelay);
+        let dgrams = run(NetworkConfig::WifiRelay);
+        // A handful of random control datagrams can satisfy the *structural*
+        // STUN pattern; a plausible STUN message must also cover the datagram
+        // exactly (this is what the DPI's validation stage checks).
+        let stun_in_call = dgrams
+            .iter()
+            .filter(|d| d.ts >= s.call_start && d.ts < s.call_end())
+            .filter_map(|d| rtc_wire::stun::Message::new_checked(&d.payload).ok().map(|m| (d, m)))
+            .filter(|(d, m)| m.wire_len() == d.payload.len())
+            .count();
+        assert_eq!(stun_in_call, 0);
+    }
+
+    #[test]
+    fn payload_type_inventory_is_covered() {
+        let dgrams = run(NetworkConfig::WifiRelay);
+        let mut seen = std::collections::HashSet::new();
+        for d in &dgrams {
+            for off in 20..40.min(d.payload.len()) {
+                if let Ok(p) = Packet::new_checked(&d.payload[off..]) {
+                    if zoom_ssrcs(NetworkConfig::WifiRelay).contains(&p.ssrc()) {
+                        seen.insert(p.payload_type());
+                    }
+                }
+            }
+        }
+        // All observed types come from the Table 5 inventory, and coverage is
+        // broad even in a short scaled-down call.
+        assert!(seen.iter().all(|pt| ZOOM_RTP_PAYLOAD_TYPES.contains(pt)));
+        assert!(seen.len() > 20, "covered {} types", seen.len());
+    }
+
+    #[test]
+    fn double_rtp_datagrams_appear_in_long_calls() {
+        let s = CallScenario::new(Application::Zoom, NetworkConfig::WifiRelay, 43).scaled(120, 1.0);
+        let mut sink = TrafficSink::new(s.network.path_profile(), s.rng().fork("path"));
+        Zoom.generate(&s, &mut sink);
+        let dgrams = sink.finish().datagrams();
+        let mut doubles = 0;
+        for d in &dgrams {
+            // A double-RTP datagram holds a 19-byte runt (12-byte header +
+            // 7-byte payload) immediately followed by a full RTP message with
+            // the same SSRC and timestamp.
+            for off in 20..40.min(d.payload.len().saturating_sub(19)) {
+                let (Ok(runt), Ok(full)) = (
+                    Packet::new_checked(&d.payload[off..]),
+                    Packet::new_checked(&d.payload[off + 19..]),
+                ) else {
+                    continue;
+                };
+                if runt.payload_type() == 110
+                    && full.payload_type() == 110
+                    && runt.ssrc() == full.ssrc()
+                    && runt.timestamp() == full.timestamp()
+                    && zoom_ssrcs(NetworkConfig::WifiRelay).contains(&runt.ssrc())
+                {
+                    assert_ne!(full.sequence_number(), runt.sequence_number().wrapping_add(1));
+                    doubles += 1;
+                }
+            }
+        }
+        assert!(doubles > 0, "expected some double-RTP datagrams");
+    }
+}

@@ -1,0 +1,85 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Filter slack** (§3.2.1's ±2 s call-window expansion): sweeping the
+//!    slack shows the boundary traffic a tight window would lose (call-edge
+//!    control messages like WhatsApp's teardown burst) and that a loose one
+//!    admits background streams.
+//! 2. **RTP validation strictness** (the `(stream, SSRC)` group-size
+//!    threshold): too lax admits offset-aliasing false positives (phantom
+//!    payload types); too strict drops short genuine streams. The sweep
+//!    counts validated messages and *unexpected* payload types (those
+//!    outside the app's known inventory — a direct false-positive proxy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (cap, config) = rtc_bench::shared_capture();
+    let datagrams = cap.trace.datagrams();
+    let window = cap.manifest.call_window();
+
+    // ---- Ablation 1: filter slack sweep. -------------------------------
+    // WhatsApp on cellular exercises the boundaries hardest: a mid-call
+    // relay→P2P switch plus a teardown burst 400 ms before call end.
+    let wa = rtc_core::capture::run_call(
+        &config.experiment,
+        rtc_core::apps::Application::WhatsApp,
+        rtc_core::netemu::NetworkConfig::Cellular,
+        0,
+    );
+    let wa_dgrams = wa.trace.datagrams();
+    let wa_window = wa.manifest.call_window();
+    println!("\n== Ablation: stage-1 call-window slack (WhatsApp cellular call) ==");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>14}  {:>14}",
+        "slack", "RTC dgrams", "RTC streams", "stage1 streams", "stage2 streams"
+    );
+    for slack_ms in [0u64, 500, 2_000, 10_000, 60_000] {
+        let cfg = rtc_core::filter::FilterConfig { slack_us: slack_ms * 1_000, ..Default::default() };
+        let r = rtc_core::filter::run(&wa_dgrams, wa_window, &cfg);
+        println!(
+            "{:>8}ms  {:>12}  {:>12}  {:>14}  {:>14}",
+            slack_ms, r.rtc.udp_datagrams, r.rtc.udp_streams, r.stage1.udp_streams, r.stage2.udp_streams
+        );
+    }
+
+    // ---- Ablation 2: RTP validation group-size sweep. -------------------
+    let fr = rtc_core::filter::run(&datagrams, window, &config.filter);
+    let rtc_udp = fr.rtc_udp_datagrams();
+    let known: std::collections::HashSet<u8> =
+        rtc_core::apps::zoom::ZOOM_RTP_PAYLOAD_TYPES.iter().copied().collect();
+    println!("\n== Ablation: RTP validation min group size (Zoom relay call) ==");
+    println!("{:>10}  {:>14}  {:>22}", "min_group", "RTP messages", "phantom payload types");
+    for min_group in [1usize, 2, 3, 5, 8, 16] {
+        let d = rtc_core::dpi::dissect_call(
+            &rtc_udp,
+            &rtc_core::dpi::DpiConfig { rtp_min_group: min_group, ..Default::default() },
+        );
+        let mut messages = 0usize;
+        let mut phantom: std::collections::HashSet<u8> = Default::default();
+        for dd in &d.datagrams {
+            for m in &dd.messages {
+                if let rtc_core::dpi::CandidateKind::Rtp { payload_type, .. } = m.kind {
+                    messages += 1;
+                    if !known.contains(&payload_type) {
+                        phantom.insert(payload_type);
+                    }
+                }
+            }
+        }
+        println!("{min_group:>10}  {messages:>14}  {:>22}", phantom.len());
+    }
+
+    // Criterion timing for the two knobs at their defaults.
+    let mut g = c.benchmark_group("ablations");
+    for slack_ms in [0u64, 2_000] {
+        g.bench_with_input(BenchmarkId::new("filter_slack_ms", slack_ms), &slack_ms, |b, &ms| {
+            let cfg = rtc_core::filter::FilterConfig { slack_us: ms * 1_000, ..Default::default() };
+            b.iter(|| black_box(rtc_core::filter::run(black_box(&datagrams), window, &cfg).rtc.udp_datagrams))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! The §4.1.1 ablation: candidate-extraction depth `k` versus recall and
+//! cost. The paper found k = 200 recovers the same validated message set as
+//! a full-payload scan while bounding runtime; this bench reproduces both
+//! halves of that claim — the recall table is printed, the cost measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (cap, config) = rtc_bench::shared_capture();
+    let datagrams = cap.trace.datagrams();
+    let fr = rtc_core::filter::run(&datagrams, cap.manifest.call_window(), &config.filter);
+    let rtc_udp = fr.rtc_udp_datagrams();
+    let bytes: usize = rtc_udp.iter().map(|d| d.payload.len()).sum();
+
+    // Recall table (the in-text §4.1.1 result).
+    println!("\n== DPI offset sweep (Zoom relay call, {} datagrams) ==", rtc_udp.len());
+    println!("{:>8}  {:>10}  {:>16}", "k", "messages", "fully-proprietary");
+    let full = dissect_count(&rtc_udp, usize::MAX);
+    for k in [8usize, 16, 32, 64, 128, 200, 400] {
+        let (msgs, fully) = dissect_count_pair(&rtc_udp, k);
+        println!("{k:>8}  {msgs:>10}  {fully:>16}");
+    }
+    let (msgs_200, _) = dissect_count_pair(&rtc_udp, 200);
+    println!("{:>8}  {:>10}", "full", full);
+    assert_eq!(msgs_200, full, "k=200 must match the full-payload scan (§4.1.1)");
+
+    let mut group = c.benchmark_group("dpi_offset_sweep");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    for k in [16usize, 64, 200, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let d = rtc_core::dpi::dissect_call(
+                    black_box(&rtc_udp),
+                    &rtc_core::dpi::DpiConfig { max_offset: k, ..Default::default() },
+                );
+                black_box(d.datagrams.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn dissect_count(d: &[rtc_core::pcap::trace::Datagram], k: usize) -> usize {
+    dissect_count_pair(d, k).0
+}
+
+fn dissect_count_pair(d: &[rtc_core::pcap::trace::Datagram], k: usize) -> (usize, usize) {
+    let out = rtc_core::dpi::dissect_call(d, &rtc_core::dpi::DpiConfig { max_offset: k, ..Default::default() });
+    let msgs = out.datagrams.iter().map(|x| x.messages.len()).sum();
+    let fully = out
+        .datagrams
+        .iter()
+        .filter(|x| x.class == rtc_core::dpi::DatagramClass::FullyProprietary)
+        .count();
+    (msgs, fully)
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

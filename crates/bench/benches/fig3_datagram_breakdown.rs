@@ -1,0 +1,26 @@
+//! Regenerates Figure 3 (datagram breakdown: standard vs proprietary) and
+//! benchmarks the classification step in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = rtc_bench::shared_study();
+    rtc_bench::print_artifact(
+        report,
+        rtc_core::Artifact::Figure3,
+        "Figure 3 — paper: Zoom ~100% proprietary (≈80% headers + ≈20% fully proprietary); \
+         FaceTime 72.3% proprietary headers; WhatsApp/Messenger/Discord/Meet almost entirely \
+         standard",
+    );
+    c.bench_function("report/figure3_class_shares", |b| {
+        b.iter(|| {
+            for app in report.data.apps() {
+                black_box(report.data.app_class_shares(&app));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 5 (compliance ratio by message type) and benchmarks
+//! the type metric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = rtc_bench::shared_study();
+    rtc_bench::print_artifact(
+        report,
+        rtc_core::Artifact::Figure5,
+        "Figure 5 — paper: STUN/TURN and RTCP have the highest type-level non-compliance \
+         (≈50% and ≈55% of types violate); RTP strong (71/80); QUIC perfect; Discord 0%, \
+         Zoom the most compliant application",
+    );
+    c.bench_function("report/figure5_type_metric", |b| {
+        b.iter(|| {
+            for p in rtc_core::dpi::Protocol::ALL {
+                black_box(report.data.protocol_type_ratio(p));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Wire-parser micro-benchmarks: the per-message cost floor under the DPI.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Representative messages.
+    let stun = rtc_core::wire::stun::MessageBuilder::new(0x0001, [7; 12])
+        .attribute(rtc_core::wire::stun::attr::USERNAME, b"abcd:efgh".to_vec())
+        .attribute(rtc_core::wire::stun::attr::PRIORITY, vec![0x6E, 0, 1, 0xFF])
+        .attribute(rtc_core::wire::stun::attr::ICE_CONTROLLING, vec![9; 8])
+        .attribute(rtc_core::wire::stun::attr::MESSAGE_INTEGRITY, vec![1; 20])
+        .attribute(rtc_core::wire::stun::attr::FINGERPRINT, vec![2; 4])
+        .build();
+    let rtp = rtc_core::wire::rtp::PacketBuilder::new(96, 42, 90_000, 0xDEAD_BEEF)
+        .one_byte_extension(&[(1, &[0x30]), (3, &[1, 2])])
+        .payload(vec![0xAB; 1000])
+        .build();
+    let mut rtcp = rtc_core::wire::rtcp::SenderReport {
+        ssrc: 1,
+        ntp_timestamp: 2,
+        rtp_timestamp: 3,
+        packet_count: 4,
+        octet_count: 5,
+        reports: vec![],
+    }
+    .build();
+    rtcp.extend(
+        rtc_core::wire::rtcp::Sdes {
+            chunks: vec![rtc_core::wire::rtcp::SdesChunk {
+                ssrc: 1,
+                items: vec![(rtc_core::wire::rtcp::sdes_item::CNAME, b"user@example".to_vec())],
+            }],
+        }
+        .build(),
+    );
+    let mut quic = rtc_core::wire::quic::LongHeader {
+        fixed_bit: true,
+        long_type: rtc_core::wire::quic::LongType::Initial,
+        type_specific: 0,
+        version: rtc_core::wire::quic::VERSION_1,
+        dcid: vec![1; 8],
+        scid: vec![2; 8],
+        header_len: 0,
+    }
+    .build();
+    quic.extend_from_slice(&[0xEE; 1200]);
+    let tls = rtc_core::wire::tls::build_client_hello(Some("media.example.com"), [3; 32]);
+
+    let mut g = c.benchmark_group("parsers");
+    g.throughput(Throughput::Bytes(stun.len() as u64));
+    g.bench_function("stun_parse_walk", |b| {
+        b.iter(|| {
+            let m = rtc_core::wire::stun::Message::new_checked(black_box(&stun)).unwrap();
+            black_box(m.attributes().flatten().count())
+        })
+    });
+    g.throughput(Throughput::Bytes(rtp.len() as u64));
+    g.bench_function("rtp_parse_with_extension", |b| {
+        b.iter(|| {
+            let p = rtc_core::wire::rtp::Packet::new_checked(black_box(&rtp)).unwrap();
+            black_box((p.ssrc(), p.extension().map(|e| e.one_byte_elements().len())))
+        })
+    });
+    g.throughput(Throughput::Bytes(rtcp.len() as u64));
+    g.bench_function("rtcp_compound_split", |b| {
+        b.iter(|| {
+            let (packets, trailer) = rtc_core::wire::rtcp::split_compound(black_box(&rtcp));
+            black_box((packets.len(), trailer.len()))
+        })
+    });
+    g.throughput(Throughput::Bytes(quic.len() as u64));
+    g.bench_function("quic_long_header_parse", |b| {
+        b.iter(|| black_box(rtc_core::wire::quic::LongHeader::parse(black_box(&quic)).unwrap().header_len))
+    });
+    g.throughput(Throughput::Bytes(tls.len() as u64));
+    g.bench_function("tls_sni_extract", |b| {
+        b.iter(|| black_box(rtc_core::wire::tls::client_hello_sni(black_box(&tls)).unwrap()))
+    });
+    g.finish();
+
+    // Candidate extraction across a dense media payload.
+    let mut g = c.benchmark_group("dpi_candidate_extraction");
+    g.throughput(Throughput::Bytes(rtp.len() as u64));
+    g.bench_function("k200_over_1kB_rtp", |b| {
+        b.iter(|| black_box(rtc_core::dpi::extract_candidates(black_box(&rtp), 200).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end pipeline throughput: decode → filter → DPI → compliance over
+//! one full Zoom relay call, reported in datagrams and bytes per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (cap, config) = rtc_bench::shared_capture();
+    let n_dgrams = cap.trace.datagrams().len();
+    let bytes = cap.trace.total_bytes();
+    println!(
+        "\n== pipeline corpus: {} datagrams, {:.1} MB (Zoom relay call) ==",
+        n_dgrams,
+        bytes as f64 / 1e6
+    );
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_dgrams as u64));
+    g.bench_function("analyze_capture_full", |b| {
+        b.iter(|| black_box(rtc_core::analyze_capture(black_box(cap), config).record.checked.messages.len()))
+    });
+
+    let datagrams = cap.trace.datagrams();
+    let fr = rtc_core::filter::run(&datagrams, cap.manifest.call_window(), &config.filter);
+    let rtc_udp = fr.rtc_udp_datagrams();
+    g.throughput(Throughput::Elements(rtc_udp.len() as u64));
+    g.bench_function("dpi_dissect_call", |b| {
+        b.iter(|| black_box(rtc_core::dpi::dissect_call(black_box(&rtc_udp), &config.dpi).datagrams.len()))
+    });
+    let dissection = rtc_core::dpi::dissect_call(&rtc_udp, &config.dpi);
+    g.bench_function("compliance_check_call", |b| {
+        b.iter(|| black_box(rtc_core::compliance::check_call(black_box(&dissection)).messages.len()))
+    });
+    g.bench_function("pcap_decode", |b| {
+        b.iter(|| black_box(cap.trace.datagrams().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

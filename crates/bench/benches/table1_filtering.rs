@@ -1,0 +1,31 @@
+//! Regenerates Table 1 (traffic traces and filtering progress) and
+//! benchmarks the two-stage filter over one call's datagrams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = rtc_bench::shared_study();
+    rtc_bench::print_artifact(
+        report,
+        rtc_core::Artifact::Table1,
+        "Table 1 — shape: most UDP datagrams survive filtering as RTC traffic; \
+         hundreds of background streams and most TCP segments are removed in stages 1-2",
+    );
+
+    let (cap, config) = rtc_bench::shared_capture();
+    let datagrams = cap.trace.datagrams();
+    let window = cap.manifest.call_window();
+    c.bench_function("filter/two_stage_zoom_relay_call", |b| {
+        b.iter(|| {
+            let r = rtc_core::filter::run(black_box(&datagrams), window, &config.filter);
+            black_box(r.rtc.udp_datagrams)
+        })
+    });
+    c.bench_function("filter/stream_grouping_only", |b| {
+        b.iter(|| black_box(rtc_core::filter::group_streams(black_box(&datagrams)).len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

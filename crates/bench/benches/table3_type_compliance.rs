@@ -1,0 +1,26 @@
+//! Regenerates Table 3 (compliance ratio by message type) and benchmarks
+//! the type-metric aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = rtc_bench::shared_study();
+    rtc_bench::print_artifact(
+        report,
+        rtc_core::Artifact::Table3,
+        "Table 3 — paper: Zoom 52/54 (ours carries the full Table-5 RTP list), FaceTime 4/13, \
+         WhatsApp 10/19, Messenger 20/27, Discord 0/9, Meet 26/34; bottom row STUN 27/50, \
+         RTCP 10/22, QUIC 4/4",
+    );
+    c.bench_function("report/type_metric_all_apps", |b| {
+        b.iter(|| {
+            for app in report.data.apps() {
+                black_box(report.data.app_type_ratio_all(&app));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

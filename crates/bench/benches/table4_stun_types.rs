@@ -1,0 +1,25 @@
+//! Regenerates Table 4 (observed STUN/TURN message types per application).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = rtc_bench::shared_study();
+    rtc_bench::print_artifact(
+        report,
+        rtc_core::Artifact::Table4,
+        "Table 4 — paper: WhatsApp's undefined 0x0800-0x0805 family, Messenger's compliant TURN \
+         machinery, Meet compliant except Allocate ping-pong (0x0003), Zoom 0x0001/0x0002 legacy, \
+         FaceTime 0x0001/0x0017/0x0101/ChannelData all non-compliant",
+    );
+    c.bench_function("report/table4_type_lists", |b| {
+        b.iter(|| {
+            for app in report.data.apps() {
+                black_box(report.data.app_type_lists(&app, rtc_core::dpi::Protocol::StunTurn));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

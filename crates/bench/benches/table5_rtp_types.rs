@@ -1,0 +1,25 @@
+//! Regenerates Table 5 (observed RTP payload types per application).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = rtc_bench::shared_study();
+    rtc_bench::print_artifact(
+        report,
+        rtc_core::Artifact::Table5,
+        "Table 5 — paper: Zoom's ~50-type static+dynamic vocabulary all compliant; FaceTime's \
+         5 types all non-compliant (undefined extension profiles); Discord's 4 all non-compliant \
+         (reserved-ID-0 abuse, undefined profiles on PT 120); WhatsApp/Messenger/Meet compliant",
+    );
+    c.bench_function("report/table5_type_lists", |b| {
+        b.iter(|| {
+            for app in report.data.apps() {
+                black_box(report.data.app_type_lists(&app, rtc_core::dpi::Protocol::Rtp));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

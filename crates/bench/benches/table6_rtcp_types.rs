@@ -1,0 +1,25 @@
+//! Regenerates Table 6 (observed RTCP packet types per application).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = rtc_bench::shared_study();
+    rtc_bench::print_artifact(
+        report,
+        rtc_core::Artifact::Table6,
+        "Table 6 — paper: Zoom 200/202 and WhatsApp 200/202/205/206 and Messenger 200/201/205/206 \
+         compliant; Discord 200/201/204/205/206 all non-compliant (proprietary trailer); Meet \
+         200-207 all non-compliant (missing SRTCP auth tag on relayed Wi-Fi)",
+    );
+    c.bench_function("report/table6_type_lists", |b| {
+        b.iter(|| {
+            for app in report.data.apps() {
+                black_box(report.data.app_type_lists(&app, rtc_core::dpi::Protocol::Rtcp));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

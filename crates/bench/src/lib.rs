@@ -1,0 +1,50 @@
+//! Shared setup for the benchmark suite.
+//!
+//! Every table/figure bench regenerates its artifact from the same scaled
+//! study (the numbers it prints are what `EXPERIMENTS.md` records), then
+//! benchmarks the aggregation step with Criterion. Scale notes: the paper's
+//! dataset is 90 five-minute calls; the bench corpus is 36 ninety-second
+//! calls at 20 % traffic rate — all reported metrics are ratios and
+//! reproduce at this scale (the integration tests assert the same values;
+//! calls must exceed 60 s so sub-minute periodic behaviours like TURN
+//! Refresh appear).
+
+use rtc_core::{Study, StudyConfig, StudyReport};
+use std::sync::OnceLock;
+
+/// The bench study: the full 6 × 3 matrix, 2 repeats, 90-second calls at
+/// 20 % rate. Built once per process.
+pub fn shared_study() -> &'static StudyReport {
+    static REPORT: OnceLock<StudyReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let mut config = StudyConfig::paper_matrix(90, 0.2, 424_242);
+        config.experiment.repeats = 2;
+        eprintln!("[rtc-bench] generating and analyzing {} calls ...", config.experiment.total_calls());
+        let t0 = std::time::Instant::now();
+        let report = Study::run(&config);
+        eprintln!("[rtc-bench] study ready in {:.1?}", t0.elapsed());
+        report
+    })
+}
+
+/// One prepared call capture for pipeline benches (Zoom relay: the densest
+/// and most adversarial traffic mix).
+pub fn shared_capture() -> &'static (rtc_core::CallCapture, StudyConfig) {
+    static CAP: OnceLock<(rtc_core::CallCapture, StudyConfig)> = OnceLock::new();
+    CAP.get_or_init(|| {
+        let config = StudyConfig::paper_matrix(60, 0.2, 9_999);
+        let cap = rtc_core::capture::run_call(
+            &config.experiment,
+            rtc_core::apps::Application::Zoom,
+            rtc_core::netemu::NetworkConfig::WifiRelay,
+            0,
+        );
+        (cap, config)
+    })
+}
+
+/// Print a regenerated artifact with a paper-comparison banner.
+pub fn print_artifact(report: &StudyReport, artifact: rtc_core::Artifact, paper_note: &str) {
+    println!("\n{}", report.render_table(artifact));
+    println!("paper reference: {paper_note}\n");
+}

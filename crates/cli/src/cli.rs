@@ -1,0 +1,401 @@
+//! Command-line interface logic for `rtc-study` — kept in a library so the
+//! argument parsing and command dispatch are unit-testable.
+//!
+//! Subcommands:
+//!
+//! * `run` — execute the study matrix and print/export every artifact,
+//! * `generate` — emit one emulated call as a pcap + JSON manifest,
+//! * `dissect` — analyze an arbitrary pcap/pcapng capture,
+//! * `tables` — list the artifacts and the paper sections they reproduce.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rtc_core::{Artifact, Study, StudyConfig};
+use std::path::PathBuf;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run the study matrix.
+    Run {
+        /// Call duration in seconds.
+        call_secs: u64,
+        /// Traffic scale in (0, 1].
+        scale: f64,
+        /// Repeats per (app, network) cell.
+        repeats: usize,
+        /// Experiment seed.
+        seed: u64,
+        /// Restrict to these app slugs (empty = all six).
+        apps: Vec<String>,
+        /// Restrict to these network labels (empty = all three).
+        networks: Vec<String>,
+        /// Export directory for CSV/JSON artifacts.
+        out: Option<PathBuf>,
+    },
+    /// Generate one emulated call capture.
+    Generate {
+        /// Application slug.
+        app: String,
+        /// Network label.
+        network: String,
+        /// Output pcap path (a sibling `.json` manifest is written too).
+        out: PathBuf,
+        /// Call duration in seconds.
+        call_secs: u64,
+        /// Experiment seed.
+        seed: u64,
+    },
+    /// Dissect a capture file.
+    Dissect {
+        /// pcap or pcapng path.
+        path: PathBuf,
+        /// Optional call window (seconds) to enable filtering.
+        window: Option<(u64, u64)>,
+    },
+    /// List artifacts.
+    Tables,
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rtc-study — the RTC protocol-compliance study pipeline
+
+USAGE:
+  rtc-study run [--secs N] [--scale F] [--repeats N] [--seed N]
+                [--apps a,b] [--networks x,y] [--out DIR]
+  rtc-study generate <app> <network> <out.pcap> [--secs N] [--seed N]
+  rtc-study dissect <capture.pcap[ng]> [--window START END]
+  rtc-study tables
+  rtc-study help
+
+apps:     zoom facetime whatsapp messenger discord meet
+networks: wifi-p2p wifi-relay cellular
+";
+
+/// Parse a command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "tables" => Ok(Command::Tables),
+        "run" => {
+            let mut call_secs = 120u64;
+            let mut scale = 0.25f64;
+            let mut repeats = 3usize;
+            let mut seed = 2025u64;
+            let mut apps = Vec::new();
+            let mut networks = Vec::new();
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--secs" => call_secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+                    "--scale" => scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+                    "--repeats" => repeats = value("--repeats")?.parse().map_err(|e| format!("--repeats: {e}"))?,
+                    "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    "--apps" => apps = value("--apps")?.split(',').map(|s| s.trim().to_string()).collect(),
+                    "--networks" => {
+                        networks = value("--networks")?.split(',').map(|s| s.trim().to_string()).collect()
+                    }
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
+                return Err("--scale must be in (0, 1]".into());
+            }
+            Ok(Command::Run { call_secs, scale, repeats, seed, apps, networks, out })
+        }
+        "generate" => {
+            let app = it.next().cloned().ok_or("generate: missing <app>")?;
+            let network = it.next().cloned().ok_or("generate: missing <network>")?;
+            let out = PathBuf::from(it.next().cloned().ok_or("generate: missing <out.pcap>")?);
+            let mut call_secs = 60u64;
+            let mut seed = 7u64;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--secs" => call_secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+                    "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if rtc_core::apps::Application::from_slug(&app).is_none() {
+                return Err(format!("unknown app '{app}'"));
+            }
+            if rtc_core::netemu::NetworkConfig::from_label(&network).is_none() {
+                return Err(format!("unknown network '{network}'"));
+            }
+            Ok(Command::Generate { app, network, out, call_secs, seed })
+        }
+        "dissect" => {
+            let path = PathBuf::from(it.next().cloned().ok_or("dissect: missing <capture>")?);
+            let mut window = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--window" => {
+                        let a: u64 = it
+                            .next()
+                            .ok_or("--window needs START END")?
+                            .parse()
+                            .map_err(|e| format!("--window: {e}"))?;
+                        let b: u64 = it
+                            .next()
+                            .ok_or("--window needs START END")?
+                            .parse()
+                            .map_err(|e| format!("--window: {e}"))?;
+                        window = Some((a, b));
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Dissect { path, window })
+        }
+        other => Err(format!("unknown command '{other}'; try `rtc-study help`")),
+    }
+}
+
+/// Execute a parsed command, writing human-readable output to `out`.
+/// Returns the process exit code.
+pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(0)
+        }
+        Command::Tables => {
+            writeln!(out, "artifact   paper section")?;
+            for (a, note) in [
+                (Artifact::Table1, "Table 1 — traffic traces and filtering progress (§3.3)"),
+                (Artifact::Table2, "Table 2 — message distribution by protocol (§4.1.3)"),
+                (Artifact::Table3, "Table 3 — compliance ratio by message type (§5.1.2)"),
+                (Artifact::Table4, "Table 4 — observed STUN/TURN message types (§5.1.2)"),
+                (Artifact::Table5, "Table 5 — observed RTP payload types (§5.1.2)"),
+                (Artifact::Table6, "Table 6 — observed RTCP packet types (§5.1.2)"),
+                (Artifact::Figure3, "Figure 3 — standard vs proprietary datagrams (§4.1.3)"),
+                (Artifact::Figure4, "Figure 4 — compliance by traffic volume (§5.1.1)"),
+                (Artifact::Figure5, "Figure 5 — compliance by message type (§5.1.2)"),
+            ] {
+                writeln!(out, "{a:?}     {note}")?;
+            }
+            Ok(0)
+        }
+        Command::Run { call_secs, scale, repeats, seed, apps, networks, out: out_dir } => {
+            let mut config = StudyConfig::paper_matrix(call_secs, scale, seed);
+            config.experiment.repeats = repeats;
+            if !apps.is_empty() {
+                config.experiment.apps = apps;
+            }
+            if !networks.is_empty() {
+                config.experiment.networks = networks;
+            }
+            writeln!(
+                out,
+                "running {} calls ({call_secs}s at scale {scale}, seed {seed}) ...",
+                config.experiment.total_calls()
+            )?;
+            let report = Study::run(&config);
+            writeln!(out, "{}", report.render_all())?;
+            if let Some(dir) = out_dir {
+                std::fs::create_dir_all(&dir)?;
+                for a in Artifact::ALL {
+                    let name = format!("{a:?}").to_lowercase();
+                    std::fs::write(dir.join(format!("{name}.csv")), report.render_csv(a))?;
+                    std::fs::write(dir.join(format!("{name}.txt")), report.render_table(a))?;
+                }
+                let summary = rtc_core::report::json::study_to_json(&report.data);
+                std::fs::write(dir.join("summary.json"), serde_json::to_string_pretty(&summary)?)?;
+                writeln!(out, "artifacts exported to {}", dir.display())?;
+            }
+            Ok(0)
+        }
+        Command::Generate { app, network, out: path, call_secs, seed } => {
+            let mut config = StudyConfig::smoke(seed);
+            config.experiment.call_secs = call_secs;
+            config.experiment.scale = 0.25;
+            let capture = rtc_core::capture::run_call(
+                &config.experiment,
+                rtc_core::apps::Application::from_slug(&app).expect("validated at parse"),
+                rtc_core::netemu::NetworkConfig::from_label(&network).expect("validated at parse"),
+                0,
+            );
+            rtc_core::pcap::write_file(&path, &capture.trace)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let manifest_path = path.with_extension("json");
+            std::fs::write(&manifest_path, serde_json::to_string_pretty(&capture.manifest)?)?;
+            writeln!(
+                out,
+                "wrote {} ({} records) and {}",
+                path.display(),
+                capture.trace.records.len(),
+                manifest_path.display()
+            )?;
+            Ok(0)
+        }
+        Command::Dissect { path, window } => {
+            let trace = rtc_core::pcap::read_file_any(&path).map_err(|e| std::io::Error::other(e.to_string()))?;
+            let datagrams = trace.datagrams();
+            writeln!(out, "{}: {} decodable packets", path.display(), datagrams.len())?;
+            let config = StudyConfig::smoke(0);
+            let rtc_udp = match window {
+                Some((a, b)) => {
+                    let w = (
+                        rtc_core::pcap::Timestamp::from_secs(a),
+                        rtc_core::pcap::Timestamp::from_secs(b),
+                    );
+                    rtc_core::filter::run(&datagrams, w, &config.filter).rtc_udp_datagrams()
+                }
+                None => datagrams
+                    .into_iter()
+                    .filter(|d| d.five_tuple.transport == rtc_core::wire::ip::Transport::Udp)
+                    .collect(),
+            };
+            let dissection = rtc_core::dpi::dissect_call(&rtc_udp, &config.dpi);
+            let checked = rtc_core::compliance::check_call(&dissection);
+            let (by_proto, fully) = dissection.message_distribution();
+            for (p, n) in &by_proto {
+                writeln!(out, "  {p}: {n} messages")?;
+            }
+            writeln!(out, "  fully proprietary datagrams: {fully}")?;
+            writeln!(
+                out,
+                "  volume compliance: {:.1}% over {} messages",
+                checked.volume_compliance() * 100.0,
+                checked.messages.len()
+            )?;
+            let mut by_type: std::collections::BTreeMap<_, (usize, usize)> = Default::default();
+            for m in &checked.messages {
+                let e = by_type.entry((m.protocol, m.type_key)).or_insert((0, 0));
+                e.1 += 1;
+                e.0 += m.is_compliant() as usize;
+            }
+            for ((p, t), (ok, total)) in by_type {
+                writeln!(out, "  {p} type {t}: {ok}/{total} compliant")?;
+            }
+            for profile in rtc_core::dpi::proprietary::profile_streams(&dissection, 20) {
+                writeln!(out, "  header profile: {}", profile.summary())?;
+            }
+            for f in rtc_core::compliance::findings::detect_call(&dissection) {
+                writeln!(out, "  finding: {}", f.detail)?;
+            }
+            Ok(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("tables")).unwrap(), Command::Tables);
+    }
+
+    #[test]
+    fn parse_run_flags() {
+        let c = parse(&args("run --secs 90 --scale 0.5 --repeats 2 --seed 9 --apps zoom,discord --out /tmp/x"))
+            .unwrap();
+        match c {
+            Command::Run { call_secs, scale, repeats, seed, apps, networks, out } => {
+                assert_eq!(call_secs, 90);
+                assert!((scale - 0.5).abs() < 1e-9);
+                assert_eq!(repeats, 2);
+                assert_eq!(seed, 9);
+                assert_eq!(apps, vec!["zoom", "discord"]);
+                assert!(networks.is_empty());
+                assert_eq!(out, Some(PathBuf::from("/tmp/x")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&args("run --scale 2.0")).is_err());
+        assert!(parse(&args("run --bogus 1")).is_err());
+        assert!(parse(&args("generate nosuchapp wifi-p2p out.pcap")).is_err());
+        assert!(parse(&args("generate zoom nosuchnet out.pcap")).is_err());
+        assert!(parse(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parse_generate_and_dissect() {
+        let c = parse(&args("generate meet cellular /tmp/meet.pcap --secs 45 --seed 3")).unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                app: "meet".into(),
+                network: "cellular".into(),
+                out: PathBuf::from("/tmp/meet.pcap"),
+                call_secs: 45,
+                seed: 3
+            }
+        );
+        let c = parse(&args("dissect /tmp/meet.pcap --window 60 105")).unwrap();
+        assert_eq!(c, Command::Dissect { path: PathBuf::from("/tmp/meet.pcap"), window: Some((60, 105)) });
+    }
+
+    #[test]
+    fn help_and_tables_execute() {
+        let mut buf = Vec::new();
+        assert_eq!(execute(Command::Help, &mut buf).unwrap(), 0);
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+        let mut buf = Vec::new();
+        assert_eq!(execute(Command::Tables, &mut buf).unwrap(), 0);
+        assert!(String::from_utf8(buf).unwrap().contains("Figure 4"));
+    }
+
+    #[test]
+    fn generate_then_dissect_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rtc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("call.pcap");
+        let mut buf = Vec::new();
+        execute(
+            Command::Generate {
+                app: "discord".into(),
+                network: "wifi-p2p".into(),
+                out: pcap.clone(),
+                call_secs: 20,
+                seed: 5,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert!(pcap.exists());
+        // The manifest tells us the call window.
+        let manifest: rtc_core::capture::CallManifest =
+            serde_json::from_str(&std::fs::read_to_string(pcap.with_extension("json")).unwrap()).unwrap();
+        let mut buf = Vec::new();
+        execute(
+            Command::Dissect {
+                path: pcap.clone(),
+                window: Some((manifest.call_start_us / 1_000_000, manifest.call_end_us / 1_000_000)),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("RTP"), "{text}");
+        assert!(text.contains("compliant"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! `rtc-study` — command-line entry point for the RTC protocol-compliance
+//! study pipeline. See `rtc-study help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match rtc_cli::parse(&args) {
+        Ok(cmd) => rtc_cli::execute(cmd, &mut std::io::stdout()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            1
+        }),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", rtc_cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

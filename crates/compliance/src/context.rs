@@ -1,0 +1,245 @@
+//! Stream-context analysis feeding the contextual criteria.
+//!
+//! Three of the paper's checks cannot be decided from a single message:
+//!
+//! * *sequential transaction IDs* (criterion 2's example): Messenger's
+//!   Binding Requests count up instead of being random,
+//! * *over-retransmission* (criterion 5): FaceTime re-sends the same
+//!   Binding Request — identical transaction ID — once per second for a
+//!   minute with no response; RFC 8489 §6.2.1 allows at most 7
+//!   transmissions of a request,
+//! * *Allocate ping-pong* (criterion 5's example): Google Meet repurposes
+//!   Allocate Requests as a periodic connectivity check.
+
+use rtc_dpi::{CallDissection, CandidateKind};
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::stun::{msg_type, Message, MessageClass};
+use std::collections::{HashMap, HashSet};
+
+/// Key identifying a STUN message occurrence for context flags.
+pub type StunKey = (FiveTuple, [u8; 12]);
+
+/// Context facts consulted by the STUN checker.
+#[derive(Debug, Default)]
+pub struct CallContext {
+    /// Requests whose transaction IDs form a sequential run.
+    pub sequential_txids: HashSet<StunKey>,
+    /// Requests retransmitted with one transaction ID more than the RFC's
+    /// 7-transmission budget, without any response.
+    pub over_retransmitted: HashSet<StunKey>,
+    /// Allocate Requests that are part of a ping-pong pattern (repeated
+    /// Allocates after the stream already completed an allocation).
+    pub pingpong_allocates: HashSet<StunKey>,
+}
+
+impl CallContext {
+    /// Analyze all STUN messages of a dissected call.
+    pub fn build(dissection: &CallDissection) -> CallContext {
+        let mut ctx = CallContext::default();
+
+        // Gather per-stream request/response observations in capture order.
+        struct Obs {
+            txid: [u8; 12],
+            message_type: u16,
+        }
+        let mut requests: HashMap<FiveTuple, Vec<Obs>> = HashMap::new();
+        let mut responded: HashSet<StunKey> = HashSet::new();
+        let mut allocate_successes: HashMap<FiveTuple, usize> = HashMap::new();
+
+        for (dgram, msg) in dissection.messages() {
+            let CandidateKind::Stun { message_type, .. } = msg.kind else {
+                continue;
+            };
+            let Ok(parsed) = Message::new_checked(&msg.data) else {
+                continue;
+            };
+            let mut txid = [0u8; 12];
+            txid.copy_from_slice(parsed.transaction_id());
+            match parsed.class() {
+                MessageClass::Request => {
+                    requests.entry(dgram.stream).or_default().push(Obs { txid, message_type });
+                }
+                MessageClass::SuccessResponse | MessageClass::ErrorResponse => {
+                    // A response pairs with the request on the reverse tuple.
+                    responded.insert((dgram.stream.reversed(), txid));
+                    if message_type == msg_type::ALLOCATE_SUCCESS {
+                        *allocate_successes.entry(dgram.stream.reversed()).or_default() += 1;
+                    }
+                }
+                MessageClass::Indication => {}
+            }
+        }
+
+        for (stream, obs) in &requests {
+            // --- Over-retransmission: one txid used more than 7 times, never
+            // answered.
+            let mut by_txid: HashMap<[u8; 12], usize> = HashMap::new();
+            for o in obs {
+                *by_txid.entry(o.txid).or_default() += 1;
+            }
+            for (txid, n) in by_txid {
+                if n > 7 && !responded.contains(&(*stream, txid)) {
+                    ctx.over_retransmitted.insert((*stream, txid));
+                }
+            }
+
+            // --- Sequential transaction IDs: interpret the trailing 8 bytes
+            // as a counter; a run of ≥ 3 unit increments flags the whole run.
+            let mut run: Vec<[u8; 12]> = Vec::new();
+            let mut prev: Option<u64> = None;
+            let flush = |run: &mut Vec<[u8; 12]>, ctx: &mut CallContext| {
+                if run.len() >= 4 {
+                    for t in run.iter() {
+                        ctx.sequential_txids.insert((*stream, *t));
+                    }
+                }
+                run.clear();
+            };
+            for o in obs {
+                let v = u64::from_be_bytes(o.txid[4..12].try_into().expect("8 bytes"));
+                match prev {
+                    Some(p) if v == p.wrapping_add(1) => run.push(o.txid),
+                    _ => {
+                        flush(&mut run, &mut ctx);
+                        run.push(o.txid);
+                    }
+                }
+                prev = Some(v);
+            }
+            flush(&mut run, &mut ctx);
+
+            // --- Allocate ping-pong: Allocate Requests sent after the stream
+            // already completed a successful allocation are connectivity
+            // checks in disguise. The setup handshake may legitimately retry
+            // (e.g. a 401 credentials round), so only post-success Allocates
+            // are flagged, and only when they recur.
+            let successes = allocate_successes.get(stream).copied().unwrap_or(0);
+            if successes >= 2 {
+                let allocs: Vec<&Obs> =
+                    obs.iter().filter(|o| o.message_type == msg_type::ALLOCATE_REQUEST).collect();
+                if allocs.len() >= 3 {
+                    for o in allocs.iter().skip(1) {
+                        ctx.pingpong_allocates.insert((*stream, o.txid));
+                    }
+                }
+            }
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rtc_dpi::{dissect_call, DpiConfig};
+    use rtc_pcap::trace::Datagram;
+    use rtc_pcap::Timestamp;
+    use rtc_wire::stun::MessageBuilder;
+
+    fn stream() -> FiveTuple {
+        FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "1.2.3.4:3478".parse().unwrap())
+    }
+
+    fn dgram(ts_ms: u64, tuple: FiveTuple, payload: Vec<u8>) -> Datagram {
+        Datagram { ts: Timestamp::from_millis(ts_ms), five_tuple: tuple, payload: Bytes::from(payload) }
+    }
+
+    fn ctx_of(datagrams: Vec<Datagram>) -> CallContext {
+        CallContext::build(&dissect_call(&datagrams, &DpiConfig::default()))
+    }
+
+    #[test]
+    fn sequential_txids_flagged() {
+        let mut d = Vec::new();
+        for i in 0..6u64 {
+            let mut txid = [0u8; 12];
+            txid[4..].copy_from_slice(&(1000 + i).to_be_bytes());
+            d.push(dgram(i * 100, stream(), MessageBuilder::new(0x0001, txid).build()));
+        }
+        let ctx = ctx_of(d);
+        assert_eq!(ctx.sequential_txids.len(), 6);
+    }
+
+    #[test]
+    fn random_txids_not_flagged() {
+        let mut d = Vec::new();
+        for i in 0..6u64 {
+            let mut txid = [0u8; 12];
+            txid[4..].copy_from_slice(&(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).to_be_bytes());
+            d.push(dgram(i * 100, stream(), MessageBuilder::new(0x0001, txid).build()));
+        }
+        let ctx = ctx_of(d);
+        assert!(ctx.sequential_txids.is_empty());
+    }
+
+    #[test]
+    fn over_retransmission_without_response() {
+        let txid = [7u8; 12];
+        let d: Vec<Datagram> =
+            (0..10).map(|i| dgram(i * 1000, stream(), MessageBuilder::new(0x0001, txid).build())).collect();
+        let ctx = ctx_of(d);
+        assert!(ctx.over_retransmitted.contains(&(stream(), txid)));
+    }
+
+    #[test]
+    fn answered_retransmissions_are_legal() {
+        let txid = [7u8; 12];
+        let mut d: Vec<Datagram> =
+            (0..10).map(|i| dgram(i * 1000, stream(), MessageBuilder::new(0x0001, txid).build())).collect();
+        let resp = MessageBuilder::new(0x0101, txid)
+            .attribute(rtc_wire::stun::attr::XOR_MAPPED_ADDRESS, vec![0, 1, 0, 80, 1, 2, 3, 4])
+            .build();
+        d.push(dgram(20_000, stream().reversed(), resp));
+        let ctx = ctx_of(d);
+        assert!(ctx.over_retransmitted.is_empty());
+    }
+
+    #[test]
+    fn allocate_pingpong_detection() {
+        let mut d = Vec::new();
+        let mk_alloc = |txid: [u8; 12]| {
+            MessageBuilder::new(0x0003, txid)
+                .attribute(rtc_wire::stun::attr::REQUESTED_TRANSPORT, vec![17, 0, 0, 0])
+                .build()
+        };
+        let mk_success = |txid: [u8; 12]| {
+            MessageBuilder::new(0x0103, txid)
+                .attribute(rtc_wire::stun::attr::XOR_RELAYED_ADDRESS, vec![0, 1, 0, 80, 9, 9, 9, 9])
+                .attribute(rtc_wire::stun::attr::XOR_MAPPED_ADDRESS, vec![0, 1, 0, 81, 9, 9, 9, 8])
+                .attribute(rtc_wire::stun::attr::LIFETIME, vec![0, 0, 2, 88])
+                .build()
+        };
+        for i in 0..5u8 {
+            let txid = [i + 1; 12];
+            d.push(dgram(i as u64 * 5000, stream(), mk_alloc(txid)));
+            d.push(dgram(i as u64 * 5000 + 50, stream().reversed(), mk_success(txid)));
+        }
+        let ctx = ctx_of(d);
+        assert_eq!(ctx.pingpong_allocates.len(), 4, "all but the first allocate flagged");
+        assert!(!ctx.pingpong_allocates.contains(&(stream(), [1; 12])));
+    }
+
+    #[test]
+    fn single_allocation_not_flagged() {
+        let txid = [1u8; 12];
+        let d = vec![
+            dgram(
+                0,
+                stream(),
+                MessageBuilder::new(0x0003, txid)
+                    .attribute(rtc_wire::stun::attr::REQUESTED_TRANSPORT, vec![17, 0, 0, 0])
+                    .build(),
+            ),
+            dgram(
+                50,
+                stream().reversed(),
+                MessageBuilder::new(0x0103, txid)
+                    .attribute(rtc_wire::stun::attr::XOR_RELAYED_ADDRESS, vec![0, 1, 0, 80, 9, 9, 9, 9])
+                    .build(),
+            ),
+        ];
+        let ctx = ctx_of(d);
+        assert!(ctx.pingpong_allocates.is_empty());
+    }
+}

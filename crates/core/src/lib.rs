@@ -1,0 +1,328 @@
+//! # rtc-core
+//!
+//! The end-to-end pipeline of the RTC protocol-compliance study — the
+//! crate a downstream user drives:
+//!
+//! ```text
+//! experiment matrix ──▶ emulated captures (pcap)     [rtc-capture]
+//!        ──▶ two-stage filtering                     [rtc-filter]
+//!        ──▶ offset-shifting DPI (Algorithm 1)       [rtc-dpi]
+//!        ──▶ five-criterion compliance checks        [rtc-compliance]
+//!        ──▶ tables, figures, findings               [rtc-report]
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rtc_core::{Study, StudyConfig};
+//!
+//! // A miniature version of the paper's 6-app × 3-network matrix.
+//! let mut config = StudyConfig::smoke(42);
+//! config.experiment.apps = vec!["whatsapp".into()];
+//! config.experiment.networks = vec!["wifi-p2p".into()];
+//! let report = Study::run(&config);
+//! println!("{}", report.render_table(rtc_core::Artifact::Table3));
+//! assert!(report.data.app_volume_compliance("WhatsApp") > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rtc_apps as apps;
+pub use rtc_capture as capture;
+pub use rtc_compliance as compliance;
+pub use rtc_dpi as dpi;
+pub use rtc_filter as filter;
+pub use rtc_netemu as netemu;
+pub use rtc_pcap as pcap;
+pub use rtc_report as report;
+pub use rtc_wire as wire;
+
+pub use rtc_capture::{CallCapture, ExperimentConfig};
+pub use rtc_compliance::findings::Finding;
+pub use rtc_report::{CallRecord, StudyData};
+
+use std::collections::BTreeMap;
+
+/// Study configuration: the experiment matrix plus analysis knobs.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// The call matrix to run.
+    pub experiment: ExperimentConfig,
+    /// Filtering configuration (§3.2).
+    pub filter: rtc_filter::FilterConfig,
+    /// DPI configuration (§4.1).
+    pub dpi: rtc_dpi::DpiConfig,
+}
+
+impl StudyConfig {
+    /// The paper's full matrix at a given call length / traffic scale.
+    pub fn paper_matrix(call_secs: u64, scale: f64, seed: u64) -> StudyConfig {
+        StudyConfig {
+            experiment: ExperimentConfig::paper_matrix(call_secs, scale, seed),
+            filter: rtc_filter::FilterConfig::default(),
+            dpi: rtc_dpi::DpiConfig::default(),
+        }
+    }
+
+    /// A fast miniature matrix (all apps and networks, short scaled calls).
+    pub fn smoke(seed: u64) -> StudyConfig {
+        StudyConfig {
+            experiment: ExperimentConfig::smoke(seed),
+            filter: rtc_filter::FilterConfig::default(),
+            dpi: rtc_dpi::DpiConfig::default(),
+        }
+    }
+}
+
+/// The analysis of one call, before aggregation.
+#[derive(Debug, Clone)]
+pub struct CallAnalysis {
+    /// Everything the report layer aggregates.
+    pub record: CallRecord,
+    /// The DPI dissection (kept for findings and debugging).
+    pub dissection: rtc_dpi::CallDissection,
+    /// Behavioral findings detected in this call (§5.3).
+    pub findings: Vec<Finding>,
+    /// Reverse-engineered proprietary-header profiles (§5.3 automation).
+    pub header_profiles: Vec<rtc_dpi::proprietary::HeaderProfile>,
+}
+
+/// Run the full per-call pipeline: decode → filter → DPI → compliance.
+pub fn analyze_capture(cap: &CallCapture, config: &StudyConfig) -> CallAnalysis {
+    let datagrams = cap.trace.datagrams();
+    let fr = rtc_filter::run(&datagrams, cap.manifest.call_window(), &config.filter);
+    let rtc_udp = fr.rtc_udp_datagrams();
+    let dissection = rtc_dpi::dissect_call(&rtc_udp, &config.dpi);
+    let checked = rtc_compliance::check_call(&dissection);
+    let findings = rtc_compliance::findings::detect_call(&dissection);
+    let header_profiles = rtc_dpi::proprietary::profile_streams(&dissection, 50);
+    let record = CallRecord {
+        app: cap.manifest.application().name().to_string(),
+        network: cap.manifest.network.clone(),
+        repeat: cap.manifest.repeat,
+        raw_bytes: cap.trace.total_bytes(),
+        raw: fr.raw,
+        stage1: fr.stage1,
+        stage2: fr.stage2,
+        rtc: fr.rtc,
+        classes: CallRecord::class_counts(&dissection),
+        checked,
+    };
+    CallAnalysis { record, dissection, findings, header_profiles }
+}
+
+/// The artifacts of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Artifact {
+    /// Table 1 — traffic and filtering summary.
+    Table1,
+    /// Table 2 — message distribution.
+    Table2,
+    /// Table 3 — type-compliance ratios.
+    Table3,
+    /// Table 4 — STUN/TURN type inventory.
+    Table4,
+    /// Table 5 — RTP type inventory.
+    Table5,
+    /// Table 6 — RTCP type inventory.
+    Table6,
+    /// Figure 3 — datagram breakdown.
+    Figure3,
+    /// Figure 4 — volume-based compliance.
+    Figure4,
+    /// Figure 5 — type-based compliance.
+    Figure5,
+}
+
+impl Artifact {
+    /// Every artifact, in the paper's order.
+    pub const ALL: [Artifact; 9] = [
+        Artifact::Table1,
+        Artifact::Table2,
+        Artifact::Table3,
+        Artifact::Table4,
+        Artifact::Table5,
+        Artifact::Table6,
+        Artifact::Figure3,
+        Artifact::Figure4,
+        Artifact::Figure5,
+    ];
+}
+
+/// The complete study output.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// Aggregated per-call records.
+    pub data: StudyData,
+    /// Behavioral findings per application (§5.3), deduplicated by kind.
+    pub findings: BTreeMap<String, Vec<Finding>>,
+    /// Proprietary-header profile summaries per application (a few
+    /// representative streams each).
+    pub header_profiles: BTreeMap<String, Vec<String>>,
+}
+
+impl StudyReport {
+    /// Render one artifact as an aligned text table.
+    pub fn render_table(&self, artifact: Artifact) -> String {
+        self.table(artifact).to_text()
+    }
+
+    /// Render one artifact as CSV.
+    pub fn render_csv(&self, artifact: Artifact) -> String {
+        self.table(artifact).to_csv()
+    }
+
+    /// The artifact's data table.
+    pub fn table(&self, artifact: Artifact) -> rtc_report::render::TextTable {
+        match artifact {
+            Artifact::Table1 => rtc_report::tables::table1(&self.data),
+            Artifact::Table2 => rtc_report::tables::table2(&self.data),
+            Artifact::Table3 => rtc_report::tables::table3(&self.data),
+            Artifact::Table4 => rtc_report::tables::table4(&self.data),
+            Artifact::Table5 => rtc_report::tables::table5(&self.data),
+            Artifact::Table6 => rtc_report::tables::table6(&self.data),
+            Artifact::Figure3 => rtc_report::figures::figure3(&self.data),
+            Artifact::Figure4 => rtc_report::figures::figure4(&self.data),
+            Artifact::Figure5 => rtc_report::figures::figure5(&self.data),
+        }
+    }
+
+    /// Render every table and figure plus the findings section.
+    pub fn render_all(&self) -> String {
+        let mut out = String::new();
+        for a in Artifact::ALL {
+            out.push_str(&self.render_table(a));
+            out.push('\n');
+        }
+        out.push_str("== Application-specific findings (§5.3) ==\n");
+        for (app, findings) in &self.findings {
+            for f in findings {
+                out.push_str(&format!("{app}: {}\n", f.detail));
+            }
+        }
+        if !self.header_profiles.is_empty() {
+            out.push_str("\n== Proprietary header profiles (automated §5.3 analysis) ==\n");
+            for (app, profiles) in &self.header_profiles {
+                for p in profiles {
+                    out.push_str(&format!("{app}: {p}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The study driver.
+pub struct Study;
+
+impl Study {
+    /// Run the configured experiment matrix end to end, parallelized
+    /// across calls.
+    pub fn run(config: &StudyConfig) -> StudyReport {
+        let captures = rtc_capture::run_experiment(&config.experiment);
+        Self::analyze(&captures, config)
+    }
+
+    /// Analyze existing captures (e.g. loaded from disk).
+    pub fn analyze(captures: &[CallCapture], config: &StudyConfig) -> StudyReport {
+        let queue = crossbeam::queue::SegQueue::new();
+        for (i, c) in captures.iter().enumerate() {
+            queue.push((i, c));
+        }
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(captures.len().max(1));
+        let mut analyses: Vec<Option<CallAnalysis>> = (0..captures.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                let queue = &queue;
+                handles.push(s.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Some((i, cap)) = queue.pop() {
+                        out.push((i, analyze_capture(cap, config)));
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                for (i, a) in h.join().expect("analysis worker panicked") {
+                    analyses[i] = Some(a);
+                }
+            }
+        });
+        let analyses: Vec<CallAnalysis> = analyses.into_iter().map(|a| a.expect("all analyzed")).collect();
+
+        // Cross-call findings: SSRC reuse per (app, network) cell.
+        let mut findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+        let mut header_profiles: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut by_cell: BTreeMap<(String, String), Vec<&rtc_dpi::CallDissection>> = BTreeMap::new();
+        for a in &analyses {
+            let entry = header_profiles.entry(a.record.app.clone()).or_default();
+            for p in &a.header_profiles {
+                if entry.len() < 3 {
+                    entry.push(p.summary());
+                }
+            }
+            by_cell
+                .entry((a.record.app.clone(), a.record.network.clone()))
+                .or_default()
+                .push(&a.dissection);
+            let entry = findings.entry(a.record.app.clone()).or_default();
+            for f in &a.findings {
+                if !entry.iter().any(|e| e.kind == f.kind) {
+                    entry.push(f.clone());
+                }
+            }
+        }
+        for ((app, _net), dissections) in &by_cell {
+            if let Some(f) = rtc_compliance::findings::detect_ssrc_reuse(dissections) {
+                let entry = findings.entry(app.clone()).or_default();
+                if !entry.iter().any(|e| e.kind == f.kind) {
+                    entry.push(f);
+                }
+            }
+        }
+
+        header_profiles.retain(|_, v| !v.is_empty());
+        let data = StudyData { calls: analyses.into_iter().map(|a| a.record).collect() };
+        StudyReport { data, findings, header_profiles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_call_pipeline() {
+        let config = StudyConfig::smoke(3);
+        let cap = rtc_capture::run_call(
+            &config.experiment,
+            rtc_apps::Application::WhatsApp,
+            rtc_netemu::NetworkConfig::WifiP2p,
+            0,
+        );
+        let analysis = analyze_capture(&cap, &config);
+        assert_eq!(analysis.record.app, "WhatsApp");
+        assert!(analysis.record.rtc.udp_datagrams > 100);
+        assert!(!analysis.record.checked.messages.is_empty());
+        assert!(analysis.record.checked.volume_compliance() > 0.9);
+    }
+
+    #[test]
+    fn smoke_study_renders_everything() {
+        let mut config = StudyConfig::smoke(5);
+        config.experiment.apps = vec!["zoom".into(), "discord".into()];
+        config.experiment.networks = vec!["wifi-relay".into()];
+        let report = Study::run(&config);
+        assert_eq!(report.data.calls.len(), 2);
+        let all = report.render_all();
+        for needle in ["Table 1", "Table 3", "Figure 4", "Zoom", "Discord"] {
+            assert!(all.contains(needle), "missing {needle}");
+        }
+        // Discord's type compliance is zero (paper: 0/9).
+        let (ok, total) = report.data.app_type_ratio_all("Discord");
+        assert_eq!(ok, 0, "discord compliant types: {ok}/{total}");
+        assert!(total >= 5);
+    }
+}

@@ -1,0 +1,517 @@
+//! # rtc-dpi
+//!
+//! The paper's custom two-stage Deep Packet Inspection (§4.1, Algorithm 1).
+//!
+//! Standard DPI engines assume a protocol header at payload offset zero and
+//! only accept strictly specification-conformant messages — both assumptions
+//! fail on real RTC traffic, where applications prepend proprietary headers
+//! and send messages with undefined types. This DPI therefore:
+//!
+//! 1. **Candidate extraction** — slides a window over every UDP payload
+//!    (offsets `0..=k`, default `k = 200`) and records every byte range that
+//!    matches the *structural* pattern of STUN/TURN (including ChannelData),
+//!    RTP, RTCP or QUIC, deliberately accepting undefined message types,
+//!    attributes and payload types;
+//! 2. **Protocol-specific validation** — eliminates false positives using
+//!    stream context: magic-cookie / exact-length / TLV-walk checks for
+//!    STUN, sequence-number continuity per `(stream, SSRC)` group for RTP,
+//!    sender-SSRC cross-validation against the stream's RTP sources for
+//!    RTCP, and version/connection-ID consistency for QUIC;
+//! 3. **Overlap and nesting resolution** — a payload byte belongs to at
+//!    most one message, except for defined encapsulation (TURN ChannelData
+//!    payloads and STUN DATA attributes may contain nested messages, and an
+//!    RTP message is truncated where a second RTP message begins — Zoom's
+//!    double-RTP datagrams, §5.3);
+//! 4. **Proprietary-header detection** (§4.1.2) — datagrams whose validated
+//!    messages start past unclaimed bytes are flagged as carrying a
+//!    proprietary header; datagrams with no validated message at all are
+//!    fully proprietary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pattern;
+pub mod proprietary;
+pub mod resolve;
+
+use bytes::Bytes;
+use rtc_pcap::trace::Datagram;
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+use std::collections::{HashMap, HashSet};
+
+pub use pattern::{extract_candidates, Candidate, CandidateKind};
+
+/// The protocol families of the study. TURN shares the STUN message format,
+/// so the paper (and this crate) reports them jointly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// STUN / TURN messages, including TURN ChannelData frames.
+    StunTurn,
+    /// RTP.
+    Rtp,
+    /// RTCP (one message per packet, compound packets yield several).
+    Rtcp,
+    /// QUIC v1/v2 headers.
+    Quic,
+}
+
+impl Protocol {
+    /// All protocols in the paper's column order.
+    pub const ALL: [Protocol; 4] = [Protocol::StunTurn, Protocol::Rtp, Protocol::Rtcp, Protocol::Quic];
+
+    /// Label as printed in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::StunTurn => "STUN/TURN",
+            Protocol::Rtp => "RTP",
+            Protocol::Rtcp => "RTCP",
+            Protocol::Quic => "QUIC",
+        }
+    }
+}
+
+impl core::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of the DPI.
+#[derive(Debug, Clone, Copy)]
+pub struct DpiConfig {
+    /// Maximum candidate-extraction offset `k` (paper: 200; §4.1.1 shows
+    /// this matches full-payload extraction on their dataset).
+    pub max_offset: usize,
+    /// Minimum `(stream, SSRC)` group size for RTP validation.
+    pub rtp_min_group: usize,
+    /// Maximum forward sequence gap still considered continuous.
+    pub rtp_max_seq_gap: u16,
+}
+
+impl Default for DpiConfig {
+    fn default() -> DpiConfig {
+        DpiConfig { max_offset: 200, rtp_min_group: 5, rtp_max_seq_gap: 128 }
+    }
+}
+
+/// A validated message extracted from a datagram.
+#[derive(Debug, Clone)]
+pub struct DpiMessage {
+    /// Protocol family.
+    pub protocol: Protocol,
+    /// Structural details captured at extraction time.
+    pub kind: CandidateKind,
+    /// Byte offset within the UDP payload.
+    pub offset: usize,
+    /// The message bytes (a cheap slice of the capture buffer).
+    pub data: Bytes,
+    /// Whether the message was found nested inside a container
+    /// (ChannelData payload or STUN DATA attribute).
+    pub nested: bool,
+}
+
+/// Figure 3's datagram classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatagramClass {
+    /// The payload consists entirely of standard protocol messages.
+    Standard,
+    /// A proprietary header (or gap) precedes at least one valid message.
+    ProprietaryHeader,
+    /// No recognizable standard message anywhere in the payload.
+    FullyProprietary,
+}
+
+/// The dissection of one datagram.
+#[derive(Debug, Clone)]
+pub struct DatagramDissection {
+    /// Capture time.
+    pub ts: Timestamp,
+    /// Stream key.
+    pub stream: FiveTuple,
+    /// UDP payload length.
+    pub payload_len: usize,
+    /// Validated messages, in offset order.
+    pub messages: Vec<DpiMessage>,
+    /// Unclaimed bytes before the first top-level message — the proprietary
+    /// header region (the whole payload for fully proprietary datagrams).
+    pub prefix: Bytes,
+    /// Unclaimed bytes after the last top-level message (SRTCP trailers,
+    /// Discord's direction trailer, …).
+    pub trailing: Bytes,
+    /// Figure 3 class.
+    pub class: DatagramClass,
+    /// Length of the proprietary prefix, when `class` is
+    /// [`DatagramClass::ProprietaryHeader`].
+    pub prop_header_len: usize,
+}
+
+/// The dissection of one call's RTC datagrams, plus the stream context the
+/// compliance layer reuses.
+#[derive(Debug, Clone, Default)]
+pub struct CallDissection {
+    /// Per-datagram dissections, in input order.
+    pub datagrams: Vec<DatagramDissection>,
+    /// RTP SSRCs observed per conversation (both directions fold into the
+    /// canonical stream key).
+    pub rtp_ssrcs: HashMap<FiveTuple, HashSet<u32>>,
+}
+
+impl CallDissection {
+    /// Iterate over all validated messages.
+    pub fn messages(&self) -> impl Iterator<Item = (&DatagramDissection, &DpiMessage)> {
+        self.datagrams.iter().flat_map(|d| d.messages.iter().map(move |m| (d, m)))
+    }
+
+    /// Count messages per protocol (plus fully proprietary datagrams),
+    /// the units of the paper's Table 2.
+    pub fn message_distribution(&self) -> (HashMap<Protocol, usize>, usize) {
+        let mut by_proto: HashMap<Protocol, usize> = HashMap::new();
+        let mut fully = 0;
+        for d in &self.datagrams {
+            if d.class == DatagramClass::FullyProprietary {
+                fully += 1;
+            }
+            for m in &d.messages {
+                *by_proto.entry(m.protocol).or_default() += 1;
+            }
+        }
+        (by_proto, fully)
+    }
+}
+
+/// Run the full DPI over one call's (filtered) RTC UDP datagrams.
+///
+/// ```
+/// use rtc_dpi::{dissect_call, DatagramClass, DpiConfig};
+/// use rtc_pcap::{trace::Datagram, Timestamp};
+/// use rtc_wire::ip::FiveTuple;
+///
+/// // An RTP stream hiding behind a 10-byte proprietary header.
+/// let tuple = FiveTuple::udp("10.0.0.1:5000".parse().unwrap(), "1.2.3.4:6000".parse().unwrap());
+/// let dgrams: Vec<Datagram> = (0..6u16)
+///     .map(|i| {
+///         let mut payload = vec![0x0B; 10];
+///         payload.extend(
+///             rtc_wire::rtp::PacketBuilder::new(96, 100 + i, 0, 0x42).payload(vec![0; 40]).build(),
+///         );
+///         Datagram { ts: Timestamp::from_millis(i as u64 * 20), five_tuple: tuple, payload: payload.into() }
+///     })
+///     .collect();
+/// let out = dissect_call(&dgrams, &DpiConfig::default());
+/// assert!(out.datagrams.iter().all(|d| d.class == DatagramClass::ProprietaryHeader));
+/// assert!(out.datagrams.iter().all(|d| d.prop_header_len == 10));
+/// ```
+pub fn dissect_call(datagrams: &[Datagram], config: &DpiConfig) -> CallDissection {
+    // ---- Step 1: candidate extraction (Algorithm 1, lines 5–13). -------
+    let mut all: Vec<Vec<Candidate>> = Vec::with_capacity(datagrams.len());
+    for d in datagrams {
+        all.push(extract_candidates(&d.payload, config.max_offset));
+    }
+
+    // ---- Step 2: protocol-specific validation (lines 14–19). -----------
+    let ctx = resolve::ValidationContext::build(datagrams, &all, config);
+
+    // ---- Step 3: per-datagram resolution and classification. -----------
+    let mut out = CallDissection { rtp_ssrcs: ctx.rtp_ssrcs.clone(), ..Default::default() };
+    for (d, cands) in datagrams.iter().zip(&all) {
+        out.datagrams.push(resolve::resolve_datagram(d, cands, &ctx));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rtc_wire::rtp::PacketBuilder;
+    use rtc_wire::stun::{attr, msg_type, ChannelData, MessageBuilder};
+
+    fn dgram(ts_ms: u64, payload: Vec<u8>) -> Datagram {
+        Datagram {
+            ts: Timestamp::from_millis(ts_ms),
+            five_tuple: FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "1.2.3.4:2000".parse().unwrap()),
+            payload: Bytes::from(payload),
+        }
+    }
+
+    fn rtp_stream_datagrams(n: usize, ssrc: u32, prefix: &[u8]) -> Vec<Datagram> {
+        (0..n)
+            .map(|i| {
+                let mut p = prefix.to_vec();
+                p.extend(PacketBuilder::new(96, 100 + i as u16, 1000 + i as u32, ssrc).payload(vec![7; 50]).build());
+                dgram(i as u64 * 20, p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn offset_zero_rtp_stream_is_standard() {
+        let d = rtp_stream_datagrams(10, 0xAA, &[]);
+        let out = dissect_call(&d, &DpiConfig::default());
+        assert_eq!(out.datagrams.len(), 10);
+        for dd in &out.datagrams {
+            assert_eq!(dd.class, DatagramClass::Standard);
+            assert_eq!(dd.messages.len(), 1);
+            assert_eq!(dd.messages[0].protocol, Protocol::Rtp);
+            assert_eq!(dd.prop_header_len, 0);
+        }
+        let ssrcs = out.rtp_ssrcs.values().next().unwrap();
+        assert!(ssrcs.contains(&0xAA));
+    }
+
+    #[test]
+    fn proprietary_prefix_is_detected() {
+        let d = rtp_stream_datagrams(10, 0xBB, &[0x0B, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07]);
+        let out = dissect_call(&d, &DpiConfig::default());
+        for dd in &out.datagrams {
+            assert_eq!(dd.class, DatagramClass::ProprietaryHeader, "msgs: {:?}", dd.messages.len());
+            assert_eq!(dd.prop_header_len, 8);
+            assert_eq!(dd.messages[0].protocol, Protocol::Rtp);
+        }
+    }
+
+    #[test]
+    fn short_rtp_groups_are_rejected() {
+        // Two lone RTP-looking datagrams: below the validation threshold.
+        let d = rtp_stream_datagrams(2, 0xCC, &[]);
+        let out = dissect_call(&d, &DpiConfig::default());
+        for dd in &out.datagrams {
+            assert_eq!(dd.class, DatagramClass::FullyProprietary);
+        }
+    }
+
+    #[test]
+    fn random_seqs_are_rejected() {
+        let d: Vec<Datagram> = [9000u16, 100, 42000, 7, 30000, 12]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                dgram(i as u64 * 20, PacketBuilder::new(96, s, 0, 0xDD).payload(vec![1; 40]).build())
+            })
+            .collect();
+        let out = dissect_call(&d, &DpiConfig::default());
+        assert!(out.datagrams.iter().all(|dd| dd.class == DatagramClass::FullyProprietary));
+    }
+
+    #[test]
+    fn modern_stun_validates_alone() {
+        let msg = MessageBuilder::new(msg_type::BINDING_REQUEST, [7; 12])
+            .attribute(attr::PRIORITY, vec![0, 0, 0, 1])
+            .build();
+        let out = dissect_call(&[dgram(0, msg)], &DpiConfig::default());
+        let dd = &out.datagrams[0];
+        assert_eq!(dd.class, DatagramClass::Standard);
+        assert_eq!(dd.messages[0].protocol, Protocol::StunTurn);
+        match dd.messages[0].kind {
+            CandidateKind::Stun { message_type, modern } => {
+                assert_eq!(message_type, msg_type::BINDING_REQUEST);
+                assert!(modern);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn legacy_stun_requires_exact_cover_and_repetition() {
+        let build = |seed: u8| {
+            MessageBuilder::new_legacy(0x0001, [1, 2, 3, seed], [seed; 12])
+                .attribute(0x0101, b"12345678901234567890".to_vec())
+                .build()
+        };
+        // A lone cookie-less match is untrusted (weak RFC 3489 header).
+        let out = dissect_call(&[dgram(0, build(1))], &DpiConfig::default());
+        assert_eq!(out.datagrams[0].class, DatagramClass::FullyProprietary);
+        // Repetition on the stream validates the group.
+        let out = dissect_call(&[dgram(0, build(1)), dgram(100, build(2))], &DpiConfig::default());
+        assert!(out.datagrams.iter().all(|d| d.class == DatagramClass::Standard));
+        // With trailing junk, the legacy pattern no longer matches exactly.
+        let mut padded = build(1);
+        padded.extend_from_slice(&[1, 2, 3]);
+        let out = dissect_call(&[dgram(0, padded.clone()), dgram(100, padded)], &DpiConfig::default());
+        assert_eq!(out.datagrams[0].class, DatagramClass::FullyProprietary);
+    }
+
+    #[test]
+    fn channeldata_with_aligned_rtp_is_standard_nested() {
+        let mut inner_dgrams = Vec::new();
+        for i in 0..6 {
+            let inner = PacketBuilder::new(100, 10 + i as u16, 0, 0xEE).payload(vec![3; 60]).build();
+            inner_dgrams.push(dgram(i as u64 * 20, ChannelData::build(0x4001, &inner)));
+        }
+        let out = dissect_call(&inner_dgrams, &DpiConfig::default());
+        for dd in &out.datagrams {
+            assert_eq!(dd.class, DatagramClass::Standard);
+            assert_eq!(dd.messages.len(), 2, "ChannelData + nested RTP");
+            assert_eq!(dd.messages[0].protocol, Protocol::StunTurn);
+            assert_eq!(dd.messages[1].protocol, Protocol::Rtp);
+            assert!(dd.messages[1].nested);
+        }
+    }
+
+    #[test]
+    fn facetime_0x6000_framing_is_a_proprietary_header() {
+        // FaceTime's relay framing starts 0x6000 — outside RFC 8656's
+        // channel range, so it is NOT ChannelData; the embedded RTP is
+        // found 8 bytes in and the prefix reported as proprietary.
+        let mut dgrams = Vec::new();
+        for i in 0..6 {
+            let inner = PacketBuilder::new(100, 10 + i as u16, 0, 0xFF).payload(vec![3; 60]).build();
+            let mut p = Vec::new();
+            p.extend_from_slice(&0x6000u16.to_be_bytes());
+            p.extend_from_slice(&((4 + inner.len()) as u16).to_be_bytes());
+            p.extend_from_slice(&[0x01, 0x02, 0x03, 0x04]); // junk
+            p.extend_from_slice(&inner);
+            dgrams.push(dgram(i as u64 * 20, p));
+        }
+        let out = dissect_call(&dgrams, &DpiConfig::default());
+        for dd in &out.datagrams {
+            assert_eq!(dd.class, DatagramClass::ProprietaryHeader);
+            assert_eq!(dd.prop_header_len, 8);
+            assert_eq!(dd.messages.len(), 1, "only the embedded RTP message");
+            assert_eq!(dd.messages[0].protocol, Protocol::Rtp);
+            assert!(!dd.messages[0].nested);
+        }
+    }
+
+    #[test]
+    fn channeldata_with_length_shortfall_is_standard_but_trailing_is_exposed() {
+        let mut dgrams = Vec::new();
+        for i in 0..6 {
+            let inner = PacketBuilder::new(100, 10 + i as u16, 0, 0xEE).payload(vec![3; 60]).build();
+            let mut p = ChannelData::build(0x4002, &inner);
+            p.extend_from_slice(&[0xAB, 0xCD]); // 2 bytes past the declared length
+            dgrams.push(dgram(i as u64 * 20, p));
+        }
+        let out = dissect_call(&dgrams, &DpiConfig::default());
+        for dd in &out.datagrams {
+            assert_eq!(dd.class, DatagramClass::Standard);
+            assert_eq!(dd.trailing.len(), 2);
+            assert!(dd.messages.iter().any(|m| matches!(m.kind, CandidateKind::ChannelData { .. })));
+        }
+    }
+
+    #[test]
+    fn rtcp_compound_with_trailer() {
+        let mut dgrams = Vec::new();
+        for i in 0..5 {
+            // First establish the RTP stream so RTCP cross-validates.
+            dgrams.push(dgram(i * 20, PacketBuilder::new(96, i as u16, 0, 0x77).payload(vec![0; 40]).build()));
+        }
+        let sr = rtc_wire::rtcp::SenderReport {
+            ssrc: 0x77,
+            ntp_timestamp: 1,
+            rtp_timestamp: 2,
+            packet_count: 3,
+            octet_count: 4,
+            reports: vec![],
+        }
+        .build();
+        let mut compound = sr;
+        compound.extend_from_slice(&rtc_wire::rtcp::build_bye(&[0x77]));
+        compound.extend_from_slice(&[0x00, 0x2A, 0x80]); // 3-byte trailer
+        dgrams.push(dgram(200, compound));
+        let out = dissect_call(&dgrams, &DpiConfig::default());
+        let dd = out.datagrams.last().unwrap();
+        assert_eq!(dd.class, DatagramClass::Standard);
+        assert_eq!(dd.messages.len(), 2);
+        assert!(dd.messages.iter().all(|m| m.protocol == Protocol::Rtcp));
+        assert_eq!(&dd.trailing[..], &[0x00, 0x2A, 0x80]);
+    }
+
+    #[test]
+    fn rtcp_with_foreign_ssrc_is_rejected() {
+        let rr = rtc_wire::rtcp::ReceiverReport { ssrc: 0xBAD, reports: vec![] }.build();
+        let out = dissect_call(&[dgram(0, rr)], &DpiConfig::default());
+        assert_eq!(out.datagrams[0].class, DatagramClass::FullyProprietary);
+    }
+
+    #[test]
+    fn rtcp_with_zero_ssrc_is_accepted() {
+        // Discord's SSRC=0 feedback must still be recognized as RTCP (§5.3).
+        let fb = rtc_wire::rtcp::Feedback {
+            packet_type: rtc_wire::rtcp::packet_type::RTPFB,
+            fmt: 1,
+            sender_ssrc: 0,
+            media_ssrc: 5,
+            fci: vec![0; 4],
+        }
+        .build();
+        let out = dissect_call(&[dgram(0, fb)], &DpiConfig::default());
+        assert_eq!(out.datagrams[0].class, DatagramClass::Standard);
+        assert_eq!(out.datagrams[0].messages[0].protocol, Protocol::Rtcp);
+    }
+
+    #[test]
+    fn zoom_style_double_rtp_yields_two_messages() {
+        let ssrc = 0x505;
+        let mut dgrams = rtp_stream_datagrams(5, ssrc, &[]);
+        // Runt + full in one datagram.
+        let runt = PacketBuilder::new(110, 40_000, 123, ssrc).payload(vec![0x11; 7]).build();
+        let full = PacketBuilder::new(110, 105, 123, ssrc).payload(vec![9; 200]).build();
+        let mut both = runt;
+        both.extend_from_slice(&full);
+        dgrams.push(dgram(500, both));
+        let out = dissect_call(&dgrams, &DpiConfig::default());
+        let dd = out.datagrams.last().unwrap();
+        assert_eq!(dd.messages.len(), 2, "both RTP messages recovered");
+        assert_eq!(dd.messages[0].data.len(), 19, "runt truncated at the second message");
+        assert_eq!(dd.class, DatagramClass::Standard);
+    }
+
+    #[test]
+    fn quic_long_and_short_headers() {
+        let long = |lt| {
+            let mut p = rtc_wire::quic::LongHeader {
+                fixed_bit: true,
+                long_type: lt,
+                type_specific: 0,
+                version: rtc_wire::quic::VERSION_1,
+                dcid: vec![9; 8],
+                scid: vec![8; 8],
+                header_len: 0,
+            }
+            .build();
+            p.extend_from_slice(&[0xAB; 60]);
+            p
+        };
+        let mut dgrams = vec![
+            dgram(0, long(rtc_wire::quic::LongType::Initial)),
+            dgram(10, long(rtc_wire::quic::LongType::Handshake)),
+        ];
+        let mut short = rtc_wire::quic::ShortHeader { fixed_bit: true, spin: false, dcid: vec![9; 8], header_len: 0 }.build();
+        short.extend_from_slice(&[0xCD; 30]);
+        dgrams.push(dgram(20, short));
+        let out = dissect_call(&dgrams, &DpiConfig::default());
+        assert!(out.datagrams.iter().all(|d| d.class == DatagramClass::Standard));
+        assert!(out.datagrams.iter().all(|d| d.messages[0].protocol == Protocol::Quic));
+    }
+
+    #[test]
+    fn fully_proprietary_datagrams() {
+        let out = dissect_call(
+            &[dgram(0, vec![0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE, 1, 2, 3, 4]), dgram(1, vec![0x01; 1000])],
+            &DpiConfig::default(),
+        );
+        assert!(out.datagrams.iter().all(|d| d.class == DatagramClass::FullyProprietary));
+        let (by_proto, fully) = out.message_distribution();
+        assert!(by_proto.is_empty());
+        assert_eq!(fully, 2);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let out = dissect_call(&[dgram(0, vec![])], &DpiConfig::default());
+        assert_eq!(out.datagrams[0].class, DatagramClass::FullyProprietary);
+    }
+
+    #[test]
+    fn max_offset_limits_depth() {
+        // RTP buried 50 bytes deep: found with k=200, missed with k=8.
+        let d = rtp_stream_datagrams(6, 0x99, &[0x05; 50]);
+        let deep = dissect_call(&d, &DpiConfig::default());
+        assert!(deep.datagrams.iter().all(|x| x.class == DatagramClass::ProprietaryHeader));
+        let shallow = dissect_call(&d, &DpiConfig { max_offset: 8, ..DpiConfig::default() });
+        assert!(shallow.datagrams.iter().all(|x| x.class == DatagramClass::FullyProprietary));
+    }
+}

@@ -1,0 +1,349 @@
+//! Candidate extraction — step 1 of Algorithm 1.
+//!
+//! At every payload offset up to `k`, each protocol's *structural* pattern
+//! is tested. Patterns accept undefined message types, attributes and
+//! payload types on purpose (the paper removed Peafowl's payload-type
+//! restriction for the same reason); they only encode what makes a byte
+//! string *shaped like* the protocol. False positives are expected here
+//! and eliminated by validation and overlap resolution.
+
+use rtc_wire::stun;
+
+/// Structural details recorded when a pattern matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateKind {
+    /// A STUN/TURN message. `modern` = carries the RFC 5389 magic cookie.
+    Stun {
+        /// Raw 16-bit message type.
+        message_type: u16,
+        /// Whether the magic cookie is present.
+        modern: bool,
+    },
+    /// A TURN ChannelData frame.
+    ChannelData {
+        /// The channel number (demux prefix 0b01; may exceed the RFC range).
+        channel: u16,
+    },
+    /// An RTP packet.
+    Rtp {
+        /// Synchronization source.
+        ssrc: u32,
+        /// Payload type.
+        payload_type: u8,
+        /// Sequence number.
+        seq: u16,
+    },
+    /// A single RTCP packet (compounds produce one candidate per packet).
+    Rtcp {
+        /// Packet type (200–207).
+        packet_type: u8,
+        /// The 5-bit count/format field.
+        count: u8,
+    },
+    /// A QUIC long-header packet.
+    QuicLong {
+        /// Version field (1 or the v2 identifier).
+        version: u32,
+        /// Destination connection ID.
+        dcid: Vec<u8>,
+        /// Source connection ID.
+        scid: Vec<u8>,
+    },
+    /// A potential QUIC short-header packet (validated against the
+    /// stream's known connection IDs).
+    QuicShortProbe,
+}
+
+/// One structural match: a protocol pattern at a payload offset.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Byte offset in the UDP payload.
+    pub offset: usize,
+    /// Claimed length (bytes) from `offset`.
+    pub len: usize,
+    /// Structural details.
+    pub kind: CandidateKind,
+    /// For STUN messages carrying a DATA attribute: the attribute value's
+    /// byte range *relative to the message start* (nested messages may live
+    /// there).
+    pub data_attr: Option<(usize, usize)>,
+}
+
+impl Candidate {
+    /// One past the last claimed byte.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// Extract all structural candidates from one UDP payload, scanning offsets
+/// `0..=max_offset` (Algorithm 1, step 1).
+pub fn extract_candidates(payload: &[u8], max_offset: usize) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let limit = max_offset.min(payload.len());
+    for i in 0..=limit {
+        let tail = &payload[i..];
+        if tail.is_empty() {
+            break;
+        }
+        // Pattern priority at equal offset: STUN, ChannelData, RTCP, RTP, QUIC.
+        if let Some(c) = match_stun(tail, i) {
+            out.push(c);
+        }
+        if let Some(c) = match_channeldata(tail, i) {
+            out.push(c);
+        }
+        if let Some(c) = match_rtcp(tail, i) {
+            out.push(c);
+        }
+        if let Some(c) = match_rtp(tail, i) {
+            out.push(c);
+        }
+        if let Some(c) = match_quic(tail, i) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// STUN pattern: top two type bits zero, 4-byte-aligned length. Messages
+/// with the magic cookie are accepted wherever their declared body fits;
+/// cookie-less (RFC 3489 classic) matches are only accepted when the
+/// message covers the remaining payload *exactly* and its attribute TLVs
+/// walk cleanly — the paper's validation uses transaction-ID pairing to the
+/// same end (eliminating the vast false-positive surface of the weak
+/// legacy header).
+fn match_stun(tail: &[u8], offset: usize) -> Option<Candidate> {
+    let msg = stun::Message::new_checked(tail).ok()?;
+    let modern = msg.has_magic_cookie();
+    // Cookie-less candidates: exact payload cover and at least one
+    // attribute. A 20-byte all-header "message" matches far too much random
+    // data; no published classic-STUN usage sends attribute-less messages.
+    if !modern && (msg.wire_len() != tail.len() || msg.declared_length() == 0) {
+        return None;
+    }
+    // The TLV attributes must walk cleanly to the declared length.
+    let mut data_attr = None;
+    for a in msg.attributes() {
+        let a = a.ok()?;
+        if a.typ == stun::attr::DATA {
+            let start = a.value.as_ptr() as usize - tail.as_ptr() as usize;
+            data_attr = Some((start, start + a.value.len()));
+        }
+    }
+    Some(Candidate {
+        offset,
+        len: msg.wire_len(),
+        kind: CandidateKind::Stun { message_type: msg.message_type(), modern },
+        data_attr,
+    })
+}
+
+/// ChannelData pattern: a channel number in RFC 8656's 0x4000–0x4FFF
+/// range, at payload offset zero (ChannelData is the outermost TURN
+/// framing), with a length field covering the remaining payload to within
+/// 3 bytes. Exact coverage is the compliant case; a small shortfall is
+/// still recognizably ChannelData (the compliance layer flags it), while a
+/// larger one is far more likely a pattern false-positive.
+fn match_channeldata(tail: &[u8], offset: usize) -> Option<Candidate> {
+    if offset != 0 {
+        return None;
+    }
+    let cd = stun::ChannelData::new_checked(tail).ok()?;
+    if !stun::ChannelData::CHANNEL_RANGE.contains(&cd.channel_number()) {
+        return None;
+    }
+    if tail.len() < cd.wire_len() || tail.len() - cd.wire_len() > 3 {
+        return None;
+    }
+    Some(Candidate {
+        offset,
+        len: cd.wire_len(),
+        kind: CandidateKind::ChannelData { channel: cd.channel_number() },
+        data_attr: None,
+    })
+}
+
+/// RTCP pattern: version 2, packet type 200–207, declared length in bounds.
+fn match_rtcp(tail: &[u8], offset: usize) -> Option<Candidate> {
+    if tail.len() < 4 || tail[0] >> 6 != 2 || !(200..=207).contains(&tail[1]) {
+        return None;
+    }
+    let p = rtc_wire::rtcp::Packet::new_checked(tail).ok()?;
+    Some(Candidate {
+        offset,
+        len: p.wire_len(),
+        kind: CandidateKind::Rtcp { packet_type: p.packet_type(), count: p.count() },
+        data_attr: None,
+    })
+}
+
+/// RTP pattern: version 2, a second byte outside the RTCP packet-type
+/// range (the standard RTP/RTCP demux rule), and a header + CSRC list +
+/// declared extension that fit the payload. An RTP message claims the rest
+/// of the payload — RTP carries no length field — and is truncated later if
+/// another RTP message follows (Zoom's double-RTP datagrams).
+fn match_rtp(tail: &[u8], offset: usize) -> Option<Candidate> {
+    if tail.len() < 12 || tail[0] >> 6 != 2 || (200..=207).contains(&tail[1]) {
+        return None;
+    }
+    let p = rtc_wire::rtp::Packet::new_checked(tail).ok()?;
+    Some(Candidate {
+        offset,
+        len: tail.len(),
+        kind: CandidateKind::Rtp { ssrc: p.ssrc(), payload_type: p.payload_type(), seq: p.sequence_number() },
+        data_attr: None,
+    })
+}
+
+/// QUIC pattern: long headers (form + fixed bit, known version) anywhere;
+/// short headers only as an offset-0 probe, resolved against the stream's
+/// connection IDs during validation.
+fn match_quic(tail: &[u8], offset: usize) -> Option<Candidate> {
+    let b0 = *tail.first()?;
+    if b0 & 0xC0 == 0xC0 {
+        let h = rtc_wire::quic::LongHeader::parse(tail).ok()?;
+        if h.version != rtc_wire::quic::VERSION_1 && h.version != rtc_wire::quic::VERSION_2 {
+            return None;
+        }
+        return Some(Candidate {
+            offset,
+            len: tail.len(),
+            kind: CandidateKind::QuicLong { version: h.version, dcid: h.dcid, scid: h.scid },
+            data_attr: None,
+        });
+    }
+    if offset == 0 && b0 & 0xC0 == 0x40 && tail.len() >= 9 {
+        return Some(Candidate { offset, len: tail.len(), kind: CandidateKind::QuicShortProbe, data_attr: None });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_wire::rtp::PacketBuilder;
+    use rtc_wire::stun::MessageBuilder;
+
+    #[test]
+    fn stun_at_offset_zero() {
+        let msg = MessageBuilder::new(0x0001, [1; 12]).build();
+        let c = extract_candidates(&msg, 200);
+        assert!(matches!(c[0].kind, CandidateKind::Stun { message_type: 0x0001, modern: true }));
+        assert_eq!(c[0].len, msg.len());
+    }
+
+    #[test]
+    fn stun_behind_prefix() {
+        let mut p = vec![0x0B; 10];
+        p.extend(MessageBuilder::new(0x0801, [2; 12]).attribute(0x4003, vec![0xFF]).build());
+        let c = extract_candidates(&p, 200);
+        let stun: Vec<_> = c.iter().filter(|c| matches!(c.kind, CandidateKind::Stun { .. })).collect();
+        assert_eq!(stun.len(), 1);
+        assert_eq!(stun[0].offset, 10);
+    }
+
+    #[test]
+    fn data_attribute_range_is_recorded() {
+        let inner = PacketBuilder::new(96, 1, 2, 3).payload(vec![9; 20]).build();
+        let txid = [3; 12];
+        let msg = MessageBuilder::new(rtc_wire::stun::msg_type::DATA_INDICATION, txid)
+            .attribute(rtc_wire::stun::attr::XOR_PEER_ADDRESS, vec![0, 1, 2, 3, 4, 5, 6, 7])
+            .attribute(rtc_wire::stun::attr::DATA, inner.clone())
+            .build();
+        let c = extract_candidates(&msg, 0);
+        let stun = c.iter().find(|c| matches!(c.kind, CandidateKind::Stun { .. })).unwrap();
+        let (s, e) = stun.data_attr.unwrap();
+        assert_eq!(&msg[s..e], &inner[..]);
+    }
+
+    #[test]
+    fn legacy_stun_must_cover_exactly_with_attributes() {
+        // Attribute-less legacy messages are rejected outright: the weak
+        // RFC 3489 header matches too much random data.
+        let bare = MessageBuilder::new_legacy(0x0001, [9, 9, 9, 9], [4; 12]).build();
+        assert_eq!(extract_candidates(&bare, 0).iter().filter(|c| matches!(c.kind, CandidateKind::Stun { .. })).count(), 0);
+        let msg = MessageBuilder::new_legacy(0x0001, [9, 9, 9, 9], [4; 12])
+            .attribute(0x0101, b"12345678901234567890".to_vec())
+            .build();
+        assert_eq!(extract_candidates(&msg, 0).iter().filter(|c| matches!(c.kind, CandidateKind::Stun { .. })).count(), 1);
+        let mut longer = msg;
+        longer.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(
+            extract_candidates(&longer, 0).iter().filter(|c| matches!(c.kind, CandidateKind::Stun { .. })).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn rtp_and_rtcp_demux_on_second_byte() {
+        let rtp = PacketBuilder::new(96, 7, 8, 9).payload(vec![0; 20]).build();
+        let c = extract_candidates(&rtp, 0);
+        assert!(c.iter().any(|c| matches!(c.kind, CandidateKind::Rtp { payload_type: 96, .. })));
+        let bye = rtc_wire::rtcp::build_bye(&[1]);
+        let c = extract_candidates(&bye, 0);
+        assert!(c.iter().any(|c| matches!(c.kind, CandidateKind::Rtcp { packet_type: 203, .. })));
+        assert!(!c.iter().any(|c| matches!(c.kind, CandidateKind::Rtp { .. })));
+    }
+
+    #[test]
+    fn compound_rtcp_yields_one_candidate_per_packet() {
+        let mut p = rtc_wire::rtcp::build_bye(&[1]);
+        p.extend(rtc_wire::rtcp::build_bye(&[2]));
+        let c: Vec<_> = extract_candidates(&p, 200)
+            .into_iter()
+            .filter(|c| matches!(c.kind, CandidateKind::Rtcp { .. }))
+            .collect();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].offset, 0);
+        assert_eq!(c[1].offset, 8);
+    }
+
+    #[test]
+    fn channeldata_length_and_range_rules() {
+        let cd = rtc_wire::stun::ChannelData::build(0x4001, &[1, 2, 3, 4]);
+        assert!(extract_candidates(&cd, 0).iter().any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
+        // Up to 3 trailing bytes: still recognized (compliance flags them).
+        let mut shortfall = cd.clone();
+        shortfall.extend_from_slice(&[0, 0]);
+        assert!(extract_candidates(&shortfall, 0).iter().any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
+        // More than 3 trailing bytes: rejected as a false positive.
+        let mut longer = cd.clone();
+        longer.extend_from_slice(&[0; 8]);
+        assert!(!extract_candidates(&longer, 0).iter().any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
+        // Out-of-range channel numbers are not ChannelData (FaceTime's
+        // 0x6000 framing is a proprietary header, not a TURN frame).
+        let bad = rtc_wire::stun::ChannelData::build(0x6000, &[1, 2, 3, 4]);
+        assert!(!extract_candidates(&bad, 0).iter().any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
+        // And ChannelData is only recognized at offset zero.
+        let mut prefixed = vec![0xAA, 0xBB];
+        prefixed.extend_from_slice(&cd);
+        assert!(!extract_candidates(&prefixed, 10).iter().any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
+    }
+
+    #[test]
+    fn quic_version_gate() {
+        let mut h = rtc_wire::quic::LongHeader {
+            fixed_bit: true,
+            long_type: rtc_wire::quic::LongType::Initial,
+            type_specific: 0,
+            version: 0xFACE_B00C, // grease
+            dcid: vec![1; 4],
+            scid: vec![],
+            header_len: 0,
+        };
+        let bytes = h.build();
+        assert!(!extract_candidates(&bytes, 0).iter().any(|c| matches!(c.kind, CandidateKind::QuicLong { .. })));
+        h.version = rtc_wire::quic::VERSION_1;
+        let bytes = h.build();
+        assert!(extract_candidates(&bytes, 0).iter().any(|c| matches!(c.kind, CandidateKind::QuicLong { .. })));
+    }
+
+    #[test]
+    fn offset_limit_respected() {
+        let mut p = vec![0u8; 60];
+        p.extend(PacketBuilder::new(96, 7, 8, 9).payload(vec![0; 20]).build());
+        assert!(extract_candidates(&p, 10).iter().all(|c| !matches!(c.kind, CandidateKind::Rtp { .. })));
+        assert!(extract_candidates(&p, 60).iter().any(|c| matches!(c.kind, CandidateKind::Rtp { .. })));
+    }
+}

@@ -1,0 +1,263 @@
+//! Validation and overlap resolution — step 2 of Algorithm 1 plus the
+//! proprietary-header classification of §4.1.2.
+
+use crate::pattern::{Candidate, CandidateKind};
+use crate::{DatagramClass, DatagramDissection, DpiConfig, DpiMessage, Protocol};
+use rtc_pcap::trace::Datagram;
+use rtc_wire::ip::FiveTuple;
+use std::collections::{HashMap, HashSet};
+
+/// Stream-context facts gathered across the whole call, used to validate
+/// individual candidates.
+#[derive(Debug, Default)]
+pub struct ValidationContext {
+    /// `(directional stream, SSRC)` groups that passed the RTP
+    /// sequence-continuity test.
+    valid_rtp_groups: HashSet<(FiveTuple, u32)>,
+    /// `(directional stream, legacy message type)` groups with enough
+    /// members to trust a cookie-less STUN match.
+    legacy_stun_groups: HashSet<(FiveTuple, u16)>,
+    /// RTP SSRCs per *conversation* (canonical stream key), from valid
+    /// groups — the RTCP cross-validation set.
+    pub rtp_ssrcs: HashMap<FiveTuple, HashSet<u32>>,
+    /// QUIC connection IDs per conversation, from long headers.
+    quic_cids: HashMap<FiveTuple, HashSet<Vec<u8>>>,
+}
+
+impl ValidationContext {
+    /// Build the context from all candidates of a call (validation is a
+    /// second pass over the whole capture: continuity and consistency are
+    /// stream properties, not per-packet ones).
+    pub fn build(datagrams: &[Datagram], candidates: &[Vec<Candidate>], config: &DpiConfig) -> ValidationContext {
+        let mut ctx = ValidationContext::default();
+
+        // RTP: collect per-(stream, ssrc) sequence numbers and first header
+        // bytes in capture order. Legacy STUN: count per-(stream, type).
+        let mut groups: HashMap<(FiveTuple, u32), Vec<(u16, u8)>> = HashMap::new();
+        let mut legacy: HashMap<(FiveTuple, u16), usize> = HashMap::new();
+        for (d, cands) in datagrams.iter().zip(candidates) {
+            for c in cands {
+                match &c.kind {
+                    CandidateKind::Rtp { ssrc, seq, .. } => {
+                        groups.entry((d.five_tuple, *ssrc)).or_default().push((*seq, d.payload[c.offset]));
+                    }
+                    CandidateKind::Stun { message_type, modern: false } => {
+                        *legacy.entry((d.five_tuple, *message_type)).or_default() += 1;
+                    }
+                    CandidateKind::QuicLong { dcid, scid, .. } => {
+                        let set = ctx.quic_cids.entry(d.five_tuple.canonical()).or_default();
+                        if !dcid.is_empty() {
+                            set.insert(dcid.clone());
+                        }
+                        if !scid.is_empty() {
+                            set.insert(scid.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for ((stream, ssrc), members) in groups {
+            if members.len() < config.rtp_min_group {
+                continue;
+            }
+            // Majority of successive deltas must be small positive steps:
+            // real media advances its sequence number monotonically (with
+            // loss gaps), while pattern false-positives produce noise.
+            let small = members
+                .windows(2)
+                .filter(|w| {
+                    let delta = w[1].0.wrapping_sub(w[0].0);
+                    (1..=config.rtp_max_seq_gap).contains(&delta)
+                })
+                .count();
+            // A real stream also keeps its first header byte (version,
+            // padding/extension flags, CSRC count) essentially constant,
+            // while offset-aliasing false positives read a varying byte.
+            let mut byte_counts: HashMap<u8, usize> = HashMap::new();
+            for (_, b) in &members {
+                *byte_counts.entry(*b).or_default() += 1;
+            }
+            let modal = byte_counts.values().max().copied().unwrap_or(0);
+            let consistent_header = modal * 4 >= members.len() * 3;
+            if small * 2 >= members.len() - 1 && consistent_header {
+                ctx.valid_rtp_groups.insert((stream, ssrc));
+                ctx.rtp_ssrcs.entry(stream.canonical()).or_default().insert(ssrc);
+            }
+        }
+        for ((stream, message_type), n) in legacy {
+            if n >= 2 {
+                ctx.legacy_stun_groups.insert((stream, message_type));
+            }
+        }
+        ctx
+    }
+
+    fn rtp_valid(&self, stream: FiveTuple, ssrc: u32) -> bool {
+        self.valid_rtp_groups.contains(&(stream, ssrc))
+    }
+
+    fn rtcp_ssrc_valid(&self, stream: FiveTuple, ssrc: Option<u32>) -> bool {
+        match ssrc {
+            // RFC 3550 does not forbid SSRC 0, and Discord uses it (§5.3).
+            Some(0) => true,
+            Some(s) => self.rtp_ssrcs.get(&stream.canonical()).map_or(false, |set| set.contains(&s)),
+            None => false,
+        }
+    }
+
+    fn quic_short_valid(&self, stream: FiveTuple, payload: &[u8]) -> bool {
+        let Some(cids) = self.quic_cids.get(&stream.canonical()) else {
+            return false;
+        };
+        cids.iter().any(|cid| payload.len() > cid.len() && &payload[1..1 + cid.len()] == cid.as_slice())
+    }
+}
+
+fn protocol_of(kind: &CandidateKind) -> Protocol {
+    match kind {
+        CandidateKind::Stun { .. } | CandidateKind::ChannelData { .. } => Protocol::StunTurn,
+        CandidateKind::Rtp { .. } => Protocol::Rtp,
+        CandidateKind::Rtcp { .. } => Protocol::Rtcp,
+        CandidateKind::QuicLong { .. } | CandidateKind::QuicShortProbe => Protocol::Quic,
+    }
+}
+
+/// Resolve one datagram: validate candidates, enforce the one-owner rule
+/// (with defined nesting and RTP truncation), and classify the datagram.
+pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &ValidationContext) -> DatagramDissection {
+    struct Accepted {
+        kind: CandidateKind,
+        offset: usize,
+        len: usize,
+        nested: bool,
+    }
+
+    let payload = &d.payload;
+    let mut accepted: Vec<Accepted> = Vec::new();
+    let mut free = 0usize; // next unclaimed top-level byte
+    let mut container: Option<(usize, usize)> = None; // nested-allowed region
+    let mut nested_free = 0usize;
+    let mut gap_in_middle = false;
+    let mut nested_gap = 0usize;
+
+    for c in candidates {
+        // --- Validation (step 2) -----------------------------------------
+        let pre_valid = match &c.kind {
+            // Modern STUN: the 32-bit magic cookie is decisive on its own.
+            CandidateKind::Stun { modern: true, .. } => true,
+            // Classic (cookie-less) STUN: exact cover + clean TLV walk at
+            // extraction, plus repetition — the paper pairs transactions to
+            // the same end; a single structural match of the weak RFC 3489
+            // header is not trustworthy.
+            CandidateKind::Stun { modern: false, message_type } => {
+                ctx.legacy_stun_groups.contains(&(d.five_tuple, *message_type))
+            }
+            CandidateKind::ChannelData { .. } => true, // exact-length at extraction
+            CandidateKind::Rtp { ssrc, .. } => ctx.rtp_valid(d.five_tuple, *ssrc),
+            CandidateKind::Rtcp { .. } => {
+                let body = &payload[c.offset + 4..c.offset + c.len];
+                let ssrc = (body.len() >= 4).then(|| u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+                ctx.rtcp_ssrc_valid(d.five_tuple, ssrc)
+                    // Compound continuation: an RTCP packet directly following
+                    // an accepted RTCP packet belongs to the same compound.
+                    || (c.offset == free
+                        && accepted.last().map_or(false, |a| {
+                            !a.nested && matches!(a.kind, CandidateKind::Rtcp { .. })
+                        }))
+            }
+            CandidateKind::QuicLong { .. } => true,
+            CandidateKind::QuicShortProbe => ctx.quic_short_valid(d.five_tuple, payload),
+        };
+        if !pre_valid {
+            continue;
+        }
+
+        // --- Overlap / nesting resolution (step 3) ------------------------
+        if let Some((ds, de)) = container {
+            if c.offset >= nested_free.max(ds) && c.end() <= de {
+                if accepted.iter().filter(|a| a.nested).count() == 0 && c.offset > ds {
+                    nested_gap = c.offset; // proprietary bytes inside the container
+                }
+                nested_free = c.end();
+                accepted.push(Accepted { kind: c.kind.clone(), offset: c.offset, len: c.len, nested: true });
+                continue;
+            }
+        }
+        if c.offset >= free {
+            if c.offset > free && !accepted.is_empty() {
+                gap_in_middle = true;
+            }
+            // New containers: ChannelData payloads and STUN DATA attributes.
+            container = match (&c.kind, c.data_attr) {
+                (CandidateKind::ChannelData { .. }, _) => Some((c.offset + 4, c.end())),
+                (CandidateKind::Stun { .. }, Some((s, e))) => Some((c.offset + s, c.offset + e)),
+                _ => None,
+            };
+            nested_free = container.map(|(s, _)| s).unwrap_or(0);
+            free = c.end();
+            accepted.push(Accepted { kind: c.kind.clone(), offset: c.offset, len: c.len, nested: false });
+            continue;
+        }
+        // Overlap with the previous top-level message: only RTP-after-RTP
+        // truncation is defined (Zoom's double-RTP, §5.3).
+        let truncatable = accepted.last().map_or(false, |a| {
+            !a.nested
+                && matches!(a.kind, CandidateKind::Rtp { .. })
+                && matches!(c.kind, CandidateKind::Rtp { .. })
+                && c.offset >= a.offset + rtc_wire::rtp::MIN_HEADER_LEN
+        });
+        if truncatable {
+            let prev = accepted.last_mut().expect("just matched");
+            prev.len = c.offset - prev.offset;
+            free = c.end();
+            accepted.push(Accepted { kind: c.kind.clone(), offset: c.offset, len: c.len, nested: false });
+        }
+        // Otherwise: overlapping candidate, dropped.
+    }
+
+    // --- Classification (§4.1.2) ------------------------------------------
+    let messages: Vec<DpiMessage> = accepted
+        .iter()
+        .map(|a| DpiMessage {
+            protocol: protocol_of(&a.kind),
+            kind: a.kind.clone(),
+            offset: a.offset,
+            data: payload.slice(a.offset..a.offset + a.len),
+            nested: a.nested,
+        })
+        .collect();
+
+    let prefix = accepted.iter().find(|a| !a.nested).map(|a| a.offset).unwrap_or(0);
+    let trailing_len = payload.len().saturating_sub(free);
+    let last_top = accepted.iter().rev().find(|a| !a.nested);
+    let last_is_rtcp = last_top.map_or(false, |a| matches!(a.kind, CandidateKind::Rtcp { .. }));
+    let last_is_channeldata = last_top.map_or(false, |a| matches!(a.kind, CandidateKind::ChannelData { .. }));
+    // SRTCP / proprietary RTCP trailers and short ChannelData length
+    // shortfalls stay "standard" datagrams for Figure 3 — the compliance
+    // layer, not the classifier, judges them.
+    let trailing_tolerated = trailing_len == 0
+        || (last_is_rtcp && trailing_len <= 16)
+        || (last_is_channeldata && trailing_len <= 3);
+
+    let class = if messages.is_empty() {
+        DatagramClass::FullyProprietary
+    } else if prefix > 0 || gap_in_middle || nested_gap > 0 || !trailing_tolerated {
+        DatagramClass::ProprietaryHeader
+    } else {
+        DatagramClass::Standard
+    };
+    let prop_header_len = if prefix > 0 { prefix } else { nested_gap };
+
+    let prefix_end = accepted.iter().find(|a| !a.nested).map(|a| a.offset).unwrap_or(payload.len());
+    DatagramDissection {
+        ts: d.ts,
+        stream: d.five_tuple,
+        payload_len: payload.len(),
+        messages,
+        prefix: payload.slice(..prefix_end),
+        trailing: payload.slice(free.min(payload.len())..),
+        class,
+        prop_header_len,
+    }
+}

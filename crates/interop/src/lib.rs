@@ -1,0 +1,447 @@
+//! # rtc-interop
+//!
+//! The paper's §6 argues that the EU Digital Markets Act's interoperability
+//! mandate collides with today's protocol non-compliance: "each application
+//! would need to implement bespoke parsers to handle the protocol quirks of
+//! every other application". This crate makes that engineering question
+//! quantitative by implementing the bespoke layer once — a *normalizer*
+//! that mechanically rewrites a datagram into specification-compliant form
+//! where a mechanical rewrite exists:
+//!
+//! * proprietary prefixes are stripped (the embedded standard messages are
+//!   re-emitted at offset zero),
+//! * undefined STUN/TURN attributes are removed and lengths recomputed
+//!   (FINGERPRINT, if present, is recalculated),
+//! * undefined RTP extension profiles are dropped and reserved-ID-0
+//!   one-byte elements are removed,
+//! * undefined RTCP trailers (Discord's direction byte) are stripped,
+//! * ChannelData length shortfalls are corrected.
+//!
+//! What *cannot* be fixed mechanically is the interesting residue:
+//! undefined message types (no semantics to translate), missing SRTCP
+//! authentication tags (the key material does not exist on the wire) and
+//! fully proprietary datagrams. [`normalize_call`] reports both halves, and
+//! the round-trip property — *normalized traffic re-judged by the same
+//! checker is compliant* — is asserted in this crate's tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rtc_dpi::{CandidateKind, DatagramClass, DatagramDissection, DpiMessage};
+use rtc_wire::rtp;
+use rtc_wire::stun::{self, Message, MessageBuilder};
+
+/// Why a datagram (or message) could not be normalized.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Unfixable {
+    /// The message type itself is undefined; there are no semantics to
+    /// translate into.
+    UndefinedMessageType(String),
+    /// The datagram carries no recognizable standard message at all.
+    FullyProprietary,
+    /// SRTCP authentication material is absent and cannot be invented.
+    MissingAuthTag,
+    /// A structural repair failed (malformed beyond mechanical rewriting).
+    RepairFailed(&'static str),
+}
+
+/// The outcome for one datagram.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Already fully compliant; forward as-is.
+    AlreadyCompliant,
+    /// Rewritten into the returned compliant payload(s) — one per
+    /// top-level message (a gateway would forward each separately).
+    Normalized(Vec<Vec<u8>>),
+    /// Not mechanically translatable.
+    Dropped(Unfixable),
+}
+
+/// Aggregate statistics for a normalized call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NormalizationReport {
+    /// Datagrams forwarded unchanged.
+    pub passed: usize,
+    /// Datagrams rewritten into compliant form.
+    pub normalized: usize,
+    /// Datagrams a gateway would have to drop (or handle with
+    /// app-specific logic), by reason.
+    pub dropped: std::collections::BTreeMap<String, usize>,
+}
+
+impl NormalizationReport {
+    /// Fraction of datagrams a mechanical gateway can forward.
+    pub fn translatable_ratio(&self) -> f64 {
+        let dropped: usize = self.dropped.values().sum();
+        let total = self.passed + self.normalized + dropped;
+        if total == 0 {
+            1.0
+        } else {
+            (self.passed + self.normalized) as f64 / total as f64
+        }
+    }
+}
+
+/// Normalize one dissected datagram.
+pub fn normalize_datagram(dgram: &DatagramDissection) -> Outcome {
+    if dgram.class == DatagramClass::FullyProprietary {
+        return Outcome::Dropped(Unfixable::FullyProprietary);
+    }
+
+    let mut rewritten = Vec::new();
+    let mut changed = dgram.class == DatagramClass::ProprietaryHeader;
+    for msg in &dgram.messages {
+        // Nested messages ride inside their (rewritten) container except
+        // when the container itself was proprietary framing; the simple
+        // gateway policy here forwards each top-level unit. Nested RTP
+        // inside compliant ChannelData stays inside it.
+        if msg.nested {
+            continue;
+        }
+        match normalize_message(dgram, msg) {
+            Ok(Some(bytes)) => {
+                changed = true;
+                rewritten.push(bytes);
+            }
+            Ok(None) => rewritten.push(msg.data.to_vec()),
+            Err(u) => return Outcome::Dropped(u),
+        }
+    }
+    if rewritten.is_empty() {
+        return Outcome::Dropped(Unfixable::RepairFailed("no top-level messages"));
+    }
+    // Discord's trailer (or any unexplained trailing bytes) is stripped by
+    // construction: only message bytes are re-emitted. SRTCP trailers are
+    // the exception — they must be preserved, and a missing tag is fatal.
+    if !dgram.trailing.is_empty() {
+        match rtc_compliance::rtcp::classify_trailer(&dgram.trailing) {
+            rtc_compliance::rtcp::TrailerKind::Srtcp { auth_tag_len: 0 } => {
+                return Outcome::Dropped(Unfixable::MissingAuthTag)
+            }
+            rtc_compliance::rtcp::TrailerKind::Srtcp { .. } => {
+                // Keep the valid trailer attached to the last message.
+                if let Some(last) = rewritten.last_mut() {
+                    last.extend_from_slice(&dgram.trailing);
+                }
+            }
+            rtc_compliance::rtcp::TrailerKind::Undefined { .. } => changed = true, // stripped
+            rtc_compliance::rtcp::TrailerKind::None => {}
+        }
+    }
+
+    if changed {
+        Outcome::Normalized(rewritten)
+    } else {
+        Outcome::AlreadyCompliant
+    }
+}
+
+/// Normalize one message: `Ok(None)` = already compliant as-is,
+/// `Ok(Some(bytes))` = rewritten, `Err` = untranslatable.
+fn normalize_message(dgram: &DatagramDissection, msg: &DpiMessage) -> Result<Option<Vec<u8>>, Unfixable> {
+    match &msg.kind {
+        CandidateKind::Stun { message_type, modern } => {
+            if !rtc_compliance::registry::stun_type_defined(*message_type) {
+                return Err(Unfixable::UndefinedMessageType(format!("{message_type:#06x}")));
+            }
+            let parsed = Message::new_checked(&msg.data).map_err(|_| Unfixable::RepairFailed("stun reparse"))?;
+            // Drop undefined attributes; keep defined ones in order.
+            let mut kept: Vec<(u16, Vec<u8>)> = Vec::new();
+            let mut dropped_any = false;
+            let mut had_fingerprint = false;
+            for a in parsed.attributes().flatten() {
+                if a.typ == stun::attr::FINGERPRINT {
+                    had_fingerprint = true;
+                    continue; // recomputed below when needed
+                }
+                if rtc_compliance::registry::stun_attr_defined(a.typ) {
+                    kept.push((a.typ, a.value.to_vec()));
+                } else {
+                    dropped_any = true;
+                }
+            }
+            if !dropped_any {
+                return Ok(None);
+            }
+            let mut txid = [0u8; 12];
+            txid.copy_from_slice(parsed.transaction_id());
+            let mut b = if *modern {
+                MessageBuilder::new(*message_type, txid)
+            } else {
+                let mut prefix = [0u8; 4];
+                prefix.copy_from_slice(&parsed.legacy_transaction_id()[..4]);
+                MessageBuilder::new_legacy(*message_type, prefix, txid)
+            };
+            for (t, v) in kept {
+                b = b.attribute(t, v);
+            }
+            Ok(Some(if had_fingerprint { b.build_with_fingerprint() } else { b.build() }))
+        }
+        CandidateKind::ChannelData { channel } => {
+            if !stun::ChannelData::CHANNEL_RANGE.contains(channel) {
+                // Out-of-range channels do not reach the DPI as ChannelData
+                // anymore, but keep the gateway defensive.
+                return Err(Unfixable::RepairFailed("channel out of range"));
+            }
+            if dgram.trailing.is_empty() {
+                Ok(None)
+            } else {
+                // Length shortfall: rebuild the frame over its actual data.
+                let cd = stun::ChannelData::new_checked(&msg.data)
+                    .map_err(|_| Unfixable::RepairFailed("channeldata reparse"))?;
+                Ok(Some(stun::ChannelData::build(cd.channel_number(), cd.data())))
+            }
+        }
+        CandidateKind::Rtp { .. } => {
+            let parsed = rtp::Packet::new_checked(&msg.data).map_err(|_| Unfixable::RepairFailed("rtp reparse"))?;
+            let Some(ext) = parsed.extension() else {
+                return Ok(None);
+            };
+            let defined_profile = rtc_compliance::registry::rtp_ext_profile_defined(ext.profile);
+            let bad_elements = defined_profile
+                && ext.is_one_byte_form()
+                && ext.one_byte_elements().iter().any(|e| e.id == 0 && (e.wire_len > 0 || !e.data.is_empty()));
+            if defined_profile && !bad_elements {
+                return Ok(None);
+            }
+            // Rebuild: drop an undefined-profile extension entirely; keep a
+            // defined one minus its reserved-ID elements.
+            let mut b = rtp::PacketBuilder::new(
+                parsed.payload_type(),
+                parsed.sequence_number(),
+                parsed.timestamp(),
+                parsed.ssrc(),
+            )
+            .marker(parsed.marker())
+            .payload(parsed.payload().to_vec());
+            for csrc in parsed.csrcs() {
+                b = b.csrc(csrc);
+            }
+            if defined_profile {
+                let elements: Vec<(u8, Vec<u8>)> = ext
+                    .one_byte_elements()
+                    .into_iter()
+                    .filter(|e| (1..=14).contains(&e.id) && !e.data.is_empty() && e.data.len() <= 16)
+                    .map(|e| (e.id, e.data.to_vec()))
+                    .collect();
+                if !elements.is_empty() {
+                    let refs: Vec<(u8, &[u8])> = elements.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+                    b = b.one_byte_extension(&refs);
+                }
+            }
+            Ok(Some(b.build()))
+        }
+        CandidateKind::Rtcp { .. } => Ok(None), // header-level issues are in the trailer, handled above
+        CandidateKind::QuicLong { .. } | CandidateKind::QuicShortProbe => Ok(None),
+    }
+}
+
+/// Normalize every datagram of a dissected call.
+pub fn normalize_call(dissection: &rtc_dpi::CallDissection) -> (NormalizationReport, Vec<Outcome>) {
+    let mut report = NormalizationReport::default();
+    let mut outcomes = Vec::with_capacity(dissection.datagrams.len());
+    for d in &dissection.datagrams {
+        let o = normalize_datagram(d);
+        match &o {
+            Outcome::AlreadyCompliant => report.passed += 1,
+            Outcome::Normalized(_) => report.normalized += 1,
+            Outcome::Dropped(u) => {
+                let key = match u {
+                    Unfixable::UndefinedMessageType(_) => "undefined message type".to_string(),
+                    Unfixable::FullyProprietary => "fully proprietary".to_string(),
+                    Unfixable::MissingAuthTag => "missing SRTCP auth tag".to_string(),
+                    Unfixable::RepairFailed(w) => format!("repair failed: {w}"),
+                };
+                *report.dropped.entry(key).or_default() += 1;
+            }
+        }
+        outcomes.push(o);
+    }
+    (report, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rtc_dpi::{dissect_call, DpiConfig};
+    use rtc_pcap::trace::Datagram;
+    use rtc_pcap::Timestamp;
+    use rtc_wire::ip::FiveTuple;
+    use rtc_wire::rtp::PacketBuilder;
+
+    fn dgram(ts_ms: u64, payload: Vec<u8>) -> Datagram {
+        Datagram {
+            ts: Timestamp::from_millis(ts_ms),
+            five_tuple: FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "1.2.3.4:2000".parse().unwrap()),
+            payload: Bytes::from(payload),
+        }
+    }
+
+    /// Run DPI + normalize, then DPI + compliance over the rewritten bytes,
+    /// returning the re-judged volume compliance.
+    fn roundtrip_compliance(datagrams: Vec<Datagram>) -> f64 {
+        let dis = dissect_call(&datagrams, &DpiConfig::default());
+        let (_, outcomes) = normalize_call(&dis);
+        let mut rewritten = Vec::new();
+        for (orig, o) in datagrams.iter().zip(outcomes) {
+            match o {
+                Outcome::AlreadyCompliant => rewritten.push(orig.clone()),
+                Outcome::Normalized(payloads) => {
+                    for p in payloads {
+                        rewritten.push(Datagram { payload: Bytes::from(p), ..orig.clone() });
+                    }
+                }
+                Outcome::Dropped(_) => {}
+            }
+        }
+        let dis2 = dissect_call(&rewritten, &DpiConfig::default());
+        rtc_compliance::check_call(&dis2).volume_compliance()
+    }
+
+    #[test]
+    fn proprietary_prefix_is_stripped() {
+        let mut d = Vec::new();
+        for i in 0..8u16 {
+            let mut p = vec![0x0B; 12]; // proprietary prefix
+            p.extend(PacketBuilder::new(96, 100 + i, 0, 0x55).payload(vec![1; 40]).build());
+            d.push(dgram(i as u64 * 20, p));
+        }
+        let dis = dissect_call(&d, &DpiConfig::default());
+        let (report, outcomes) = normalize_call(&dis);
+        assert_eq!(report.normalized, 8);
+        for o in outcomes {
+            match o {
+                Outcome::Normalized(payloads) => {
+                    assert_eq!(payloads.len(), 1);
+                    let p = rtp::Packet::new_checked(&payloads[0]).unwrap();
+                    assert_eq!(p.ssrc(), 0x55);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!((roundtrip_compliance(d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undefined_stun_attributes_are_removed_and_fingerprint_recomputed() {
+        let bytes = rtc_wire::stun::MessageBuilder::new(0x0001, [7; 12])
+            .attribute(rtc_wire::stun::attr::PRIORITY, vec![0, 0, 1, 0])
+            .attribute(0x8007, vec![0, 0, 0, 9]) // FaceTime's undefined attr
+            .build_with_fingerprint();
+        let d = vec![dgram(0, bytes)];
+        let dis = dissect_call(&d, &DpiConfig::default());
+        let (report, outcomes) = normalize_call(&dis);
+        assert_eq!(report.normalized, 1);
+        let Outcome::Normalized(payloads) = &outcomes[0] else { panic!() };
+        let m = Message::new_checked(&payloads[0]).unwrap();
+        assert!(m.attribute(0x8007).is_none());
+        assert!(m.attribute(rtc_wire::stun::attr::PRIORITY).is_some());
+        assert_eq!(m.verify_fingerprint(), Some(true), "fingerprint recomputed");
+        assert!((roundtrip_compliance(d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undefined_message_types_are_dropped() {
+        let bytes = rtc_wire::stun::MessageBuilder::new(0x0801, [7; 12])
+            .attribute(0x4003, vec![0xFF])
+            .build();
+        let d = vec![dgram(0, bytes)];
+        let dis = dissect_call(&d, &DpiConfig::default());
+        let (report, _) = normalize_call(&dis);
+        assert_eq!(report.dropped.get("undefined message type"), Some(&1));
+        assert!(report.translatable_ratio() < 1.0);
+    }
+
+    #[test]
+    fn undefined_rtp_extension_profile_is_stripped() {
+        let d: Vec<Datagram> = (0..8)
+            .map(|i| {
+                dgram(
+                    i * 20,
+                    PacketBuilder::new(100, 100 + i as u16, 9, 0x66)
+                        .extension(0x8500, vec![1, 2, 3, 4])
+                        .payload(vec![2; 30])
+                        .build(),
+                )
+            })
+            .collect();
+        assert!((roundtrip_compliance(d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserved_id_zero_elements_are_removed_but_good_ones_kept() {
+        let d: Vec<Datagram> = (0..8)
+            .map(|i| {
+                let mut ext = vec![0x02u8, 9, 9, 9]; // id 0, len 2 (+3 data)
+                ext.push(0x10 | 0x00); // id 1, len field 0 → 1 byte
+                ext.push(0x42);
+                dgram(
+                    i * 20,
+                    PacketBuilder::new(120, 100 + i as u16, 9, 0x67)
+                        .extension(rtp::ONE_BYTE_PROFILE, ext)
+                        .payload(vec![2; 30])
+                        .build(),
+                )
+            })
+            .collect();
+        let dis = dissect_call(&d, &DpiConfig::default());
+        let (_, outcomes) = normalize_call(&dis);
+        let Outcome::Normalized(payloads) = &outcomes[0] else { panic!("{:?}", outcomes[0]) };
+        let p = rtp::Packet::new_checked(&payloads[0]).unwrap();
+        let els = p.extension().unwrap().one_byte_elements();
+        assert_eq!(els.len(), 1);
+        assert_eq!(els[0].id, 1);
+        assert_eq!(els[0].data, &[0x42]);
+        assert!((roundtrip_compliance(d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discord_trailer_is_stripped() {
+        // Establish the stream's RTP SSRC so the RTCP validates, then a
+        // trailered RTCP message.
+        let mut d: Vec<Datagram> = (0..6)
+            .map(|i| dgram(i * 20, PacketBuilder::new(96, 100 + i as u16, 0, 0x99).payload(vec![0; 30]).build()))
+            .collect();
+        let mut rtcp_bytes = rtc_wire::rtcp::Feedback {
+            packet_type: rtc_wire::rtcp::packet_type::RTPFB,
+            fmt: 15,
+            sender_ssrc: 0x99,
+            media_ssrc: 0x99,
+            fci: vec![0; 8],
+        }
+        .build();
+        rtcp_bytes.extend_from_slice(&[0x00, 0x2A, 0x80]);
+        d.push(dgram(200, rtcp_bytes));
+        assert!((roundtrip_compliance(d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_srtcp_tag_is_unfixable() {
+        let mut d: Vec<Datagram> = (0..6)
+            .map(|i| dgram(i * 20, PacketBuilder::new(96, 100 + i as u16, 0, 0x9A).payload(vec![0; 30]).build()))
+            .collect();
+        let mut body = 0x9Au32.to_be_bytes().to_vec();
+        body.extend_from_slice(&[0xEE; 20]);
+        let mut pkt = rtc_wire::rtcp::build_raw(1, 200, &body);
+        pkt.extend_from_slice(
+            &rtc_wire::rtcp::SrtcpTrailer { encrypted: true, index: 5, auth_tag_len: 0 }.build(1),
+        );
+        d.push(dgram(200, pkt));
+        let dis = dissect_call(&d, &DpiConfig::default());
+        let (report, _) = normalize_call(&dis);
+        assert_eq!(report.dropped.get("missing SRTCP auth tag"), Some(&1));
+    }
+
+    #[test]
+    fn compliant_traffic_passes_untouched() {
+        let d: Vec<Datagram> = (0..10)
+            .map(|i| dgram(i * 20, PacketBuilder::new(111, 100 + i as u16, 0, 0x11).payload(vec![0; 60]).build()))
+            .collect();
+        let dis = dissect_call(&d, &DpiConfig::default());
+        let (report, _) = normalize_call(&dis);
+        assert_eq!(report.passed, 10);
+        assert_eq!(report.normalized, 0);
+        assert!((report.translatable_ratio() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rtc-netemu
+//!
+//! The deterministic network-emulation substrate under the call experiments.
+//!
+//! The paper runs real 1-on-1 calls between two iPhones over Wi-Fi (an
+//! OpenWRT router with controllable UDP hole punching) and Verizon 4G, and
+//! captures the packets with Wireshark. This crate replaces the physical
+//! setup with a reproducible model:
+//!
+//! * [`rng::DetRng`] — a seeded SplitMix64 generator; every byte of every
+//!   synthesized trace derives from the experiment seed, so experiments are
+//!   exactly reproducible,
+//! * [`net`] — the three network configurations of §3.1.1 (Wi-Fi with P2P
+//!   enabled, Wi-Fi with P2P blocked, cellular) with per-path latency,
+//!   jitter and loss,
+//! * [`addr`] — device and infrastructure address allocation (private LAN
+//!   ranges, carrier-grade NAT, public server pools per application),
+//! * [`sink::TrafficSink`] — the capture vantage point: collects emulated
+//!   packets from both devices, applies path effects, and renders a
+//!   time-ordered pcap [`rtc_pcap::Trace`] exactly like the merged
+//!   two-device Wireshark capture the paper works from.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod net;
+pub mod rng;
+pub mod sink;
+
+pub use addr::AddressAllocator;
+pub use net::{NetworkConfig, PathProfile, TransmissionMode};
+pub use rng::DetRng;
+pub use sink::TrafficSink;

@@ -1,0 +1,179 @@
+//! The capture vantage point.
+//!
+//! Application models emit `(timestamp, five-tuple, payload)` events; the
+//! sink applies path effects (loss for lossy media pushes, sampled delays
+//! for request/response scheduling) and renders everything into a
+//! time-ordered Ethernet [`Trace`], exactly what the paper's merged
+//! two-device Wireshark capture provides to the analysis pipeline.
+//!
+//! Modeling note: each packet is captured **once** (at its sending hop).
+//! The paper captures at both devices, so a P2P packet can be seen twice
+//! there; that uniform factor scales absolute counts, never the compliance
+//! *ratios* the study reports.
+
+use crate::net::PathProfile;
+use crate::rng::DetRng;
+use rtc_pcap::{LinkType, Record, Timestamp, Trace};
+use rtc_wire::ip::{build_ethernet_packet, FiveTuple};
+use std::collections::HashMap;
+
+/// Collects emulated packets and renders a pcap trace.
+#[derive(Debug)]
+pub struct TrafficSink {
+    profile: PathProfile,
+    rng: DetRng,
+    events: Vec<(Timestamp, FiveTuple, Vec<u8>)>,
+    tcp_seq: HashMap<FiveTuple, u32>,
+    dropped: u64,
+}
+
+impl TrafficSink {
+    /// Create a sink for one call experiment.
+    pub fn new(profile: PathProfile, rng: DetRng) -> TrafficSink {
+        TrafficSink { profile, rng, events: Vec::new(), tcp_seq: HashMap::new(), dropped: 0 }
+    }
+
+    /// Capture a packet unconditionally (control traffic, keepalives —
+    /// anything whose count the emulation must preserve exactly).
+    pub fn push(&mut self, ts: Timestamp, tuple: FiveTuple, payload: Vec<u8>) {
+        self.events.push((ts, tuple, payload));
+    }
+
+    /// Capture a packet subject to the path's loss process (bulk media).
+    /// Returns `false` if the packet was dropped.
+    pub fn push_lossy(&mut self, ts: Timestamp, tuple: FiveTuple, payload: Vec<u8>) -> bool {
+        if self.profile.sample_loss(&mut self.rng) {
+            self.dropped += 1;
+            false
+        } else {
+            self.push(ts, tuple, payload);
+            true
+        }
+    }
+
+    /// Sample a one-way path delay, for scheduling responses.
+    pub fn one_way_us(&mut self) -> u64 {
+        self.profile.sample_delay_us(&mut self.rng)
+    }
+
+    /// Sample a round-trip delay.
+    pub fn rtt_us(&mut self) -> u64 {
+        self.one_way_us() + self.one_way_us()
+    }
+
+    /// Packets dropped by the loss process so far.
+    pub fn dropped(&mut self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of captured events so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render the capture: sort by time and frame every event.
+    pub fn finish(mut self) -> Trace {
+        self.events.sort_by_key(|(ts, tuple, _)| (*ts, *tuple));
+        let mut trace = Trace { link_type: LinkType::Ethernet, records: Vec::with_capacity(self.events.len()) };
+        for (ts, tuple, payload) in self.events {
+            let seq = self.tcp_seq.entry(tuple).or_insert(1);
+            let frame = build_ethernet_packet(&tuple, &payload, *seq);
+            *seq = seq.wrapping_add(payload.len().max(1) as u32);
+            trace.records.push(Record { ts, data: frame.into() });
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkConfig;
+
+    fn sink() -> TrafficSink {
+        TrafficSink::new(NetworkConfig::WifiP2p.path_profile(), DetRng::new(4))
+    }
+
+    fn tuple(port: u16) -> FiveTuple {
+        FiveTuple::udp(
+            format!("192.168.1.101:{port}").parse().unwrap(),
+            "203.0.113.50:3478".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn finish_orders_by_time() {
+        let mut s = sink();
+        s.push(Timestamp::from_millis(30), tuple(1000), vec![3]);
+        s.push(Timestamp::from_millis(10), tuple(1001), vec![1]);
+        s.push(Timestamp::from_millis(20), tuple(1002), vec![2]);
+        let trace = s.finish();
+        let ts: Vec<u64> = trace.records.iter().map(|r| r.ts.as_micros()).collect();
+        assert_eq!(ts, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn datagrams_survive_roundtrip() {
+        let mut s = sink();
+        s.push(Timestamp::from_millis(1), tuple(2000), b"abc".to_vec());
+        let trace = s.finish();
+        let d = trace.datagrams();
+        assert_eq!(d.len(), 1);
+        assert_eq!(&d[0].payload[..], b"abc");
+        assert_eq!(d[0].five_tuple, tuple(2000));
+    }
+
+    #[test]
+    fn lossy_pushes_drop_some_packets() {
+        let mut s = TrafficSink::new(
+            PathProfile { base_latency_us: 1000, jitter_us: 10, loss: 0.2 },
+            DetRng::new(8),
+        );
+        let mut kept = 0;
+        for i in 0..2000 {
+            if s.push_lossy(Timestamp::from_millis(i), tuple(3000), vec![0]) {
+                kept += 1;
+            }
+        }
+        assert!(kept < 2000);
+        assert!(s.dropped() > 200);
+        assert_eq!(s.len(), kept);
+    }
+
+    #[test]
+    fn unconditional_push_never_drops() {
+        let mut s = TrafficSink::new(
+            PathProfile { base_latency_us: 1000, jitter_us: 10, loss: 1.0 },
+            DetRng::new(8),
+        );
+        for i in 0..100 {
+            s.push(Timestamp::from_millis(i), tuple(4000), vec![0]);
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn rtt_exceeds_one_way() {
+        let mut s = sink();
+        let ow = s.one_way_us();
+        assert!(ow > 0);
+        assert!(s.rtt_us() > 0);
+    }
+
+    #[test]
+    fn tcp_segments_roundtrip() {
+        let mut s = sink();
+        let t = FiveTuple::tcp("192.168.1.101:52000".parse().unwrap(), "17.57.8.1:443".parse().unwrap());
+        s.push(Timestamp::from_millis(1), t, b"tls-bytes".to_vec());
+        let trace = s.finish();
+        let d = trace.datagrams();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].five_tuple, t);
+        assert_eq!(&d[0].payload[..], b"tls-bytes");
+    }
+}

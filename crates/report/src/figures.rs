@@ -1,0 +1,126 @@
+//! Regeneration of the paper's Figures 3–5 as data series (text bars +
+//! CSV) rather than images: the *numbers* are what the reproduction
+//! compares.
+
+use crate::render::{pct, TextTable};
+use crate::StudyData;
+use rtc_dpi::Protocol;
+
+/// Figure 3 — breakdown of datagrams: standard vs proprietary-header vs
+/// fully-proprietary, per application.
+pub fn figure3(data: &StudyData) -> TextTable {
+    let mut t = TextTable::new(
+        "Figure 3: breakdown of datagrams (standard vs proprietary)",
+        &["Application", "Standard", "Proprietary header", "Fully proprietary"],
+    );
+    for app in data.apps() {
+        let (s, p, f) = data.app_class_shares(&app);
+        t.row(vec![app, pct(s), pct(p), pct(f)]);
+    }
+    t
+}
+
+/// Figure 4 — compliance ratio by traffic volume: one series per
+/// application, one per protocol.
+pub fn figure4(data: &StudyData) -> TextTable {
+    let mut t = TextTable::new(
+        "Figure 4: compliance ratio by traffic volume",
+        &["Series", "Subject", "Compliance"],
+    );
+    for app in data.apps() {
+        t.row(vec!["application".into(), app.clone(), pct(data.app_volume_compliance(&app))]);
+    }
+    for p in Protocol::ALL {
+        let observed = data.calls.iter().flat_map(|c| c.checked.messages.iter()).any(|m| m.protocol == p);
+        if observed {
+            t.row(vec!["protocol".into(), p.label().into(), pct(data.protocol_volume_compliance(p))]);
+        }
+    }
+    t
+}
+
+/// Figure 5 — compliance ratio by message type: one series per
+/// application, one per protocol.
+pub fn figure5(data: &StudyData) -> TextTable {
+    let mut t = TextTable::new(
+        "Figure 5: compliance ratio by message type",
+        &["Series", "Subject", "Compliance", "Types"],
+    );
+    for app in data.apps() {
+        let (ok, total) = data.app_type_ratio_all(&app);
+        t.row(vec![
+            "application".into(),
+            app.clone(),
+            pct(data.app_type_compliance_ratio(&app)),
+            format!("{ok}/{total}"),
+        ]);
+    }
+    for p in Protocol::ALL {
+        let (ok, total) = data.protocol_type_ratio(p);
+        if total > 0 {
+            t.row(vec![
+                "protocol".into(),
+                p.label().into(),
+                pct(ok as f64 / total as f64),
+                format!("{ok}/{total}"),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CallRecord, StudyData};
+    use rtc_compliance::{CheckedCall, CheckedMessage, TypeKey};
+    use rtc_pcap::Timestamp;
+    use rtc_wire::ip::FiveTuple;
+
+    fn sample() -> StudyData {
+        let msg = |p, k, ok: bool| CheckedMessage {
+            protocol: p,
+            type_key: k,
+            ts: Timestamp::ZERO,
+            stream: FiveTuple::udp("10.0.0.1:1".parse().unwrap(), "1.2.3.4:2".parse().unwrap()),
+            violation: (!ok).then(|| {
+                rtc_compliance::Violation::new(rtc_compliance::Criterion::HeaderFieldsValid, "x")
+            }),
+        };
+        StudyData {
+            calls: vec![CallRecord {
+                app: "FaceTime".into(),
+                network: "cellular".into(),
+                repeat: 0,
+                raw_bytes: 0,
+                raw: Default::default(),
+                stage1: Default::default(),
+                stage2: Default::default(),
+                rtc: Default::default(),
+                classes: (5, 90, 5),
+                checked: CheckedCall {
+                    messages: vec![
+                        msg(Protocol::Rtp, TypeKey::Rtp(100), false),
+                        msg(Protocol::Quic, TypeKey::QuicShort, true),
+                    ],
+                    fully_proprietary_datagrams: 5,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn figures_render() {
+        let s = sample();
+        let f3 = figure3(&s).to_text();
+        assert!(f3.contains("FaceTime"));
+        assert!(f3.contains("90.0%"));
+        let f4 = figure4(&s).to_text();
+        assert!(f4.contains("QUIC"));
+        assert!(f4.contains("100.0%"));
+        assert!(f4.contains("50.0%")); // FaceTime volume compliance
+        let f5 = figure5(&s).to_text();
+        assert!(f5.contains("1/1")); // QUIC types
+        assert!(f5.contains("0/1")); // RTP types
+    }
+}

@@ -1,0 +1,105 @@
+//! Machine-readable study export (the dataset artifact the paper releases
+//! alongside its framework).
+
+use crate::StudyData;
+use rtc_dpi::Protocol;
+use serde_json::json;
+
+/// Serialize the full study summary as JSON: per-application volume/type
+/// metrics, distributions, class shares and type inventories.
+pub fn study_to_json(data: &StudyData) -> serde_json::Value {
+    let apps: Vec<serde_json::Value> = data
+        .apps()
+        .iter()
+        .map(|app| {
+            let (shares, fully) = data.app_message_distribution(app);
+            let (std_s, prop, fprop) = data.app_class_shares(app);
+            let (ok, total) = data.app_type_ratio_all(app);
+            let inventories: serde_json::Value = Protocol::ALL
+                .iter()
+                .map(|p| {
+                    let (c, n) = data.app_type_lists(app, *p);
+                    (
+                        p.label().to_string(),
+                        json!({
+                            "compliant": c.iter().map(|k| k.to_string()).collect::<Vec<_>>(),
+                            "non_compliant": n.iter().map(|k| k.to_string()).collect::<Vec<_>>(),
+                        }),
+                    )
+                })
+                .collect::<serde_json::Map<_, _>>()
+                .into();
+            json!({
+                "application": app,
+                "volume_compliance": data.app_volume_compliance(app),
+                "type_compliance": { "compliant": ok, "total": total },
+                "message_distribution": shares
+                    .iter()
+                    .map(|(p, s)| (p.label().to_string(), json!(*s)))
+                    .collect::<serde_json::Map<String, serde_json::Value>>(),
+                "fully_proprietary_share": fully,
+                "datagram_classes": { "standard": std_s, "proprietary_header": prop, "fully_proprietary": fprop },
+                "types": inventories,
+            })
+        })
+        .collect();
+    let protocols: serde_json::Value = Protocol::ALL
+        .iter()
+        .map(|p| {
+            let (ok, total) = data.protocol_type_ratio(*p);
+            (
+                p.label().to_string(),
+                json!({
+                    "volume_compliance": data.protocol_volume_compliance(*p),
+                    "type_compliance": { "compliant": ok, "total": total },
+                }),
+            )
+        })
+        .collect::<serde_json::Map<_, _>>()
+        .into();
+    json!({ "calls": data.calls.len(), "applications": apps, "protocols": protocols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CallRecord;
+    use rtc_compliance::{CheckedCall, CheckedMessage, TypeKey};
+    use rtc_pcap::Timestamp;
+    use rtc_wire::ip::FiveTuple;
+
+    #[test]
+    fn exports_well_formed_json() {
+        let data = StudyData {
+            calls: vec![CallRecord {
+                app: "Zoom".into(),
+                network: "cellular".into(),
+                repeat: 0,
+                raw_bytes: 1,
+                raw: Default::default(),
+                stage1: Default::default(),
+                stage2: Default::default(),
+                rtc: Default::default(),
+                classes: (1, 2, 3),
+                checked: CheckedCall {
+                    messages: vec![CheckedMessage {
+                        protocol: Protocol::Rtp,
+                        type_key: TypeKey::Rtp(96),
+                        ts: Timestamp::ZERO,
+                        stream: FiveTuple::udp("10.0.0.1:1".parse().unwrap(), "1.2.3.4:2".parse().unwrap()),
+                        violation: None,
+                    }],
+                    fully_proprietary_datagrams: 3,
+                },
+            }],
+        };
+        let v = study_to_json(&data);
+        assert_eq!(v["calls"], 1);
+        assert_eq!(v["applications"][0]["application"], "Zoom");
+        assert_eq!(v["applications"][0]["type_compliance"]["total"], 1);
+        assert!(v["protocols"]["RTP"]["volume_compliance"].as_f64().unwrap() > 0.99);
+        // Round-trips through a string.
+        let s = serde_json::to_string(&v).unwrap();
+        let _: serde_json::Value = serde_json::from_str(&s).unwrap();
+    }
+}

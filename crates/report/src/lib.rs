@@ -1,0 +1,356 @@
+//! # rtc-report
+//!
+//! Aggregation of per-call analysis results into the paper's two
+//! compliance metrics and its published tables and figures:
+//!
+//! * **volume-based metric** (§5.1): compliant messages / all messages,
+//! * **message-type-based metric** (§5.1): a message *type* is compliant
+//!   only if **every** observed instance conforms; types used by several
+//!   applications count once per application,
+//! * renderers for **Tables 1–6** and **Figures 3–5** as aligned text,
+//!   CSV, and JSON.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod json;
+pub mod render;
+pub mod tables;
+
+use rtc_compliance::{CheckedCall, CheckedMessage, TypeKey};
+use rtc_dpi::{DatagramClass, Protocol};
+use std::collections::BTreeMap;
+
+/// Everything the report layer needs about one analyzed call.
+#[derive(Debug, Clone)]
+pub struct CallRecord {
+    /// Application display name (e.g. "Zoom").
+    pub app: String,
+    /// Network configuration label.
+    pub network: String,
+    /// Repeat index.
+    pub repeat: usize,
+    /// Raw capture size in bytes (link-layer).
+    pub raw_bytes: usize,
+    /// Pre-filtering traffic stats.
+    pub raw: rtc_filter::StageStats,
+    /// Stage-1 removals.
+    pub stage1: rtc_filter::StageStats,
+    /// Stage-2 removals.
+    pub stage2: rtc_filter::StageStats,
+    /// Kept RTC traffic stats.
+    pub rtc: rtc_filter::StageStats,
+    /// Figure-3 datagram class counts `(standard, prop-header, fully-prop)`.
+    pub classes: (usize, usize, usize),
+    /// All judged messages.
+    pub checked: CheckedCall,
+}
+
+impl CallRecord {
+    /// Summarize the datagram classes of a dissection.
+    pub fn class_counts(dissection: &rtc_dpi::CallDissection) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &dissection.datagrams {
+            match d.class {
+                DatagramClass::Standard => c.0 += 1,
+                DatagramClass::ProprietaryHeader => c.1 += 1,
+                DatagramClass::FullyProprietary => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// The full study: every analyzed call.
+#[derive(Debug, Clone, Default)]
+pub struct StudyData {
+    /// All call records.
+    pub calls: Vec<CallRecord>,
+}
+
+impl StudyData {
+    /// Application names in first-seen order.
+    pub fn apps(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.calls {
+            if !out.contains(&c.app) {
+                out.push(c.app.clone());
+            }
+        }
+        out
+    }
+
+    /// All judged messages of one application.
+    pub fn messages_of<'a>(&'a self, app: &'a str) -> impl Iterator<Item = &'a CheckedMessage> + 'a {
+        self.calls.iter().filter(move |c| c.app == app).flat_map(|c| c.checked.messages.iter())
+    }
+
+    /// Volume-based compliance for one application (§5.1.1).
+    pub fn app_volume_compliance(&self, app: &str) -> f64 {
+        let mut total = 0usize;
+        let mut ok = 0usize;
+        for m in self.messages_of(app) {
+            total += 1;
+            ok += m.is_compliant() as usize;
+        }
+        if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+
+    /// Volume-based compliance for one protocol across all applications.
+    pub fn protocol_volume_compliance(&self, protocol: Protocol) -> f64 {
+        let mut total = 0usize;
+        let mut ok = 0usize;
+        for c in &self.calls {
+            for m in &c.checked.messages {
+                if m.protocol == protocol {
+                    total += 1;
+                    ok += m.is_compliant() as usize;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+
+    /// The message-type compliance map for one application: for each
+    /// observed `(protocol, type)` pair, whether **all** instances were
+    /// compliant (§5.1.2).
+    pub fn app_type_compliance(&self, app: &str) -> BTreeMap<(Protocol, TypeKey), bool> {
+        let mut map: BTreeMap<(Protocol, TypeKey), bool> = BTreeMap::new();
+        for m in self.messages_of(app) {
+            let e = map.entry((m.protocol, m.type_key)).or_insert(true);
+            *e &= m.is_compliant();
+        }
+        map
+    }
+
+    /// `(compliant types, total types)` per protocol for one application
+    /// (one row of Table 3).
+    pub fn app_type_ratio(&self, app: &str, protocol: Protocol) -> (usize, usize) {
+        let map = self.app_type_compliance(app);
+        let mut total = 0;
+        let mut ok = 0;
+        for ((p, _), compliant) in &map {
+            if *p == protocol {
+                total += 1;
+                ok += *compliant as usize;
+            }
+        }
+        (ok, total)
+    }
+
+    /// `(compliant, total)` for all protocols of one application.
+    pub fn app_type_ratio_all(&self, app: &str) -> (usize, usize) {
+        let map = self.app_type_compliance(app);
+        let total = map.len();
+        let ok = map.values().filter(|c| **c).count();
+        (ok, total)
+    }
+
+    /// `(compliant, total)` for one protocol across applications, counting
+    /// a type once per application that uses it (the paper's "counted
+    /// multiple times" rule).
+    pub fn protocol_type_ratio(&self, protocol: Protocol) -> (usize, usize) {
+        let mut total = 0;
+        let mut ok = 0;
+        for app in self.apps() {
+            let (o, t) = self.app_type_ratio(&app, protocol);
+            ok += o;
+            total += t;
+        }
+        (ok, total)
+    }
+
+    /// Message-type-based compliance ratio for one application.
+    pub fn app_type_compliance_ratio(&self, app: &str) -> f64 {
+        let (ok, total) = self.app_type_ratio_all(app);
+        if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+
+    /// Sorted compliant / non-compliant type lists for one application and
+    /// protocol (the rows of Tables 4, 5 and 6).
+    pub fn app_type_lists(&self, app: &str, protocol: Protocol) -> (Vec<TypeKey>, Vec<TypeKey>) {
+        let map = self.app_type_compliance(app);
+        let mut ok = Vec::new();
+        let mut bad = Vec::new();
+        for ((p, key), compliant) in map {
+            if p == protocol {
+                if compliant {
+                    ok.push(key);
+                } else {
+                    bad.push(key);
+                }
+            }
+        }
+        (ok, bad)
+    }
+
+    /// Message distribution for one application: share per protocol plus
+    /// the fully proprietary share (Table 2's row). The unit is a message,
+    /// with each fully proprietary datagram counting as one unit.
+    pub fn app_message_distribution(&self, app: &str) -> (BTreeMap<Protocol, f64>, f64) {
+        let mut counts: BTreeMap<Protocol, usize> = BTreeMap::new();
+        let mut fully = 0usize;
+        for c in self.calls.iter().filter(|c| c.app == app) {
+            fully += c.checked.fully_proprietary_datagrams;
+            for m in &c.checked.messages {
+                *counts.entry(m.protocol).or_default() += 1;
+            }
+        }
+        let total = counts.values().sum::<usize>() + fully;
+        if total == 0 {
+            return (BTreeMap::new(), 0.0);
+        }
+        let shares = counts.into_iter().map(|(p, n)| (p, n as f64 / total as f64)).collect();
+        (shares, fully as f64 / total as f64)
+    }
+
+    /// Figure-3 class shares for one application.
+    pub fn app_class_shares(&self, app: &str) -> (f64, f64, f64) {
+        let mut std_c = 0usize;
+        let mut prop = 0usize;
+        let mut fully = 0usize;
+        for c in self.calls.iter().filter(|c| c.app == app) {
+            std_c += c.classes.0;
+            prop += c.classes.1;
+            fully += c.classes.2;
+        }
+        let total = (std_c + prop + fully).max(1) as f64;
+        (std_c as f64 / total, prop as f64 / total, fully as f64 / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_pcap::Timestamp;
+    use rtc_wire::ip::FiveTuple;
+
+    fn msg(protocol: Protocol, key: TypeKey, compliant: bool) -> CheckedMessage {
+        CheckedMessage {
+            protocol,
+            type_key: key,
+            ts: Timestamp::ZERO,
+            stream: FiveTuple::udp("10.0.0.1:1".parse().unwrap(), "1.2.3.4:2".parse().unwrap()),
+            violation: (!compliant).then(|| {
+                rtc_compliance::Violation::new(rtc_compliance::Criterion::MessageTypeDefined, "x")
+            }),
+        }
+    }
+
+    fn record(app: &str, messages: Vec<CheckedMessage>, fully: usize) -> CallRecord {
+        CallRecord {
+            app: app.into(),
+            network: "wifi-p2p".into(),
+            repeat: 0,
+            raw_bytes: 1000,
+            raw: Default::default(),
+            stage1: Default::default(),
+            stage2: Default::default(),
+            rtc: Default::default(),
+            classes: (10, 5, fully),
+            checked: CheckedCall { messages, fully_proprietary_datagrams: fully },
+        }
+    }
+
+    fn study() -> StudyData {
+        StudyData {
+            calls: vec![
+                record(
+                    "AppA",
+                    vec![
+                        msg(Protocol::Rtp, TypeKey::Rtp(96), true),
+                        msg(Protocol::Rtp, TypeKey::Rtp(96), true),
+                        msg(Protocol::Rtp, TypeKey::Rtp(97), false),
+                        msg(Protocol::StunTurn, TypeKey::Stun(1), true),
+                    ],
+                    2,
+                ),
+                record(
+                    "AppB",
+                    vec![
+                        msg(Protocol::Rtp, TypeKey::Rtp(96), false),
+                        msg(Protocol::Rtcp, TypeKey::Rtcp(200), true),
+                        msg(Protocol::Rtcp, TypeKey::Rtcp(200), false),
+                    ],
+                    0,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn volume_metric_per_app() {
+        let s = study();
+        assert!((s.app_volume_compliance("AppA") - 0.75).abs() < 1e-9);
+        assert!((s.app_volume_compliance("AppB") - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_metric_per_protocol() {
+        let s = study();
+        // RTP: 4 messages, 2 compliant.
+        assert!((s.protocol_volume_compliance(Protocol::Rtp) - 0.5).abs() < 1e-9);
+        // RTCP: 2 messages, 1 compliant.
+        assert!((s.protocol_volume_compliance(Protocol::Rtcp) - 0.5).abs() < 1e-9);
+        // QUIC unobserved: vacuous 1.0.
+        assert!((s.protocol_volume_compliance(Protocol::Quic) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_metric_all_instances_rule() {
+        let s = study();
+        // AppA: RTP 96 fully compliant, RTP 97 not → 1/2; STUN 1/1.
+        assert_eq!(s.app_type_ratio("AppA", Protocol::Rtp), (1, 2));
+        assert_eq!(s.app_type_ratio("AppA", Protocol::StunTurn), (1, 1));
+        assert_eq!(s.app_type_ratio_all("AppA"), (2, 3));
+        // AppB: RTCP 200 has one non-compliant instance → type non-compliant.
+        assert_eq!(s.app_type_ratio("AppB", Protocol::Rtcp), (0, 1));
+    }
+
+    #[test]
+    fn cross_app_types_count_per_app() {
+        let s = study();
+        // RTP 96 compliant in AppA, non-compliant in AppB → 1/2 + 0/1... 96
+        // counts once per app: AppA {96 ok, 97 bad} + AppB {96 bad} = 1/3.
+        assert_eq!(s.protocol_type_ratio(Protocol::Rtp), (1, 3));
+    }
+
+    #[test]
+    fn type_lists_sorted() {
+        let s = study();
+        let (ok, bad) = s.app_type_lists("AppA", Protocol::Rtp);
+        assert_eq!(ok, vec![TypeKey::Rtp(96)]);
+        assert_eq!(bad, vec![TypeKey::Rtp(97)]);
+    }
+
+    #[test]
+    fn distribution_includes_fully_proprietary() {
+        let s = study();
+        let (shares, fully) = s.app_message_distribution("AppA");
+        // 4 messages + 2 fully proprietary = 6 units.
+        assert!((fully - 2.0 / 6.0).abs() < 1e-9);
+        assert!((shares[&Protocol::Rtp] - 3.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_shares() {
+        let s = study();
+        let (std_s, prop, fully) = s.app_class_shares("AppA");
+        assert!((std_s - 10.0 / 17.0).abs() < 1e-9);
+        assert!((prop - 5.0 / 17.0).abs() < 1e-9);
+        assert!((fully - 2.0 / 17.0).abs() < 1e-9);
+    }
+}

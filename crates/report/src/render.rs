@@ -1,0 +1,120 @@
+//! Small rendering helpers: aligned text tables and CSV output.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> TextTable {
+        TextTable { title: title.into(), header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut TextTable {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as aligned text.
+    pub fn to_text(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header, &widths));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC 4180-style quoting for cells with commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a `(compliant, total)` pair as the paper prints it.
+pub fn ratio(ok: usize, total: usize) -> String {
+    if total == 0 {
+        "N/A".to_string()
+    } else {
+        format!("{ok}/{total}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_alignment() {
+        let mut t = TextTable::new("T", &["a", "long-header"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let text = t.to_text();
+        assert!(text.contains("== T =="));
+        assert!(text.contains("long-header"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = TextTable::new("T", &["a", "b"]);
+        t.row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(ratio(3, 4), "3/4");
+        assert_eq!(ratio(0, 0), "N/A");
+    }
+}

@@ -1,0 +1,448 @@
+//! Ethernet / IPv4 / IPv6 / UDP / TCP encapsulation for the trace substrate,
+//! and the [`FiveTuple`] stream key the filtering pipeline groups by
+//! (paper §3.2: source IP, source port, destination IP, destination port,
+//! transport protocol).
+//!
+//! The emulated capture path writes Ethernet-framed packets into pcap files;
+//! the analysis path parses them back. Only the fields the study touches are
+//! modeled: there are no IP options, no IPv6 extension headers, and no
+//! TCP options. The IPv4 header checksum is computed and verified; UDP/TCP
+//! checksums are emitted as zero (a valid "not computed" marker for UDP over
+//! IPv4, and irrelevant to the study's message-level analysis).
+
+use crate::{field, Error, Result};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+
+/// Transport-layer protocol of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Transport {
+    /// UDP (IP protocol 17).
+    Udp,
+    /// TCP (IP protocol 6).
+    Tcp,
+}
+
+impl Transport {
+    /// The IP protocol number.
+    pub fn protocol_number(self) -> u8 {
+        match self {
+            Transport::Udp => 17,
+            Transport::Tcp => 6,
+        }
+    }
+
+    /// Decode from an IP protocol number.
+    pub fn from_protocol_number(n: u8) -> Option<Transport> {
+        match n {
+            17 => Some(Transport::Udp),
+            6 => Some(Transport::Tcp),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Transport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Transport::Udp => write!(f, "UDP"),
+            Transport::Tcp => write!(f, "TCP"),
+        }
+    }
+}
+
+/// The 5-tuple identifying a transport stream (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Source endpoint.
+    pub src: SocketAddr,
+    /// Destination endpoint.
+    pub dst: SocketAddr,
+    /// Transport protocol.
+    pub transport: Transport,
+}
+
+/// The destination-side 3-tuple used by the stage-2 "3-tuple timing filter"
+/// (paper §3.2.2): destination IP, destination port, transport protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreeTuple {
+    /// Destination IP address.
+    pub ip: IpAddr,
+    /// Destination port.
+    pub port: u16,
+    /// Transport protocol.
+    pub transport: Transport,
+}
+
+impl FiveTuple {
+    /// Construct a UDP 5-tuple.
+    pub fn udp(src: SocketAddr, dst: SocketAddr) -> FiveTuple {
+        FiveTuple { src, dst, transport: Transport::Udp }
+    }
+
+    /// Construct a TCP 5-tuple.
+    pub fn tcp(src: SocketAddr, dst: SocketAddr) -> FiveTuple {
+        FiveTuple { src, dst, transport: Transport::Tcp }
+    }
+
+    /// The same stream in the opposite direction.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple { src: self.dst, dst: self.src, transport: self.transport }
+    }
+
+    /// A direction-agnostic key: both directions of a conversation map to
+    /// the same value (the lexicographically smaller orientation).
+    pub fn canonical(&self) -> FiveTuple {
+        let rev = self.reversed();
+        if *self <= rev {
+            *self
+        } else {
+            rev
+        }
+    }
+
+    /// The destination-side 3-tuple.
+    pub fn dst_three_tuple(&self) -> ThreeTuple {
+        ThreeTuple { ip: self.dst.ip(), port: self.dst.port(), transport: self.transport }
+    }
+
+    /// The source-side 3-tuple (destination 3-tuple of the reverse direction).
+    pub fn src_three_tuple(&self) -> ThreeTuple {
+        ThreeTuple { ip: self.src.ip(), port: self.src.port(), transport: self.transport }
+    }
+
+    /// Whether either endpoint is in a private / link-local / unique-local
+    /// range (the stage-2 "local IP filtering" predicate, paper §3.2.2).
+    pub fn touches_local_range(&self) -> bool {
+        is_local_scope(self.src.ip()) || is_local_scope(self.dst.ip())
+    }
+}
+
+impl core::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} {} -> {}", self.transport, self.src, self.dst)
+    }
+}
+
+/// Whether `ip` falls in the address scopes the local-IP filter matches:
+/// IPv4 private ranges (RFC 1918), IPv6 link-local `fe80::/10`, or IPv6
+/// unique-local `fd00::/8` (paper §3.2.2).
+pub fn is_local_scope(ip: IpAddr) -> bool {
+    match ip {
+        IpAddr::V4(v4) => v4.is_private() || v4.is_link_local(),
+        IpAddr::V6(v6) => {
+            let o = v6.octets();
+            // fe80::/10 link-local, fd00::/8 unique-local.
+            (o[0] == 0xfe && o[1] & 0xc0 == 0x80) || o[0] == 0xfd
+        }
+    }
+}
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for IPv6.
+pub const ETHERTYPE_IPV6: u16 = 0x86DD;
+/// Length of an Ethernet II header.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A fully parsed captured packet: its stream key and transport payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPacket<'a> {
+    /// The transport 5-tuple.
+    pub five_tuple: FiveTuple,
+    /// The transport payload (UDP datagram payload or TCP segment payload).
+    pub payload: &'a [u8],
+}
+
+/// Build an Ethernet-framed packet for `tuple` carrying `payload`.
+///
+/// MAC addresses are synthesized from the IP addresses (the study never
+/// inspects them). TCP segments are emitted with the PSH+ACK flags and the
+/// provided `tcp_seq` sequence number.
+pub fn build_ethernet_packet(tuple: &FiveTuple, payload: &[u8], tcp_seq: u32) -> Vec<u8> {
+    let transport_bytes = match tuple.transport {
+        Transport::Udp => build_udp(tuple.src.port(), tuple.dst.port(), payload),
+        Transport::Tcp => build_tcp(tuple.src.port(), tuple.dst.port(), tcp_seq, payload),
+    };
+    let (ethertype, ip_bytes) = match (tuple.src.ip(), tuple.dst.ip()) {
+        (IpAddr::V4(s), IpAddr::V4(d)) => (
+            ETHERTYPE_IPV4,
+            build_ipv4(s, d, tuple.transport.protocol_number(), &transport_bytes),
+        ),
+        (IpAddr::V6(s), IpAddr::V6(d)) => (
+            ETHERTYPE_IPV6,
+            build_ipv6(s, d, tuple.transport.protocol_number(), &transport_bytes),
+        ),
+        _ => panic!("mixed address families in one tuple"),
+    };
+    let mut out = Vec::with_capacity(ETHERNET_HEADER_LEN + ip_bytes.len());
+    out.extend_from_slice(&mac_for(tuple.dst.ip()));
+    out.extend_from_slice(&mac_for(tuple.src.ip()));
+    out.extend_from_slice(&ethertype.to_be_bytes());
+    out.extend_from_slice(&ip_bytes);
+    out
+}
+
+/// Parse an Ethernet-framed packet back into its 5-tuple and payload.
+pub fn parse_ethernet_packet(frame: &[u8]) -> Result<ParsedPacket<'_>> {
+    let ethertype = field::u16_at(frame, 12)?;
+    let ip = field::slice_at(frame, ETHERNET_HEADER_LEN, frame.len() - ETHERNET_HEADER_LEN)?;
+    match ethertype {
+        ETHERTYPE_IPV4 => parse_ipv4_packet(ip),
+        ETHERTYPE_IPV6 => parse_ipv6_packet(ip),
+        _ => Err(Error::Malformed("ethertype")),
+    }
+}
+
+fn mac_for(ip: IpAddr) -> [u8; 6] {
+    match ip {
+        IpAddr::V4(v4) => {
+            let o = v4.octets();
+            [0x02, 0x00, o[0], o[1], o[2], o[3]]
+        }
+        IpAddr::V6(v6) => {
+            let o = v6.octets();
+            [0x02, 0x06, o[12], o[13], o[14], o[15]]
+        }
+    }
+}
+
+fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in header.chunks(2) {
+        let v = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += v as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Build an IPv4 packet (20-byte header, no options).
+pub fn build_ipv4(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload: &[u8]) -> Vec<u8> {
+    let total_len = 20 + payload.len();
+    let mut h = Vec::with_capacity(total_len);
+    h.push(0x45); // version 4, IHL 5
+    h.push(0); // DSCP/ECN
+    h.extend_from_slice(&(total_len as u16).to_be_bytes());
+    h.extend_from_slice(&[0, 0]); // identification
+    h.extend_from_slice(&[0x40, 0]); // DF, no fragment offset
+    h.push(64); // TTL
+    h.push(protocol);
+    h.extend_from_slice(&[0, 0]); // checksum placeholder
+    h.extend_from_slice(&src.octets());
+    h.extend_from_slice(&dst.octets());
+    let csum = ipv4_checksum(&h);
+    h[10..12].copy_from_slice(&csum.to_be_bytes());
+    h.extend_from_slice(payload);
+    h
+}
+
+/// Build an IPv6 packet (40-byte header, no extension headers).
+pub fn build_ipv6(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload: &[u8]) -> Vec<u8> {
+    let mut h = Vec::with_capacity(40 + payload.len());
+    h.extend_from_slice(&[0x60, 0, 0, 0]); // version 6, no traffic class / flow
+    h.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    h.push(next_header);
+    h.push(64); // hop limit
+    h.extend_from_slice(&src.octets());
+    h.extend_from_slice(&dst.octets());
+    h.extend_from_slice(payload);
+    h
+}
+
+/// Build a UDP datagram (checksum omitted — legal for IPv4).
+pub fn build_udp(src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&src_port.to_be_bytes());
+    out.extend_from_slice(&dst_port.to_be_bytes());
+    out.extend_from_slice(&((8 + payload.len()) as u16).to_be_bytes());
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Build a minimal TCP segment (20-byte header, PSH+ACK, no options).
+pub fn build_tcp(src_port: u16, dst_port: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + payload.len());
+    out.extend_from_slice(&src_port.to_be_bytes());
+    out.extend_from_slice(&dst_port.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&0u32.to_be_bytes()); // ack
+    out.push(5 << 4); // data offset 5 words
+    out.push(0x18); // PSH|ACK
+    out.extend_from_slice(&0xFFFFu16.to_be_bytes()); // window
+    out.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+    out.extend_from_slice(payload);
+    out
+}
+
+fn parse_ipv4_packet(ip: &[u8]) -> Result<ParsedPacket<'_>> {
+    if field::u8_at(ip, 0)? >> 4 != 4 {
+        return Err(Error::Malformed("ip version"));
+    }
+    let ihl = (ip[0] & 0x0F) as usize * 4;
+    if ihl < 20 {
+        return Err(Error::Malformed("ipv4 ihl"));
+    }
+    let total_len = field::u16_at(ip, 2)? as usize;
+    if total_len < ihl || ip.len() < total_len {
+        return Err(Error::Truncated);
+    }
+    let protocol = field::u8_at(ip, 9)?;
+    let header = &ip[..ihl];
+    if ipv4_checksum(header) != 0 {
+        return Err(Error::Malformed("ipv4 checksum"));
+    }
+    let src = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+    let dst = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+    parse_transport(src.into(), dst.into(), protocol, &ip[ihl..total_len])
+}
+
+fn parse_ipv6_packet(ip: &[u8]) -> Result<ParsedPacket<'_>> {
+    if field::u8_at(ip, 0)? >> 4 != 6 {
+        return Err(Error::Malformed("ip version"));
+    }
+    let payload_len = field::u16_at(ip, 4)? as usize;
+    let next_header = field::u8_at(ip, 6)?;
+    if ip.len() < 40 + payload_len {
+        return Err(Error::Truncated);
+    }
+    let mut s = [0u8; 16];
+    s.copy_from_slice(&ip[8..24]);
+    let mut d = [0u8; 16];
+    d.copy_from_slice(&ip[24..40]);
+    parse_transport(
+        Ipv6Addr::from(s).into(),
+        Ipv6Addr::from(d).into(),
+        next_header,
+        &ip[40..40 + payload_len],
+    )
+}
+
+fn parse_transport(src: IpAddr, dst: IpAddr, protocol: u8, seg: &[u8]) -> Result<ParsedPacket<'_>> {
+    let transport = Transport::from_protocol_number(protocol).ok_or(Error::Malformed("transport protocol"))?;
+    match transport {
+        Transport::Udp => {
+            let src_port = field::u16_at(seg, 0)?;
+            let dst_port = field::u16_at(seg, 2)?;
+            let udp_len = field::u16_at(seg, 4)? as usize;
+            if udp_len < 8 || seg.len() < udp_len {
+                return Err(Error::Truncated);
+            }
+            Ok(ParsedPacket {
+                five_tuple: FiveTuple::udp(SocketAddr::new(src, src_port), SocketAddr::new(dst, dst_port)),
+                payload: &seg[8..udp_len],
+            })
+        }
+        Transport::Tcp => {
+            let src_port = field::u16_at(seg, 0)?;
+            let dst_port = field::u16_at(seg, 2)?;
+            let data_offset = (field::u8_at(seg, 12)? >> 4) as usize * 4;
+            if data_offset < 20 || seg.len() < data_offset {
+                return Err(Error::Truncated);
+            }
+            Ok(ParsedPacket {
+                five_tuple: FiveTuple::tcp(SocketAddr::new(src, src_port), SocketAddr::new(dst, dst_port)),
+                payload: &seg[data_offset..],
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4_tuple() -> FiveTuple {
+        FiveTuple::udp("10.0.0.5:50000".parse().unwrap(), "203.0.113.9:3478".parse().unwrap())
+    }
+
+    #[test]
+    fn udp_ipv4_roundtrip() {
+        let t = v4_tuple();
+        let frame = build_ethernet_packet(&t, b"hello rtc", 0);
+        let parsed = parse_ethernet_packet(&frame).unwrap();
+        assert_eq!(parsed.five_tuple, t);
+        assert_eq!(parsed.payload, b"hello rtc");
+    }
+
+    #[test]
+    fn tcp_ipv4_roundtrip() {
+        let t = FiveTuple::tcp("10.0.0.5:443".parse().unwrap(), "198.51.100.1:55000".parse().unwrap());
+        let frame = build_ethernet_packet(&t, b"tls bytes", 12345);
+        let parsed = parse_ethernet_packet(&frame).unwrap();
+        assert_eq!(parsed.five_tuple, t);
+        assert_eq!(parsed.payload, b"tls bytes");
+    }
+
+    #[test]
+    fn udp_ipv6_roundtrip() {
+        let t = FiveTuple::udp("[2001:db8::1]:40000".parse().unwrap(), "[2001:db8::2]:3478".parse().unwrap());
+        let frame = build_ethernet_packet(&t, &[0xAB; 100], 0);
+        let parsed = parse_ethernet_packet(&frame).unwrap();
+        assert_eq!(parsed.five_tuple, t);
+        assert_eq!(parsed.payload, &[0xAB; 100][..]);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let frame = build_ethernet_packet(&v4_tuple(), &[], 0);
+        let parsed = parse_ethernet_packet(&frame).unwrap();
+        assert!(parsed.payload.is_empty());
+    }
+
+    #[test]
+    fn checksum_corruption_detected() {
+        let mut frame = build_ethernet_packet(&v4_tuple(), b"x", 0);
+        frame[ETHERNET_HEADER_LEN + 12] ^= 0xFF; // flip a source-address byte
+        assert!(parse_ethernet_packet(&frame).is_err());
+    }
+
+    #[test]
+    fn reversed_and_canonical() {
+        let t = v4_tuple();
+        assert_eq!(t.reversed().reversed(), t);
+        assert_eq!(t.canonical(), t.reversed().canonical());
+    }
+
+    #[test]
+    fn three_tuples() {
+        let t = v4_tuple();
+        assert_eq!(t.dst_three_tuple().port, 3478);
+        assert_eq!(t.src_three_tuple().port, 50000);
+        assert_eq!(t.dst_three_tuple(), t.reversed().src_three_tuple());
+    }
+
+    #[test]
+    fn local_scope_detection() {
+        assert!(is_local_scope("192.168.1.1".parse().unwrap()));
+        assert!(is_local_scope("10.1.2.3".parse().unwrap()));
+        assert!(is_local_scope("172.16.0.1".parse().unwrap()));
+        assert!(is_local_scope("fe80::1".parse().unwrap()));
+        assert!(is_local_scope("fd12::1".parse().unwrap()));
+        assert!(!is_local_scope("8.8.8.8".parse().unwrap()));
+        assert!(!is_local_scope("2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn transport_protocol_numbers() {
+        assert_eq!(Transport::Udp.protocol_number(), 17);
+        assert_eq!(Transport::Tcp.protocol_number(), 6);
+        assert_eq!(Transport::from_protocol_number(17), Some(Transport::Udp));
+        assert_eq!(Transport::from_protocol_number(6), Some(Transport::Tcp));
+        assert_eq!(Transport::from_protocol_number(1), None);
+    }
+
+    #[test]
+    fn rejects_unknown_ethertype() {
+        let mut frame = build_ethernet_packet(&v4_tuple(), b"x", 0);
+        frame[12] = 0x08;
+        frame[13] = 0x06; // ARP
+        assert!(parse_ethernet_packet(&frame).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! # rtc-wire
+//!
+//! Zero-copy wire-format views and builders for the protocols analyzed by the
+//! RTC protocol-compliance study (IMC'25 *"Protocol Compliance in Popular RTC
+//! Applications"*):
+//!
+//! * [`stun`] — STUN and TURN messages (RFC 3489 / 5389 / 8489 / 5766 / 8656),
+//!   including TLV attributes and TURN ChannelData framing,
+//! * [`rtp`] — RTP packets (RFC 3550) with general header extensions
+//!   (RFC 8285, one-byte and two-byte forms),
+//! * [`rtcp`] — RTCP packets and compound packets (RFC 3550 / 4585) plus the
+//!   SRTCP trailer (RFC 3711), with structured Extended Reports in [`xr`]
+//!   (RFC 3611),
+//! * [`quic`] — QUIC v1 long/short packet headers (RFC 9000),
+//! * [`tls`] — the minimal TLS ClientHello / SNI parsing needed by the
+//!   stage-2 traffic filter,
+//! * [`ip`] — Ethernet/IPv4/IPv6/UDP/TCP encapsulation used by the pcap
+//!   substrate, and the [`ip::FiveTuple`] stream key.
+//!
+//! ## Design
+//!
+//! Parsing follows the *checked view* idiom: a view type wraps a `&[u8]` and
+//! is constructed with `new_checked`, which verifies that every field the
+//! accessors touch is in bounds. Accessors then read fields directly from the
+//! underlying buffer without copying. Builders are separate, allocating types
+//! that emit `Vec<u8>`; every builder/parser pair round-trips, which the
+//! property tests in each module assert.
+//!
+//! Views deliberately accept *structurally* well-formed but *semantically*
+//! non-compliant messages (undefined message types, unknown attributes,
+//! reserved identifiers…): judging compliance is the job of the
+//! `rtc-compliance` crate, and the measurement pipeline must be able to
+//! represent the non-compliant traffic it studies.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ip;
+pub mod quic;
+pub mod rtcp;
+pub mod rtp;
+pub mod stun;
+pub mod tls;
+pub mod xr;
+
+/// Errors produced while parsing a wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer ended before the structure it claims to contain.
+    Truncated,
+    /// A field holds a value the wire format cannot represent; the payload
+    /// names the violated constraint.
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer truncated"),
+            Error::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used across the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Big-endian field accessors shared by all parsers.
+pub(crate) mod field {
+    use super::{Error, Result};
+
+    /// Read a `u8` at `offset`, checking bounds.
+    pub fn u8_at(buf: &[u8], offset: usize) -> Result<u8> {
+        buf.get(offset).copied().ok_or(Error::Truncated)
+    }
+
+    /// Read a big-endian `u16` at `offset`, checking bounds.
+    pub fn u16_at(buf: &[u8], offset: usize) -> Result<u16> {
+        let b = buf.get(offset..offset + 2).ok_or(Error::Truncated)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Read a big-endian `u32` at `offset`, checking bounds.
+    pub fn u32_at(buf: &[u8], offset: usize) -> Result<u32> {
+        let b = buf.get(offset..offset + 4).ok_or(Error::Truncated)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a big-endian `u64` at `offset`, checking bounds.
+    pub fn u64_at(buf: &[u8], offset: usize) -> Result<u64> {
+        let b = buf.get(offset..offset + 8).ok_or(Error::Truncated)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Borrow `len` bytes starting at `offset`, checking bounds.
+    pub fn slice_at(buf: &[u8], offset: usize, len: usize) -> Result<&[u8]> {
+        buf.get(offset..offset + len).ok_or(Error::Truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_reads_in_bounds() {
+        let buf = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08];
+        assert_eq!(field::u8_at(&buf, 0).unwrap(), 0x01);
+        assert_eq!(field::u16_at(&buf, 0).unwrap(), 0x0102);
+        assert_eq!(field::u32_at(&buf, 2).unwrap(), 0x0304_0506);
+        assert_eq!(field::u64_at(&buf, 0).unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(field::slice_at(&buf, 6, 2).unwrap(), &[0x07, 0x08]);
+    }
+
+    #[test]
+    fn field_reads_out_of_bounds() {
+        let buf = [0u8; 3];
+        assert_eq!(field::u8_at(&buf, 3), Err(Error::Truncated));
+        assert_eq!(field::u16_at(&buf, 2), Err(Error::Truncated));
+        assert_eq!(field::u32_at(&buf, 0), Err(Error::Truncated));
+        assert_eq!(field::u64_at(&buf, 0), Err(Error::Truncated));
+        assert_eq!(field::slice_at(&buf, 1, 3), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(Error::Truncated.to_string(), "buffer truncated");
+        assert_eq!(
+            Error::Malformed("version").to_string(),
+            "malformed field: version"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! QUIC v1 packet headers (RFC 9000 §17).
+//!
+//! The compliance study only inspects QUIC *headers* — payloads are
+//! encrypted — so this module parses the invariant fields (RFC 8999): form
+//! and fixed bits, version, and connection IDs, plus the long-header packet
+//! type. Short headers carry a destination connection ID of a length known
+//! only from context, so [`ShortHeader::parse`] takes the expected length.
+
+use crate::{field, Error, Result};
+
+/// The QUIC version 1 identifier (RFC 9000).
+pub const VERSION_1: u32 = 0x0000_0001;
+
+/// The QUIC version 2 identifier (RFC 9369).
+pub const VERSION_2: u32 = 0x6b33_43cf;
+
+/// Long-header packet types for version 1 (RFC 9000 §17.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LongType {
+    /// Initial packet (type 0).
+    Initial,
+    /// 0-RTT packet (type 1).
+    ZeroRtt,
+    /// Handshake packet (type 2).
+    Handshake,
+    /// Retry packet (type 3).
+    Retry,
+}
+
+impl LongType {
+    /// The 2-bit on-wire encoding.
+    pub fn bits(self) -> u8 {
+        match self {
+            LongType::Initial => 0,
+            LongType::ZeroRtt => 1,
+            LongType::Handshake => 2,
+            LongType::Retry => 3,
+        }
+    }
+
+    /// Decode from the 2-bit field.
+    pub fn from_bits(bits: u8) -> LongType {
+        match bits & 0b11 {
+            0 => LongType::Initial,
+            1 => LongType::ZeroRtt,
+            2 => LongType::Handshake,
+            _ => LongType::Retry,
+        }
+    }
+}
+
+/// A parsed QUIC long header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LongHeader {
+    /// The fixed bit (must be 1 in compliant packets; RFC 9000 §17.2).
+    pub fixed_bit: bool,
+    /// The long packet type.
+    pub long_type: LongType,
+    /// The low 4 type-specific bits of the first byte.
+    pub type_specific: u8,
+    /// The version field.
+    pub version: u32,
+    /// Destination connection ID (0–20 bytes in compliant packets).
+    pub dcid: Vec<u8>,
+    /// Source connection ID.
+    pub scid: Vec<u8>,
+    /// Offset of the first byte after the SCID (version-specific payload).
+    pub header_len: usize,
+}
+
+impl LongHeader {
+    /// Parse a long header from the start of `buf`.
+    ///
+    /// Fails if the form bit is 0 (that is a short header) or the buffer is
+    /// truncated. Accepts any version and CID lengths up to 255 so the
+    /// compliance layer can judge them, but rejects CIDs that overrun the
+    /// buffer.
+    pub fn parse(buf: &[u8]) -> Result<LongHeader> {
+        let b0 = field::u8_at(buf, 0)?;
+        if b0 & 0x80 == 0 {
+            return Err(Error::Malformed("not a long header"));
+        }
+        let version = field::u32_at(buf, 1)?;
+        let dcid_len = field::u8_at(buf, 5)? as usize;
+        let dcid = field::slice_at(buf, 6, dcid_len)?.to_vec();
+        let scid_len = field::u8_at(buf, 6 + dcid_len)? as usize;
+        let scid = field::slice_at(buf, 7 + dcid_len, scid_len)?.to_vec();
+        Ok(LongHeader {
+            fixed_bit: b0 & 0x40 != 0,
+            long_type: LongType::from_bits((b0 >> 4) & 0b11),
+            type_specific: b0 & 0x0F,
+            version,
+            dcid,
+            scid,
+            header_len: 7 + dcid_len + scid_len,
+        })
+    }
+
+    /// Serialize the header (invariant part only; payload appended by caller).
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.header_len);
+        let mut b0 = 0x80u8;
+        if self.fixed_bit {
+            b0 |= 0x40;
+        }
+        b0 |= self.long_type.bits() << 4;
+        b0 |= self.type_specific & 0x0F;
+        out.push(b0);
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.push(self.dcid.len() as u8);
+        out.extend_from_slice(&self.dcid);
+        out.push(self.scid.len() as u8);
+        out.extend_from_slice(&self.scid);
+        out
+    }
+}
+
+/// A parsed QUIC short (1-RTT) header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortHeader {
+    /// The fixed bit (must be 1 in compliant packets).
+    pub fixed_bit: bool,
+    /// The spin bit.
+    pub spin: bool,
+    /// Destination connection ID (length supplied by the caller).
+    pub dcid: Vec<u8>,
+    /// Offset of the first protected byte.
+    pub header_len: usize,
+}
+
+impl ShortHeader {
+    /// Parse a short header, given the connection's DCID length.
+    pub fn parse(buf: &[u8], dcid_len: usize) -> Result<ShortHeader> {
+        let b0 = field::u8_at(buf, 0)?;
+        if b0 & 0x80 != 0 {
+            return Err(Error::Malformed("not a short header"));
+        }
+        let dcid = field::slice_at(buf, 1, dcid_len)?.to_vec();
+        Ok(ShortHeader {
+            fixed_bit: b0 & 0x40 != 0,
+            spin: b0 & 0x20 != 0,
+            dcid,
+            header_len: 1 + dcid_len,
+        })
+    }
+
+    /// Serialize the header (payload appended by caller).
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.header_len);
+        let mut b0 = 0u8;
+        if self.fixed_bit {
+            b0 |= 0x40;
+        }
+        if self.spin {
+            b0 |= 0x20;
+        }
+        out.push(b0);
+        out.extend_from_slice(&self.dcid);
+        out
+    }
+}
+
+/// Either form of QUIC header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Header {
+    /// A long header.
+    Long(LongHeader),
+    /// A short header.
+    Short(ShortHeader),
+}
+
+impl Header {
+    /// Parse either header form; `dcid_len` is used for short headers.
+    pub fn parse(buf: &[u8], dcid_len: usize) -> Result<Header> {
+        let b0 = field::u8_at(buf, 0)?;
+        if b0 & 0x80 != 0 {
+            LongHeader::parse(buf).map(Header::Long)
+        } else {
+            ShortHeader::parse(buf, dcid_len).map(Header::Short)
+        }
+    }
+
+    /// The fixed bit of whichever form.
+    pub fn fixed_bit(&self) -> bool {
+        match self {
+            Header::Long(h) => h.fixed_bit,
+            Header::Short(h) => h.fixed_bit,
+        }
+    }
+
+    /// The destination connection ID of whichever form.
+    pub fn dcid(&self) -> &[u8] {
+        match self {
+            Header::Long(h) => &h.dcid,
+            Header::Short(h) => &h.dcid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_header_roundtrip() {
+        for t in [LongType::Initial, LongType::ZeroRtt, LongType::Handshake, LongType::Retry] {
+            let h = LongHeader {
+                fixed_bit: true,
+                long_type: t,
+                type_specific: 0x3,
+                version: VERSION_1,
+                dcid: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                scid: vec![9, 10, 11, 12],
+                header_len: 0,
+            };
+            let mut bytes = h.build();
+            bytes.extend_from_slice(&[0xEE; 40]); // encrypted payload
+            let parsed = LongHeader::parse(&bytes).unwrap();
+            assert_eq!(parsed.long_type, t);
+            assert_eq!(parsed.version, VERSION_1);
+            assert_eq!(parsed.dcid, h.dcid);
+            assert_eq!(parsed.scid, h.scid);
+            assert_eq!(parsed.header_len, 7 + 8 + 4);
+            assert!(parsed.fixed_bit);
+        }
+    }
+
+    #[test]
+    fn short_header_roundtrip() {
+        let h = ShortHeader { fixed_bit: true, spin: true, dcid: vec![7; 8], header_len: 0 };
+        let mut bytes = h.build();
+        bytes.extend_from_slice(&[0xAB; 20]);
+        let parsed = ShortHeader::parse(&bytes, 8).unwrap();
+        assert!(parsed.fixed_bit);
+        assert!(parsed.spin);
+        assert_eq!(parsed.dcid, vec![7; 8]);
+        assert_eq!(parsed.header_len, 9);
+    }
+
+    #[test]
+    fn header_enum_dispatches_on_form_bit() {
+        let long = LongHeader {
+            fixed_bit: true,
+            long_type: LongType::Initial,
+            type_specific: 0,
+            version: VERSION_1,
+            dcid: vec![1],
+            scid: vec![],
+            header_len: 0,
+        }
+        .build();
+        assert!(matches!(Header::parse(&long, 1).unwrap(), Header::Long(_)));
+        let short = ShortHeader { fixed_bit: true, spin: false, dcid: vec![1], header_len: 0 }.build();
+        assert!(matches!(Header::parse(&short, 1).unwrap(), Header::Short(_)));
+    }
+
+    #[test]
+    fn long_parse_rejects_short_form() {
+        let short = ShortHeader { fixed_bit: true, spin: false, dcid: vec![1], header_len: 0 }.build();
+        assert!(LongHeader::parse(&short).is_err());
+    }
+
+    #[test]
+    fn truncated_cid_rejected() {
+        let mut bytes = LongHeader {
+            fixed_bit: true,
+            long_type: LongType::Initial,
+            type_specific: 0,
+            version: VERSION_1,
+            dcid: vec![1, 2, 3, 4],
+            scid: vec![],
+            header_len: 0,
+        }
+        .build();
+        bytes[5] = 200; // dcid length overruns the buffer
+        assert_eq!(LongHeader::parse(&bytes).err(), Some(Error::Truncated));
+    }
+
+    #[test]
+    fn fixed_bit_violation_is_parsed_not_rejected() {
+        // The compliance layer, not the parser, flags a cleared fixed bit.
+        let h = LongHeader {
+            fixed_bit: false,
+            long_type: LongType::Handshake,
+            type_specific: 0,
+            version: VERSION_1,
+            dcid: vec![],
+            scid: vec![],
+            header_len: 0,
+        };
+        let parsed = LongHeader::parse(&h.build()).unwrap();
+        assert!(!parsed.fixed_bit);
+    }
+}

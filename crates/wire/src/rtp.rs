@@ -1,0 +1,575 @@
+//! RTP wire format (RFC 3550 §5) with general header extensions (RFC 8285).
+//!
+//! The view enforces only what the paper's DPI structural pattern enforces —
+//! version 2 and internal length consistency. Everything the compliance
+//! layer judges (payload-type collisions with RTCP, reserved extension
+//! identifiers, undefined extension profiles, padding rules) parses
+//! successfully and is exposed through accessors.
+
+use crate::{field, Error, Result};
+
+/// Minimum RTP header size (no CSRCs, no extension).
+pub const MIN_HEADER_LEN: usize = 12;
+
+/// The RFC 8285 one-byte-form extension profile ("0xBEDE").
+pub const ONE_BYTE_PROFILE: u16 = 0xBEDE;
+
+/// The RFC 8285 two-byte-form profile range (`0x1000..=0x100F`).
+///
+/// RFC 8285 defines the two-byte form as `0x100` in the upper 12 bits with
+/// the low 4 bits carrying "appbits".
+pub const TWO_BYTE_PROFILE_RANGE: core::ops::RangeInclusive<u16> = 0x1000..=0x100F;
+
+/// A checked view of an RTP packet.
+///
+/// ```
+/// use rtc_wire::rtp::{Packet, PacketBuilder};
+///
+/// let bytes = PacketBuilder::new(111, 42, 90_000, 0xDEAD_BEEF)
+///     .one_byte_extension(&[(1, &[0x30])])
+///     .payload(b"opus".to_vec())
+///     .build();
+/// let p = Packet::new_checked(&bytes).unwrap();
+/// assert_eq!(p.payload_type(), 111);
+/// assert_eq!(p.extension().unwrap().one_byte_elements()[0].id, 1);
+/// assert_eq!(p.payload(), b"opus");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Packet<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Packet<'a> {
+    /// Parse an RTP packet spanning all of `buf`.
+    ///
+    /// Unlike STUN, RTP has no length field: the packet is delimited by the
+    /// datagram, so the caller decides the extent. Checks: version 2, header
+    /// + CSRC list + declared extension fit in the buffer, and (when the
+    /// padding bit is set) a sane padding trailer.
+    pub fn new_checked(buf: &'a [u8]) -> Result<Packet<'a>> {
+        if buf.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let b0 = buf[0];
+        if b0 >> 6 != 2 {
+            return Err(Error::Malformed("rtp version"));
+        }
+        let cc = (b0 & 0x0F) as usize;
+        let mut header_len = MIN_HEADER_LEN + 4 * cc;
+        if buf.len() < header_len {
+            return Err(Error::Truncated);
+        }
+        if b0 & 0x10 != 0 {
+            // Extension present: profile (2) + length in words (2) + data.
+            let words = field::u16_at(buf, header_len + 2)? as usize;
+            header_len += 4 + 4 * words;
+            if buf.len() < header_len {
+                return Err(Error::Truncated);
+            }
+        }
+        if b0 & 0x20 != 0 {
+            // Padding: the final byte counts the padding octets, itself included.
+            let pad = *buf.last().expect("len >= 12") as usize;
+            if pad == 0 || header_len + pad > buf.len() {
+                return Err(Error::Malformed("rtp padding"));
+            }
+        }
+        Ok(Packet { buf })
+    }
+
+    /// Protocol version (always 2 for a checked packet).
+    pub fn version(&self) -> u8 {
+        self.buf[0] >> 6
+    }
+
+    /// The padding (P) bit.
+    pub fn has_padding(&self) -> bool {
+        self.buf[0] & 0x20 != 0
+    }
+
+    /// The extension (X) bit.
+    pub fn has_extension(&self) -> bool {
+        self.buf[0] & 0x10 != 0
+    }
+
+    /// The CSRC count (CC).
+    pub fn csrc_count(&self) -> usize {
+        (self.buf[0] & 0x0F) as usize
+    }
+
+    /// The marker (M) bit.
+    pub fn marker(&self) -> bool {
+        self.buf[1] & 0x80 != 0
+    }
+
+    /// The 7-bit payload type.
+    pub fn payload_type(&self) -> u8 {
+        self.buf[1] & 0x7F
+    }
+
+    /// The sequence number.
+    pub fn sequence_number(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// The media timestamp.
+    pub fn timestamp(&self) -> u32 {
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// The synchronization source identifier.
+    pub fn ssrc(&self) -> u32 {
+        u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]])
+    }
+
+    /// The contributing-source list.
+    pub fn csrcs(&self) -> impl Iterator<Item = u32> + 'a {
+        let cc = self.csrc_count();
+        let buf = self.buf;
+        (0..cc).map(move |i| {
+            let o = MIN_HEADER_LEN + 4 * i;
+            u32::from_be_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]])
+        })
+    }
+
+    /// The header extension, if the X bit is set.
+    pub fn extension(&self) -> Option<Extension<'a>> {
+        if !self.has_extension() {
+            return None;
+        }
+        let o = MIN_HEADER_LEN + 4 * self.csrc_count();
+        let profile = u16::from_be_bytes([self.buf[o], self.buf[o + 1]]);
+        let words = u16::from_be_bytes([self.buf[o + 2], self.buf[o + 3]]) as usize;
+        Some(Extension {
+            profile,
+            data: &self.buf[o + 4..o + 4 + 4 * words],
+        })
+    }
+
+    /// Offset of the payload within the packet.
+    pub fn payload_offset(&self) -> usize {
+        let mut o = MIN_HEADER_LEN + 4 * self.csrc_count();
+        if let Some(ext) = self.extension() {
+            o += 4 + ext.data.len();
+        }
+        o
+    }
+
+    /// Number of padding octets at the tail (0 when the P bit is clear).
+    pub fn padding_len(&self) -> usize {
+        if self.has_padding() {
+            *self.buf.last().expect("len >= 12") as usize
+        } else {
+            0
+        }
+    }
+
+    /// The media payload, excluding header, extension and padding.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.payload_offset()..self.buf.len() - self.padding_len()]
+    }
+
+    /// The full packet bytes.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.buf
+    }
+}
+
+/// An RTP header extension block (profile + data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extension<'a> {
+    /// The 16-bit "defined by profile" field.
+    pub profile: u16,
+    /// The extension data (a multiple of 4 bytes).
+    pub data: &'a [u8],
+}
+
+/// One element inside an RFC 8285 extension block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtElement<'a> {
+    /// The local identifier (1–14 defined; 0 reserved for padding; 15 stop).
+    pub id: u8,
+    /// The value of the on-wire length field, *as encoded*: for the one-byte
+    /// form this is `data.len() - 1`, for the two-byte form `data.len()`.
+    pub wire_len: u8,
+    /// The element data.
+    pub data: &'a [u8],
+}
+
+impl<'a> Extension<'a> {
+    /// Whether the profile selects the RFC 8285 one-byte element form.
+    pub fn is_one_byte_form(&self) -> bool {
+        self.profile == ONE_BYTE_PROFILE
+    }
+
+    /// Whether the profile selects the RFC 8285 two-byte element form.
+    pub fn is_two_byte_form(&self) -> bool {
+        TWO_BYTE_PROFILE_RANGE.contains(&self.profile)
+    }
+
+    /// Parse the data as RFC 8285 elements according to the profile.
+    ///
+    /// Returns `None` if the profile selects neither form (a proprietary
+    /// extension — e.g. FaceTime's 0x8001/0x8500/0x8D00, paper §5.2.2).
+    pub fn elements(&self) -> Option<Vec<ExtElement<'a>>> {
+        if self.is_one_byte_form() {
+            Some(self.one_byte_elements())
+        } else if self.is_two_byte_form() {
+            Some(self.two_byte_elements())
+        } else {
+            None
+        }
+    }
+
+    /// Parse one-byte-form elements.
+    ///
+    /// Elements with ID 0 are *yielded* (not skipped) when their length
+    /// nibble is non-zero, so the compliance layer can flag the violation
+    /// Discord exhibits (paper §5.2.2); a fully zero byte is plain padding
+    /// and is skipped.
+    pub fn one_byte_elements(&self) -> Vec<ExtElement<'a>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.data.len() {
+            let b = self.data[i];
+            if b == 0 {
+                i += 1; // padding byte
+                continue;
+            }
+            let id = b >> 4;
+            if id == 15 {
+                break; // reserved: stop parsing (RFC 8285 §4.2)
+            }
+            let len_field = b & 0x0F;
+            let data_len = len_field as usize + 1;
+            let end = (i + 1 + data_len).min(self.data.len());
+            out.push(ExtElement {
+                id,
+                wire_len: len_field,
+                data: &self.data[i + 1..end],
+            });
+            i += 1 + data_len;
+        }
+        out
+    }
+
+    /// Parse two-byte-form elements.
+    pub fn two_byte_elements(&self) -> Vec<ExtElement<'a>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + 1 < self.data.len() {
+            let id = self.data[i];
+            if id == 0 {
+                i += 1; // padding byte
+                continue;
+            }
+            let len = self.data[i + 1] as usize;
+            let end = (i + 2 + len).min(self.data.len());
+            out.push(ExtElement {
+                id,
+                wire_len: len as u8,
+                data: &self.data[i + 2..end],
+            });
+            i += 2 + len;
+        }
+        out
+    }
+}
+
+/// Builder for RTP packets.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    marker: bool,
+    payload_type: u8,
+    sequence_number: u16,
+    timestamp: u32,
+    ssrc: u32,
+    csrcs: Vec<u32>,
+    extension: Option<(u16, Vec<u8>)>,
+    payload: Vec<u8>,
+    padding: usize,
+}
+
+impl PacketBuilder {
+    /// Start a packet with the mandatory header fields.
+    pub fn new(payload_type: u8, sequence_number: u16, timestamp: u32, ssrc: u32) -> PacketBuilder {
+        PacketBuilder {
+            marker: false,
+            payload_type,
+            sequence_number,
+            timestamp,
+            ssrc,
+            csrcs: Vec::new(),
+            extension: None,
+            payload: Vec::new(),
+            padding: 0,
+        }
+    }
+
+    /// Set the marker bit.
+    pub fn marker(mut self, m: bool) -> PacketBuilder {
+        self.marker = m;
+        self
+    }
+
+    /// Append a contributing source.
+    pub fn csrc(mut self, csrc: u32) -> PacketBuilder {
+        self.csrcs.push(csrc);
+        self
+    }
+
+    /// Attach a raw header extension; `data` is zero-padded to a 4-byte
+    /// multiple at build time.
+    pub fn extension(mut self, profile: u16, data: impl Into<Vec<u8>>) -> PacketBuilder {
+        self.extension = Some((profile, data.into()));
+        self
+    }
+
+    /// Attach an RFC 8285 one-byte-form extension built from `(id, data)`
+    /// element pairs.
+    pub fn one_byte_extension(self, elements: &[(u8, &[u8])]) -> PacketBuilder {
+        let mut data = Vec::new();
+        for (id, v) in elements {
+            debug_assert!((1..=14).contains(id) && !v.is_empty() && v.len() <= 16);
+            data.push((id << 4) | ((v.len() - 1) as u8 & 0x0F));
+            data.extend_from_slice(v);
+        }
+        self.extension(ONE_BYTE_PROFILE, data)
+    }
+
+    /// Attach an RFC 8285 two-byte-form extension (`appbits` selects the
+    /// low 4 profile bits) built from `(id, data)` element pairs — for
+    /// elements longer than 16 bytes or IDs above 14.
+    pub fn two_byte_extension(self, appbits: u8, elements: &[(u8, &[u8])]) -> PacketBuilder {
+        let mut data = Vec::new();
+        for (id, v) in elements {
+            debug_assert!(*id >= 1 && v.len() <= 255);
+            data.push(*id);
+            data.push(v.len() as u8);
+            data.extend_from_slice(v);
+        }
+        self.extension(0x1000 | (appbits as u16 & 0x0F), data)
+    }
+
+    /// Set the payload.
+    pub fn payload(mut self, payload: impl Into<Vec<u8>>) -> PacketBuilder {
+        self.payload = payload.into();
+        self
+    }
+
+    /// Add `n` padding octets (sets the P bit; `n` includes the count byte).
+    pub fn padding(mut self, n: usize) -> PacketBuilder {
+        self.padding = n;
+        self
+    }
+
+    /// Serialize the packet.
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MIN_HEADER_LEN + self.payload.len());
+        let mut b0 = 2u8 << 6;
+        if self.padding > 0 {
+            b0 |= 0x20;
+        }
+        if self.extension.is_some() {
+            b0 |= 0x10;
+        }
+        b0 |= self.csrcs.len() as u8 & 0x0F;
+        out.push(b0);
+        out.push(((self.marker as u8) << 7) | (self.payload_type & 0x7F));
+        out.extend_from_slice(&self.sequence_number.to_be_bytes());
+        out.extend_from_slice(&self.timestamp.to_be_bytes());
+        out.extend_from_slice(&self.ssrc.to_be_bytes());
+        for c in &self.csrcs {
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+        if let Some((profile, data)) = &self.extension {
+            let words = data.len().div_ceil(4);
+            out.extend_from_slice(&profile.to_be_bytes());
+            out.extend_from_slice(&(words as u16).to_be_bytes());
+            out.extend_from_slice(data);
+            out.resize(out.len() + (4 * words - data.len()), 0);
+        }
+        out.extend_from_slice(&self.payload);
+        if self.padding > 0 {
+            out.resize(out.len() + self.padding - 1, 0);
+            out.push(self.padding as u8);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_roundtrip() {
+        let bytes = PacketBuilder::new(111, 4242, 0xDEAD_0001, 0x1000_0401)
+            .marker(true)
+            .payload(b"opus frame".to_vec())
+            .build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        assert_eq!(p.version(), 2);
+        assert!(p.marker());
+        assert_eq!(p.payload_type(), 111);
+        assert_eq!(p.sequence_number(), 4242);
+        assert_eq!(p.timestamp(), 0xDEAD_0001);
+        assert_eq!(p.ssrc(), 0x1000_0401);
+        assert_eq!(p.payload(), b"opus frame");
+        assert!(!p.has_extension());
+        assert!(!p.has_padding());
+    }
+
+    #[test]
+    fn csrc_list_roundtrip() {
+        let bytes = PacketBuilder::new(96, 1, 2, 3)
+            .csrc(0xAAAA_0001)
+            .csrc(0xAAAA_0002)
+            .payload(vec![1, 2, 3])
+            .build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        assert_eq!(p.csrc_count(), 2);
+        assert_eq!(p.csrcs().collect::<Vec<_>>(), vec![0xAAAA_0001, 0xAAAA_0002]);
+        assert_eq!(p.payload(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn one_byte_extension_roundtrip() {
+        let bytes = PacketBuilder::new(96, 10, 20, 30)
+            .one_byte_extension(&[(1, &[0x30]), (3, &[0xAA, 0xBB, 0xCC])])
+            .payload(vec![9; 5])
+            .build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        let ext = p.extension().unwrap();
+        assert_eq!(ext.profile, ONE_BYTE_PROFILE);
+        assert!(ext.is_one_byte_form());
+        let els = ext.elements().unwrap();
+        assert_eq!(els.len(), 2);
+        assert_eq!(els[0].id, 1);
+        assert_eq!(els[0].data, &[0x30]);
+        assert_eq!(els[1].id, 3);
+        assert_eq!(els[1].data, &[0xAA, 0xBB, 0xCC]);
+        assert_eq!(p.payload(), &[9; 5]);
+    }
+
+    #[test]
+    fn reserved_id_zero_element_is_surfaced() {
+        // Discord's violation (paper §5.2.2): an ID-0 element with a non-zero
+        // length field and a non-empty payload.
+        let mut data = Vec::new();
+        data.push(0x02); // id 0, len field 2 → 3 data bytes
+        data.extend_from_slice(&[1, 2, 3]);
+        let bytes = PacketBuilder::new(120, 1, 2, 3)
+            .extension(ONE_BYTE_PROFILE, data)
+            .payload(vec![0; 4])
+            .build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        let els = p.extension().unwrap().one_byte_elements();
+        assert_eq!(els.len(), 1);
+        assert_eq!(els[0].id, 0);
+        assert_eq!(els[0].wire_len, 2);
+        assert_eq!(els[0].data, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn proprietary_profile_has_no_elements() {
+        let bytes = PacketBuilder::new(100, 1, 2, 3)
+            .extension(0x8001, vec![0xDE, 0xAD, 0xBE, 0xEF])
+            .payload(vec![0; 4])
+            .build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        let ext = p.extension().unwrap();
+        assert_eq!(ext.profile, 0x8001);
+        assert!(ext.elements().is_none());
+    }
+
+    #[test]
+    fn two_byte_extension_builder_roundtrip() {
+        let long_value = [0xAB; 40];
+        let bytes = PacketBuilder::new(96, 1, 2, 3)
+            .two_byte_extension(0x5, &[(20, &long_value), (1, &[])])
+            .payload(vec![7; 8])
+            .build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        let ext = p.extension().unwrap();
+        assert_eq!(ext.profile, 0x1005);
+        assert!(ext.is_two_byte_form());
+        let els = ext.two_byte_elements();
+        assert_eq!(els.len(), 2);
+        assert_eq!(els[0].id, 20);
+        assert_eq!(els[0].data, &long_value);
+        assert_eq!(els[1].id, 1);
+        assert!(els[1].data.is_empty());
+        assert_eq!(p.payload(), &[7; 8]);
+    }
+
+    #[test]
+    fn two_byte_extension_roundtrip() {
+        let mut data = Vec::new();
+        data.push(5);
+        data.push(2);
+        data.extend_from_slice(&[0x11, 0x22]);
+        data.push(0); // padding
+        let bytes = PacketBuilder::new(96, 1, 2, 3)
+            .extension(0x1000, data)
+            .payload(vec![1])
+            .build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        let ext = p.extension().unwrap();
+        assert!(ext.is_two_byte_form());
+        let els = ext.elements().unwrap();
+        assert_eq!(els.len(), 1);
+        assert_eq!(els[0].id, 5);
+        assert_eq!(els[0].data, &[0x11, 0x22]);
+    }
+
+    #[test]
+    fn padding_roundtrip() {
+        let bytes = PacketBuilder::new(96, 1, 2, 3).payload(vec![7; 10]).padding(4).build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        assert!(p.has_padding());
+        assert_eq!(p.padding_len(), 4);
+        assert_eq!(p.payload(), &[7; 10]);
+    }
+
+    #[test]
+    fn rejects_version_zero_and_one_and_three() {
+        let mut bytes = PacketBuilder::new(96, 1, 2, 3).payload(vec![0; 4]).build();
+        for v in [0u8, 1, 3] {
+            bytes[0] = (bytes[0] & 0x3F) | (v << 6);
+            assert!(Packet::new_checked(&bytes).is_err(), "version {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_extension() {
+        let mut bytes = PacketBuilder::new(96, 1, 2, 3)
+            .extension(ONE_BYTE_PROFILE, vec![0x10, 0xAA, 0, 0])
+            .build();
+        // Inflate the declared extension length beyond the buffer.
+        bytes[14] = 0xFF;
+        bytes[15] = 0xFF;
+        assert_eq!(Packet::new_checked(&bytes).err(), Some(Error::Truncated));
+    }
+
+    #[test]
+    fn rejects_bad_padding_count() {
+        let mut bytes = PacketBuilder::new(96, 1, 2, 3).payload(vec![1, 2]).build();
+        bytes[0] |= 0x20; // claim padding
+        let n = bytes.len();
+        bytes[n - 1] = 200; // padding longer than the packet
+        assert!(Packet::new_checked(&bytes).is_err());
+    }
+
+    #[test]
+    fn zoom_runt_rtp_message() {
+        // Zoom's 7-byte-payload PT-110 runt (paper §5.3) is structurally valid.
+        let bytes = PacketBuilder::new(110, 900, 0x0101_0101, 0x0100_1401)
+            .payload(vec![0u8; 7])
+            .build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        assert_eq!(p.payload_type(), 110);
+        assert_eq!(p.payload().len(), 7);
+        assert_eq!(bytes.len(), 19);
+    }
+}

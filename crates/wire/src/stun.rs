@@ -1,0 +1,908 @@
+//! STUN and TURN wire format (RFC 3489, 5389, 8489; TURN: RFC 5766, 8656).
+//!
+//! TURN reuses the STUN message format, so this module covers both, plus the
+//! TURN *ChannelData* framing. The view accepts any 16-bit message type and
+//! any attribute type: the compliance layer, not the parser, decides whether
+//! a type is defined. Structural constraints that *are* enforced here:
+//!
+//! * the two most significant bits of the message type must be zero
+//!   (RFC 5389 §6 — this is what distinguishes STUN from RTP/RTCP on the
+//!   same socket),
+//! * the message length field must be present and consistent with TLV
+//!   attribute walking,
+//! * attribute values are padded to 4-byte boundaries (padding bytes are not
+//!   part of the value).
+//!
+//! RFC 3489 ("classic" STUN) lacks the magic cookie; [`Message::has_magic_cookie`]
+//! distinguishes the two generations, and [`Message::transaction_id`] returns
+//! the 12-byte modern transaction ID while [`Message::legacy_transaction_id`]
+//! returns the full 16 bytes a classic endpoint would use.
+
+use crate::{field, Error, Result};
+
+/// The STUN magic cookie introduced by RFC 5389 §6.
+pub const MAGIC_COOKIE: u32 = 0x2112_A442;
+
+/// The XOR mask applied to the CRC-32 in FINGERPRINT (RFC 8489 §14.7,
+/// ASCII "STUN").
+pub const FINGERPRINT_XOR: u32 = 0x5354_554E;
+
+/// CRC-32 (IEEE 802.3, reflected) — used by the FINGERPRINT attribute.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Length of the fixed STUN message header.
+pub const HEADER_LEN: usize = 20;
+
+/// Message class, encoded in bits C1/C0 of the message type (RFC 5389 §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// 0b00 — request.
+    Request,
+    /// 0b01 — indication.
+    Indication,
+    /// 0b10 — success response.
+    SuccessResponse,
+    /// 0b11 — error response.
+    ErrorResponse,
+}
+
+impl MessageClass {
+    /// Decode the class bits of a raw 16-bit message type.
+    pub fn of(message_type: u16) -> MessageClass {
+        match ((message_type >> 7) & 0b10) | ((message_type >> 4) & 0b01) {
+            0b00 => MessageClass::Request,
+            0b01 => MessageClass::Indication,
+            0b10 => MessageClass::SuccessResponse,
+            _ => MessageClass::ErrorResponse,
+        }
+    }
+
+    /// The class bits as they appear OR-ed into a message type.
+    pub fn bits(self) -> u16 {
+        match self {
+            MessageClass::Request => 0x0000,
+            MessageClass::Indication => 0x0010,
+            MessageClass::SuccessResponse => 0x0100,
+            MessageClass::ErrorResponse => 0x0110,
+        }
+    }
+}
+
+/// Extract the 12-bit method from a raw message type (RFC 5389 §6).
+pub fn method_of(message_type: u16) -> u16 {
+    (message_type & 0x000F) | ((message_type & 0x00E0) >> 1) | ((message_type & 0x3E00) >> 2)
+}
+
+/// Compose a message type from a method and class.
+pub fn compose_type(method: u16, class: MessageClass) -> u16 {
+    let m = ((method & 0x0F80) << 2) | ((method & 0x0070) << 1) | (method & 0x000F);
+    m | class.bits()
+}
+
+/// Well-known STUN/TURN message types, as raw 16-bit type values.
+///
+/// The inventory mirrors the observed vocabulary in the paper's Table 4 plus
+/// the standard request/response families those types belong to.
+pub mod msg_type {
+    /// Binding Request (RFC 8489).
+    pub const BINDING_REQUEST: u16 = 0x0001;
+    /// Binding Indication (RFC 8489).
+    pub const BINDING_INDICATION: u16 = 0x0011;
+    /// Binding Success Response.
+    pub const BINDING_SUCCESS: u16 = 0x0101;
+    /// Binding Error Response.
+    pub const BINDING_ERROR: u16 = 0x0111;
+    /// Shared Secret Request (RFC 3489, deprecated by RFC 5389).
+    pub const SHARED_SECRET_REQUEST: u16 = 0x0002;
+    /// Shared Secret Success Response (RFC 3489).
+    pub const SHARED_SECRET_SUCCESS: u16 = 0x0102;
+    /// Shared Secret Error Response (RFC 3489).
+    pub const SHARED_SECRET_ERROR: u16 = 0x0112;
+    /// TURN Allocate Request (RFC 8656).
+    pub const ALLOCATE_REQUEST: u16 = 0x0003;
+    /// TURN Allocate Success Response.
+    pub const ALLOCATE_SUCCESS: u16 = 0x0103;
+    /// TURN Allocate Error Response.
+    pub const ALLOCATE_ERROR: u16 = 0x0113;
+    /// TURN Refresh Request.
+    pub const REFRESH_REQUEST: u16 = 0x0004;
+    /// TURN Refresh Success Response.
+    pub const REFRESH_SUCCESS: u16 = 0x0104;
+    /// TURN Refresh Error Response.
+    pub const REFRESH_ERROR: u16 = 0x0114;
+    /// TURN Send Indication.
+    pub const SEND_INDICATION: u16 = 0x0016;
+    /// TURN Data Indication.
+    pub const DATA_INDICATION: u16 = 0x0017;
+    /// TURN CreatePermission Request.
+    pub const CREATE_PERMISSION_REQUEST: u16 = 0x0008;
+    /// TURN CreatePermission Success Response.
+    pub const CREATE_PERMISSION_SUCCESS: u16 = 0x0108;
+    /// TURN CreatePermission Error Response.
+    pub const CREATE_PERMISSION_ERROR: u16 = 0x0118;
+    /// TURN ChannelBind Request.
+    pub const CHANNEL_BIND_REQUEST: u16 = 0x0009;
+    /// TURN ChannelBind Success Response.
+    pub const CHANNEL_BIND_SUCCESS: u16 = 0x0109;
+    /// TURN ChannelBind Error Response.
+    pub const CHANNEL_BIND_ERROR: u16 = 0x0119;
+    /// GOOG-PING Request (libwebrtc extension, publicly documented; method 0x080).
+    pub const GOOG_PING_REQUEST: u16 = 0x0200;
+    /// GOOG-PING Success Response (libwebrtc extension).
+    pub const GOOG_PING_SUCCESS: u16 = 0x0300;
+}
+
+/// Well-known STUN/TURN attribute types.
+pub mod attr {
+    /// MAPPED-ADDRESS (RFC 8489).
+    pub const MAPPED_ADDRESS: u16 = 0x0001;
+    /// RESPONSE-ADDRESS (RFC 3489, deprecated).
+    pub const RESPONSE_ADDRESS: u16 = 0x0002;
+    /// CHANGE-REQUEST (RFC 3489 / 5780).
+    pub const CHANGE_REQUEST: u16 = 0x0003;
+    /// SOURCE-ADDRESS (RFC 3489, deprecated).
+    pub const SOURCE_ADDRESS: u16 = 0x0004;
+    /// CHANGED-ADDRESS (RFC 3489, deprecated).
+    pub const CHANGED_ADDRESS: u16 = 0x0005;
+    /// USERNAME.
+    pub const USERNAME: u16 = 0x0006;
+    /// PASSWORD (RFC 3489, deprecated).
+    pub const PASSWORD: u16 = 0x0007;
+    /// MESSAGE-INTEGRITY (HMAC-SHA1, 20 bytes).
+    pub const MESSAGE_INTEGRITY: u16 = 0x0008;
+    /// ERROR-CODE.
+    pub const ERROR_CODE: u16 = 0x0009;
+    /// UNKNOWN-ATTRIBUTES.
+    pub const UNKNOWN_ATTRIBUTES: u16 = 0x000A;
+    /// REFLECTED-FROM (RFC 3489, deprecated).
+    pub const REFLECTED_FROM: u16 = 0x000B;
+    /// CHANNEL-NUMBER (TURN).
+    pub const CHANNEL_NUMBER: u16 = 0x000C;
+    /// LIFETIME (TURN).
+    pub const LIFETIME: u16 = 0x000D;
+    /// XOR-PEER-ADDRESS (TURN).
+    pub const XOR_PEER_ADDRESS: u16 = 0x0012;
+    /// DATA (TURN).
+    pub const DATA: u16 = 0x0013;
+    /// REALM.
+    pub const REALM: u16 = 0x0014;
+    /// NONCE.
+    pub const NONCE: u16 = 0x0015;
+    /// XOR-RELAYED-ADDRESS (TURN).
+    pub const XOR_RELAYED_ADDRESS: u16 = 0x0016;
+    /// REQUESTED-ADDRESS-FAMILY (RFC 8656).
+    pub const REQUESTED_ADDRESS_FAMILY: u16 = 0x0017;
+    /// EVEN-PORT (TURN).
+    pub const EVEN_PORT: u16 = 0x0018;
+    /// REQUESTED-TRANSPORT (TURN).
+    pub const REQUESTED_TRANSPORT: u16 = 0x0019;
+    /// DONT-FRAGMENT (TURN).
+    pub const DONT_FRAGMENT: u16 = 0x001A;
+    /// MESSAGE-INTEGRITY-SHA256 (RFC 8489).
+    pub const MESSAGE_INTEGRITY_SHA256: u16 = 0x001C;
+    /// PASSWORD-ALGORITHM (RFC 8489).
+    pub const PASSWORD_ALGORITHM: u16 = 0x001D;
+    /// USERHASH (RFC 8489).
+    pub const USERHASH: u16 = 0x001E;
+    /// XOR-MAPPED-ADDRESS (RFC 8489).
+    pub const XOR_MAPPED_ADDRESS: u16 = 0x0020;
+    /// RESERVATION-TOKEN (TURN, 8 bytes).
+    pub const RESERVATION_TOKEN: u16 = 0x0022;
+    /// PRIORITY (ICE, RFC 8445).
+    pub const PRIORITY: u16 = 0x0024;
+    /// USE-CANDIDATE (ICE, RFC 8445).
+    pub const USE_CANDIDATE: u16 = 0x0025;
+    /// PADDING (RFC 5780).
+    pub const PADDING: u16 = 0x0026;
+    /// RESPONSE-PORT (RFC 5780).
+    pub const RESPONSE_PORT: u16 = 0x0027;
+    /// CONNECTION-ID (RFC 6062).
+    pub const CONNECTION_ID: u16 = 0x002A;
+    /// ADDITIONAL-ADDRESS-FAMILY (RFC 8656).
+    pub const ADDITIONAL_ADDRESS_FAMILY: u16 = 0x8000;
+    /// ADDRESS-ERROR-CODE (RFC 8656).
+    pub const ADDRESS_ERROR_CODE: u16 = 0x8001;
+    /// PASSWORD-ALGORITHMS (RFC 8489).
+    pub const PASSWORD_ALGORITHMS: u16 = 0x8002;
+    /// ALTERNATE-DOMAIN (RFC 8489).
+    pub const ALTERNATE_DOMAIN: u16 = 0x8003;
+    /// ICMP (RFC 8656).
+    pub const ICMP: u16 = 0x8004;
+    /// SOFTWARE.
+    pub const SOFTWARE: u16 = 0x8022;
+    /// ALTERNATE-SERVER.
+    pub const ALTERNATE_SERVER: u16 = 0x8023;
+    /// FINGERPRINT (CRC-32 of the message, 4 bytes).
+    pub const FINGERPRINT: u16 = 0x8028;
+    /// ICE-CONTROLLED (RFC 8445).
+    pub const ICE_CONTROLLED: u16 = 0x8029;
+    /// ICE-CONTROLLING (RFC 8445).
+    pub const ICE_CONTROLLING: u16 = 0x802A;
+    /// RESPONSE-ORIGIN (RFC 5780).
+    pub const RESPONSE_ORIGIN: u16 = 0x802B;
+    /// OTHER-ADDRESS (RFC 5780).
+    pub const OTHER_ADDRESS: u16 = 0x802C;
+    /// GOOG-NETWORK-INFO (libwebrtc extension, publicly documented).
+    pub const GOOG_NETWORK_INFO: u16 = 0xC057;
+}
+
+/// Address families used in STUN address attributes.
+pub mod family {
+    /// IPv4 (0x01).
+    pub const IPV4: u8 = 0x01;
+    /// IPv6 (0x02).
+    pub const IPV6: u8 = 0x02;
+}
+
+/// A parsed attribute: raw type and its (unpadded) value bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attribute<'a> {
+    /// Raw 16-bit attribute type.
+    pub typ: u16,
+    /// Attribute value, excluding the padding bytes.
+    pub value: &'a [u8],
+}
+
+/// A checked view of a STUN/TURN message.
+///
+/// ```
+/// use rtc_wire::stun::{attr, msg_type, Message, MessageBuilder};
+///
+/// let bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, [7; 12])
+///     .attribute(attr::PRIORITY, vec![0, 0, 1, 0])
+///     .build_with_fingerprint();
+/// let msg = Message::new_checked(&bytes).unwrap();
+/// assert_eq!(msg.message_type(), msg_type::BINDING_REQUEST);
+/// assert!(msg.has_magic_cookie());
+/// assert_eq!(msg.verify_fingerprint(), Some(true));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Message<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Message<'a> {
+    /// Parse a STUN message starting at byte 0 of `buf`.
+    ///
+    /// `buf` may extend past the message; use [`Message::wire_len`] to find
+    /// where the message ends. Fails if the buffer is shorter than the
+    /// declared message, if the top two type bits are set, or if the length
+    /// field is not 4-byte aligned (RFC 5389 §6).
+    pub fn new_checked(buf: &'a [u8]) -> Result<Message<'a>> {
+        if buf.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let raw_type = field::u16_at(buf, 0)?;
+        if raw_type & 0xC000 != 0 {
+            return Err(Error::Malformed("stun type top bits"));
+        }
+        let length = field::u16_at(buf, 2)? as usize;
+        if length % 4 != 0 {
+            return Err(Error::Malformed("stun length alignment"));
+        }
+        if buf.len() < HEADER_LEN + length {
+            return Err(Error::Truncated);
+        }
+        Ok(Message { buf })
+    }
+
+    /// Raw 16-bit message type.
+    pub fn message_type(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Message class decoded from the type bits.
+    pub fn class(&self) -> MessageClass {
+        MessageClass::of(self.message_type())
+    }
+
+    /// 12-bit method decoded from the type bits.
+    pub fn method(&self) -> u16 {
+        method_of(self.message_type())
+    }
+
+    /// Declared length of the attribute section in bytes.
+    pub fn declared_length(&self) -> usize {
+        u16::from_be_bytes([self.buf[2], self.buf[3]]) as usize
+    }
+
+    /// Total size of the message on the wire (header + attributes).
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.declared_length()
+    }
+
+    /// The exact bytes of this message (header + attribute section).
+    pub fn as_bytes(&self) -> &'a [u8] {
+        &self.buf[..HEADER_LEN + self.declared_length()]
+    }
+
+    /// Whether bytes 4..8 hold the RFC 5389 magic cookie.
+    ///
+    /// Classic RFC 3489 messages have no cookie — those four bytes are part
+    /// of the 128-bit transaction ID.
+    pub fn has_magic_cookie(&self) -> bool {
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) == MAGIC_COOKIE
+    }
+
+    /// The modern 96-bit transaction ID (bytes 8..20).
+    pub fn transaction_id(&self) -> &'a [u8] {
+        &self.buf[8..20]
+    }
+
+    /// The classic RFC 3489 128-bit transaction ID (bytes 4..20).
+    pub fn legacy_transaction_id(&self) -> &'a [u8] {
+        &self.buf[4..20]
+    }
+
+    /// Iterate over the TLV attributes in declaration order.
+    pub fn attributes(&self) -> AttributeIter<'a> {
+        AttributeIter {
+            buf: &self.buf[HEADER_LEN..HEADER_LEN + self.declared_length()],
+            offset: 0,
+        }
+    }
+
+    /// Find the first attribute with the given type.
+    pub fn attribute(&self, typ: u16) -> Option<Attribute<'a>> {
+        self.attributes().flatten().find(|a| a.typ == typ)
+    }
+
+    /// Verify the FINGERPRINT attribute, if one is present: `None` when the
+    /// message carries no FINGERPRINT, otherwise whether the CRC matches
+    /// RFC 8489 §14.7 (computed over the message up to the attribute, with
+    /// the declared length unchanged — compliant senders size the length to
+    /// include the FINGERPRINT they append).
+    pub fn verify_fingerprint(&self) -> Option<bool> {
+        let mut offset = HEADER_LEN;
+        for a in self.attributes() {
+            let Ok(a) = a else { return Some(false) };
+            if a.typ == attr::FINGERPRINT {
+                if a.value.len() != 4 {
+                    return Some(false);
+                }
+                let expected = crc32(&self.buf[..offset]) ^ FINGERPRINT_XOR;
+                let got = u32::from_be_bytes([a.value[0], a.value[1], a.value[2], a.value[3]]);
+                return Some(expected == got);
+            }
+            offset += 4 + a.value.len() + (4 - a.value.len() % 4) % 4;
+        }
+        None
+    }
+}
+
+/// Iterator over the attributes of a [`Message`].
+///
+/// Yields `Err` (and then stops) if an attribute overruns the declared
+/// message length — the paper's validation step discards such candidates.
+#[derive(Debug, Clone)]
+pub struct AttributeIter<'a> {
+    buf: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Iterator for AttributeIter<'a> {
+    type Item = Result<Attribute<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.buf.len() {
+            return None;
+        }
+        let typ = match field::u16_at(self.buf, self.offset) {
+            Ok(t) => t,
+            Err(e) => {
+                self.offset = self.buf.len();
+                return Some(Err(e));
+            }
+        };
+        let len = match field::u16_at(self.buf, self.offset + 2) {
+            Ok(l) => l as usize,
+            Err(e) => {
+                self.offset = self.buf.len();
+                return Some(Err(e));
+            }
+        };
+        let value = match field::slice_at(self.buf, self.offset + 4, len) {
+            Ok(v) => v,
+            Err(e) => {
+                self.offset = self.buf.len();
+                return Some(Err(e));
+            }
+        };
+        // Advance past the value and its padding to the 4-byte boundary.
+        self.offset += 4 + len + (4 - len % 4) % 4;
+        Some(Ok(Attribute { typ, value }))
+    }
+}
+
+/// Builder for STUN/TURN messages.
+///
+/// The builder intentionally allows *anything* a real implementation might
+/// put on the wire — undefined types, undefined attributes, wrong lengths —
+/// because the application models in `rtc-apps` must generate the
+/// non-compliant traffic the paper observed.
+#[derive(Debug, Clone)]
+pub struct MessageBuilder {
+    message_type: u16,
+    transaction_id: [u8; 12],
+    magic_cookie: Option<u32>,
+    legacy_prefix: [u8; 4],
+    attributes: Vec<(u16, Vec<u8>)>,
+}
+
+impl MessageBuilder {
+    /// Start building a message of the given raw type with the RFC 5389+
+    /// magic cookie.
+    pub fn new(message_type: u16, transaction_id: [u8; 12]) -> MessageBuilder {
+        MessageBuilder {
+            message_type,
+            transaction_id,
+            magic_cookie: Some(MAGIC_COOKIE),
+            legacy_prefix: [0; 4],
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Start building a classic RFC 3489 message: no magic cookie, a full
+    /// 128-bit transaction ID (`prefix` supplies the first 4 bytes).
+    pub fn new_legacy(message_type: u16, prefix: [u8; 4], transaction_id: [u8; 12]) -> MessageBuilder {
+        MessageBuilder {
+            message_type,
+            transaction_id,
+            magic_cookie: None,
+            legacy_prefix: prefix,
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Append an attribute (type + value). Padding is added automatically.
+    pub fn attribute(mut self, typ: u16, value: impl Into<Vec<u8>>) -> MessageBuilder {
+        self.attributes.push((typ, value.into()));
+        self
+    }
+
+    /// Serialize the message, appending a correctly computed FINGERPRINT
+    /// attribute (RFC 8489 §14.7): the CRC-32 of the message up to the
+    /// FINGERPRINT attribute — with the length field already covering it —
+    /// XOR'd with 0x5354554E.
+    pub fn build_with_fingerprint(&self) -> Vec<u8> {
+        let mut out = self.serialize(8);
+        let crc = crc32(&out) ^ FINGERPRINT_XOR;
+        out.extend_from_slice(&attr::FINGERPRINT.to_be_bytes());
+        out.extend_from_slice(&4u16.to_be_bytes());
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Serialize the message.
+    pub fn build(&self) -> Vec<u8> {
+        self.serialize(0)
+    }
+
+    fn serialize(&self, extra_len: usize) -> Vec<u8> {
+        let attrs_len: usize = self
+            .attributes
+            .iter()
+            .map(|(_, v)| 4 + v.len() + (4 - v.len() % 4) % 4)
+            .sum::<usize>()
+            + extra_len;
+        let mut out = Vec::with_capacity(HEADER_LEN + attrs_len);
+        out.extend_from_slice(&self.message_type.to_be_bytes());
+        out.extend_from_slice(&(attrs_len as u16).to_be_bytes());
+        match self.magic_cookie {
+            Some(c) => out.extend_from_slice(&c.to_be_bytes()),
+            None => out.extend_from_slice(&self.legacy_prefix),
+        }
+        out.extend_from_slice(&self.transaction_id);
+        for (typ, value) in &self.attributes {
+            out.extend_from_slice(&typ.to_be_bytes());
+            out.extend_from_slice(&(value.len() as u16).to_be_bytes());
+            out.extend_from_slice(value);
+            for _ in 0..(4 - value.len() % 4) % 4 {
+                out.push(0);
+            }
+        }
+        out
+    }
+}
+
+/// Encode a plain (non-XOR) address attribute value (RFC 8489 §14.1).
+pub fn encode_address(addr: std::net::SocketAddr) -> Vec<u8> {
+    let mut v = vec![0u8];
+    match addr.ip() {
+        std::net::IpAddr::V4(ip) => {
+            v.push(family::IPV4);
+            v.extend_from_slice(&addr.port().to_be_bytes());
+            v.extend_from_slice(&ip.octets());
+        }
+        std::net::IpAddr::V6(ip) => {
+            v.push(family::IPV6);
+            v.extend_from_slice(&addr.port().to_be_bytes());
+            v.extend_from_slice(&ip.octets());
+        }
+    }
+    v
+}
+
+/// Decode a plain address attribute value.
+pub fn decode_address(value: &[u8]) -> Result<std::net::SocketAddr> {
+    if value.len() < 4 {
+        return Err(Error::Truncated);
+    }
+    let fam = value[1];
+    let port = u16::from_be_bytes([value[2], value[3]]);
+    match fam {
+        family::IPV4 => {
+            let o = field::slice_at(value, 4, 4)?;
+            let ip = std::net::Ipv4Addr::new(o[0], o[1], o[2], o[3]);
+            if value.len() != 8 {
+                return Err(Error::Malformed("ipv4 address attribute length"));
+            }
+            Ok(std::net::SocketAddr::new(ip.into(), port))
+        }
+        family::IPV6 => {
+            let o = field::slice_at(value, 4, 16)?;
+            let mut oct = [0u8; 16];
+            oct.copy_from_slice(o);
+            if value.len() != 20 {
+                return Err(Error::Malformed("ipv6 address attribute length"));
+            }
+            Ok(std::net::SocketAddr::new(std::net::Ipv6Addr::from(oct).into(), port))
+        }
+        _ => Err(Error::Malformed("address family")),
+    }
+}
+
+/// Encode an XOR-…-ADDRESS attribute value (RFC 8489 §14.2).
+///
+/// `transaction_id` is needed for IPv6; IPv4 only XORs with the cookie.
+pub fn encode_xor_address(addr: std::net::SocketAddr, transaction_id: &[u8; 12]) -> Vec<u8> {
+    let mut v = encode_address(addr);
+    let cookie = MAGIC_COOKIE.to_be_bytes();
+    // XOR the port with the 16 most significant cookie bits.
+    v[2] ^= cookie[0];
+    v[3] ^= cookie[1];
+    // XOR the address with cookie (v4) or cookie || txid (v6).
+    for (i, b) in v[4..].iter_mut().enumerate() {
+        *b ^= if i < 4 { cookie[i] } else { transaction_id[i - 4] };
+    }
+    v
+}
+
+/// Decode an XOR-…-ADDRESS attribute value.
+pub fn decode_xor_address(value: &[u8], transaction_id: &[u8; 12]) -> Result<std::net::SocketAddr> {
+    let mut v = value.to_vec();
+    if v.len() < 4 {
+        return Err(Error::Truncated);
+    }
+    let cookie = MAGIC_COOKIE.to_be_bytes();
+    v[2] ^= cookie[0];
+    v[3] ^= cookie[1];
+    for (i, b) in v[4..].iter_mut().enumerate() {
+        *b ^= if i < 4 { cookie[i] } else { transaction_id[i - 4] };
+    }
+    decode_address(&v)
+}
+
+/// Encode an ERROR-CODE attribute value (RFC 8489 §14.8).
+pub fn encode_error_code(code: u16, reason: &str) -> Vec<u8> {
+    let mut v = vec![0, 0, (code / 100) as u8, (code % 100) as u8];
+    v.extend_from_slice(reason.as_bytes());
+    v
+}
+
+/// Decode an ERROR-CODE attribute value into `(code, reason)`.
+pub fn decode_error_code(value: &[u8]) -> Result<(u16, String)> {
+    if value.len() < 4 {
+        return Err(Error::Truncated);
+    }
+    let class = (value[2] & 0x07) as u16;
+    let number = value[3] as u16;
+    Ok((class * 100 + number, String::from_utf8_lossy(&value[4..]).into_owned()))
+}
+
+/// TURN ChannelData framing (RFC 8656 §12.4).
+///
+/// ChannelData is not a STUN message: it is a 4-byte header (channel number,
+/// length) followed by application data. Channel numbers are confined to
+/// 0x4000–0x4FFF; the first byte therefore starts with bits 0b01, which is
+/// how a receiver demultiplexes ChannelData from STUN (0b00) on one socket.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelData<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ChannelData<'a> {
+    /// Range of channel numbers valid per RFC 8656.
+    pub const CHANNEL_RANGE: core::ops::RangeInclusive<u16> = 0x4000..=0x4FFF;
+
+    /// Parse a ChannelData frame starting at byte 0 of `buf`.
+    ///
+    /// Accepts any channel number with the 0b01 demux prefix (0x4000–0x7FFF);
+    /// numbers above 0x4FFF parse but are non-compliant, which the compliance
+    /// layer reports.
+    pub fn new_checked(buf: &'a [u8]) -> Result<ChannelData<'a>> {
+        if buf.len() < 4 {
+            return Err(Error::Truncated);
+        }
+        let number = field::u16_at(buf, 0)?;
+        if !(0x4000..=0x7FFF).contains(&number) {
+            return Err(Error::Malformed("channeldata demux prefix"));
+        }
+        let length = field::u16_at(buf, 2)? as usize;
+        if buf.len() < 4 + length {
+            return Err(Error::Truncated);
+        }
+        Ok(ChannelData { buf })
+    }
+
+    /// The channel number.
+    pub fn channel_number(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Declared application-data length.
+    pub fn declared_length(&self) -> usize {
+        u16::from_be_bytes([self.buf[2], self.buf[3]]) as usize
+    }
+
+    /// Total size of the frame on the wire (header + data, no UDP padding).
+    pub fn wire_len(&self) -> usize {
+        4 + self.declared_length()
+    }
+
+    /// The application data carried by the frame.
+    pub fn data(&self) -> &'a [u8] {
+        &self.buf[4..4 + self.declared_length()]
+    }
+
+    /// Serialize a ChannelData frame.
+    pub fn build(channel_number: u16, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + data.len());
+        out.extend_from_slice(&channel_number.to_be_bytes());
+        out.extend_from_slice(&(data.len() as u16).to_be_bytes());
+        out.extend_from_slice(data);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txid(seed: u8) -> [u8; 12] {
+        core::array::from_fn(|i| seed.wrapping_add(i as u8))
+    }
+
+    #[test]
+    fn class_and_method_roundtrip() {
+        for (t, class, method) in [
+            (msg_type::BINDING_REQUEST, MessageClass::Request, 0x001),
+            (msg_type::BINDING_SUCCESS, MessageClass::SuccessResponse, 0x001),
+            (msg_type::BINDING_ERROR, MessageClass::ErrorResponse, 0x001),
+            (msg_type::DATA_INDICATION, MessageClass::Indication, 0x007),
+            (msg_type::ALLOCATE_REQUEST, MessageClass::Request, 0x003),
+            (msg_type::GOOG_PING_REQUEST, MessageClass::Request, 0x080),
+            (msg_type::GOOG_PING_SUCCESS, MessageClass::SuccessResponse, 0x080),
+        ] {
+            assert_eq!(MessageClass::of(t), class, "type {t:#06x}");
+            assert_eq!(method_of(t), method, "type {t:#06x}");
+            assert_eq!(compose_type(method, class), t, "type {t:#06x}");
+        }
+    }
+
+    #[test]
+    fn build_and_parse_binding_request() {
+        let bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(7))
+            .attribute(attr::SOFTWARE, b"rtc-wire test".to_vec())
+            .attribute(attr::PRIORITY, 0x6e7f_1effu32.to_be_bytes().to_vec())
+            .build();
+        let msg = Message::new_checked(&bytes).unwrap();
+        assert_eq!(msg.message_type(), msg_type::BINDING_REQUEST);
+        assert_eq!(msg.class(), MessageClass::Request);
+        assert_eq!(msg.method(), 0x001);
+        assert!(msg.has_magic_cookie());
+        assert_eq!(msg.transaction_id(), &txid(7));
+        assert_eq!(msg.wire_len(), bytes.len());
+        let attrs: Vec<_> = msg.attributes().collect::<Result<_>>().unwrap();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].typ, attr::SOFTWARE);
+        assert_eq!(attrs[0].value, b"rtc-wire test");
+        assert_eq!(attrs[1].typ, attr::PRIORITY);
+        assert_eq!(attrs[1].value, &0x6e7f_1effu32.to_be_bytes());
+    }
+
+    #[test]
+    fn attribute_padding_excluded_from_value() {
+        let bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(1))
+            .attribute(0x4003, vec![0xFF]) // 1-byte value → 3 padding bytes
+            .build();
+        let msg = Message::new_checked(&bytes).unwrap();
+        assert_eq!(msg.declared_length(), 8);
+        let a = msg.attribute(0x4003).unwrap();
+        assert_eq!(a.value, &[0xFF]);
+    }
+
+    #[test]
+    fn legacy_message_has_no_cookie() {
+        let bytes = MessageBuilder::new_legacy(msg_type::BINDING_REQUEST, [1, 2, 3, 4], txid(9)).build();
+        let msg = Message::new_checked(&bytes).unwrap();
+        assert!(!msg.has_magic_cookie());
+        assert_eq!(&msg.legacy_transaction_id()[..4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_top_type_bits() {
+        let mut bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0)).build();
+        bytes[0] = 0x80; // looks like RTP/ChannelData, not STUN
+        assert_eq!(
+            Message::new_checked(&bytes).err(),
+            Some(Error::Malformed("stun type top bits"))
+        );
+    }
+
+    #[test]
+    fn rejects_unaligned_length() {
+        let mut bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0))
+            .attribute(attr::SOFTWARE, b"abcd".to_vec())
+            .build();
+        bytes[3] = 0x03;
+        assert!(Message::new_checked(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0))
+            .attribute(attr::SOFTWARE, b"abcd".to_vec())
+            .build();
+        assert_eq!(
+            Message::new_checked(&bytes[..bytes.len() - 1]).err(),
+            Some(Error::Truncated)
+        );
+    }
+
+    #[test]
+    fn message_may_be_followed_by_trailing_bytes() {
+        let mut bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0)).build();
+        let wire = bytes.len();
+        bytes.extend_from_slice(&[0xAA; 13]);
+        let msg = Message::new_checked(&bytes).unwrap();
+        assert_eq!(msg.wire_len(), wire);
+        assert_eq!(msg.as_bytes().len(), wire);
+    }
+
+    #[test]
+    fn attribute_overrun_yields_error() {
+        // Declared length 8, but the attribute claims a 32-byte value.
+        let mut bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0))
+            .attribute(attr::SOFTWARE, vec![0u8; 4])
+            .build();
+        bytes[HEADER_LEN + 3] = 32;
+        let msg = Message::new_checked(&bytes).unwrap();
+        let results: Vec<_> = msg.attributes().collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn xor_address_roundtrip_v4() {
+        let t = txid(3);
+        let addr: std::net::SocketAddr = "192.0.2.33:45000".parse().unwrap();
+        let enc = encode_xor_address(addr, &t);
+        assert_eq!(enc.len(), 8);
+        assert_eq!(decode_xor_address(&enc, &t).unwrap(), addr);
+        // XOR must actually change the on-wire port for nonzero cookie bits.
+        assert_ne!(&enc[2..4], &45000u16.to_be_bytes());
+    }
+
+    #[test]
+    fn xor_address_roundtrip_v6() {
+        let t = txid(5);
+        let addr: std::net::SocketAddr = "[2001:db8::7]:3478".parse().unwrap();
+        let enc = encode_xor_address(addr, &t);
+        assert_eq!(enc.len(), 20);
+        assert_eq!(decode_xor_address(&enc, &t).unwrap(), addr);
+    }
+
+    #[test]
+    fn plain_address_roundtrip() {
+        let addr: std::net::SocketAddr = "198.51.100.4:19302".parse().unwrap();
+        assert_eq!(decode_address(&encode_address(addr)).unwrap(), addr);
+    }
+
+    #[test]
+    fn address_rejects_bad_family() {
+        let mut enc = encode_address("192.0.2.1:1".parse().unwrap());
+        enc[1] = 0x00;
+        assert_eq!(decode_address(&enc), Err(Error::Malformed("address family")));
+    }
+
+    #[test]
+    fn error_code_roundtrip() {
+        let enc = encode_error_code(437, "Allocation Mismatch");
+        assert_eq!(decode_error_code(&enc).unwrap(), (437, "Allocation Mismatch".to_string()));
+        let enc = encode_error_code(300, "");
+        assert_eq!(decode_error_code(&enc).unwrap().0, 300);
+        assert!(decode_error_code(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn channeldata_roundtrip() {
+        let frame = ChannelData::build(0x4001, b"media payload");
+        let cd = ChannelData::new_checked(&frame).unwrap();
+        assert_eq!(cd.channel_number(), 0x4001);
+        assert_eq!(cd.data(), b"media payload");
+        assert_eq!(cd.wire_len(), frame.len());
+    }
+
+    #[test]
+    fn channeldata_rejects_stun_prefix() {
+        let frame = ChannelData::build(0x0001, b"x");
+        assert!(ChannelData::new_checked(&frame).is_err());
+    }
+
+    #[test]
+    fn channeldata_accepts_out_of_range_channel_for_compliance_layer() {
+        // 0x5000 has the 0b01 demux prefix but is outside RFC 8656's range:
+        // the parser accepts it so the compliance layer can flag it.
+        let frame = ChannelData::build(0x5000, b"x");
+        let cd = ChannelData::new_checked(&frame).unwrap();
+        assert!(!ChannelData::CHANNEL_RANGE.contains(&cd.channel_number()));
+    }
+
+    #[test]
+    fn fingerprint_roundtrip_and_tamper_detection() {
+        let bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(5))
+            .attribute(attr::PRIORITY, vec![0, 0, 1, 0])
+            .build_with_fingerprint();
+        let msg = Message::new_checked(&bytes).unwrap();
+        assert_eq!(msg.verify_fingerprint(), Some(true));
+        // Flipping any covered byte invalidates the CRC.
+        let mut tampered = bytes.clone();
+        tampered[21] ^= 0x01; // inside the PRIORITY value
+        let msg = Message::new_checked(&tampered).unwrap();
+        assert_eq!(msg.verify_fingerprint(), Some(false));
+        // Messages without FINGERPRINT verify to None.
+        let plain = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(5)).build();
+        assert_eq!(Message::new_checked(&plain).unwrap().verify_fingerprint(), None);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn undefined_types_and_attributes_parse() {
+        // WhatsApp's 0x0801 with undefined attributes 0x4003/0x4004 (paper §5.2.1).
+        let bytes = MessageBuilder::new(0x0801, txid(0xAB))
+            .attribute(0x4003, vec![0xFF])
+            .attribute(0x4004, vec![0u8; 452])
+            .build();
+        let msg = Message::new_checked(&bytes).unwrap();
+        assert_eq!(msg.message_type(), 0x0801);
+        assert_eq!(msg.attributes().count(), 2);
+    }
+}

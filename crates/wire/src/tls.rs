@@ -1,0 +1,159 @@
+//! Minimal TLS parsing: just enough to extract the Server Name Indication
+//! from a ClientHello, which is what the stage-2 traffic filter inspects
+//! (paper §3.2.2, "TLS SNI-based filtering").
+//!
+//! A builder is included so the background-traffic generators can emit
+//! realistic ClientHello records for the filter to match against.
+
+use crate::{field, Error, Result};
+
+/// TLS record content type for handshake messages.
+pub const CONTENT_TYPE_HANDSHAKE: u8 = 22;
+
+/// Handshake message type for ClientHello.
+pub const HANDSHAKE_CLIENT_HELLO: u8 = 1;
+
+/// Extension type for server_name (RFC 6066).
+pub const EXT_SERVER_NAME: u16 = 0;
+
+/// Extract the SNI hostname from a TLS ClientHello record, if present.
+///
+/// Returns `Ok(None)` for a well-formed ClientHello without an SNI
+/// extension; `Err` for anything that is not a ClientHello record.
+pub fn client_hello_sni(record: &[u8]) -> Result<Option<String>> {
+    // TLS record header: type(1) version(2) length(2).
+    if field::u8_at(record, 0)? != CONTENT_TYPE_HANDSHAKE {
+        return Err(Error::Malformed("not a handshake record"));
+    }
+    let record_len = field::u16_at(record, 3)? as usize;
+    let body = field::slice_at(record, 5, record_len)?;
+    // Handshake header: type(1) length(3).
+    if field::u8_at(body, 0)? != HANDSHAKE_CLIENT_HELLO {
+        return Err(Error::Malformed("not a client hello"));
+    }
+    let hs_len = ((field::u8_at(body, 1)? as usize) << 16)
+        | ((field::u8_at(body, 2)? as usize) << 8)
+        | field::u8_at(body, 3)? as usize;
+    let hello = field::slice_at(body, 4, hs_len)?;
+    // legacy_version(2) random(32) session_id cipher_suites compression extensions.
+    let mut o = 2 + 32;
+    let sid_len = field::u8_at(hello, o)? as usize;
+    o += 1 + sid_len;
+    let cs_len = field::u16_at(hello, o)? as usize;
+    o += 2 + cs_len;
+    let comp_len = field::u8_at(hello, o)? as usize;
+    o += 1 + comp_len;
+    if o >= hello.len() {
+        return Ok(None); // no extensions block
+    }
+    let ext_total = field::u16_at(hello, o)? as usize;
+    o += 2;
+    let exts = field::slice_at(hello, o, ext_total)?;
+    let mut e = 0;
+    while e + 4 <= exts.len() {
+        let ext_type = field::u16_at(exts, e)?;
+        let ext_len = field::u16_at(exts, e + 2)? as usize;
+        let ext_data = field::slice_at(exts, e + 4, ext_len)?;
+        if ext_type == EXT_SERVER_NAME {
+            // server_name_list: len(2) { type(1) len(2) name }.
+            let _list_len = field::u16_at(ext_data, 0)?;
+            let name_type = field::u8_at(ext_data, 2)?;
+            if name_type != 0 {
+                return Err(Error::Malformed("sni name type"));
+            }
+            let name_len = field::u16_at(ext_data, 3)? as usize;
+            let name = field::slice_at(ext_data, 5, name_len)?;
+            return Ok(Some(String::from_utf8_lossy(name).into_owned()));
+        }
+        e += 4 + ext_len;
+    }
+    Ok(None)
+}
+
+/// Build a minimal but well-formed ClientHello record carrying `sni`
+/// (or no SNI extension when `sni` is `None`).
+pub fn build_client_hello(sni: Option<&str>, random: [u8; 32]) -> Vec<u8> {
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&0x0303u16.to_be_bytes()); // legacy_version TLS1.2
+    hello.extend_from_slice(&random);
+    hello.push(0); // empty session id
+    let suites: [u16; 3] = [0x1301, 0x1302, 0x1303];
+    hello.extend_from_slice(&((suites.len() * 2) as u16).to_be_bytes());
+    for s in suites {
+        hello.extend_from_slice(&s.to_be_bytes());
+    }
+    hello.push(1); // one compression method
+    hello.push(0); // null
+    let mut exts = Vec::new();
+    if let Some(name) = sni {
+        let name = name.as_bytes();
+        let mut ext = Vec::new();
+        ext.extend_from_slice(&((name.len() + 3) as u16).to_be_bytes()); // list len
+        ext.push(0); // host_name
+        ext.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        ext.extend_from_slice(name);
+        exts.extend_from_slice(&EXT_SERVER_NAME.to_be_bytes());
+        exts.extend_from_slice(&(ext.len() as u16).to_be_bytes());
+        exts.extend_from_slice(&ext);
+    }
+    // supported_versions extension, for realism.
+    exts.extend_from_slice(&43u16.to_be_bytes());
+    exts.extend_from_slice(&3u16.to_be_bytes());
+    exts.extend_from_slice(&[2, 0x03, 0x04]);
+    hello.extend_from_slice(&(exts.len() as u16).to_be_bytes());
+    hello.extend_from_slice(&exts);
+
+    let mut hs = Vec::new();
+    hs.push(HANDSHAKE_CLIENT_HELLO);
+    hs.extend_from_slice(&(hello.len() as u32).to_be_bytes()[1..]);
+    hs.extend_from_slice(&hello);
+
+    let mut record = Vec::new();
+    record.push(CONTENT_TYPE_HANDSHAKE);
+    record.extend_from_slice(&0x0301u16.to_be_bytes());
+    record.extend_from_slice(&(hs.len() as u16).to_be_bytes());
+    record.extend_from_slice(&hs);
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sni_roundtrip() {
+        let rec = build_client_hello(Some("oauth2.googleapis.com"), [7; 32]);
+        assert_eq!(client_hello_sni(&rec).unwrap().as_deref(), Some("oauth2.googleapis.com"));
+    }
+
+    #[test]
+    fn no_sni_extension() {
+        let rec = build_client_hello(None, [0; 32]);
+        assert_eq!(client_hello_sni(&rec).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_non_handshake_record() {
+        let mut rec = build_client_hello(Some("a.example"), [1; 32]);
+        rec[0] = 23; // application data
+        assert!(client_hello_sni(&rec).is_err());
+    }
+
+    #[test]
+    fn rejects_non_client_hello() {
+        let mut rec = build_client_hello(Some("a.example"), [1; 32]);
+        rec[5] = 2; // ServerHello
+        assert!(client_hello_sni(&rec).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let rec = build_client_hello(Some("host.example.com"), [2; 32]);
+        assert_eq!(client_hello_sni(&rec[..rec.len() - 4]).err(), Some(Error::Truncated));
+    }
+
+    #[test]
+    fn empty_input_truncated() {
+        assert_eq!(client_hello_sni(&[]).err(), Some(Error::Truncated));
+    }
+}

@@ -1,0 +1,264 @@
+//! RTCP Extended Reports (XR, RFC 3611) — structured block parsing and
+//! building for the block types RTC stacks actually ship.
+//!
+//! The compliance layer only needs block-type registry checks for the
+//! paper's tables, but a downstream user dissecting Meet-style traffic
+//! wants the block *contents*; this module provides typed views for the
+//! common blocks and a raw escape hatch for the rest.
+
+use crate::rtcp::{self, Packet};
+use crate::{field, Error, Result};
+
+/// XR block types (RFC 3611 §4, plus widely deployed extensions).
+pub mod block_type {
+    /// Loss RLE report.
+    pub const LOSS_RLE: u8 = 1;
+    /// Duplicate RLE report.
+    pub const DUP_RLE: u8 = 2;
+    /// Packet receipt times.
+    pub const RECEIPT_TIMES: u8 = 3;
+    /// Receiver reference time.
+    pub const RECEIVER_REFERENCE_TIME: u8 = 4;
+    /// DLRR (delay since last receiver report).
+    pub const DLRR: u8 = 5;
+    /// Statistics summary.
+    pub const STATISTICS_SUMMARY: u8 = 6;
+    /// VoIP metrics.
+    pub const VOIP_METRICS: u8 = 7;
+}
+
+/// One parsed XR block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Block {
+    /// Receiver Reference Time (block type 4).
+    ReceiverReferenceTime {
+        /// 64-bit NTP timestamp.
+        ntp_timestamp: u64,
+    },
+    /// DLRR (block type 5): one sub-block per SSRC.
+    Dlrr {
+        /// `(ssrc, last RR timestamp, delay since last RR)` triples.
+        sub_blocks: Vec<(u32, u32, u32)>,
+    },
+    /// Statistics Summary (block type 6).
+    StatisticsSummary {
+        /// Source being reported on.
+        ssrc: u32,
+        /// Sequence range `[begin, end]`.
+        begin_seq: u16,
+        /// End of the range.
+        end_seq: u16,
+        /// Lost packets in the range.
+        lost_packets: u32,
+        /// Duplicate packets in the range.
+        dup_packets: u32,
+    },
+    /// Any other (or vendor) block, kept raw.
+    Raw {
+        /// Block type.
+        block_type: u8,
+        /// Type-specific byte.
+        type_specific: u8,
+        /// Block contents.
+        data: Vec<u8>,
+    },
+}
+
+impl Block {
+    /// The block-type code this block serializes as.
+    pub fn block_type(&self) -> u8 {
+        match self {
+            Block::ReceiverReferenceTime { .. } => block_type::RECEIVER_REFERENCE_TIME,
+            Block::Dlrr { .. } => block_type::DLRR,
+            Block::StatisticsSummary { .. } => block_type::STATISTICS_SUMMARY,
+            Block::Raw { block_type, .. } => *block_type,
+        }
+    }
+
+    fn emit(&self, out: &mut Vec<u8>) {
+        match self {
+            Block::ReceiverReferenceTime { ntp_timestamp } => {
+                out.push(block_type::RECEIVER_REFERENCE_TIME);
+                out.push(0);
+                out.extend_from_slice(&2u16.to_be_bytes());
+                out.extend_from_slice(&ntp_timestamp.to_be_bytes());
+            }
+            Block::Dlrr { sub_blocks } => {
+                out.push(block_type::DLRR);
+                out.push(0);
+                out.extend_from_slice(&((sub_blocks.len() * 3) as u16).to_be_bytes());
+                for (ssrc, last_rr, delay) in sub_blocks {
+                    out.extend_from_slice(&ssrc.to_be_bytes());
+                    out.extend_from_slice(&last_rr.to_be_bytes());
+                    out.extend_from_slice(&delay.to_be_bytes());
+                }
+            }
+            Block::StatisticsSummary { ssrc, begin_seq, end_seq, lost_packets, dup_packets } => {
+                out.push(block_type::STATISTICS_SUMMARY);
+                out.push(0);
+                out.extend_from_slice(&9u16.to_be_bytes());
+                out.extend_from_slice(&ssrc.to_be_bytes());
+                out.extend_from_slice(&begin_seq.to_be_bytes());
+                out.extend_from_slice(&end_seq.to_be_bytes());
+                out.extend_from_slice(&lost_packets.to_be_bytes());
+                out.extend_from_slice(&dup_packets.to_be_bytes());
+                // jitter (min/max/mean/dev) and ToH fields zeroed (not
+                // modeled): 20 bytes completing the 9-word block.
+                out.extend_from_slice(&[0u8; 20]);
+            }
+            Block::Raw { block_type, type_specific, data } => {
+                debug_assert!(data.len() % 4 == 0);
+                out.push(*block_type);
+                out.push(*type_specific);
+                out.extend_from_slice(&((data.len() / 4) as u16).to_be_bytes());
+                out.extend_from_slice(data);
+            }
+        }
+    }
+}
+
+/// A parsed XR packet: originator plus blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xr {
+    /// The originating SSRC.
+    pub ssrc: u32,
+    /// The report blocks, in order.
+    pub blocks: Vec<Block>,
+}
+
+impl Xr {
+    /// Parse an XR packet's body.
+    pub fn parse(packet: &Packet<'_>) -> Result<Xr> {
+        if packet.packet_type() != rtcp::packet_type::XR {
+            return Err(Error::Malformed("not an xr packet"));
+        }
+        let b = packet.body();
+        let ssrc = field::u32_at(b, 0)?;
+        let mut blocks = Vec::new();
+        let mut o = 4;
+        while o + 4 <= b.len() {
+            let bt = b[o];
+            let type_specific = b[o + 1];
+            let words = field::u16_at(b, o + 2)? as usize;
+            let data = field::slice_at(b, o + 4, 4 * words)?;
+            blocks.push(match bt {
+                block_type::RECEIVER_REFERENCE_TIME if words == 2 => {
+                    Block::ReceiverReferenceTime { ntp_timestamp: field::u64_at(data, 0)? }
+                }
+                block_type::DLRR if words % 3 == 0 => {
+                    let mut sub_blocks = Vec::new();
+                    for i in 0..words / 3 {
+                        sub_blocks.push((
+                            field::u32_at(data, 12 * i)?,
+                            field::u32_at(data, 12 * i + 4)?,
+                            field::u32_at(data, 12 * i + 8)?,
+                        ));
+                    }
+                    Block::Dlrr { sub_blocks }
+                }
+                block_type::STATISTICS_SUMMARY if words == 9 => Block::StatisticsSummary {
+                    ssrc: field::u32_at(data, 0)?,
+                    begin_seq: field::u16_at(data, 4)?,
+                    end_seq: field::u16_at(data, 6)?,
+                    lost_packets: field::u32_at(data, 8)?,
+                    dup_packets: field::u32_at(data, 12)?,
+                },
+                _ => Block::Raw { block_type: bt, type_specific, data: data.to_vec() },
+            });
+            o += 4 + 4 * words;
+        }
+        if o != b.len() {
+            return Err(Error::Malformed("xr blocks do not tile the body"));
+        }
+        Ok(Xr { ssrc, blocks })
+    }
+
+    /// Serialize as a complete RTCP packet.
+    pub fn build(&self) -> Vec<u8> {
+        let mut body = self.ssrc.to_be_bytes().to_vec();
+        for block in &self.blocks {
+            block.emit(&mut body);
+        }
+        rtcp::build_raw(0, rtcp::packet_type::XR, &body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_reference_time_roundtrip() {
+        let xr = Xr {
+            ssrc: 0x0102_0304,
+            blocks: vec![Block::ReceiverReferenceTime { ntp_timestamp: 0xE600_0001_8000_0000 }],
+        };
+        let bytes = xr.build();
+        let p = Packet::new_checked(&bytes).unwrap();
+        assert_eq!(Xr::parse(&p).unwrap(), xr);
+    }
+
+    #[test]
+    fn dlrr_roundtrip() {
+        let xr = Xr {
+            ssrc: 9,
+            blocks: vec![Block::Dlrr { sub_blocks: vec![(1, 2, 3), (4, 5, 6)] }],
+        };
+        let p_bytes = xr.build();
+        let parsed = Xr::parse(&Packet::new_checked(&p_bytes).unwrap()).unwrap();
+        assert_eq!(parsed, xr);
+    }
+
+    #[test]
+    fn statistics_summary_roundtrip() {
+        let xr = Xr {
+            ssrc: 7,
+            blocks: vec![Block::StatisticsSummary {
+                ssrc: 0xAA,
+                begin_seq: 100,
+                end_seq: 230,
+                lost_packets: 4,
+                dup_packets: 1,
+            }],
+        };
+        let parsed = Xr::parse(&Packet::new_checked(&xr.build()).unwrap()).unwrap();
+        assert_eq!(parsed, xr);
+    }
+
+    #[test]
+    fn mixed_and_unknown_blocks() {
+        let xr = Xr {
+            ssrc: 1,
+            blocks: vec![
+                Block::ReceiverReferenceTime { ntp_timestamp: 42 },
+                Block::Raw { block_type: 200, type_specific: 7, data: vec![1, 2, 3, 4, 5, 6, 7, 8] },
+            ],
+        };
+        let parsed = Xr::parse(&Packet::new_checked(&xr.build()).unwrap()).unwrap();
+        assert_eq!(parsed.blocks.len(), 2);
+        assert_eq!(parsed, xr);
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let xr = Xr { ssrc: 1, blocks: vec![Block::ReceiverReferenceTime { ntp_timestamp: 42 }] };
+        let mut bytes = xr.build();
+        // Inflate the declared block length past the packet body.
+        bytes[4 + 4 + 2] = 0;
+        bytes[4 + 4 + 3] = 40;
+        let p = Packet::new_checked(&bytes);
+        // The packet-level length no longer matches: either the checked
+        // parse or the block walk must fail.
+        match p {
+            Ok(p) => assert!(Xr::parse(&p).is_err()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn non_xr_rejected() {
+        let bye = rtcp::build_bye(&[1]);
+        let p = Packet::new_checked(&bye).unwrap();
+        assert!(Xr::parse(&p).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Reproduce the paper's full study: the 6-application × 3-network call
+//! matrix, filtered, dissected and judged, with every table and figure
+//! printed.
+//!
+//! Usage: `cargo run --release --example full_study [call_secs] [scale] [repeats] [seed]`
+//! Defaults reproduce the paper's shapes in about a minute of CPU time.
+
+use rtc_core::{Study, StudyConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let call_secs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.25);
+    let repeats: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2025);
+
+    let mut config = StudyConfig::paper_matrix(call_secs, scale, seed);
+    config.experiment.repeats = repeats;
+    eprintln!(
+        "running {} calls ({call_secs}s each at scale {scale}) ...",
+        config.experiment.total_calls()
+    );
+    let t0 = std::time::Instant::now();
+    let report = Study::run(&config);
+    eprintln!("done in {:.1?}s", t0.elapsed());
+    println!("{}", report.render_all());
+}

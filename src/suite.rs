@@ -1,0 +1,5 @@
+//! Umbrella library for the `rtc-suite` workspace package.
+//!
+//! The real functionality lives in the `crates/` members; this package only
+//! hosts workspace-level integration tests (`tests/`) and runnable examples
+//! (`examples/`).

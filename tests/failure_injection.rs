@@ -1,0 +1,157 @@
+//! Failure injection across the stack: corrupted captures, truncated files,
+//! damaged packets and malformed protocol structures must degrade
+//! gracefully — errors where the format is unreadable, silent skipping
+//! where a real capture would contain undecodable noise, and never a panic.
+
+use rtc_core::apps::Application;
+use rtc_core::netemu::NetworkConfig;
+use rtc_core::pcap;
+use rtc_core::StudyConfig;
+
+fn capture() -> rtc_core::CallCapture {
+    let mut config = StudyConfig::smoke(99);
+    config.experiment.call_secs = 20;
+    config.experiment.scale = 0.08;
+    rtc_core::capture::run_call(&config.experiment, Application::WhatsApp, NetworkConfig::WifiP2p, 0)
+}
+
+#[test]
+fn truncated_pcap_reports_io_error() {
+    let bytes = pcap::to_bytes(&capture().trace);
+    // Cuts inside the file header or inside a record must error…
+    for cut in [0usize, 10, 30, bytes.len() - 3] {
+        let r = pcap::parse(&bytes[..cut]);
+        assert!(r.is_err(), "cut at {cut} unexpectedly parsed");
+    }
+    // …but a header-only file is a legal empty capture.
+    let empty = pcap::parse(&bytes[..24]).unwrap();
+    assert!(empty.records.is_empty());
+}
+
+#[test]
+fn corrupted_record_lengths_are_rejected() {
+    let mut bytes = pcap::to_bytes(&capture().trace);
+    // Blow up the first record's included length beyond the snaplen.
+    bytes[32..36].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert!(pcap::parse(&bytes).is_err());
+}
+
+#[test]
+fn flipped_payload_bits_never_panic_the_pipeline() {
+    let config = StudyConfig::smoke(99);
+    let cap = capture();
+    let mut trace = cap.trace.clone();
+    // Flip a byte in every 7th record (IP header, transport header and
+    // payload positions all get hit across records).
+    for (i, r) in trace.records.iter_mut().enumerate() {
+        if i % 7 == 0 && !r.data.is_empty() {
+            let mut data = r.data.to_vec();
+            let pos = (i * 13) % data.len();
+            data[pos] ^= 0xFF;
+            r.data = data.into();
+        }
+    }
+    let damaged = rtc_core::CallCapture { manifest: cap.manifest.clone(), trace };
+    let analysis = rtc_core::analyze_capture(&damaged, &config);
+    // Records with damaged IP checksums are dropped at decode; the rest
+    // still analyze.
+    assert!(analysis.record.raw.udp_datagrams > 0);
+    assert!(analysis.record.raw.udp_datagrams < cap.trace.datagrams().len());
+}
+
+#[test]
+fn truncated_datagram_payloads_never_panic_dpi() {
+    let cap = capture();
+    let datagrams = cap.trace.datagrams();
+    let truncated: Vec<_> = datagrams
+        .iter()
+        .map(|d| {
+            let keep = d.payload.len() / 2;
+            rtc_core::pcap::trace::Datagram {
+                ts: d.ts,
+                five_tuple: d.five_tuple,
+                payload: d.payload.slice(..keep),
+            }
+        })
+        .collect();
+    let dis = rtc_core::dpi::dissect_call(&truncated, &rtc_core::dpi::DpiConfig::default());
+    let checked = rtc_core::compliance::check_call(&dis);
+    // Halved RTP packets still carry complete 12-byte headers most of the
+    // time, so messages survive; the point is totality, not counts.
+    assert_eq!(dis.datagrams.len(), truncated.len());
+    let _ = checked.volume_compliance();
+}
+
+#[test]
+fn empty_and_tiny_captures() {
+    let config = StudyConfig::smoke(1);
+    let cap = capture();
+    let empty = rtc_core::CallCapture {
+        manifest: cap.manifest.clone(),
+        trace: pcap::Trace { link_type: pcap::LinkType::Ethernet, records: vec![] },
+    };
+    let analysis = rtc_core::analyze_capture(&empty, &config);
+    assert_eq!(analysis.record.raw.udp_datagrams, 0);
+    assert!(analysis.record.checked.messages.is_empty());
+    assert!((analysis.record.checked.volume_compliance() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn malformed_stun_attribute_walks_are_contained() {
+    use rtc_core::wire::stun::{attr, msg_type, Message, MessageBuilder};
+    let mut bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, [1; 12])
+        .attribute(attr::USERNAME, b"abcdefgh".to_vec())
+        .build();
+    // Claim an attribute length far past the message end.
+    bytes[22] = 0xFF;
+    bytes[23] = 0xFF;
+    let m = Message::new_checked(&bytes).unwrap();
+    let results: Vec<_> = m.attributes().collect();
+    assert_eq!(results.len(), 1);
+    assert!(results[0].is_err());
+    // And the DPI rejects the candidate outright (TLV walk fails).
+    let d = rtc_core::pcap::trace::Datagram {
+        ts: pcap::Timestamp::ZERO,
+        five_tuple: rtc_core::wire::ip::FiveTuple::udp(
+            "10.0.0.1:1".parse().unwrap(),
+            "1.2.3.4:2".parse().unwrap(),
+        ),
+        payload: bytes.into(),
+    };
+    let dis = rtc_core::dpi::dissect_call(std::slice::from_ref(&d), &rtc_core::dpi::DpiConfig::default());
+    assert_eq!(dis.datagrams[0].class, rtc_core::dpi::DatagramClass::FullyProprietary);
+}
+
+#[test]
+fn manifest_with_wrong_window_still_analyzes() {
+    // A user passing a wrong call window gets an empty-but-sane result,
+    // not a crash: every stream is outside the window.
+    let config = StudyConfig::smoke(99);
+    let cap = capture();
+    let mut manifest = cap.manifest.clone();
+    manifest.call_start_us = 9_000_000_000;
+    manifest.call_end_us = 9_300_000_000;
+    let shifted = rtc_core::CallCapture { manifest, trace: cap.trace.clone() };
+    let analysis = rtc_core::analyze_capture(&shifted, &config);
+    assert_eq!(analysis.record.rtc.udp_datagrams, 0);
+    assert_eq!(
+        analysis.record.stage1.udp_streams + analysis.record.stage2.udp_streams,
+        analysis.record.raw.udp_streams
+    );
+}
+
+#[test]
+fn pcapng_corruption_is_detected() {
+    let trace = capture().trace;
+    let bytes = pcap::pcapng::to_bytes(&trace);
+    assert!(pcap::pcapng::parse(&bytes).is_ok());
+    // Truncated mid-block.
+    assert!(pcap::pcapng::parse(&bytes[..bytes.len() / 2]).is_err());
+    // Corrupted block length.
+    let mut bad = bytes.clone();
+    bad[4] ^= 0x80;
+    assert!(pcap::pcapng::parse(&bad).is_err());
+    // parse_any dispatches correctly for both formats.
+    assert!(pcap::parse_any(&bytes).is_ok());
+    assert!(pcap::parse_any(&pcap::to_bytes(&trace)).is_ok());
+}

@@ -1,0 +1,385 @@
+//! End-to-end assertions of the paper's published results: the full
+//! 6-application × 3-network matrix is run once (scaled down — all reported
+//! metrics are ratios) and every table and figure is checked for the
+//! paper's qualitative findings and, where the pipeline is deterministic
+//! enough, its exact values.
+
+use rtc_core::dpi::Protocol;
+use rtc_core::{Study, StudyConfig, StudyReport};
+use std::sync::OnceLock;
+
+fn study() -> &'static StudyReport {
+    static REPORT: OnceLock<StudyReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let mut config = StudyConfig::paper_matrix(90, 0.2, 424_242);
+        config.experiment.repeats = 2;
+        Study::run(&config)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Summary finding 1 (paper §1): applications use different protocol subsets.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn protocol_subsets_match_summary_finding_1() {
+    let data = &study().data;
+    let protocols_of = |app: &str| -> Vec<Protocol> {
+        Protocol::ALL
+            .into_iter()
+            .filter(|p| data.messages_of(app).any(|m| m.protocol == *p))
+            .collect()
+    };
+    use Protocol::*;
+    assert_eq!(protocols_of("Zoom"), vec![StunTurn, Rtp, Rtcp]);
+    assert_eq!(protocols_of("FaceTime"), vec![StunTurn, Rtp, Quic], "no RTCP in FaceTime");
+    assert_eq!(protocols_of("WhatsApp"), vec![StunTurn, Rtp, Rtcp]);
+    assert_eq!(protocols_of("Messenger"), vec![StunTurn, Rtp, Rtcp]);
+    assert_eq!(protocols_of("Discord"), vec![Rtp, Rtcp], "Discord uses no STUN at all");
+    assert_eq!(protocols_of("Google Meet"), vec![StunTurn, Rtp, Rtcp]);
+}
+
+// ---------------------------------------------------------------------------
+// Summary finding 2 (paper §1): no application fully follows all specs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_application_is_fully_compliant() {
+    let data = &study().data;
+    for app in data.apps() {
+        let (ok, total) = data.app_type_ratio_all(&app);
+        assert!(ok < total, "{app} unexpectedly fully compliant ({ok}/{total})");
+    }
+}
+
+#[test]
+fn per_app_protocol_compliance_pattern_matches_table3() {
+    let data = &study().data;
+    // Zoom: STUN non-compliant, RTP and RTCP fully compliant.
+    assert_eq!(data.app_type_ratio("Zoom", Protocol::StunTurn).0, 0);
+    let (ok, total) = data.app_type_ratio("Zoom", Protocol::Rtp);
+    assert_eq!(ok, total);
+    assert_eq!(data.app_type_ratio("Zoom", Protocol::Rtcp), (2, 2));
+    // FaceTime: 0/4 STUN, 0/5 RTP, 4/4 QUIC, no RTCP.
+    assert_eq!(data.app_type_ratio("FaceTime", Protocol::StunTurn), (0, 4));
+    assert_eq!(data.app_type_ratio("FaceTime", Protocol::Rtp), (0, 5));
+    assert_eq!(data.app_type_ratio("FaceTime", Protocol::Quic), (4, 4));
+    assert_eq!(data.app_type_ratio("FaceTime", Protocol::Rtcp).1, 0);
+    // WhatsApp: 1/10 STUN, 5/5 RTP, 4/4 RTCP (paper row: 10/19).
+    assert_eq!(data.app_type_ratio("WhatsApp", Protocol::StunTurn), (1, 10));
+    assert_eq!(data.app_type_ratio("WhatsApp", Protocol::Rtp), (5, 5));
+    assert_eq!(data.app_type_ratio("WhatsApp", Protocol::Rtcp), (4, 4));
+    assert_eq!(data.app_type_ratio_all("WhatsApp"), (10, 19));
+    // Messenger: 11/18 STUN, 5/5 RTP, 4/4 RTCP (paper row: 20/27).
+    assert_eq!(data.app_type_ratio("Messenger", Protocol::StunTurn), (11, 18));
+    assert_eq!(data.app_type_ratio_all("Messenger"), (20, 27));
+    // Discord: everything non-compliant, 0/9 in total.
+    assert_eq!(data.app_type_ratio_all("Discord"), (0, 9));
+    // Google Meet: 15/16 STUN, 11/11 RTP, 0/7 RTCP (paper row: 26/34).
+    assert_eq!(data.app_type_ratio("Google Meet", Protocol::StunTurn), (15, 16));
+    assert_eq!(data.app_type_ratio("Google Meet", Protocol::Rtp), (11, 11));
+    assert_eq!(data.app_type_ratio("Google Meet", Protocol::Rtcp), (0, 7));
+    assert_eq!(data.app_type_ratio_all("Google Meet"), (26, 34));
+}
+
+#[test]
+fn cross_app_protocol_rows_match_table3() {
+    let data = &study().data;
+    // Paper bottom row: STUN/TURN 27/50, RTCP 10/22, QUIC 4/4.
+    assert_eq!(data.protocol_type_ratio(Protocol::StunTurn), (27, 50));
+    assert_eq!(data.protocol_type_ratio(Protocol::Rtcp), (10, 22));
+    assert_eq!(data.protocol_type_ratio(Protocol::Quic), (4, 4));
+    // RTP: paper reports 71/80; our Zoom inventory carries the full Table 5
+    // list (3 more types than the paper's own Table 3 tally), preserving the
+    // shape: only FaceTime's 5 and Discord's 4 types are non-compliant.
+    let (ok, total) = data.protocol_type_ratio(Protocol::Rtp);
+    assert_eq!(total - ok, 9, "exactly FaceTime's 5 + Discord's 4 RTP types fail");
+}
+
+// ---------------------------------------------------------------------------
+// Q1 (paper §5): protocol ordering QUIC > STUN > RTP > RTCP by volume.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn volume_compliance_ordering_matches_q1() {
+    let data = &study().data;
+    let quic = data.protocol_volume_compliance(Protocol::Quic);
+    let stun = data.protocol_volume_compliance(Protocol::StunTurn);
+    let rtp = data.protocol_volume_compliance(Protocol::Rtp);
+    let rtcp = data.protocol_volume_compliance(Protocol::Rtcp);
+    assert!((quic - 1.0).abs() < 1e-9, "QUIC fully compliant, got {quic}");
+    assert!(stun > rtp, "STUN {stun} > RTP {rtp}");
+    assert!(rtp > rtcp, "RTP {rtp} > RTCP {rtcp}");
+    // Rough magnitudes from Figure 4.
+    assert!(stun > 0.85, "stun {stun}");
+    assert!((0.6..0.9).contains(&rtp), "rtp {rtp}");
+    assert!((0.4..0.75).contains(&rtcp), "rtcp {rtcp}");
+}
+
+// ---------------------------------------------------------------------------
+// Q2 (paper §5): FaceTime least compliant by volume, Discord by type.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn facetime_least_compliant_by_volume() {
+    let data = &study().data;
+    let ft = data.app_volume_compliance("FaceTime");
+    assert!(ft < 0.05, "FaceTime volume compliance {ft} (paper ≈ 1.4%)");
+    for app in data.apps() {
+        if app != "FaceTime" {
+            assert!(data.app_volume_compliance(&app) > ft, "{app}");
+        }
+    }
+    // Zoom and WhatsApp are near-perfect (§5.1.1).
+    assert!(data.app_volume_compliance("Zoom") > 0.99);
+    assert!(data.app_volume_compliance("WhatsApp") > 0.97);
+}
+
+#[test]
+fn discord_least_compliant_by_type() {
+    let data = &study().data;
+    assert_eq!(data.app_type_compliance_ratio("Discord"), 0.0);
+    for app in data.apps() {
+        if app != "Discord" {
+            assert!(data.app_type_compliance_ratio(&app) > 0.0, "{app}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: datagram breakdown per application.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn figure3_shapes() {
+    let data = &study().data;
+    // Zoom: everything behind proprietary headers, ~20% fully proprietary.
+    let (std_s, prop, fully) = data.app_class_shares("Zoom");
+    assert!(std_s < 0.02, "zoom standard {std_s}");
+    assert!(prop > 0.65, "zoom prop {prop}");
+    assert!((0.1..0.35).contains(&fully), "zoom fully {fully}");
+    // FaceTime: majority proprietary-header (paper 72.3%).
+    let (_, prop, _) = data.app_class_shares("FaceTime");
+    assert!(prop > 0.55, "facetime prop {prop}");
+    // The four WebRTC-ish apps are essentially all-standard.
+    for app in ["WhatsApp", "Messenger", "Discord", "Google Meet"] {
+        let (std_s, _, fully) = data.app_class_shares(app);
+        assert!(std_s > 0.95, "{app} standard {std_s}");
+        assert!(fully < 0.03, "{app} fully {fully}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables 4–6: exact type inventories.
+// ---------------------------------------------------------------------------
+
+fn stun_types(app: &str) -> (Vec<String>, Vec<String>) {
+    let (ok, bad) = study().data.app_type_lists(app, Protocol::StunTurn);
+    (ok.iter().map(|k| k.to_string()).collect(), bad.iter().map(|k| k.to_string()).collect())
+}
+
+#[test]
+fn table4_inventories() {
+    let (ok, bad) = stun_types("Zoom");
+    assert!(ok.is_empty());
+    assert_eq!(bad, vec!["0x0001", "0x0002"]);
+
+    let (ok, bad) = stun_types("FaceTime");
+    assert!(ok.is_empty());
+    assert_eq!(bad, vec!["0x0001", "0x0017", "0x0101", "ChannelData"]);
+
+    let (ok, bad) = stun_types("WhatsApp");
+    assert_eq!(ok, vec!["0x0001"]);
+    assert_eq!(
+        bad,
+        vec!["0x0003", "0x0101", "0x0103", "0x0800", "0x0801", "0x0802", "0x0803", "0x0804", "0x0805"]
+    );
+
+    let (ok, bad) = stun_types("Messenger");
+    assert_eq!(
+        ok,
+        vec!["0x0004", "0x0008", "0x0009", "0x0016", "0x0017", "0x0104", "0x0108", "0x0109", "0x0113",
+             "0x0118", "ChannelData"]
+    );
+    assert_eq!(bad, vec!["0x0001", "0x0003", "0x0101", "0x0103", "0x0800", "0x0801", "0x0802"]);
+
+    let (ok, bad) = stun_types("Google Meet");
+    assert_eq!(
+        ok,
+        vec!["0x0001", "0x0004", "0x0008", "0x0009", "0x0016", "0x0017", "0x0101", "0x0103", "0x0104",
+             "0x0108", "0x0109", "0x0113", "0x0200", "0x0300", "ChannelData"]
+    );
+    assert_eq!(bad, vec!["0x0003"], "only the Allocate ping-pong requests");
+}
+
+#[test]
+fn table5_inventories() {
+    let data = &study().data;
+    let (ok, bad) = data.app_type_lists("WhatsApp", Protocol::Rtp);
+    assert_eq!(ok.iter().map(|k| k.to_string()).collect::<Vec<_>>(), vec!["97", "103", "105", "106", "120"]);
+    assert!(bad.is_empty());
+
+    let (ok, bad) = data.app_type_lists("FaceTime", Protocol::Rtp);
+    assert!(ok.is_empty());
+    assert_eq!(bad.iter().map(|k| k.to_string()).collect::<Vec<_>>(), vec!["13", "20", "100", "104", "108"]);
+
+    let (ok, bad) = data.app_type_lists("Discord", Protocol::Rtp);
+    assert!(ok.is_empty());
+    assert_eq!(bad.iter().map(|k| k.to_string()).collect::<Vec<_>>(), vec!["96", "101", "102", "120"]);
+
+    let (ok, bad) = data.app_type_lists("Messenger", Protocol::Rtp);
+    assert_eq!(ok.iter().map(|k| k.to_string()).collect::<Vec<_>>(), vec!["97", "98", "101", "126", "127"]);
+    assert!(bad.is_empty());
+
+    // Zoom: the full static+dynamic vocabulary, all compliant.
+    let (ok, bad) = data.app_type_lists("Zoom", Protocol::Rtp);
+    assert!(bad.is_empty());
+    assert!(ok.len() >= 50, "zoom compliant RTP types: {}", ok.len());
+}
+
+#[test]
+fn table6_inventories() {
+    let data = &study().data;
+    let lists = |app: &str| {
+        let (ok, bad) = data.app_type_lists(app, Protocol::Rtcp);
+        (
+            ok.iter().map(|k| k.to_string()).collect::<Vec<_>>(),
+            bad.iter().map(|k| k.to_string()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(lists("Zoom"), (vec!["200".into(), "202".into()], vec![]));
+    assert_eq!(lists("WhatsApp"), (vec!["200".into(), "202".into(), "205".into(), "206".into()], vec![]));
+    assert_eq!(lists("Messenger"), (vec!["200".into(), "201".into(), "205".into(), "206".into()], vec![]));
+    assert_eq!(
+        lists("Discord"),
+        (vec![], vec!["200".into(), "201".into(), "204".into(), "205".into(), "206".into()])
+    );
+    assert_eq!(
+        lists("Google Meet"),
+        (vec![], vec!["200".into(), "201".into(), "202".into(), "204".into(), "205".into(), "206".into(), "207".into()])
+    );
+}
+
+// ---------------------------------------------------------------------------
+// §5.3 behavioral findings.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn behavioral_findings_match_section_5_3() {
+    use rtc_core::compliance::findings::FindingKind;
+    let findings = &study().findings;
+    let has = |app: &str, kind: FindingKind| {
+        findings.get(app).map_or(false, |fs| fs.iter().any(|f| f.kind == kind))
+    };
+    // Zoom: filler bursts, double-RTP datagrams, deterministic SSRCs.
+    assert!(has("Zoom", FindingKind::FillerDatagrams));
+    assert!(has("Zoom", FindingKind::DoubleRtpDatagrams));
+    assert!(has("Zoom", FindingKind::SsrcReuseAcrossCalls));
+    // Discord: zero sender SSRC and the direction trailer byte.
+    assert!(has("Discord", FindingKind::ZeroSenderSsrc));
+    assert!(has("Discord", FindingKind::DirectionTrailer));
+    // FaceTime: fixed-rate proprietary keepalives (cellular).
+    assert!(has("FaceTime", FindingKind::ProprietaryKeepalives));
+    // Nobody else reuses SSRCs across calls (RFC 3550 randomization).
+    for app in ["WhatsApp", "Messenger", "Discord", "Google Meet", "FaceTime"] {
+        assert!(!has(app, FindingKind::SsrcReuseAcrossCalls), "{app} should randomize SSRCs");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 distribution shapes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn table2_distribution_shapes() {
+    let data = &study().data;
+    // RTP dominates everywhere (>97% of WhatsApp/FaceTime messages, §5.1).
+    let rtp = |app: &str| data.app_message_distribution(app).0.get(&Protocol::Rtp).copied().unwrap_or(0.0);
+    assert!(rtp("FaceTime") > 0.9, "{}", rtp("FaceTime"));
+    assert!(rtp("WhatsApp") > 0.9, "{}", rtp("WhatsApp"));
+    // Zoom's fully proprietary share is the largest (filler bursts).
+    let fully = |app: &str| data.app_message_distribution(app).1;
+    for app in data.apps() {
+        if app != "Zoom" {
+            assert!(fully("Zoom") > fully(&app), "{app}");
+        }
+    }
+    // Meet's STUN/TURN share dwarfs everyone else's (ChannelData framing).
+    let stun = |app: &str| data.app_message_distribution(app).0.get(&Protocol::StunTurn).copied().unwrap_or(0.0);
+    for app in data.apps() {
+        if app != "Google Meet" {
+            assert!(stun("Google Meet") > 5.0 * stun(&app), "{app}");
+        }
+    }
+    // Messenger's RTCP plane is the chattiest of the compliant apps (§5.1).
+    let rtcp = |app: &str| data.app_message_distribution(app).0.get(&Protocol::Rtcp).copied().unwrap_or(0.0);
+    assert!(rtcp("Messenger") > rtcp("WhatsApp"));
+    assert!(rtcp("Messenger") > rtcp("Zoom"));
+}
+
+// ---------------------------------------------------------------------------
+// Rendering sanity: every artifact renders with all six applications.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_artifacts_render_with_all_apps() {
+    let report = study();
+    for artifact in rtc_core::Artifact::ALL {
+        let text = report.render_table(artifact);
+        for app in ["Zoom", "FaceTime", "WhatsApp", "Messenger", "Discord", "Google Meet"] {
+            if matches!(artifact, rtc_core::Artifact::Table4) && app == "Discord" {
+                continue; // Discord sends no STUN.
+            }
+            if matches!(artifact, rtc_core::Artifact::Table6) && app == "FaceTime" {
+                continue; // FaceTime sends no RTCP.
+            }
+            assert!(text.contains(app), "{artifact:?} missing {app}:\n{text}");
+        }
+        assert!(!report.render_csv(artifact).is_empty());
+    }
+}
+
+#[test]
+fn pipeline_rediscovers_every_encoded_expectation() {
+    use rtc_core::apps::expectations::{expectation, ChannelDataUse};
+    use rtc_core::compliance::TypeKey;
+    let data = &study().data;
+    for app in rtc_core::apps::Application::ALL {
+        let e = expectation(app);
+        let map = data.app_type_compliance(app.name());
+        let verdict_of = |p: Protocol, k: TypeKey| map.get(&(p, k)).copied();
+        for t in e.stun_compliant {
+            assert_eq!(verdict_of(Protocol::StunTurn, TypeKey::Stun(*t)), Some(true), "{app} {t:#06x}");
+        }
+        for t in e.stun_noncompliant {
+            assert_eq!(verdict_of(Protocol::StunTurn, TypeKey::Stun(*t)), Some(false), "{app} {t:#06x}");
+        }
+        match e.channeldata {
+            ChannelDataUse::Absent => {
+                assert_eq!(verdict_of(Protocol::StunTurn, TypeKey::ChannelData), None, "{app}")
+            }
+            ChannelDataUse::Compliant => {
+                assert_eq!(verdict_of(Protocol::StunTurn, TypeKey::ChannelData), Some(true), "{app}")
+            }
+            ChannelDataUse::NonCompliant => {
+                assert_eq!(verdict_of(Protocol::StunTurn, TypeKey::ChannelData), Some(false), "{app}")
+            }
+        }
+        for t in e.rtp_compliant {
+            assert_eq!(verdict_of(Protocol::Rtp, TypeKey::Rtp(*t)), Some(true), "{app} RTP {t}");
+        }
+        for t in e.rtp_noncompliant {
+            assert_eq!(verdict_of(Protocol::Rtp, TypeKey::Rtp(*t)), Some(false), "{app} RTP {t}");
+        }
+        for t in e.rtcp_compliant {
+            assert_eq!(verdict_of(Protocol::Rtcp, TypeKey::Rtcp(*t)), Some(true), "{app} RTCP {t}");
+        }
+        for t in e.rtcp_noncompliant {
+            assert_eq!(verdict_of(Protocol::Rtcp, TypeKey::Rtcp(*t)), Some(false), "{app} RTCP {t}");
+        }
+        let quic_observed = map.keys().filter(|(p, _)| *p == Protocol::Quic).count();
+        assert_eq!(quic_observed, e.quic_types, "{app} QUIC types");
+        // And nothing beyond the expectation was observed.
+        assert_eq!(map.len(), e.type_ratio().1, "{app}: unexpected extra types: {map:?}");
+    }
+}

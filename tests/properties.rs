@@ -1,0 +1,212 @@
+//! Property-based tests over the whole stack: the parsers, the DPI, the
+//! filter and the compliance checker must be total (no panics) and must
+//! uphold their structural invariants for *arbitrary* inputs, not just the
+//! traffic our emulators produce.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rtc_core::pcap::trace::Datagram;
+use rtc_core::pcap::Timestamp;
+use rtc_core::wire::ip::{FiveTuple, Transport};
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (any::<[u8; 4]>(), 1..65_535u16, any::<[u8; 4]>(), 1..65_535u16, any::<bool>()).prop_map(
+        |(a, pa, b, pb, udp)| {
+            let src = std::net::SocketAddr::new(std::net::Ipv4Addr::from(a).into(), pa);
+            let dst = std::net::SocketAddr::new(std::net::Ipv4Addr::from(b).into(), pb);
+            FiveTuple { src, dst, transport: if udp { Transport::Udp } else { Transport::Tcp } }
+        },
+    )
+}
+
+fn arb_datagram() -> impl Strategy<Value = Datagram> {
+    (0u64..600_000_000, arb_tuple(), proptest::collection::vec(any::<u8>(), 0..600)).prop_map(
+        |(ts, five_tuple, payload)| Datagram {
+            ts: Timestamp::from_micros(ts),
+            five_tuple,
+            payload: Bytes::from(payload),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // ---------------- wire-format totality -------------------------------
+
+    #[test]
+    fn stun_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(m) = rtc_core::wire::stun::Message::new_checked(&bytes) {
+            // Accessors must stay in bounds for accepted inputs.
+            let _ = m.message_type();
+            let _ = m.transaction_id();
+            for a in m.attributes() {
+                let _ = a;
+            }
+        }
+        let _ = rtc_core::wire::stun::ChannelData::new_checked(&bytes);
+    }
+
+    #[test]
+    fn rtp_rtcp_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(p) = rtc_core::wire::rtp::Packet::new_checked(&bytes) {
+            let _ = p.payload();
+            let _ = p.csrcs().count();
+            if let Some(ext) = p.extension() {
+                let _ = ext.elements();
+            }
+        }
+        let (packets, trailer) = rtc_core::wire::rtcp::split_compound(&bytes);
+        let consumed: usize = packets.iter().map(|p| p.wire_len()).sum();
+        prop_assert_eq!(consumed + trailer.len(), bytes.len());
+    }
+
+    #[test]
+    fn quic_and_tls_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = rtc_core::wire::quic::LongHeader::parse(&bytes);
+        let _ = rtc_core::wire::quic::ShortHeader::parse(&bytes, 8);
+        let _ = rtc_core::wire::tls::client_hello_sni(&bytes);
+    }
+
+    #[test]
+    fn ethernet_roundtrip_arbitrary_payload(
+        tuple in arb_tuple(),
+        payload in proptest::collection::vec(any::<u8>(), 0..900),
+    ) {
+        let frame = rtc_core::wire::ip::build_ethernet_packet(&tuple, &payload, 7);
+        let parsed = rtc_core::wire::ip::parse_ethernet_packet(&frame).unwrap();
+        prop_assert_eq!(parsed.five_tuple, tuple);
+        prop_assert_eq!(parsed.payload, &payload[..]);
+    }
+
+    // ---------------- STUN builder/parser identity ------------------------
+
+    #[test]
+    fn stun_build_parse_roundtrip(
+        message_type in 0u16..0x3FFF,
+        txid in any::<[u8; 12]>(),
+        attrs in proptest::collection::vec((any::<u16>(), proptest::collection::vec(any::<u8>(), 0..40)), 0..6),
+    ) {
+        let mut b = rtc_core::wire::stun::MessageBuilder::new(message_type, txid);
+        for (t, v) in &attrs {
+            b = b.attribute(*t, v.clone());
+        }
+        let bytes = b.build();
+        let m = rtc_core::wire::stun::Message::new_checked(&bytes).unwrap();
+        prop_assert_eq!(m.message_type(), message_type);
+        prop_assert_eq!(m.transaction_id(), &txid);
+        let parsed: Vec<_> = m.attributes().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(parsed.len(), attrs.len());
+        for (got, (t, v)) in parsed.iter().zip(&attrs) {
+            prop_assert_eq!(got.typ, *t);
+            prop_assert_eq!(got.value, &v[..]);
+        }
+    }
+
+    #[test]
+    fn rtp_build_parse_roundtrip(
+        pt in 0u8..128,
+        seq in any::<u16>(),
+        ts in any::<u32>(),
+        ssrc in any::<u32>(),
+        marker in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let bytes = rtc_core::wire::rtp::PacketBuilder::new(pt, seq, ts, ssrc)
+            .marker(marker)
+            .payload(payload.clone())
+            .build();
+        let p = rtc_core::wire::rtp::Packet::new_checked(&bytes).unwrap();
+        prop_assert_eq!(p.payload_type(), pt);
+        prop_assert_eq!(p.sequence_number(), seq);
+        prop_assert_eq!(p.timestamp(), ts);
+        prop_assert_eq!(p.ssrc(), ssrc);
+        prop_assert_eq!(p.marker(), marker);
+        prop_assert_eq!(p.payload(), &payload[..]);
+    }
+
+    // ---------------- DPI totality and invariants -------------------------
+
+    #[test]
+    fn dpi_never_panics_and_messages_stay_in_bounds(d in proptest::collection::vec(arb_datagram(), 0..24)) {
+        let out = rtc_core::dpi::dissect_call(&d, &rtc_core::dpi::DpiConfig::default());
+        prop_assert_eq!(out.datagrams.len(), d.len());
+        for (dd, orig) in out.datagrams.iter().zip(&d) {
+            prop_assert_eq!(dd.payload_len, orig.payload.len());
+            let mut free = 0usize;
+            for m in &dd.messages {
+                prop_assert!(m.offset + m.data.len() <= orig.payload.len());
+                if !m.nested {
+                    // Top-level messages never overlap.
+                    prop_assert!(m.offset >= free, "overlap at {}", m.offset);
+                    free = m.offset + m.data.len();
+                }
+            }
+            if dd.messages.is_empty() {
+                prop_assert_eq!(dd.class, rtc_core::dpi::DatagramClass::FullyProprietary);
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_rtp_is_recovered_at_any_offset(
+        prefix_len in 0usize..150,
+        ssrc in 1u32..u32::MAX,
+    ) {
+        // A proprietary prefix of low-valued bytes (no version-2 aliasing)
+        // followed by a well-formed RTP stream must always be recovered.
+        let mut dgrams = Vec::new();
+        for i in 0..6u16 {
+            let mut payload: Vec<u8> = (0..prefix_len).map(|j| (j % 0x30) as u8).collect();
+            payload.extend(
+                rtc_core::wire::rtp::PacketBuilder::new(96, 100 + i, 0, ssrc).payload(vec![0xEE; 40]).build(),
+            );
+            dgrams.push(Datagram {
+                ts: Timestamp::from_millis(i as u64 * 20),
+                five_tuple: FiveTuple::udp("10.0.0.1:5000".parse().unwrap(), "1.2.3.4:6000".parse().unwrap()),
+                payload: Bytes::from(payload),
+            });
+        }
+        let out = rtc_core::dpi::dissect_call(&dgrams, &rtc_core::dpi::DpiConfig::default());
+        for dd in &out.datagrams {
+            prop_assert_eq!(dd.messages.len(), 1);
+            prop_assert_eq!(dd.messages[0].offset, prefix_len);
+            let expected = if prefix_len == 0 {
+                rtc_core::dpi::DatagramClass::Standard
+            } else {
+                rtc_core::dpi::DatagramClass::ProprietaryHeader
+            };
+            prop_assert_eq!(dd.class, expected);
+            prop_assert_eq!(dd.prop_header_len, prefix_len);
+        }
+    }
+
+    // ---------------- filter invariants ------------------------------------
+
+    #[test]
+    fn filter_partitions_streams(d in proptest::collection::vec(arb_datagram(), 0..40)) {
+        let window = (Timestamp::from_secs(60), Timestamp::from_secs(360));
+        let r = rtc_core::filter::run(&d, window, &rtc_core::filter::FilterConfig::default());
+        let kept: usize = r.rtc_streams.iter().map(|s| s.len()).sum();
+        let s1: usize = r.stage1_removed.iter().map(|s| s.len()).sum();
+        let s2: usize = r.stage2_removed.iter().map(|(s, _)| s.len()).sum();
+        prop_assert_eq!(kept + s1 + s2, d.len(), "every datagram in exactly one bucket");
+        // Kept streams honor the expanded call window.
+        for s in &r.rtc_streams {
+            prop_assert!(s.first_ts() >= Timestamp::from_secs(58));
+            prop_assert!(s.last_ts() <= Timestamp::from_secs(362));
+        }
+    }
+
+    // ---------------- compliance invariants ---------------------------------
+
+    #[test]
+    fn checker_is_total_and_consistent(d in proptest::collection::vec(arb_datagram(), 0..24)) {
+        let dis = rtc_core::dpi::dissect_call(&d, &rtc_core::dpi::DpiConfig::default());
+        let checked = rtc_core::compliance::check_call(&dis);
+        let n_messages = dis.datagrams.iter().map(|x| x.messages.len()).sum::<usize>();
+        prop_assert_eq!(checked.messages.len(), n_messages);
+        let v = checked.volume_compliance();
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+}

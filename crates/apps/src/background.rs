@@ -45,10 +45,8 @@ pub fn generate(scenario: &CallScenario, sink: &mut TrafficSink) {
     let call_end = scenario.call_end();
 
     // --- Stage-1 fodder: flows that span the whole capture. -------------
-    let os_update = FiveTuple::tcp(
-        SocketAddr::new(device, alloc_ports.ephemeral_port()),
-        alloc.background_server("osupdate", 0),
-    );
+    let os_update =
+        FiveTuple::tcp(SocketAddr::new(device, alloc_ports.ephemeral_port()), alloc.background_server("osupdate", 0));
     tcp_chatter(sink, &mut rng, os_update, cap_start, cap_end, 0.25, 900, 1400);
 
     // A flow that starts before the call and dies inside it.
@@ -101,10 +99,8 @@ pub fn generate(scenario: &CallScenario, sink: &mut TrafficSink) {
         if start.plus_secs(8) >= call_end {
             break;
         }
-        let tuple = FiveTuple::tcp(
-            SocketAddr::new(device, alloc_ports.ephemeral_port()),
-            alloc.background_server(domain, i),
-        );
+        let tuple =
+            FiveTuple::tcp(SocketAddr::new(device, alloc_ports.ephemeral_port()), alloc.background_server(domain, i));
         let mut random = [0u8; 32];
         rng.fill(&mut random);
         sink.push(start, tuple, build_client_hello(Some(domain), random));
@@ -117,12 +113,10 @@ pub fn generate(scenario: &CallScenario, sink: &mut TrafficSink) {
         let tuple = FiveTuple::udp(SocketAddr::new(device, 49_300), lan_peer);
         udp_burst(sink, &mut rng, tuple, cap_start.plus_secs(8), 6, 500_000, 60, 200); // pre-call sighting
         udp_burst(sink, &mut rng, tuple, call_start.plus_secs(40), 10, 800_000, 60, 200); // in-call
-        // Link-local IPv6 chatter.
+                                                                                          // Link-local IPv6 chatter.
         let mut a2 = scenario.allocator();
-        let ll = FiveTuple::udp(
-            SocketAddr::new(a2.link_local_v6(0), 5355),
-            SocketAddr::new(a2.link_local_v6(1), 5355),
-        );
+        let ll =
+            FiveTuple::udp(SocketAddr::new(a2.link_local_v6(0), 5355), SocketAddr::new(a2.link_local_v6(1), 5355));
         udp_burst(sink, &mut rng, ll, cap_start.plus_secs(12), 4, 400_000, 40, 120);
         udp_burst(sink, &mut rng, ll, call_start.plus_secs(90), 6, 700_000, 40, 120);
     }
@@ -142,10 +136,7 @@ pub fn generate(scenario: &CallScenario, sink: &mut TrafficSink) {
     let ntp = FiveTuple::udp(SocketAddr::new(device, 123), alloc.background_server("ntp", 0));
     udp_burst(sink, &mut rng, ntp, call_start.plus_secs(75), 2, 1_000_000, 48, 49);
     if !matches!(scenario.network, rtc_netemu::NetworkConfig::Cellular) {
-        let ssdp = FiveTuple::udp(
-            SocketAddr::new(device, 50_000),
-            "239.255.255.250:1900".parse().unwrap(),
-        );
+        let ssdp = FiveTuple::udp(SocketAddr::new(device, 50_000), "239.255.255.250:1900".parse().unwrap());
         udp_burst(sink, &mut rng, ssdp, call_start.plus_secs(33), 4, 900_000, 120, 300);
         let mdns = FiveTuple::udp(SocketAddr::new(device, 5353), "224.0.0.251:5353".parse().unwrap());
         udp_burst(sink, &mut rng, mdns, call_start.plus_secs(50), 5, 600_000, 80, 250);
@@ -206,9 +197,7 @@ mod tests {
         let dgrams = trace.datagrams();
         assert!(dgrams.len() > 100, "got {}", dgrams.len());
         // DNS traffic on port 53 exists inside the call window.
-        assert!(dgrams.iter().any(|d| d.five_tuple.dst.port() == 53
-            && d.ts >= s.call_start
-            && d.ts < s.call_end()));
+        assert!(dgrams.iter().any(|d| d.five_tuple.dst.port() == 53 && d.ts >= s.call_start && d.ts < s.call_end()));
         // Some TCP flow spans from before the call to after it.
         let spans = dgrams.iter().any(|d| d.ts < s.call_start);
         assert!(spans);
@@ -222,8 +211,7 @@ mod tests {
         });
         assert!(has_sni);
         // LAN-local traffic exists on Wi-Fi.
-        assert!(dgrams.iter().any(|d| d.five_tuple.touches_local_range()
-            && d.five_tuple.dst.port() != 53));
+        assert!(dgrams.iter().any(|d| d.five_tuple.touches_local_range() && d.five_tuple.dst.port() != 53));
     }
 
     #[test]

@@ -169,11 +169,11 @@ impl Discord {
         let dir: u8 = if to_server { 0x80 } else { 0x00 };
         pump_control(sink, rng, tuple, start, end, (10.0 * sc).max(0.08), move |rng, i| {
             let (pt, count, body_words) = match i % 5 {
-                0 => (rtcp::packet_type::SR, 1, 6 + 6),        // SR header + 1 block
-                1 => (rtcp::packet_type::RR, 1, 1 + 6),        // RR + 1 block
-                2 => (rtcp::packet_type::APP, 3, 2 + 4),       // ssrc + name + data
-                3 => (rtcp::packet_type::RTPFB, 15, 2 + 3),    // transport-cc
-                _ => (rtcp::packet_type::PSFB, 1, 2),          // PLI
+                0 => (rtcp::packet_type::SR, 1, 6 + 6),     // SR header + 1 block
+                1 => (rtcp::packet_type::RR, 1, 1 + 6),     // RR + 1 block
+                2 => (rtcp::packet_type::APP, 3, 2 + 4),    // ssrc + name + data
+                3 => (rtcp::packet_type::RTPFB, 15, 2 + 3), // transport-cc
+                _ => (rtcp::packet_type::PSFB, 1, 2),       // PLI
             };
             // §5.3: sender SSRC 0 in ~25 % of the type-205 feedback.
             let ssrc_field = if pt == rtcp::packet_type::RTPFB && rng.chance(0.25) { 0 } else { ssrc };
@@ -297,10 +297,7 @@ mod tests {
                 } else {
                     assert_eq!(dir, 0x00, "server→client direction byte");
                 }
-                per_stream
-                    .entry(d.five_tuple)
-                    .or_default()
-                    .push(u16::from_be_bytes([trailer[0], trailer[1]]));
+                per_stream.entry(d.five_tuple).or_default().push(u16::from_be_bytes([trailer[0], trailer[1]]));
             }
         }
         assert_eq!(seen_types, [200u8, 201, 204, 205, 206].into_iter().collect());

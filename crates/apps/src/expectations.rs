@@ -96,9 +96,7 @@ pub fn expectation(app: Application) -> Expectation {
             quic_types: 0,
         },
         Application::Messenger => Expectation {
-            stun_compliant: &[
-                0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0104, 0x0108, 0x0109, 0x0113, 0x0118,
-            ],
+            stun_compliant: &[0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0104, 0x0108, 0x0109, 0x0113, 0x0118],
             stun_noncompliant: &[0x0001, 0x0003, 0x0101, 0x0103, 0x0800, 0x0801, 0x0802],
             channeldata: ChannelDataUse::Compliant,
             rtp_compliant: &[97, 98, 101, 126, 127],
@@ -119,8 +117,8 @@ pub fn expectation(app: Application) -> Expectation {
         },
         Application::GoogleMeet => Expectation {
             stun_compliant: &[
-                0x0001, 0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0101, 0x0103, 0x0104, 0x0108,
-                0x0109, 0x0113, 0x0200, 0x0300,
+                0x0001, 0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0101, 0x0103, 0x0104, 0x0108, 0x0109, 0x0113,
+                0x0200, 0x0300,
             ],
             stun_noncompliant: &[0x0003],
             channeldata: ChannelDataUse::Compliant,

@@ -149,18 +149,17 @@ impl FaceTime {
     ) {
         let audio_pt = FACETIME_RTP_PAYLOAD_TYPES[leg_index % 2 + 3]; // 13 or 20
         let video_pt = FACETIME_RTP_PAYLOAD_TYPES[leg_index % 3]; // 100/104/108
-        let mut audio = RtpStream::audio(audio_pt, 0x00FA_0000 ^ (rng.next_u32() & 0x0F0F_FFF0) ^ leg_index as u32, rng);
-        let mut video = RtpStream::video(video_pt, 0x00FB_0000 ^ (rng.next_u32() & 0x0F0F_FFF0) ^ leg_index as u32, rng);
+        let mut audio =
+            RtpStream::audio(audio_pt, 0x00FA_0000 ^ (rng.next_u32() & 0x0F0F_FFF0) ^ leg_index as u32, rng);
+        let mut video =
+            RtpStream::video(video_pt, 0x00FB_0000 ^ (rng.next_u32() & 0x0F0F_FFF0) ^ leg_index as u32, rng);
 
         let emit = |sink: &mut TrafficSink, rng: &mut DetRng, t: Timestamp, stream: &mut RtpStream| {
             let profile = *rng.pick(FACETIME_EXT_PROFILES);
             // Undefined profile ⇒ opaque extension data (RFC 8285 does not
             // apply); 4-byte aligned.
             let ext_words = rng.range(1, 4) as usize;
-            let inner = stream
-                .next_builder(rng)
-                .extension(profile, rng.bytes(ext_words * 4))
-                .build();
+            let inner = stream.next_builder(rng).extension(profile, rng.bytes(ext_words * 4)).build();
             let payload = if relayed && rng.chance(0.892) {
                 let mut h = facetime_header(rng, inner.len());
                 h.extend_from_slice(&inner);
@@ -296,7 +295,8 @@ impl FaceTime {
         let sc = scenario.scale;
         for t in ticks(rng, t0.plus_secs(1), scenario.call_end(), (1.2 * sc).max(0.05)) {
             let (d, dir) = if rng.chance(0.5) { (&dcid, tuple) } else { (&scid, tuple.reversed()) };
-            let mut p = ShortHeader { fixed_bit: true, spin: rng.chance(0.5), dcid: d.clone(), header_len: 0 }.build();
+            let mut p =
+                ShortHeader { fixed_bit: true, spin: rng.chance(0.5), dcid: d.clone(), header_len: 0 }.build();
             p.extend_from_slice(&rng.bytes_range(40, 300));
             sink.push(t, dir, p);
         }
@@ -335,7 +335,8 @@ mod tests {
     fn relay_mode_wraps_most_datagrams_with_0x6000() {
         let (_, dgrams) = run(NetworkConfig::WifiRelay, 40);
         let media: Vec<_> = dgrams.iter().filter(|d| d.payload.len() > 60).collect();
-        let wrapped = media.iter().filter(|d| d.payload.len() > 4 && d.payload[0] == 0x60 && d.payload[1] == 0x00).count();
+        let wrapped =
+            media.iter().filter(|d| d.payload.len() > 4 && d.payload[0] == 0x60 && d.payload[1] == 0x00).count();
         let frac = wrapped as f64 / media.len() as f64;
         assert!(frac > 0.7, "wrapped fraction {frac}");
         // Length field covers the rest of the datagram exactly.
@@ -354,7 +355,8 @@ mod tests {
     #[test]
     fn constant_txid_probes_unanswered() {
         let (s, dgrams) = run(NetworkConfig::WifiP2p, 90);
-        let stun: Vec<_> = dgrams.iter().filter_map(|d| Message::new_checked(&d.payload).ok().map(|m| (d, m))).collect();
+        let stun: Vec<_> =
+            dgrams.iter().filter_map(|d| Message::new_checked(&d.payload).ok().map(|m| (d, m))).collect();
         let probes: Vec<_> = stun
             .iter()
             .filter(|(_, m)| m.message_type() == msg_type::BINDING_REQUEST && m.attribute(0x8007).is_some())
@@ -415,7 +417,7 @@ mod tests {
         let mut longs = 0;
         let mut shorts = 0;
         for d in &dgrams {
-            if d.payload.first().map_or(false, |b| b & 0xC0 == 0xC0) {
+            if d.payload.first().is_some_and(|b| b & 0xC0 == 0xC0) {
                 if let Ok(h) = rtc_wire::quic::LongHeader::parse(&d.payload) {
                     assert_eq!(h.version, VERSION_1);
                     assert!(h.fixed_bit);

@@ -144,11 +144,7 @@ pub fn turn_setup(
     let (req, txid) = create_permission(rng, peer);
     let rtt = sink.rtt_us();
     sink.push(t, tuple, req);
-    sink.push(
-        t.plus_micros(rtt),
-        tuple.reversed(),
-        simple_success(rng, msg_type::CREATE_PERMISSION_SUCCESS, txid),
-    );
+    sink.push(t.plus_micros(rtt), tuple.reversed(), simple_success(rng, msg_type::CREATE_PERMISSION_SUCCESS, txid));
     t = t.plus_micros(rtt + 2_000);
 
     let (req, txid) = channel_bind(rng, channel, peer);
@@ -246,11 +242,8 @@ mod tests {
         );
         assert!(done > Timestamp::from_secs(1));
         let trace = s.finish();
-        let types: Vec<u16> = trace
-            .datagrams()
-            .iter()
-            .map(|d| Message::new_checked(&d.payload).unwrap().message_type())
-            .collect();
+        let types: Vec<u16> =
+            trace.datagrams().iter().map(|d| Message::new_checked(&d.payload).unwrap().message_type()).collect();
         assert_eq!(
             types,
             vec![

@@ -17,6 +17,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Traffic-model helpers thread several independent per-leg knobs (sink, rng,
+// tuple, pacing, payload shaping); bundling them into structs would obscure
+// which model varies what.
+#![allow(clippy::too_many_arguments)]
 
 pub mod background;
 pub mod discord;

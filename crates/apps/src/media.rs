@@ -226,10 +226,8 @@ fn compliant_block(rng: &mut DetRng, ssrc: u32) -> rtcp::ReportBlock {
 /// A compliant SDES packet carrying a CNAME.
 pub fn compliant_sdes(rng: &mut DetRng, ssrc: u32) -> Vec<u8> {
     let cname = format!("{:08x}@rtc.example", rng.next_u32());
-    rtcp::Sdes {
-        chunks: vec![rtcp::SdesChunk { ssrc, items: vec![(rtcp::sdes_item::CNAME, cname.into_bytes())] }],
-    }
-    .build()
+    rtcp::Sdes { chunks: vec![rtcp::SdesChunk { ssrc, items: vec![(rtcp::sdes_item::CNAME, cname.into_bytes())] }] }
+        .build()
 }
 
 /// A compliant transport-layer feedback packet (type 205, transport-cc).
@@ -269,9 +267,7 @@ pub fn compliant_xr(rng: &mut DetRng, ssrc: u32) -> Vec<u8> {
         ssrc,
         blocks: vec![
             rtc_wire::xr::Block::ReceiverReferenceTime { ntp_timestamp: rng.next_u64() },
-            rtc_wire::xr::Block::Dlrr {
-                sub_blocks: vec![(ssrc ^ 1, rng.next_u32(), rng.below(65_536) as u32)],
-            },
+            rtc_wire::xr::Block::Dlrr { sub_blocks: vec![(ssrc ^ 1, rng.next_u32(), rng.below(65_536) as u32)] },
         ],
     }
     .build()
@@ -331,16 +327,7 @@ mod tests {
         let mut sink = TrafficSink::new(NetworkConfig::WifiP2p.path_profile(), DetRng::new(1));
         let tuple = FiveTuple::udp("192.168.1.101:50000".parse().unwrap(), "192.168.1.102:50001".parse().unwrap());
         let mut s = RtpStream::video(96, 7, &mut r);
-        pump_rtp(
-            &mut sink,
-            &mut r,
-            tuple,
-            Timestamp::ZERO,
-            Timestamp::from_secs(2),
-            30.0,
-            &mut s,
-            |_, b| b.build(),
-        );
+        pump_rtp(&mut sink, &mut r, tuple, Timestamp::ZERO, Timestamp::from_secs(2), 30.0, &mut s, |_, b| b.build());
         let trace = sink.finish();
         let d = trace.datagrams();
         assert!(d.len() > 40, "got {}", d.len());
@@ -349,10 +336,8 @@ mod tests {
             assert_eq!(p.ssrc(), 7);
         }
         // Sequence numbers increase (with possible loss gaps).
-        let seqs: Vec<u16> = d
-            .iter()
-            .map(|dg| rtp::Packet::new_checked(&dg.payload).unwrap().sequence_number())
-            .collect();
+        let seqs: Vec<u16> =
+            d.iter().map(|dg| rtp::Packet::new_checked(&dg.payload).unwrap().sequence_number()).collect();
         assert!(seqs.windows(2).all(|w| w[1] > w[0] || w[1].wrapping_sub(w[0]) < 10));
     }
 

@@ -100,19 +100,39 @@ impl AppModel for GoogleMeet {
                 // audio source the media plane sends.
                 let audio_ssrc = 0x0110_0000 | (leg_rng.next_u32() & 0x000F_FFF0) | li as u32;
                 let video_ssrc = 0x0120_0000 | (leg_rng.next_u32() & 0x000F_FFF0) | li as u32;
-                self.media_leg(sink, &mut leg_rng, *leg, phase.start, phase.end, sc, audio_ssrc, video_ssrc, phase.relayed);
-                self.srtcp_leg(sink, &mut leg_rng, *leg, phase.start, phase.end, sc, audio_ssrc, relay_wifi && phase.relayed);
+                self.media_leg(
+                    sink,
+                    &mut leg_rng,
+                    *leg,
+                    phase.start,
+                    phase.end,
+                    sc,
+                    audio_ssrc,
+                    video_ssrc,
+                    phase.relayed,
+                );
+                self.srtcp_leg(
+                    sink,
+                    &mut leg_rng,
+                    *leg,
+                    phase.start,
+                    phase.end,
+                    sc,
+                    audio_ssrc,
+                    relay_wifi && phase.relayed,
+                );
             }
         }
 
         // ICE connectivity checks: compliant binding exchanges plus
         // GOOG-PING request/response pairs.
         let p2p_tuple = FiveTuple::udp(a_media, b_media);
-        let check_tuple = if matches!(scenario.app.transmission_mode(scenario.network, 40), rtc_netemu::TransmissionMode::P2p) {
-            p2p_tuple
-        } else {
-            a_ctl
-        };
+        let check_tuple =
+            if matches!(scenario.app.transmission_mode(scenario.network, 40), rtc_netemu::TransmissionMode::P2p) {
+                p2p_tuple
+            } else {
+                a_ctl
+            };
         let mut t = scenario.call_start.plus_secs(2);
         while t < scenario.call_end() {
             ice::binding_exchange(sink, &mut rng, t, check_tuple);
@@ -182,10 +202,7 @@ impl GoogleMeet {
             // Compliant one-byte extensions: audio level (1) + transport-cc seq (3).
             let level = rng.below(127) as u8;
             let tcc = (rng.below(60_000) as u16).to_be_bytes();
-            let inner = stream
-                .next_builder(rng)
-                .one_byte_extension(&[(1, &[level]), (3, &tcc)])
-                .build();
+            let inner = stream.next_builder(rng).one_byte_extension(&[(1, &[level]), (3, &tcc)]).build();
             let payload = if relayed { ChannelData::build(0x4001, &inner) } else { inner };
             sink.push_lossy(t, tuple, payload);
         };
@@ -241,7 +258,8 @@ impl GoogleMeet {
     fn signaling_tcp(&self, scenario: &CallScenario, sink: &mut TrafficSink, rng: &mut DetRng, a: std::net::IpAddr) {
         let alloc = scenario.allocator();
         let mut ports = scenario.port_allocator(2);
-        let tuple = FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("meet", "signaling", 0));
+        let tuple =
+            FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("meet", "signaling", 0));
         let mut t = scenario.call_start.plus_secs(2);
         while t < scenario.call_end() {
             sink.push(t, tuple, rng.bytes_range(100, 400));
@@ -405,10 +423,8 @@ mod tests {
                     msg_type::GOOG_PING_REQUEST => {
                         reqs.insert(m.transaction_id().to_vec(), ());
                     }
-                    msg_type::GOOG_PING_SUCCESS => {
-                        if reqs.contains_key(m.transaction_id()) {
-                            paired += 1;
-                        }
+                    msg_type::GOOG_PING_SUCCESS if reqs.contains_key(m.transaction_id()) => {
+                        paired += 1;
                     }
                     _ => {}
                 }

@@ -17,7 +17,9 @@
 //!   200/201/205/206 at ~10 % of messages (Tables 2, 6),
 //! * relay → P2P switch ~30 s into cellular calls (§3.1.1).
 
-use crate::media::{compliant_psfb, compliant_rr, compliant_rtpfb, compliant_sr, phase_plan, pump_control, ticks, RtpStream};
+use crate::media::{
+    compliant_psfb, compliant_rr, compliant_rtpfb, compliant_sr, phase_plan, pump_control, ticks, RtpStream,
+};
 use crate::{ice, AppModel, Application, CallScenario};
 use rtc_netemu::{DetRng, TrafficSink};
 use rtc_pcap::Timestamp;
@@ -173,12 +175,20 @@ impl Messenger {
         let (req, txid) = ice::create_permission(rng, peer);
         let rtt = sink.rtt_us();
         sink.push(t, a_ctl, req);
-        sink.push(t.plus_micros(rtt), a_ctl.reversed(), ice::simple_success(rng, msg_type::CREATE_PERMISSION_SUCCESS, txid));
+        sink.push(
+            t.plus_micros(rtt),
+            a_ctl.reversed(),
+            ice::simple_success(rng, msg_type::CREATE_PERMISSION_SUCCESS, txid),
+        );
         t = t.plus_micros(rtt + 3_000);
         let (req, txid) = ice::channel_bind(rng, 0x4000, peer);
         let rtt = sink.rtt_us();
         sink.push(t, a_ctl, req);
-        sink.push(t.plus_micros(rtt), a_ctl.reversed(), ice::simple_success(rng, msg_type::CHANNEL_BIND_SUCCESS, txid));
+        sink.push(
+            t.plus_micros(rtt),
+            a_ctl.reversed(),
+            ice::simple_success(rng, msg_type::CHANNEL_BIND_SUCCESS, txid),
+        );
         t = t.plus_micros(rtt + 3_000);
 
         // A Send/Data Indication pair (compliant).
@@ -275,11 +285,7 @@ mod tests {
     }
 
     fn stun_types(dgrams: &[rtc_pcap::trace::Datagram]) -> std::collections::HashSet<u16> {
-        dgrams
-            .iter()
-            .filter_map(|d| Message::new_checked(&d.payload).ok())
-            .map(|m| m.message_type())
-            .collect()
+        dgrams.iter().filter_map(|d| Message::new_checked(&d.payload).ok()).map(|m| m.message_type()).collect()
     }
 
     #[test]

@@ -127,9 +127,7 @@ impl AppModel for WhatsApp {
         let mut t = scenario.call_start.plus_secs(6);
         let mut variant = 0u16;
         while t < scenario.call_end() {
-            let msg = MessageBuilder::new(0x0803 + variant % 3, rng.txid())
-                .attribute(0x4003, vec![0xFF])
-                .build();
+            let msg = MessageBuilder::new(0x0803 + variant % 3, rng.txid()).attribute(0x4003, vec![0xFF]).build();
             sink.push(t, a_ctl, msg);
             variant += 1;
             t = t.plus_secs(18);
@@ -276,11 +274,8 @@ mod tests {
     #[test]
     fn stun_type_inventory_matches_table4() {
         let (_, dgrams) = run(NetworkConfig::WifiRelay, 60);
-        let types: std::collections::HashSet<u16> = dgrams
-            .iter()
-            .filter_map(|d| Message::new_checked(&d.payload).ok())
-            .map(|m| m.message_type())
-            .collect();
+        let types: std::collections::HashSet<u16> =
+            dgrams.iter().filter_map(|d| Message::new_checked(&d.payload).ok()).map(|m| m.message_type()).collect();
         for expect in [0x0001u16, 0x0101, 0x0800, 0x0801, 0x0802, 0x0803, 0x0804, 0x0805, 0x0003, 0x0103] {
             assert!(types.contains(&expect), "missing type {expect:#06x} in {types:?}");
         }

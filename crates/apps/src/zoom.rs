@@ -35,9 +35,9 @@ use std::net::SocketAddr;
 
 /// The RTP payload types observed in Zoom traffic (paper Table 5).
 pub const ZOOM_RTP_PAYLOAD_TYPES: &[u8] = &[
-    0, 3, 4, 5, 10, 12, 13, 19, 20, 25, 33, 35, 38, 41, 45, 46, 49, 59, 68, 69, 74, 75, 82, 83,
-    89, 92, 93, 95, 98, 99, 102, 103, 104, 105, 106, 107, 108, 109, 110, 111, 112, 113, 114, 115,
-    116, 117, 118, 119, 120, 121, 123, 126, 127,
+    0, 3, 4, 5, 10, 12, 13, 19, 20, 25, 33, 35, 38, 41, 45, 46, 49, 59, 68, 69, 74, 75, 82, 83, 89, 92, 93, 95, 98,
+    99, 102, 103, 104, 105, 106, 107, 108, 109, 110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121, 123, 126,
+    127,
 ];
 
 /// The fixed SSRC set Zoom uses in each network setting (§5.2.2):
@@ -143,14 +143,50 @@ impl AppModel for Zoom {
 
         let legs: Vec<Leg> = match mode {
             TransmissionMode::Relay => vec![
-                Leg { tuple: FiveTuple::udp(a_media, sfu), to_server: true, video_ssrc: ssrcs[0], audio_ssrc: ssrcs[2], index: 0 },
-                Leg { tuple: FiveTuple::udp(sfu, a_media), to_server: false, video_ssrc: ssrcs[1], audio_ssrc: ssrcs[3], index: 1 },
-                Leg { tuple: FiveTuple::udp(b_media, sfu), to_server: true, video_ssrc: ssrcs[1], audio_ssrc: ssrcs[3], index: 2 },
-                Leg { tuple: FiveTuple::udp(sfu, b_media), to_server: false, video_ssrc: ssrcs[0], audio_ssrc: ssrcs[2], index: 3 },
+                Leg {
+                    tuple: FiveTuple::udp(a_media, sfu),
+                    to_server: true,
+                    video_ssrc: ssrcs[0],
+                    audio_ssrc: ssrcs[2],
+                    index: 0,
+                },
+                Leg {
+                    tuple: FiveTuple::udp(sfu, a_media),
+                    to_server: false,
+                    video_ssrc: ssrcs[1],
+                    audio_ssrc: ssrcs[3],
+                    index: 1,
+                },
+                Leg {
+                    tuple: FiveTuple::udp(b_media, sfu),
+                    to_server: true,
+                    video_ssrc: ssrcs[1],
+                    audio_ssrc: ssrcs[3],
+                    index: 2,
+                },
+                Leg {
+                    tuple: FiveTuple::udp(sfu, b_media),
+                    to_server: false,
+                    video_ssrc: ssrcs[0],
+                    audio_ssrc: ssrcs[2],
+                    index: 3,
+                },
             ],
             TransmissionMode::P2p => vec![
-                Leg { tuple: FiveTuple::udp(a_media, b_media), to_server: true, video_ssrc: ssrcs[0], audio_ssrc: ssrcs[2], index: 0 },
-                Leg { tuple: FiveTuple::udp(b_media, a_media), to_server: false, video_ssrc: ssrcs[1], audio_ssrc: ssrcs[3], index: 1 },
+                Leg {
+                    tuple: FiveTuple::udp(a_media, b_media),
+                    to_server: true,
+                    video_ssrc: ssrcs[0],
+                    audio_ssrc: ssrcs[2],
+                    index: 0,
+                },
+                Leg {
+                    tuple: FiveTuple::udp(b_media, a_media),
+                    to_server: false,
+                    video_ssrc: ssrcs[1],
+                    audio_ssrc: ssrcs[3],
+                    index: 1,
+                },
             ],
         };
 
@@ -380,16 +416,11 @@ impl Zoom {
 
     /// In-call signaling heartbeat over TCP (survives filtering: it is part
     /// of the call session — the paper's Table 1 keeps a small RTC TCP tail).
-    fn signaling_tcp(
-        &self,
-        scenario: &CallScenario,
-        sink: &mut TrafficSink,
-        rng: &mut DetRng,
-        a: std::net::IpAddr,
-    ) {
+    fn signaling_tcp(&self, scenario: &CallScenario, sink: &mut TrafficSink, rng: &mut DetRng, a: std::net::IpAddr) {
         let alloc = scenario.allocator();
         let mut ports = scenario.port_allocator(2);
-        let tuple = FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("zoom", "signaling", 0));
+        let tuple =
+            FiveTuple::tcp(SocketAddr::new(a, ports.ephemeral_port()), alloc.app_server("zoom", "signaling", 0));
         let mut t = scenario.call_start.plus_secs(1);
         while t < scenario.call_end() {
             sink.push(t, tuple, rng.bytes_range(60, 200));
@@ -420,7 +451,11 @@ mod tests {
         let dgrams = run(NetworkConfig::WifiRelay);
         let media: Vec<_> = dgrams
             .iter()
-            .filter(|d| d.payload.len() > 100 && d.payload.len() != 1000 && d.five_tuple.transport == rtc_wire::ip::Transport::Udp)
+            .filter(|d| {
+                d.payload.len() > 100
+                    && d.payload.len() != 1000
+                    && d.five_tuple.transport == rtc_wire::ip::Transport::Udp
+            })
             .collect();
         assert!(!media.is_empty());
         // No RTP at offset zero anywhere: the header always comes first.
@@ -435,7 +470,13 @@ mod tests {
     #[test]
     fn header_lengths_in_paper_range() {
         let mut rng = DetRng::new(1);
-        for (mtype, wrapped) in [(media_type::AUDIO, false), (media_type::VIDEO, false), (media_type::RTCP, false), (media_type::AUDIO, true), (media_type::RTCP, true)] {
+        for (mtype, wrapped) in [
+            (media_type::AUDIO, false),
+            (media_type::VIDEO, false),
+            (media_type::RTCP, false),
+            (media_type::AUDIO, true),
+            (media_type::RTCP, true),
+        ] {
             let h = zoom_header(&mut rng, true, wrapped, 7, mtype, 0, 500);
             assert!((24..=39).contains(&h.len()), "len {} for type {mtype} wrapped={wrapped}", h.len());
         }
@@ -538,10 +579,9 @@ mod tests {
             // 7-byte payload) immediately followed by a full RTP message with
             // the same SSRC and timestamp.
             for off in 20..40.min(d.payload.len().saturating_sub(19)) {
-                let (Ok(runt), Ok(full)) = (
-                    Packet::new_checked(&d.payload[off..]),
-                    Packet::new_checked(&d.payload[off + 19..]),
-                ) else {
+                let (Ok(runt), Ok(full)) =
+                    (Packet::new_checked(&d.payload[off..]), Packet::new_checked(&d.payload[off + 19..]))
+                else {
                     continue;
                 };
                 if runt.payload_type() == 110

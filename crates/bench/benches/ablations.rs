@@ -46,8 +46,7 @@ fn bench(c: &mut Criterion) {
     // ---- Ablation 2: RTP validation group-size sweep. -------------------
     let fr = rtc_core::filter::run(&datagrams, window, &config.filter);
     let rtc_udp = fr.rtc_udp_datagrams();
-    let known: std::collections::HashSet<u8> =
-        rtc_core::apps::zoom::ZOOM_RTP_PAYLOAD_TYPES.iter().copied().collect();
+    let known: std::collections::HashSet<u8> = rtc_core::apps::zoom::ZOOM_RTP_PAYLOAD_TYPES.iter().copied().collect();
     println!("\n== Ablation: RTP validation min group size (Zoom relay call) ==");
     println!("{:>10}  {:>14}  {:>22}", "min_group", "RTP messages", "phantom payload types");
     for min_group in [1usize, 2, 3, 5, 8, 16] {

@@ -4,6 +4,8 @@
 //! halves of that claim — the recall table is printed, the cost measured.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtc_bench::perf::{round2, time_ms, upsert_section};
+use serde_json::json;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -39,6 +41,23 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Machine-readable record of the same sweep (best-of-5 wall times).
+    let mut per_k = serde_json::Map::new();
+    for k in [16usize, 64, 200, 400] {
+        let config = rtc_core::dpi::DpiConfig { max_offset: k, ..Default::default() };
+        let ms = time_ms(5, || rtc_core::dpi::dissect_call(&rtc_udp, &config).datagrams.len());
+        let mib_per_s = bytes as f64 / (1 << 20) as f64 / (ms / 1e3);
+        per_k.insert(k.to_string(), json!({ "ms": round2(ms), "mib_per_s": round2(mib_per_s) }));
+    }
+    upsert_section(
+        "dpi_offset_sweep",
+        json!({
+            "datagrams": rtc_udp.len(),
+            "payload_bytes": bytes,
+            "dissect_ms_by_k": serde_json::Value::Object(per_k),
+        }),
+    );
 }
 
 fn dissect_count(d: &[rtc_core::pcap::trace::Datagram], k: usize) -> usize {
@@ -48,11 +67,7 @@ fn dissect_count(d: &[rtc_core::pcap::trace::Datagram], k: usize) -> usize {
 fn dissect_count_pair(d: &[rtc_core::pcap::trace::Datagram], k: usize) -> (usize, usize) {
     let out = rtc_core::dpi::dissect_call(d, &rtc_core::dpi::DpiConfig { max_offset: k, ..Default::default() });
     let msgs = out.datagrams.iter().map(|x| x.messages.len()).sum();
-    let fully = out
-        .datagrams
-        .iter()
-        .filter(|x| x.class == rtc_core::dpi::DatagramClass::FullyProprietary)
-        .count();
+    let fully = out.datagrams.iter().filter(|x| x.class == rtc_core::dpi::DatagramClass::FullyProprietary).count();
     (msgs, fully)
 }
 

@@ -1,18 +1,18 @@
 //! End-to-end pipeline throughput: decode → filter → DPI → compliance over
 //! one full Zoom relay call, reported in datagrams and bytes per second.
+//! Also records its stage timings into `BENCH_dpi.json` (section
+//! `pipeline_throughput`).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtc_bench::perf::{round2, time_ms, upsert_section};
+use serde_json::json;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let (cap, config) = rtc_bench::shared_capture();
     let n_dgrams = cap.trace.datagrams().len();
     let bytes = cap.trace.total_bytes();
-    println!(
-        "\n== pipeline corpus: {} datagrams, {:.1} MB (Zoom relay call) ==",
-        n_dgrams,
-        bytes as f64 / 1e6
-    );
+    println!("\n== pipeline corpus: {} datagrams, {:.1} MB (Zoom relay call) ==", n_dgrams, bytes as f64 / 1e6);
 
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
@@ -32,10 +32,26 @@ fn bench(c: &mut Criterion) {
     g.bench_function("compliance_check_call", |b| {
         b.iter(|| black_box(rtc_core::compliance::check_call(black_box(&dissection)).messages.len()))
     });
-    g.bench_function("pcap_decode", |b| {
-        b.iter(|| black_box(cap.trace.datagrams().len()))
-    });
+    g.bench_function("pcap_decode", |b| b.iter(|| black_box(cap.trace.datagrams().len())));
     g.finish();
+
+    // Machine-readable record of the same stages (best-of-5 wall times).
+    let analyze = time_ms(5, || rtc_core::analyze_capture(cap, config).record.checked.messages.len());
+    let dissect = time_ms(5, || rtc_core::dpi::dissect_call(&rtc_udp, &config.dpi).datagrams.len());
+    let check = time_ms(5, || rtc_core::compliance::check_call(&dissection).messages.len());
+    let decode = time_ms(5, || cap.trace.datagrams().len());
+    upsert_section(
+        "pipeline_throughput",
+        json!({
+            "capture_datagrams": n_dgrams,
+            "capture_bytes": bytes,
+            "rtc_udp_datagrams": rtc_udp.len(),
+            "analyze_capture_full_ms": round2(analyze),
+            "dpi_dissect_call_ms": round2(dissect),
+            "compliance_check_call_ms": round2(check),
+            "pcap_decode_ms": round2(decode),
+        }),
+    );
 }
 
 criterion_group!(benches, bench);

@@ -1,0 +1,73 @@
+//! Standalone DPI performance breakdown — the numbers behind
+//! `BENCH_dpi.json`'s `dpi_phases` section and the README's Performance
+//! notes.
+//!
+//! Measures, on the shared Zoom relay capture (the densest corpus):
+//!   1. candidate extraction, naive reference vs. prefiltered fast path;
+//!   2. validation-context build and per-datagram resolution in isolation;
+//!   3. the full `dissect_call`, sequential and with the parallel driver.
+//!
+//! Run with `cargo run --release -p rtc-bench --bin dpi_perf`.
+
+use rtc_bench::perf::{round2, time_ms, upsert_section};
+use rtc_core::dpi::{self, par, DpiConfig};
+use serde_json::json;
+
+fn main() {
+    let (cap, config) = rtc_bench::shared_capture();
+    let datagrams = cap.trace.datagrams();
+    let fr = rtc_core::filter::run(&datagrams, cap.manifest.call_window(), &config.filter);
+    let rtc_udp = fr.rtc_udp_datagrams();
+    let bytes: usize = rtc_udp.iter().map(|d| d.payload.len()).sum();
+    let k = DpiConfig::default().max_offset;
+    println!("corpus: {} datagrams, {:.1} MiB, k={k}", rtc_udp.len(), bytes as f64 / (1 << 20) as f64);
+
+    let naive =
+        time_ms(5, || rtc_udp.iter().map(|d| dpi::extract_candidates_naive(&d.payload, k).len()).sum::<usize>());
+    let fast = time_ms(5, || {
+        let mut ex = dpi::Extractor::new();
+        rtc_udp.iter().map(|d| ex.extract(&d.payload, k).len()).sum::<usize>()
+    });
+    println!("extract naive:          {naive:8.2} ms");
+    println!("extract fast:           {fast:8.2} ms   ({:.2}x)", naive / fast);
+
+    let seq_cfg = DpiConfig { threads: 1, ..DpiConfig::default() };
+    let batch = par::extract_all(&rtc_udp, &seq_cfg);
+    println!("candidates:             {:8}", batch.candidate_count());
+
+    let validate = time_ms(5, || dpi::resolve::ValidationContext::build(&rtc_udp, &batch, &seq_cfg));
+    println!("validation build:       {validate:8.2} ms");
+
+    let ctx = dpi::resolve::ValidationContext::build(&rtc_udp, &batch, &seq_cfg);
+    let resolve = time_ms(5, || {
+        rtc_udp
+            .iter()
+            .enumerate()
+            .map(|(i, d)| dpi::resolve::resolve_datagram(d, batch.get(i), &ctx).messages.len())
+            .sum::<usize>()
+    });
+    println!("resolution:             {resolve:8.2} ms");
+
+    let dissect_seq = time_ms(5, || dpi::dissect_call(&rtc_udp, &seq_cfg).datagrams.len());
+    println!("dissect_call (1 thr):   {dissect_seq:8.2} ms");
+    let auto_threads = par::planned_threads(rtc_udp.len(), &DpiConfig::default());
+    let dissect_auto = time_ms(5, || dpi::dissect_call(&rtc_udp, &DpiConfig::default()).datagrams.len());
+    println!("dissect_call (auto={auto_threads}): {dissect_auto:8.2} ms");
+
+    upsert_section(
+        "dpi_phases",
+        json!({
+            "datagrams": rtc_udp.len(),
+            "payload_bytes": bytes,
+            "max_offset": k,
+            "candidates": batch.candidate_count(),
+            "extract_naive_ms": round2(naive),
+            "extract_fast_ms": round2(fast),
+            "validation_build_ms": round2(validate),
+            "resolution_ms": round2(resolve),
+            "dissect_call_sequential_ms": round2(dissect_seq),
+            "dissect_call_auto_ms": round2(dissect_auto),
+            "auto_threads": auto_threads,
+        }),
+    );
+}

@@ -48,3 +48,63 @@ pub fn print_artifact(report: &StudyReport, artifact: rtc_core::Artifact, paper_
     println!("\n{}", report.render_table(artifact));
     println!("paper reference: {paper_note}\n");
 }
+
+/// Machine-readable DPI performance records.
+///
+/// The perf-sensitive benches (`dpi_offset_sweep`, `pipeline_throughput`)
+/// and the `dpi_perf` binary each write one top-level section of
+/// `BENCH_dpi.json` at the repository root, leaving the other sections —
+/// including the hand-recorded seed baseline — intact. The committed file
+/// is the before/after evidence for the fast-path DPI work.
+pub mod perf {
+    use std::time::Instant;
+
+    /// Best-of-`reps` wall time of `f` in milliseconds, after one warm-up
+    /// call (the usual minimum-latency estimator: robust to scheduler
+    /// noise, biased only toward the machine's true speed).
+    pub fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+        std::hint::black_box(f());
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    }
+
+    /// Round to two decimals so the committed JSON diffs stay readable.
+    pub fn round2(ms: f64) -> f64 {
+        (ms * 100.0).round() / 100.0
+    }
+
+    /// Path of the shared results file: `BENCH_dpi.json` at the repository
+    /// root, or wherever `BENCH_DPI_JSON` points.
+    pub fn results_path() -> std::path::PathBuf {
+        std::env::var_os("BENCH_DPI_JSON")
+            .map(Into::into)
+            .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dpi.json"))
+    }
+
+    /// Insert or replace one top-level section of `BENCH_dpi.json`.
+    ///
+    /// Sections written by other benches (and the recorded baseline) are
+    /// preserved; a malformed or missing file starts fresh. Failures are
+    /// reported but never panic — perf records must not fail a bench run.
+    pub fn upsert_section(name: &str, value: serde_json::Value) {
+        let path = results_path();
+        let mut root: serde_json::Map<String, serde_json::Value> =
+            match std::fs::read_to_string(&path).ok().and_then(|s| serde_json::from_str(&s).ok()) {
+                Some(serde_json::Value::Object(m)) => m,
+                _ => Default::default(),
+            };
+        root.insert(name.to_string(), value);
+        match serde_json::to_string_pretty(&serde_json::Value::Object(root)) {
+            Ok(s) => match std::fs::write(&path, s + "\n") {
+                Ok(()) => eprintln!("[rtc-bench] wrote section '{name}' to {}", path.display()),
+                Err(e) => eprintln!("[rtc-bench] cannot write {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!("[rtc-bench] cannot serialize section '{name}': {e}"),
+        }
+    }
+}

@@ -124,7 +124,12 @@ pub struct CallCapture {
 }
 
 /// Build the scenario for one cell of the matrix.
-pub fn scenario_for(config: &ExperimentConfig, app: Application, network: NetworkConfig, repeat: usize) -> CallScenario {
+pub fn scenario_for(
+    config: &ExperimentConfig,
+    app: Application,
+    network: NetworkConfig,
+    repeat: usize,
+) -> CallScenario {
     let seed = config
         .seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -169,8 +174,7 @@ pub fn record_idle(network: NetworkConfig, duration_secs: u64, seed: u64) -> Tra
         scale: 1.0,
         seed,
     };
-    let mut sink =
-        rtc_netemu::TrafficSink::new(network.path_profile(), scenario.rng().fork("idle-path"));
+    let mut sink = rtc_netemu::TrafficSink::new(network.path_profile(), scenario.rng().fork("idle-path"));
     rtc_apps::background::generate(&scenario, &mut sink);
     sink.finish()
 }
@@ -241,8 +245,11 @@ pub fn load_experiment(dir: impl AsRef<std::path::Path>) -> std::io::Result<Vec<
         out.push(CallCapture { manifest, trace });
     }
     out.sort_by(|a, b| {
-        (&a.manifest.app, &a.manifest.network, a.manifest.repeat)
-            .cmp(&(&b.manifest.app, &b.manifest.network, b.manifest.repeat))
+        (&a.manifest.app, &a.manifest.network, a.manifest.repeat).cmp(&(
+            &b.manifest.app,
+            &b.manifest.network,
+            b.manifest.repeat,
+        ))
     });
     Ok(out)
 }

@@ -53,6 +53,8 @@ pub enum Command {
         path: PathBuf,
         /// Optional call window (seconds) to enable filtering.
         window: Option<(u64, u64)>,
+        /// DPI extraction worker threads (0 = one per core).
+        threads: usize,
     },
     /// List artifacts.
     Tables,
@@ -68,7 +70,7 @@ USAGE:
   rtc-study run [--secs N] [--scale F] [--repeats N] [--seed N]
                 [--apps a,b] [--networks x,y] [--out DIR]
   rtc-study generate <app> <network> <out.pcap> [--secs N] [--seed N]
-  rtc-study dissect <capture.pcap[ng]> [--window START END]
+  rtc-study dissect <capture.pcap[ng]> [--window START END] [--threads N]
   rtc-study tables
   rtc-study help
 
@@ -94,9 +96,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut networks = Vec::new();
             let mut out = None;
             while let Some(flag) = it.next() {
-                let mut value = |name: &str| {
-                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
-                };
+                let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
                 match flag.as_str() {
                     "--secs" => call_secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
                     "--scale" => scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
@@ -122,9 +122,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut call_secs = 60u64;
             let mut seed = 7u64;
             while let Some(flag) = it.next() {
-                let mut value = |name: &str| {
-                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
-                };
+                let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
                 match flag.as_str() {
                     "--secs" => call_secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
                     "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
@@ -142,6 +140,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "dissect" => {
             let path = PathBuf::from(it.next().cloned().ok_or("dissect: missing <capture>")?);
             let mut window = None;
+            let mut threads = 0usize;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--window" => {
@@ -157,10 +156,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("--window: {e}"))?;
                         window = Some((a, b));
                     }
+                    "--threads" => {
+                        threads = it
+                            .next()
+                            .ok_or("--threads needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--threads: {e}"))?;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            Ok(Command::Dissect { path, window })
+            Ok(Command::Dissect { path, window, threads })
         }
         other => Err(format!("unknown command '{other}'; try `rtc-study help`")),
     }
@@ -230,8 +236,7 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
                 rtc_core::netemu::NetworkConfig::from_label(&network).expect("validated at parse"),
                 0,
             );
-            rtc_core::pcap::write_file(&path, &capture.trace)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            rtc_core::pcap::write_file(&path, &capture.trace).map_err(|e| std::io::Error::other(e.to_string()))?;
             let manifest_path = path.with_extension("json");
             std::fs::write(&manifest_path, serde_json::to_string_pretty(&capture.manifest)?)?;
             writeln!(
@@ -243,17 +248,15 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             )?;
             Ok(0)
         }
-        Command::Dissect { path, window } => {
+        Command::Dissect { path, window, threads } => {
             let trace = rtc_core::pcap::read_file_any(&path).map_err(|e| std::io::Error::other(e.to_string()))?;
             let datagrams = trace.datagrams();
             writeln!(out, "{}: {} decodable packets", path.display(), datagrams.len())?;
-            let config = StudyConfig::smoke(0);
+            let mut config = StudyConfig::smoke(0);
+            config.dpi.threads = threads;
             let rtc_udp = match window {
                 Some((a, b)) => {
-                    let w = (
-                        rtc_core::pcap::Timestamp::from_secs(a),
-                        rtc_core::pcap::Timestamp::from_secs(b),
-                    );
+                    let w = (rtc_core::pcap::Timestamp::from_secs(a), rtc_core::pcap::Timestamp::from_secs(b));
                     rtc_core::filter::run(&datagrams, w, &config.filter).rtc_udp_datagrams()
                 }
                 None => datagrams
@@ -311,8 +314,8 @@ mod tests {
 
     #[test]
     fn parse_run_flags() {
-        let c = parse(&args("run --secs 90 --scale 0.5 --repeats 2 --seed 9 --apps zoom,discord --out /tmp/x"))
-            .unwrap();
+        let c =
+            parse(&args("run --secs 90 --scale 0.5 --repeats 2 --seed 9 --apps zoom,discord --out /tmp/x")).unwrap();
         match c {
             Command::Run { call_secs, scale, repeats, seed, apps, networks, out } => {
                 assert_eq!(call_secs, 90);
@@ -350,7 +353,13 @@ mod tests {
             }
         );
         let c = parse(&args("dissect /tmp/meet.pcap --window 60 105")).unwrap();
-        assert_eq!(c, Command::Dissect { path: PathBuf::from("/tmp/meet.pcap"), window: Some((60, 105)) });
+        assert_eq!(
+            c,
+            Command::Dissect { path: PathBuf::from("/tmp/meet.pcap"), window: Some((60, 105)), threads: 0 }
+        );
+        let c = parse(&args("dissect /tmp/meet.pcap --threads 4")).unwrap();
+        assert_eq!(c, Command::Dissect { path: PathBuf::from("/tmp/meet.pcap"), window: None, threads: 4 });
+        assert!(parse(&args("dissect /tmp/meet.pcap --threads nope")).is_err());
     }
 
     #[test]
@@ -389,6 +398,7 @@ mod tests {
             Command::Dissect {
                 path: pcap.clone(),
                 window: Some((manifest.call_start_us / 1_000_000, manifest.call_end_us / 1_000_000)),
+                threads: 2,
             },
             &mut buf,
         )

@@ -115,8 +115,7 @@ impl CallContext {
             // are flagged, and only when they recur.
             let successes = allocate_successes.get(stream).copied().unwrap_or(0);
             if successes >= 2 {
-                let allocs: Vec<&Obs> =
-                    obs.iter().filter(|o| o.message_type == msg_type::ALLOCATE_REQUEST).collect();
+                let allocs: Vec<&Obs> = obs.iter().filter(|o| o.message_type == msg_type::ALLOCATE_REQUEST).collect();
                 if allocs.len() >= 3 {
                     for o in allocs.iter().skip(1) {
                         ctx.pingpong_allocates.insert((*stream, o.txid));

@@ -99,7 +99,7 @@ pub fn detect_call(dissection: &CallDissection) -> Vec<Finding> {
             per_direction.entry(d.stream.src < d.stream.dst).or_default().insert(d.trailing[2]);
         }
     }
-    if trailered > 10 && per_direction.values().all(|set| set.len() == 1) && per_direction.len() >= 1 {
+    if trailered > 10 && per_direction.values().all(|set| set.len() == 1) && !per_direction.is_empty() {
         out.push(Finding {
             kind: FindingKind::DirectionTrailer,
             count: trailered,
@@ -143,10 +143,8 @@ pub fn detect_ssrc_reuse(calls: &[&CallDissection]) -> Option<Finding> {
     if calls.len() < 2 {
         return None;
     }
-    let sets: Vec<std::collections::BTreeSet<u32>> = calls
-        .iter()
-        .map(|c| c.rtp_ssrcs.values().flat_map(|s| s.iter().copied()).collect())
-        .collect();
+    let sets: Vec<std::collections::BTreeSet<u32>> =
+        calls.iter().map(|c| c.rtp_ssrcs.values().flat_map(|s| s.iter().copied()).collect()).collect();
     let first = &sets[0];
     if first.is_empty() {
         return None;
@@ -194,8 +192,10 @@ mod tests {
 
     #[test]
     fn irregular_noise_not_reported_as_keepalive() {
-        let ts = [0u64, 3, 400, 405, 2000, 2004, 9000, 9500, 9501, 12_000, 15_000, 15_001, 18_000,
-            18_500, 21_000, 21_001, 24_000, 27_000, 27_100, 30_000, 33_000, 36_000];
+        let ts = [
+            0u64, 3, 400, 405, 2000, 2004, 9000, 9500, 9501, 12_000, 15_000, 15_001, 18_000, 18_500, 21_000, 21_001,
+            24_000, 27_000, 27_100, 30_000, 33_000, 36_000,
+        ];
         let d: Vec<Datagram> = ts.iter().map(|&t| dgram(t, vec![0xDE; 36])).collect();
         let dis = dissect_call(&d, &DpiConfig::default());
         let findings = detect_call(&dis);

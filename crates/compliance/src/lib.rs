@@ -177,11 +177,8 @@ pub fn check_call(dissection: &CallDissection) -> CheckedCall {
             violation,
         });
     }
-    out.fully_proprietary_datagrams = dissection
-        .datagrams
-        .iter()
-        .filter(|d| d.class == rtc_dpi::DatagramClass::FullyProprietary)
-        .count();
+    out.fully_proprietary_datagrams =
+        dissection.datagrams.iter().filter(|d| d.class == rtc_dpi::DatagramClass::FullyProprietary).count();
     out
 }
 

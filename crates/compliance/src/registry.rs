@@ -63,9 +63,10 @@ pub fn stun_attr_value_problem(attr_type: u16, value: &[u8]) -> Option<String> {
         (value.len() != n).then(|| format!("expected {n} bytes, got {}", value.len()))
     };
     match attr_type {
-        MAPPED_ADDRESS | RESPONSE_ADDRESS | SOURCE_ADDRESS | CHANGED_ADDRESS | REFLECTED_FROM
-        | ALTERNATE_SERVER | XOR_MAPPED_ADDRESS | XOR_PEER_ADDRESS | XOR_RELAYED_ADDRESS
-        | RESPONSE_ORIGIN | OTHER_ADDRESS => address_value_problem(value),
+        MAPPED_ADDRESS | RESPONSE_ADDRESS | SOURCE_ADDRESS | CHANGED_ADDRESS | REFLECTED_FROM | ALTERNATE_SERVER
+        | XOR_MAPPED_ADDRESS | XOR_PEER_ADDRESS | XOR_RELAYED_ADDRESS | RESPONSE_ORIGIN | OTHER_ADDRESS => {
+            address_value_problem(value)
+        }
         CHANNEL_NUMBER => {
             if value.len() != 4 {
                 return Some(format!("CHANNEL-NUMBER must be 4 bytes, got {}", value.len()));
@@ -96,10 +97,8 @@ pub fn stun_attr_value_problem(attr_type: u16, value: &[u8]) -> Option<String> {
             None
         }
         MESSAGE_INTEGRITY => fixed(20),
-        MESSAGE_INTEGRITY_SHA256 => {
-            (value.len() < 16 || value.len() > 32 || value.len() % 4 != 0)
-                .then(|| format!("SHA256 integrity length {}", value.len()))
-        }
+        MESSAGE_INTEGRITY_SHA256 => (value.len() < 16 || value.len() > 32 || !value.len().is_multiple_of(4))
+            .then(|| format!("SHA256 integrity length {}", value.len())),
         RESERVATION_TOKEN => fixed(8),
         EVEN_PORT => fixed(1),
         USE_CANDIDATE | DONT_FRAGMENT => fixed(0),
@@ -200,8 +199,10 @@ mod tests {
     #[test]
     fn paper_type_vocabulary() {
         // Defined types from Table 4's compliant columns.
-        for t in [0x0001u16, 0x0003, 0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0101, 0x0103, 0x0104, 0x0108,
-            0x0109, 0x0113, 0x0118, 0x0200, 0x0300, 0x0002] {
+        for t in [
+            0x0001u16, 0x0003, 0x0004, 0x0008, 0x0009, 0x0016, 0x0017, 0x0101, 0x0103, 0x0104, 0x0108, 0x0109,
+            0x0113, 0x0118, 0x0200, 0x0300, 0x0002,
+        ] {
             assert!(stun_type_defined(t), "{t:#06x} should be defined");
         }
         // Undefined types from the non-compliant columns.

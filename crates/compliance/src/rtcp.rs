@@ -66,10 +66,7 @@ pub fn check_rtcp(dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Opt
     if !registry::rtcp_type_defined(pt) {
         return (
             key,
-            Some(Violation::new(
-                Criterion::MessageTypeDefined,
-                format!("RTCP packet type {pt} is not defined"),
-            )),
+            Some(Violation::new(Criterion::MessageTypeDefined, format!("RTCP packet type {pt} is not defined"))),
         );
     }
 
@@ -103,34 +100,32 @@ pub fn check_rtcp(dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Opt
     // Criteria 3/4 on packet internals — only meaningful in plaintext.
     if !encrypted {
         match pt {
-            202 => {
-                match rtcp::Sdes::parse(&parsed) {
-                    Ok(sdes) => {
-                        for chunk in &sdes.chunks {
-                            for (item, _) in &chunk.items {
-                                if !registry::sdes_item_defined(*item) {
-                                    return (
-                                        key,
-                                        Some(Violation::new(
-                                            Criterion::AttributeTypesDefined,
-                                            format!("SDES item type {item} is not defined"),
-                                        )),
-                                    );
-                                }
+            202 => match rtcp::Sdes::parse(&parsed) {
+                Ok(sdes) => {
+                    for chunk in &sdes.chunks {
+                        for (item, _) in &chunk.items {
+                            if !registry::sdes_item_defined(*item) {
+                                return (
+                                    key,
+                                    Some(Violation::new(
+                                        Criterion::AttributeTypesDefined,
+                                        format!("SDES item type {item} is not defined"),
+                                    )),
+                                );
                             }
                         }
                     }
-                    Err(_) => {
-                        return (
-                            key,
-                            Some(Violation::new(
-                                Criterion::AttributeValuesValid,
-                                "SDES chunks do not walk to the declared length",
-                            )),
-                        )
-                    }
                 }
-            }
+                Err(_) => {
+                    return (
+                        key,
+                        Some(Violation::new(
+                            Criterion::AttributeValuesValid,
+                            "SDES chunks do not walk to the declared length",
+                        )),
+                    )
+                }
+            },
             204 => {
                 let body = parsed.body();
                 if body.len() >= 8 && !body[4..8].iter().all(|b| b.is_ascii_graphic() || *b == b' ') {
@@ -143,27 +138,23 @@ pub fn check_rtcp(dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Opt
                     );
                 }
             }
-            205 => {
-                if !registry::rtpfb_fmt_defined(parsed.count()) {
-                    return (
-                        key,
-                        Some(Violation::new(
-                            Criterion::AttributeTypesDefined,
-                            format!("RTPFB feedback message type {} is not defined", parsed.count()),
-                        )),
-                    );
-                }
+            205 if !registry::rtpfb_fmt_defined(parsed.count()) => {
+                return (
+                    key,
+                    Some(Violation::new(
+                        Criterion::AttributeTypesDefined,
+                        format!("RTPFB feedback message type {} is not defined", parsed.count()),
+                    )),
+                );
             }
-            206 => {
-                if !registry::psfb_fmt_defined(parsed.count()) {
-                    return (
-                        key,
-                        Some(Violation::new(
-                            Criterion::AttributeTypesDefined,
-                            format!("PSFB feedback message type {} is not defined", parsed.count()),
-                        )),
-                    );
-                }
+            206 if !registry::psfb_fmt_defined(parsed.count()) => {
+                return (
+                    key,
+                    Some(Violation::new(
+                        Criterion::AttributeTypesDefined,
+                        format!("PSFB feedback message type {} is not defined", parsed.count()),
+                    )),
+                );
             }
             207 => {
                 // Walk XR blocks: type(1) reserved(1) length(2 words).

@@ -127,9 +127,8 @@ mod tests {
 
     #[test]
     fn undefined_profile_fails() {
-        let (d, m) = wrap(
-            PacketBuilder::new(104, 1, 2, 3).extension(0x8D00, vec![1, 2, 3, 4]).payload(vec![0; 40]).build(),
-        );
+        let (d, m) =
+            wrap(PacketBuilder::new(104, 1, 2, 3).extension(0x8D00, vec![1, 2, 3, 4]).payload(vec![0; 40]).build());
         let v = check_rtp(&d, &m).1.unwrap();
         assert_eq!(v.criterion, Criterion::AttributeTypesDefined);
         assert!(v.detail.contains("0x8d00"), "{}", v.detail);
@@ -139,7 +138,8 @@ mod tests {
     fn reserved_id_zero_fails() {
         let mut data = vec![0x02u8];
         data.extend_from_slice(&[7, 8, 9]);
-        let (d, m) = wrap(PacketBuilder::new(120, 1, 2, 3).extension(ONE_BYTE_PROFILE, data).payload(vec![0; 4]).build());
+        let (d, m) =
+            wrap(PacketBuilder::new(120, 1, 2, 3).extension(ONE_BYTE_PROFILE, data).payload(vec![0; 4]).build());
         let v = check_rtp(&d, &m).1.unwrap();
         assert_eq!(v.criterion, Criterion::AttributeValuesValid);
     }

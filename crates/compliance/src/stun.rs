@@ -65,10 +65,7 @@ pub fn check_stun(dgram: &DatagramDissection, msg: &DpiMessage, ctx: &CallContex
         if let Some(problem) = registry::stun_attr_value_problem(a.typ, a.value) {
             return (
                 key,
-                Some(Violation::new(
-                    Criterion::AttributeValuesValid,
-                    format!("attribute {:#06x}: {problem}", a.typ),
-                )),
+                Some(Violation::new(Criterion::AttributeValuesValid, format!("attribute {:#06x}: {problem}", a.typ))),
             );
         }
     }
@@ -92,10 +89,7 @@ pub fn check_stun(dgram: &DatagramDissection, msg: &DpiMessage, ctx: &CallContex
         if fp != order.len() - 1 {
             return (
                 key,
-                Some(Violation::new(
-                    Criterion::SyntaxSemanticIntegrity,
-                    "FINGERPRINT is not the final attribute",
-                )),
+                Some(Violation::new(Criterion::SyntaxSemanticIntegrity, "FINGERPRINT is not the final attribute")),
             );
         }
     }
@@ -107,10 +101,7 @@ pub fn check_stun(dgram: &DatagramDissection, msg: &DpiMessage, ctx: &CallContex
                     key,
                     Some(Violation::new(
                         Criterion::SyntaxSemanticIntegrity,
-                        format!(
-                            "attribute {:#06x} is not permitted in message type {message_type:#06x}",
-                            a.typ
-                        ),
+                        format!("attribute {:#06x} is not permitted in message type {message_type:#06x}", a.typ),
                     )),
                 );
             }
@@ -178,10 +169,7 @@ pub fn check_channeldata(dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeK
             key,
             Some(Violation::new(
                 Criterion::HeaderFieldsValid,
-                format!(
-                    "length field leaves {} unexplained byte(s) after the frame",
-                    dgram.trailing.len()
-                ),
+                format!("length field leaves {} unexplained byte(s) after the frame", dgram.trailing.len()),
             )),
         );
     }

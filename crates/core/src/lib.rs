@@ -150,6 +150,20 @@ impl Artifact {
     ];
 }
 
+/// One call whose analysis panicked. The study records it and continues;
+/// a single poisoned capture no longer takes down the whole run.
+#[derive(Debug, Clone)]
+pub struct FailedCall {
+    /// Index of the capture in the input slice.
+    pub index: usize,
+    /// Application name from the call manifest.
+    pub app: String,
+    /// Network label from the call manifest.
+    pub network: String,
+    /// The panic message.
+    pub error: String,
+}
+
 /// The complete study output.
 #[derive(Debug, Clone)]
 pub struct StudyReport {
@@ -160,6 +174,8 @@ pub struct StudyReport {
     /// Proprietary-header profile summaries per application (a few
     /// representative streams each).
     pub header_profiles: BTreeMap<String, Vec<String>>,
+    /// Calls whose analysis panicked, in input order (empty on a clean run).
+    pub failures: Vec<FailedCall>,
 }
 
 impl StudyReport {
@@ -209,6 +225,12 @@ impl StudyReport {
                 }
             }
         }
+        if !self.failures.is_empty() {
+            out.push_str("\n== Analysis failures (calls excluded from the tables) ==\n");
+            for f in &self.failures {
+                out.push_str(&format!("call {} ({} / {}): {}\n", f.index, f.app, f.network, f.error));
+            }
+        }
         out
     }
 }
@@ -226,31 +248,67 @@ impl Study {
 
     /// Analyze existing captures (e.g. loaded from disk).
     pub fn analyze(captures: &[CallCapture], config: &StudyConfig) -> StudyReport {
+        Self::analyze_with(captures, config, analyze_capture)
+    }
+
+    /// The worker loop behind [`Study::analyze`], parameterized over the
+    /// per-call analysis so tests can inject failures.
+    fn analyze_with<F>(captures: &[CallCapture], config: &StudyConfig, analyze_one: F) -> StudyReport
+    where
+        F: Fn(&CallCapture, &StudyConfig) -> CallAnalysis + Sync,
+    {
         let queue = crossbeam::queue::SegQueue::new();
         for (i, c) in captures.iter().enumerate() {
             queue.push((i, c));
         }
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(captures.len().max(1));
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let workers = cores.min(captures.len().max(1));
+        // Cross-call and intra-call parallelism share the same cores: unless
+        // the caller pinned a DPI thread count, give each call's candidate
+        // extraction an equal share of the machine (at least one thread).
+        let mut config = config.clone();
+        if config.dpi.threads == 0 {
+            config.dpi.threads = (cores / workers).max(1);
+        }
+        let config = &config;
         let mut analyses: Vec<Option<CallAnalysis>> = (0..captures.len()).map(|_| None).collect();
+        let mut failures: Vec<FailedCall> = Vec::new();
         std::thread::scope(|s| {
             let mut handles = Vec::new();
             for _ in 0..workers {
                 let queue = &queue;
+                let analyze_one = &analyze_one;
                 handles.push(s.spawn(move || {
-                    let mut out = Vec::new();
+                    let mut done = Vec::new();
+                    let mut failed = Vec::new();
                     while let Some((i, cap)) = queue.pop() {
-                        out.push((i, analyze_capture(cap, config)));
+                        // A panicking call is recorded and skipped; the
+                        // remaining calls still produce a report.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| analyze_one(cap, config))) {
+                            Ok(a) => done.push((i, a)),
+                            Err(e) => failed.push(FailedCall {
+                                index: i,
+                                app: cap.manifest.application().name().to_string(),
+                                network: cap.manifest.network.clone(),
+                                error: panic_message(e.as_ref()),
+                            }),
+                        }
                     }
-                    out
+                    (done, failed)
                 }));
             }
             for h in handles {
-                for (i, a) in h.join().expect("analysis worker panicked") {
+                // Per-call panics are caught above, so a worker join can
+                // only fail on a bug in the loop itself.
+                let (done, failed) = h.join().expect("study worker loop panicked");
+                for (i, a) in done {
                     analyses[i] = Some(a);
                 }
+                failures.extend(failed);
             }
         });
-        let analyses: Vec<CallAnalysis> = analyses.into_iter().map(|a| a.expect("all analyzed")).collect();
+        failures.sort_by_key(|f| f.index);
+        let analyses: Vec<CallAnalysis> = analyses.into_iter().flatten().collect();
 
         // Cross-call findings: SSRC reuse per (app, network) cell.
         let mut findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
@@ -263,10 +321,7 @@ impl Study {
                     entry.push(p.summary());
                 }
             }
-            by_cell
-                .entry((a.record.app.clone(), a.record.network.clone()))
-                .or_default()
-                .push(&a.dissection);
+            by_cell.entry((a.record.app.clone(), a.record.network.clone())).or_default().push(&a.dissection);
             let entry = findings.entry(a.record.app.clone()).or_default();
             for f in &a.findings {
                 if !entry.iter().any(|e| e.kind == f.kind) {
@@ -285,7 +340,18 @@ impl Study {
 
         header_profiles.retain(|_, v| !v.is_empty());
         let data = StudyData { calls: analyses.into_iter().map(|a| a.record).collect() };
-        StudyReport { data, findings, header_profiles }
+        StudyReport { data, findings, header_profiles, failures }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -307,6 +373,30 @@ mod tests {
         assert!(analysis.record.rtc.udp_datagrams > 100);
         assert!(!analysis.record.checked.messages.is_empty());
         assert!(analysis.record.checked.volume_compliance() > 0.9);
+    }
+
+    #[test]
+    fn analysis_panics_are_contained() {
+        let mut config = StudyConfig::smoke(7);
+        config.experiment.apps = vec!["zoom".into(), "discord".into()];
+        config.experiment.networks = vec!["wifi-relay".into()];
+        let captures = rtc_capture::run_experiment(&config.experiment);
+        assert_eq!(captures.len(), 2);
+        let report = Study::analyze_with(&captures, &config, |cap, config| {
+            if cap.manifest.application().name() == "Discord" {
+                panic!("injected failure");
+            }
+            analyze_capture(cap, config)
+        });
+        // The healthy call is fully analyzed, the poisoned one recorded.
+        assert_eq!(report.data.calls.len(), 1);
+        assert_eq!(report.data.calls[0].app, "Zoom");
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].app, "Discord");
+        assert!(report.failures[0].error.contains("injected failure"));
+        let all = report.render_all();
+        assert!(all.contains("Analysis failures"));
+        assert!(all.contains("injected failure"));
     }
 
     #[test]

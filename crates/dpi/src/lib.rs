@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod par;
 pub mod pattern;
 pub mod proprietary;
 pub mod resolve;
@@ -40,7 +41,10 @@ use rtc_pcap::Timestamp;
 use rtc_wire::ip::FiveTuple;
 use std::collections::{HashMap, HashSet};
 
-pub use pattern::{extract_candidates, Candidate, CandidateKind};
+pub use pattern::{
+    extract_candidates, extract_candidates_naive, extract_into, Candidate, CandidateBatch, CandidateKind, CidBuf,
+    Extractor,
+};
 
 /// The protocol families of the study. TURN shares the STUN message format,
 /// so the paper (and this crate) reports them jointly.
@@ -87,11 +91,17 @@ pub struct DpiConfig {
     pub rtp_min_group: usize,
     /// Maximum forward sequence gap still considered continuous.
     pub rtp_max_seq_gap: u16,
+    /// Worker threads for intra-call candidate extraction: 0 = one per
+    /// available core (see [`par::planned_threads`]).
+    pub threads: usize,
+    /// Minimum datagram count before extraction is parallelized; smaller
+    /// calls always take the sequential path.
+    pub parallel_threshold: usize,
 }
 
 impl Default for DpiConfig {
     fn default() -> DpiConfig {
-        DpiConfig { max_offset: 200, rtp_min_group: 5, rtp_max_seq_gap: 128 }
+        DpiConfig { max_offset: 200, rtp_min_group: 5, rtp_max_seq_gap: 128, threads: 0, parallel_threshold: 1024 }
     }
 }
 
@@ -204,19 +214,22 @@ impl CallDissection {
 /// ```
 pub fn dissect_call(datagrams: &[Datagram], config: &DpiConfig) -> CallDissection {
     // ---- Step 1: candidate extraction (Algorithm 1, lines 5–13). -------
-    let mut all: Vec<Vec<Candidate>> = Vec::with_capacity(datagrams.len());
-    for d in datagrams {
-        all.push(extract_candidates(&d.payload, config.max_offset));
-    }
+    // One flat candidate batch for the whole call; chunked across worker
+    // threads when the call is large enough (see [`par`]).
+    let batch = par::extract_all(datagrams, config);
 
     // ---- Step 2: protocol-specific validation (lines 14–19). -----------
-    let ctx = resolve::ValidationContext::build(datagrams, &all, config);
+    let mut ctx = resolve::ValidationContext::build(datagrams, &batch, config);
 
     // ---- Step 3: per-datagram resolution and classification. -----------
-    let mut out = CallDissection { rtp_ssrcs: ctx.rtp_ssrcs.clone(), ..Default::default() };
-    for (d, cands) in datagrams.iter().zip(&all) {
-        out.datagrams.push(resolve::resolve_datagram(d, cands, &ctx));
+    let mut out = CallDissection::default();
+    out.datagrams.reserve(datagrams.len());
+    for (i, d) in datagrams.iter().enumerate() {
+        out.datagrams.push(resolve::resolve_datagram(d, batch.get(i), &ctx));
     }
+    // The context is done once every datagram is resolved; hand its SSRC
+    // map to the caller instead of cloning it wholesale.
+    out.rtp_ssrcs = std::mem::take(&mut ctx.rtp_ssrcs);
     out
 }
 
@@ -286,9 +299,7 @@ mod tests {
         let d: Vec<Datagram> = [9000u16, 100, 42000, 7, 30000, 12]
             .iter()
             .enumerate()
-            .map(|(i, &s)| {
-                dgram(i as u64 * 20, PacketBuilder::new(96, s, 0, 0xDD).payload(vec![1; 40]).build())
-            })
+            .map(|(i, &s)| dgram(i as u64 * 20, PacketBuilder::new(96, s, 0, 0xDD).payload(vec![1; 40]).build()))
             .collect();
         let out = dissect_call(&d, &DpiConfig::default());
         assert!(out.datagrams.iter().all(|dd| dd.class == DatagramClass::FullyProprietary));
@@ -479,7 +490,8 @@ mod tests {
             dgram(0, long(rtc_wire::quic::LongType::Initial)),
             dgram(10, long(rtc_wire::quic::LongType::Handshake)),
         ];
-        let mut short = rtc_wire::quic::ShortHeader { fixed_bit: true, spin: false, dcid: vec![9; 8], header_len: 0 }.build();
+        let mut short =
+            rtc_wire::quic::ShortHeader { fixed_bit: true, spin: false, dcid: vec![9; 8], header_len: 0 }.build();
         short.extend_from_slice(&[0xCD; 30]);
         dgrams.push(dgram(20, short));
         let out = dissect_call(&dgrams, &DpiConfig::default());

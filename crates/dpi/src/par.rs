@@ -1,0 +1,175 @@
+//! Intra-call parallel candidate extraction.
+//!
+//! Candidate extraction (Algorithm 1, step 1) is embarrassingly parallel
+//! across datagrams: each payload is scanned independently, and only the
+//! later validation pass needs cross-datagram state. For large calls the
+//! driver splits the datagram list into fixed-size chunks, feeds them to
+//! scoped worker threads through a [`crossbeam::queue::SegQueue`], and
+//! stitches the per-chunk [`CandidateBatch`]es back together in input
+//! order. Small calls take the sequential path and pay nothing.
+
+use crate::pattern::CandidateBatch;
+use crate::DpiConfig;
+use crossbeam::queue::SegQueue;
+use rtc_pcap::trace::Datagram;
+
+/// Datagrams per work unit. Small enough to balance skewed payload sizes
+/// across workers, large enough that queue traffic is negligible.
+pub const CHUNK_DATAGRAMS: usize = 256;
+
+/// How many worker threads [`extract_all`] will use for a call of
+/// `n_datagrams` under `config` — 1 means the sequential path.
+///
+/// Below [`DpiConfig::parallel_threshold`] the answer is always 1;
+/// otherwise `config.threads` workers (0 = one per available core), never
+/// more than there are chunks.
+pub fn planned_threads(n_datagrams: usize, config: &DpiConfig) -> usize {
+    if n_datagrams < config.parallel_threshold.max(1) {
+        return 1;
+    }
+    let requested = match config.threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    requested.clamp(1, n_datagrams.div_ceil(CHUNK_DATAGRAMS))
+}
+
+/// Extract candidates for every datagram, in input order, parallelizing
+/// across chunks when [`planned_threads`] says the call is large enough.
+pub fn extract_all(datagrams: &[Datagram], config: &DpiConfig) -> CandidateBatch {
+    match planned_threads(datagrams.len(), config) {
+        0 | 1 => extract_sequential(datagrams, config),
+        threads => extract_chunked(datagrams, config, threads),
+    }
+}
+
+fn extract_sequential(datagrams: &[Datagram], config: &DpiConfig) -> CandidateBatch {
+    let mut batch = CandidateBatch::with_capacity(datagrams.len());
+    for d in datagrams {
+        batch.push_payload(&d.payload, config.max_offset);
+    }
+    batch
+}
+
+fn extract_chunked(datagrams: &[Datagram], config: &DpiConfig, threads: usize) -> CandidateBatch {
+    let work: SegQueue<(usize, &[Datagram])> = SegQueue::new();
+    let n_chunks = datagrams.chunks(CHUNK_DATAGRAMS).len();
+    for item in datagrams.chunks(CHUNK_DATAGRAMS).enumerate() {
+        work.push(item);
+    }
+    let done: SegQueue<(usize, CandidateBatch)> = SegQueue::new();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                while let Some((idx, chunk)) = work.pop() {
+                    let mut batch = CandidateBatch::with_capacity(chunk.len());
+                    for d in chunk {
+                        batch.push_payload(&d.payload, config.max_offset);
+                    }
+                    done.push((idx, batch));
+                }
+            });
+        }
+    });
+
+    // Chunks finish out of order; reassemble by index.
+    let mut parts: Vec<Option<CandidateBatch>> = (0..n_chunks).map(|_| None).collect();
+    while let Some((idx, batch)) = done.pop() {
+        parts[idx] = Some(batch);
+    }
+    let mut out = CandidateBatch::with_capacity(datagrams.len());
+    for part in parts {
+        out.append(part.expect("every chunk extracted"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::extract_candidates;
+    use bytes::Bytes;
+    use rtc_pcap::Timestamp;
+    use rtc_wire::ip::FiveTuple;
+    use rtc_wire::rtp::PacketBuilder;
+
+    fn corpus(n: usize) -> Vec<Datagram> {
+        (0..n)
+            .map(|i| {
+                // Mix of RTP, STUN-ish, and junk payloads of varying size.
+                let payload = match i % 3 {
+                    0 => PacketBuilder::new(96, i as u16, i as u32, 0xAB).payload(vec![0x3C; 40 + i % 160]).build(),
+                    1 => {
+                        let mut p = vec![0x0B; i % 23];
+                        p.extend(PacketBuilder::new(111, i as u16, 0, 0xCD).payload(vec![0x81; 60]).build());
+                        p
+                    }
+                    _ => vec![(i % 251) as u8; 16 + i % 300],
+                };
+                Datagram {
+                    ts: Timestamp::from_millis(i as u64),
+                    five_tuple: FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "1.2.3.4:2000".parse().unwrap()),
+                    payload: Bytes::from(payload),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_calls_stay_sequential() {
+        let config = DpiConfig::default();
+        assert_eq!(planned_threads(0, &config), 1);
+        assert_eq!(planned_threads(1, &config), 1);
+        assert_eq!(planned_threads(config.parallel_threshold - 1, &config), 1);
+    }
+
+    #[test]
+    fn large_calls_use_requested_threads() {
+        let config = DpiConfig { threads: 4, parallel_threshold: 8, ..DpiConfig::default() };
+        // Enough datagrams for 4+ chunks: all 4 workers are used.
+        assert_eq!(planned_threads(4 * CHUNK_DATAGRAMS, &config), 4);
+        // Never more workers than chunks.
+        assert_eq!(planned_threads(CHUNK_DATAGRAMS + 1, &config), 2);
+        assert_eq!(planned_threads(8, &config), 1, "one chunk needs one worker");
+    }
+
+    #[test]
+    fn auto_thread_count_uses_available_parallelism() {
+        let config = DpiConfig { threads: 0, parallel_threshold: 1, ..DpiConfig::default() };
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let planned = planned_threads(100 * CHUNK_DATAGRAMS, &config);
+        assert_eq!(planned, hw.clamp(1, 100));
+    }
+
+    #[test]
+    fn chunked_extraction_matches_sequential_in_order() {
+        let datagrams = corpus(3 * CHUNK_DATAGRAMS + 17);
+        let config = DpiConfig::default();
+        let sequential = extract_sequential(&datagrams, &config);
+        // Force the chunked driver with several workers regardless of the
+        // machine's core count — this is the multi-core observability test.
+        for threads in [2, 3, 8] {
+            let chunked = extract_chunked(&datagrams, &config, threads);
+            assert_eq!(chunked.len(), sequential.len());
+            assert_eq!(chunked.candidate_count(), sequential.candidate_count());
+            for i in 0..chunked.len() {
+                assert_eq!(chunked.get(i), sequential.get(i), "datagram {i}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_all_honors_threshold_boundary() {
+        let datagrams = corpus(40);
+        // Threshold above the call size: sequential. At/below: chunked.
+        let seq_cfg = DpiConfig { threads: 2, parallel_threshold: 41, ..DpiConfig::default() };
+        let par_cfg = DpiConfig { threads: 2, parallel_threshold: 40, ..DpiConfig::default() };
+        assert_eq!(planned_threads(datagrams.len(), &seq_cfg), 1);
+        // 40 datagrams fit one chunk, so even the parallel config plans one
+        // worker — but both paths agree with per-payload extraction.
+        let out = extract_all(&datagrams, &par_cfg);
+        for (i, d) in datagrams.iter().enumerate() {
+            assert_eq!(out.get(i), &extract_candidates(&d.payload, par_cfg.max_offset)[..]);
+        }
+    }
+}

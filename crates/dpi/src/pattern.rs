@@ -6,8 +6,107 @@
 //! restriction for the same reason); they only encode what makes a byte
 //! string *shaped like* the protocol. False positives are expected here
 //! and eliminated by validation and overlap resolution.
+//!
+//! ## Fast path
+//!
+//! The five protocol patterns partition cleanly on the two top bits of the
+//! first byte (the QUIC demux trick of RFC 9000 §17.2, which RTC stacks
+//! exploit for single-socket multiplexing):
+//!
+//! | top bits | could start                              |
+//! |----------|------------------------------------------|
+//! | `00`     | STUN/TURN message                        |
+//! | `01`     | ChannelData / QUIC short header (offset 0 only) |
+//! | `10`     | RTP or RTCP (version field = 2)          |
+//! | `11`     | QUIC long header (form + fixed bit)      |
+//!
+//! [`extract_into`] consults a precomputed 256-entry classification table
+//! once per offset and enters only the matchers whose leading byte could
+//! start that protocol, instead of calling all five matchers everywhere.
+//! [`extract_candidates_naive`] retains the literal every-matcher-at-every-
+//! offset loop as the differential-testing reference; both must produce
+//! byte-identical candidate lists (see `tests/differential.rs`).
 
 use rtc_wire::stun;
+
+/// Inline storage for a QUIC connection ID.
+///
+/// RFC 9000 §17.2 caps connection IDs at 20 bytes for version 1 (and RFC
+/// 9369 keeps the cap for v2); endpoints MUST drop version-1 long headers
+/// declaring more. Since extraction only accepts known versions, the cap
+/// lets candidates store CIDs inline instead of heap-allocating two
+/// `Vec<u8>`s per QUIC candidate on the hot path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CidBuf {
+    len: u8,
+    bytes: [u8; CidBuf::MAX],
+}
+
+impl CidBuf {
+    /// Maximum connection-ID length (RFC 9000 §17.2).
+    pub const MAX: usize = 20;
+
+    /// An empty connection ID.
+    pub const EMPTY: CidBuf = CidBuf { len: 0, bytes: [0; CidBuf::MAX] };
+
+    /// Copy a wire CID into inline storage; `None` if it exceeds
+    /// [`CidBuf::MAX`] (such packets MUST be dropped per RFC 9000 §17.2).
+    pub fn try_from_slice(cid: &[u8]) -> Option<CidBuf> {
+        if cid.len() > CidBuf::MAX {
+            return None;
+        }
+        // Unused tail bytes stay zero so derived Eq/Hash see equal values.
+        let mut buf = CidBuf { len: cid.len() as u8, bytes: [0; CidBuf::MAX] };
+        buf.bytes[..cid.len()].copy_from_slice(cid);
+        Some(buf)
+    }
+
+    /// The CID bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// CID length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the CID is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for CidBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for CidBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for CidBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq<[u8]> for CidBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for CidBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
 
 /// Structural details recorded when a pattern matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,10 +143,10 @@ pub enum CandidateKind {
     QuicLong {
         /// Version field (1 or the v2 identifier).
         version: u32,
-        /// Destination connection ID.
-        dcid: Vec<u8>,
+        /// Destination connection ID (inline; ≤ 20 bytes per RFC 9000).
+        dcid: CidBuf,
         /// Source connection ID.
-        scid: Vec<u8>,
+        scid: CidBuf,
     },
     /// A potential QUIC short-header packet (validated against the
     /// stream's known connection IDs).
@@ -55,7 +154,7 @@ pub enum CandidateKind {
 }
 
 /// One structural match: a protocol pattern at a payload offset.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Candidate {
     /// Byte offset in the UDP payload.
     pub offset: usize,
@@ -76,9 +175,109 @@ impl Candidate {
     }
 }
 
+// ---- first-byte prefilter --------------------------------------------------
+
+/// First byte could start a STUN message (top two type bits zero).
+const F_STUN: u8 = 1 << 0;
+/// First byte has the `01` demux prefix (ChannelData / QUIC short header);
+/// only meaningful at offset 0.
+const F_DEMUX01: u8 = 1 << 1;
+/// First byte carries RTP/RTCP version 2.
+const F_RTP_RTCP: u8 = 1 << 2;
+/// First byte has QUIC long-header form + fixed bits set.
+const F_QUIC_LONG: u8 = 1 << 3;
+/// First byte is in ChannelData's RFC 8656 channel range (0x4000–0x4FFF).
+const F_CHANNELDATA: u8 = 1 << 4;
+
+/// Per-first-byte protocol classification, consulted once per offset.
+static FIRST_BYTE_CLASS: [u8; 256] = build_first_byte_table();
+
+const fn build_first_byte_table() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        table[b] = match b >> 6 {
+            0b00 => F_STUN,
+            0b01 => {
+                // Channel numbers 0x4000–0x4FFF put the first byte in
+                // 0x40–0x4F; any 01-prefixed byte may start a short header.
+                if b <= 0x4F {
+                    F_DEMUX01 | F_CHANNELDATA
+                } else {
+                    F_DEMUX01
+                }
+            }
+            0b10 => F_RTP_RTCP,
+            _ => F_QUIC_LONG,
+        };
+        b += 1;
+    }
+    table
+}
+
+// ---- extraction entry points -----------------------------------------------
+
 /// Extract all structural candidates from one UDP payload, scanning offsets
 /// `0..=max_offset` (Algorithm 1, step 1).
+///
+/// Thin wrapper over [`extract_into`] that allocates a fresh vector; batch
+/// callers should reuse an [`Extractor`] or [`CandidateBatch`] instead.
 pub fn extract_candidates(payload: &[u8], max_offset: usize) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    extract_into(payload, max_offset, &mut out);
+    out
+}
+
+/// Append all structural candidates of `payload` to `out` (fast path).
+///
+/// Equivalent to [`extract_candidates_naive`] but consults the first-byte
+/// classification table once per offset, entering only the matchers whose
+/// leading byte could start that protocol.
+pub fn extract_into(payload: &[u8], max_offset: usize, out: &mut Vec<Candidate>) {
+    let limit = max_offset.min(payload.len());
+    for i in 0..=limit {
+        let tail = &payload[i..];
+        let Some(&b0) = tail.first() else { break };
+        let class = FIRST_BYTE_CLASS[b0 as usize];
+        // Pattern priority at equal offset: STUN, ChannelData, RTCP, RTP,
+        // QUIC — the classes are disjoint on the top two bits, so at most
+        // one branch runs and the seed ordering is preserved.
+        if class & F_STUN != 0 {
+            if let Some(c) = match_stun(tail, i) {
+                out.push(c);
+            }
+        } else if class & F_DEMUX01 != 0 {
+            // Both patterns only exist at offset 0 (ChannelData is the
+            // outermost TURN framing; short headers are probed at the
+            // datagram start only).
+            if i == 0 {
+                if class & F_CHANNELDATA != 0 {
+                    if let Some(c) = match_channeldata(tail, i) {
+                        out.push(c);
+                    }
+                }
+                if let Some(c) = match_quic_short(tail, i) {
+                    out.push(c);
+                }
+            }
+        } else if class & F_RTP_RTCP != 0 {
+            // The standard demux rule makes RTCP and RTP mutually exclusive
+            // on the second byte, so at most one matcher can accept.
+            if let Some(c) = match_rtcp(tail, i) {
+                out.push(c);
+            } else if let Some(c) = match_rtp(tail, i) {
+                out.push(c);
+            }
+        } else if let Some(c) = match_quic_long(tail, i) {
+            out.push(c);
+        }
+    }
+}
+
+/// Reference extraction: the literal every-matcher-at-every-offset loop,
+/// kept verbatim for differential testing against the prefiltered fast
+/// path. Not used on any production path.
+pub fn extract_candidates_naive(payload: &[u8], max_offset: usize) -> Vec<Candidate> {
     let mut out = Vec::new();
     let limit = max_offset.min(payload.len());
     for i in 0..=limit {
@@ -106,6 +305,88 @@ pub fn extract_candidates(payload: &[u8], max_offset: usize) -> Vec<Candidate> {
     out
 }
 
+/// Reusable extraction state: one scratch candidate buffer that survives
+/// across datagrams, so steady-state extraction performs no allocation.
+#[derive(Debug, Default)]
+pub struct Extractor {
+    scratch: Vec<Candidate>,
+}
+
+impl Extractor {
+    /// A fresh extractor with an empty scratch buffer.
+    pub fn new() -> Extractor {
+        Extractor::default()
+    }
+
+    /// Extract `payload`'s candidates into the internal scratch buffer and
+    /// return them. The buffer (and its capacity) is reused by the next
+    /// call.
+    pub fn extract(&mut self, payload: &[u8], max_offset: usize) -> &[Candidate] {
+        self.scratch.clear();
+        extract_into(payload, max_offset, &mut self.scratch);
+        &self.scratch
+    }
+}
+
+/// Candidates of many datagrams in one flat allocation, with per-datagram
+/// spans — avoids one `Vec<Candidate>` allocation per datagram when
+/// dissecting a whole call.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateBatch {
+    flat: Vec<Candidate>,
+    spans: Vec<(usize, usize)>,
+}
+
+impl CandidateBatch {
+    /// An empty batch expecting `n_datagrams` payloads.
+    pub fn with_capacity(n_datagrams: usize) -> CandidateBatch {
+        CandidateBatch { flat: Vec::new(), spans: Vec::with_capacity(n_datagrams) }
+    }
+
+    /// Extract one payload's candidates and record their span.
+    pub fn push_payload(&mut self, payload: &[u8], max_offset: usize) {
+        let start = self.flat.len();
+        extract_into(payload, max_offset, &mut self.flat);
+        self.spans.push((start, self.flat.len()));
+    }
+
+    /// Number of datagrams extracted so far.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the batch holds no datagrams.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total candidate count across all datagrams.
+    pub fn candidate_count(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// The candidates of datagram `i`, in extraction order.
+    pub fn get(&self, i: usize) -> &[Candidate] {
+        let (start, end) = self.spans[i];
+        &self.flat[start..end]
+    }
+
+    /// Iterate per-datagram candidate slices in input order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Candidate]> {
+        self.spans.iter().map(|&(start, end)| &self.flat[start..end])
+    }
+
+    /// Append another batch's datagrams after this one (used by the
+    /// parallel driver to stitch chunk results back in input order).
+    pub fn append(&mut self, mut other: CandidateBatch) {
+        let base = self.flat.len();
+        self.flat.append(&mut other.flat);
+        self.spans.extend(other.spans.iter().map(|&(s, e)| (base + s, base + e)));
+    }
+}
+
+// ---- protocol matchers -----------------------------------------------------
+
 /// STUN pattern: top two type bits zero, 4-byte-aligned length. Messages
 /// with the magic cookie are accepted wherever their declared body fits;
 /// cookie-less (RFC 3489 classic) matches are only accepted when the
@@ -122,14 +403,19 @@ fn match_stun(tail: &[u8], offset: usize) -> Option<Candidate> {
     if !modern && (msg.wire_len() != tail.len() || msg.declared_length() == 0) {
         return None;
     }
-    // The TLV attributes must walk cleanly to the declared length.
+    // The TLV attributes must walk cleanly to the declared length. The
+    // running offset tracks each TLV's position relative to the message
+    // start: 4 bytes of type+length, the value, then padding to the next
+    // 4-byte boundary (RFC 5389 §15).
     let mut data_attr = None;
+    let mut attr_offset = stun::HEADER_LEN;
     for a in msg.attributes() {
         let a = a.ok()?;
+        let vlen = a.value.len();
         if a.typ == stun::attr::DATA {
-            let start = a.value.as_ptr() as usize - tail.as_ptr() as usize;
-            data_attr = Some((start, start + a.value.len()));
+            data_attr = Some((attr_offset + 4, attr_offset + 4 + vlen));
         }
+        attr_offset += 4 + vlen + (4 - vlen % 4) % 4;
     }
     Some(Candidate {
         offset,
@@ -200,19 +486,36 @@ fn match_rtp(tail: &[u8], offset: usize) -> Option<Candidate> {
 /// short headers only as an offset-0 probe, resolved against the stream's
 /// connection IDs during validation.
 fn match_quic(tail: &[u8], offset: usize) -> Option<Candidate> {
-    let b0 = *tail.first()?;
-    if b0 & 0xC0 == 0xC0 {
-        let h = rtc_wire::quic::LongHeader::parse(tail).ok()?;
-        if h.version != rtc_wire::quic::VERSION_1 && h.version != rtc_wire::quic::VERSION_2 {
-            return None;
-        }
-        return Some(Candidate {
-            offset,
-            len: tail.len(),
-            kind: CandidateKind::QuicLong { version: h.version, dcid: h.dcid, scid: h.scid },
-            data_attr: None,
-        });
+    if let Some(c) = match_quic_long(tail, offset) {
+        return Some(c);
     }
+    match_quic_short(tail, offset)
+}
+
+/// The long-header half of the QUIC pattern. Parses without allocating;
+/// connection IDs longer than 20 bytes are dropped, as RFC 9000 §17.2
+/// requires for the versions this pattern accepts.
+fn match_quic_long(tail: &[u8], offset: usize) -> Option<Candidate> {
+    if tail.first()? & 0xC0 != 0xC0 {
+        return None;
+    }
+    let h = rtc_wire::quic::LongHeaderRef::parse(tail).ok()?;
+    if h.version != rtc_wire::quic::VERSION_1 && h.version != rtc_wire::quic::VERSION_2 {
+        return None;
+    }
+    let dcid = CidBuf::try_from_slice(h.dcid)?;
+    let scid = CidBuf::try_from_slice(h.scid)?;
+    Some(Candidate {
+        offset,
+        len: tail.len(),
+        kind: CandidateKind::QuicLong { version: h.version, dcid, scid },
+        data_attr: None,
+    })
+}
+
+/// The short-header half of the QUIC pattern (offset-0 probe only).
+fn match_quic_short(tail: &[u8], offset: usize) -> Option<Candidate> {
+    let b0 = *tail.first()?;
     if offset == 0 && b0 & 0xC0 == 0x40 && tail.len() >= 9 {
         return Some(Candidate { offset, len: tail.len(), kind: CandidateKind::QuicShortProbe, data_attr: None });
     }
@@ -262,11 +565,17 @@ mod tests {
         // Attribute-less legacy messages are rejected outright: the weak
         // RFC 3489 header matches too much random data.
         let bare = MessageBuilder::new_legacy(0x0001, [9, 9, 9, 9], [4; 12]).build();
-        assert_eq!(extract_candidates(&bare, 0).iter().filter(|c| matches!(c.kind, CandidateKind::Stun { .. })).count(), 0);
+        assert_eq!(
+            extract_candidates(&bare, 0).iter().filter(|c| matches!(c.kind, CandidateKind::Stun { .. })).count(),
+            0
+        );
         let msg = MessageBuilder::new_legacy(0x0001, [9, 9, 9, 9], [4; 12])
             .attribute(0x0101, b"12345678901234567890".to_vec())
             .build();
-        assert_eq!(extract_candidates(&msg, 0).iter().filter(|c| matches!(c.kind, CandidateKind::Stun { .. })).count(), 1);
+        assert_eq!(
+            extract_candidates(&msg, 0).iter().filter(|c| matches!(c.kind, CandidateKind::Stun { .. })).count(),
+            1
+        );
         let mut longer = msg;
         longer.extend_from_slice(&[0, 0, 0]);
         assert_eq!(
@@ -306,7 +615,9 @@ mod tests {
         // Up to 3 trailing bytes: still recognized (compliance flags them).
         let mut shortfall = cd.clone();
         shortfall.extend_from_slice(&[0, 0]);
-        assert!(extract_candidates(&shortfall, 0).iter().any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
+        assert!(extract_candidates(&shortfall, 0)
+            .iter()
+            .any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
         // More than 3 trailing bytes: rejected as a false positive.
         let mut longer = cd.clone();
         longer.extend_from_slice(&[0; 8]);
@@ -318,7 +629,9 @@ mod tests {
         // And ChannelData is only recognized at offset zero.
         let mut prefixed = vec![0xAA, 0xBB];
         prefixed.extend_from_slice(&cd);
-        assert!(!extract_candidates(&prefixed, 10).iter().any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
+        assert!(!extract_candidates(&prefixed, 10)
+            .iter()
+            .any(|c| matches!(c.kind, CandidateKind::ChannelData { .. })));
     }
 
     #[test]
@@ -345,5 +658,117 @@ mod tests {
         p.extend(PacketBuilder::new(96, 7, 8, 9).payload(vec![0; 20]).build());
         assert!(extract_candidates(&p, 10).iter().all(|c| !matches!(c.kind, CandidateKind::Rtp { .. })));
         assert!(extract_candidates(&p, 60).iter().any(|c| matches!(c.kind, CandidateKind::Rtp { .. })));
+    }
+
+    // ---- fast-path machinery ----------------------------------------------
+
+    #[test]
+    fn first_byte_table_is_consistent_with_matcher_gates() {
+        for b in 0u16..=255 {
+            let b = b as u8;
+            let class = FIRST_BYTE_CLASS[b as usize];
+            assert_eq!(class & F_STUN != 0, b & 0xC0 == 0x00, "byte {b:#04x}");
+            assert_eq!(class & F_DEMUX01 != 0, b & 0xC0 == 0x40, "byte {b:#04x}");
+            assert_eq!(class & F_CHANNELDATA != 0, (0x40..=0x4F).contains(&b), "byte {b:#04x}");
+            assert_eq!(class & F_RTP_RTCP != 0, b >> 6 == 2, "byte {b:#04x}");
+            assert_eq!(class & F_QUIC_LONG != 0, b & 0xC0 == 0xC0, "byte {b:#04x}");
+        }
+    }
+
+    #[test]
+    fn cidbuf_roundtrip_and_cap() {
+        let cid = CidBuf::try_from_slice(&[1, 2, 3]).unwrap();
+        assert_eq!(cid.as_slice(), &[1, 2, 3]);
+        assert_eq!(cid.len(), 3);
+        assert!(!cid.is_empty());
+        assert!(CidBuf::try_from_slice(&[0; 20]).is_some());
+        assert!(CidBuf::try_from_slice(&[0; 21]).is_none());
+        assert!(CidBuf::EMPTY.is_empty());
+        // Equal CIDs compare equal regardless of construction path.
+        assert_eq!(CidBuf::try_from_slice(&[7; 8]).unwrap(), CidBuf::try_from_slice(&[7; 8]).unwrap());
+    }
+
+    #[test]
+    fn oversized_cid_long_header_is_dropped_at_extraction() {
+        // RFC 9000 §17.2: a version-1 long header declaring a CID longer
+        // than 20 bytes MUST be dropped.
+        let h = rtc_wire::quic::LongHeader {
+            fixed_bit: true,
+            long_type: rtc_wire::quic::LongType::Initial,
+            type_specific: 0,
+            version: rtc_wire::quic::VERSION_1,
+            dcid: vec![1; 21],
+            scid: vec![],
+            header_len: 0,
+        };
+        let bytes = h.build();
+        assert!(!extract_candidates(&bytes, 0).iter().any(|c| matches!(c.kind, CandidateKind::QuicLong { .. })));
+    }
+
+    #[test]
+    fn extractor_reuses_scratch_across_payloads() {
+        let rtp = PacketBuilder::new(96, 7, 8, 9).payload(vec![0; 20]).build();
+        let stun = MessageBuilder::new(0x0001, [1; 12]).build();
+        let mut ex = Extractor::new();
+        let n_rtp = ex.extract(&rtp, 200).len();
+        assert!(n_rtp > 0);
+        // Second extraction reuses the buffer and reports only its own hits.
+        let stun_hits = ex.extract(&stun, 200);
+        assert!(stun_hits.iter().all(|c| !matches!(c.kind, CandidateKind::Rtp { .. })));
+        assert_eq!(stun_hits, &extract_candidates(&stun, 200)[..]);
+    }
+
+    #[test]
+    fn candidate_batch_matches_per_payload_extraction() {
+        let payloads: Vec<Vec<u8>> = vec![
+            PacketBuilder::new(96, 7, 8, 9).payload(vec![0; 20]).build(),
+            MessageBuilder::new(0x0001, [1; 12]).build(),
+            vec![0xDE, 0xAD, 0xBE, 0xEF],
+            vec![],
+        ];
+        let mut batch = CandidateBatch::with_capacity(payloads.len());
+        for p in &payloads {
+            batch.push_payload(p, 200);
+        }
+        assert_eq!(batch.len(), payloads.len());
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(batch.get(i), &extract_candidates(p, 200)[..]);
+        }
+        let total: usize = batch.iter().map(|s| s.len()).sum();
+        assert_eq!(total, batch.candidate_count());
+    }
+
+    #[test]
+    fn batch_append_preserves_spans() {
+        let a_payload = PacketBuilder::new(96, 7, 8, 9).payload(vec![0; 20]).build();
+        let b_payload = MessageBuilder::new(0x0001, [1; 12]).build();
+        let mut a = CandidateBatch::default();
+        a.push_payload(&a_payload, 200);
+        let mut b = CandidateBatch::default();
+        b.push_payload(&b_payload, 200);
+        a.append(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(0), &extract_candidates(&a_payload, 200)[..]);
+        assert_eq!(a.get(1), &extract_candidates(&b_payload, 200)[..]);
+    }
+
+    #[test]
+    fn fast_path_equals_naive_on_structured_payloads() {
+        let mut payloads: Vec<Vec<u8>> = vec![
+            PacketBuilder::new(96, 7, 8, 9).payload(vec![0x80; 64]).build(),
+            MessageBuilder::new(0x0001, [1; 12]).build(),
+            rtc_wire::rtcp::build_bye(&[1]),
+            rtc_wire::stun::ChannelData::build(0x4001, &[1, 2, 3, 4]),
+            vec![],
+        ];
+        // A prefix-shifted RTP packet exercises non-zero offsets.
+        let mut shifted = vec![0x0B; 23];
+        shifted.extend(PacketBuilder::new(111, 1, 2, 3).payload(vec![0xAA; 40]).build());
+        payloads.push(shifted);
+        for p in &payloads {
+            for k in [0, 3, 50, 200, 400] {
+                assert_eq!(extract_candidates(p, k), extract_candidates_naive(p, k), "k={k}");
+            }
+        }
     }
 }

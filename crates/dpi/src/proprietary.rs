@@ -78,11 +78,7 @@ impl HeaderProfile {
 
     /// Positions that behave like counters.
     pub fn counter_positions(&self) -> Vec<usize> {
-        self.fields
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| matches!(f, FieldKind::Counter).then_some(i))
-            .collect()
+        self.fields.iter().enumerate().filter_map(|(i, f)| matches!(f, FieldKind::Counter).then_some(i)).collect()
     }
 
     /// Human-readable one-line summary.
@@ -152,8 +148,7 @@ pub fn profile_streams(dissection: &CallDissection, min_observations: usize) -> 
             // positive. This takes precedence because the high byte of a
             // slow counter looks constant on its own.
             if pos + 1 < depth && obs.len() >= 4 {
-                let words: Vec<u16> =
-                    obs.iter().map(|r| u16::from_be_bytes([r[pos], r[pos + 1]])).collect();
+                let words: Vec<u16> = obs.iter().map(|r| u16::from_be_bytes([r[pos], r[pos + 1]])).collect();
                 let increasing = words
                     .windows(2)
                     .filter(|w| {

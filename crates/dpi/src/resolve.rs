@@ -1,7 +1,7 @@
 //! Validation and overlap resolution — step 2 of Algorithm 1 plus the
 //! proprietary-header classification of §4.1.2.
 
-use crate::pattern::{Candidate, CandidateKind};
+use crate::pattern::{Candidate, CandidateBatch, CandidateKind, CidBuf};
 use crate::{DatagramClass, DatagramDissection, DpiConfig, DpiMessage, Protocol};
 use rtc_pcap::trace::Datagram;
 use rtc_wire::ip::FiveTuple;
@@ -20,26 +20,47 @@ pub struct ValidationContext {
     /// RTP SSRCs per *conversation* (canonical stream key), from valid
     /// groups — the RTCP cross-validation set.
     pub rtp_ssrcs: HashMap<FiveTuple, HashSet<u32>>,
-    /// QUIC connection IDs per conversation, from long headers.
-    quic_cids: HashMap<FiveTuple, HashSet<Vec<u8>>>,
+    /// QUIC connection IDs per conversation, from long headers (inline
+    /// [`CidBuf`] storage — building the set allocates nothing per packet).
+    quic_cids: HashMap<FiveTuple, HashSet<CidBuf>>,
 }
 
 impl ValidationContext {
     /// Build the context from all candidates of a call (validation is a
     /// second pass over the whole capture: continuity and consistency are
     /// stream properties, not per-packet ones).
-    pub fn build(datagrams: &[Datagram], candidates: &[Vec<Candidate>], config: &DpiConfig) -> ValidationContext {
+    pub fn build(datagrams: &[Datagram], candidates: &CandidateBatch, config: &DpiConfig) -> ValidationContext {
         let mut ctx = ValidationContext::default();
 
         // RTP: collect per-(stream, ssrc) sequence numbers and first header
         // bytes in capture order. Legacy STUN: count per-(stream, type).
-        let mut groups: HashMap<(FiveTuple, u32), Vec<(u16, u8)>> = HashMap::new();
+        //
+        // Extraction is deliberately permissive, so most RTP candidates are
+        // offset-aliasing noise — tens of candidates per datagram, nearly
+        // all in singleton groups. Hashing a full `FiveTuple` and holding a
+        // `Vec` per group for that volume dominated the whole DPI, so the
+        // grouping works on packed integer keys instead: streams are
+        // interned once per datagram, each RTP candidate becomes one
+        // `(stream_id << 32 | ssrc, arrival, seq, byte)` row in a single
+        // flat vector, and a sort brings the groups together while the
+        // arrival index preserves capture order within each group.
+        let mut stream_ids: HashMap<FiveTuple, u32> = HashMap::new();
+        let mut streams: Vec<FiveTuple> = Vec::new();
+        let mut rtp_rows: Vec<(u64, u32, u16, u8)> = Vec::new();
         let mut legacy: HashMap<(FiveTuple, u16), usize> = HashMap::new();
-        for (d, cands) in datagrams.iter().zip(candidates) {
+        for (d, cands) in datagrams.iter().zip(candidates.iter()) {
+            if cands.is_empty() {
+                continue;
+            }
+            let sid = *stream_ids.entry(d.five_tuple).or_insert_with(|| {
+                streams.push(d.five_tuple);
+                (streams.len() - 1) as u32
+            });
             for c in cands {
                 match &c.kind {
                     CandidateKind::Rtp { ssrc, seq, .. } => {
-                        groups.entry((d.five_tuple, *ssrc)).or_default().push((*seq, d.payload[c.offset]));
+                        let key = (sid as u64) << 32 | *ssrc as u64;
+                        rtp_rows.push((key, rtp_rows.len() as u32, *seq, d.payload[c.offset]));
                     }
                     CandidateKind::Stun { message_type, modern: false } => {
                         *legacy.entry((d.five_tuple, *message_type)).or_default() += 1;
@@ -47,17 +68,26 @@ impl ValidationContext {
                     CandidateKind::QuicLong { dcid, scid, .. } => {
                         let set = ctx.quic_cids.entry(d.five_tuple.canonical()).or_default();
                         if !dcid.is_empty() {
-                            set.insert(dcid.clone());
+                            set.insert(*dcid);
                         }
                         if !scid.is_empty() {
-                            set.insert(scid.clone());
+                            set.insert(*scid);
                         }
                     }
                     _ => {}
                 }
             }
         }
-        for ((stream, ssrc), members) in groups {
+        rtp_rows.sort_unstable();
+        let mut i = 0;
+        while i < rtp_rows.len() {
+            let key = rtp_rows[i].0;
+            let mut j = i + 1;
+            while j < rtp_rows.len() && rtp_rows[j].0 == key {
+                j += 1;
+            }
+            let members = &rtp_rows[i..j];
+            i = j;
             if members.len() < config.rtp_min_group {
                 continue;
             }
@@ -67,20 +97,23 @@ impl ValidationContext {
             let small = members
                 .windows(2)
                 .filter(|w| {
-                    let delta = w[1].0.wrapping_sub(w[0].0);
+                    let delta = w[1].2.wrapping_sub(w[0].2);
                     (1..=config.rtp_max_seq_gap).contains(&delta)
                 })
                 .count();
             // A real stream also keeps its first header byte (version,
             // padding/extension flags, CSRC count) essentially constant,
             // while offset-aliasing false positives read a varying byte.
-            let mut byte_counts: HashMap<u8, usize> = HashMap::new();
-            for (_, b) in &members {
-                *byte_counts.entry(*b).or_default() += 1;
+            let mut byte_counts = [0u32; 256];
+            let mut modal = 0u32;
+            for &(_, _, _, b) in members {
+                byte_counts[b as usize] += 1;
+                modal = modal.max(byte_counts[b as usize]);
             }
-            let modal = byte_counts.values().max().copied().unwrap_or(0);
-            let consistent_header = modal * 4 >= members.len() * 3;
+            let consistent_header = modal as usize * 4 >= members.len() * 3;
             if small * 2 >= members.len() - 1 && consistent_header {
+                let stream = streams[(key >> 32) as usize];
+                let ssrc = key as u32;
                 ctx.valid_rtp_groups.insert((stream, ssrc));
                 ctx.rtp_ssrcs.entry(stream.canonical()).or_default().insert(ssrc);
             }
@@ -101,7 +134,7 @@ impl ValidationContext {
         match ssrc {
             // RFC 3550 does not forbid SSRC 0, and Discord uses it (§5.3).
             Some(0) => true,
-            Some(s) => self.rtp_ssrcs.get(&stream.canonical()).map_or(false, |set| set.contains(&s)),
+            Some(s) => self.rtp_ssrcs.get(&stream.canonical()).is_some_and(|set| set.contains(&s)),
             None => false,
         }
     }
@@ -110,7 +143,7 @@ impl ValidationContext {
         let Some(cids) = self.quic_cids.get(&stream.canonical()) else {
             return false;
         };
-        cids.iter().any(|cid| payload.len() > cid.len() && &payload[1..1 + cid.len()] == cid.as_slice())
+        cids.iter().any(|cid| payload.len() > cid.len() && payload[1..1 + cid.len()] == *cid.as_slice())
     }
 }
 
@@ -162,7 +195,7 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
                     // Compound continuation: an RTCP packet directly following
                     // an accepted RTCP packet belongs to the same compound.
                     || (c.offset == free
-                        && accepted.last().map_or(false, |a| {
+                        && accepted.last().is_some_and(|a| {
                             !a.nested && matches!(a.kind, CandidateKind::Rtcp { .. })
                         }))
             }
@@ -201,7 +234,7 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
         }
         // Overlap with the previous top-level message: only RTP-after-RTP
         // truncation is defined (Zoom's double-RTP, §5.3).
-        let truncatable = accepted.last().map_or(false, |a| {
+        let truncatable = accepted.last().is_some_and(|a| {
             !a.nested
                 && matches!(a.kind, CandidateKind::Rtp { .. })
                 && matches!(c.kind, CandidateKind::Rtp { .. })
@@ -231,14 +264,13 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
     let prefix = accepted.iter().find(|a| !a.nested).map(|a| a.offset).unwrap_or(0);
     let trailing_len = payload.len().saturating_sub(free);
     let last_top = accepted.iter().rev().find(|a| !a.nested);
-    let last_is_rtcp = last_top.map_or(false, |a| matches!(a.kind, CandidateKind::Rtcp { .. }));
-    let last_is_channeldata = last_top.map_or(false, |a| matches!(a.kind, CandidateKind::ChannelData { .. }));
+    let last_is_rtcp = last_top.is_some_and(|a| matches!(a.kind, CandidateKind::Rtcp { .. }));
+    let last_is_channeldata = last_top.is_some_and(|a| matches!(a.kind, CandidateKind::ChannelData { .. }));
     // SRTCP / proprietary RTCP trailers and short ChannelData length
     // shortfalls stay "standard" datagrams for Figure 3 — the compliance
     // layer, not the classifier, judges them.
-    let trailing_tolerated = trailing_len == 0
-        || (last_is_rtcp && trailing_len <= 16)
-        || (last_is_channeldata && trailing_len <= 3);
+    let trailing_tolerated =
+        trailing_len == 0 || (last_is_rtcp && trailing_len <= 16) || (last_is_channeldata && trailing_len <= 3);
 
     let class = if messages.is_empty() {
         DatagramClass::FullyProprietary

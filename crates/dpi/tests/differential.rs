@@ -1,0 +1,98 @@
+//! Differential property tests for the extraction fast path.
+//!
+//! The prefiltered, zero-alloc extractor ([`rtc_dpi::extract_into`] and the
+//! batch/scratch wrappers around it) must return candidate lists
+//! byte-identical to [`rtc_dpi::extract_candidates_naive`] — the retained
+//! every-matcher-at-every-offset reference loop — on *arbitrary* payloads
+//! and extraction depths, not just the traffic our emulators produce.
+
+use proptest::prelude::*;
+use rtc_dpi::{extract_candidates, extract_candidates_naive, CandidateBatch, Extractor};
+
+/// A payload with a real protocol message (or pure junk) behind an
+/// arbitrary prefix, so the sweep exercises both matcher hits and the
+/// prefilter's reject paths at every offset.
+fn structured_payload() -> impl Strategy<Value = Vec<u8>> {
+    (0u8..6, 0usize..48, any::<u16>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+        |(pick, prefix_len, seq, ssrc, junk)| {
+            let mut p: Vec<u8> = (0..prefix_len).map(|j| (j * 13) as u8).collect();
+            match pick {
+                0 => p.extend(
+                    rtc_wire::rtp::PacketBuilder::new((seq % 128) as u8, seq, ssrc, ssrc).payload(junk).build(),
+                ),
+                1 => {
+                    let mut b = rtc_wire::stun::MessageBuilder::new(seq & 0x3FFF, [7; 12]);
+                    if !junk.is_empty() {
+                        b = b.attribute(rtc_wire::stun::attr::DATA, junk);
+                    }
+                    p.extend(b.build());
+                }
+                2 => p.extend(rtc_wire::rtcp::build_bye(&[ssrc])),
+                3 => p.extend(rtc_wire::stun::ChannelData::build(0x4000 | (seq & 0x0FFF), &junk)),
+                4 => {
+                    let h = rtc_wire::quic::LongHeader {
+                        fixed_bit: true,
+                        long_type: rtc_wire::quic::LongType::Initial,
+                        type_specific: 0,
+                        version: rtc_wire::quic::VERSION_1,
+                        dcid: junk.iter().copied().take(20).collect(),
+                        scid: vec![2; (seq % 21) as usize],
+                        header_len: 0,
+                    };
+                    p.extend(h.build());
+                    p.extend(junk);
+                }
+                _ => p.extend(junk),
+            }
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fast_path_matches_naive_on_arbitrary_bytes(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        k in 0usize..=400,
+    ) {
+        prop_assert_eq!(extract_candidates(&payload, k), extract_candidates_naive(&payload, k));
+    }
+
+    #[test]
+    fn fast_path_matches_naive_on_structured_payloads(
+        payload in structured_payload(),
+        k in 0usize..=400,
+    ) {
+        prop_assert_eq!(extract_candidates(&payload, k), extract_candidates_naive(&payload, k));
+    }
+
+    #[test]
+    fn scratch_reuse_never_leaks_between_payloads(
+        payloads in proptest::collection::vec(structured_payload(), 1..8),
+        k in 0usize..=400,
+    ) {
+        // One Extractor across many payloads: each extraction must equal
+        // the naive reference despite the shared scratch buffer.
+        let mut ex = Extractor::new();
+        for p in &payloads {
+            prop_assert_eq!(ex.extract(p, k), &extract_candidates_naive(p, k)[..]);
+        }
+    }
+
+    #[test]
+    fn batch_spans_match_per_payload_naive_extraction(
+        payloads in proptest::collection::vec(structured_payload(), 0..8),
+        k in 0usize..=400,
+    ) {
+        let mut batch = CandidateBatch::with_capacity(payloads.len());
+        for p in &payloads {
+            batch.push_payload(p, k);
+        }
+        prop_assert_eq!(batch.len(), payloads.len());
+        for (i, p) in payloads.iter().enumerate() {
+            prop_assert_eq!(batch.get(i), &extract_candidates_naive(p, k)[..]);
+        }
+    }
+}

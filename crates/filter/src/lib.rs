@@ -210,11 +210,7 @@ impl FilterResult {
 /// Extract the SNI of a TCP stream by scanning its early segments for a
 /// TLS ClientHello.
 fn stream_sni(stream: &Stream) -> Option<String> {
-    stream
-        .datagrams
-        .iter()
-        .take(8)
-        .find_map(|d| rtc_wire::tls::client_hello_sni(&d.payload).ok().flatten())
+    stream.datagrams.iter().take(8).find_map(|d| rtc_wire::tls::client_hello_sni(&d.payload).ok().flatten())
 }
 
 /// Run the full two-stage pipeline over one call's decoded datagrams.
@@ -268,7 +264,7 @@ pub fn run(datagrams: &[Datagram], call_window: (Timestamp, Timestamp), config: 
         let heuristic = if out_of_window_3tuples.contains(&s.tuple.dst_three_tuple()) {
             Some(Heuristic::ThreeTupleTiming)
         } else if s.tuple.transport == Transport::Tcp
-            && stream_sni(&s).map_or(false, |sni| config.sni_blocklist.contains(&sni))
+            && stream_sni(&s).is_some_and(|sni| config.sni_blocklist.contains(&sni))
         {
             Some(Heuristic::TlsSni)
         } else if s.tuple.touches_local_range() && {
@@ -436,14 +432,8 @@ mod tests {
         let r = run(&d, WINDOW, &FilterConfig::default());
         assert_eq!(r.raw.udp_streams, 3);
         assert_eq!(r.raw.tcp_streams, 1);
-        assert_eq!(
-            r.raw.udp_datagrams,
-            r.stage1.udp_datagrams + r.stage2.udp_datagrams + r.rtc.udp_datagrams
-        );
-        assert_eq!(
-            r.raw.tcp_segments,
-            r.stage1.tcp_segments + r.stage2.tcp_segments + r.rtc.tcp_segments
-        );
+        assert_eq!(r.raw.udp_datagrams, r.stage1.udp_datagrams + r.stage2.udp_datagrams + r.rtc.udp_datagrams);
+        assert_eq!(r.raw.tcp_segments, r.stage1.tcp_segments + r.stage2.tcp_segments + r.rtc.tcp_segments);
         assert_eq!(r.rtc_udp_datagrams().len(), r.rtc.udp_datagrams);
     }
 

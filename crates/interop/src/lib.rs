@@ -343,9 +343,7 @@ mod tests {
 
     #[test]
     fn undefined_message_types_are_dropped() {
-        let bytes = rtc_wire::stun::MessageBuilder::new(0x0801, [7; 12])
-            .attribute(0x4003, vec![0xFF])
-            .build();
+        let bytes = rtc_wire::stun::MessageBuilder::new(0x0801, [7; 12]).attribute(0x4003, vec![0xFF]).build();
         let d = vec![dgram(0, bytes)];
         let dis = dissect_call(&d, &DpiConfig::default());
         let (report, _) = normalize_call(&dis);
@@ -374,7 +372,7 @@ mod tests {
         let d: Vec<Datagram> = (0..8)
             .map(|i| {
                 let mut ext = vec![0x02u8, 9, 9, 9]; // id 0, len 2 (+3 data)
-                ext.push(0x10 | 0x00); // id 1, len field 0 → 1 byte
+                ext.push(0x10); // id 1 in the high nibble, len field 0 → 1 byte
                 ext.push(0x42);
                 dgram(
                     i * 20,
@@ -424,9 +422,7 @@ mod tests {
         let mut body = 0x9Au32.to_be_bytes().to_vec();
         body.extend_from_slice(&[0xEE; 20]);
         let mut pkt = rtc_wire::rtcp::build_raw(1, 200, &body);
-        pkt.extend_from_slice(
-            &rtc_wire::rtcp::SrtcpTrailer { encrypted: true, index: 5, auth_tag_len: 0 }.build(1),
-        );
+        pkt.extend_from_slice(&rtc_wire::rtcp::SrtcpTrailer { encrypted: true, index: 5, auth_tag_len: 0 }.build(1));
         d.push(dgram(200, pkt));
         let dis = dissect_call(&d, &DpiConfig::default());
         let (report, _) = normalize_call(&dis);

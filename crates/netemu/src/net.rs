@@ -21,8 +21,7 @@ pub enum NetworkConfig {
 
 impl NetworkConfig {
     /// All three configurations, in the paper's order.
-    pub const ALL: [NetworkConfig; 3] =
-        [NetworkConfig::WifiP2p, NetworkConfig::WifiRelay, NetworkConfig::Cellular];
+    pub const ALL: [NetworkConfig; 3] = [NetworkConfig::WifiP2p, NetworkConfig::WifiRelay, NetworkConfig::Cellular];
 
     /// Whether the router permits direct UDP flows between the peers.
     ///
@@ -122,8 +121,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            NetworkConfig::ALL.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<_> = NetworkConfig::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 3);
     }
 

@@ -100,10 +100,7 @@ mod tests {
     }
 
     fn tuple(port: u16) -> FiveTuple {
-        FiveTuple::udp(
-            format!("192.168.1.101:{port}").parse().unwrap(),
-            "203.0.113.50:3478".parse().unwrap(),
-        )
+        FiveTuple::udp(format!("192.168.1.101:{port}").parse().unwrap(), "203.0.113.50:3478".parse().unwrap())
     }
 
     #[test]
@@ -130,10 +127,7 @@ mod tests {
 
     #[test]
     fn lossy_pushes_drop_some_packets() {
-        let mut s = TrafficSink::new(
-            PathProfile { base_latency_us: 1000, jitter_us: 10, loss: 0.2 },
-            DetRng::new(8),
-        );
+        let mut s = TrafficSink::new(PathProfile { base_latency_us: 1000, jitter_us: 10, loss: 0.2 }, DetRng::new(8));
         let mut kept = 0;
         for i in 0..2000 {
             if s.push_lossy(Timestamp::from_millis(i), tuple(3000), vec![0]) {
@@ -147,10 +141,7 @@ mod tests {
 
     #[test]
     fn unconditional_push_never_drops() {
-        let mut s = TrafficSink::new(
-            PathProfile { base_latency_us: 1000, jitter_us: 10, loss: 1.0 },
-            DetRng::new(8),
-        );
+        let mut s = TrafficSink::new(PathProfile { base_latency_us: 1000, jitter_us: 10, loss: 1.0 }, DetRng::new(8));
         for i in 0..100 {
             s.push(Timestamp::from_millis(i), tuple(4000), vec![0]);
         }

@@ -65,9 +65,10 @@ pub const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
 pub const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
 
 /// Link-layer framing of the records in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkType {
     /// Ethernet II frames (`LINKTYPE_ETHERNET` = 1).
+    #[default]
     Ethernet,
     /// Raw IPv4/IPv6 packets (`LINKTYPE_RAW` = 101).
     RawIp,
@@ -169,10 +170,7 @@ impl<R: Read> Reader<R> {
         let micros = if self.header.nanos { ts_frac / 1000 } else { ts_frac };
         let mut data = vec![0u8; incl_len];
         self.inner.read_exact(&mut data)?;
-        Ok(Some(Record {
-            ts: Timestamp::from_micros(ts_sec * 1_000_000 + micros),
-            data: data.into(),
-        }))
+        Ok(Some(Record { ts: Timestamp::from_micros(ts_sec * 1_000_000 + micros), data: data.into() }))
     }
 
     /// Read the remaining records into a [`Trace`].

@@ -55,12 +55,8 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
         let raw_type = read_u32(bytes, offset, big_endian)?;
         if raw_type == SHB_TYPE {
             // (Re-)establish byte order from the byte-order magic.
-            let bom_be = u32::from_be_bytes([
-                bytes[offset + 8],
-                bytes[offset + 9],
-                bytes[offset + 10],
-                bytes[offset + 11],
-            ]);
+            let bom_be =
+                u32::from_be_bytes([bytes[offset + 8], bytes[offset + 9], bytes[offset + 10], bytes[offset + 11]]);
             big_endian = match bom_be {
                 BYTE_ORDER_MAGIC => true,
                 m if m.swap_bytes() == BYTE_ORDER_MAGIC => false,
@@ -70,7 +66,7 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
         }
         let block_type = read_u32(bytes, offset, big_endian)?;
         let total_len = read_u32(bytes, offset + 4, big_endian)? as usize;
-        if total_len < 12 || total_len % 4 != 0 || offset + total_len > bytes.len() {
+        if total_len < 12 || !total_len.is_multiple_of(4) || offset + total_len > bytes.len() {
             return Err(Error::Malformed("block length"));
         }
         let body = &bytes[offset + 8..offset + total_len - 4];
@@ -98,11 +94,8 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
                     }
                     if code == 9 && len == 1 {
                         let v = body[o + 4];
-                        iface.ticks_per_sec = if v & 0x80 != 0 {
-                            1u64 << (v & 0x7F)
-                        } else {
-                            10u64.pow((v & 0x7F).min(12) as u32)
-                        };
+                        iface.ticks_per_sec =
+                            if v & 0x80 != 0 { 1u64 << (v & 0x7F) } else { 10u64.pow((v & 0x7F).min(12) as u32) };
                     }
                     o += 4 + len + (4 - len % 4) % 4;
                 }
@@ -145,10 +138,7 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
                 let orig_len = read_u32(body, 0, big_endian)? as usize;
                 let cap_len = orig_len.min(body.len() - 4);
                 if interfaces.first().and_then(|i| i.link_type).is_some() {
-                    trace.records.push(Record {
-                        ts: Timestamp::ZERO,
-                        data: body[4..4 + cap_len].to_vec().into(),
-                    });
+                    trace.records.push(Record { ts: Timestamp::ZERO, data: body[4..4 + cap_len].to_vec().into() });
                 }
             }
             _ => {} // unknown block: skip

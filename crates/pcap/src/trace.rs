@@ -34,12 +34,6 @@ pub struct Trace {
     pub records: Vec<Record>,
 }
 
-impl Default for LinkType {
-    fn default() -> LinkType {
-        LinkType::Ethernet
-    }
-}
-
 impl Trace {
     /// An empty Ethernet trace.
     pub fn new() -> Trace {
@@ -104,10 +98,7 @@ mod tests {
     }
 
     fn rec(ts_ms: u64, payload: &[u8]) -> Record {
-        Record {
-            ts: Timestamp::from_millis(ts_ms),
-            data: build_ethernet_packet(&tuple(), payload, 0).into(),
-        }
+        Record { ts: Timestamp::from_millis(ts_ms), data: build_ethernet_packet(&tuple(), payload, 0).into() }
     }
 
     #[test]

@@ -23,10 +23,7 @@ pub fn figure3(data: &StudyData) -> TextTable {
 /// Figure 4 — compliance ratio by traffic volume: one series per
 /// application, one per protocol.
 pub fn figure4(data: &StudyData) -> TextTable {
-    let mut t = TextTable::new(
-        "Figure 4: compliance ratio by traffic volume",
-        &["Series", "Subject", "Compliance"],
-    );
+    let mut t = TextTable::new("Figure 4: compliance ratio by traffic volume", &["Series", "Subject", "Compliance"]);
     for app in data.apps() {
         t.row(vec!["application".into(), app.clone(), pct(data.app_volume_compliance(&app))]);
     }
@@ -42,10 +39,8 @@ pub fn figure4(data: &StudyData) -> TextTable {
 /// Figure 5 — compliance ratio by message type: one series per
 /// application, one per protocol.
 pub fn figure5(data: &StudyData) -> TextTable {
-    let mut t = TextTable::new(
-        "Figure 5: compliance ratio by message type",
-        &["Series", "Subject", "Compliance", "Types"],
-    );
+    let mut t =
+        TextTable::new("Figure 5: compliance ratio by message type", &["Series", "Subject", "Compliance", "Types"]);
     for app in data.apps() {
         let (ok, total) = data.app_type_ratio_all(&app);
         t.row(vec![
@@ -58,12 +53,7 @@ pub fn figure5(data: &StudyData) -> TextTable {
     for p in Protocol::ALL {
         let (ok, total) = data.protocol_type_ratio(p);
         if total > 0 {
-            t.row(vec![
-                "protocol".into(),
-                p.label().into(),
-                pct(ok as f64 / total as f64),
-                format!("{ok}/{total}"),
-            ]);
+            t.row(vec!["protocol".into(), p.label().into(), pct(ok as f64 / total as f64), format!("{ok}/{total}")]);
         }
     }
     t
@@ -83,9 +73,8 @@ mod tests {
             type_key: k,
             ts: Timestamp::ZERO,
             stream: FiveTuple::udp("10.0.0.1:1".parse().unwrap(), "1.2.3.4:2".parse().unwrap()),
-            violation: (!ok).then(|| {
-                rtc_compliance::Violation::new(rtc_compliance::Criterion::HeaderFieldsValid, "x")
-            }),
+            violation: (!ok)
+                .then(|| rtc_compliance::Violation::new(rtc_compliance::Criterion::HeaderFieldsValid, "x")),
         };
         StudyData {
             calls: vec![CallRecord {

@@ -244,9 +244,8 @@ mod tests {
             type_key: key,
             ts: Timestamp::ZERO,
             stream: FiveTuple::udp("10.0.0.1:1".parse().unwrap(), "1.2.3.4:2".parse().unwrap()),
-            violation: (!compliant).then(|| {
-                rtc_compliance::Violation::new(rtc_compliance::Criterion::MessageTypeDefined, "x")
-            }),
+            violation: (!compliant)
+                .then(|| rtc_compliance::Violation::new(rtc_compliance::Criterion::MessageTypeDefined, "x")),
         }
     }
 

@@ -161,9 +161,8 @@ mod tests {
             type_key: k,
             ts: Timestamp::ZERO,
             stream: FiveTuple::udp("10.0.0.1:1".parse().unwrap(), "1.2.3.4:2".parse().unwrap()),
-            violation: (!ok).then(|| {
-                rtc_compliance::Violation::new(rtc_compliance::Criterion::MessageTypeDefined, "x")
-            }),
+            violation: (!ok)
+                .then(|| rtc_compliance::Violation::new(rtc_compliance::Criterion::MessageTypeDefined, "x")),
         };
         StudyData {
             calls: vec![CallRecord {
@@ -171,9 +170,24 @@ mod tests {
                 network: "cellular".into(),
                 repeat: 0,
                 raw_bytes: 2_500_000,
-                raw: rtc_filter::StageStats { udp_streams: 10, udp_datagrams: 1000, tcp_streams: 5, tcp_segments: 50 },
-                stage1: rtc_filter::StageStats { udp_streams: 3, udp_datagrams: 30, tcp_streams: 2, tcp_segments: 20 },
-                stage2: rtc_filter::StageStats { udp_streams: 2, udp_datagrams: 20, tcp_streams: 1, tcp_segments: 10 },
+                raw: rtc_filter::StageStats {
+                    udp_streams: 10,
+                    udp_datagrams: 1000,
+                    tcp_streams: 5,
+                    tcp_segments: 50,
+                },
+                stage1: rtc_filter::StageStats {
+                    udp_streams: 3,
+                    udp_datagrams: 30,
+                    tcp_streams: 2,
+                    tcp_segments: 20,
+                },
+                stage2: rtc_filter::StageStats {
+                    udp_streams: 2,
+                    udp_datagrams: 20,
+                    tcp_streams: 1,
+                    tcp_segments: 10,
+                },
                 rtc: rtc_filter::StageStats { udp_streams: 5, udp_datagrams: 950, tcp_streams: 2, tcp_segments: 20 },
                 classes: (1, 900, 99),
                 checked: CheckedCall {

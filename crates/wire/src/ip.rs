@@ -164,14 +164,12 @@ pub fn build_ethernet_packet(tuple: &FiveTuple, payload: &[u8], tcp_seq: u32) ->
         Transport::Tcp => build_tcp(tuple.src.port(), tuple.dst.port(), tcp_seq, payload),
     };
     let (ethertype, ip_bytes) = match (tuple.src.ip(), tuple.dst.ip()) {
-        (IpAddr::V4(s), IpAddr::V4(d)) => (
-            ETHERTYPE_IPV4,
-            build_ipv4(s, d, tuple.transport.protocol_number(), &transport_bytes),
-        ),
-        (IpAddr::V6(s), IpAddr::V6(d)) => (
-            ETHERTYPE_IPV6,
-            build_ipv6(s, d, tuple.transport.protocol_number(), &transport_bytes),
-        ),
+        (IpAddr::V4(s), IpAddr::V4(d)) => {
+            (ETHERTYPE_IPV4, build_ipv4(s, d, tuple.transport.protocol_number(), &transport_bytes))
+        }
+        (IpAddr::V6(s), IpAddr::V6(d)) => {
+            (ETHERTYPE_IPV6, build_ipv6(s, d, tuple.transport.protocol_number(), &transport_bytes))
+        }
         _ => panic!("mixed address families in one tuple"),
     };
     let mut out = Vec::with_capacity(ETHERNET_HEADER_LEN + ip_bytes.len());
@@ -316,12 +314,7 @@ fn parse_ipv6_packet(ip: &[u8]) -> Result<ParsedPacket<'_>> {
     s.copy_from_slice(&ip[8..24]);
     let mut d = [0u8; 16];
     d.copy_from_slice(&ip[24..40]);
-    parse_transport(
-        Ipv6Addr::from(s).into(),
-        Ipv6Addr::from(d).into(),
-        next_header,
-        &ip[40..40 + payload_len],
-    )
+    parse_transport(Ipv6Addr::from(s).into(), Ipv6Addr::from(d).into(), next_header, &ip[40..40 + payload_len])
 }
 
 fn parse_transport(src: IpAddr, dst: IpAddr, protocol: u8, seg: &[u8]) -> Result<ParsedPacket<'_>> {

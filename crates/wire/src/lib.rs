@@ -129,9 +129,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(Error::Truncated.to_string(), "buffer truncated");
-        assert_eq!(
-            Error::Malformed("version").to_string(),
-            "malformed field: version"
-        );
+        assert_eq!(Error::Malformed("version").to_string(), "malformed field: version");
     }
 }

@@ -68,24 +68,45 @@ pub struct LongHeader {
     pub header_len: usize,
 }
 
-impl LongHeader {
-    /// Parse a long header from the start of `buf`.
+/// A parsed QUIC long header whose connection IDs borrow from the packet
+/// buffer — the allocation-free variant of [`LongHeader`] used on hot paths
+/// (the DPI probes every payload offset and must not allocate per attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LongHeaderRef<'a> {
+    /// The fixed bit (must be 1 in compliant packets; RFC 9000 §17.2).
+    pub fixed_bit: bool,
+    /// The long packet type.
+    pub long_type: LongType,
+    /// The low 4 type-specific bits of the first byte.
+    pub type_specific: u8,
+    /// The version field.
+    pub version: u32,
+    /// Destination connection ID, borrowed from the buffer.
+    pub dcid: &'a [u8],
+    /// Source connection ID, borrowed from the buffer.
+    pub scid: &'a [u8],
+    /// Offset of the first byte after the SCID (version-specific payload).
+    pub header_len: usize,
+}
+
+impl<'a> LongHeaderRef<'a> {
+    /// Parse a long header from the start of `buf` without allocating.
     ///
     /// Fails if the form bit is 0 (that is a short header) or the buffer is
     /// truncated. Accepts any version and CID lengths up to 255 so the
     /// compliance layer can judge them, but rejects CIDs that overrun the
     /// buffer.
-    pub fn parse(buf: &[u8]) -> Result<LongHeader> {
+    pub fn parse(buf: &'a [u8]) -> Result<LongHeaderRef<'a>> {
         let b0 = field::u8_at(buf, 0)?;
         if b0 & 0x80 == 0 {
             return Err(Error::Malformed("not a long header"));
         }
         let version = field::u32_at(buf, 1)?;
         let dcid_len = field::u8_at(buf, 5)? as usize;
-        let dcid = field::slice_at(buf, 6, dcid_len)?.to_vec();
+        let dcid = field::slice_at(buf, 6, dcid_len)?;
         let scid_len = field::u8_at(buf, 6 + dcid_len)? as usize;
-        let scid = field::slice_at(buf, 7 + dcid_len, scid_len)?.to_vec();
-        Ok(LongHeader {
+        let scid = field::slice_at(buf, 7 + dcid_len, scid_len)?;
+        Ok(LongHeaderRef {
             fixed_bit: b0 & 0x40 != 0,
             long_type: LongType::from_bits((b0 >> 4) & 0b11),
             type_specific: b0 & 0x0F,
@@ -94,6 +115,31 @@ impl LongHeader {
             scid,
             header_len: 7 + dcid_len + scid_len,
         })
+    }
+
+    /// Convert to the owning form.
+    pub fn to_owned(&self) -> LongHeader {
+        LongHeader {
+            fixed_bit: self.fixed_bit,
+            long_type: self.long_type,
+            type_specific: self.type_specific,
+            version: self.version,
+            dcid: self.dcid.to_vec(),
+            scid: self.scid.to_vec(),
+            header_len: self.header_len,
+        }
+    }
+}
+
+impl LongHeader {
+    /// Parse a long header from the start of `buf`.
+    ///
+    /// Fails if the form bit is 0 (that is a short header) or the buffer is
+    /// truncated. Accepts any version and CID lengths up to 255 so the
+    /// compliance layer can judge them, but rejects CIDs that overrun the
+    /// buffer.
+    pub fn parse(buf: &[u8]) -> Result<LongHeader> {
+        LongHeaderRef::parse(buf).map(|h| h.to_owned())
     }
 
     /// Serialize the header (invariant part only; payload appended by caller).
@@ -136,12 +182,7 @@ impl ShortHeader {
             return Err(Error::Malformed("not a short header"));
         }
         let dcid = field::slice_at(buf, 1, dcid_len)?.to_vec();
-        Ok(ShortHeader {
-            fixed_bit: b0 & 0x40 != 0,
-            spin: b0 & 0x20 != 0,
-            dcid,
-            header_len: 1 + dcid_len,
-        })
+        Ok(ShortHeader { fixed_bit: b0 & 0x40 != 0, spin: b0 & 0x20 != 0, dcid, header_len: 1 + dcid_len })
     }
 
     /// Serialize the header (payload appended by caller).
@@ -252,6 +293,27 @@ mod tests {
         assert!(matches!(Header::parse(&long, 1).unwrap(), Header::Long(_)));
         let short = ShortHeader { fixed_bit: true, spin: false, dcid: vec![1], header_len: 0 }.build();
         assert!(matches!(Header::parse(&short, 1).unwrap(), Header::Short(_)));
+    }
+
+    #[test]
+    fn borrowed_long_parse_matches_owned() {
+        let mut bytes = LongHeader {
+            fixed_bit: true,
+            long_type: LongType::Handshake,
+            type_specific: 0x5,
+            version: VERSION_2,
+            dcid: vec![1, 2, 3, 4, 5],
+            scid: vec![6, 7],
+            header_len: 0,
+        }
+        .build();
+        bytes.extend_from_slice(&[0x42; 24]);
+        let by_ref = LongHeaderRef::parse(&bytes).unwrap();
+        let owned = LongHeader::parse(&bytes).unwrap();
+        assert_eq!(by_ref.to_owned(), owned);
+        assert_eq!(by_ref.dcid, &owned.dcid[..]);
+        assert_eq!(by_ref.scid, &owned.scid[..]);
+        assert_eq!(by_ref.header_len, owned.header_len);
     }
 
     #[test]

@@ -183,11 +183,8 @@ impl ReportBlock {
             return Err(Error::Truncated);
         }
         let cum_raw = u32::from_be_bytes([0, buf[5], buf[6], buf[7]]);
-        let cumulative_lost = if cum_raw & 0x0080_0000 != 0 {
-            (cum_raw | 0xFF00_0000) as i32
-        } else {
-            cum_raw as i32
-        };
+        let cumulative_lost =
+            if cum_raw & 0x0080_0000 != 0 { (cum_raw | 0xFF00_0000) as i32 } else { cum_raw as i32 };
         Ok(ReportBlock {
             ssrc: field::u32_at(buf, 0)?,
             fraction_lost: buf[4],
@@ -413,12 +410,7 @@ impl App {
         let name_slice = field::slice_at(b, 4, 4)?;
         let mut name = [0u8; 4];
         name.copy_from_slice(name_slice);
-        Ok(App {
-            subtype: packet.count(),
-            ssrc: field::u32_at(b, 0)?,
-            name,
-            data: b[8..].to_vec(),
-        })
+        Ok(App { subtype: packet.count(), ssrc: field::u32_at(b, 0)?, name, data: b[8..].to_vec() })
     }
 
     /// Serialize as a complete RTCP packet. `data` must be a 4-byte multiple.
@@ -506,7 +498,7 @@ impl Feedback {
 
 /// Serialize a raw RTCP packet from header fields and a 4-byte-aligned body.
 pub fn build_raw(count: u8, packet_type: u8, body: &[u8]) -> Vec<u8> {
-    debug_assert!(body.len() % 4 == 0, "rtcp body must be 32-bit aligned");
+    debug_assert!(body.len().is_multiple_of(4), "rtcp body must be 32-bit aligned");
     let mut out = Vec::with_capacity(4 + body.len());
     out.push((2 << 6) | (count & 0x1F));
     out.push(packet_type);
@@ -548,11 +540,7 @@ impl SrtcpTrailer {
         }
         let base = trailer.len() - 4 - auth_tag_len;
         let word = field::u32_at(trailer, base)?;
-        Ok(SrtcpTrailer {
-            encrypted: word & 0x8000_0000 != 0,
-            index: word & 0x7FFF_FFFF,
-            auth_tag_len,
-        })
+        Ok(SrtcpTrailer { encrypted: word & 0x8000_0000 != 0, index: word & 0x7FFF_FFFF, auth_tag_len })
     }
 
     /// Serialize the trailer, deriving `auth_tag_len` pseudorandom tag
@@ -628,12 +616,8 @@ mod tests {
 
     #[test]
     fn sdes_roundtrip() {
-        let sdes = Sdes {
-            chunks: vec![SdesChunk {
-                ssrc: 99,
-                items: vec![(sdes_item::CNAME, b"user@host".to_vec())],
-            }],
-        };
+        let sdes =
+            Sdes { chunks: vec![SdesChunk { ssrc: 99, items: vec![(sdes_item::CNAME, b"user@host".to_vec())] }] };
         let bytes = sdes.build();
         let p = Packet::new_checked(&bytes).unwrap();
         assert_eq!(p.packet_type(), packet_type::SDES);
@@ -698,10 +682,7 @@ mod tests {
         }
         .build();
         dgram.extend_from_slice(
-            &Sdes {
-                chunks: vec![SdesChunk { ssrc: 1, items: vec![(sdes_item::CNAME, b"x".to_vec())] }],
-            }
-            .build(),
+            &Sdes { chunks: vec![SdesChunk { ssrc: 1, items: vec![(sdes_item::CNAME, b"x".to_vec())] }] }.build(),
         );
         // Discord-style 3-byte proprietary trailer (paper §5.3).
         dgram.extend_from_slice(&[0x00, 0x2A, 0x80]);

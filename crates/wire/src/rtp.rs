@@ -43,9 +43,9 @@ impl<'a> Packet<'a> {
     /// Parse an RTP packet spanning all of `buf`.
     ///
     /// Unlike STUN, RTP has no length field: the packet is delimited by the
-    /// datagram, so the caller decides the extent. Checks: version 2, header
-    /// + CSRC list + declared extension fit in the buffer, and (when the
-    /// padding bit is set) a sane padding trailer.
+    /// datagram, so the caller decides the extent. Checks: version 2,
+    /// header plus CSRC list plus declared extension fit in the buffer,
+    /// and (when the padding bit is set) a sane padding trailer.
     pub fn new_checked(buf: &'a [u8]) -> Result<Packet<'a>> {
         if buf.len() < MIN_HEADER_LEN {
             return Err(Error::Truncated);
@@ -140,10 +140,7 @@ impl<'a> Packet<'a> {
         let o = MIN_HEADER_LEN + 4 * self.csrc_count();
         let profile = u16::from_be_bytes([self.buf[o], self.buf[o + 1]]);
         let words = u16::from_be_bytes([self.buf[o + 2], self.buf[o + 3]]) as usize;
-        Some(Extension {
-            profile,
-            data: &self.buf[o + 4..o + 4 + 4 * words],
-        })
+        Some(Extension { profile, data: &self.buf[o + 4..o + 4 + 4 * words] })
     }
 
     /// Offset of the payload within the packet.
@@ -243,11 +240,7 @@ impl<'a> Extension<'a> {
             let len_field = b & 0x0F;
             let data_len = len_field as usize + 1;
             let end = (i + 1 + data_len).min(self.data.len());
-            out.push(ExtElement {
-                id,
-                wire_len: len_field,
-                data: &self.data[i + 1..end],
-            });
+            out.push(ExtElement { id, wire_len: len_field, data: &self.data[i + 1..end] });
             i += 1 + data_len;
         }
         out
@@ -265,11 +258,7 @@ impl<'a> Extension<'a> {
             }
             let len = self.data[i + 1] as usize;
             let end = (i + 2 + len).min(self.data.len());
-            out.push(ExtElement {
-                id,
-                wire_len: len as u8,
-                data: &self.data[i + 2..end],
-            });
+            out.push(ExtElement { id, wire_len: len as u8, data: &self.data[i + 2..end] });
             i += 2 + len;
         }
         out
@@ -422,11 +411,8 @@ mod tests {
 
     #[test]
     fn csrc_list_roundtrip() {
-        let bytes = PacketBuilder::new(96, 1, 2, 3)
-            .csrc(0xAAAA_0001)
-            .csrc(0xAAAA_0002)
-            .payload(vec![1, 2, 3])
-            .build();
+        let bytes =
+            PacketBuilder::new(96, 1, 2, 3).csrc(0xAAAA_0001).csrc(0xAAAA_0002).payload(vec![1, 2, 3]).build();
         let p = Packet::new_checked(&bytes).unwrap();
         assert_eq!(p.csrc_count(), 2);
         assert_eq!(p.csrcs().collect::<Vec<_>>(), vec![0xAAAA_0001, 0xAAAA_0002]);
@@ -459,10 +445,7 @@ mod tests {
         let mut data = Vec::new();
         data.push(0x02); // id 0, len field 2 → 3 data bytes
         data.extend_from_slice(&[1, 2, 3]);
-        let bytes = PacketBuilder::new(120, 1, 2, 3)
-            .extension(ONE_BYTE_PROFILE, data)
-            .payload(vec![0; 4])
-            .build();
+        let bytes = PacketBuilder::new(120, 1, 2, 3).extension(ONE_BYTE_PROFILE, data).payload(vec![0; 4]).build();
         let p = Packet::new_checked(&bytes).unwrap();
         let els = p.extension().unwrap().one_byte_elements();
         assert_eq!(els.len(), 1);
@@ -510,10 +493,7 @@ mod tests {
         data.push(2);
         data.extend_from_slice(&[0x11, 0x22]);
         data.push(0); // padding
-        let bytes = PacketBuilder::new(96, 1, 2, 3)
-            .extension(0x1000, data)
-            .payload(vec![1])
-            .build();
+        let bytes = PacketBuilder::new(96, 1, 2, 3).extension(0x1000, data).payload(vec![1]).build();
         let p = Packet::new_checked(&bytes).unwrap();
         let ext = p.extension().unwrap();
         assert!(ext.is_two_byte_form());
@@ -543,9 +523,7 @@ mod tests {
 
     #[test]
     fn rejects_truncated_extension() {
-        let mut bytes = PacketBuilder::new(96, 1, 2, 3)
-            .extension(ONE_BYTE_PROFILE, vec![0x10, 0xAA, 0, 0])
-            .build();
+        let mut bytes = PacketBuilder::new(96, 1, 2, 3).extension(ONE_BYTE_PROFILE, vec![0x10, 0xAA, 0, 0]).build();
         // Inflate the declared extension length beyond the buffer.
         bytes[14] = 0xFF;
         bytes[15] = 0xFF;
@@ -564,9 +542,7 @@ mod tests {
     #[test]
     fn zoom_runt_rtp_message() {
         // Zoom's 7-byte-payload PT-110 runt (paper §5.3) is structurally valid.
-        let bytes = PacketBuilder::new(110, 900, 0x0101_0101, 0x0100_1401)
-            .payload(vec![0u8; 7])
-            .build();
+        let bytes = PacketBuilder::new(110, 900, 0x0101_0101, 0x0100_1401).payload(vec![0u8; 7]).build();
         let p = Packet::new_checked(&bytes).unwrap();
         assert_eq!(p.payload_type(), 110);
         assert_eq!(p.payload().len(), 7);

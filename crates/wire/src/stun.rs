@@ -298,7 +298,7 @@ impl<'a> Message<'a> {
             return Err(Error::Malformed("stun type top bits"));
         }
         let length = field::u16_at(buf, 2)? as usize;
-        if length % 4 != 0 {
+        if !length.is_multiple_of(4) {
             return Err(Error::Malformed("stun length alignment"));
         }
         if buf.len() < HEADER_LEN + length {
@@ -357,10 +357,7 @@ impl<'a> Message<'a> {
 
     /// Iterate over the TLV attributes in declaration order.
     pub fn attributes(&self) -> AttributeIter<'a> {
-        AttributeIter {
-            buf: &self.buf[HEADER_LEN..HEADER_LEN + self.declared_length()],
-            offset: 0,
-        }
+        AttributeIter { buf: &self.buf[HEADER_LEN..HEADER_LEN + self.declared_length()], offset: 0 }
     }
 
     /// Find the first attribute with the given type.
@@ -500,12 +497,8 @@ impl MessageBuilder {
     }
 
     fn serialize(&self, extra_len: usize) -> Vec<u8> {
-        let attrs_len: usize = self
-            .attributes
-            .iter()
-            .map(|(_, v)| 4 + v.len() + (4 - v.len() % 4) % 4)
-            .sum::<usize>()
-            + extra_len;
+        let attrs_len: usize =
+            self.attributes.iter().map(|(_, v)| 4 + v.len() + (4 - v.len() % 4) % 4).sum::<usize>() + extra_len;
         let mut out = Vec::with_capacity(HEADER_LEN + attrs_len);
         out.extend_from_slice(&self.message_type.to_be_bytes());
         out.extend_from_slice(&(attrs_len as u16).to_be_bytes());
@@ -518,9 +511,7 @@ impl MessageBuilder {
             out.extend_from_slice(&typ.to_be_bytes());
             out.extend_from_slice(&(value.len() as u16).to_be_bytes());
             out.extend_from_slice(value);
-            for _ in 0..(4 - value.len() % 4) % 4 {
-                out.push(0);
-            }
+            out.extend(std::iter::repeat_n(0u8, (4 - value.len() % 4) % 4));
         }
         out
     }
@@ -755,10 +746,7 @@ mod tests {
     fn rejects_top_type_bits() {
         let mut bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0)).build();
         bytes[0] = 0x80; // looks like RTP/ChannelData, not STUN
-        assert_eq!(
-            Message::new_checked(&bytes).err(),
-            Some(Error::Malformed("stun type top bits"))
-        );
+        assert_eq!(Message::new_checked(&bytes).err(), Some(Error::Malformed("stun type top bits")));
     }
 
     #[test]
@@ -775,10 +763,7 @@ mod tests {
         let bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0))
             .attribute(attr::SOFTWARE, b"abcd".to_vec())
             .build();
-        assert_eq!(
-            Message::new_checked(&bytes[..bytes.len() - 1]).err(),
-            Some(Error::Truncated)
-        );
+        assert_eq!(Message::new_checked(&bytes[..bytes.len() - 1]).err(), Some(Error::Truncated));
     }
 
     #[test]
@@ -794,9 +779,8 @@ mod tests {
     #[test]
     fn attribute_overrun_yields_error() {
         // Declared length 8, but the attribute claims a 32-byte value.
-        let mut bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0))
-            .attribute(attr::SOFTWARE, vec![0u8; 4])
-            .build();
+        let mut bytes =
+            MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0)).attribute(attr::SOFTWARE, vec![0u8; 4]).build();
         bytes[HEADER_LEN + 3] = 32;
         let msg = Message::new_checked(&bytes).unwrap();
         let results: Vec<_> = msg.attributes().collect();

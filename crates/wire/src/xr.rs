@@ -145,7 +145,7 @@ impl Xr {
                 block_type::RECEIVER_REFERENCE_TIME if words == 2 => {
                     Block::ReceiverReferenceTime { ntp_timestamp: field::u64_at(data, 0)? }
                 }
-                block_type::DLRR if words % 3 == 0 => {
+                block_type::DLRR if words.is_multiple_of(3) => {
                     let mut sub_blocks = Vec::new();
                     for i in 0..words / 3 {
                         sub_blocks.push((
@@ -200,10 +200,7 @@ mod tests {
 
     #[test]
     fn dlrr_roundtrip() {
-        let xr = Xr {
-            ssrc: 9,
-            blocks: vec![Block::Dlrr { sub_blocks: vec![(1, 2, 3), (4, 5, 6)] }],
-        };
+        let xr = Xr { ssrc: 9, blocks: vec![Block::Dlrr { sub_blocks: vec![(1, 2, 3), (4, 5, 6)] }] };
         let p_bytes = xr.build();
         let parsed = Xr::parse(&Packet::new_checked(&p_bytes).unwrap()).unwrap();
         assert_eq!(parsed, xr);
@@ -249,9 +246,8 @@ mod tests {
         let p = Packet::new_checked(&bytes);
         // The packet-level length no longer matches: either the checked
         // parse or the block walk must fail.
-        match p {
-            Ok(p) => assert!(Xr::parse(&p).is_err()),
-            Err(_) => {}
+        if let Ok(p) = p {
+            assert!(Xr::parse(&p).is_err());
         }
     }
 

@@ -13,7 +13,7 @@
 use rtc_core::apps::Application;
 use rtc_core::netemu::NetworkConfig;
 use rtc_core::pcap::Timestamp;
-use rtc_core::{StudyConfig};
+use rtc_core::StudyConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,12 +29,7 @@ fn main() {
         };
         (std::path::PathBuf::from(p), window)
     } else {
-        let cap = rtc_core::capture::run_call(
-            &config.experiment,
-            Application::Zoom,
-            NetworkConfig::WifiRelay,
-            0,
-        );
+        let cap = rtc_core::capture::run_call(&config.experiment, Application::Zoom, NetworkConfig::WifiRelay, 0);
         let path = std::path::PathBuf::from("target/demo_zoom.pcap");
         rtc_core::pcap::write_file(&path, &cap.trace).expect("write pcap");
         println!("wrote demo capture to {}", path.display());
@@ -48,10 +43,9 @@ fn main() {
     // Filter if a call window is known; otherwise analyze everything.
     let rtc_udp = match window {
         Some(w) => rtc_core::filter::run(&datagrams, w, &config.filter).rtc_udp_datagrams(),
-        None => datagrams
-            .into_iter()
-            .filter(|d| d.five_tuple.transport == rtc_core::wire::ip::Transport::Udp)
-            .collect(),
+        None => {
+            datagrams.into_iter().filter(|d| d.five_tuple.transport == rtc_core::wire::ip::Transport::Udp).collect()
+        }
     };
     println!("analyzing {} RTC UDP datagrams", rtc_udp.len());
 

@@ -16,10 +16,7 @@ fn main() {
 
     let mut config = StudyConfig::paper_matrix(call_secs, scale, seed);
     config.experiment.repeats = repeats;
-    eprintln!(
-        "running {} calls ({call_secs}s each at scale {scale}) ...",
-        config.experiment.total_calls()
-    );
+    eprintln!("running {} calls ({call_secs}s each at scale {scale}) ...", config.experiment.total_calls());
     let t0 = std::time::Instant::now();
     let report = Study::run(&config);
     eprintln!("done in {:.1?}s", t0.elapsed());

@@ -34,7 +34,10 @@ fn main() {
 
     println!("Per-application quirk inventory:");
     for (app, bad, prop, score) in &quirks {
-        println!("  {app:<12} {bad:>2} non-compliant types, {:>5.1}% proprietary datagrams -> burden {score:.1}", prop * 100.0);
+        println!(
+            "  {app:<12} {bad:>2} non-compliant types, {:>5.1}% proprietary datagrams -> burden {score:.1}",
+            prop * 100.0
+        );
     }
 
     println!("\nPairwise adaptation burden (row + column quirks):");

@@ -33,12 +33,7 @@ fn main() {
             }
         }
         let dropped: usize = report.dropped.values().sum();
-        let residue = report
-            .dropped
-            .iter()
-            .map(|(k, v)| format!("{k}: {v}"))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let residue = report.dropped.iter().map(|(k, v)| format!("{k}: {v}")).collect::<Vec<_>>().join(", ");
         println!(
             "{:<12} {:>8} {:>11} {:>9} {:>12.1}%  {}",
             app.name(),

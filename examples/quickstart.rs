@@ -14,12 +14,7 @@ fn main() {
 
     // 1. Place one 30-second emulated call (caller, callee, relay servers,
     //    background noise — everything a capture would contain).
-    let capture = rtc_core::capture::run_call(
-        &config.experiment,
-        Application::WhatsApp,
-        NetworkConfig::WifiP2p,
-        0,
-    );
+    let capture = rtc_core::capture::run_call(&config.experiment, Application::WhatsApp, NetworkConfig::WifiP2p, 0);
     println!(
         "captured {} link-layer records ({} bytes) for a {}s call window",
         capture.trace.records.len(),

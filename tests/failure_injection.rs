@@ -67,11 +67,7 @@ fn truncated_datagram_payloads_never_panic_dpi() {
         .iter()
         .map(|d| {
             let keep = d.payload.len() / 2;
-            rtc_core::pcap::trace::Datagram {
-                ts: d.ts,
-                five_tuple: d.five_tuple,
-                payload: d.payload.slice(..keep),
-            }
+            rtc_core::pcap::trace::Datagram { ts: d.ts, five_tuple: d.five_tuple, payload: d.payload.slice(..keep) }
         })
         .collect();
     let dis = rtc_core::dpi::dissect_call(&truncated, &rtc_core::dpi::DpiConfig::default());
@@ -112,10 +108,7 @@ fn malformed_stun_attribute_walks_are_contained() {
     // And the DPI rejects the candidate outright (TLV walk fails).
     let d = rtc_core::pcap::trace::Datagram {
         ts: pcap::Timestamp::ZERO,
-        five_tuple: rtc_core::wire::ip::FiveTuple::udp(
-            "10.0.0.1:1".parse().unwrap(),
-            "1.2.3.4:2".parse().unwrap(),
-        ),
+        five_tuple: rtc_core::wire::ip::FiveTuple::udp("10.0.0.1:1".parse().unwrap(), "1.2.3.4:2".parse().unwrap()),
         payload: bytes.into(),
     };
     let dis = rtc_core::dpi::dissect_call(std::slice::from_ref(&d), &rtc_core::dpi::DpiConfig::default());

@@ -25,10 +25,7 @@ fn study() -> &'static StudyReport {
 fn protocol_subsets_match_summary_finding_1() {
     let data = &study().data;
     let protocols_of = |app: &str| -> Vec<Protocol> {
-        Protocol::ALL
-            .into_iter()
-            .filter(|p| data.messages_of(app).any(|m| m.protocol == *p))
-            .collect()
+        Protocol::ALL.into_iter().filter(|p| data.messages_of(app).any(|m| m.protocol == *p)).collect()
     };
     use Protocol::*;
     assert_eq!(protocols_of("Zoom"), vec![StunTurn, Rtp, Rtcp]);
@@ -190,24 +187,47 @@ fn table4_inventories() {
 
     let (ok, bad) = stun_types("WhatsApp");
     assert_eq!(ok, vec!["0x0001"]);
-    assert_eq!(
-        bad,
-        vec!["0x0003", "0x0101", "0x0103", "0x0800", "0x0801", "0x0802", "0x0803", "0x0804", "0x0805"]
-    );
+    assert_eq!(bad, vec!["0x0003", "0x0101", "0x0103", "0x0800", "0x0801", "0x0802", "0x0803", "0x0804", "0x0805"]);
 
     let (ok, bad) = stun_types("Messenger");
     assert_eq!(
         ok,
-        vec!["0x0004", "0x0008", "0x0009", "0x0016", "0x0017", "0x0104", "0x0108", "0x0109", "0x0113",
-             "0x0118", "ChannelData"]
+        vec![
+            "0x0004",
+            "0x0008",
+            "0x0009",
+            "0x0016",
+            "0x0017",
+            "0x0104",
+            "0x0108",
+            "0x0109",
+            "0x0113",
+            "0x0118",
+            "ChannelData"
+        ]
     );
     assert_eq!(bad, vec!["0x0001", "0x0003", "0x0101", "0x0103", "0x0800", "0x0801", "0x0802"]);
 
     let (ok, bad) = stun_types("Google Meet");
     assert_eq!(
         ok,
-        vec!["0x0001", "0x0004", "0x0008", "0x0009", "0x0016", "0x0017", "0x0101", "0x0103", "0x0104",
-             "0x0108", "0x0109", "0x0113", "0x0200", "0x0300", "ChannelData"]
+        vec![
+            "0x0001",
+            "0x0004",
+            "0x0008",
+            "0x0009",
+            "0x0016",
+            "0x0017",
+            "0x0101",
+            "0x0103",
+            "0x0104",
+            "0x0108",
+            "0x0109",
+            "0x0113",
+            "0x0200",
+            "0x0300",
+            "ChannelData"
+        ]
     );
     assert_eq!(bad, vec!["0x0003"], "only the Allocate ping-pong requests");
 }
@@ -242,10 +262,7 @@ fn table6_inventories() {
     let data = &study().data;
     let lists = |app: &str| {
         let (ok, bad) = data.app_type_lists(app, Protocol::Rtcp);
-        (
-            ok.iter().map(|k| k.to_string()).collect::<Vec<_>>(),
-            bad.iter().map(|k| k.to_string()).collect::<Vec<_>>(),
-        )
+        (ok.iter().map(|k| k.to_string()).collect::<Vec<_>>(), bad.iter().map(|k| k.to_string()).collect::<Vec<_>>())
     };
     assert_eq!(lists("Zoom"), (vec!["200".into(), "202".into()], vec![]));
     assert_eq!(lists("WhatsApp"), (vec!["200".into(), "202".into(), "205".into(), "206".into()], vec![]));
@@ -256,7 +273,10 @@ fn table6_inventories() {
     );
     assert_eq!(
         lists("Google Meet"),
-        (vec![], vec!["200".into(), "201".into(), "202".into(), "204".into(), "205".into(), "206".into(), "207".into()])
+        (
+            vec![],
+            vec!["200".into(), "201".into(), "202".into(), "204".into(), "205".into(), "206".into(), "207".into()]
+        )
     );
 }
 
@@ -268,9 +288,7 @@ fn table6_inventories() {
 fn behavioral_findings_match_section_5_3() {
     use rtc_core::compliance::findings::FindingKind;
     let findings = &study().findings;
-    let has = |app: &str, kind: FindingKind| {
-        findings.get(app).map_or(false, |fs| fs.iter().any(|f| f.kind == kind))
-    };
+    let has = |app: &str, kind: FindingKind| findings.get(app).is_some_and(|fs| fs.iter().any(|f| f.kind == kind));
     // Zoom: filler bursts, double-RTP datagrams, deterministic SSRCs.
     assert!(has("Zoom", FindingKind::FillerDatagrams));
     assert!(has("Zoom", FindingKind::DoubleRtpDatagrams));

@@ -31,14 +31,8 @@ fn filtering_keeps_media_and_removes_noise() {
             // TCP is a negligible fraction, as in the paper (§3.3).
             assert!(r.rtc.tcp_segments < r.rtc.udp_datagrams / 20, "{app:?}/{network}");
             // Conservation: every stream lands in exactly one bucket.
-            assert_eq!(
-                r.raw.udp_streams,
-                r.stage1.udp_streams + r.stage2.udp_streams + r.rtc.udp_streams
-            );
-            assert_eq!(
-                r.raw.tcp_streams,
-                r.stage1.tcp_streams + r.stage2.tcp_streams + r.rtc.tcp_streams
-            );
+            assert_eq!(r.raw.udp_streams, r.stage1.udp_streams + r.stage2.udp_streams + r.rtc.udp_streams);
+            assert_eq!(r.raw.tcp_streams, r.stage1.tcp_streams + r.stage2.tcp_streams + r.rtc.tcp_streams);
         }
     }
 }
@@ -119,10 +113,8 @@ fn dpi_offset_limit_reproduces_k200_claim() {
     let rtc_udp = fr.rtc_udp_datagrams();
 
     let count = |k: usize| {
-        let d = rtc_core::dpi::dissect_call(
-            &rtc_udp,
-            &rtc_core::dpi::DpiConfig { max_offset: k, ..Default::default() },
-        );
+        let d =
+            rtc_core::dpi::dissect_call(&rtc_udp, &rtc_core::dpi::DpiConfig { max_offset: k, ..Default::default() });
         d.datagrams.iter().map(|x| x.messages.len()).sum::<usize>()
     };
     let k200 = count(200);
@@ -153,10 +145,7 @@ fn derived_blocklist_reproduces_builtin_filtering() {
     let cap = rtc_core::capture::run_call(&config.experiment, Application::WhatsApp, NetworkConfig::WifiP2p, 0);
     let datagrams = cap.trace.datagrams();
     let with_builtin = rtc_core::filter::run(&datagrams, cap.manifest.call_window(), &config.filter);
-    let derived_cfg = rtc_core::filter::FilterConfig {
-        sni_blocklist: derived,
-        ..Default::default()
-    };
+    let derived_cfg = rtc_core::filter::FilterConfig { sni_blocklist: derived, ..Default::default() };
     let with_derived = rtc_core::filter::run(&datagrams, cap.manifest.call_window(), &derived_cfg);
     assert_eq!(with_builtin.rtc.udp_datagrams, with_derived.rtc.udp_datagrams);
     assert_eq!(with_builtin.stage2.tcp_streams, with_derived.stage2.tcp_streams);

@@ -10,13 +10,11 @@ use rtc_core::pcap::Timestamp;
 use rtc_core::wire::ip::{FiveTuple, Transport};
 
 fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
-    (any::<[u8; 4]>(), 1..65_535u16, any::<[u8; 4]>(), 1..65_535u16, any::<bool>()).prop_map(
-        |(a, pa, b, pb, udp)| {
-            let src = std::net::SocketAddr::new(std::net::Ipv4Addr::from(a).into(), pa);
-            let dst = std::net::SocketAddr::new(std::net::Ipv4Addr::from(b).into(), pb);
-            FiveTuple { src, dst, transport: if udp { Transport::Udp } else { Transport::Tcp } }
-        },
-    )
+    (any::<[u8; 4]>(), 1..65_535u16, any::<[u8; 4]>(), 1..65_535u16, any::<bool>()).prop_map(|(a, pa, b, pb, udp)| {
+        let src = std::net::SocketAddr::new(std::net::Ipv4Addr::from(a).into(), pa);
+        let dst = std::net::SocketAddr::new(std::net::Ipv4Addr::from(b).into(), pb);
+        FiveTuple { src, dst, transport: if udp { Transport::Udp } else { Transport::Tcp } }
+    })
 }
 
 fn arb_datagram() -> impl Strategy<Value = Datagram> {

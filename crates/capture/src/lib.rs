@@ -240,6 +240,21 @@ pub fn load_experiment(dir: impl AsRef<std::path::Path>) -> std::io::Result<Vec<
             continue;
         }
         let manifest: CallManifest = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+        // Reject unknown slugs here, where the offending file is known —
+        // downstream accessors (`application()`, `network_config()`) would
+        // otherwise panic deep inside the analysis.
+        if Application::from_slug(&manifest.app).is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: unknown application slug {:?}", path.display(), manifest.app),
+            ));
+        }
+        if NetworkConfig::from_label(&manifest.network).is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: unknown network label {:?}", path.display(), manifest.network),
+            ));
+        }
         let pcap_path = path.with_extension("pcap");
         let trace = rtc_pcap::read_file(&pcap_path).map_err(|e| std::io::Error::other(e.to_string()))?;
         out.push(CallCapture { manifest, trace });
@@ -320,5 +335,24 @@ mod tests {
             let _ = b;
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_unknown_manifest_slugs() {
+        let c = tiny_config();
+        let cap = run_call(&c, Application::Zoom, NetworkConfig::WifiP2p, 0);
+        for (field, value) in [("app", "zoom-web"), ("network", "starlink")] {
+            let dir = std::env::temp_dir().join(format!("rtc-capture-slug-{}-{field}", std::process::id()));
+            let mut bad = cap.clone();
+            match field {
+                "app" => bad.manifest.app = value.into(),
+                _ => bad.manifest.network = value.into(),
+            }
+            save_experiment(&dir, &[bad]).unwrap();
+            let err = load_experiment(&dir).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains(value), "{err}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }

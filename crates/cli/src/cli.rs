@@ -271,6 +271,9 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
                 writeln!(out, "  {p}: {n} messages")?;
             }
             writeln!(out, "  fully proprietary datagrams: {fully}")?;
+            for (key, n) in &dissection.rejections {
+                writeln!(out, "  rejected as: {key} ({n} datagrams)")?;
+            }
             writeln!(
                 out,
                 "  volume compliance: {:.1}% over {} messages",

@@ -39,6 +39,7 @@ pub mod stun;
 use rtc_dpi::{CallDissection, CandidateKind, Protocol};
 use rtc_pcap::Timestamp;
 use rtc_wire::ip::FiveTuple;
+use rtc_wire::WireError;
 
 /// The five criteria, in evaluation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,12 +77,21 @@ pub struct Violation {
     pub criterion: Criterion,
     /// What exactly was violated.
     pub detail: String,
+    /// When the violation was a wire-grammar failure (the candidate no
+    /// longer parsed at judgment time), the underlying parse error —
+    /// carries protocol, offset, and reason for the report's taxonomy.
+    pub wire: Option<WireError>,
 }
 
 impl Violation {
     /// Construct a violation.
     pub fn new(criterion: Criterion, detail: impl Into<String>) -> Violation {
-        Violation { criterion, detail: detail.into() }
+        Violation { criterion, detail: detail.into(), wire: None }
+    }
+
+    /// Construct a violation from a wire-level parse error.
+    pub fn from_wire(criterion: Criterion, error: WireError) -> Violation {
+        Violation { criterion, detail: error.to_string(), wire: Some(error) }
     }
 }
 

@@ -14,9 +14,7 @@ pub fn check_quic(_dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Op
         CandidateKind::QuicLong { .. } => {
             let parsed = match LongHeader::parse(&msg.data) {
                 Ok(h) => h,
-                Err(e) => {
-                    return (TypeKey::QuicLong(0), Some(Violation::new(Criterion::HeaderFieldsValid, e.to_string())))
-                }
+                Err(e) => return (TypeKey::QuicLong(0), Some(Violation::from_wire(Criterion::HeaderFieldsValid, e))),
             };
             let key = TypeKey::QuicLong(parsed.long_type.bits());
             // Criterion 2: the fixed bit MUST be 1 (RFC 9000 §17.2) and
@@ -39,7 +37,7 @@ pub fn check_quic(_dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Op
             match ShortHeader::parse(&msg.data, 0) {
                 Ok(h) if h.fixed_bit => (key, None),
                 Ok(_) => (key, Some(Violation::new(Criterion::HeaderFieldsValid, "fixed bit is zero"))),
-                Err(e) => (key, Some(Violation::new(Criterion::HeaderFieldsValid, e.to_string()))),
+                Err(e) => (key, Some(Violation::from_wire(Criterion::HeaderFieldsValid, e))),
             }
         }
         _ => (TypeKey::QuicShort, Some(Violation::new(Criterion::HeaderFieldsValid, "not a QUIC candidate"))),

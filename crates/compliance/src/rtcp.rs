@@ -57,7 +57,7 @@ pub fn classify_trailer(trailing: &[u8]) -> TrailerKind {
 pub fn check_rtcp(dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Option<Violation>) {
     let parsed = match Packet::new_checked(&msg.data) {
         Ok(p) => p,
-        Err(e) => return (TypeKey::Rtcp(0), Some(Violation::new(Criterion::HeaderFieldsValid, e.to_string()))),
+        Err(e) => return (TypeKey::Rtcp(0), Some(Violation::from_wire(Criterion::HeaderFieldsValid, e))),
     };
     let pt = parsed.packet_type();
     let key = TypeKey::Rtcp(pt);

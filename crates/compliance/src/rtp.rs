@@ -16,7 +16,7 @@ use rtc_wire::rtp::Packet;
 pub fn check_rtp(_dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Option<Violation>) {
     let parsed = match Packet::new_checked(&msg.data) {
         Ok(p) => p,
-        Err(e) => return (TypeKey::Rtp(0), Some(Violation::new(Criterion::HeaderFieldsValid, e.to_string()))),
+        Err(e) => return (TypeKey::Rtp(0), Some(Violation::from_wire(Criterion::HeaderFieldsValid, e))),
     };
     let key = TypeKey::Rtp(parsed.payload_type());
 

@@ -14,7 +14,7 @@ pub fn check_stun(dgram: &DatagramDissection, msg: &DpiMessage, ctx: &CallContex
         Ok(m) => m,
         Err(e) => {
             // The DPI only emits parseable messages; guard anyway.
-            return (TypeKey::Stun(0), Some(Violation::new(Criterion::HeaderFieldsValid, e.to_string())));
+            return (TypeKey::Stun(0), Some(Violation::from_wire(Criterion::HeaderFieldsValid, e)));
         }
     };
     let message_type = parsed.message_type();
@@ -147,7 +147,7 @@ pub fn check_channeldata(dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeK
     let key = TypeKey::ChannelData;
     let parsed = match ChannelData::new_checked(&msg.data) {
         Ok(c) => c,
-        Err(e) => return (key, Some(Violation::new(Criterion::HeaderFieldsValid, e.to_string()))),
+        Err(e) => return (key, Some(Violation::from_wire(Criterion::HeaderFieldsValid, e))),
     };
     // Criterion 2: the channel number must fall in RFC 8656's range.
     if !ChannelData::CHANNEL_RANGE.contains(&parsed.channel_number()) {

@@ -1,0 +1,475 @@
+//! # rtc-conformance
+//!
+//! Malformed-input hardening for the study's parsing stack. The paper's
+//! methodology only works if the measurement tools themselves are robust:
+//! every capture byte reaches [`rtc_wire`]'s parsers, the DPI extractor
+//! and the compliance checkers, and a single panic poisons a whole call's
+//! analysis. This crate pins that robustness down two ways:
+//!
+//! * **Golden vectors** ([`vectors`]) — hand-built RFC edge-case packets
+//!   for the five protocols of the study (STUN/RFC 5389 padding and
+//!   fingerprint boundaries, TURN ChannelData/RFC 8656, RTP/RFC 3550
+//!   padding and RFC 8285 extensions, RTCP compound rules, QUIC long and
+//!   short headers) with the exact expected parse outcome, down to the
+//!   [`WireError`] offset and reason. Run by `tests/golden.rs`.
+//! * **Arbitrary-input harness** — pure-random byte strings and
+//!   structure-aware mutations of the golden vectors ([`mutate`], driven
+//!   by the deterministic [`SplitMix64`]) pushed through every parser,
+//!   the extractor at shifted offsets, the full dissect/check pipeline and
+//!   `rtc_filter::run`, asserting no panic and no out-of-bounds claim.
+//!   Run by `tests/fuzz.rs`; the case count scales with the
+//!   `RTC_CONFORMANCE_CASES` environment variable (CI runs a bounded
+//!   ~10k-case pass under the `fuzz` profile, which keeps release
+//!   optimizations but re-enables debug assertions and overflow checks).
+//!
+//! Every parser or filter bug flushed out by the harness gets fixed with a
+//! named regression vector in `tests/regressions.rs`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rtc_wire::quic::{LongHeader, LongType, ShortHeader, VERSION_1, VERSION_2};
+use rtc_wire::rtcp::{ReceiverReport, ReportBlock, SenderReport};
+use rtc_wire::rtp::PacketBuilder;
+use rtc_wire::stun::{ChannelData, MessageBuilder};
+use rtc_wire::{Result, WireError};
+
+/// Which checked parser a vector is fed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parser {
+    /// `stun::Message::new_checked` (STUN and TURN messages).
+    Stun,
+    /// `stun::ChannelData::new_checked` (TURN ChannelData framing).
+    ChannelData,
+    /// `rtp::Packet::new_checked`.
+    Rtp,
+    /// `rtcp::Packet::new_checked`.
+    Rtcp,
+    /// `quic::Header::parse` with an 8-byte short-header DCID.
+    Quic,
+}
+
+impl Parser {
+    /// Every parser, in vector-suite order.
+    pub const ALL: [Parser; 5] = [Parser::Stun, Parser::ChannelData, Parser::Rtp, Parser::Rtcp, Parser::Quic];
+
+    /// The DCID length assumed when parsing short QUIC headers (callers of
+    /// `ShortHeader::parse` supply it from connection state).
+    pub const SHORT_DCID_LEN: usize = 8;
+
+    /// Run the parser over `bytes`, discarding the parsed view.
+    pub fn parse(self, bytes: &[u8]) -> Result<()> {
+        match self {
+            Parser::Stun => rtc_wire::stun::Message::new_checked(bytes).map(drop),
+            Parser::ChannelData => ChannelData::new_checked(bytes).map(drop),
+            Parser::Rtp => rtc_wire::rtp::Packet::new_checked(bytes).map(drop),
+            Parser::Rtcp => rtc_wire::rtcp::Packet::new_checked(bytes).map(drop),
+            Parser::Quic => rtc_wire::quic::Header::parse(bytes, Parser::SHORT_DCID_LEN).map(drop),
+        }
+    }
+}
+
+/// The expected outcome of parsing a golden vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expect {
+    /// The parser accepts the bytes.
+    Accept,
+    /// The parser rejects the bytes with exactly this error.
+    Reject(WireError),
+}
+
+/// One golden vector: a named byte string with its expected outcome.
+#[derive(Debug, Clone)]
+pub struct Vector {
+    /// Stable name, referenced from test failures and regressions.
+    pub name: &'static str,
+    /// The parser the bytes are fed to.
+    pub parser: Parser,
+    /// The wire bytes.
+    pub bytes: Vec<u8>,
+    /// Expected parse outcome.
+    pub expect: Expect,
+}
+
+impl Vector {
+    fn accept(name: &'static str, parser: Parser, bytes: Vec<u8>) -> Vector {
+        Vector { name, parser, bytes, expect: Expect::Accept }
+    }
+
+    fn reject(name: &'static str, parser: Parser, bytes: Vec<u8>, error: WireError) -> Vector {
+        Vector { name, parser, bytes, expect: Expect::Reject(error) }
+    }
+}
+
+/// The golden-vector suite: RFC edge cases for all five protocols, each
+/// with at least two accepted and two rejected vectors.
+pub fn vectors() -> Vec<Vector> {
+    use rtc_wire::{WireError as E, WireProtocol as P};
+    let txid = [7u8; 12];
+    let mut v = Vec::new();
+
+    // ---- STUN (RFC 5389 §6, §15.5) ------------------------------------
+    v.push(Vector::accept("stun-binding-request", Parser::Stun, MessageBuilder::new(0x0001, txid).build()));
+    // A 5-byte attribute value forces 3 bytes of padding to the 4-byte
+    // attribute boundary; the declared length covers the padding.
+    v.push(Vector::accept(
+        "stun-attr-padded-to-boundary",
+        Parser::Stun,
+        MessageBuilder::new(0x0101, txid).attribute(0x8022, b"hello".to_vec()).build(),
+    ));
+    v.push(Vector::accept(
+        "stun-fingerprint",
+        Parser::Stun,
+        MessageBuilder::new(0x0001, txid).attribute(0x8022, b"rtc".to_vec()).build_with_fingerprint(),
+    ));
+    v.push(Vector::reject("stun-header-truncated", Parser::Stun, vec![0; 19], E::truncated(P::Stun, 19)));
+    v.push(Vector::reject(
+        "stun-type-top-bits",
+        Parser::Stun,
+        {
+            let mut b = MessageBuilder::new(0x0001, txid).build();
+            b[0] = 0x40;
+            b
+        },
+        E::malformed(P::Stun, 0, "type top bits"),
+    ));
+    v.push(Vector::reject(
+        "stun-length-unaligned",
+        Parser::Stun,
+        {
+            // Declared length 3 is not a multiple of 4 (RFC 5389 §6).
+            let mut b = MessageBuilder::new(0x0001, txid).build();
+            b[3] = 3;
+            b.extend_from_slice(&[0; 3]);
+            b
+        },
+        E::malformed(P::Stun, 2, "length alignment"),
+    ));
+    v.push(Vector::reject(
+        "stun-body-truncated",
+        Parser::Stun,
+        {
+            let mut b = MessageBuilder::new(0x0001, txid).build();
+            b[3] = 8; // declares 8 body bytes the buffer does not carry
+            b
+        },
+        E::truncated(P::Stun, 20),
+    ));
+
+    // ---- TURN ChannelData (RFC 8656 §12.4) -----------------------------
+    v.push(Vector::accept("channeldata-empty", Parser::ChannelData, ChannelData::build(0x4000, b"")));
+    v.push(Vector::accept("channeldata-top-channel", Parser::ChannelData, ChannelData::build(0x4FFF, b"relayed")));
+    v.push(Vector::reject(
+        "channeldata-demux-prefix",
+        Parser::ChannelData,
+        vec![0x3F, 0xFF, 0x00, 0x00], // channel 0x3FFF lacks the 0b01 prefix
+        E::malformed(P::Stun, 0, "channeldata demux prefix"),
+    ));
+    v.push(Vector::reject(
+        "channeldata-length-overrun",
+        Parser::ChannelData,
+        vec![0x40, 0x01, 0x00, 0x05, b'a', b'b'],
+        E::truncated(P::Stun, 6),
+    ));
+    v.push(Vector::reject("channeldata-truncated-header", Parser::ChannelData, vec![0x40], E::truncated(P::Stun, 1)));
+
+    // ---- RTP (RFC 3550 §5.1, RFC 8285) ---------------------------------
+    v.push(Vector::accept("rtp-minimal-header", Parser::Rtp, PacketBuilder::new(96, 1, 2, 3).build()));
+    v.push(Vector::accept(
+        "rtp-padding-trailer",
+        Parser::Rtp,
+        PacketBuilder::new(96, 1, 2, 3).payload(vec![0xAB; 8]).padding(4).build(),
+    ));
+    v.push(Vector::accept(
+        "rtp-one-byte-extension",
+        Parser::Rtp,
+        PacketBuilder::new(111, 4, 5, 6)
+            .one_byte_extension(&[(1, &[0x30]), (2, &[1, 2])])
+            .payload(vec![0; 20])
+            .build(),
+    ));
+    v.push(Vector::accept(
+        "rtp-two-byte-extension",
+        Parser::Rtp,
+        PacketBuilder::new(111, 4, 5, 6).two_byte_extension(0, &[(5, &[9; 17])]).payload(vec![0; 20]).build(),
+    ));
+    v.push(Vector::reject(
+        "rtp-version-1",
+        Parser::Rtp,
+        {
+            let mut b = PacketBuilder::new(96, 1, 2, 3).build();
+            b[0] = 0x40;
+            b
+        },
+        E::malformed(P::Rtp, 0, "version"),
+    ));
+    v.push(Vector::reject(
+        "rtp-csrc-overrun",
+        Parser::Rtp,
+        {
+            // CC=15 declares 60 CSRC bytes a 12-byte packet cannot hold.
+            let mut b = PacketBuilder::new(96, 1, 2, 3).build();
+            b[0] |= 0x0F;
+            b
+        },
+        E::truncated(P::Rtp, 12),
+    ));
+    v.push(Vector::reject(
+        "rtp-extension-overrun",
+        Parser::Rtp,
+        {
+            let mut b = PacketBuilder::new(96, 1, 2, 3).build();
+            b[0] |= 0x10;
+            b.extend_from_slice(&[0xBE, 0xDE, 0x00, 0xFF]); // 255 words of data, none present
+            b
+        },
+        E::truncated(P::Rtp, 16),
+    ));
+    v.push(Vector::reject(
+        "rtp-padding-count-zero",
+        Parser::Rtp,
+        {
+            // P bit set but the final byte (SSRC low byte) counts 0 octets.
+            let mut b = PacketBuilder::new(96, 1, 2, 0).build();
+            b[0] |= 0x20;
+            b
+        },
+        E::malformed(P::Rtp, 11, "padding"),
+    ));
+    v.push(Vector::reject(
+        "rtp-padding-count-overrun",
+        Parser::Rtp,
+        {
+            let mut b = PacketBuilder::new(96, 1, 2, 3).build();
+            b[0] |= 0x20;
+            b.push(0xFF); // claims 255 padding octets in a 13-byte packet
+            b
+        },
+        E::malformed(P::Rtp, 12, "padding"),
+    ));
+
+    // ---- RTCP (RFC 3550 §6.4) ------------------------------------------
+    v.push(Vector::accept(
+        "rtcp-sender-report",
+        Parser::Rtcp,
+        SenderReport {
+            ssrc: 7,
+            ntp_timestamp: 1,
+            rtp_timestamp: 2,
+            packet_count: 3,
+            octet_count: 4,
+            reports: vec![],
+        }
+        .build(),
+    ));
+    v.push(Vector::accept(
+        "rtcp-receiver-report-block",
+        Parser::Rtcp,
+        ReceiverReport {
+            ssrc: 7,
+            reports: vec![ReportBlock {
+                ssrc: 9,
+                fraction_lost: 1,
+                cumulative_lost: -2,
+                highest_seq: 1000,
+                jitter: 30,
+                last_sr: 5,
+                delay_since_last_sr: 6,
+            }],
+        }
+        .build(),
+    ));
+    v.push(Vector::reject(
+        "rtcp-version-0",
+        Parser::Rtcp,
+        vec![0x00, 200, 0x00, 0x00],
+        E::malformed(P::Rtcp, 0, "version"),
+    ));
+    v.push(Vector::reject("rtcp-truncated-header", Parser::Rtcp, vec![0x80, 200], E::truncated(P::Rtcp, 2)));
+    v.push(Vector::reject(
+        "rtcp-length-overrun",
+        Parser::Rtcp,
+        {
+            let mut b = SenderReport {
+                ssrc: 7,
+                ntp_timestamp: 1,
+                rtp_timestamp: 2,
+                packet_count: 3,
+                octet_count: 4,
+                reports: vec![],
+            }
+            .build();
+            b.truncate(b.len() - 4); // declared length now overruns the buffer
+            b
+        },
+        E::truncated(P::Rtcp, 24),
+    ));
+
+    // ---- QUIC (RFC 9000 §17) -------------------------------------------
+    v.push(Vector::accept("quic-long-initial-v1", Parser::Quic, {
+        let mut b = LongHeader {
+            fixed_bit: true,
+            long_type: LongType::Initial,
+            type_specific: 0,
+            version: VERSION_1,
+            dcid: vec![1; 8],
+            scid: vec![2; 4],
+            header_len: 0,
+        }
+        .build();
+        b.extend_from_slice(&[0; 32]);
+        b
+    }));
+    v.push(Vector::accept(
+        "quic-long-v2-zero-cids",
+        Parser::Quic,
+        LongHeader {
+            fixed_bit: true,
+            long_type: LongType::Handshake,
+            type_specific: 0,
+            version: VERSION_2,
+            dcid: vec![],
+            scid: vec![],
+            header_len: 0,
+        }
+        .build(),
+    ));
+    v.push(Vector::accept("quic-short-1rtt", Parser::Quic, {
+        let mut b =
+            ShortHeader { fixed_bit: true, spin: false, dcid: vec![9; Parser::SHORT_DCID_LEN], header_len: 0 }
+                .build();
+        b.extend_from_slice(&[0; 16]);
+        b
+    }));
+    v.push(Vector::reject(
+        "quic-long-cid-overrun",
+        Parser::Quic,
+        vec![0xC3, 0x00, 0x00, 0x00, 0x01, 20, 1, 2, 3], // DCID length 20, 3 bytes present
+        E::truncated(P::Quic, 6),
+    ));
+    v.push(Vector::reject(
+        "quic-short-truncated-dcid",
+        Parser::Quic,
+        vec![0x40, 1, 2, 3], // short header with fewer than SHORT_DCID_LEN bytes
+        E::truncated(P::Quic, 1),
+    ));
+    v.push(Vector::reject("quic-empty", Parser::Quic, vec![], E::truncated(P::Quic, 0)));
+
+    v
+}
+
+/// The accepted golden vectors — the structure-aware mutation corpus.
+pub fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    vectors().into_iter().filter(|v| v.expect == Expect::Accept).map(|v| (v.name, v.bytes)).collect()
+}
+
+/// A tiny deterministic RNG (SplitMix64) for reproducible structure-aware
+/// mutation without pulling in an RNG dependency.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..bound` (0 when `bound` is 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// Apply one structure-aware mutation to `bytes`: a bit flip, byte
+/// overwrite, truncation, random extension, chunk duplication or adjacent
+/// swap — the mutations that turn a valid packet into the near-valid
+/// malformed inputs real captures contain.
+pub fn mutate(bytes: &[u8], rng: &mut SplitMix64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match rng.next_u64() % 6 {
+        0 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] ^= 1 << rng.below(8);
+        }
+        1 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] = rng.next_u64() as u8;
+        }
+        2 => {
+            let keep = rng.below(out.len() + 1);
+            out.truncate(keep);
+        }
+        3 => {
+            for _ in 0..rng.below(16) + 1 {
+                out.push(rng.next_u64() as u8);
+            }
+        }
+        4 if out.len() >= 2 => {
+            let start = rng.below(out.len() - 1);
+            let len = rng.below(out.len() - start) + 1;
+            let chunk = out[start..start + len].to_vec();
+            let at = rng.below(out.len() + 1);
+            out.splice(at..at, chunk);
+        }
+        _ if out.len() >= 2 => {
+            let i = rng.below(out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert_eq!(distinct.len(), xs.len());
+        assert!(SplitMix64::new(1).below(0) == 0);
+    }
+
+    #[test]
+    fn mutation_always_changes_or_preserves_validity_checkably() {
+        // The mutator must never panic, whatever the input length.
+        let mut rng = SplitMix64::new(7);
+        for len in [0usize, 1, 2, 3, 64] {
+            let bytes = vec![0xA5; len];
+            for _ in 0..64 {
+                let _ = mutate(&bytes, &mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_all_accepting() {
+        let c = corpus();
+        assert!(c.len() >= 10, "corpus holds the accepted vectors");
+        for (name, bytes) in &c {
+            let v = vectors().into_iter().find(|v| v.name == *name).unwrap();
+            assert!(v.parser.parse(bytes).is_ok(), "{name}");
+        }
+    }
+}

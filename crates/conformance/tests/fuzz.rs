@@ -1,0 +1,149 @@
+//! Arbitrary-input robustness harness.
+//!
+//! Every parser in the workspace, the DPI extractor at shifted offsets, the
+//! full dissect/check pipeline and the filter pipeline are driven with
+//! pure-random bytes and with structure-aware mutations of the golden
+//! vectors. The whole workspace forbids `unsafe`, so an out-of-bounds read
+//! is a panic — "no panic" here proves "no out-of-bounds access".
+//!
+//! The per-property case count defaults low so `cargo test` stays fast;
+//! CI's conformance job runs `RTC_CONFORMANCE_CASES=10000` under the
+//! `fuzz` profile (release + debug assertions + overflow checks).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rtc_conformance::{corpus, mutate, Parser, SplitMix64};
+use rtc_pcap::trace::Datagram;
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+
+fn cases() -> u32 {
+    std::env::var("RTC_CONFORMANCE_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(256)
+}
+
+/// Feed one byte string to every parser surface in rtc-wire.
+fn exercise_parsers(bytes: &[u8]) {
+    for p in Parser::ALL {
+        let _ = p.parse(bytes);
+    }
+    let _ = rtc_wire::tls::client_hello_sni(bytes);
+    let _ = rtc_wire::ip::parse_ethernet_packet(bytes);
+    let _ = rtc_wire::quic::LongHeaderRef::parse(bytes);
+    if let Ok(p) = rtc_wire::rtcp::Packet::new_checked(bytes) {
+        let _ = rtc_wire::rtcp::SenderReport::parse(&p);
+        let _ = rtc_wire::rtcp::ReceiverReport::parse(&p);
+        let _ = rtc_wire::rtcp::Sdes::parse(&p);
+        let _ = rtc_wire::rtcp::App::parse(&p);
+        let _ = rtc_wire::rtcp::Feedback::parse(&p);
+        let _ = rtc_wire::xr::Xr::parse(&p);
+    }
+    let _ = rtc_wire::rtcp::split_compound(bytes);
+    if let Ok(m) = rtc_wire::stun::Message::new_checked(bytes) {
+        for a in m.attributes().flatten() {
+            let _ = rtc_wire::stun::decode_address(a.value);
+            let _ = rtc_wire::stun::decode_error_code(a.value);
+        }
+        let _ = m.verify_fingerprint();
+    }
+}
+
+fn udp_datagram(i: usize, port: u16, payload: Vec<u8>) -> Datagram {
+    Datagram {
+        ts: Timestamp::from_micros(100_000_000 + i as u64 * 20_000),
+        five_tuple: FiveTuple::udp(
+            format!("10.0.0.1:{}", 40000 + port % 1000).parse().unwrap(),
+            "198.51.100.4:3478".parse().unwrap(),
+        ),
+        payload: Bytes::from(payload),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn parsers_survive_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        exercise_parsers(&bytes);
+    }
+
+    #[test]
+    fn extractor_claims_stay_in_bounds(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+        k in 0usize..=200,
+    ) {
+        for max_offset in [0, 3, k, 200] {
+            for c in rtc_dpi::extract_candidates(&bytes, max_offset) {
+                prop_assert!(c.end() <= bytes.len(), "candidate {:?} overruns len {}", c, bytes.len());
+                prop_assert!(c.offset <= max_offset, "candidate beyond max offset");
+            }
+        }
+    }
+
+    #[test]
+    fn dissection_and_checking_are_total(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 0..6),
+        port in any::<u16>(),
+    ) {
+        let n = payloads.len();
+        let datagrams: Vec<Datagram> =
+            payloads.into_iter().enumerate().map(|(i, p)| udp_datagram(i, port, p)).collect();
+        let dis = rtc_dpi::dissect_call(&datagrams, &rtc_dpi::DpiConfig::default());
+        prop_assert_eq!(dis.datagrams.len(), n);
+        let rejected: usize = dis.rejections.values().sum();
+        prop_assert!(rejected <= n, "rejection taxonomy counts more datagrams than exist");
+        let checked = rtc_compliance::check_call(&dis);
+        let vc = checked.volume_compliance();
+        prop_assert!((0.0..=1.0).contains(&vc));
+    }
+
+    #[test]
+    fn mutated_golden_vectors_never_break_anything(seed in any::<u64>()) {
+        // Structure-aware pass: near-valid packets stress the deep parser
+        // paths (attribute walks, extension elements, report blocks) that
+        // pure-random bytes rarely reach past the header checks.
+        let mut rng = SplitMix64::new(seed);
+        for (name, bytes) in corpus() {
+            let mut m = bytes;
+            for _ in 0..4 {
+                m = mutate(&m, &mut rng);
+                exercise_parsers(&m);
+                for c in rtc_dpi::extract_candidates(&m, 3) {
+                    prop_assert!(c.end() <= m.len(), "{}: candidate overruns after mutation", name);
+                }
+            }
+            let dis = rtc_dpi::dissect_call(&[udp_datagram(0, 1, m)], &rtc_dpi::DpiConfig::default());
+            let _ = rtc_compliance::check_call(&dis);
+        }
+    }
+
+    #[test]
+    fn filter_survives_and_partitions_arbitrary_traffic(
+        entries in proptest::collection::vec(
+            (0u64..500, any::<u16>(), any::<u16>(), any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..32,
+        ),
+    ) {
+        use rtc_wire::ip::Transport;
+        let datagrams: Vec<Datagram> = entries
+            .into_iter()
+            .map(|(secs, sp, dp, tcp, payload)| Datagram {
+                ts: Timestamp::from_secs(secs),
+                five_tuple: FiveTuple {
+                    src: format!("10.0.0.1:{sp}").parse().unwrap(),
+                    dst: format!("198.51.100.4:{dp}").parse().unwrap(),
+                    transport: if tcp { Transport::Tcp } else { Transport::Udp },
+                },
+                payload: Bytes::from(payload),
+            })
+            .collect();
+        let window = (Timestamp::from_secs(60), Timestamp::from_secs(360));
+        let r = rtc_filter::run(&datagrams, window, &rtc_filter::FilterConfig::default());
+        let kept: usize = r.rtc_streams.iter().map(|s| s.len()).sum();
+        let s1: usize = r.stage1_removed.iter().map(|s| s.len()).sum();
+        let s2: usize = r.stage2_removed.iter().map(|(s, _)| s.len()).sum();
+        prop_assert_eq!(kept + s1 + s2, datagrams.len(), "every datagram in exactly one bucket");
+        // The DPI input is globally time-ordered whatever the stream layout.
+        let merged = r.rtc_udp_datagrams();
+        prop_assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts), "rtc_udp_datagrams out of order");
+    }
+}

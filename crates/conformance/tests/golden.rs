@@ -1,0 +1,116 @@
+//! Golden-vector conformance: every hand-built RFC edge-case packet must
+//! produce exactly the expected parse outcome from `rtc-wire`, and the full
+//! dissect/check pipeline must digest each vector without panicking.
+
+use bytes::Bytes;
+use rtc_conformance::{vectors, Expect, Parser, Vector};
+use rtc_pcap::trace::Datagram;
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::FiveTuple;
+
+#[test]
+fn vectors_match_expected_outcomes() {
+    for v in vectors() {
+        let got = v.parser.parse(&v.bytes);
+        match &v.expect {
+            Expect::Accept => assert!(got.is_ok(), "{}: expected accept, got {:?}", v.name, got),
+            Expect::Reject(want) => {
+                let got = got.expect_err(&format!("{}: expected rejection", v.name));
+                assert_eq!(&got, want, "{}: wrong error (display: {got})", v.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_protocol_has_accept_and_reject_coverage() {
+    let vs = vectors();
+    for parser in Parser::ALL {
+        let accepts = vs.iter().filter(|v| v.parser == parser && v.expect == Expect::Accept).count();
+        let rejects = vs.iter().filter(|v| v.parser == parser && v.expect != Expect::Accept).count();
+        assert!(accepts >= 2, "{parser:?}: only {accepts} accepting vectors");
+        assert!(rejects >= 2, "{parser:?}: only {rejects} rejecting vectors");
+    }
+    let names: std::collections::HashSet<_> = vs.iter().map(|v| v.name).collect();
+    assert_eq!(names.len(), vs.len(), "vector names are unique");
+}
+
+fn as_datagram(v: &Vector, port: u16) -> Datagram {
+    Datagram {
+        ts: Timestamp::from_secs(100),
+        five_tuple: FiveTuple::udp(format!("10.0.0.1:{port}").parse().unwrap(), "198.51.100.4:3478".parse().unwrap()),
+        payload: Bytes::from(v.bytes.clone()),
+    }
+}
+
+#[test]
+fn pipeline_digests_every_vector() {
+    // All vectors as one synthetic call: DPI dissection, compliance
+    // checking and the rejection taxonomy must all be total over them.
+    let vs = vectors();
+    let datagrams: Vec<Datagram> = vs.iter().enumerate().map(|(i, v)| as_datagram(v, 40000 + i as u16)).collect();
+    let dis = rtc_dpi::dissect_call(&datagrams, &rtc_dpi::DpiConfig::default());
+    assert_eq!(dis.datagrams.len(), datagrams.len());
+    let checked = rtc_compliance::check_call(&dis);
+    let vc = checked.volume_compliance();
+    assert!((0.0..=1.0).contains(&vc), "volume compliance {vc}");
+    for (key, n) in &dis.rejections {
+        assert!(!key.is_empty() && *n > 0);
+    }
+}
+
+#[test]
+fn stun_fingerprint_boundary() {
+    // The FINGERPRINT CRC is computed over the message up to (not
+    // including) the attribute; corrupting any earlier byte must flip
+    // verification without breaking the structural parse.
+    let v = vectors().into_iter().find(|v| v.name == "stun-fingerprint").unwrap();
+    let m = rtc_wire::stun::Message::new_checked(&v.bytes).unwrap();
+    assert_eq!(m.verify_fingerprint(), Some(true));
+
+    let mut corrupt = v.bytes.clone();
+    corrupt[9] ^= 0x01; // inside the transaction ID
+    let m = rtc_wire::stun::Message::new_checked(&corrupt).unwrap();
+    assert_eq!(m.verify_fingerprint(), Some(false));
+
+    // A message without the attribute has no fingerprint to verify.
+    let plain = vectors().into_iter().find(|v| v.name == "stun-binding-request").unwrap();
+    let m = rtc_wire::stun::Message::new_checked(&plain.bytes).unwrap();
+    assert_eq!(m.verify_fingerprint(), None);
+}
+
+#[test]
+fn rtcp_compound_rules() {
+    // Self-delimiting packets stack into a compound; the split must walk
+    // every packet and expose non-RTCP trailing bytes untouched.
+    let sr = vectors().into_iter().find(|v| v.name == "rtcp-sender-report").unwrap().bytes;
+    let mut compound = sr.clone();
+    compound.extend_from_slice(&rtc_wire::rtcp::build_bye(&[7]));
+    let (packets, rest) = rtc_wire::rtcp::split_compound(&compound);
+    assert_eq!(packets.len(), 2);
+    assert_eq!(packets[0].packet_type(), rtc_wire::rtcp::packet_type::SR);
+    assert_eq!(packets[1].packet_type(), rtc_wire::rtcp::packet_type::BYE);
+    assert!(rest.is_empty());
+
+    // Discord-style proprietary trailer: 3 bytes that are not RTCP.
+    let mut with_trailer = sr;
+    with_trailer.extend_from_slice(&[0x00, 0x2A, 0x80]);
+    let (packets, rest) = rtc_wire::rtcp::split_compound(&with_trailer);
+    assert_eq!(packets.len(), 1);
+    assert_eq!(rest, &[0x00, 0x2A, 0x80]);
+}
+
+#[test]
+fn rejected_vectors_map_to_taxonomy_keys() {
+    // Every rejected vector's error carries a stable taxonomy key that the
+    // study report aggregates; keys must be lowercase "protocol: reason".
+    for v in vectors() {
+        if let Expect::Reject(e) = &v.expect {
+            let key = e.taxonomy_key();
+            let (proto, reason) = key.split_once(": ").expect("key shape");
+            assert!(!proto.is_empty() && !reason.is_empty(), "{}: {key}", v.name);
+            assert_eq!(proto, proto.to_lowercase(), "{}: {key}", v.name);
+            assert!(!key.contains("offset"), "{}: taxonomy key must not carry offsets: {key}", v.name);
+        }
+    }
+}

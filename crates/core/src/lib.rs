@@ -41,6 +41,7 @@ pub use rtc_wire as wire;
 pub use rtc_capture::{CallCapture, ExperimentConfig};
 pub use rtc_compliance::findings::Finding;
 pub use rtc_report::{CallRecord, StudyData};
+pub use rtc_wire::{Reason, WireError, WireProtocol};
 
 use std::collections::BTreeMap;
 
@@ -107,6 +108,7 @@ pub fn analyze_capture(cap: &CallCapture, config: &StudyConfig) -> CallAnalysis 
         stage2: fr.stage2,
         rtc: fr.rtc,
         classes: CallRecord::class_counts(&dissection),
+        rejections: dissection.rejections.clone(),
         checked,
     };
     CallAnalysis { record, dissection, findings, header_profiles }
@@ -223,6 +225,23 @@ impl StudyReport {
                 for p in profiles {
                     out.push_str(&format!("{app}: {p}\n"));
                 }
+            }
+        }
+        let mut apps: Vec<&str> = self.data.calls.iter().map(|c| c.app.as_str()).collect();
+        apps.sort_unstable();
+        apps.dedup();
+        let mut wrote_header = false;
+        for app in apps {
+            let taxonomy = self.data.app_rejection_taxonomy(app);
+            if taxonomy.is_empty() {
+                continue;
+            }
+            if !wrote_header {
+                out.push_str("\n== Fully-proprietary datagram rejection taxonomy ==\n");
+                wrote_header = true;
+            }
+            for (key, n) in &taxonomy {
+                out.push_str(&format!("{app}: {key} ({n} datagrams)\n"));
             }
         }
         if !self.failures.is_empty() {

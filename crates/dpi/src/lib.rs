@@ -39,11 +39,11 @@ use bytes::Bytes;
 use rtc_pcap::trace::Datagram;
 use rtc_pcap::Timestamp;
 use rtc_wire::ip::FiveTuple;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 pub use pattern::{
-    extract_candidates, extract_candidates_naive, extract_into, Candidate, CandidateBatch, CandidateKind, CidBuf,
-    Extractor,
+    explain_rejection, extract_candidates, extract_candidates_naive, extract_into, rejection_key, Candidate,
+    CandidateBatch, CandidateKind, CidBuf, Extractor,
 };
 
 /// The protocol families of the study. TURN shares the STUN message format,
@@ -165,6 +165,10 @@ pub struct CallDissection {
     /// RTP SSRCs observed per conversation (both directions fold into the
     /// canonical stream key).
     pub rtp_ssrcs: HashMap<FiveTuple, HashSet<u32>>,
+    /// Why fully-proprietary datagrams were rejected: taxonomy key
+    /// (see [`rejection_key`]) → datagram count. Lets the study report
+    /// attribute *which* grammar rule the unrecognized traffic violated.
+    pub rejections: BTreeMap<String, usize>,
 }
 
 impl CallDissection {
@@ -225,7 +229,11 @@ pub fn dissect_call(datagrams: &[Datagram], config: &DpiConfig) -> CallDissectio
     let mut out = CallDissection::default();
     out.datagrams.reserve(datagrams.len());
     for (i, d) in datagrams.iter().enumerate() {
-        out.datagrams.push(resolve::resolve_datagram(d, batch.get(i), &ctx));
+        let dd = resolve::resolve_datagram(d, batch.get(i), &ctx);
+        if dd.class == DatagramClass::FullyProprietary {
+            *out.rejections.entry(pattern::rejection_key(&d.payload)).or_default() += 1;
+        }
+        out.datagrams.push(dd);
     }
     // The context is done once every datagram is resolved; hand its SSRC
     // map to the caller instead of cloning it wholesale.
@@ -515,6 +523,30 @@ mod tests {
     fn empty_payload() {
         let out = dissect_call(&[dgram(0, vec![])], &DpiConfig::default());
         assert_eq!(out.datagrams[0].class, DatagramClass::FullyProprietary);
+        assert_eq!(out.rejections.get("empty payload"), Some(&1));
+    }
+
+    #[test]
+    fn rejections_attribute_parse_failures() {
+        // 0xDE leads with QUIC long-header bits but truncates mid-CID;
+        // 0x01-filled bytes look like STUN with a misaligned length field.
+        let out = dissect_call(
+            &[dgram(0, vec![0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE, 1, 2, 3, 4]), dgram(1, vec![0x01; 1000])],
+            &DpiConfig::default(),
+        );
+        assert!(out.datagrams.iter().all(|d| d.class == DatagramClass::FullyProprietary));
+        assert_eq!(out.rejections.get("quic: truncated"), Some(&1));
+        assert_eq!(out.rejections.get("stun: length alignment"), Some(&1));
+    }
+
+    #[test]
+    fn rejections_attribute_validation_failures() {
+        // A lone structurally-valid RTP packet fails group validation, not
+        // the wire grammar.
+        let d = rtp_stream_datagrams(1, 0xCC, &[]);
+        let out = dissect_call(&d, &DpiConfig::default());
+        assert_eq!(out.datagrams[0].class, DatagramClass::FullyProprietary);
+        assert_eq!(out.rejections.get("rtp: failed stream validation"), Some(&1));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! byte-identical candidate lists (see `tests/differential.rs`).
 
 use rtc_wire::stun;
+use rtc_wire::{WireError, WireProtocol};
 
 /// Inline storage for a QUIC connection ID.
 ///
@@ -520,6 +521,63 @@ fn match_quic_short(tail: &[u8], offset: usize) -> Option<Candidate> {
         return Some(Candidate { offset, len: tail.len(), kind: CandidateKind::QuicShortProbe, data_attr: None });
     }
     None
+}
+
+/// Explain why `payload` is not a standard message at offset 0, as a
+/// [`WireError`] from the parser the first-byte class selects (the same
+/// partition the extraction fast path uses). Returns `None` when the
+/// payload is empty or when the offset-0 parse actually *succeeds* — in
+/// that case the datagram was rejected by stream validation, not by the
+/// wire grammar.
+pub fn explain_rejection(payload: &[u8]) -> Option<WireError> {
+    let b0 = *payload.first()?;
+    match b0 >> 6 {
+        0b00 => stun::Message::new_checked(payload).err(),
+        0b01 => stun::ChannelData::new_checked(payload).err(),
+        0b10 => {
+            if payload.len() >= 2 && (200..=207).contains(&payload[1]) {
+                rtc_wire::rtcp::Packet::new_checked(payload).err()
+            } else {
+                rtc_wire::rtp::Packet::new_checked(payload).err()
+            }
+        }
+        _ => match rtc_wire::quic::LongHeaderRef::parse(payload) {
+            Err(e) => Some(e),
+            Ok(h) if h.version != rtc_wire::quic::VERSION_1 && h.version != rtc_wire::quic::VERSION_2 => {
+                Some(WireError::malformed(WireProtocol::Quic, 1, "unknown version"))
+            }
+            Ok(h) if h.dcid.len() > CidBuf::MAX || h.scid.len() > CidBuf::MAX => {
+                Some(WireError::malformed(WireProtocol::Quic, 5, "connection id too long"))
+            }
+            Ok(_) => None,
+        },
+    }
+}
+
+/// The taxonomy key a fully-proprietary datagram is counted under in the
+/// study report: [`WireError::taxonomy_key`] when the offset-0 parse fails,
+/// or a first-byte-class fallback when the bytes parse structurally but
+/// fail stream validation (seq continuity, SSRC cross-check, CID match…).
+pub fn rejection_key(payload: &[u8]) -> String {
+    if payload.is_empty() {
+        return "empty payload".to_string();
+    }
+    if let Some(e) = explain_rejection(payload) {
+        return e.taxonomy_key();
+    }
+    let class = match payload[0] >> 6 {
+        0b00 => "stun",
+        0b01 => "channeldata/quic-short",
+        0b10 => {
+            if payload.len() >= 2 && (200..=207).contains(&payload[1]) {
+                "rtcp"
+            } else {
+                "rtp"
+            }
+        }
+        _ => "quic",
+    };
+    format!("{class}: failed stream validation")
 }
 
 #[cfg(test)]

@@ -42,14 +42,16 @@ pub struct Stream {
 }
 
 impl Stream {
-    /// First capture time.
-    pub fn first_ts(&self) -> Timestamp {
-        self.datagrams.first().map(|d| d.ts).unwrap_or(Timestamp::ZERO)
+    /// First capture time, `None` for an empty stream. (An empty stream
+    /// must not read as "active at time zero" — that would classify it as
+    /// starting before any call window.)
+    pub fn first_ts(&self) -> Option<Timestamp> {
+        self.datagrams.first().map(|d| d.ts)
     }
 
-    /// Last capture time.
-    pub fn last_ts(&self) -> Timestamp {
-        self.datagrams.last().map(|d| d.ts).unwrap_or(Timestamp::ZERO)
+    /// Last capture time, `None` for an empty stream.
+    pub fn last_ts(&self) -> Option<Timestamp> {
+        self.datagrams.last().map(|d| d.ts)
     }
 
     /// Number of datagrams/segments.
@@ -65,6 +67,41 @@ impl Stream {
     /// Total payload bytes.
     pub fn payload_bytes(&self) -> usize {
         self.datagrams.iter().map(|d| d.payload.len()).sum()
+    }
+}
+
+/// The expanded call window of stage 1: a **closed** interval
+/// `[lo, hi]`. Both stage 1 and the stage-2 out-of-window observations
+/// share this one predicate, so a datagram stamped exactly at a boundary
+/// is "inside" for both — the two stages can never disagree about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Earliest in-window time (inclusive).
+    pub lo: Timestamp,
+    /// Latest in-window time (inclusive).
+    pub hi: Timestamp,
+}
+
+impl Window {
+    /// Expand a `(start, end)` call window by `slack_us` on each side
+    /// (saturating at time zero).
+    pub fn around(call_window: (Timestamp, Timestamp), slack_us: u64) -> Window {
+        let (start, end) = call_window;
+        Window {
+            lo: Timestamp::from_micros(start.as_micros().saturating_sub(slack_us)),
+            hi: end.plus_micros(slack_us),
+        }
+    }
+
+    /// Whether `ts` lies inside the closed interval.
+    pub fn contains(self, ts: Timestamp) -> bool {
+        self.lo <= ts && ts <= self.hi
+    }
+
+    /// Whether a stream spanning `[first, last]` lies entirely inside the
+    /// window.
+    pub fn encloses(self, first: Timestamp, last: Timestamp) -> bool {
+        self.contains(first) && self.contains(last)
     }
 }
 
@@ -122,10 +159,12 @@ pub const DEFAULT_EXCLUDED_PORTS: [u16; 12] = [53, 67, 68, 123, 137, 138, 139, 5
 /// hostname observed in a TLS ClientHello during idle recording is, by
 /// construction, not RTC traffic.
 pub fn derive_sni_blocklist(idle_datagrams: &[Datagram]) -> HashSet<String> {
-    idle_datagrams
+    // Grouped into streams first, so a ClientHello split across TCP
+    // segments is reassembled exactly like in the stage-2 SNI filter.
+    group_streams(idle_datagrams)
         .iter()
-        .filter(|d| d.five_tuple.transport == Transport::Tcp)
-        .filter_map(|d| rtc_wire::tls::client_hello_sni(&d.payload).ok().flatten())
+        .filter(|s| s.tuple.transport == Transport::Tcp)
+        .filter_map(stream_sni)
         .collect()
 }
 
@@ -196,21 +235,53 @@ pub struct FilterResult {
 }
 
 impl FilterResult {
-    /// The kept RTC UDP datagrams, flattened in stream order (the input to
-    /// the DPI stage — the paper analyzes UDP only, §3.3).
+    /// The kept RTC UDP datagrams in global capture-time order (the input
+    /// to the DPI stage — the paper analyzes UDP only, §3.3). Streams are
+    /// merged by timestamp: the grouping into per-tuple streams must not
+    /// leak into the order downstream timing analyses see.
     pub fn rtc_udp_datagrams(&self) -> Vec<Datagram> {
-        self.rtc_streams
+        let mut out: Vec<Datagram> = self
+            .rtc_streams
             .iter()
             .filter(|s| s.tuple.transport == Transport::Udp)
             .flat_map(|s| s.datagrams.iter().cloned())
-            .collect()
+            .collect();
+        // Stable, so same-timestamp datagrams keep stream order.
+        out.sort_by_key(|d| d.ts);
+        out
     }
 }
+
+/// How many early segments of a TCP stream are scanned for a ClientHello.
+const SNI_SCAN_SEGMENTS: usize = 8;
 
 /// Extract the SNI of a TCP stream by scanning its early segments for a
 /// TLS ClientHello.
 fn stream_sni(stream: &Stream) -> Option<String> {
-    stream.datagrams.iter().take(8).find_map(|d| rtc_wire::tls::client_hello_sni(&d.payload).ok().flatten())
+    // A ClientHello in a single segment (the common case): try each early
+    // segment on its own, so a hello that starts mid-stream is still found.
+    if let Some(sni) = stream
+        .datagrams
+        .iter()
+        .take(SNI_SCAN_SEGMENTS)
+        .find_map(|d| rtc_wire::tls::client_hello_sni(&d.payload).ok().flatten())
+    {
+        return Some(sni);
+    }
+    // Large hellos (big ALPN/key-share lists) span TCP segment boundaries,
+    // where every individual segment parses as truncated. Reassemble the
+    // stream head progressively and retry after each segment.
+    let mut head = Vec::new();
+    for d in stream.datagrams.iter().take(SNI_SCAN_SEGMENTS).skip(1) {
+        if head.is_empty() {
+            head.extend_from_slice(&stream.datagrams[0].payload);
+        }
+        head.extend_from_slice(&d.payload);
+        if let Ok(sni) = rtc_wire::tls::client_hello_sni(&head) {
+            return sni;
+        }
+    }
+    None
 }
 
 /// Run the full two-stage pipeline over one call's decoded datagrams.
@@ -220,9 +291,8 @@ fn stream_sni(stream: &Stream) -> Option<String> {
 /// still participate in the out-of-window observations the stage-2
 /// 3-tuple filter needs.
 pub fn run(datagrams: &[Datagram], call_window: (Timestamp, Timestamp), config: &FilterConfig) -> FilterResult {
-    let (call_start, call_end) = call_window;
-    let win_lo = Timestamp::from_micros(call_start.as_micros().saturating_sub(config.slack_us));
-    let win_hi = call_end.plus_micros(config.slack_us);
+    let (call_start, _call_end) = call_window;
+    let win = Window::around(call_window, config.slack_us);
 
     // Observations for stage 2, gathered from the FULL capture:
     // destination-side 3-tuples active outside the call window, and local
@@ -230,8 +300,7 @@ pub fn run(datagrams: &[Datagram], call_window: (Timestamp, Timestamp), config: 
     let mut out_of_window_3tuples: HashSet<ThreeTuple> = HashSet::new();
     let mut precall_ip_pairs: HashSet<(IpAddr, IpAddr)> = HashSet::new();
     for d in datagrams {
-        let outside = d.ts < win_lo || d.ts > win_hi;
-        if outside {
+        if !win.contains(d.ts) {
             out_of_window_3tuples.insert(d.five_tuple.dst_three_tuple());
         }
         if d.ts < call_start {
@@ -246,14 +315,19 @@ pub fn run(datagrams: &[Datagram], call_window: (Timestamp, Timestamp), config: 
         raw.absorb(s);
     }
 
-    // Stage 1: timespan alignment.
+    // Stage 1: timespan alignment. An empty stream (no timestamps at all)
+    // carries nothing worth keeping and is counted as removed.
     let mut stage1_removed = Vec::new();
     let mut survivors = Vec::new();
     for s in streams {
-        if s.first_ts() < win_lo || s.last_ts() > win_hi {
-            stage1_removed.push(s);
-        } else {
+        let enclosed = match (s.first_ts(), s.last_ts()) {
+            (Some(first), Some(last)) => win.encloses(first, last),
+            _ => false,
+        };
+        if enclosed {
             survivors.push(s);
+        } else {
+            stage1_removed.push(s);
         }
     }
 
@@ -464,6 +538,129 @@ mod tests {
         let r = run(&d, WINDOW, &cfg);
         assert_eq!(r.rtc_streams.len(), 1);
         assert_eq!(r.rtc_streams[0].tuple.src.port(), 501);
+    }
+
+    fn dg_us(ts_us: u64, src: &str, dst: &str, transport: Transport, payload: &[u8]) -> Datagram {
+        Datagram {
+            ts: Timestamp::from_micros(ts_us),
+            five_tuple: FiveTuple { src: src.parse().unwrap(), dst: dst.parse().unwrap(), transport },
+            payload: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    #[test]
+    fn window_is_a_closed_interval() {
+        let w = Window::around(WINDOW, 2_000_000);
+        assert_eq!(w.lo, Timestamp::from_secs(58));
+        assert_eq!(w.hi, Timestamp::from_secs(362));
+        assert!(w.contains(w.lo), "lower boundary is inside");
+        assert!(w.contains(w.hi), "upper boundary is inside");
+        assert!(!w.contains(Timestamp::from_micros(w.lo.as_micros() - 1)));
+        assert!(!w.contains(Timestamp::from_micros(w.hi.as_micros() + 1)));
+        assert!(w.encloses(w.lo, w.hi));
+        // Expansion saturates at time zero instead of wrapping.
+        let early = Window::around((Timestamp::from_secs(1), Timestamp::from_secs(2)), 2_000_000);
+        assert_eq!(early.lo, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn stage1_keeps_streams_touching_the_exact_boundary() {
+        // Regression: the boundary semantics live in one shared predicate.
+        // A datagram stamped exactly at win.lo (or win.hi) is in-window for
+        // stage 1 AND not an out-of-window observation for stage 2, so the
+        // stream survives both stages; 1 µs beyond either edge flips both.
+        let lo_us = 58_000_000u64;
+        let hi_us = 362_000_000u64;
+        let at_edges = vec![
+            dg_us(lo_us, "174.192.14.21:100", "1.2.3.4:200", Transport::Udp, b"x"),
+            dg_us(hi_us, "174.192.14.21:100", "1.2.3.4:200", Transport::Udp, b"x"),
+        ];
+        let r = run(&at_edges, WINDOW, &FilterConfig::default());
+        assert_eq!(r.rtc_streams.len(), 1, "boundary datagrams are inside the closed window");
+        assert!(r.stage2_removed.is_empty());
+
+        for (early, late) in [(lo_us - 1, hi_us), (lo_us, hi_us + 1)] {
+            let past_edge = vec![
+                dg_us(early, "174.192.14.21:100", "1.2.3.4:200", Transport::Udp, b"x"),
+                dg_us(late, "174.192.14.21:100", "1.2.3.4:200", Transport::Udp, b"x"),
+            ];
+            let r = run(&past_edge, WINDOW, &FilterConfig::default());
+            assert!(r.rtc_streams.is_empty(), "1 µs beyond the window is outside");
+            assert_eq!(r.stage1_removed.len(), 1);
+        }
+    }
+
+    #[test]
+    fn rtc_udp_datagrams_merge_interleaved_streams_by_time() {
+        // Regression: flattening per-stream in BTreeMap (tuple) order used
+        // to emit all of stream A before all of stream B even when their
+        // datagrams interleaved in capture time.
+        let d = vec![
+            dg_us(100_000_000, "10.0.0.9:700", "1.2.3.4:200", Transport::Udp, b"b0"),
+            dg_us(101_000_000, "10.0.0.1:600", "1.2.3.4:200", Transport::Udp, b"a0"),
+            dg_us(102_000_000, "10.0.0.9:700", "1.2.3.4:200", Transport::Udp, b"b1"),
+            dg_us(103_000_000, "10.0.0.1:600", "1.2.3.4:200", Transport::Udp, b"a1"),
+        ];
+        let r = run(&d, WINDOW, &FilterConfig::default());
+        assert_eq!(r.rtc_streams.len(), 2);
+        let merged = r.rtc_udp_datagrams();
+        let order: Vec<&[u8]> = merged.iter().map(|d| d.payload.as_ref()).collect();
+        assert_eq!(order, vec![&b"b0"[..], b"a0", b"b1", b"a1"], "global capture-time order");
+        let mut ts: Vec<_> = merged.iter().map(|d| d.ts).collect();
+        let sorted = {
+            let mut s = ts.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(ts, sorted);
+        ts.dedup();
+        assert_eq!(ts.len(), 4);
+    }
+
+    #[test]
+    fn split_client_hello_is_reassembled() {
+        // Regression: a ClientHello spanning TCP segments parses as
+        // truncated in every individual segment; both the stage-2 SNI
+        // filter and the idle-traffic blocklist derivation must reassemble
+        // the stream head before extraction.
+        let hello = rtc_wire::tls::build_client_hello(Some("ads.doubleclick.net"), [1; 32]);
+        let (seg1, seg2) = hello.split_at(hello.len() / 2);
+        let d = vec![
+            dg_us(100_000_000, "10.0.0.1:400", "1.2.3.4:443", Transport::Tcp, seg1),
+            dg_us(100_100_000, "10.0.0.1:400", "1.2.3.4:443", Transport::Tcp, seg2),
+        ];
+        let r = run(&d, WINDOW, &FilterConfig::default());
+        assert!(r.rtc_streams.is_empty(), "split hello still matches the blocklist");
+        assert_eq!(r.stage2_removed.len(), 1);
+        assert_eq!(r.stage2_removed[0].1, Heuristic::TlsSni);
+
+        // The same split hello feeds blocklist derivation.
+        let idle_hello = rtc_wire::tls::build_client_hello(Some("tracker.example.com"), [2; 32]);
+        let (i1, i2) = idle_hello.split_at(20);
+        let idle = vec![
+            dg_us(100_000_000, "10.0.0.1:500", "1.2.3.4:443", Transport::Tcp, i1),
+            dg_us(100_100_000, "10.0.0.1:500", "1.2.3.4:443", Transport::Tcp, i2),
+        ];
+        let list = derive_sni_blocklist(&idle);
+        assert_eq!(list.len(), 1);
+        assert!(list.contains("tracker.example.com"));
+    }
+
+    #[test]
+    fn empty_stream_has_no_timespan() {
+        // Regression: first_ts/last_ts used to report Timestamp::ZERO for
+        // an empty stream, which read as "started before the call".
+        let s = Stream {
+            tuple: FiveTuple::udp("10.0.0.1:1".parse().unwrap(), "1.2.3.4:2".parse().unwrap()),
+            datagrams: vec![],
+        };
+        assert!(s.is_empty());
+        assert_eq!(s.first_ts(), None);
+        assert_eq!(s.last_ts(), None);
+        let full =
+            Stream { tuple: s.tuple, datagrams: vec![dg(100, "10.0.0.1:1", "1.2.3.4:2", Transport::Udp, b"x")] };
+        assert_eq!(full.first_ts(), Some(Timestamp::from_secs(100)));
+        assert_eq!(full.last_ts(), Some(Timestamp::from_secs(100)));
     }
 
     #[test]

@@ -87,6 +87,7 @@ mod tests {
                 stage2: Default::default(),
                 rtc: Default::default(),
                 classes: (5, 90, 5),
+                rejections: Default::default(),
                 checked: CheckedCall {
                     messages: vec![
                         msg(Protocol::Rtp, TypeKey::Rtp(100), false),

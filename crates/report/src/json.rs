@@ -39,6 +39,11 @@ pub fn study_to_json(data: &StudyData) -> serde_json::Value {
                     .collect::<serde_json::Map<String, serde_json::Value>>(),
                 "fully_proprietary_share": fully,
                 "datagram_classes": { "standard": std_s, "proprietary_header": prop, "fully_proprietary": fprop },
+                "rejection_taxonomy": data
+                    .app_rejection_taxonomy(app)
+                    .into_iter()
+                    .map(|(k, n)| (k, json!(n)))
+                    .collect::<serde_json::Map<String, serde_json::Value>>(),
                 "types": inventories,
             })
         })
@@ -81,6 +86,7 @@ mod tests {
                 stage2: Default::default(),
                 rtc: Default::default(),
                 classes: (1, 2, 3),
+                rejections: [("rtp: truncated".to_string(), 3)].into_iter().collect(),
                 checked: CheckedCall {
                     messages: vec![CheckedMessage {
                         protocol: Protocol::Rtp,
@@ -97,6 +103,7 @@ mod tests {
         assert_eq!(v["calls"], 1);
         assert_eq!(v["applications"][0]["application"], "Zoom");
         assert_eq!(v["applications"][0]["type_compliance"]["total"], 1);
+        assert_eq!(v["applications"][0]["rejection_taxonomy"]["rtp: truncated"], 3);
         assert!(v["protocols"]["RTP"]["volume_compliance"].as_f64().unwrap() > 0.99);
         // Round-trips through a string.
         let s = serde_json::to_string(&v).unwrap();

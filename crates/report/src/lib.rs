@@ -45,6 +45,9 @@ pub struct CallRecord {
     pub classes: (usize, usize, usize),
     /// All judged messages.
     pub checked: CheckedCall,
+    /// Rejection-taxonomy counts for the call's fully proprietary
+    /// datagrams (`rtc_dpi::CallDissection::rejections`).
+    pub rejections: BTreeMap<String, usize>,
 }
 
 impl CallRecord {
@@ -217,6 +220,19 @@ impl StudyData {
         (shares, fully as f64 / total as f64)
     }
 
+    /// Merged rejection taxonomy across all calls of one application:
+    /// taxonomy key → fully-proprietary datagram count. Explains *why* the
+    /// unrecognized traffic failed the wire grammars (or validation).
+    pub fn app_rejection_taxonomy(&self, app: &str) -> BTreeMap<String, usize> {
+        let mut out: BTreeMap<String, usize> = BTreeMap::new();
+        for c in self.calls.iter().filter(|c| c.app == app) {
+            for (key, n) in &c.rejections {
+                *out.entry(key.clone()).or_default() += n;
+            }
+        }
+        out
+    }
+
     /// Figure-3 class shares for one application.
     pub fn app_class_shares(&self, app: &str) -> (f64, f64, f64) {
         let mut std_c = 0usize;
@@ -261,6 +277,7 @@ mod tests {
             rtc: Default::default(),
             classes: (10, 5, fully),
             checked: CheckedCall { messages, fully_proprietary_datagrams: fully },
+            rejections: BTreeMap::from([("stun: length alignment".to_string(), fully)]),
         }
     }
 
@@ -342,6 +359,14 @@ mod tests {
         // 4 messages + 2 fully proprietary = 6 units.
         assert!((fully - 2.0 / 6.0).abs() < 1e-9);
         assert!((shares[&Protocol::Rtp] - 3.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejection_taxonomy_merges_across_calls() {
+        let s = study();
+        let tax = s.app_rejection_taxonomy("AppA");
+        assert_eq!(tax.get("stun: length alignment"), Some(&2));
+        assert!(s.app_rejection_taxonomy("AppB").get("stun: length alignment").is_none_or(|n| *n == 0));
     }
 
     #[test]

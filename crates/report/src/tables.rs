@@ -190,6 +190,7 @@ mod tests {
                 },
                 rtc: rtc_filter::StageStats { udp_streams: 5, udp_datagrams: 950, tcp_streams: 2, tcp_segments: 20 },
                 classes: (1, 900, 99),
+                rejections: Default::default(),
                 checked: CheckedCall {
                     messages: vec![
                         msg(Protocol::Rtp, TypeKey::Rtp(98), true),

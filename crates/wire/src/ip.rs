@@ -10,8 +10,11 @@
 //! checksums are emitted as zero (a valid "not computed" marker for UDP over
 //! IPv4, and irrelevant to the study's message-level analysis).
 
-use crate::{field, Error, Result};
+use crate::{field, Result, WireError, WireProtocol};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+
+/// Protocol tag for every error this module raises.
+const P: WireProtocol = WireProtocol::Ip;
 
 /// Transport-layer protocol of a stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -182,12 +185,16 @@ pub fn build_ethernet_packet(tuple: &FiveTuple, payload: &[u8], tcp_seq: u32) ->
 
 /// Parse an Ethernet-framed packet back into its 5-tuple and payload.
 pub fn parse_ethernet_packet(frame: &[u8]) -> Result<ParsedPacket<'_>> {
-    let ethertype = field::u16_at(frame, 12)?;
-    let ip = field::slice_at(frame, ETHERNET_HEADER_LEN, frame.len() - ETHERNET_HEADER_LEN)?;
+    let ethertype = field::u16_at(P, frame, 12)?;
+    let ip = if frame.len() >= ETHERNET_HEADER_LEN {
+        &frame[ETHERNET_HEADER_LEN..]
+    } else {
+        return Err(WireError::truncated(P, frame.len()));
+    };
     match ethertype {
         ETHERTYPE_IPV4 => parse_ipv4_packet(ip),
         ETHERTYPE_IPV6 => parse_ipv6_packet(ip),
-        _ => Err(Error::Malformed("ethertype")),
+        _ => Err(WireError::malformed(P, 12, "ethertype")),
     }
 }
 
@@ -280,21 +287,21 @@ pub fn build_tcp(src_port: u16, dst_port: u16, seq: u32, payload: &[u8]) -> Vec<
 }
 
 fn parse_ipv4_packet(ip: &[u8]) -> Result<ParsedPacket<'_>> {
-    if field::u8_at(ip, 0)? >> 4 != 4 {
-        return Err(Error::Malformed("ip version"));
+    if field::u8_at(P, ip, 0)? >> 4 != 4 {
+        return Err(WireError::malformed(P, 0, "ip version"));
     }
     let ihl = (ip[0] & 0x0F) as usize * 4;
     if ihl < 20 {
-        return Err(Error::Malformed("ipv4 ihl"));
+        return Err(WireError::malformed(P, 0, "ipv4 ihl"));
     }
-    let total_len = field::u16_at(ip, 2)? as usize;
+    let total_len = field::u16_at(P, ip, 2)? as usize;
     if total_len < ihl || ip.len() < total_len {
-        return Err(Error::Truncated);
+        return Err(WireError::truncated(P, ip.len().min(total_len)));
     }
-    let protocol = field::u8_at(ip, 9)?;
+    let protocol = field::u8_at(P, ip, 9)?;
     let header = &ip[..ihl];
     if ipv4_checksum(header) != 0 {
-        return Err(Error::Malformed("ipv4 checksum"));
+        return Err(WireError::malformed(P, 10, "ipv4 checksum"));
     }
     let src = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
     let dst = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
@@ -302,13 +309,13 @@ fn parse_ipv4_packet(ip: &[u8]) -> Result<ParsedPacket<'_>> {
 }
 
 fn parse_ipv6_packet(ip: &[u8]) -> Result<ParsedPacket<'_>> {
-    if field::u8_at(ip, 0)? >> 4 != 6 {
-        return Err(Error::Malformed("ip version"));
+    if field::u8_at(P, ip, 0)? >> 4 != 6 {
+        return Err(WireError::malformed(P, 0, "ip version"));
     }
-    let payload_len = field::u16_at(ip, 4)? as usize;
-    let next_header = field::u8_at(ip, 6)?;
+    let payload_len = field::u16_at(P, ip, 4)? as usize;
+    let next_header = field::u8_at(P, ip, 6)?;
     if ip.len() < 40 + payload_len {
-        return Err(Error::Truncated);
+        return Err(WireError::truncated(P, ip.len()));
     }
     let mut s = [0u8; 16];
     s.copy_from_slice(&ip[8..24]);
@@ -318,14 +325,15 @@ fn parse_ipv6_packet(ip: &[u8]) -> Result<ParsedPacket<'_>> {
 }
 
 fn parse_transport(src: IpAddr, dst: IpAddr, protocol: u8, seg: &[u8]) -> Result<ParsedPacket<'_>> {
-    let transport = Transport::from_protocol_number(protocol).ok_or(Error::Malformed("transport protocol"))?;
+    let transport =
+        Transport::from_protocol_number(protocol).ok_or(WireError::malformed(P, 0, "transport protocol"))?;
     match transport {
         Transport::Udp => {
-            let src_port = field::u16_at(seg, 0)?;
-            let dst_port = field::u16_at(seg, 2)?;
-            let udp_len = field::u16_at(seg, 4)? as usize;
+            let src_port = field::u16_at(P, seg, 0)?;
+            let dst_port = field::u16_at(P, seg, 2)?;
+            let udp_len = field::u16_at(P, seg, 4)? as usize;
             if udp_len < 8 || seg.len() < udp_len {
-                return Err(Error::Truncated);
+                return Err(WireError::truncated(P, seg.len().min(udp_len)));
             }
             Ok(ParsedPacket {
                 five_tuple: FiveTuple::udp(SocketAddr::new(src, src_port), SocketAddr::new(dst, dst_port)),
@@ -333,11 +341,11 @@ fn parse_transport(src: IpAddr, dst: IpAddr, protocol: u8, seg: &[u8]) -> Result
             })
         }
         Transport::Tcp => {
-            let src_port = field::u16_at(seg, 0)?;
-            let dst_port = field::u16_at(seg, 2)?;
-            let data_offset = (field::u8_at(seg, 12)? >> 4) as usize * 4;
+            let src_port = field::u16_at(P, seg, 0)?;
+            let dst_port = field::u16_at(P, seg, 2)?;
+            let data_offset = (field::u8_at(P, seg, 12)? >> 4) as usize * 4;
             if data_offset < 20 || seg.len() < data_offset {
-                return Err(Error::Truncated);
+                return Err(WireError::truncated(P, seg.len().min(data_offset)));
             }
             Ok(ParsedPacket {
                 five_tuple: FiveTuple::tcp(SocketAddr::new(src, src_port), SocketAddr::new(dst, dst_port)),

@@ -31,6 +31,15 @@
 //! reserved identifiers…): judging compliance is the job of the
 //! `rtc-compliance` crate, and the measurement pipeline must be able to
 //! represent the non-compliant traffic it studies.
+//!
+//! ## Error taxonomy
+//!
+//! Every parser reports failures through one unified [`WireError`]: the
+//! [`WireProtocol`] whose grammar was violated, the byte offset of the
+//! offending field, and a [`Reason`] naming the violated constraint. The
+//! taxonomy lets downstream layers (DPI rejection attribution, the study
+//! report) aggregate *why* byte strings were rejected instead of collapsing
+//! everything into an opaque parse failure.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,9 +52,49 @@ pub mod stun;
 pub mod tls;
 pub mod xr;
 
-/// Errors produced while parsing a wire format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Error {
+/// The protocol grammar a [`WireError`] was raised against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WireProtocol {
+    /// Ethernet / IPv4 / IPv6 / UDP / TCP encapsulation ([`ip`]).
+    Ip,
+    /// STUN / TURN messages and ChannelData framing ([`stun`]).
+    Stun,
+    /// RTP packets ([`rtp`]).
+    Rtp,
+    /// RTCP packets ([`rtcp`]).
+    Rtcp,
+    /// RTCP Extended Reports ([`xr`]).
+    Xr,
+    /// QUIC packet headers ([`quic`]).
+    Quic,
+    /// TLS ClientHello records ([`tls`]).
+    Tls,
+}
+
+impl WireProtocol {
+    /// Lower-case label used in taxonomy keys and rendered reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireProtocol::Ip => "ip",
+            WireProtocol::Stun => "stun",
+            WireProtocol::Rtp => "rtp",
+            WireProtocol::Rtcp => "rtcp",
+            WireProtocol::Xr => "xr",
+            WireProtocol::Quic => "quic",
+            WireProtocol::Tls => "tls",
+        }
+    }
+}
+
+impl core::fmt::Display for WireProtocol {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a byte string failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reason {
     /// The buffer ended before the structure it claims to contain.
     Truncated,
     /// A field holds a value the wire format cannot represent; the payload
@@ -53,52 +102,92 @@ pub enum Error {
     Malformed(&'static str),
 }
 
-impl core::fmt::Display for Error {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            Error::Truncated => write!(f, "buffer truncated"),
-            Error::Malformed(what) => write!(f, "malformed field: {what}"),
+/// A parse failure: which protocol grammar was violated, where in the
+/// buffer, and why. The one error type of the whole wire layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WireError {
+    /// The protocol whose grammar rejected the input.
+    pub protocol: WireProtocol,
+    /// Byte offset of the offending field within the parsed buffer.
+    pub offset: usize,
+    /// The violated constraint.
+    pub reason: Reason,
+}
+
+impl WireError {
+    /// A truncation error: the field at `offset` runs past the buffer end.
+    pub fn truncated(protocol: WireProtocol, offset: usize) -> WireError {
+        WireError { protocol, offset, reason: Reason::Truncated }
+    }
+
+    /// A malformed-field error: the field at `offset` violates `what`.
+    pub fn malformed(protocol: WireProtocol, offset: usize, what: &'static str) -> WireError {
+        WireError { protocol, offset, reason: Reason::Malformed(what) }
+    }
+
+    /// Whether this error is a truncation (as opposed to a bad value).
+    pub fn is_truncated(&self) -> bool {
+        self.reason == Reason::Truncated
+    }
+
+    /// The aggregation key of the error taxonomy: protocol + constraint,
+    /// without the (per-packet) offset.
+    pub fn taxonomy_key(&self) -> String {
+        match self.reason {
+            Reason::Truncated => format!("{}: truncated", self.protocol),
+            Reason::Malformed(what) => format!("{}: {what}", self.protocol),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.reason {
+            Reason::Truncated => write!(f, "{}: truncated at offset {}", self.protocol, self.offset),
+            Reason::Malformed(what) => write!(f, "{}: malformed {what} at offset {}", self.protocol, self.offset),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// Result alias used across the crate.
-pub type Result<T> = core::result::Result<T, Error>;
+pub type Result<T> = core::result::Result<T, WireError>;
 
-/// Big-endian field accessors shared by all parsers.
+/// Big-endian field accessors shared by all parsers. Each accessor takes
+/// the calling protocol so a failed read yields an offset-accurate
+/// [`WireError`] attributed to the right grammar.
 pub(crate) mod field {
-    use super::{Error, Result};
+    use super::{Result, WireError, WireProtocol};
 
     /// Read a `u8` at `offset`, checking bounds.
-    pub fn u8_at(buf: &[u8], offset: usize) -> Result<u8> {
-        buf.get(offset).copied().ok_or(Error::Truncated)
+    pub fn u8_at(p: WireProtocol, buf: &[u8], offset: usize) -> Result<u8> {
+        buf.get(offset).copied().ok_or_else(|| WireError::truncated(p, offset))
     }
 
     /// Read a big-endian `u16` at `offset`, checking bounds.
-    pub fn u16_at(buf: &[u8], offset: usize) -> Result<u16> {
-        let b = buf.get(offset..offset + 2).ok_or(Error::Truncated)?;
+    pub fn u16_at(p: WireProtocol, buf: &[u8], offset: usize) -> Result<u16> {
+        let b = buf.get(offset..offset + 2).ok_or_else(|| WireError::truncated(p, offset))?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
     /// Read a big-endian `u32` at `offset`, checking bounds.
-    pub fn u32_at(buf: &[u8], offset: usize) -> Result<u32> {
-        let b = buf.get(offset..offset + 4).ok_or(Error::Truncated)?;
+    pub fn u32_at(p: WireProtocol, buf: &[u8], offset: usize) -> Result<u32> {
+        let b = buf.get(offset..offset + 4).ok_or_else(|| WireError::truncated(p, offset))?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Read a big-endian `u64` at `offset`, checking bounds.
-    pub fn u64_at(buf: &[u8], offset: usize) -> Result<u64> {
-        let b = buf.get(offset..offset + 8).ok_or(Error::Truncated)?;
+    pub fn u64_at(p: WireProtocol, buf: &[u8], offset: usize) -> Result<u64> {
+        let b = buf.get(offset..offset + 8).ok_or_else(|| WireError::truncated(p, offset))?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_be_bytes(a))
     }
 
     /// Borrow `len` bytes starting at `offset`, checking bounds.
-    pub fn slice_at(buf: &[u8], offset: usize, len: usize) -> Result<&[u8]> {
-        buf.get(offset..offset + len).ok_or(Error::Truncated)
+    pub fn slice_at(p: WireProtocol, buf: &[u8], offset: usize, len: usize) -> Result<&[u8]> {
+        buf.get(offset..offset + len).ok_or_else(|| WireError::truncated(p, offset))
     }
 }
 
@@ -106,29 +195,50 @@ pub(crate) mod field {
 mod tests {
     use super::*;
 
+    const P: WireProtocol = WireProtocol::Stun;
+
     #[test]
     fn field_reads_in_bounds() {
         let buf = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08];
-        assert_eq!(field::u8_at(&buf, 0).unwrap(), 0x01);
-        assert_eq!(field::u16_at(&buf, 0).unwrap(), 0x0102);
-        assert_eq!(field::u32_at(&buf, 2).unwrap(), 0x0304_0506);
-        assert_eq!(field::u64_at(&buf, 0).unwrap(), 0x0102_0304_0506_0708);
-        assert_eq!(field::slice_at(&buf, 6, 2).unwrap(), &[0x07, 0x08]);
+        assert_eq!(field::u8_at(P, &buf, 0).unwrap(), 0x01);
+        assert_eq!(field::u16_at(P, &buf, 0).unwrap(), 0x0102);
+        assert_eq!(field::u32_at(P, &buf, 2).unwrap(), 0x0304_0506);
+        assert_eq!(field::u64_at(P, &buf, 0).unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(field::slice_at(P, &buf, 6, 2).unwrap(), &[0x07, 0x08]);
     }
 
     #[test]
-    fn field_reads_out_of_bounds() {
+    fn field_reads_out_of_bounds_carry_protocol_and_offset() {
         let buf = [0u8; 3];
-        assert_eq!(field::u8_at(&buf, 3), Err(Error::Truncated));
-        assert_eq!(field::u16_at(&buf, 2), Err(Error::Truncated));
-        assert_eq!(field::u32_at(&buf, 0), Err(Error::Truncated));
-        assert_eq!(field::u64_at(&buf, 0), Err(Error::Truncated));
-        assert_eq!(field::slice_at(&buf, 1, 3), Err(Error::Truncated));
+        assert_eq!(field::u8_at(P, &buf, 3), Err(WireError::truncated(P, 3)));
+        assert_eq!(field::u16_at(P, &buf, 2), Err(WireError::truncated(P, 2)));
+        assert_eq!(field::u32_at(P, &buf, 0), Err(WireError::truncated(P, 0)));
+        assert_eq!(field::u64_at(P, &buf, 0), Err(WireError::truncated(P, 0)));
+        assert_eq!(field::slice_at(P, &buf, 1, 3), Err(WireError::truncated(P, 1)));
     }
 
     #[test]
-    fn error_display() {
-        assert_eq!(Error::Truncated.to_string(), "buffer truncated");
-        assert_eq!(Error::Malformed("version").to_string(), "malformed field: version");
+    fn error_display_and_taxonomy() {
+        let t = WireError::truncated(WireProtocol::Rtp, 12);
+        assert_eq!(t.to_string(), "rtp: truncated at offset 12");
+        assert_eq!(t.taxonomy_key(), "rtp: truncated");
+        assert!(t.is_truncated());
+        let m = WireError::malformed(WireProtocol::Stun, 0, "type top bits");
+        assert_eq!(m.to_string(), "stun: malformed type top bits at offset 0");
+        assert_eq!(m.taxonomy_key(), "stun: type top bits");
+        assert!(!m.is_truncated());
+    }
+
+    #[test]
+    fn errors_order_and_hash() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<WireError> = [
+            WireError::truncated(WireProtocol::Stun, 4),
+            WireError::malformed(WireProtocol::Rtp, 0, "version"),
+            WireError::truncated(WireProtocol::Stun, 4),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 2, "duplicates collapse");
     }
 }

@@ -6,7 +6,10 @@
 //! type. Short headers carry a destination connection ID of a length known
 //! only from context, so [`ShortHeader::parse`] takes the expected length.
 
-use crate::{field, Error, Result};
+use crate::{field, Result, WireError, WireProtocol};
+
+/// Protocol tag for every error this module raises.
+const P: WireProtocol = WireProtocol::Quic;
 
 /// The QUIC version 1 identifier (RFC 9000).
 pub const VERSION_1: u32 = 0x0000_0001;
@@ -97,15 +100,15 @@ impl<'a> LongHeaderRef<'a> {
     /// compliance layer can judge them, but rejects CIDs that overrun the
     /// buffer.
     pub fn parse(buf: &'a [u8]) -> Result<LongHeaderRef<'a>> {
-        let b0 = field::u8_at(buf, 0)?;
+        let b0 = field::u8_at(P, buf, 0)?;
         if b0 & 0x80 == 0 {
-            return Err(Error::Malformed("not a long header"));
+            return Err(WireError::malformed(P, 0, "not a long header"));
         }
-        let version = field::u32_at(buf, 1)?;
-        let dcid_len = field::u8_at(buf, 5)? as usize;
-        let dcid = field::slice_at(buf, 6, dcid_len)?;
-        let scid_len = field::u8_at(buf, 6 + dcid_len)? as usize;
-        let scid = field::slice_at(buf, 7 + dcid_len, scid_len)?;
+        let version = field::u32_at(P, buf, 1)?;
+        let dcid_len = field::u8_at(P, buf, 5)? as usize;
+        let dcid = field::slice_at(P, buf, 6, dcid_len)?;
+        let scid_len = field::u8_at(P, buf, 6 + dcid_len)? as usize;
+        let scid = field::slice_at(P, buf, 7 + dcid_len, scid_len)?;
         Ok(LongHeaderRef {
             fixed_bit: b0 & 0x40 != 0,
             long_type: LongType::from_bits((b0 >> 4) & 0b11),
@@ -177,11 +180,11 @@ pub struct ShortHeader {
 impl ShortHeader {
     /// Parse a short header, given the connection's DCID length.
     pub fn parse(buf: &[u8], dcid_len: usize) -> Result<ShortHeader> {
-        let b0 = field::u8_at(buf, 0)?;
+        let b0 = field::u8_at(P, buf, 0)?;
         if b0 & 0x80 != 0 {
-            return Err(Error::Malformed("not a short header"));
+            return Err(WireError::malformed(P, 0, "not a short header"));
         }
-        let dcid = field::slice_at(buf, 1, dcid_len)?.to_vec();
+        let dcid = field::slice_at(P, buf, 1, dcid_len)?.to_vec();
         Ok(ShortHeader { fixed_bit: b0 & 0x40 != 0, spin: b0 & 0x20 != 0, dcid, header_len: 1 + dcid_len })
     }
 
@@ -213,7 +216,7 @@ pub enum Header {
 impl Header {
     /// Parse either header form; `dcid_len` is used for short headers.
     pub fn parse(buf: &[u8], dcid_len: usize) -> Result<Header> {
-        let b0 = field::u8_at(buf, 0)?;
+        let b0 = field::u8_at(P, buf, 0)?;
         if b0 & 0x80 != 0 {
             LongHeader::parse(buf).map(Header::Long)
         } else {
@@ -335,7 +338,9 @@ mod tests {
         }
         .build();
         bytes[5] = 200; // dcid length overruns the buffer
-        assert_eq!(LongHeader::parse(&bytes).err(), Some(Error::Truncated));
+        let err = LongHeader::parse(&bytes).unwrap_err();
+        assert!(err.is_truncated());
+        assert_eq!(err.protocol, WireProtocol::Quic);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! [`split_compound`] — that remainder is where SRTCP trailers and
 //! proprietary trailers (e.g. Discord's direction byte, paper §5.2.3) live.
 
-use crate::{field, Error, Result};
+use crate::{field, Result, WireError, WireProtocol};
+
+/// Protocol tag for every error this module raises.
+const P: WireProtocol = WireProtocol::Rtcp;
 
 /// Well-known RTCP packet types.
 pub mod packet_type {
@@ -44,14 +47,14 @@ impl<'a> Packet<'a> {
     /// length fits the buffer.
     pub fn new_checked(buf: &'a [u8]) -> Result<Packet<'a>> {
         if buf.len() < 4 {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
         if buf[0] >> 6 != 2 {
-            return Err(Error::Malformed("rtcp version"));
+            return Err(WireError::malformed(P, 0, "version"));
         }
-        let words = field::u16_at(buf, 2)? as usize;
+        let words = field::u16_at(P, buf, 2)? as usize;
         if buf.len() < 4 * (words + 1) {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
         Ok(Packet { buf })
     }
@@ -180,19 +183,19 @@ impl ReportBlock {
 
     fn parse(buf: &[u8]) -> Result<ReportBlock> {
         if buf.len() < Self::WIRE_LEN {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
         let cum_raw = u32::from_be_bytes([0, buf[5], buf[6], buf[7]]);
         let cumulative_lost =
             if cum_raw & 0x0080_0000 != 0 { (cum_raw | 0xFF00_0000) as i32 } else { cum_raw as i32 };
         Ok(ReportBlock {
-            ssrc: field::u32_at(buf, 0)?,
+            ssrc: field::u32_at(P, buf, 0)?,
             fraction_lost: buf[4],
             cumulative_lost,
-            highest_seq: field::u32_at(buf, 8)?,
-            jitter: field::u32_at(buf, 12)?,
-            last_sr: field::u32_at(buf, 16)?,
-            delay_since_last_sr: field::u32_at(buf, 20)?,
+            highest_seq: field::u32_at(P, buf, 8)?,
+            jitter: field::u32_at(P, buf, 12)?,
+            last_sr: field::u32_at(P, buf, 16)?,
+            delay_since_last_sr: field::u32_at(P, buf, 20)?,
         })
     }
 
@@ -228,23 +231,24 @@ impl SenderReport {
     /// Parse the body of an SR packet (`packet.count()` gives the block count).
     pub fn parse(packet: &Packet<'_>) -> Result<SenderReport> {
         if packet.packet_type() != packet_type::SR {
-            return Err(Error::Malformed("not a sender report"));
+            return Err(WireError::malformed(P, 1, "not a sender report"));
         }
         let b = packet.body();
         let mut reports = Vec::new();
         for i in 0..packet.count() as usize {
             reports.push(ReportBlock::parse(field::slice_at(
+                P,
                 b,
                 24 + i * ReportBlock::WIRE_LEN,
                 ReportBlock::WIRE_LEN,
             )?)?);
         }
         Ok(SenderReport {
-            ssrc: field::u32_at(b, 0)?,
-            ntp_timestamp: field::u64_at(b, 4)?,
-            rtp_timestamp: field::u32_at(b, 12)?,
-            packet_count: field::u32_at(b, 16)?,
-            octet_count: field::u32_at(b, 20)?,
+            ssrc: field::u32_at(P, b, 0)?,
+            ntp_timestamp: field::u64_at(P, b, 4)?,
+            rtp_timestamp: field::u32_at(P, b, 12)?,
+            packet_count: field::u32_at(P, b, 16)?,
+            octet_count: field::u32_at(P, b, 20)?,
             reports,
         })
     }
@@ -277,18 +281,19 @@ impl ReceiverReport {
     /// Parse the body of an RR packet.
     pub fn parse(packet: &Packet<'_>) -> Result<ReceiverReport> {
         if packet.packet_type() != packet_type::RR {
-            return Err(Error::Malformed("not a receiver report"));
+            return Err(WireError::malformed(P, 1, "not a receiver report"));
         }
         let b = packet.body();
         let mut reports = Vec::new();
         for i in 0..packet.count() as usize {
             reports.push(ReportBlock::parse(field::slice_at(
+                P,
                 b,
                 4 + i * ReportBlock::WIRE_LEN,
                 ReportBlock::WIRE_LEN,
             )?)?);
         }
-        Ok(ReceiverReport { ssrc: field::u32_at(b, 0)?, reports })
+        Ok(ReceiverReport { ssrc: field::u32_at(P, b, 0)?, reports })
     }
 
     /// Serialize as a complete RTCP packet.
@@ -342,25 +347,25 @@ impl Sdes {
     /// Parse an SDES packet body.
     pub fn parse(packet: &Packet<'_>) -> Result<Sdes> {
         if packet.packet_type() != packet_type::SDES {
-            return Err(Error::Malformed("not an sdes"));
+            return Err(WireError::malformed(P, 1, "not an sdes"));
         }
         let b = packet.body();
         let mut chunks = Vec::new();
         let mut o = 0;
         for _ in 0..packet.count() {
-            let ssrc = field::u32_at(b, o)?;
+            let ssrc = field::u32_at(P, b, o)?;
             o += 4;
             let mut items = Vec::new();
             loop {
-                let t = field::u8_at(b, o)?;
+                let t = field::u8_at(P, b, o)?;
                 if t == 0 {
                     // End of items; chunk is padded to the next 32-bit boundary.
                     o += 1;
                     o += (4 - o % 4) % 4;
                     break;
                 }
-                let len = field::u8_at(b, o + 1)? as usize;
-                items.push((t, field::slice_at(b, o + 2, len)?.to_vec()));
+                let len = field::u8_at(P, b, o + 1)? as usize;
+                items.push((t, field::slice_at(P, b, o + 2, len)?.to_vec()));
                 o += 2 + len;
             }
             chunks.push(SdesChunk { ssrc, items });
@@ -404,13 +409,13 @@ impl App {
     /// Parse an APP packet.
     pub fn parse(packet: &Packet<'_>) -> Result<App> {
         if packet.packet_type() != packet_type::APP {
-            return Err(Error::Malformed("not an app packet"));
+            return Err(WireError::malformed(P, 1, "not an app packet"));
         }
         let b = packet.body();
-        let name_slice = field::slice_at(b, 4, 4)?;
+        let name_slice = field::slice_at(P, b, 4, 4)?;
         let mut name = [0u8; 4];
         name.copy_from_slice(name_slice);
-        Ok(App { subtype: packet.count(), ssrc: field::u32_at(b, 0)?, name, data: b[8..].to_vec() })
+        Ok(App { subtype: packet.count(), ssrc: field::u32_at(P, b, 0)?, name, data: b[8..].to_vec() })
     }
 
     /// Serialize as a complete RTCP packet. `data` must be a 4-byte multiple.
@@ -471,14 +476,14 @@ impl Feedback {
     /// Parse an RTPFB or PSFB packet.
     pub fn parse(packet: &Packet<'_>) -> Result<Feedback> {
         if packet.packet_type() != packet_type::RTPFB && packet.packet_type() != packet_type::PSFB {
-            return Err(Error::Malformed("not a feedback packet"));
+            return Err(WireError::malformed(P, 1, "not a feedback packet"));
         }
         let b = packet.body();
         Ok(Feedback {
             packet_type: packet.packet_type(),
             fmt: packet.count(),
-            sender_ssrc: field::u32_at(b, 0)?,
-            media_ssrc: field::u32_at(b, 4)?,
+            sender_ssrc: field::u32_at(P, b, 0)?,
+            media_ssrc: field::u32_at(P, b, 4)?,
             fci: b[8..].to_vec(),
         })
     }
@@ -536,10 +541,10 @@ impl SrtcpTrailer {
     /// trailers; the compliance layer flags the missing tag.
     pub fn parse(trailer: &[u8], auth_tag_len: usize) -> Result<SrtcpTrailer> {
         if trailer.len() < 4 + auth_tag_len {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, trailer.len()));
         }
         let base = trailer.len() - 4 - auth_tag_len;
-        let word = field::u32_at(trailer, base)?;
+        let word = field::u32_at(P, trailer, base)?;
         Ok(SrtcpTrailer { encrypted: word & 0x8000_0000 != 0, index: word & 0x7FFF_FFFF, auth_tag_len })
     }
 
@@ -714,7 +719,7 @@ mod tests {
     #[test]
     fn rejects_truncated_declared_length() {
         let bytes = build_bye(&[1, 2]);
-        assert_eq!(Packet::new_checked(&bytes[..8]).err(), Some(Error::Truncated));
+        assert!(Packet::new_checked(&bytes[..8]).unwrap_err().is_truncated());
     }
 
     #[test]

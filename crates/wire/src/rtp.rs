@@ -6,7 +6,10 @@
 //! identifiers, undefined extension profiles, padding rules) parses
 //! successfully and is exposed through accessors.
 
-use crate::{field, Error, Result};
+use crate::{field, Result, WireError, WireProtocol};
+
+/// Protocol tag for every error this module raises.
+const P: WireProtocol = WireProtocol::Rtp;
 
 /// Minimum RTP header size (no CSRCs, no extension).
 pub const MIN_HEADER_LEN: usize = 12;
@@ -48,30 +51,30 @@ impl<'a> Packet<'a> {
     /// and (when the padding bit is set) a sane padding trailer.
     pub fn new_checked(buf: &'a [u8]) -> Result<Packet<'a>> {
         if buf.len() < MIN_HEADER_LEN {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
         let b0 = buf[0];
         if b0 >> 6 != 2 {
-            return Err(Error::Malformed("rtp version"));
+            return Err(WireError::malformed(P, 0, "version"));
         }
         let cc = (b0 & 0x0F) as usize;
         let mut header_len = MIN_HEADER_LEN + 4 * cc;
         if buf.len() < header_len {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
         if b0 & 0x10 != 0 {
             // Extension present: profile (2) + length in words (2) + data.
-            let words = field::u16_at(buf, header_len + 2)? as usize;
+            let words = field::u16_at(P, buf, header_len + 2)? as usize;
             header_len += 4 + 4 * words;
             if buf.len() < header_len {
-                return Err(Error::Truncated);
+                return Err(WireError::truncated(P, buf.len()));
             }
         }
         if b0 & 0x20 != 0 {
             // Padding: the final byte counts the padding octets, itself included.
             let pad = *buf.last().expect("len >= 12") as usize;
             if pad == 0 || header_len + pad > buf.len() {
-                return Err(Error::Malformed("rtp padding"));
+                return Err(WireError::malformed(P, buf.len() - 1, "padding"));
             }
         }
         Ok(Packet { buf })
@@ -527,7 +530,7 @@ mod tests {
         // Inflate the declared extension length beyond the buffer.
         bytes[14] = 0xFF;
         bytes[15] = 0xFF;
-        assert_eq!(Packet::new_checked(&bytes).err(), Some(Error::Truncated));
+        assert!(Packet::new_checked(&bytes).unwrap_err().is_truncated());
     }
 
     #[test]

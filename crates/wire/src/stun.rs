@@ -18,7 +18,10 @@
 //! the 12-byte modern transaction ID while [`Message::legacy_transaction_id`]
 //! returns the full 16 bytes a classic endpoint would use.
 
-use crate::{field, Error, Result};
+use crate::{field, Result, WireError, WireProtocol};
+
+/// Protocol tag for every error this module raises.
+const P: WireProtocol = WireProtocol::Stun;
 
 /// The STUN magic cookie introduced by RFC 5389 §6.
 pub const MAGIC_COOKIE: u32 = 0x2112_A442;
@@ -291,18 +294,18 @@ impl<'a> Message<'a> {
     /// field is not 4-byte aligned (RFC 5389 §6).
     pub fn new_checked(buf: &'a [u8]) -> Result<Message<'a>> {
         if buf.len() < HEADER_LEN {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
-        let raw_type = field::u16_at(buf, 0)?;
+        let raw_type = field::u16_at(P, buf, 0)?;
         if raw_type & 0xC000 != 0 {
-            return Err(Error::Malformed("stun type top bits"));
+            return Err(WireError::malformed(P, 0, "type top bits"));
         }
-        let length = field::u16_at(buf, 2)? as usize;
+        let length = field::u16_at(P, buf, 2)? as usize;
         if !length.is_multiple_of(4) {
-            return Err(Error::Malformed("stun length alignment"));
+            return Err(WireError::malformed(P, 2, "length alignment"));
         }
         if buf.len() < HEADER_LEN + length {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
         Ok(Message { buf })
     }
@@ -405,21 +408,21 @@ impl<'a> Iterator for AttributeIter<'a> {
         if self.offset >= self.buf.len() {
             return None;
         }
-        let typ = match field::u16_at(self.buf, self.offset) {
+        let typ = match field::u16_at(P, self.buf, self.offset) {
             Ok(t) => t,
             Err(e) => {
                 self.offset = self.buf.len();
                 return Some(Err(e));
             }
         };
-        let len = match field::u16_at(self.buf, self.offset + 2) {
+        let len = match field::u16_at(P, self.buf, self.offset + 2) {
             Ok(l) => l as usize,
             Err(e) => {
                 self.offset = self.buf.len();
                 return Some(Err(e));
             }
         };
-        let value = match field::slice_at(self.buf, self.offset + 4, len) {
+        let value = match field::slice_at(P, self.buf, self.offset + 4, len) {
             Ok(v) => v,
             Err(e) => {
                 self.offset = self.buf.len();
@@ -538,29 +541,29 @@ pub fn encode_address(addr: std::net::SocketAddr) -> Vec<u8> {
 /// Decode a plain address attribute value.
 pub fn decode_address(value: &[u8]) -> Result<std::net::SocketAddr> {
     if value.len() < 4 {
-        return Err(Error::Truncated);
+        return Err(WireError::truncated(P, value.len()));
     }
     let fam = value[1];
     let port = u16::from_be_bytes([value[2], value[3]]);
     match fam {
         family::IPV4 => {
-            let o = field::slice_at(value, 4, 4)?;
+            let o = field::slice_at(P, value, 4, 4)?;
             let ip = std::net::Ipv4Addr::new(o[0], o[1], o[2], o[3]);
             if value.len() != 8 {
-                return Err(Error::Malformed("ipv4 address attribute length"));
+                return Err(WireError::malformed(P, 0, "ipv4 address attribute length"));
             }
             Ok(std::net::SocketAddr::new(ip.into(), port))
         }
         family::IPV6 => {
-            let o = field::slice_at(value, 4, 16)?;
+            let o = field::slice_at(P, value, 4, 16)?;
             let mut oct = [0u8; 16];
             oct.copy_from_slice(o);
             if value.len() != 20 {
-                return Err(Error::Malformed("ipv6 address attribute length"));
+                return Err(WireError::malformed(P, 0, "ipv6 address attribute length"));
             }
             Ok(std::net::SocketAddr::new(std::net::Ipv6Addr::from(oct).into(), port))
         }
-        _ => Err(Error::Malformed("address family")),
+        _ => Err(WireError::malformed(P, 1, "address family")),
     }
 }
 
@@ -584,7 +587,7 @@ pub fn encode_xor_address(addr: std::net::SocketAddr, transaction_id: &[u8; 12])
 pub fn decode_xor_address(value: &[u8], transaction_id: &[u8; 12]) -> Result<std::net::SocketAddr> {
     let mut v = value.to_vec();
     if v.len() < 4 {
-        return Err(Error::Truncated);
+        return Err(WireError::truncated(P, v.len()));
     }
     let cookie = MAGIC_COOKIE.to_be_bytes();
     v[2] ^= cookie[0];
@@ -605,7 +608,7 @@ pub fn encode_error_code(code: u16, reason: &str) -> Vec<u8> {
 /// Decode an ERROR-CODE attribute value into `(code, reason)`.
 pub fn decode_error_code(value: &[u8]) -> Result<(u16, String)> {
     if value.len() < 4 {
-        return Err(Error::Truncated);
+        return Err(WireError::truncated(P, value.len()));
     }
     let class = (value[2] & 0x07) as u16;
     let number = value[3] as u16;
@@ -634,15 +637,15 @@ impl<'a> ChannelData<'a> {
     /// layer reports.
     pub fn new_checked(buf: &'a [u8]) -> Result<ChannelData<'a>> {
         if buf.len() < 4 {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
-        let number = field::u16_at(buf, 0)?;
+        let number = field::u16_at(P, buf, 0)?;
         if !(0x4000..=0x7FFF).contains(&number) {
-            return Err(Error::Malformed("channeldata demux prefix"));
+            return Err(WireError::malformed(P, 0, "channeldata demux prefix"));
         }
-        let length = field::u16_at(buf, 2)? as usize;
+        let length = field::u16_at(P, buf, 2)? as usize;
         if buf.len() < 4 + length {
-            return Err(Error::Truncated);
+            return Err(WireError::truncated(P, buf.len()));
         }
         Ok(ChannelData { buf })
     }
@@ -746,7 +749,7 @@ mod tests {
     fn rejects_top_type_bits() {
         let mut bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0)).build();
         bytes[0] = 0x80; // looks like RTP/ChannelData, not STUN
-        assert_eq!(Message::new_checked(&bytes).err(), Some(Error::Malformed("stun type top bits")));
+        assert_eq!(Message::new_checked(&bytes).err(), Some(WireError::malformed(P, 0, "type top bits")));
     }
 
     #[test]
@@ -763,7 +766,9 @@ mod tests {
         let bytes = MessageBuilder::new(msg_type::BINDING_REQUEST, txid(0))
             .attribute(attr::SOFTWARE, b"abcd".to_vec())
             .build();
-        assert_eq!(Message::new_checked(&bytes[..bytes.len() - 1]).err(), Some(Error::Truncated));
+        let err = Message::new_checked(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(err.is_truncated());
+        assert_eq!(err.protocol, WireProtocol::Stun);
     }
 
     #[test]
@@ -818,7 +823,7 @@ mod tests {
     fn address_rejects_bad_family() {
         let mut enc = encode_address("192.0.2.1:1".parse().unwrap());
         enc[1] = 0x00;
-        assert_eq!(decode_address(&enc), Err(Error::Malformed("address family")));
+        assert_eq!(decode_address(&enc), Err(WireError::malformed(P, 1, "address family")));
     }
 
     #[test]

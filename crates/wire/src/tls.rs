@@ -5,7 +5,10 @@
 //! A builder is included so the background-traffic generators can emit
 //! realistic ClientHello records for the filter to match against.
 
-use crate::{field, Error, Result};
+use crate::{field, Result, WireError, WireProtocol};
+
+/// Protocol tag for every error this module raises.
+const P: WireProtocol = WireProtocol::Tls;
 
 /// TLS record content type for handshake messages.
 pub const CONTENT_TYPE_HANDSHAKE: u8 = 22;
@@ -22,47 +25,47 @@ pub const EXT_SERVER_NAME: u16 = 0;
 /// extension; `Err` for anything that is not a ClientHello record.
 pub fn client_hello_sni(record: &[u8]) -> Result<Option<String>> {
     // TLS record header: type(1) version(2) length(2).
-    if field::u8_at(record, 0)? != CONTENT_TYPE_HANDSHAKE {
-        return Err(Error::Malformed("not a handshake record"));
+    if field::u8_at(P, record, 0)? != CONTENT_TYPE_HANDSHAKE {
+        return Err(WireError::malformed(P, 0, "not a handshake record"));
     }
-    let record_len = field::u16_at(record, 3)? as usize;
-    let body = field::slice_at(record, 5, record_len)?;
+    let record_len = field::u16_at(P, record, 3)? as usize;
+    let body = field::slice_at(P, record, 5, record_len)?;
     // Handshake header: type(1) length(3).
-    if field::u8_at(body, 0)? != HANDSHAKE_CLIENT_HELLO {
-        return Err(Error::Malformed("not a client hello"));
+    if field::u8_at(P, body, 0)? != HANDSHAKE_CLIENT_HELLO {
+        return Err(WireError::malformed(P, 5, "not a client hello"));
     }
-    let hs_len = ((field::u8_at(body, 1)? as usize) << 16)
-        | ((field::u8_at(body, 2)? as usize) << 8)
-        | field::u8_at(body, 3)? as usize;
-    let hello = field::slice_at(body, 4, hs_len)?;
+    let hs_len = ((field::u8_at(P, body, 1)? as usize) << 16)
+        | ((field::u8_at(P, body, 2)? as usize) << 8)
+        | field::u8_at(P, body, 3)? as usize;
+    let hello = field::slice_at(P, body, 4, hs_len)?;
     // legacy_version(2) random(32) session_id cipher_suites compression extensions.
     let mut o = 2 + 32;
-    let sid_len = field::u8_at(hello, o)? as usize;
+    let sid_len = field::u8_at(P, hello, o)? as usize;
     o += 1 + sid_len;
-    let cs_len = field::u16_at(hello, o)? as usize;
+    let cs_len = field::u16_at(P, hello, o)? as usize;
     o += 2 + cs_len;
-    let comp_len = field::u8_at(hello, o)? as usize;
+    let comp_len = field::u8_at(P, hello, o)? as usize;
     o += 1 + comp_len;
     if o >= hello.len() {
         return Ok(None); // no extensions block
     }
-    let ext_total = field::u16_at(hello, o)? as usize;
+    let ext_total = field::u16_at(P, hello, o)? as usize;
     o += 2;
-    let exts = field::slice_at(hello, o, ext_total)?;
+    let exts = field::slice_at(P, hello, o, ext_total)?;
     let mut e = 0;
     while e + 4 <= exts.len() {
-        let ext_type = field::u16_at(exts, e)?;
-        let ext_len = field::u16_at(exts, e + 2)? as usize;
-        let ext_data = field::slice_at(exts, e + 4, ext_len)?;
+        let ext_type = field::u16_at(P, exts, e)?;
+        let ext_len = field::u16_at(P, exts, e + 2)? as usize;
+        let ext_data = field::slice_at(P, exts, e + 4, ext_len)?;
         if ext_type == EXT_SERVER_NAME {
             // server_name_list: len(2) { type(1) len(2) name }.
-            let _list_len = field::u16_at(ext_data, 0)?;
-            let name_type = field::u8_at(ext_data, 2)?;
+            let _list_len = field::u16_at(P, ext_data, 0)?;
+            let name_type = field::u8_at(P, ext_data, 2)?;
             if name_type != 0 {
-                return Err(Error::Malformed("sni name type"));
+                return Err(WireError::malformed(P, e + 6, "sni name type"));
             }
-            let name_len = field::u16_at(ext_data, 3)? as usize;
-            let name = field::slice_at(ext_data, 5, name_len)?;
+            let name_len = field::u16_at(P, ext_data, 3)? as usize;
+            let name = field::slice_at(P, ext_data, 5, name_len)?;
             return Ok(Some(String::from_utf8_lossy(name).into_owned()));
         }
         e += 4 + ext_len;
@@ -149,11 +152,13 @@ mod tests {
     #[test]
     fn rejects_truncated_record() {
         let rec = build_client_hello(Some("host.example.com"), [2; 32]);
-        assert_eq!(client_hello_sni(&rec[..rec.len() - 4]).err(), Some(Error::Truncated));
+        assert!(client_hello_sni(&rec[..rec.len() - 4]).unwrap_err().is_truncated());
     }
 
     #[test]
     fn empty_input_truncated() {
-        assert_eq!(client_hello_sni(&[]).err(), Some(Error::Truncated));
+        let err = client_hello_sni(&[]).unwrap_err();
+        assert!(err.is_truncated());
+        assert_eq!(err.protocol, WireProtocol::Tls);
     }
 }

@@ -7,7 +7,10 @@
 //! common blocks and a raw escape hatch for the rest.
 
 use crate::rtcp::{self, Packet};
-use crate::{field, Error, Result};
+use crate::{field, Result, WireError, WireProtocol};
+
+/// Protocol tag for every error this module raises.
+const P: WireProtocol = WireProtocol::Xr;
 
 /// XR block types (RFC 3611 §4, plus widely deployed extensions).
 pub mod block_type {
@@ -130,45 +133,45 @@ impl Xr {
     /// Parse an XR packet's body.
     pub fn parse(packet: &Packet<'_>) -> Result<Xr> {
         if packet.packet_type() != rtcp::packet_type::XR {
-            return Err(Error::Malformed("not an xr packet"));
+            return Err(WireError::malformed(P, 1, "not an xr packet"));
         }
         let b = packet.body();
-        let ssrc = field::u32_at(b, 0)?;
+        let ssrc = field::u32_at(P, b, 0)?;
         let mut blocks = Vec::new();
         let mut o = 4;
         while o + 4 <= b.len() {
             let bt = b[o];
             let type_specific = b[o + 1];
-            let words = field::u16_at(b, o + 2)? as usize;
-            let data = field::slice_at(b, o + 4, 4 * words)?;
+            let words = field::u16_at(P, b, o + 2)? as usize;
+            let data = field::slice_at(P, b, o + 4, 4 * words)?;
             blocks.push(match bt {
                 block_type::RECEIVER_REFERENCE_TIME if words == 2 => {
-                    Block::ReceiverReferenceTime { ntp_timestamp: field::u64_at(data, 0)? }
+                    Block::ReceiverReferenceTime { ntp_timestamp: field::u64_at(P, data, 0)? }
                 }
                 block_type::DLRR if words.is_multiple_of(3) => {
                     let mut sub_blocks = Vec::new();
                     for i in 0..words / 3 {
                         sub_blocks.push((
-                            field::u32_at(data, 12 * i)?,
-                            field::u32_at(data, 12 * i + 4)?,
-                            field::u32_at(data, 12 * i + 8)?,
+                            field::u32_at(P, data, 12 * i)?,
+                            field::u32_at(P, data, 12 * i + 4)?,
+                            field::u32_at(P, data, 12 * i + 8)?,
                         ));
                     }
                     Block::Dlrr { sub_blocks }
                 }
                 block_type::STATISTICS_SUMMARY if words == 9 => Block::StatisticsSummary {
-                    ssrc: field::u32_at(data, 0)?,
-                    begin_seq: field::u16_at(data, 4)?,
-                    end_seq: field::u16_at(data, 6)?,
-                    lost_packets: field::u32_at(data, 8)?,
-                    dup_packets: field::u32_at(data, 12)?,
+                    ssrc: field::u32_at(P, data, 0)?,
+                    begin_seq: field::u16_at(P, data, 4)?,
+                    end_seq: field::u16_at(P, data, 6)?,
+                    lost_packets: field::u32_at(P, data, 8)?,
+                    dup_packets: field::u32_at(P, data, 12)?,
                 },
                 _ => Block::Raw { block_type: bt, type_specific, data: data.to_vec() },
             });
             o += 4 + 4 * words;
         }
         if o != b.len() {
-            return Err(Error::Malformed("xr blocks do not tile the body"));
+            return Err(WireError::malformed(P, o, "blocks do not tile the body"));
         }
         Ok(Xr { ssrc, blocks })
     }

@@ -60,11 +60,11 @@ fn bench(c: &mut Criterion) {
     );
 }
 
-fn dissect_count(d: &[rtc_core::pcap::trace::Datagram], k: usize) -> usize {
+fn dissect_count(d: &[&rtc_core::pcap::trace::Datagram], k: usize) -> usize {
     dissect_count_pair(d, k).0
 }
 
-fn dissect_count_pair(d: &[rtc_core::pcap::trace::Datagram], k: usize) -> (usize, usize) {
+fn dissect_count_pair(d: &[&rtc_core::pcap::trace::Datagram], k: usize) -> (usize, usize) {
     let out = rtc_core::dpi::dissect_call(d, &rtc_core::dpi::DpiConfig { max_offset: k, ..Default::default() });
     let msgs = out.datagrams.iter().map(|x| x.messages.len()).sum();
     let fully = out.datagrams.iter().filter(|x| x.class == rtc_core::dpi::DatagramClass::FullyProprietary).count();

@@ -1,0 +1,191 @@
+//! End-to-end streaming-pipeline benchmark: throughput plus a peak-RSS
+//! proxy via a counting global allocator.
+//!
+//! A small campaign is generated and saved to disk, then analyzed twice —
+//! once through the chunked streaming engine (`StreamingStudy::analyze_dir`)
+//! and once through the batch loader (`load_experiment` + `Study::analyze`).
+//! The allocator records the live-bytes high-water mark of each run, which
+//! stands in for peak RSS without any OS-specific probing. Two invariants
+//! are asserted, making this a CI smoke check for the memory model:
+//!
+//!   1. the filter's peak retained-payload residency stays below the total
+//!      raw trace size (datagrams are released as streams are doomed);
+//!   2. the streaming run's allocation peak stays below the batch run's
+//!      (the batch driver must materialize whole traces, streaming holds
+//!      one chunk plus one call's accepted RTC traffic).
+//!
+//! Results are upserted into `BENCH_pipeline.json` at the repository root
+//! (override with `BENCH_PIPELINE_JSON`).
+//!
+//! Run with `cargo run --release -p rtc-bench --bin pipeline_perf`.
+
+use rtc_core::{StreamingStudy, Study, StudyConfig};
+use serde_json::json;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator wrapped with live/peak byte counters.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                on_alloc(new_size - layout.size());
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Start a fresh high-water measurement from the current live footprint.
+fn reset_peak() -> usize {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    live
+}
+
+fn peak_since(baseline: usize) -> usize {
+    PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+}
+
+fn write_results(value: serde_json::Value) {
+    let path: std::path::PathBuf = std::env::var_os("BENCH_PIPELINE_JSON")
+        .map(Into::into)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json"));
+    match serde_json::to_string_pretty(&value) {
+        Ok(s) => match std::fs::write(&path, s + "\n") {
+            Ok(()) => eprintln!("[rtc-bench] wrote {}", path.display()),
+            Err(e) => eprintln!("[rtc-bench] cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("[rtc-bench] cannot serialize results: {e}"),
+    }
+}
+
+fn mib(bytes: usize) -> f64 {
+    (bytes as f64 / (1 << 20) as f64 * 100.0).round() / 100.0
+}
+
+fn main() {
+    // A representative slice of the matrix: three apps spanning the three
+    // transport mixes (STUN/RTP, QUIC, proprietary-heavy), two networks.
+    let mut config = StudyConfig::paper_matrix(60, 0.2, 77_777);
+    config.experiment.apps = vec!["zoom".into(), "discord".into(), "meet".into()];
+    config.experiment.networks = vec!["wifi-p2p".into(), "wifi-relay".into()];
+    config.experiment.repeats = 1;
+
+    let dir = std::env::temp_dir().join(format!("rtc-pipeline-perf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let captures = rtc_core::capture::run_experiment(&config.experiment);
+    rtc_core::capture::save_experiment(&dir, &captures).expect("save campaign");
+    let calls = captures.len();
+    drop(captures);
+    let disk_bytes: usize = std::fs::read_dir(&dir)
+        .expect("read scratch dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "pcap"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len() as usize)
+        .sum();
+    println!("campaign: {calls} calls, {:.2} MiB of pcap on disk", mib(disk_bytes));
+
+    // Streaming pass: bounded chunks, per-call sessions.
+    let base = reset_peak();
+    let t0 = std::time::Instant::now();
+    let streaming = StreamingStudy::analyze_dir(&dir, &config, 0, None).expect("streaming analysis");
+    let streaming_secs = t0.elapsed().as_secs_f64();
+    let streaming_alloc_peak = peak_since(base);
+
+    // Batch pass over the same campaign: whole traces materialized.
+    let base = reset_peak();
+    let t0 = std::time::Instant::now();
+    let loaded = rtc_core::capture::load_experiment(&dir).expect("load campaign");
+    let batch = Study::analyze(&loaded, &config);
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let batch_alloc_peak = peak_since(base);
+    drop(loaded);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(streaming.failures.is_empty() && batch.failures.is_empty());
+    assert_eq!(streaming.data, batch.data, "streaming and batch must agree");
+
+    let raw_total: usize = streaming.data.calls.iter().map(|c| c.raw_bytes).sum();
+    let retained_peak = streaming.pipeline.peak_retained_bytes;
+    let throughput = mib(disk_bytes) / streaming_secs;
+    println!("streaming: {streaming_secs:.2}s  ({throughput:.1} MiB/s end to end)");
+    println!(
+        "  allocation peak: {:.2} MiB   filter residency peak: {:.2} MiB",
+        mib(streaming_alloc_peak),
+        mib(retained_peak)
+    );
+    println!("batch:     {batch_secs:.2}s");
+    println!("  allocation peak: {:.2} MiB", mib(batch_alloc_peak));
+
+    // The memory-model invariants this bench exists to guard.
+    assert!(
+        retained_peak > 0 && retained_peak < raw_total,
+        "filter residency peak {retained_peak} must stay below the raw trace total {raw_total}"
+    );
+    assert!(
+        streaming_alloc_peak < batch_alloc_peak,
+        "streaming allocation peak {streaming_alloc_peak} must stay below batch {batch_alloc_peak}"
+    );
+
+    write_results(json!({
+        "pipeline_end_to_end": {
+            "calls": calls,
+            "pcap_disk_bytes": disk_bytes,
+            "raw_trace_bytes": raw_total,
+            "streaming_secs": (streaming_secs * 100.0).round() / 100.0,
+            "streaming_mib_per_s": (throughput * 10.0).round() / 10.0,
+            "streaming_alloc_peak_bytes": streaming_alloc_peak,
+            "filter_retained_peak_bytes": retained_peak,
+            "batch_secs": (batch_secs * 100.0).round() / 100.0,
+            "batch_alloc_peak_bytes": batch_alloc_peak,
+            "stages": stage_json(&streaming),
+        },
+    }));
+}
+
+fn stage_json(report: &rtc_core::StudyReport) -> serde_json::Value {
+    let mut stages = serde_json::Map::new();
+    for kind in rtc_core::pipeline::StageKind::ALL {
+        let m = report.pipeline.stage(kind);
+        stages.insert(
+            kind.label().to_string(),
+            json!({
+                "items_in": m.items_in,
+                "items_out": m.items_out,
+                "busy_ms": (m.busy.as_secs_f64() * 1e3 * 100.0).round() / 100.0,
+            }),
+        );
+    }
+    serde_json::Value::Object(stages)
+}

@@ -33,6 +33,17 @@ pub enum Command {
         networks: Vec<String>,
         /// Export directory for CSV/JSON artifacts.
         out: Option<PathBuf>,
+        /// Save the generated captures (pcap + manifest per call) here.
+        save: Option<PathBuf>,
+    },
+    /// Analyze a saved experiment directory.
+    Analyze {
+        /// Directory written by `run --save` (one `.pcap` + `.json` per call).
+        dir: PathBuf,
+        /// Drive the chunked streaming engine instead of the batch loader.
+        stream: bool,
+        /// Records per read chunk in streaming mode (0 = default).
+        chunk: usize,
     },
     /// Generate one emulated call capture.
     Generate {
@@ -68,11 +79,19 @@ rtc-study — the RTC protocol-compliance study pipeline
 
 USAGE:
   rtc-study run [--secs N] [--scale F] [--repeats N] [--seed N]
-                [--apps a,b] [--networks x,y] [--out DIR]
+                [--apps a,b] [--networks x,y] [--out DIR] [--save DIR]
+  rtc-study analyze <dir> [--stream] [--chunk N]
   rtc-study generate <app> <network> <out.pcap> [--secs N] [--seed N]
   rtc-study dissect <capture.pcap[ng]> [--window START END] [--threads N]
   rtc-study tables
   rtc-study help
+
+`analyze` re-analyzes an experiment saved with `run --save`. With
+`--stream` the captures are read in bounded chunks through the staged
+streaming engine (peak memory independent of trace size) and one progress
+line per call reports the per-stage counters and timings.
+
+The process exits nonzero when any call's analysis failed.
 
 apps:     zoom facetime whatsapp messenger discord meet
 networks: wifi-p2p wifi-relay cellular
@@ -95,6 +114,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut apps = Vec::new();
             let mut networks = Vec::new();
             let mut out = None;
+            let mut save = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
                 match flag.as_str() {
@@ -107,13 +127,30 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         networks = value("--networks")?.split(',').map(|s| s.trim().to_string()).collect()
                     }
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    "--save" => save = Some(PathBuf::from(value("--save")?)),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
                 return Err("--scale must be in (0, 1]".into());
             }
-            Ok(Command::Run { call_secs, scale, repeats, seed, apps, networks, out })
+            Ok(Command::Run { call_secs, scale, repeats, seed, apps, networks, out, save })
+        }
+        "analyze" => {
+            let dir = PathBuf::from(it.next().cloned().ok_or("analyze: missing <dir>")?);
+            let mut stream = false;
+            let mut chunk = 0usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--stream" => stream = true,
+                    "--chunk" => {
+                        chunk =
+                            it.next().ok_or("--chunk needs a value")?.parse().map_err(|e| format!("--chunk: {e}"))?;
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Analyze { dir, stream, chunk })
         }
         "generate" => {
             let app = it.next().cloned().ok_or("generate: missing <app>")?;
@@ -197,7 +234,7 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             }
             Ok(0)
         }
-        Command::Run { call_secs, scale, repeats, seed, apps, networks, out: out_dir } => {
+        Command::Run { call_secs, scale, repeats, seed, apps, networks, out: out_dir, save } => {
             let mut config = StudyConfig::paper_matrix(call_secs, scale, seed);
             config.experiment.repeats = repeats;
             if !apps.is_empty() {
@@ -211,7 +248,14 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
                 "running {} calls ({call_secs}s at scale {scale}, seed {seed}) ...",
                 config.experiment.total_calls()
             )?;
-            let report = Study::run(&config);
+            let report = if let Some(dir) = save {
+                let captures = rtc_core::capture::run_experiment(&config.experiment);
+                rtc_core::capture::save_experiment(&dir, &captures)?;
+                writeln!(out, "captures saved to {}", dir.display())?;
+                Study::analyze(&captures, &config)
+            } else {
+                Study::run(&config)
+            };
             writeln!(out, "{}", report.render_all())?;
             if let Some(dir) = out_dir {
                 std::fs::create_dir_all(&dir)?;
@@ -224,7 +268,21 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
                 std::fs::write(dir.join("summary.json"), serde_json::to_string_pretty(&summary)?)?;
                 writeln!(out, "artifacts exported to {}", dir.display())?;
             }
-            Ok(0)
+            report_exit_code(&report, out)
+        }
+        Command::Analyze { dir, stream, chunk } => {
+            let config = StudyConfig::smoke(0);
+            let report = if stream {
+                writeln!(out, "streaming analysis of {} ...", dir.display())?;
+                rtc_core::StreamingStudy::analyze_dir(&dir, &config, chunk, Some(&mut *out))?
+            } else {
+                writeln!(out, "batch analysis of {} ...", dir.display())?;
+                let captures = rtc_core::capture::load_experiment(&dir)?;
+                Study::analyze(&captures, &config)
+            };
+            writeln!(out, "{}", report.render_all())?;
+            writeln!(out, "pipeline: {}", report.pipeline.summary_line())?;
+            report_exit_code(&report, out)
         }
         Command::Generate { app, network, out: path, call_secs, seed } => {
             let mut config = StudyConfig::smoke(seed);
@@ -254,13 +312,17 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             writeln!(out, "{}: {} decodable packets", path.display(), datagrams.len())?;
             let mut config = StudyConfig::smoke(0);
             config.dpi.threads = threads;
-            let rtc_udp = match window {
+            // Both arms borrow from their backing store — the filter result
+            // or the decoded trace — so no datagram is cloned here.
+            let filtered;
+            let rtc_udp: Vec<&rtc_core::pcap::trace::Datagram> = match window {
                 Some((a, b)) => {
                     let w = (rtc_core::pcap::Timestamp::from_secs(a), rtc_core::pcap::Timestamp::from_secs(b));
-                    rtc_core::filter::run(&datagrams, w, &config.filter).rtc_udp_datagrams()
+                    filtered = rtc_core::filter::run(&datagrams, w, &config.filter);
+                    filtered.rtc_udp_datagrams()
                 }
                 None => datagrams
-                    .into_iter()
+                    .iter()
                     .filter(|d| d.five_tuple.transport == rtc_core::wire::ip::Transport::Udp)
                     .collect(),
             };
@@ -300,6 +362,18 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
     }
 }
 
+/// Exit nonzero when any call's analysis failed, listing the failures.
+fn report_exit_code(report: &rtc_core::StudyReport, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
+    if report.failures.is_empty() {
+        return Ok(0);
+    }
+    for f in &report.failures {
+        writeln!(out, "FAILED: {} / {} (call {}): {}", f.app, f.network, f.index, f.error)?;
+    }
+    writeln!(out, "{} call(s) failed analysis", report.failures.len())?;
+    Ok(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,7 +394,7 @@ mod tests {
         let c =
             parse(&args("run --secs 90 --scale 0.5 --repeats 2 --seed 9 --apps zoom,discord --out /tmp/x")).unwrap();
         match c {
-            Command::Run { call_secs, scale, repeats, seed, apps, networks, out } => {
+            Command::Run { call_secs, scale, repeats, seed, apps, networks, out, save } => {
                 assert_eq!(call_secs, 90);
                 assert!((scale - 0.5).abs() < 1e-9);
                 assert_eq!(repeats, 2);
@@ -328,9 +402,21 @@ mod tests {
                 assert_eq!(apps, vec!["zoom", "discord"]);
                 assert!(networks.is_empty());
                 assert_eq!(out, Some(PathBuf::from("/tmp/x")));
+                assert_eq!(save, None);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_analyze_flags() {
+        let c = parse(&args("analyze /tmp/exp")).unwrap();
+        assert_eq!(c, Command::Analyze { dir: PathBuf::from("/tmp/exp"), stream: false, chunk: 0 });
+        let c = parse(&args("analyze /tmp/exp --stream --chunk 256")).unwrap();
+        assert_eq!(c, Command::Analyze { dir: PathBuf::from("/tmp/exp"), stream: true, chunk: 256 });
+        assert!(parse(&args("analyze")).is_err());
+        assert!(parse(&args("analyze /tmp/exp --chunk nope")).is_err());
+        assert!(parse(&args("analyze /tmp/exp --bogus")).is_err());
     }
 
     #[test]
@@ -409,6 +495,69 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("RTP"), "{text}");
         assert!(text.contains("compliant"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Save a tiny campaign to `dir` and return the number of calls.
+    fn save_campaign(dir: &std::path::Path) -> usize {
+        let mut config = StudyConfig::smoke(3);
+        config.experiment.apps = vec!["zoom".into()];
+        config.experiment.networks = vec!["wifi-relay".into()];
+        config.experiment.repeats = 1;
+        let captures = rtc_core::capture::run_experiment(&config.experiment);
+        rtc_core::capture::save_experiment(dir, &captures).unwrap();
+        captures.len()
+    }
+
+    #[test]
+    fn analyze_saved_experiment_both_modes() {
+        let dir = std::env::temp_dir().join(format!("rtc-cli-analyze-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let calls = save_campaign(&dir);
+
+        let mut batch = Vec::new();
+        let code = execute(Command::Analyze { dir: dir.clone(), stream: false, chunk: 0 }, &mut batch).unwrap();
+        assert_eq!(code, 0);
+        let batch = String::from_utf8(batch).unwrap();
+        assert!(batch.contains("Table 1"), "{batch}");
+
+        let mut streamed = Vec::new();
+        let code = execute(Command::Analyze { dir: dir.clone(), stream: true, chunk: 64 }, &mut streamed).unwrap();
+        assert_eq!(code, 0);
+        let streamed = String::from_utf8(streamed).unwrap();
+        // One per-stage progress line per call, plus the study-wide summary.
+        assert_eq!(streamed.matches(&format!("[1/{calls}]")).count(), 1, "{streamed}");
+        assert!(streamed.contains("decode"), "{streamed}");
+        assert!(streamed.contains("pipeline:"), "{streamed}");
+        // Both modes render the identical tables (timings on the trailing
+        // pipeline summary differ, so compare up to that line).
+        let tables = |s: &str| {
+            let start = s.find("Table 1").unwrap();
+            let end = s.rfind("pipeline:").unwrap();
+            s[start..end].to_string()
+        };
+        assert_eq!(tables(&batch), tables(&streamed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_exits_nonzero_on_failed_call() {
+        let dir = std::env::temp_dir().join(format!("rtc-cli-analyze-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        save_campaign(&dir);
+        // Truncate the capture so the streaming reader fails mid-call.
+        let pcap = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "pcap"))
+            .unwrap();
+        std::fs::write(&pcap, b"not a pcap").unwrap();
+        let mut buf = Vec::new();
+        let code = execute(Command::Analyze { dir: dir.clone(), stream: true, chunk: 0 }, &mut buf).unwrap();
+        assert_eq!(code, 1);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("FAILED"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

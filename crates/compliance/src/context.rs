@@ -11,7 +11,7 @@
 //! * *Allocate ping-pong* (criterion 5's example): Google Meet repurposes
 //!   Allocate Requests as a periodic connectivity check.
 
-use rtc_dpi::{CallDissection, CandidateKind};
+use rtc_dpi::{CallDissection, CandidateKind, DatagramDissection, DpiMessage};
 use rtc_wire::ip::FiveTuple;
 use rtc_wire::stun::{msg_type, Message, MessageClass};
 use std::collections::{HashMap, HashSet};
@@ -34,42 +34,72 @@ pub struct CallContext {
 
 impl CallContext {
     /// Analyze all STUN messages of a dissected call.
+    ///
+    /// Thin wrapper over the incremental [`CallContextBuilder`].
     pub fn build(dissection: &CallDissection) -> CallContext {
-        let mut ctx = CallContext::default();
-
-        // Gather per-stream request/response observations in capture order.
-        struct Obs {
-            txid: [u8; 12],
-            message_type: u16,
-        }
-        let mut requests: HashMap<FiveTuple, Vec<Obs>> = HashMap::new();
-        let mut responded: HashSet<StunKey> = HashSet::new();
-        let mut allocate_successes: HashMap<FiveTuple, usize> = HashMap::new();
-
+        let mut builder = CallContextBuilder::default();
         for (dgram, msg) in dissection.messages() {
-            let CandidateKind::Stun { message_type, .. } = msg.kind else {
-                continue;
-            };
-            let Ok(parsed) = Message::new_checked(&msg.data) else {
-                continue;
-            };
-            let mut txid = [0u8; 12];
-            txid.copy_from_slice(parsed.transaction_id());
-            match parsed.class() {
-                MessageClass::Request => {
-                    requests.entry(dgram.stream).or_default().push(Obs { txid, message_type });
-                }
-                MessageClass::SuccessResponse | MessageClass::ErrorResponse => {
-                    // A response pairs with the request on the reverse tuple.
-                    responded.insert((dgram.stream.reversed(), txid));
-                    if message_type == msg_type::ALLOCATE_SUCCESS {
-                        *allocate_successes.entry(dgram.stream.reversed()).or_default() += 1;
-                    }
-                }
-                MessageClass::Indication => {}
-            }
+            builder.observe(dgram, msg);
         }
+        builder.finish()
+    }
+}
 
+/// One STUN request observation, in capture order.
+struct Obs {
+    txid: [u8; 12],
+    message_type: u16,
+}
+
+/// Incrementally gathers the per-stream request/response observations the
+/// [`CallContext`] analyses need: call [`observe`] per extracted message as
+/// dissections stream by, then [`finish`] once the call is complete.
+///
+/// The three contextual checks (sequential transaction IDs,
+/// over-retransmission, Allocate ping-pong) are whole-call properties —
+/// the builder carries compact observations instead of re-walking a
+/// materialized dissection list.
+///
+/// [`observe`]: CallContextBuilder::observe
+/// [`finish`]: CallContextBuilder::finish
+#[derive(Default)]
+pub struct CallContextBuilder {
+    requests: HashMap<FiveTuple, Vec<Obs>>,
+    responded: HashSet<StunKey>,
+    allocate_successes: HashMap<FiveTuple, usize>,
+}
+
+impl CallContextBuilder {
+    /// Record one extracted message, in capture order. Non-STUN messages
+    /// are ignored.
+    pub fn observe(&mut self, dgram: &DatagramDissection, msg: &DpiMessage) {
+        let CandidateKind::Stun { message_type, .. } = msg.kind else {
+            return;
+        };
+        let Ok(parsed) = Message::new_checked(&msg.data) else {
+            return;
+        };
+        let mut txid = [0u8; 12];
+        txid.copy_from_slice(parsed.transaction_id());
+        match parsed.class() {
+            MessageClass::Request => {
+                self.requests.entry(dgram.stream).or_default().push(Obs { txid, message_type });
+            }
+            MessageClass::SuccessResponse | MessageClass::ErrorResponse => {
+                // A response pairs with the request on the reverse tuple.
+                self.responded.insert((dgram.stream.reversed(), txid));
+                if message_type == msg_type::ALLOCATE_SUCCESS {
+                    *self.allocate_successes.entry(dgram.stream.reversed()).or_default() += 1;
+                }
+            }
+            MessageClass::Indication => {}
+        }
+    }
+
+    /// Run the whole-call analyses over the gathered observations.
+    pub fn finish(self) -> CallContext {
+        let CallContextBuilder { requests, responded, allocate_successes } = self;
+        let mut ctx = CallContext::default();
         for (stream, obs) in &requests {
             // --- Over-retransmission: one txid used more than 7 times, never
             // answered.

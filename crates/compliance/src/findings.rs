@@ -137,14 +137,25 @@ pub fn detect_call(dissection: &CallDissection) -> Vec<Finding> {
     out
 }
 
+/// A call's SSRC inventory, as consumed by [`detect_ssrc_reuse_sets`].
+pub fn ssrc_set(dissection: &CallDissection) -> std::collections::BTreeSet<u32> {
+    dissection.rtp_ssrcs.values().flat_map(|s| s.iter().copied()).collect()
+}
+
 /// Cross-call detector: identical SSRC inventories across distinct calls
 /// (Zoom's deterministic SSRC assignment, §5.2.2).
 pub fn detect_ssrc_reuse(calls: &[&CallDissection]) -> Option<Finding> {
-    if calls.len() < 2 {
+    let sets: Vec<std::collections::BTreeSet<u32>> = calls.iter().map(|c| ssrc_set(c)).collect();
+    detect_ssrc_reuse_sets(&sets)
+}
+
+/// Set-based form of [`detect_ssrc_reuse`]: the streaming aggregator keeps
+/// only each call's SSRC inventory (via [`ssrc_set`]) instead of retaining
+/// whole dissections across calls.
+pub fn detect_ssrc_reuse_sets(sets: &[std::collections::BTreeSet<u32>]) -> Option<Finding> {
+    if sets.len() < 2 {
         return None;
     }
-    let sets: Vec<std::collections::BTreeSet<u32>> =
-        calls.iter().map(|c| c.rtp_ssrcs.values().flat_map(|s| s.iter().copied()).collect()).collect();
     let first = &sets[0];
     if first.is_empty() {
         return None;
@@ -152,10 +163,10 @@ pub fn detect_ssrc_reuse(calls: &[&CallDissection]) -> Option<Finding> {
     if sets.iter().all(|s| s == first) {
         Some(Finding {
             kind: FindingKind::SsrcReuseAcrossCalls,
-            count: calls.len(),
+            count: sets.len(),
             detail: format!(
                 "all {} calls use the identical SSRC set {:?} — SSRCs are not randomized per call",
-                calls.len(),
+                sets.len(),
                 first
             ),
         })

@@ -126,7 +126,7 @@ impl core::fmt::Display for TypeKey {
 }
 
 /// One judged message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckedMessage {
     /// Protocol family.
     pub protocol: Protocol,
@@ -148,7 +148,7 @@ impl CheckedMessage {
 }
 
 /// All judged messages of one call.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckedCall {
     /// One entry per DPI-extracted message, in capture order.
     pub messages: Vec<CheckedMessage>,
@@ -167,25 +167,32 @@ impl CheckedCall {
     }
 }
 
+/// Judge one DPI-extracted message against the five criteria.
+///
+/// The per-message unit shared by the batch [`check_call`] path and the
+/// streaming pipeline, which judges each dissected datagram's messages as
+/// they arrive once the whole-call [`context::CallContext`] is sealed.
+pub fn check_message(
+    dgram: &rtc_dpi::DatagramDissection,
+    msg: &rtc_dpi::DpiMessage,
+    ctx: &context::CallContext,
+) -> CheckedMessage {
+    let (type_key, violation) = match &msg.kind {
+        CandidateKind::Stun { .. } => stun::check_stun(dgram, msg, ctx),
+        CandidateKind::ChannelData { .. } => stun::check_channeldata(dgram, msg),
+        CandidateKind::Rtp { .. } => rtp::check_rtp(dgram, msg),
+        CandidateKind::Rtcp { .. } => rtcp::check_rtcp(dgram, msg),
+        CandidateKind::QuicLong { .. } | CandidateKind::QuicShortProbe => quic::check_quic(dgram, msg),
+    };
+    CheckedMessage { protocol: msg.protocol, type_key, ts: dgram.ts, stream: dgram.stream, violation }
+}
+
 /// Judge every message of a dissected call.
 pub fn check_call(dissection: &CallDissection) -> CheckedCall {
     let ctx = context::CallContext::build(dissection);
     let mut out = CheckedCall::default();
     for (dgram, msg) in dissection.messages() {
-        let (type_key, violation) = match &msg.kind {
-            CandidateKind::Stun { .. } => stun::check_stun(dgram, msg, &ctx),
-            CandidateKind::ChannelData { .. } => stun::check_channeldata(dgram, msg),
-            CandidateKind::Rtp { .. } => rtp::check_rtp(dgram, msg),
-            CandidateKind::Rtcp { .. } => rtcp::check_rtcp(dgram, msg),
-            CandidateKind::QuicLong { .. } | CandidateKind::QuicShortProbe => quic::check_quic(dgram, msg),
-        };
-        out.messages.push(CheckedMessage {
-            protocol: msg.protocol,
-            type_key,
-            ts: dgram.ts,
-            stream: dgram.stream,
-            violation,
-        });
+        out.messages.push(check_message(dgram, msg, &ctx));
     }
     out.fully_proprietary_datagrams =
         dissection.datagrams.iter().filter(|d| d.class == rtc_dpi::DatagramClass::FullyProprietary).count();

@@ -28,6 +28,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod pipeline;
+
 pub use rtc_apps as apps;
 pub use rtc_capture as capture;
 pub use rtc_compliance as compliance;
@@ -90,28 +92,20 @@ pub struct CallAnalysis {
 }
 
 /// Run the full per-call pipeline: decode → filter → DPI → compliance.
+///
+/// A thin wrapper over the streaming engine ([`pipeline::CallSession`]):
+/// the batch and streaming drivers share one code path.
 pub fn analyze_capture(cap: &CallCapture, config: &StudyConfig) -> CallAnalysis {
-    let datagrams = cap.trace.datagrams();
-    let fr = rtc_filter::run(&datagrams, cap.manifest.call_window(), &config.filter);
-    let rtc_udp = fr.rtc_udp_datagrams();
-    let dissection = rtc_dpi::dissect_call(&rtc_udp, &config.dpi);
-    let checked = rtc_compliance::check_call(&dissection);
-    let findings = rtc_compliance::findings::detect_call(&dissection);
-    let header_profiles = rtc_dpi::proprietary::profile_streams(&dissection, 50);
-    let record = CallRecord {
-        app: cap.manifest.application().name().to_string(),
-        network: cap.manifest.network.clone(),
-        repeat: cap.manifest.repeat,
-        raw_bytes: cap.trace.total_bytes(),
-        raw: fr.raw,
-        stage1: fr.stage1,
-        stage2: fr.stage2,
-        rtc: fr.rtc,
-        classes: CallRecord::class_counts(&dissection),
-        rejections: dissection.rejections.clone(),
-        checked,
-    };
-    CallAnalysis { record, dissection, findings, header_profiles }
+    analyze_capture_staged(cap, config).0
+}
+
+/// [`analyze_capture`], also returning the per-stage counters/timings.
+pub fn analyze_capture_staged(cap: &CallCapture, config: &StudyConfig) -> (CallAnalysis, pipeline::PipelineStats) {
+    let mut session = pipeline::CallSession::new(pipeline::CallMeta::of(&cap.manifest), config);
+    for record in &cap.trace.records {
+        session.push_record(record.clone());
+    }
+    session.finish()
 }
 
 /// The artifacts of the paper's evaluation section.
@@ -178,6 +172,9 @@ pub struct StudyReport {
     pub header_profiles: BTreeMap<String, Vec<String>>,
     /// Calls whose analysis panicked, in input order (empty on a clean run).
     pub failures: Vec<FailedCall>,
+    /// Per-stage counters/timings summed over all calls, with the peak
+    /// filter residency (max over calls).
+    pub pipeline: pipeline::PipelineStats,
 }
 
 impl StudyReport {
@@ -267,14 +264,14 @@ impl Study {
 
     /// Analyze existing captures (e.g. loaded from disk).
     pub fn analyze(captures: &[CallCapture], config: &StudyConfig) -> StudyReport {
-        Self::analyze_with(captures, config, analyze_capture)
+        Self::analyze_with(captures, config, analyze_capture_staged)
     }
 
     /// The worker loop behind [`Study::analyze`], parameterized over the
     /// per-call analysis so tests can inject failures.
     fn analyze_with<F>(captures: &[CallCapture], config: &StudyConfig, analyze_one: F) -> StudyReport
     where
-        F: Fn(&CallCapture, &StudyConfig) -> CallAnalysis + Sync,
+        F: Fn(&CallCapture, &StudyConfig) -> (CallAnalysis, pipeline::PipelineStats) + Sync,
     {
         let queue = crossbeam::queue::SegQueue::new();
         for (i, c) in captures.iter().enumerate() {
@@ -290,7 +287,8 @@ impl Study {
             config.dpi.threads = (cores / workers).max(1);
         }
         let config = &config;
-        let mut analyses: Vec<Option<CallAnalysis>> = (0..captures.len()).map(|_| None).collect();
+        let mut analyses: Vec<Option<(CallAnalysis, pipeline::PipelineStats)>> =
+            (0..captures.len()).map(|_| None).collect();
         let mut failures: Vec<FailedCall> = Vec::new();
         std::thread::scope(|s| {
             let mut handles = Vec::new();
@@ -327,39 +325,144 @@ impl Study {
             }
         });
         failures.sort_by_key(|f| f.index);
-        let analyses: Vec<CallAnalysis> = analyses.into_iter().flatten().collect();
 
-        // Cross-call findings: SSRC reuse per (app, network) cell.
-        let mut findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
-        let mut header_profiles: BTreeMap<String, Vec<String>> = BTreeMap::new();
-        let mut by_cell: BTreeMap<(String, String), Vec<&rtc_dpi::CallDissection>> = BTreeMap::new();
-        for a in &analyses {
-            let entry = header_profiles.entry(a.record.app.clone()).or_default();
-            for p in &a.header_profiles {
-                if entry.len() < 3 {
-                    entry.push(p.summary());
-                }
-            }
-            by_cell.entry((a.record.app.clone(), a.record.network.clone())).or_default().push(&a.dissection);
-            let entry = findings.entry(a.record.app.clone()).or_default();
-            for f in &a.findings {
-                if !entry.iter().any(|e| e.kind == f.kind) {
-                    entry.push(f.clone());
-                }
-            }
+        // Fold completed calls through the incremental aggregator — the
+        // exact state machine the streaming driver uses, so batch and
+        // streaming reports are identical by construction.
+        let mut aggregate = rtc_report::Aggregator::new();
+        let mut stats = pipeline::PipelineStats::default();
+        for (analysis, call_stats) in analyses.into_iter().flatten() {
+            stats.absorb(&call_stats);
+            absorb_analysis(&mut aggregate, &mut stats, analysis);
         }
-        for ((app, _net), dissections) in &by_cell {
-            if let Some(f) = rtc_compliance::findings::detect_ssrc_reuse(dissections) {
-                let entry = findings.entry(app.clone()).or_default();
-                if !entry.iter().any(|e| e.kind == f.kind) {
-                    entry.push(f);
-                }
-            }
-        }
+        let rtc_report::AggregateReport { data, findings, header_profiles } = aggregate.finish();
+        StudyReport { data, findings, header_profiles, failures, pipeline: stats }
+    }
+}
 
-        header_profiles.retain(|_, v| !v.is_empty());
-        let data = StudyData { calls: analyses.into_iter().map(|a| a.record).collect() };
-        StudyReport { data, findings, header_profiles, failures }
+/// Fold one call's analysis into the aggregator (the pipeline's fifth
+/// stage), timing it under [`pipeline::StageKind::Aggregate`]. Only the
+/// compact by-products survive: the record, findings, header-profile
+/// summaries, and SSRC inventory — the dissection is dropped here.
+fn absorb_analysis(
+    aggregate: &mut rtc_report::Aggregator,
+    stats: &mut pipeline::PipelineStats,
+    analysis: CallAnalysis,
+) {
+    let t = std::time::Instant::now();
+    let summaries: Vec<String> = analysis.header_profiles.iter().map(|p| p.summary()).collect();
+    let ssrcs = rtc_compliance::findings::ssrc_set(&analysis.dissection);
+    aggregate.absorb_call(analysis.record, &analysis.findings, &summaries, ssrcs);
+    let m = stats.stage_mut(pipeline::StageKind::Aggregate);
+    m.items_in += 1;
+    m.items_out += 1;
+    m.busy += t.elapsed();
+}
+
+/// The streaming study driver: analyzes a saved experiment directory
+/// (see [`rtc_capture::save_experiment`]) call by call through the staged
+/// engine, reading each capture in bounded chunks — peak memory is
+/// O(chunk + live streams + one call's RTC traffic), independent of trace
+/// or campaign size.
+pub struct StreamingStudy;
+
+impl StreamingStudy {
+    /// Analyze every saved call under `dir`. `chunk_records` bounds how
+    /// many pcap records are resident per read (0 = default). When
+    /// `progress` is given, one line per call reports the per-stage
+    /// counters and timings.
+    pub fn analyze_dir(
+        dir: impl AsRef<std::path::Path>,
+        config: &StudyConfig,
+        chunk_records: usize,
+        mut progress: Option<&mut dyn std::io::Write>,
+    ) -> std::io::Result<StudyReport> {
+        let dir = dir.as_ref();
+        let mut manifests: Vec<(std::path::PathBuf, rtc_capture::CallManifest)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let manifest: rtc_capture::CallManifest =
+                serde_json::from_str(&std::fs::read_to_string(&path)?).map_err(std::io::Error::other)?;
+            if rtc_apps::Application::from_slug(&manifest.app).is_none() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: unknown application slug {:?}", path.display(), manifest.app),
+                ));
+            }
+            if rtc_netemu::NetworkConfig::from_label(&manifest.network).is_none() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: unknown network label {:?}", path.display(), manifest.network),
+                ));
+            }
+            manifests.push((path.with_extension("pcap"), manifest));
+        }
+        manifests.sort_by(|a, b| (&a.1.app, &a.1.network, a.1.repeat).cmp(&(&b.1.app, &b.1.network, b.1.repeat)));
+
+        let total = manifests.len();
+        let mut aggregate = rtc_report::Aggregator::new();
+        let mut stats = pipeline::PipelineStats::default();
+        let mut failures: Vec<FailedCall> = Vec::new();
+        for (index, (pcap_path, manifest)) in manifests.into_iter().enumerate() {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || -> std::io::Result<(CallAnalysis, pipeline::PipelineStats)> {
+                    let mut reader = rtc_pcap::open_file(&pcap_path, chunk_records)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?;
+                    let mut session = pipeline::CallSession::new(pipeline::CallMeta::of(&manifest), config);
+                    while let Some(chunk) = reader.next_chunk().map_err(|e| std::io::Error::other(e.to_string()))? {
+                        for record in chunk {
+                            session.push_record(record);
+                        }
+                    }
+                    Ok(session.finish())
+                },
+            ));
+            // A broken or poisoned capture is recorded and skipped; the
+            // remaining calls still produce a report.
+            let error = match outcome {
+                Ok(Ok((analysis, call_stats))) => {
+                    stats.absorb(&call_stats);
+                    absorb_analysis(&mut aggregate, &mut stats, analysis);
+                    if let Some(w) = progress.as_deref_mut() {
+                        writeln!(
+                            w,
+                            "[{}/{}] {} / {} #{}: {}",
+                            index + 1,
+                            total,
+                            manifest.application().name(),
+                            manifest.network,
+                            manifest.repeat,
+                            call_stats.summary_line()
+                        )?;
+                    }
+                    continue;
+                }
+                Ok(Err(io_err)) => io_err.to_string(),
+                Err(panic) => panic_message(panic.as_ref()),
+            };
+            if let Some(w) = progress.as_deref_mut() {
+                writeln!(
+                    w,
+                    "[{}/{}] {} / {} #{}: FAILED: {error}",
+                    index + 1,
+                    total,
+                    manifest.app,
+                    manifest.network,
+                    manifest.repeat
+                )?;
+            }
+            failures.push(FailedCall {
+                index,
+                app: manifest.application().name().to_string(),
+                network: manifest.network.clone(),
+                error,
+            });
+        }
+        let rtc_report::AggregateReport { data, findings, header_profiles } = aggregate.finish();
+        Ok(StudyReport { data, findings, header_profiles, failures, pipeline: stats })
     }
 }
 
@@ -405,7 +508,7 @@ mod tests {
             if cap.manifest.application().name() == "Discord" {
                 panic!("injected failure");
             }
-            analyze_capture(cap, config)
+            analyze_capture_staged(cap, config)
         });
         // The healthy call is fully analyzed, the poisoned one recorded.
         assert_eq!(report.data.calls.len(), 1);

@@ -1,0 +1,579 @@
+//! The staged streaming analysis engine.
+//!
+//! One call flows through five stages:
+//!
+//! ```text
+//! pcap records ─▶ Decode ─▶ Filter ─▶ Dpi ─▶ Compliance ─▶ Aggregate
+//!                 (per      (online   (observe,  (context,     (fold into
+//!                  record)   5-tuple   then       then          the study)
+//!                            acct.)    resolve)   judge)
+//! ```
+//!
+//! Datagram payloads are zero-copy [`bytes::Bytes`] views of the record
+//! frame buffers, so a datagram costs a refcount, not a copy, on its way
+//! through the stages. The [`Decode`](StageKind::Decode) and
+//! [`Filter`](StageKind::Filter) stages are truly incremental: records
+//! arrive chunk by chunk (see [`rtc_pcap::TraceReader`]) and the online
+//! filter retains only what later stages can still need — non-RTC streams
+//! are dropped the moment they are provably doomed, so peak memory is
+//! O(chunk + live streams), not O(trace). DPI and compliance are
+//! whole-call analyses by nature (stream validation and contextual checks
+//! need the complete call); their stages buffer the *accepted* RTC
+//! datagrams only — the small survivor set of the two-stage filter.
+//!
+//! The batch API ([`crate::analyze_capture`], [`crate::Study::run`]) is a
+//! thin wrapper over this engine: one code path, two drivers. The
+//! `streaming_matches_batch` differential tests assert the outputs are
+//! identical.
+
+use crate::{CallAnalysis, StudyConfig};
+use rtc_compliance::context::CallContextBuilder;
+use rtc_compliance::{check_message, CheckedCall, CheckedMessage};
+use rtc_dpi::resolve::{ContextBuilder, ValidationContext};
+use rtc_dpi::{CallDissection, CandidateBatch, DatagramClass, DatagramDissection, DpiConfig};
+use rtc_filter::{FilterConfig, OnlineFilter, OnlineOutcome, Retention};
+use rtc_pcap::trace::{decode_record, Datagram, Record};
+use rtc_pcap::Timestamp;
+use rtc_report::CallRecord;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Identity of the five pipeline stages, in flow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Link-layer records → transport datagrams (zero-copy payload views).
+    Decode,
+    /// Online two-stage filtering (§3.2): 5-tuple stream accounting and
+    /// window classification.
+    Filter,
+    /// Offset-shifting DPI (§4.1): candidate extraction + stream-context
+    /// validation.
+    Dpi,
+    /// Five-criterion compliance judgment (§4.2).
+    Compliance,
+    /// Folding completed calls into the study report.
+    Aggregate,
+}
+
+impl StageKind {
+    /// All stages, in flow order.
+    pub const ALL: [StageKind; 5] =
+        [StageKind::Decode, StageKind::Filter, StageKind::Dpi, StageKind::Compliance, StageKind::Aggregate];
+
+    /// Short lowercase label for progress lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Decode => "decode",
+            StageKind::Filter => "filter",
+            StageKind::Dpi => "dpi",
+            StageKind::Compliance => "compliance",
+            StageKind::Aggregate => "aggregate",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Counters and wall-clock busy time of one stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageMetrics {
+    /// Items pushed into the stage.
+    pub items_in: u64,
+    /// Items the stage emitted downstream.
+    pub items_out: u64,
+    /// Time spent inside the stage's `push` and `finish` calls.
+    pub busy: Duration,
+}
+
+impl StageMetrics {
+    /// Sum another stage's counters into this one.
+    pub fn absorb(&mut self, other: &StageMetrics) {
+        self.items_in += other.items_in;
+        self.items_out += other.items_out;
+        self.busy += other.busy;
+    }
+}
+
+/// Per-stage counters/timings of a pipeline run (one call, or summed over
+/// a whole study), exposed on [`crate::StudyReport::pipeline`].
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Metrics per stage, indexed in [`StageKind::ALL`] order.
+    pub stages: [StageMetrics; 5],
+    /// High-water mark of datagram bytes the online filter retained —
+    /// the pipeline's residency bound (max over calls when summed).
+    pub peak_retained_bytes: usize,
+}
+
+impl PipelineStats {
+    /// Metrics of one stage.
+    pub fn stage(&self, kind: StageKind) -> &StageMetrics {
+        &self.stages[kind.index()]
+    }
+
+    /// Mutable metrics of one stage.
+    pub fn stage_mut(&mut self, kind: StageKind) -> &mut StageMetrics {
+        &mut self.stages[kind.index()]
+    }
+
+    /// Fold another run's stats into this one: counters add, the memory
+    /// high-water mark takes the max.
+    pub fn absorb(&mut self, other: &PipelineStats) {
+        for (mine, theirs) in self.stages.iter_mut().zip(other.stages.iter()) {
+            mine.absorb(theirs);
+        }
+        self.peak_retained_bytes = self.peak_retained_bytes.max(other.peak_retained_bytes);
+    }
+
+    /// One-line summary for progress output, e.g.
+    /// `decode 120→118 | filter 118→40 | dpi 40→40 | compliance 40→52 | peak 3 KiB`.
+    pub fn summary_line(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for kind in StageKind::ALL {
+            let m = self.stage(kind);
+            if m.items_in == 0 && m.items_out == 0 {
+                continue;
+            }
+            parts.push(format!(
+                "{} {}→{} {:.1}ms",
+                kind.label(),
+                m.items_in,
+                m.items_out,
+                m.busy.as_secs_f64() * 1e3
+            ));
+        }
+        parts.push(format!("peak {} B", self.peak_retained_bytes));
+        parts.join(" | ")
+    }
+}
+
+/// One stage of the streaming engine: items are `push`ed through one at a
+/// time; `finish` flushes whatever the stage withheld (stages whose
+/// decision needs the whole call emit everything here).
+///
+/// Stages write to a caller-provided sink instead of returning
+/// allocations, so a quiet stage costs nothing per item.
+pub trait Stage {
+    /// Item type flowing in.
+    type In;
+    /// Item type flowing out.
+    type Out;
+
+    /// Which pipeline slot this stage fills.
+    fn kind(&self) -> StageKind;
+
+    /// Feed one item; any ready output is appended to `out`.
+    fn push(&mut self, item: Self::In, out: &mut Vec<Self::Out>);
+
+    /// No more input: emit everything still withheld.
+    fn finish(&mut self, out: &mut Vec<Self::Out>);
+}
+
+/// Instrumentation wrapper: counts items in/out and accumulates busy time
+/// around an inner [`Stage`].
+pub struct Timed<S: Stage> {
+    stage: S,
+    metrics: StageMetrics,
+}
+
+impl<S: Stage> Timed<S> {
+    /// Wrap a stage.
+    pub fn new(stage: S) -> Timed<S> {
+        Timed { stage, metrics: StageMetrics::default() }
+    }
+
+    /// The wrapped stage.
+    pub fn stage(&self) -> &S {
+        &self.stage
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> StageMetrics {
+        self.metrics
+    }
+
+    /// Timed, counted `push`.
+    pub fn push(&mut self, item: S::In, out: &mut Vec<S::Out>) {
+        let before = out.len();
+        let t = Instant::now();
+        self.stage.push(item, out);
+        self.metrics.busy += t.elapsed();
+        self.metrics.items_in += 1;
+        self.metrics.items_out += (out.len() - before) as u64;
+    }
+
+    /// Timed, counted `finish`.
+    pub fn finish(&mut self, out: &mut Vec<S::Out>) {
+        let before = out.len();
+        let t = Instant::now();
+        self.stage.finish(out);
+        self.metrics.busy += t.elapsed();
+        self.metrics.items_out += (out.len() - before) as u64;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concrete stages.
+// ---------------------------------------------------------------------------
+
+/// Decode: link-layer [`Record`]s → transport [`Datagram`]s. Payloads are
+/// zero-copy slices of the record's frame buffer. Non-IP/odd frames are
+/// silently skipped, exactly like the batch `Trace::datagrams`.
+pub struct DecodeStage {
+    raw_bytes: usize,
+}
+
+impl DecodeStage {
+    /// Fresh decoder.
+    pub fn new() -> DecodeStage {
+        DecodeStage { raw_bytes: 0 }
+    }
+
+    /// Total link-layer bytes seen (the capture's `total_bytes`).
+    pub fn raw_bytes(&self) -> usize {
+        self.raw_bytes
+    }
+}
+
+impl Default for DecodeStage {
+    fn default() -> DecodeStage {
+        DecodeStage::new()
+    }
+}
+
+impl Stage for DecodeStage {
+    type In = Record;
+    type Out = Datagram;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Decode
+    }
+
+    fn push(&mut self, record: Record, out: &mut Vec<Datagram>) {
+        self.raw_bytes += record.data.len();
+        if let Some(d) = decode_record(&record) {
+            out.push(d);
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Vec<Datagram>) {}
+}
+
+/// Filter: the online two-stage filter in [`Retention::AcceptedUdp`] mode.
+/// Nothing is emitted until `finish` — stream classification is a
+/// whole-call decision — but datagrams of provably doomed streams are
+/// released as soon as their fate is sealed, which is what bounds
+/// retention to the live-stream set.
+pub struct FilterStage {
+    online: Option<OnlineFilter>,
+    outcome: Option<OnlineOutcome>,
+}
+
+impl FilterStage {
+    /// A filter for one call window.
+    pub fn new(call_window: (Timestamp, Timestamp), config: FilterConfig) -> FilterStage {
+        FilterStage { online: Some(OnlineFilter::new(call_window, config, Retention::AcceptedUdp)), outcome: None }
+    }
+
+    /// Datagram bytes currently retained.
+    pub fn retained_bytes(&self) -> usize {
+        self.online.as_ref().map(|o| o.retained_bytes()).unwrap_or(0)
+    }
+
+    /// 5-tuple streams currently tracked.
+    pub fn live_streams(&self) -> usize {
+        self.online.as_ref().map(|o| o.live_streams()).unwrap_or(0)
+    }
+
+    /// The filtering outcome; available after `finish`.
+    pub fn outcome(&self) -> Option<&OnlineOutcome> {
+        self.outcome.as_ref()
+    }
+}
+
+impl Stage for FilterStage {
+    type In = Datagram;
+    type Out = Datagram;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Filter
+    }
+
+    fn push(&mut self, d: Datagram, _out: &mut Vec<Datagram>) {
+        self.online.as_mut().expect("push after finish").push(d);
+    }
+
+    fn finish(&mut self, out: &mut Vec<Datagram>) {
+        let mut outcome = self.online.take().expect("finish twice").finish_streaming();
+        out.append(&mut outcome.accepted_udp);
+        self.outcome = Some(outcome);
+    }
+}
+
+/// DPI: on `push`, a datagram's candidates are extracted once (Algorithm 1
+/// lines 5–13) and fed to the validation-context builder; on `finish` the
+/// sealed context resolves every datagram (lines 14–19), reusing the
+/// stored candidates — extraction cost is paid exactly once per datagram,
+/// as in the batch `dissect_call`.
+pub struct DpiStage {
+    config: DpiConfig,
+    builder: Option<ContextBuilder>,
+    batch: CandidateBatch,
+    datagrams: Vec<Datagram>,
+    rejections: BTreeMap<String, usize>,
+    rtp_ssrcs: HashMap<rtc_wire::ip::FiveTuple, HashSet<u32>>,
+}
+
+impl DpiStage {
+    /// A DPI stage for one call.
+    pub fn new(config: &DpiConfig) -> DpiStage {
+        DpiStage {
+            config: *config,
+            builder: Some(ContextBuilder::new(config)),
+            batch: CandidateBatch::with_capacity(0),
+            datagrams: Vec::new(),
+            rejections: BTreeMap::new(),
+            rtp_ssrcs: HashMap::new(),
+        }
+    }
+
+    /// Hand over the call-level context gathered during resolution:
+    /// `(rejection taxonomy, RTP SSRCs per conversation)`.
+    pub fn take_call_parts(&mut self) -> (BTreeMap<String, usize>, HashMap<rtc_wire::ip::FiveTuple, HashSet<u32>>) {
+        (std::mem::take(&mut self.rejections), std::mem::take(&mut self.rtp_ssrcs))
+    }
+}
+
+impl Stage for DpiStage {
+    type In = Datagram;
+    type Out = DatagramDissection;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Dpi
+    }
+
+    fn push(&mut self, d: Datagram, _out: &mut Vec<DatagramDissection>) {
+        self.batch.push_payload(&d.payload, self.config.max_offset);
+        let candidates = self.batch.get(self.batch.len() - 1);
+        self.builder.as_mut().expect("push after finish").observe(&d, candidates);
+        self.datagrams.push(d);
+    }
+
+    fn finish(&mut self, out: &mut Vec<DatagramDissection>) {
+        let mut ctx: ValidationContext = self.builder.take().expect("finish twice").finish();
+        out.reserve(self.datagrams.len());
+        for (i, d) in self.datagrams.drain(..).enumerate() {
+            let dd = rtc_dpi::resolve::resolve_datagram(&d, self.batch.get(i), &ctx);
+            if dd.class == DatagramClass::FullyProprietary {
+                *self.rejections.entry(rtc_dpi::rejection_key(&d.payload)).or_default() += 1;
+            }
+            out.push(dd);
+        }
+        self.rtp_ssrcs = std::mem::take(&mut ctx.rtp_ssrcs);
+    }
+}
+
+/// Compliance: on `push`, each dissected datagram's messages feed the
+/// call-context builder (the contextual criteria are whole-call facts); on
+/// `finish` the sealed context judges every message in capture order.
+pub struct ComplianceStage {
+    builder: Option<CallContextBuilder>,
+    dissections: Vec<DatagramDissection>,
+    fully_proprietary: usize,
+}
+
+impl ComplianceStage {
+    /// A compliance stage for one call.
+    pub fn new() -> ComplianceStage {
+        ComplianceStage {
+            builder: Some(CallContextBuilder::default()),
+            dissections: Vec::new(),
+            fully_proprietary: 0,
+        }
+    }
+
+    /// Fully proprietary datagrams counted so far.
+    pub fn fully_proprietary(&self) -> usize {
+        self.fully_proprietary
+    }
+
+    /// Hand back the per-datagram dissections (for the call-level findings
+    /// and header-profile analyses).
+    pub fn take_dissections(&mut self) -> Vec<DatagramDissection> {
+        std::mem::take(&mut self.dissections)
+    }
+}
+
+impl Default for ComplianceStage {
+    fn default() -> ComplianceStage {
+        ComplianceStage::new()
+    }
+}
+
+impl Stage for ComplianceStage {
+    type In = DatagramDissection;
+    type Out = CheckedMessage;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Compliance
+    }
+
+    fn push(&mut self, dd: DatagramDissection, _out: &mut Vec<CheckedMessage>) {
+        let builder = self.builder.as_mut().expect("push after finish");
+        for m in &dd.messages {
+            builder.observe(&dd, m);
+        }
+        if dd.class == DatagramClass::FullyProprietary {
+            self.fully_proprietary += 1;
+        }
+        self.dissections.push(dd);
+    }
+
+    fn finish(&mut self, out: &mut Vec<CheckedMessage>) {
+        let ctx = self.builder.take().expect("finish twice").finish();
+        for dd in &self.dissections {
+            for m in &dd.messages {
+                out.push(check_message(dd, m, &ctx));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-call session wiring the stages together.
+// ---------------------------------------------------------------------------
+
+/// Ground-truth call metadata the pipeline needs (a subset of
+/// [`rtc_capture::CallManifest`]).
+#[derive(Debug, Clone)]
+pub struct CallMeta {
+    /// Application display name (e.g. "Zoom").
+    pub app: String,
+    /// Network configuration label.
+    pub network: String,
+    /// Repeat index.
+    pub repeat: usize,
+    /// The call window (start, end).
+    pub call_window: (Timestamp, Timestamp),
+}
+
+impl CallMeta {
+    /// Extract the pipeline-relevant metadata from a manifest.
+    pub fn of(manifest: &rtc_capture::CallManifest) -> CallMeta {
+        CallMeta {
+            app: manifest.application().name().to_string(),
+            network: manifest.network.clone(),
+            repeat: manifest.repeat,
+            call_window: manifest.call_window(),
+        }
+    }
+}
+
+/// One call flowing through the staged engine: feed [`Record`]s with
+/// [`CallSession::push_record`] (chunk by chunk — see
+/// [`rtc_pcap::TraceReader`]), then [`CallSession::finish`] to run the
+/// whole-call stages and obtain the analysis plus per-stage metrics.
+pub struct CallSession {
+    meta: CallMeta,
+    decode: Timed<DecodeStage>,
+    filter: Timed<FilterStage>,
+    dpi: Timed<DpiStage>,
+    compliance: Timed<ComplianceStage>,
+    /// Reusable scratch between decode and filter.
+    decoded: Vec<Datagram>,
+    /// Sink for stages that never emit on push.
+    silent: Vec<Datagram>,
+}
+
+impl CallSession {
+    /// Start a session for one call.
+    pub fn new(meta: CallMeta, config: &StudyConfig) -> CallSession {
+        CallSession {
+            decode: Timed::new(DecodeStage::new()),
+            filter: Timed::new(FilterStage::new(meta.call_window, config.filter.clone())),
+            dpi: Timed::new(DpiStage::new(&config.dpi)),
+            compliance: Timed::new(ComplianceStage::new()),
+            meta,
+            decoded: Vec::new(),
+            silent: Vec::new(),
+        }
+    }
+
+    /// Feed one capture record through decode and the online filter.
+    pub fn push_record(&mut self, record: Record) {
+        self.decode.push(record, &mut self.decoded);
+        for d in self.decoded.drain(..) {
+            self.filter.push(d, &mut self.silent);
+        }
+        debug_assert!(self.silent.is_empty(), "filter must withhold until finish");
+    }
+
+    /// Datagram bytes the filter currently retains (the residency the
+    /// streaming engine bounds).
+    pub fn retained_bytes(&self) -> usize {
+        self.filter.stage().retained_bytes()
+    }
+
+    /// 5-tuple streams currently tracked by the filter.
+    pub fn live_streams(&self) -> usize {
+        self.filter.stage().live_streams()
+    }
+
+    /// Run the whole-call stages and assemble the analysis. The returned
+    /// [`PipelineStats`] covers decode/filter/dpi/compliance; the
+    /// aggregate slot is filled by the study driver.
+    pub fn finish(mut self) -> (CallAnalysis, PipelineStats) {
+        // Filter classifies every stream and releases the accepted RTC UDP
+        // datagrams (in batch `rtc_udp_datagrams` order).
+        let mut accepted: Vec<Datagram> = Vec::new();
+        self.filter.finish(&mut accepted);
+
+        // DPI: observe each datagram (candidate extraction happens here),
+        // then resolve against the sealed validation context.
+        let mut dissections: Vec<DatagramDissection> = Vec::new();
+        for d in accepted.drain(..) {
+            self.dpi.push(d, &mut dissections);
+        }
+        self.dpi.finish(&mut dissections);
+        let (rejections, rtp_ssrcs) = self.dpi.stage.take_call_parts();
+
+        // Compliance: observe the call context, then judge every message.
+        let mut messages: Vec<CheckedMessage> = Vec::new();
+        for dd in dissections.drain(..) {
+            self.compliance.push(dd, &mut messages);
+        }
+        self.compliance.finish(&mut messages);
+
+        let dissection =
+            CallDissection { datagrams: self.compliance.stage.take_dissections(), rtp_ssrcs, rejections };
+        let checked =
+            CheckedCall { messages, fully_proprietary_datagrams: self.compliance.stage().fully_proprietary() };
+
+        let findings = rtc_compliance::findings::detect_call(&dissection);
+        let header_profiles = rtc_dpi::proprietary::profile_streams(&dissection, 50);
+        let outcome = self.filter.stage().outcome().expect("filter finished");
+        let record = CallRecord {
+            app: self.meta.app.clone(),
+            network: self.meta.network.clone(),
+            repeat: self.meta.repeat,
+            raw_bytes: self.decode.stage().raw_bytes(),
+            raw: outcome.raw,
+            stage1: outcome.stage1,
+            stage2: outcome.stage2,
+            rtc: outcome.rtc,
+            classes: CallRecord::class_counts(&dissection),
+            rejections: dissection.rejections.clone(),
+            checked,
+        };
+
+        let mut stats = PipelineStats { peak_retained_bytes: outcome.peak_retained_bytes, ..Default::default() };
+        stats.stages[StageKind::Decode.index()] = self.decode.metrics();
+        stats.stages[StageKind::Filter.index()] = self.filter.metrics();
+        stats.stages[StageKind::Dpi.index()] = self.dpi.metrics();
+        stats.stages[StageKind::Compliance.index()] = self.compliance.metrics();
+
+        (CallAnalysis { record, dissection, findings, header_profiles }, stats)
+    }
+}

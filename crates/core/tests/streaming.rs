@@ -1,0 +1,140 @@
+//! Differential proof that the streaming engine and the batch API are one
+//! pipeline: identical `StudyData`, per-call records, findings, and
+//! rejection taxonomy on the full smoke matrix, across random seeds,
+//! app/network subsets, and chunk sizes — plus the golden convergence of
+//! mid-study aggregator snapshots to the final batch tables.
+
+use proptest::prelude::*;
+use rtc_core::{analyze_capture, pipeline, Artifact, StreamingStudy, Study, StudyConfig, StudyReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory per test case.
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rtc-streaming-test-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Save the configured experiment, then analyze it through both drivers.
+fn run_both(config: &StudyConfig, chunk_records: usize) -> (StudyReport, StudyReport) {
+    let dir = scratch_dir();
+    let captures = rtc_core::capture::run_experiment(&config.experiment);
+    rtc_core::capture::save_experiment(&dir, &captures).unwrap();
+    // The batch driver consumes the same on-disk campaign, loaded whole.
+    let loaded = rtc_core::capture::load_experiment(&dir).unwrap();
+    let batch = Study::analyze(&loaded, config);
+    let streaming = StreamingStudy::analyze_dir(&dir, config, chunk_records, None).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    (batch, streaming)
+}
+
+fn assert_reports_equal(batch: &StudyReport, streaming: &StudyReport) {
+    assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+    assert!(streaming.failures.is_empty(), "{:?}", streaming.failures);
+    assert_eq!(batch.data.calls.len(), streaming.data.calls.len());
+    for (b, s) in batch.data.calls.iter().zip(streaming.data.calls.iter()) {
+        assert_eq!(b, s, "call record diverged: {} / {} #{}", b.app, b.network, b.repeat);
+        assert_eq!(b.rejections, s.rejections, "rejection taxonomy diverged for {}", b.app);
+    }
+    assert_eq!(batch.data, streaming.data);
+    assert_eq!(batch.findings, streaming.findings);
+    assert_eq!(batch.header_profiles, streaming.header_profiles);
+}
+
+#[test]
+fn streaming_matches_batch_on_full_smoke_matrix() {
+    let config = StudyConfig::smoke(42);
+    let (batch, streaming) = run_both(&config, 17);
+    assert_eq!(batch.data.calls.len(), config.experiment.total_calls(), "every cell of the matrix must be analyzed");
+    assert_reports_equal(&batch, &streaming);
+
+    // The streaming run's stage accounting is coherent: every record was
+    // decoded, decode can only drop items, and the filter's residency
+    // high-water mark never reached the raw trace size.
+    let decode = streaming.pipeline.stage(pipeline::StageKind::Decode);
+    assert!(decode.items_in > 0);
+    assert!(decode.items_out <= decode.items_in);
+    let raw_total: usize = streaming.data.calls.iter().map(|c| c.raw_bytes).sum();
+    assert!(streaming.pipeline.peak_retained_bytes > 0);
+    assert!(
+        streaming.pipeline.peak_retained_bytes < raw_total,
+        "peak residency {} must stay below the total trace size {raw_total}",
+        streaming.pipeline.peak_retained_bytes
+    );
+    let aggregate = streaming.pipeline.stage(pipeline::StageKind::Aggregate);
+    assert_eq!(aggregate.items_in as usize, streaming.data.calls.len());
+}
+
+#[test]
+fn aggregator_snapshots_converge_to_batch_tables() {
+    let mut config = StudyConfig::smoke(9);
+    config.experiment.apps = vec!["zoom".into(), "discord".into(), "meet".into()];
+    config.experiment.networks = vec!["wifi-relay".into()];
+    config.experiment.repeats = 2;
+    let captures = rtc_core::capture::run_experiment(&config.experiment);
+    let batch = Study::analyze(&captures, &config);
+
+    let mut aggregate = rtc_core::report::Aggregator::new();
+    for (i, cap) in captures.iter().enumerate() {
+        let analysis = analyze_capture(cap, &config);
+        let summaries: Vec<String> = analysis.header_profiles.iter().map(|p| p.summary()).collect();
+        let ssrcs = rtc_core::compliance::findings::ssrc_set(&analysis.dissection);
+        aggregate.absorb_call(analysis.record, &analysis.findings, &summaries, ssrcs);
+        // Mid-study snapshots are exactly the batch prefix, and render.
+        let snapshot = aggregate.snapshot();
+        assert_eq!(snapshot.calls, batch.data.calls[..=i], "snapshot after call {i}");
+        let _ = rtc_core::report::tables::table1(&snapshot).to_text();
+    }
+    let out = aggregate.finish();
+    assert_eq!(out.data, batch.data);
+    assert_eq!(out.findings, batch.findings);
+    assert_eq!(out.header_profiles, batch.header_profiles);
+    // Converged snapshots reproduce the batch tables verbatim.
+    for artifact in [Artifact::Table1, Artifact::Table3, Artifact::Figure4] {
+        let from_final = StudyReport {
+            data: out.data.clone(),
+            findings: out.findings.clone(),
+            header_profiles: out.header_profiles.clone(),
+            failures: Vec::new(),
+            pipeline: Default::default(),
+        };
+        assert_eq!(from_final.render_table(artifact), batch.render_table(artifact));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random seeds, app/network subsets, and chunk sizes: the two drivers
+    /// always produce the identical study.
+    #[test]
+    fn streaming_matches_batch_randomized(
+        seed in 0u64..10_000,
+        app_a in 0usize..6,
+        app_b in 0usize..6,
+        network in 0usize..3,
+        chunk_sel in 0usize..4,
+    ) {
+        const APPS: [&str; 6] = ["zoom", "facetime", "whatsapp", "messenger", "discord", "meet"];
+        const NETWORKS: [&str; 3] = ["wifi-p2p", "wifi-relay", "cellular"];
+        let mut config = StudyConfig::smoke(seed);
+        let mut apps = vec![APPS[app_a].to_string()];
+        if app_b != app_a {
+            apps.push(APPS[app_b].to_string());
+        }
+        config.experiment.apps = apps;
+        config.experiment.networks = vec![NETWORKS[network].to_string()];
+        let chunk_records = [1, 7, 64, 0][chunk_sel];
+        let (batch, streaming) = run_both(&config, chunk_records);
+        prop_assert!(batch.failures.is_empty() && streaming.failures.is_empty());
+        prop_assert_eq!(&batch.data, &streaming.data);
+        prop_assert_eq!(&batch.findings, &streaming.findings);
+        prop_assert_eq!(&batch.header_profiles, &streaming.header_profiles);
+    }
+}

@@ -106,7 +106,7 @@ impl Default for DpiConfig {
 }
 
 /// A validated message extracted from a datagram.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DpiMessage {
     /// Protocol family.
     pub protocol: Protocol,
@@ -133,7 +133,7 @@ pub enum DatagramClass {
 }
 
 /// The dissection of one datagram.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatagramDissection {
     /// Capture time.
     pub ts: Timestamp,
@@ -158,7 +158,7 @@ pub struct DatagramDissection {
 
 /// The dissection of one call's RTC datagrams, plus the stream context the
 /// compliance layer reuses.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CallDissection {
     /// Per-datagram dissections, in input order.
     pub datagrams: Vec<DatagramDissection>,
@@ -216,7 +216,7 @@ impl CallDissection {
 /// assert!(out.datagrams.iter().all(|d| d.class == DatagramClass::ProprietaryHeader));
 /// assert!(out.datagrams.iter().all(|d| d.prop_header_len == 10));
 /// ```
-pub fn dissect_call(datagrams: &[Datagram], config: &DpiConfig) -> CallDissection {
+pub fn dissect_call<D: std::borrow::Borrow<Datagram> + Sync>(datagrams: &[D], config: &DpiConfig) -> CallDissection {
     // ---- Step 1: candidate extraction (Algorithm 1, lines 5–13). -------
     // One flat candidate batch for the whole call; chunked across worker
     // threads when the call is large enough (see [`par`]).
@@ -229,6 +229,7 @@ pub fn dissect_call(datagrams: &[Datagram], config: &DpiConfig) -> CallDissectio
     let mut out = CallDissection::default();
     out.datagrams.reserve(datagrams.len());
     for (i, d) in datagrams.iter().enumerate() {
+        let d = d.borrow();
         let dd = resolve::resolve_datagram(d, batch.get(i), &ctx);
         if dd.class == DatagramClass::FullyProprietary {
             *out.rejections.entry(pattern::rejection_key(&d.payload)).or_default() += 1;
@@ -239,6 +240,24 @@ pub fn dissect_call(datagrams: &[Datagram], config: &DpiConfig) -> CallDissectio
     // map to the caller instead of cloning it wholesale.
     out.rtp_ssrcs = std::mem::take(&mut ctx.rtp_ssrcs);
     out
+}
+
+/// Dissect a single datagram against an already-built
+/// [`resolve::ValidationContext`] — the streaming entry point.
+///
+/// The streaming pipeline first feeds every accepted datagram's candidates
+/// into a [`resolve::ContextBuilder`] (observation pass), then calls this
+/// per datagram with the finished context. Candidate extraction reuses the
+/// caller's [`Extractor`] scratch, so the second pass allocates nothing
+/// per datagram beyond the dissection itself.
+pub fn dissect_datagram(
+    d: &Datagram,
+    extractor: &mut Extractor,
+    ctx: &resolve::ValidationContext,
+    config: &DpiConfig,
+) -> DatagramDissection {
+    let candidates = extractor.extract(&d.payload, config.max_offset);
+    resolve::resolve_datagram(d, candidates, ctx)
 }
 
 #[cfg(test)]
@@ -547,6 +566,50 @@ mod tests {
         let out = dissect_call(&d, &DpiConfig::default());
         assert_eq!(out.datagrams[0].class, DatagramClass::FullyProprietary);
         assert_eq!(out.rejections.get("rtp: failed stream validation"), Some(&1));
+    }
+
+    #[test]
+    fn streaming_dissection_matches_batch() {
+        // Observe-then-resolve with a reused Extractor scratch must agree
+        // with the one-shot batch dissection, message for message.
+        let config = DpiConfig::default();
+        let mut d = rtp_stream_datagrams(8, 0xAA, &[0x0B; 6]);
+        d.extend(rtp_stream_datagrams(6, 0xBB, &[]));
+        d.push(dgram(900, vec![0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4]));
+        let msg = MessageBuilder::new(msg_type::BINDING_REQUEST, [7; 12])
+            .attribute(attr::PRIORITY, vec![0, 0, 0, 1])
+            .build();
+        d.push(dgram(950, msg));
+
+        let batch = dissect_call(&d, &config);
+
+        let mut extractor = Extractor::new();
+        let mut builder = resolve::ContextBuilder::new(&config);
+        for dg in &d {
+            let cands = extractor.extract(&dg.payload, config.max_offset).to_vec();
+            builder.observe(dg, &cands);
+        }
+        let mut ctx = builder.finish();
+        let mut streamed = CallDissection::default();
+        for dg in &d {
+            let dd = dissect_datagram(dg, &mut extractor, &ctx, &config);
+            if dd.class == DatagramClass::FullyProprietary {
+                *streamed.rejections.entry(rejection_key(&dg.payload)).or_default() += 1;
+            }
+            streamed.datagrams.push(dd);
+        }
+        streamed.rtp_ssrcs = std::mem::take(&mut ctx.rtp_ssrcs);
+
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn dissect_call_accepts_borrowed_views() {
+        // The filter layer hands out Vec<&Datagram>; both forms must agree.
+        let owned = rtp_stream_datagrams(10, 0xAB, &[]);
+        let borrowed: Vec<&Datagram> = owned.iter().collect();
+        let config = DpiConfig::default();
+        assert_eq!(dissect_call(&borrowed, &config), dissect_call(&owned, &config));
     }
 
     #[test]

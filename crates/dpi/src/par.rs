@@ -12,6 +12,7 @@ use crate::pattern::CandidateBatch;
 use crate::DpiConfig;
 use crossbeam::queue::SegQueue;
 use rtc_pcap::trace::Datagram;
+use std::borrow::Borrow;
 
 /// Datagrams per work unit. Small enough to balance skewed payload sizes
 /// across workers, large enough that queue traffic is negligible.
@@ -36,23 +37,31 @@ pub fn planned_threads(n_datagrams: usize, config: &DpiConfig) -> usize {
 
 /// Extract candidates for every datagram, in input order, parallelizing
 /// across chunks when [`planned_threads`] says the call is large enough.
-pub fn extract_all(datagrams: &[Datagram], config: &DpiConfig) -> CandidateBatch {
+///
+/// Generic over owned or borrowed datagram slices (`&[Datagram]` and
+/// `&[&Datagram]` both work), so the borrowed views the filter layer hands
+/// out flow through without cloning.
+pub fn extract_all<D: Borrow<Datagram> + Sync>(datagrams: &[D], config: &DpiConfig) -> CandidateBatch {
     match planned_threads(datagrams.len(), config) {
         0 | 1 => extract_sequential(datagrams, config),
         threads => extract_chunked(datagrams, config, threads),
     }
 }
 
-fn extract_sequential(datagrams: &[Datagram], config: &DpiConfig) -> CandidateBatch {
+fn extract_sequential<D: Borrow<Datagram>>(datagrams: &[D], config: &DpiConfig) -> CandidateBatch {
     let mut batch = CandidateBatch::with_capacity(datagrams.len());
     for d in datagrams {
-        batch.push_payload(&d.payload, config.max_offset);
+        batch.push_payload(&d.borrow().payload, config.max_offset);
     }
     batch
 }
 
-fn extract_chunked(datagrams: &[Datagram], config: &DpiConfig, threads: usize) -> CandidateBatch {
-    let work: SegQueue<(usize, &[Datagram])> = SegQueue::new();
+fn extract_chunked<D: Borrow<Datagram> + Sync>(
+    datagrams: &[D],
+    config: &DpiConfig,
+    threads: usize,
+) -> CandidateBatch {
+    let work: SegQueue<(usize, &[D])> = SegQueue::new();
     let n_chunks = datagrams.chunks(CHUNK_DATAGRAMS).len();
     for item in datagrams.chunks(CHUNK_DATAGRAMS).enumerate() {
         work.push(item);
@@ -64,7 +73,7 @@ fn extract_chunked(datagrams: &[Datagram], config: &DpiConfig, threads: usize) -
                 while let Some((idx, chunk)) = work.pop() {
                     let mut batch = CandidateBatch::with_capacity(chunk.len());
                     for d in chunk {
-                        batch.push_payload(&d.payload, config.max_offset);
+                        batch.push_payload(&d.borrow().payload, config.max_offset);
                     }
                     done.push((idx, batch));
                 }

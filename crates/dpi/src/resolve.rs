@@ -5,6 +5,7 @@ use crate::pattern::{Candidate, CandidateBatch, CandidateKind, CidBuf};
 use crate::{DatagramClass, DatagramDissection, DpiConfig, DpiMessage, Protocol};
 use rtc_pcap::trace::Datagram;
 use rtc_wire::ip::FiveTuple;
+use std::borrow::Borrow;
 use std::collections::{HashMap, HashSet};
 
 /// Stream-context facts gathered across the whole call, used to validate
@@ -29,55 +30,125 @@ impl ValidationContext {
     /// Build the context from all candidates of a call (validation is a
     /// second pass over the whole capture: continuity and consistency are
     /// stream properties, not per-packet ones).
-    pub fn build(datagrams: &[Datagram], candidates: &CandidateBatch, config: &DpiConfig) -> ValidationContext {
-        let mut ctx = ValidationContext::default();
-
-        // RTP: collect per-(stream, ssrc) sequence numbers and first header
-        // bytes in capture order. Legacy STUN: count per-(stream, type).
-        //
-        // Extraction is deliberately permissive, so most RTP candidates are
-        // offset-aliasing noise — tens of candidates per datagram, nearly
-        // all in singleton groups. Hashing a full `FiveTuple` and holding a
-        // `Vec` per group for that volume dominated the whole DPI, so the
-        // grouping works on packed integer keys instead: streams are
-        // interned once per datagram, each RTP candidate becomes one
-        // `(stream_id << 32 | ssrc, arrival, seq, byte)` row in a single
-        // flat vector, and a sort brings the groups together while the
-        // arrival index preserves capture order within each group.
-        let mut stream_ids: HashMap<FiveTuple, u32> = HashMap::new();
-        let mut streams: Vec<FiveTuple> = Vec::new();
-        let mut rtp_rows: Vec<(u64, u32, u16, u8)> = Vec::new();
-        let mut legacy: HashMap<(FiveTuple, u16), usize> = HashMap::new();
+    ///
+    /// Thin wrapper over the incremental [`ContextBuilder`] — the batch and
+    /// streaming paths share one validation engine.
+    pub fn build<D: Borrow<Datagram>>(
+        datagrams: &[D],
+        candidates: &CandidateBatch,
+        config: &DpiConfig,
+    ) -> ValidationContext {
+        let mut builder = ContextBuilder::new(config);
         for (d, cands) in datagrams.iter().zip(candidates.iter()) {
-            if cands.is_empty() {
-                continue;
-            }
-            let sid = *stream_ids.entry(d.five_tuple).or_insert_with(|| {
-                streams.push(d.five_tuple);
-                (streams.len() - 1) as u32
-            });
-            for c in cands {
-                match &c.kind {
-                    CandidateKind::Rtp { ssrc, seq, .. } => {
-                        let key = (sid as u64) << 32 | *ssrc as u64;
-                        rtp_rows.push((key, rtp_rows.len() as u32, *seq, d.payload[c.offset]));
-                    }
-                    CandidateKind::Stun { message_type, modern: false } => {
-                        *legacy.entry((d.five_tuple, *message_type)).or_default() += 1;
-                    }
-                    CandidateKind::QuicLong { dcid, scid, .. } => {
-                        let set = ctx.quic_cids.entry(d.five_tuple.canonical()).or_default();
-                        if !dcid.is_empty() {
-                            set.insert(*dcid);
-                        }
-                        if !scid.is_empty() {
-                            set.insert(*scid);
-                        }
-                    }
-                    _ => {}
+            builder.observe(d.borrow(), cands);
+        }
+        builder.finish()
+    }
+
+    fn rtp_valid(&self, stream: FiveTuple, ssrc: u32) -> bool {
+        self.valid_rtp_groups.contains(&(stream, ssrc))
+    }
+
+    fn rtcp_ssrc_valid(&self, stream: FiveTuple, ssrc: Option<u32>) -> bool {
+        match ssrc {
+            // RFC 3550 does not forbid SSRC 0, and Discord uses it (§5.3).
+            Some(0) => true,
+            Some(s) => self.rtp_ssrcs.get(&stream.canonical()).is_some_and(|set| set.contains(&s)),
+            None => false,
+        }
+    }
+
+    fn quic_short_valid(&self, stream: FiveTuple, payload: &[u8]) -> bool {
+        let Some(cids) = self.quic_cids.get(&stream.canonical()) else {
+            return false;
+        };
+        cids.iter().any(|cid| payload.len() > cid.len() && payload[1..1 + cid.len()] == *cid.as_slice())
+    }
+}
+
+/// Incrementally accumulates the cross-datagram observations that
+/// [`ValidationContext`] is computed from: call [`observe`] once per
+/// datagram as it streams by, then [`finish`] when the call is complete.
+///
+/// Validation is inherently a whole-call property (sequence continuity,
+/// SSRC consistency), so the context still becomes usable only at
+/// `finish`; what streaming buys is that no datagram list has to be
+/// materialized — the builder holds flat integer rows, not payloads.
+///
+/// [`observe`]: ContextBuilder::observe
+/// [`finish`]: ContextBuilder::finish
+#[derive(Debug)]
+pub struct ContextBuilder {
+    rtp_min_group: usize,
+    rtp_max_seq_gap: u16,
+    // RTP: collect per-(stream, ssrc) sequence numbers and first header
+    // bytes in capture order. Legacy STUN: count per-(stream, type).
+    //
+    // Extraction is deliberately permissive, so most RTP candidates are
+    // offset-aliasing noise — tens of candidates per datagram, nearly
+    // all in singleton groups. Hashing a full `FiveTuple` and holding a
+    // `Vec` per group for that volume dominated the whole DPI, so the
+    // grouping works on packed integer keys instead: streams are
+    // interned once per datagram, each RTP candidate becomes one
+    // `(stream_id << 32 | ssrc, arrival, seq, byte)` row in a single
+    // flat vector, and a sort brings the groups together while the
+    // arrival index preserves capture order within each group.
+    stream_ids: HashMap<FiveTuple, u32>,
+    streams: Vec<FiveTuple>,
+    rtp_rows: Vec<(u64, u32, u16, u8)>,
+    legacy: HashMap<(FiveTuple, u16), usize>,
+    ctx: ValidationContext,
+}
+
+impl ContextBuilder {
+    /// Start accumulating observations for one call.
+    pub fn new(config: &DpiConfig) -> ContextBuilder {
+        ContextBuilder {
+            rtp_min_group: config.rtp_min_group,
+            rtp_max_seq_gap: config.rtp_max_seq_gap,
+            stream_ids: HashMap::new(),
+            streams: Vec::new(),
+            rtp_rows: Vec::new(),
+            legacy: HashMap::new(),
+            ctx: ValidationContext::default(),
+        }
+    }
+
+    /// Record one datagram's extracted candidates, in capture order.
+    pub fn observe(&mut self, d: &Datagram, candidates: &[Candidate]) {
+        if candidates.is_empty() {
+            return;
+        }
+        let sid = *self.stream_ids.entry(d.five_tuple).or_insert_with(|| {
+            self.streams.push(d.five_tuple);
+            (self.streams.len() - 1) as u32
+        });
+        for c in candidates {
+            match &c.kind {
+                CandidateKind::Rtp { ssrc, seq, .. } => {
+                    let key = (sid as u64) << 32 | *ssrc as u64;
+                    self.rtp_rows.push((key, self.rtp_rows.len() as u32, *seq, d.payload[c.offset]));
                 }
+                CandidateKind::Stun { message_type, modern: false } => {
+                    *self.legacy.entry((d.five_tuple, *message_type)).or_default() += 1;
+                }
+                CandidateKind::QuicLong { dcid, scid, .. } => {
+                    let set = self.ctx.quic_cids.entry(d.five_tuple.canonical()).or_default();
+                    if !dcid.is_empty() {
+                        set.insert(*dcid);
+                    }
+                    if !scid.is_empty() {
+                        set.insert(*scid);
+                    }
+                }
+                _ => {}
             }
         }
+    }
+
+    /// Validate the accumulated groups into the final [`ValidationContext`].
+    pub fn finish(self) -> ValidationContext {
+        let ContextBuilder { rtp_min_group, rtp_max_seq_gap, streams, mut rtp_rows, legacy, mut ctx, .. } = self;
         rtp_rows.sort_unstable();
         let mut i = 0;
         while i < rtp_rows.len() {
@@ -88,7 +159,7 @@ impl ValidationContext {
             }
             let members = &rtp_rows[i..j];
             i = j;
-            if members.len() < config.rtp_min_group {
+            if members.len() < rtp_min_group {
                 continue;
             }
             // Majority of successive deltas must be small positive steps:
@@ -98,7 +169,7 @@ impl ValidationContext {
                 .windows(2)
                 .filter(|w| {
                     let delta = w[1].2.wrapping_sub(w[0].2);
-                    (1..=config.rtp_max_seq_gap).contains(&delta)
+                    (1..=rtp_max_seq_gap).contains(&delta)
                 })
                 .count();
             // A real stream also keeps its first header byte (version,
@@ -124,26 +195,6 @@ impl ValidationContext {
             }
         }
         ctx
-    }
-
-    fn rtp_valid(&self, stream: FiveTuple, ssrc: u32) -> bool {
-        self.valid_rtp_groups.contains(&(stream, ssrc))
-    }
-
-    fn rtcp_ssrc_valid(&self, stream: FiveTuple, ssrc: Option<u32>) -> bool {
-        match ssrc {
-            // RFC 3550 does not forbid SSRC 0, and Discord uses it (§5.3).
-            Some(0) => true,
-            Some(s) => self.rtp_ssrcs.get(&stream.canonical()).is_some_and(|set| set.contains(&s)),
-            None => false,
-        }
-    }
-
-    fn quic_short_valid(&self, stream: FiveTuple, payload: &[u8]) -> bool {
-        let Some(cids) = self.quic_cids.get(&stream.canonical()) else {
-            return false;
-        };
-        cids.iter().any(|cid| payload.len() > cid.len() && payload[1..1 + cid.len()] == *cid.as_slice())
     }
 }
 

@@ -239,12 +239,16 @@ impl FilterResult {
     /// to the DPI stage — the paper analyzes UDP only, §3.3). Streams are
     /// merged by timestamp: the grouping into per-tuple streams must not
     /// leak into the order downstream timing analyses see.
-    pub fn rtc_udp_datagrams(&self) -> Vec<Datagram> {
-        let mut out: Vec<Datagram> = self
+    ///
+    /// Returns a borrowed view over the retained streams — callers that
+    /// need ownership clone individual datagrams (cheap: `Bytes` payloads),
+    /// instead of this method cloning every accepted datagram up front.
+    pub fn rtc_udp_datagrams(&self) -> Vec<&Datagram> {
+        let mut out: Vec<&Datagram> = self
             .rtc_streams
             .iter()
             .filter(|s| s.tuple.transport == Transport::Udp)
-            .flat_map(|s| s.datagrams.iter().cloned())
+            .flat_map(|s| s.datagrams.iter())
             .collect();
         // Stable, so same-timestamp datagrams keep stream order.
         out.sort_by_key(|d| d.ts);
@@ -256,12 +260,12 @@ impl FilterResult {
 const SNI_SCAN_SEGMENTS: usize = 8;
 
 /// Extract the SNI of a TCP stream by scanning its early segments for a
-/// TLS ClientHello.
-fn stream_sni(stream: &Stream) -> Option<String> {
+/// TLS ClientHello. `segments` are the stream's payloads in capture order;
+/// only the first [`SNI_SCAN_SEGMENTS`] are consulted.
+fn segments_sni(segments: &[Datagram]) -> Option<String> {
     // A ClientHello in a single segment (the common case): try each early
     // segment on its own, so a hello that starts mid-stream is still found.
-    if let Some(sni) = stream
-        .datagrams
+    if let Some(sni) = segments
         .iter()
         .take(SNI_SCAN_SEGMENTS)
         .find_map(|d| rtc_wire::tls::client_hello_sni(&d.payload).ok().flatten())
@@ -272,9 +276,9 @@ fn stream_sni(stream: &Stream) -> Option<String> {
     // where every individual segment parses as truncated. Reassemble the
     // stream head progressively and retry after each segment.
     let mut head = Vec::new();
-    for d in stream.datagrams.iter().take(SNI_SCAN_SEGMENTS).skip(1) {
+    for d in segments.iter().take(SNI_SCAN_SEGMENTS).skip(1) {
         if head.is_empty() {
-            head.extend_from_slice(&stream.datagrams[0].payload);
+            head.extend_from_slice(&segments[0].payload);
         }
         head.extend_from_slice(&d.payload);
         if let Ok(sni) = rtc_wire::tls::client_hello_sni(&head) {
@@ -284,96 +288,374 @@ fn stream_sni(stream: &Stream) -> Option<String> {
     None
 }
 
+fn stream_sni(stream: &Stream) -> Option<String> {
+    segments_sni(&stream.datagrams)
+}
+
+/// What the online filter retains per stream while datagrams arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    /// Keep every datagram: `finish_result` yields the classic
+    /// [`FilterResult`] with full streams. This is the batch wrapper mode.
+    Full,
+    /// Keep only what classification needs: UDP payloads until a stream is
+    /// provably rejected, and the first few TCP segments for SNI
+    /// extraction. Peak memory is O(live candidate streams) instead of
+    /// O(capture).
+    AcceptedUdp,
+}
+
+/// Summary outcome of a streaming ([`Retention::AcceptedUdp`]) filter pass.
+#[derive(Debug, Clone)]
+pub struct OnlineOutcome {
+    /// Kept RTC UDP datagrams merged in global capture-time order — exactly
+    /// what `FilterResult::rtc_udp_datagrams()` yields on the batch path.
+    pub accepted_udp: Vec<Datagram>,
+    /// Raw traffic statistics before filtering.
+    pub raw: StageStats,
+    /// Stage-1 removal statistics.
+    pub stage1: StageStats,
+    /// Stage-2 removal statistics.
+    pub stage2: StageStats,
+    /// RTC (kept) statistics.
+    pub rtc: StageStats,
+    /// High-water mark of retained payload bytes while streaming.
+    pub peak_retained_bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct StreamAcct {
+    first_ts: Option<Timestamp>,
+    last_ts: Option<Timestamp>,
+    count: usize,
+    retained: Vec<Datagram>,
+    /// `AcceptedUdp` mode only: retention was abandoned because the stream
+    /// is already provably rejected (accounting continues regardless).
+    dropped: bool,
+}
+
+fn ip_pair(t: &FiveTuple) -> (IpAddr, IpAddr) {
+    let (a, b) = (t.src.ip(), t.dst.ip());
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Where the final classification placed a stream.
+enum StreamClass {
+    Stage1,
+    Stage2(Heuristic),
+    Rtc,
+}
+
+/// The paper's classification decision for one stream, shared verbatim by
+/// the batch wrapper and the streaming finish so the two can never diverge.
+#[allow(clippy::too_many_arguments)]
+fn classify_stream(
+    win: Window,
+    config: &FilterConfig,
+    out_of_window_3tuples: &HashSet<ThreeTuple>,
+    precall_ip_pairs: &HashSet<(IpAddr, IpAddr)>,
+    tuple: &FiveTuple,
+    first_ts: Option<Timestamp>,
+    last_ts: Option<Timestamp>,
+    head: &[Datagram],
+) -> StreamClass {
+    // Stage 1: timespan alignment. An empty stream (no timestamps at all)
+    // carries nothing worth keeping and is counted as removed.
+    let enclosed = match (first_ts, last_ts) {
+        (Some(first), Some(last)) => win.encloses(first, last),
+        _ => false,
+    };
+    if !enclosed {
+        return StreamClass::Stage1;
+    }
+    // Stage 2: intra-call heuristics, applied in the paper's order.
+    if out_of_window_3tuples.contains(&tuple.dst_three_tuple()) {
+        StreamClass::Stage2(Heuristic::ThreeTupleTiming)
+    } else if tuple.transport == Transport::Tcp
+        && segments_sni(head).is_some_and(|sni| config.sni_blocklist.contains(&sni))
+    {
+        StreamClass::Stage2(Heuristic::TlsSni)
+    } else if tuple.touches_local_range() && precall_ip_pairs.contains(&ip_pair(tuple)) {
+        StreamClass::Stage2(Heuristic::LocalIp)
+    } else if config.excluded_ports.contains(&tuple.src.port()) || config.excluded_ports.contains(&tuple.dst.port()) {
+        StreamClass::Stage2(Heuristic::PortExclusion)
+    } else {
+        StreamClass::Rtc
+    }
+}
+
+/// The two-stage pipeline as an online engine: datagrams are pushed as they
+/// arrive, per-stream accounting and the stage-2 observation sets grow
+/// incrementally, and the final classification happens at [`finish`].
+///
+/// The key to bounded memory is that every retention drop is *monotone*:
+/// a stream's payloads are only discarded once it is provably impossible
+/// for the batch pipeline to classify it as RTC (its first datagram lies
+/// outside the window, it touched an out-of-window destination 3-tuple, it
+/// runs on an excluded port, or its local IP pair was seen pre-call).
+/// Dropping affects retention only — counts and timestamps keep
+/// accumulating — and the final classification is recomputed from the
+/// complete accounting, so the outcome is bit-identical to the batch run
+/// even on unsorted input.
+///
+/// [`finish`]: OnlineFilter::finish_streaming
+#[derive(Debug)]
+pub struct OnlineFilter {
+    call_start: Timestamp,
+    win: Window,
+    config: FilterConfig,
+    retention: Retention,
+    streams: BTreeMap<FiveTuple, StreamAcct>,
+    out_of_window_3tuples: HashSet<ThreeTuple>,
+    precall_ip_pairs: HashSet<(IpAddr, IpAddr)>,
+    retained_bytes: usize,
+    peak_retained_bytes: usize,
+}
+
+impl OnlineFilter {
+    /// Start an online filtering pass for one call.
+    ///
+    /// `call_window` is the (initiation, termination) pair from the capture
+    /// manifest.
+    pub fn new(call_window: (Timestamp, Timestamp), config: FilterConfig, retention: Retention) -> OnlineFilter {
+        let win = Window::around(call_window, config.slack_us);
+        OnlineFilter {
+            call_start: call_window.0,
+            win,
+            config,
+            retention,
+            streams: BTreeMap::new(),
+            out_of_window_3tuples: HashSet::new(),
+            precall_ip_pairs: HashSet::new(),
+            retained_bytes: 0,
+            peak_retained_bytes: 0,
+        }
+    }
+
+    /// Number of 5-tuple streams seen so far.
+    pub fn live_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Currently retained payload bytes.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained_bytes
+    }
+
+    /// High-water mark of retained payload bytes.
+    pub fn peak_retained_bytes(&self) -> usize {
+        self.peak_retained_bytes
+    }
+
+    /// Feed one decoded datagram, in capture order.
+    pub fn push(&mut self, d: Datagram) {
+        // Stage-2 observations, gathered from the FULL capture:
+        // destination-side 3-tuples active outside the call window, and
+        // local IP pairs seen before the call. A fresh observation can doom
+        // streams that were still retaining payloads — sweep them.
+        if !self.win.contains(d.ts) && self.out_of_window_3tuples.insert(d.five_tuple.dst_three_tuple()) {
+            let hit = d.five_tuple.dst_three_tuple();
+            self.sweep(|tuple| tuple.dst_three_tuple() == hit);
+        }
+        if d.ts < self.call_start {
+            let pair = ip_pair(&d.five_tuple);
+            if self.precall_ip_pairs.insert(pair) {
+                self.sweep(|tuple| tuple.touches_local_range() && ip_pair(tuple) == pair);
+            }
+        }
+
+        let doomed = self.retention == Retention::AcceptedUdp && self.is_doomed(&d);
+        let acct = self.streams.entry(d.five_tuple).or_default();
+        if acct.first_ts.is_none() {
+            acct.first_ts = Some(d.ts);
+        }
+        acct.last_ts = Some(d.ts);
+        acct.count += 1;
+
+        let retain = match (self.retention, d.five_tuple.transport) {
+            (Retention::Full, _) => true,
+            // TCP payloads only ever feed SNI extraction, which scans the
+            // first SNI_SCAN_SEGMENTS segments: cap the head, keep it even
+            // for doomed streams (stage-2 attribution may still need it).
+            (Retention::AcceptedUdp, Transport::Tcp) => acct.retained.len() < SNI_SCAN_SEGMENTS,
+            (Retention::AcceptedUdp, Transport::Udp) => {
+                if doomed && !acct.dropped {
+                    acct.dropped = true;
+                    let freed: usize = acct.retained.iter().map(|r| r.payload.len()).sum();
+                    acct.retained = Vec::new();
+                    self.retained_bytes -= freed;
+                }
+                !acct.dropped
+            }
+        };
+        if retain {
+            self.retained_bytes += d.payload.len();
+            self.peak_retained_bytes = self.peak_retained_bytes.max(self.retained_bytes);
+            acct.retained.push(d);
+        }
+    }
+
+    /// Whether the arriving datagram's stream is already provably rejected
+    /// (a *monotone* condition: it can never become RTC later).
+    fn is_doomed(&self, d: &Datagram) -> bool {
+        let tuple = &d.five_tuple;
+        let first = self.streams.get(tuple).and_then(|a| a.first_ts).unwrap_or(d.ts);
+        // First datagram outside the window → stage-1 removed, forever.
+        !self.win.contains(first)
+            // Any out-of-window activity on this destination 3-tuple (the
+            // sets only grow, and an out-of-window datagram of the stream
+            // itself inserts its own destination) → stage 1 or 2 removed.
+            || self.out_of_window_3tuples.contains(&tuple.dst_three_tuple())
+            // Excluded ports are static properties of the tuple.
+            || self.config.excluded_ports.contains(&tuple.src.port())
+            || self.config.excluded_ports.contains(&tuple.dst.port())
+            // A local IP pair seen pre-call stays seen.
+            || (tuple.touches_local_range() && self.precall_ip_pairs.contains(&ip_pair(tuple)))
+    }
+
+    /// Drop retained payloads of UDP streams newly doomed by a fresh
+    /// observation.
+    fn sweep(&mut self, doomed: impl Fn(&FiveTuple) -> bool) {
+        if self.retention != Retention::AcceptedUdp {
+            return;
+        }
+        let mut freed = 0;
+        for (tuple, acct) in self.streams.iter_mut() {
+            if tuple.transport == Transport::Udp && !acct.dropped && doomed(tuple) {
+                acct.dropped = true;
+                freed += acct.retained.iter().map(|r| r.payload.len()).sum::<usize>();
+                acct.retained = Vec::new();
+            }
+        }
+        self.retained_bytes -= freed;
+    }
+
+    /// Finish a [`Retention::Full`] pass with the classic [`FilterResult`].
+    ///
+    /// # Panics
+    /// Panics when the filter was built with [`Retention::AcceptedUdp`]
+    /// (full streams were not retained).
+    pub fn finish_result(self) -> FilterResult {
+        assert_eq!(self.retention, Retention::Full, "finish_result requires Retention::Full");
+        let OnlineFilter { win, config, streams, out_of_window_3tuples, precall_ip_pairs, .. } = self;
+
+        let mut raw = StageStats::default();
+        let mut stage1 = StageStats::default();
+        let mut stage2 = StageStats::default();
+        let mut rtc = StageStats::default();
+        let mut stage1_removed = Vec::new();
+        let mut stage2_removed = Vec::new();
+        let mut rtc_streams = Vec::new();
+        for (tuple, acct) in streams {
+            let class = classify_stream(
+                win,
+                &config,
+                &out_of_window_3tuples,
+                &precall_ip_pairs,
+                &tuple,
+                acct.first_ts,
+                acct.last_ts,
+                &acct.retained,
+            );
+            let stream = Stream { tuple, datagrams: acct.retained };
+            raw.absorb(&stream);
+            match class {
+                StreamClass::Stage1 => {
+                    stage1.absorb(&stream);
+                    stage1_removed.push(stream);
+                }
+                StreamClass::Stage2(h) => {
+                    stage2.absorb(&stream);
+                    stage2_removed.push((stream, h));
+                }
+                StreamClass::Rtc => {
+                    rtc.absorb(&stream);
+                    rtc_streams.push(stream);
+                }
+            }
+        }
+        FilterResult { rtc_streams, stage1_removed, stage2_removed, raw, stage1, stage2, rtc }
+    }
+
+    /// Finish a streaming pass: classify every stream from its accounting
+    /// and emit the accepted RTC UDP datagrams in global capture-time
+    /// order, plus the per-stage statistics.
+    ///
+    /// Works in either retention mode; in [`Retention::AcceptedUdp`] mode
+    /// the peak payload residency was bounded by the live candidate
+    /// streams.
+    pub fn finish_streaming(self) -> OnlineOutcome {
+        let peak_retained_bytes = self.peak_retained_bytes;
+        let OnlineFilter { win, config, streams, out_of_window_3tuples, precall_ip_pairs, .. } = self;
+
+        let mut raw = StageStats::default();
+        let mut stage1 = StageStats::default();
+        let mut stage2 = StageStats::default();
+        let mut rtc = StageStats::default();
+        let mut accepted_udp = Vec::new();
+        for (tuple, acct) in streams {
+            let class = classify_stream(
+                win,
+                &config,
+                &out_of_window_3tuples,
+                &precall_ip_pairs,
+                &tuple,
+                acct.first_ts,
+                acct.last_ts,
+                &acct.retained,
+            );
+            // Stats count every datagram the stream saw, not just what was
+            // retained — `absorb` must not read `datagrams.len()` here.
+            let stats = match class {
+                StreamClass::Stage1 => &mut stage1,
+                StreamClass::Stage2(_) => &mut stage2,
+                StreamClass::Rtc => &mut rtc,
+            };
+            match tuple.transport {
+                Transport::Udp => {
+                    raw.udp_streams += 1;
+                    raw.udp_datagrams += acct.count;
+                    stats.udp_streams += 1;
+                    stats.udp_datagrams += acct.count;
+                }
+                Transport::Tcp => {
+                    raw.tcp_streams += 1;
+                    raw.tcp_segments += acct.count;
+                    stats.tcp_streams += 1;
+                    stats.tcp_segments += acct.count;
+                }
+            }
+            if matches!(class, StreamClass::Rtc) && tuple.transport == Transport::Udp {
+                debug_assert!(!acct.dropped, "an RTC-classified stream must never have been dropped");
+                accepted_udp.extend(acct.retained);
+            }
+        }
+        // Streams flatten in BTreeMap (tuple) order; the stable sort merges
+        // them by capture time exactly like `rtc_udp_datagrams()`.
+        accepted_udp.sort_by_key(|d| d.ts);
+        OnlineOutcome { accepted_udp, raw, stage1, stage2, rtc, peak_retained_bytes }
+    }
+}
+
 /// Run the full two-stage pipeline over one call's decoded datagrams.
 ///
 /// `call_window` is the (initiation, termination) pair from the capture
 /// manifest; datagrams outside the capture (there are none in practice)
 /// still participate in the out-of-window observations the stage-2
 /// 3-tuple filter needs.
+///
+/// This is a thin wrapper over [`OnlineFilter`] in [`Retention::Full`]
+/// mode — the batch and streaming paths share one classification engine.
 pub fn run(datagrams: &[Datagram], call_window: (Timestamp, Timestamp), config: &FilterConfig) -> FilterResult {
-    let (call_start, _call_end) = call_window;
-    let win = Window::around(call_window, config.slack_us);
-
-    // Observations for stage 2, gathered from the FULL capture:
-    // destination-side 3-tuples active outside the call window, and local
-    // IP pairs seen before the call.
-    let mut out_of_window_3tuples: HashSet<ThreeTuple> = HashSet::new();
-    let mut precall_ip_pairs: HashSet<(IpAddr, IpAddr)> = HashSet::new();
+    let mut filter = OnlineFilter::new(call_window, config.clone(), Retention::Full);
     for d in datagrams {
-        if !win.contains(d.ts) {
-            out_of_window_3tuples.insert(d.five_tuple.dst_three_tuple());
-        }
-        if d.ts < call_start {
-            let (a, b) = (d.five_tuple.src.ip(), d.five_tuple.dst.ip());
-            precall_ip_pairs.insert(if a <= b { (a, b) } else { (b, a) });
-        }
+        filter.push(d.clone());
     }
-
-    let streams = group_streams(datagrams);
-    let mut raw = StageStats::default();
-    for s in &streams {
-        raw.absorb(s);
-    }
-
-    // Stage 1: timespan alignment. An empty stream (no timestamps at all)
-    // carries nothing worth keeping and is counted as removed.
-    let mut stage1_removed = Vec::new();
-    let mut survivors = Vec::new();
-    for s in streams {
-        let enclosed = match (s.first_ts(), s.last_ts()) {
-            (Some(first), Some(last)) => win.encloses(first, last),
-            _ => false,
-        };
-        if enclosed {
-            survivors.push(s);
-        } else {
-            stage1_removed.push(s);
-        }
-    }
-
-    // Stage 2: intra-call heuristics, applied in the paper's order.
-    let mut stage2_removed = Vec::new();
-    let mut rtc_streams = Vec::new();
-    for s in survivors {
-        let heuristic = if out_of_window_3tuples.contains(&s.tuple.dst_three_tuple()) {
-            Some(Heuristic::ThreeTupleTiming)
-        } else if s.tuple.transport == Transport::Tcp
-            && stream_sni(&s).is_some_and(|sni| config.sni_blocklist.contains(&sni))
-        {
-            Some(Heuristic::TlsSni)
-        } else if s.tuple.touches_local_range() && {
-            let (a, b) = (s.tuple.src.ip(), s.tuple.dst.ip());
-            let pair = if a <= b { (a, b) } else { (b, a) };
-            precall_ip_pairs.contains(&pair)
-        } {
-            Some(Heuristic::LocalIp)
-        } else if config.excluded_ports.contains(&s.tuple.src.port())
-            || config.excluded_ports.contains(&s.tuple.dst.port())
-        {
-            Some(Heuristic::PortExclusion)
-        } else {
-            None
-        };
-        match heuristic {
-            Some(h) => stage2_removed.push((s, h)),
-            None => rtc_streams.push(s),
-        }
-    }
-
-    let mut stage1 = StageStats::default();
-    for s in &stage1_removed {
-        stage1.absorb(s);
-    }
-    let mut stage2 = StageStats::default();
-    for (s, _) in &stage2_removed {
-        stage2.absorb(s);
-    }
-    let mut rtc = StageStats::default();
-    for s in &rtc_streams {
-        rtc.absorb(s);
-    }
-
-    FilterResult { rtc_streams, stage1_removed, stage2_removed, raw, stage1, stage2, rtc }
+    filter.finish_result()
 }
 
 #[cfg(test)]
@@ -668,5 +950,248 @@ mod tests {
         let r = run(&[], WINDOW, &FilterConfig::default());
         assert!(r.rtc_streams.is_empty());
         assert_eq!(r.raw, StageStats::default());
+    }
+
+    /// The pre-refactor batch implementation, retained verbatim as the
+    /// reference the online engine is differentially tested against.
+    fn run_reference(
+        datagrams: &[Datagram],
+        call_window: (Timestamp, Timestamp),
+        config: &FilterConfig,
+    ) -> FilterResult {
+        let (call_start, _call_end) = call_window;
+        let win = Window::around(call_window, config.slack_us);
+
+        let mut out_of_window_3tuples: HashSet<ThreeTuple> = HashSet::new();
+        let mut precall_ip_pairs: HashSet<(IpAddr, IpAddr)> = HashSet::new();
+        for d in datagrams {
+            if !win.contains(d.ts) {
+                out_of_window_3tuples.insert(d.five_tuple.dst_three_tuple());
+            }
+            if d.ts < call_start {
+                let (a, b) = (d.five_tuple.src.ip(), d.five_tuple.dst.ip());
+                precall_ip_pairs.insert(if a <= b { (a, b) } else { (b, a) });
+            }
+        }
+
+        let streams = group_streams(datagrams);
+        let mut raw = StageStats::default();
+        for s in &streams {
+            raw.absorb(s);
+        }
+
+        let mut stage1_removed = Vec::new();
+        let mut survivors = Vec::new();
+        for s in streams {
+            let enclosed = match (s.first_ts(), s.last_ts()) {
+                (Some(first), Some(last)) => win.encloses(first, last),
+                _ => false,
+            };
+            if enclosed {
+                survivors.push(s);
+            } else {
+                stage1_removed.push(s);
+            }
+        }
+
+        let mut stage2_removed = Vec::new();
+        let mut rtc_streams = Vec::new();
+        for s in survivors {
+            let heuristic = if out_of_window_3tuples.contains(&s.tuple.dst_three_tuple()) {
+                Some(Heuristic::ThreeTupleTiming)
+            } else if s.tuple.transport == Transport::Tcp
+                && stream_sni(&s).is_some_and(|sni| config.sni_blocklist.contains(&sni))
+            {
+                Some(Heuristic::TlsSni)
+            } else if s.tuple.touches_local_range() && {
+                let (a, b) = (s.tuple.src.ip(), s.tuple.dst.ip());
+                let pair = if a <= b { (a, b) } else { (b, a) };
+                precall_ip_pairs.contains(&pair)
+            } {
+                Some(Heuristic::LocalIp)
+            } else if config.excluded_ports.contains(&s.tuple.src.port())
+                || config.excluded_ports.contains(&s.tuple.dst.port())
+            {
+                Some(Heuristic::PortExclusion)
+            } else {
+                None
+            };
+            match heuristic {
+                Some(h) => stage2_removed.push((s, h)),
+                None => rtc_streams.push(s),
+            }
+        }
+
+        let mut stage1 = StageStats::default();
+        for s in &stage1_removed {
+            stage1.absorb(s);
+        }
+        let mut stage2 = StageStats::default();
+        for (s, _) in &stage2_removed {
+            stage2.absorb(s);
+        }
+        let mut rtc = StageStats::default();
+        for s in &rtc_streams {
+            rtc.absorb(s);
+        }
+
+        FilterResult { rtc_streams, stage1_removed, stage2_removed, raw, stage1, stage2, rtc }
+    }
+
+    fn assert_results_equal(a: &FilterResult, b: &FilterResult) {
+        let streams_eq = |x: &[Stream], y: &[Stream]| {
+            assert_eq!(x.len(), y.len());
+            for (s, t) in x.iter().zip(y) {
+                assert_eq!(s.tuple, t.tuple);
+                assert_eq!(s.datagrams, t.datagrams);
+            }
+        };
+        streams_eq(&a.rtc_streams, &b.rtc_streams);
+        streams_eq(&a.stage1_removed, &b.stage1_removed);
+        assert_eq!(a.stage2_removed.len(), b.stage2_removed.len());
+        for ((s, h), (t, k)) in a.stage2_removed.iter().zip(&b.stage2_removed) {
+            assert_eq!(s.tuple, t.tuple);
+            assert_eq!(s.datagrams, t.datagrams);
+            assert_eq!(h, k);
+        }
+        assert_eq!((a.raw, a.stage1, a.stage2, a.rtc), (b.raw, b.stage1, b.stage2, b.rtc));
+    }
+
+    mod online {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A datagram pool exercising every heuristic: pre/in/post-window
+        /// timestamps, excluded ports, local IP pairs, blocklisted SNI
+        /// hellos, and plain RTC-looking UDP.
+        fn arb_datagram() -> impl Strategy<Value = Datagram> {
+            // WINDOW is (60 s, 360 s); slack 2 s → closed [58 s, 362 s].
+            let picks = (0u8..6, any::<u64>(), 0u8..4, 0u8..4, 0u8..10, 0u8..5);
+            let shape = (0u8..4, 0u8..6, collection::vec(any::<u8>(), 0..40));
+            (picks, shape).prop_map(|((ts_sel, ts_raw, sip, dip, sp, dp), (transport, pay_sel, raw))| {
+                let ts = match ts_sel {
+                    0..=2 => 58_000_000 + ts_raw % (362_000_000 - 58_000_000 + 1), // in-window
+                    3 => ts_raw % 58_000_000,                                      // pre-call
+                    4 => 362_000_001 + ts_raw % 38_000_000,                        // post-call
+                    _ => [57_999_999, 58_000_000, 362_000_000, 362_000_001][(ts_raw % 4) as usize], // edges
+                };
+                let sip = ["10.0.0.1", "10.0.0.2", "192.168.1.101", "192.168.1.102"][sip as usize];
+                let dip = ["1.2.3.4", "1.2.3.5", "192.168.1.50", "192.168.1.102"][dip as usize];
+                let sp = if sp == 9 { 5353 } else { 40000 + sp as u16 };
+                let dp = [3478u16, 443, 50001, 50002, 53][dp as usize];
+                let transport = if transport == 3 { Transport::Tcp } else { Transport::Udp };
+                let payload = match pay_sel {
+                    0..=3 => raw,
+                    4 => rtc_wire::tls::build_client_hello(Some("ads.doubleclick.net"), [7; 32]),
+                    _ => rtc_wire::tls::build_client_hello(Some("media.rtc.example"), [9; 32]),
+                };
+                Datagram {
+                    ts: Timestamp::from_micros(ts),
+                    five_tuple: FiveTuple {
+                        src: format!("{sip}:{sp}").parse().unwrap(),
+                        dst: format!("{dip}:{dp}").parse().unwrap(),
+                        transport,
+                    },
+                    payload: payload.into(),
+                }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The rewritten `run` (online engine, Full retention) matches
+            /// the retained pre-refactor batch implementation exactly —
+            /// including on unsorted input, where first/last timestamps
+            /// follow push order rather than min/max.
+            #[test]
+            fn full_mode_matches_batch_reference(datagrams in proptest::collection::vec(arb_datagram(), 0..120)) {
+                let cfg = FilterConfig::default();
+                let reference = run_reference(&datagrams, WINDOW, &cfg);
+                let online = run(&datagrams, WINDOW, &cfg);
+                assert_results_equal(&online, &reference);
+            }
+
+            /// The bounded-retention streaming mode emits exactly the batch
+            /// pipeline's accepted UDP datagrams and per-stage stats.
+            #[test]
+            fn accepted_udp_mode_matches_batch(datagrams in proptest::collection::vec(arb_datagram(), 0..120)) {
+                let cfg = FilterConfig::default();
+                let reference = run_reference(&datagrams, WINDOW, &cfg);
+                let mut f = OnlineFilter::new(WINDOW, cfg, Retention::AcceptedUdp);
+                for d in &datagrams {
+                    f.push(d.clone());
+                }
+                let out = f.finish_streaming();
+                let want: Vec<Datagram> = reference.rtc_udp_datagrams().into_iter().cloned().collect();
+                prop_assert_eq!(out.accepted_udp, want);
+                prop_assert_eq!(out.raw, reference.raw);
+                prop_assert_eq!(out.stage1, reference.stage1);
+                prop_assert_eq!(out.stage2, reference.stage2);
+                prop_assert_eq!(out.rtc, reference.rtc);
+            }
+        }
+
+        #[test]
+        fn doomed_streams_release_their_payloads() {
+            // A chatty pre-call stream is dropped the moment it is seen;
+            // retained bytes stay bounded by the single live RTC stream.
+            let mut f = OnlineFilter::new(WINDOW, FilterConfig::default(), Retention::AcceptedUdp);
+            for i in 0..100u64 {
+                f.push(dg(10 + i / 50, "174.192.14.21:100", "1.2.3.4:200", Transport::Udp, &[0u8; 100]));
+            }
+            assert_eq!(f.retained_bytes(), 0, "pre-call stream retains nothing");
+            f.push(dg(100, "174.192.14.21:101", "1.2.3.4:3478", Transport::Udp, &[0u8; 100]));
+            assert_eq!(f.retained_bytes(), 100);
+            // An excluded-port stream never retains.
+            f.push(dg(101, "174.192.14.21:102", "8.8.8.8:53", Transport::Udp, &[0u8; 500]));
+            assert_eq!(f.retained_bytes(), 100);
+            assert_eq!(f.peak_retained_bytes(), 100);
+            let out = f.finish_streaming();
+            assert_eq!(out.accepted_udp.len(), 1);
+            assert_eq!(out.raw.udp_datagrams, 102);
+        }
+
+        #[test]
+        fn late_observation_sweeps_retained_stream() {
+            // A stream accepted-so-far loses its payloads when its
+            // destination 3-tuple later shows up out-of-window — and the
+            // final classification still matches batch.
+            let mut f = OnlineFilter::new(WINDOW, FilterConfig::default(), Retention::AcceptedUdp);
+            let d = vec![
+                dg(100, "174.192.14.21:100", "1.2.3.4:3478", Transport::Udp, &[0u8; 64]),
+                dg(101, "174.192.14.21:101", "1.2.3.4:443", Transport::Udp, &[0u8; 64]),
+                // Post-window datagram to 1.2.3.4:3478 → dooms the first.
+                dg(380, "174.192.14.9:999", "1.2.3.4:3478", Transport::Udp, &[0u8; 8]),
+            ];
+            f.push(d[0].clone());
+            f.push(d[1].clone());
+            assert_eq!(f.retained_bytes(), 128);
+            f.push(d[2].clone());
+            assert_eq!(f.retained_bytes(), 64, "swept the newly doomed stream");
+            let out = f.finish_streaming();
+            let reference = run(&d, WINDOW, &FilterConfig::default());
+            let want: Vec<Datagram> = reference.rtc_udp_datagrams().into_iter().cloned().collect();
+            assert_eq!(out.accepted_udp, want);
+            assert_eq!(out.accepted_udp.len(), 1);
+            assert_eq!(out.accepted_udp[0].five_tuple.dst.port(), 443);
+        }
+
+        #[test]
+        fn tcp_head_is_capped_for_sni() {
+            let hello = rtc_wire::tls::build_client_hello(Some("ads.doubleclick.net"), [1; 32]);
+            let mut f = OnlineFilter::new(WINDOW, FilterConfig::default(), Retention::AcceptedUdp);
+            f.push(dg(100, "10.0.0.1:400", "1.2.3.4:443", Transport::Tcp, &hello));
+            for i in 0..50u64 {
+                f.push(dg(101 + i, "10.0.0.1:400", "1.2.3.4:443", Transport::Tcp, &[0u8; 1000]));
+            }
+            assert!(
+                f.retained_bytes() < hello.len() + SNI_SCAN_SEGMENTS * 1000,
+                "TCP retention bounded by the SNI scan head"
+            );
+            let out = f.finish_streaming();
+            assert_eq!(out.stage2.tcp_streams, 1, "blocklisted SNI still attributed from the capped head");
+            assert_eq!(out.stage2.tcp_segments, 51);
+        }
     }
 }

@@ -23,7 +23,7 @@ pub mod time;
 pub mod trace;
 
 pub use time::Timestamp;
-pub use trace::{Record, Trace};
+pub use trace::{decode_record, Record, Trace};
 
 use std::io::{Read, Write};
 
@@ -181,6 +181,77 @@ impl<R: Read> Reader<R> {
         }
         Ok(Trace { link_type: self.header.link_type, records })
     }
+}
+
+/// Default number of records per [`TraceReader`] chunk.
+pub const DEFAULT_CHUNK_RECORDS: usize = 1024;
+
+/// Chunked streaming reader: iterates a capture in bounded record batches
+/// without ever materializing the whole [`Trace`] in memory.
+///
+/// Each chunk is at most `chunk_records` records; peak memory for the read
+/// side is therefore O(chunk), independent of capture size. Use
+/// [`TraceReader::next_record`] for one-at-a-time iteration or
+/// [`TraceReader::next_chunk`] for batch-friendly consumers.
+pub struct TraceReader<R: Read> {
+    inner: Reader<R>,
+    chunk_records: usize,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Open a pcap stream for chunked reading.
+    ///
+    /// `chunk_records` of 0 selects [`DEFAULT_CHUNK_RECORDS`].
+    pub fn new(inner: R, chunk_records: usize) -> Result<TraceReader<R>> {
+        let inner = Reader::new(inner)?;
+        let chunk_records = if chunk_records == 0 { DEFAULT_CHUNK_RECORDS } else { chunk_records };
+        Ok(TraceReader { inner, chunk_records })
+    }
+
+    /// The trace's link-layer type.
+    pub fn link_type(&self) -> LinkType {
+        self.inner.link_type()
+    }
+
+    /// The configured chunk size in records.
+    pub fn chunk_records(&self) -> usize {
+        self.chunk_records
+    }
+
+    /// Read the next record; `Ok(None)` at a clean end of file.
+    pub fn next_record(&mut self) -> Result<Option<Record>> {
+        self.inner.next_record()
+    }
+
+    /// Read the next bounded batch of records; `Ok(None)` at end of file.
+    ///
+    /// A returned chunk is never empty and never longer than the configured
+    /// chunk size.
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<Record>>> {
+        let mut chunk = Vec::new();
+        while chunk.len() < self.chunk_records {
+            match self.inner.next_record()? {
+                Some(r) => chunk.push(r),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(chunk))
+        }
+    }
+}
+
+/// Open a pcap file on disk for chunked streaming reads.
+///
+/// `chunk_records` of 0 selects [`DEFAULT_CHUNK_RECORDS`].
+pub fn open_file(
+    path: impl AsRef<std::path::Path>,
+    chunk_records: usize,
+) -> Result<TraceReader<std::io::BufReader<std::fs::File>>> {
+    let file = std::fs::File::open(path)?;
+    TraceReader::new(std::io::BufReader::new(file), chunk_records)
 }
 
 /// Parse a complete pcap byte buffer into a [`Trace`].
@@ -377,6 +448,45 @@ mod tests {
         let back = parse(&to_bytes(&trace)).unwrap();
         assert_eq!(back.link_type, LinkType::RawIp);
         assert!(back.records.is_empty());
+    }
+
+    #[test]
+    fn trace_reader_chunks_are_bounded_and_complete() {
+        let trace = sample_trace();
+        let bytes = to_bytes(&trace);
+        let mut tr = TraceReader::new(&bytes[..], 2).unwrap();
+        assert_eq!(tr.link_type(), LinkType::Ethernet);
+        let first = tr.next_chunk().unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        let second = tr.next_chunk().unwrap().unwrap();
+        assert_eq!(second.len(), 1);
+        assert!(tr.next_chunk().unwrap().is_none());
+        let streamed: Vec<Record> = first.into_iter().chain(second).collect();
+        assert_eq!(streamed, trace.records);
+    }
+
+    #[test]
+    fn trace_reader_zero_chunk_uses_default() {
+        let bytes = to_bytes(&sample_trace());
+        let tr = TraceReader::new(&bytes[..], 0).unwrap();
+        assert_eq!(tr.chunk_records(), DEFAULT_CHUNK_RECORDS);
+    }
+
+    #[test]
+    fn open_file_streams_records() {
+        let dir = std::env::temp_dir().join("rtc-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunked.pcap");
+        let trace = sample_trace();
+        write_file(&path, &trace).unwrap();
+        let mut tr = open_file(&path, 1).unwrap();
+        let mut n = 0;
+        while let Some(chunk) = tr.next_chunk().unwrap() {
+            assert_eq!(chunk.len(), 1);
+            n += chunk.len();
+        }
+        assert_eq!(n, trace.records.len());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

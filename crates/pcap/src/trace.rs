@@ -73,19 +73,24 @@ impl Trace {
     /// always writes Ethernet.
     pub fn datagrams(&self) -> Vec<Datagram> {
         assert_eq!(self.link_type, LinkType::Ethernet, "only ethernet traces decode to datagrams");
-        self.records
-            .iter()
-            .filter_map(|r| {
-                let parsed = parse_ethernet_packet(&r.data).ok()?;
-                let offset = parsed.payload.as_ptr() as usize - r.data.as_ptr() as usize;
-                Some(Datagram {
-                    ts: r.ts,
-                    five_tuple: parsed.five_tuple,
-                    payload: r.data.slice(offset..offset + parsed.payload.len()),
-                })
-            })
-            .collect()
+        self.records.iter().filter_map(decode_record).collect()
     }
+}
+
+/// Decode one Ethernet-framed [`Record`] into a transport [`Datagram`].
+///
+/// Returns `None` for records that do not parse as Ethernet/IP/UDP-or-TCP
+/// (e.g. non-IP frames a real capture might contain). The payload is a
+/// zero-copy [`Bytes`] slice of the record's frame buffer, so streaming
+/// consumers keep at most the frames they retain alive.
+pub fn decode_record(r: &Record) -> Option<Datagram> {
+    let parsed = parse_ethernet_packet(&r.data).ok()?;
+    let offset = parsed.payload.as_ptr() as usize - r.data.as_ptr() as usize;
+    Some(Datagram {
+        ts: r.ts,
+        five_tuple: parsed.five_tuple,
+        payload: r.data.slice(offset..offset + parsed.payload.len()),
+    })
 }
 
 #[cfg(test)]

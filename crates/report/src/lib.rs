@@ -23,7 +23,7 @@ use rtc_dpi::{DatagramClass, Protocol};
 use std::collections::BTreeMap;
 
 /// Everything the report layer needs about one analyzed call.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CallRecord {
     /// Application display name (e.g. "Zoom").
     pub app: String,
@@ -66,7 +66,7 @@ impl CallRecord {
 }
 
 /// The full study: every analyzed call.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StudyData {
     /// All call records.
     pub calls: Vec<CallRecord>,
@@ -248,6 +248,106 @@ impl StudyData {
     }
 }
 
+/// The cross-call study state the [`Aggregator`] folds to when it
+/// finishes: everything the study report needs beyond the raw data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AggregateReport {
+    /// All call records, in absorption order.
+    pub data: StudyData,
+    /// Behavioral findings per application, deduplicated by kind.
+    pub findings: BTreeMap<String, Vec<rtc_compliance::findings::Finding>>,
+    /// Proprietary-header profile summaries per application (at most a few
+    /// representative streams each).
+    pub header_profiles: BTreeMap<String, Vec<String>>,
+}
+
+/// Incremental study aggregation: folds [`CallRecord`]s (plus each call's
+/// findings, header-profile summaries, and SSRC inventory) as calls
+/// complete, so a streaming driver never retains per-call dissections.
+///
+/// The batch driver produces the identical result by absorbing every call
+/// in input order and calling [`Aggregator::finish`] once — cross-call
+/// analyses (SSRC reuse per `(app, network)` cell) run at finish time over
+/// the compact SSRC inventories.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregator {
+    calls: Vec<CallRecord>,
+    findings: BTreeMap<String, Vec<rtc_compliance::findings::Finding>>,
+    header_profiles: BTreeMap<String, Vec<String>>,
+    ssrc_sets: BTreeMap<(String, String), Vec<std::collections::BTreeSet<u32>>>,
+}
+
+/// How many header-profile summaries the report keeps per application.
+pub const MAX_HEADER_PROFILES_PER_APP: usize = 3;
+
+impl Aggregator {
+    /// Fresh, empty aggregation state.
+    pub fn new() -> Aggregator {
+        Aggregator::default()
+    }
+
+    /// Number of calls absorbed so far.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether no call has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Fold one completed call into the study: its record, behavioral
+    /// findings (deduplicated by kind per application), header-profile
+    /// summaries (capped at [`MAX_HEADER_PROFILES_PER_APP`]), and SSRC
+    /// inventory (retained per `(app, network)` cell for the cross-call
+    /// reuse detector).
+    pub fn absorb_call(
+        &mut self,
+        record: CallRecord,
+        findings: &[rtc_compliance::findings::Finding],
+        header_profiles: &[String],
+        ssrcs: std::collections::BTreeSet<u32>,
+    ) {
+        let profiles = self.header_profiles.entry(record.app.clone()).or_default();
+        for p in header_profiles {
+            if profiles.len() < MAX_HEADER_PROFILES_PER_APP {
+                profiles.push(p.clone());
+            }
+        }
+        self.ssrc_sets.entry((record.app.clone(), record.network.clone())).or_default().push(ssrcs);
+        let entry = self.findings.entry(record.app.clone()).or_default();
+        for f in findings {
+            if !entry.iter().any(|e| e.kind == f.kind) {
+                entry.push(f.clone());
+            }
+        }
+        self.calls.push(record);
+    }
+
+    /// A point-in-time view of the data aggregated so far; the tables and
+    /// figures can be rendered from it mid-study. Snapshots converge to
+    /// [`Aggregator::finish`]'s `data` once every call is absorbed.
+    pub fn snapshot(&self) -> StudyData {
+        StudyData { calls: self.calls.clone() }
+    }
+
+    /// Seal the study: run the cross-call analyses (SSRC reuse per
+    /// `(app, network)` cell) and emit the aggregate report.
+    pub fn finish(self) -> AggregateReport {
+        let Aggregator { calls, mut findings, mut header_profiles, ssrc_sets } = self;
+        for ((app, _net), sets) in &ssrc_sets {
+            if let Some(f) = rtc_compliance::findings::detect_ssrc_reuse_sets(sets) {
+                let entry = findings.entry(app.clone()).or_default();
+                if !entry.iter().any(|e| e.kind == f.kind) {
+                    entry.push(f);
+                }
+            }
+        }
+        header_profiles.retain(|_, v| !v.is_empty());
+        AggregateReport { data: StudyData { calls }, findings, header_profiles }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +467,35 @@ mod tests {
         let tax = s.app_rejection_taxonomy("AppA");
         assert_eq!(tax.get("stun: length alignment"), Some(&2));
         assert!(s.app_rejection_taxonomy("AppB").get("stun: length alignment").is_none_or(|n| *n == 0));
+    }
+
+    #[test]
+    fn aggregator_folds_incrementally() {
+        use rtc_compliance::findings::{Finding, FindingKind};
+        let s = study();
+        let f = Finding { kind: FindingKind::DoubleRtpDatagrams, count: 3, detail: "3 doubles".into() };
+        let dup = Finding { kind: FindingKind::DoubleRtpDatagrams, count: 9, detail: "ignored".into() };
+        let mut agg = Aggregator::new();
+        assert!(agg.is_empty());
+        let reused: std::collections::BTreeSet<u32> = [0xAA, 0xBB].into_iter().collect();
+        for (i, call) in s.calls.iter().enumerate() {
+            // Same non-empty SSRC set on every call of the (app, network)
+            // cell — but each app has one call here, so no reuse fires.
+            agg.absorb_call(call.clone(), &[f.clone(), dup.clone()], &["hdr profile".into()], reused.clone());
+            assert_eq!(agg.len(), i + 1);
+            assert_eq!(agg.snapshot().calls, s.calls[..=i]);
+        }
+        // A second AppA call with the identical SSRC inventory triggers the
+        // cross-call reuse detector for AppA only.
+        agg.absorb_call(s.calls[0].clone(), &[], &[], reused.clone());
+        let out = agg.finish();
+        assert_eq!(out.data.calls.len(), 3);
+        let appa = &out.findings["AppA"];
+        assert_eq!(appa.iter().filter(|f| f.kind == FindingKind::DoubleRtpDatagrams).count(), 1, "dedup by kind");
+        assert_eq!(appa[0].detail, "3 doubles", "first occurrence wins");
+        assert!(appa.iter().any(|f| f.kind == FindingKind::SsrcReuseAcrossCalls));
+        assert!(!out.findings["AppB"].iter().any(|f| f.kind == FindingKind::SsrcReuseAcrossCalls));
+        assert_eq!(out.header_profiles["AppA"], vec!["hdr profile".to_string()]);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub fn zoom_ssrcs(network: NetworkConfig) -> [u32; 4] {
     }
 }
 
-/// Media-section type codes in the proprietary header (§5.3, after [25]).
+/// Media-section type codes in the proprietary header (§5.3, after citation 25).
 pub mod media_type {
     /// Audio RTP.
     pub const AUDIO: u8 = 15;

@@ -1,0 +1,87 @@
+//! Bench regression gate: compare a committed bench-results baseline
+//! against a freshly generated run and fail on significant regressions.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_dpi.json --fresh /tmp/fresh_dpi.json \
+//!            [--tolerance 0.25]
+//! ```
+//!
+//! `--baseline`/`--fresh` may be repeated in matched pairs to gate several
+//! files in one invocation (CI passes both `BENCH_dpi.json` and
+//! `BENCH_pipeline.json`). Only performance leaves present in both trees
+//! are compared — wall-time keys (`*_ms`, `*_secs`, lower is better) and
+//! throughput keys (`*mib_per_s*`, higher is better); see
+//! [`rtc_bench::gate`]. Exit code 1 when any metric regresses by more than
+//! the tolerance (default 25 %).
+
+use rtc_bench::gate::{compare, Check};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_gate --baseline FILE --fresh FILE [--baseline FILE --fresh FILE ...] [--tolerance F]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> serde_json::Value {
+    match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baselines = Vec::new();
+    let mut fresh = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => baselines.push(it.next().unwrap_or_else(|| usage()).clone()),
+            "--fresh" => fresh.push(it.next().unwrap_or_else(|| usage()).clone()),
+            "--tolerance" => {
+                tolerance = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    if baselines.is_empty() || baselines.len() != fresh.len() {
+        usage();
+    }
+
+    let mut all: Vec<(String, Check)> = Vec::new();
+    for (b, f) in baselines.iter().zip(&fresh) {
+        let checks = compare(&load(b), &load(f), tolerance);
+        if checks.is_empty() {
+            eprintln!("bench_gate: {b} vs {f}: no comparable perf metrics — wrong file pair?");
+            std::process::exit(2);
+        }
+        all.extend(checks.into_iter().map(|c| (b.clone(), c)));
+    }
+
+    println!("{:<55} {:>12} {:>12} {:>9}  verdict", "metric", "baseline", "fresh", "delta");
+    let mut failed = 0usize;
+    for (file, c) in &all {
+        let delta_pct = (c.regression - 1.0) * 100.0;
+        let verdict = if c.failed {
+            failed += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<55} {:>12.2} {:>12.2} {:>+8.1}%  {verdict}",
+            format!("{file}:{}", c.path),
+            c.baseline,
+            c.fresh,
+            delta_pct,
+        );
+    }
+    println!("bench_gate: {} metrics compared, {failed} regressed beyond {:.0}%", all.len(), tolerance * 100.0);
+    std::process::exit(if failed > 0 { 1 } else { 0 });
+}

@@ -57,26 +57,9 @@ pub fn print_artifact(report: &StudyReport, artifact: rtc_core::Artifact, paper_
 /// including the hand-recorded seed baseline — intact. The committed file
 /// is the before/after evidence for the fast-path DPI work.
 pub mod perf {
-    use std::time::Instant;
-
-    /// Best-of-`reps` wall time of `f` in milliseconds, after one warm-up
-    /// call (the usual minimum-latency estimator: robust to scheduler
-    /// noise, biased only toward the machine's true speed).
-    pub fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
-        std::hint::black_box(f());
-        let mut best = f64::INFINITY;
-        for _ in 0..reps {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-        }
-        best
-    }
-
-    /// Round to two decimals so the committed JSON diffs stay readable.
-    pub fn round2(ms: f64) -> f64 {
-        (ms * 100.0).round() / 100.0
-    }
+    // The measurement primitives now live in `rtc-obs` (shared with the
+    // profiling hooks); re-exported here so the benches keep one import.
+    pub use rtc_core::obs::{round2, time_ms};
 
     /// Path of the shared results file: `BENCH_dpi.json` at the repository
     /// root, or wherever `BENCH_DPI_JSON` points.
@@ -105,6 +88,165 @@ pub mod perf {
                 Err(e) => eprintln!("[rtc-bench] cannot write {}: {e}", path.display()),
             },
             Err(e) => eprintln!("[rtc-bench] cannot serialize section '{name}': {e}"),
+        }
+    }
+}
+
+/// Direction-aware comparison of committed vs freshly generated bench
+/// results — the logic behind the `bench_gate` binary and CI's bench-gate
+/// job.
+///
+/// Both sides are JSON trees as written by `dpi_perf` / `pipeline_perf`.
+/// Only performance leaves are compared: keys ending in `_ms` or `_secs`
+/// (lower is better) and keys containing `mib_per_s` (higher is better).
+/// Counts, byte totals, and the hand-recorded `seed_baseline` section are
+/// ignored, as are wall-time leaves too small to measure reliably
+/// (baseline under 1 ms / 50 ms-of-seconds — at that scale a 25 % delta
+/// is scheduler noise, not a regression). A check fails when the fresh
+/// number is worse than the baseline by more than `tolerance` (a
+/// fraction: 0.25 = 25 %).
+pub mod gate {
+    use serde_json::Value;
+
+    /// Which way "better" points for one metric.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Direction {
+        /// Wall-time metrics: a regression is the fresh value growing.
+        LowerIsBetter,
+        /// Throughput metrics: a regression is the fresh value shrinking.
+        HigherIsBetter,
+    }
+
+    /// One compared metric leaf.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Check {
+        /// Dotted path of the leaf, e.g. `dpi_phases.dissect_call_auto_ms`.
+        pub path: String,
+        /// Committed value.
+        pub baseline: f64,
+        /// Freshly measured value.
+        pub fresh: f64,
+        /// Which way "better" points.
+        pub direction: Direction,
+        /// Fresh-over-baseline ratio in the *regression* direction: above
+        /// 1 means "worse", e.g. 1.30 = 30 % slower (or 30 % less
+        /// throughput).
+        pub regression: f64,
+        /// Whether the regression exceeds the tolerance.
+        pub failed: bool,
+    }
+
+    /// Classify a JSON key as a perf metric, or `None` to skip it.
+    pub fn direction_for(key: &str) -> Option<Direction> {
+        if key.contains("mib_per_s") {
+            Some(Direction::HigherIsBetter)
+        } else if key.ends_with("_ms") || key.ends_with("_secs") {
+            Some(Direction::LowerIsBetter)
+        } else {
+            None
+        }
+    }
+
+    /// The smallest baseline worth gating for a key: wall-time leaves
+    /// below ~1 ms are dominated by scheduler noise and are skipped.
+    fn noise_floor(key: &str) -> f64 {
+        if key.ends_with("_ms") {
+            1.0
+        } else if key.ends_with("_secs") {
+            0.05
+        } else {
+            0.0
+        }
+    }
+
+    /// Compare every perf leaf present in *both* trees. Leaves only in one
+    /// tree are skipped (new sections may appear; the gate guards overlap).
+    pub fn compare(baseline: &Value, fresh: &Value, tolerance: f64) -> Vec<Check> {
+        let mut checks = Vec::new();
+        walk(baseline, fresh, String::new(), tolerance, &mut checks);
+        checks
+    }
+
+    fn walk(baseline: &Value, fresh: &Value, path: String, tolerance: f64, out: &mut Vec<Check>) {
+        let (Value::Object(b), Value::Object(f)) = (baseline, fresh) else {
+            return;
+        };
+        for (key, bv) in b {
+            if key == "seed_baseline" {
+                continue; // hand-recorded history, never regenerated
+            }
+            let Some(fv) = f.get(key) else { continue };
+            let sub = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+            match (direction_for(key), bv.as_f64(), fv.as_f64()) {
+                (Some(direction), Some(base), Some(new)) if base >= noise_floor(key) && base > 0.0 && new > 0.0 => {
+                    let regression = match direction {
+                        Direction::LowerIsBetter => new / base,
+                        Direction::HigherIsBetter => base / new,
+                    };
+                    out.push(Check {
+                        path: sub,
+                        baseline: base,
+                        fresh: new,
+                        direction,
+                        regression,
+                        failed: regression > 1.0 + tolerance,
+                    });
+                }
+                _ => walk(bv, fv, sub, tolerance, out),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use serde_json::json;
+
+        #[test]
+        fn classifies_metric_keys() {
+            assert_eq!(direction_for("dissect_call_auto_ms"), Some(Direction::LowerIsBetter));
+            assert_eq!(direction_for("streaming_secs"), Some(Direction::LowerIsBetter));
+            assert_eq!(direction_for("streaming_mib_per_s"), Some(Direction::HigherIsBetter));
+            assert_eq!(direction_for("datagrams"), None);
+            assert_eq!(direction_for("payload_bytes"), None);
+        }
+
+        #[test]
+        fn passes_within_tolerance_and_fails_beyond() {
+            let baseline = json!({"s": {"work_ms": 100.0, "rate_mib_per_s": 200.0, "items": 5}});
+            let ok = json!({"s": {"work_ms": 120.0, "rate_mib_per_s": 170.0, "items": 9}});
+            let checks = compare(&baseline, &ok, 0.25);
+            assert_eq!(checks.len(), 2, "{checks:?}");
+            assert!(checks.iter().all(|c| !c.failed), "{checks:?}");
+
+            let bad = json!({"s": {"work_ms": 130.0, "rate_mib_per_s": 140.0, "items": 9}});
+            let checks = compare(&baseline, &bad, 0.25);
+            let failed: Vec<_> = checks.iter().filter(|c| c.failed).map(|c| c.path.as_str()).collect();
+            assert_eq!(failed, ["s.rate_mib_per_s", "s.work_ms"], "{checks:?}");
+        }
+
+        #[test]
+        fn improvements_never_fail() {
+            let baseline = json!({"work_ms": 100.0, "rate_mib_per_s": 50.0});
+            let fresh = json!({"work_ms": 10.0, "rate_mib_per_s": 500.0});
+            assert!(compare(&baseline, &fresh, 0.25).iter().all(|c| !c.failed));
+        }
+
+        #[test]
+        fn skips_sub_noise_floor_wall_times() {
+            let baseline = json!({"tiny_ms": 0.06, "tiny_secs": 0.01, "big_ms": 9.0, "small_mib_per_s": 0.4});
+            let fresh = json!({"tiny_ms": 0.18, "tiny_secs": 0.04, "big_ms": 9.0, "small_mib_per_s": 0.39});
+            let paths: Vec<_> = compare(&baseline, &fresh, 0.25).iter().map(|c| c.path.clone()).collect();
+            assert_eq!(paths, ["big_ms", "small_mib_per_s"]);
+        }
+
+        #[test]
+        fn skips_seed_baseline_and_one_sided_leaves() {
+            let baseline = json!({"seed_baseline": {"old_ms": 1.0}, "a": {"x_ms": 1.0}, "gone_ms": 3.0});
+            let fresh = json!({"seed_baseline": {"old_ms": 99.0}, "a": {"x_ms": 1.0}, "new_ms": 4.0});
+            let checks = compare(&baseline, &fresh, 0.25);
+            assert_eq!(checks.len(), 1);
+            assert_eq!(checks[0].path, "a.x_ms");
         }
     }
 }

@@ -35,6 +35,9 @@ pub enum Command {
         out: Option<PathBuf>,
         /// Save the generated captures (pcap + manifest per call) here.
         save: Option<PathBuf>,
+        /// Dump the metrics snapshot here at exit (`.json` = JSON, else
+        /// Prometheus text exposition).
+        metrics: Option<PathBuf>,
     },
     /// Analyze a saved experiment directory.
     Analyze {
@@ -44,6 +47,11 @@ pub enum Command {
         stream: bool,
         /// Records per read chunk in streaming mode (0 = default).
         chunk: usize,
+        /// Dump the metrics snapshot here at exit (`.json` = JSON, else
+        /// Prometheus text exposition).
+        metrics: Option<PathBuf>,
+        /// Print a metrics summary line after every streamed call.
+        progress_metrics: bool,
     },
     /// Generate one emulated call capture.
     Generate {
@@ -80,7 +88,9 @@ rtc-study — the RTC protocol-compliance study pipeline
 USAGE:
   rtc-study run [--secs N] [--scale F] [--repeats N] [--seed N]
                 [--apps a,b] [--networks x,y] [--out DIR] [--save DIR]
-  rtc-study analyze <dir> [--stream] [--chunk N]
+                [--metrics PATH]
+  rtc-study analyze <dir> [--stream] [--chunk N] [--metrics PATH]
+                          [--progress-metrics]
   rtc-study generate <app> <network> <out.pcap> [--secs N] [--seed N]
   rtc-study dissect <capture.pcap[ng]> [--window START END] [--threads N]
   rtc-study tables
@@ -90,6 +100,11 @@ USAGE:
 `--stream` the captures are read in bounded chunks through the staged
 streaming engine (peak memory independent of trace size) and one progress
 line per call reports the per-stage counters and timings.
+
+`--metrics PATH` dumps the observability registry when the study is done:
+Prometheus text exposition by default, JSON when PATH ends in `.json`.
+With `--stream --progress-metrics` a compact metrics summary line follows
+every per-call progress line.
 
 The process exits nonzero when any call's analysis failed.
 
@@ -115,6 +130,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut networks = Vec::new();
             let mut out = None;
             let mut save = None;
+            let mut metrics = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
                 match flag.as_str() {
@@ -128,18 +144,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
                     "--save" => save = Some(PathBuf::from(value("--save")?)),
+                    "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
                 return Err("--scale must be in (0, 1]".into());
             }
-            Ok(Command::Run { call_secs, scale, repeats, seed, apps, networks, out, save })
+            Ok(Command::Run { call_secs, scale, repeats, seed, apps, networks, out, save, metrics })
         }
         "analyze" => {
             let dir = PathBuf::from(it.next().cloned().ok_or("analyze: missing <dir>")?);
             let mut stream = false;
             let mut chunk = 0usize;
+            let mut metrics = None;
+            let mut progress_metrics = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--stream" => stream = true,
@@ -147,10 +166,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         chunk =
                             it.next().ok_or("--chunk needs a value")?.parse().map_err(|e| format!("--chunk: {e}"))?;
                     }
+                    "--metrics" => {
+                        metrics = Some(PathBuf::from(it.next().cloned().ok_or("--metrics needs a value")?));
+                    }
+                    "--progress-metrics" => progress_metrics = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            Ok(Command::Analyze { dir, stream, chunk })
+            if progress_metrics && !stream {
+                return Err("--progress-metrics needs --stream".into());
+            }
+            Ok(Command::Analyze { dir, stream, chunk, metrics, progress_metrics })
         }
         "generate" => {
             let app = it.next().cloned().ok_or("generate: missing <app>")?;
@@ -234,7 +260,7 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             }
             Ok(0)
         }
-        Command::Run { call_secs, scale, repeats, seed, apps, networks, out: out_dir, save } => {
+        Command::Run { call_secs, scale, repeats, seed, apps, networks, out: out_dir, save, metrics } => {
             let mut config = StudyConfig::paper_matrix(call_secs, scale, seed);
             config.experiment.repeats = repeats;
             if !apps.is_empty() {
@@ -268,13 +294,22 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
                 std::fs::write(dir.join("summary.json"), serde_json::to_string_pretty(&summary)?)?;
                 writeln!(out, "artifacts exported to {}", dir.display())?;
             }
+            if let Some(path) = metrics {
+                write_metrics(&path, &report.metrics)?;
+                writeln!(out, "metrics written to {}", path.display())?;
+            }
             report_exit_code(&report, out)
         }
-        Command::Analyze { dir, stream, chunk } => {
+        Command::Analyze { dir, stream, chunk, metrics, progress_metrics } => {
             let config = StudyConfig::smoke(0);
             let report = if stream {
                 writeln!(out, "streaming analysis of {} ...", dir.display())?;
-                rtc_core::StreamingStudy::analyze_dir(&dir, &config, chunk, Some(&mut *out))?
+                let options = rtc_core::StreamingOptions {
+                    chunk_records: chunk,
+                    progress: Some(&mut *out),
+                    metrics_every: if progress_metrics { 1 } else { 0 },
+                };
+                rtc_core::StreamingStudy::analyze_dir_with(&dir, &config, options)?
             } else {
                 writeln!(out, "batch analysis of {} ...", dir.display())?;
                 let captures = rtc_core::capture::load_experiment(&dir)?;
@@ -282,6 +317,10 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             };
             writeln!(out, "{}", report.render_all())?;
             writeln!(out, "pipeline: {}", report.pipeline.summary_line())?;
+            if let Some(path) = metrics {
+                write_metrics(&path, &report.metrics)?;
+                writeln!(out, "metrics written to {}", path.display())?;
+            }
             report_exit_code(&report, out)
         }
         Command::Generate { app, network, out: path, call_secs, seed } => {
@@ -362,6 +401,17 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
     }
 }
 
+/// Dump a metrics snapshot: JSON when the path ends in `.json`, Prometheus
+/// text exposition otherwise.
+fn write_metrics(path: &std::path::Path, snapshot: &rtc_core::obs::Snapshot) -> std::io::Result<()> {
+    let body = if path.extension().is_some_and(|e| e.eq_ignore_ascii_case("json")) {
+        serde_json::to_string_pretty(&snapshot.to_json())?
+    } else {
+        snapshot.to_prometheus()
+    };
+    std::fs::write(path, body)
+}
+
 /// Exit nonzero when any call's analysis failed, listing the failures.
 fn report_exit_code(report: &rtc_core::StudyReport, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
     if report.failures.is_empty() {
@@ -394,7 +444,7 @@ mod tests {
         let c =
             parse(&args("run --secs 90 --scale 0.5 --repeats 2 --seed 9 --apps zoom,discord --out /tmp/x")).unwrap();
         match c {
-            Command::Run { call_secs, scale, repeats, seed, apps, networks, out, save } => {
+            Command::Run { call_secs, scale, repeats, seed, apps, networks, out, save, metrics } => {
                 assert_eq!(call_secs, 90);
                 assert!((scale - 0.5).abs() < 1e-9);
                 assert_eq!(repeats, 2);
@@ -403,6 +453,7 @@ mod tests {
                 assert!(networks.is_empty());
                 assert_eq!(out, Some(PathBuf::from("/tmp/x")));
                 assert_eq!(save, None);
+                assert_eq!(metrics, None);
             }
             other => panic!("{other:?}"),
         }
@@ -411,12 +462,41 @@ mod tests {
     #[test]
     fn parse_analyze_flags() {
         let c = parse(&args("analyze /tmp/exp")).unwrap();
-        assert_eq!(c, Command::Analyze { dir: PathBuf::from("/tmp/exp"), stream: false, chunk: 0 });
-        let c = parse(&args("analyze /tmp/exp --stream --chunk 256")).unwrap();
-        assert_eq!(c, Command::Analyze { dir: PathBuf::from("/tmp/exp"), stream: true, chunk: 256 });
+        assert_eq!(
+            c,
+            Command::Analyze {
+                dir: PathBuf::from("/tmp/exp"),
+                stream: false,
+                chunk: 0,
+                metrics: None,
+                progress_metrics: false
+            }
+        );
+        let c = parse(&args("analyze /tmp/exp --stream --chunk 256 --metrics m.prom --progress-metrics")).unwrap();
+        assert_eq!(
+            c,
+            Command::Analyze {
+                dir: PathBuf::from("/tmp/exp"),
+                stream: true,
+                chunk: 256,
+                metrics: Some(PathBuf::from("m.prom")),
+                progress_metrics: true
+            }
+        );
         assert!(parse(&args("analyze")).is_err());
         assert!(parse(&args("analyze /tmp/exp --chunk nope")).is_err());
         assert!(parse(&args("analyze /tmp/exp --bogus")).is_err());
+        assert!(parse(&args("analyze /tmp/exp --metrics")).is_err());
+        assert!(parse(&args("analyze /tmp/exp --progress-metrics")).is_err(), "needs --stream");
+    }
+
+    #[test]
+    fn parse_run_metrics_flag() {
+        match parse(&args("run --metrics /tmp/run.json")).unwrap() {
+            Command::Run { metrics, .. } => assert_eq!(metrics, Some(PathBuf::from("/tmp/run.json"))),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("run --metrics")).is_err());
     }
 
     #[test]
@@ -516,13 +596,21 @@ mod tests {
         let calls = save_campaign(&dir);
 
         let mut batch = Vec::new();
-        let code = execute(Command::Analyze { dir: dir.clone(), stream: false, chunk: 0 }, &mut batch).unwrap();
+        let code = execute(
+            Command::Analyze { dir: dir.clone(), stream: false, chunk: 0, metrics: None, progress_metrics: false },
+            &mut batch,
+        )
+        .unwrap();
         assert_eq!(code, 0);
         let batch = String::from_utf8(batch).unwrap();
         assert!(batch.contains("Table 1"), "{batch}");
 
         let mut streamed = Vec::new();
-        let code = execute(Command::Analyze { dir: dir.clone(), stream: true, chunk: 64 }, &mut streamed).unwrap();
+        let code = execute(
+            Command::Analyze { dir: dir.clone(), stream: true, chunk: 64, metrics: None, progress_metrics: false },
+            &mut streamed,
+        )
+        .unwrap();
         assert_eq!(code, 0);
         let streamed = String::from_utf8(streamed).unwrap();
         // One per-stage progress line per call, plus the study-wide summary.
@@ -541,6 +629,54 @@ mod tests {
     }
 
     #[test]
+    fn analyze_dumps_metrics_and_progress_lines() {
+        let dir = std::env::temp_dir().join(format!("rtc-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let calls = save_campaign(&dir);
+
+        // Prometheus text dump (default format) plus per-call metrics lines.
+        let prom_path = dir.join("metrics.prom");
+        let mut buf = Vec::new();
+        let code = execute(
+            Command::Analyze {
+                dir: dir.clone(),
+                stream: true,
+                chunk: 64,
+                metrics: Some(prom_path.clone()),
+                progress_metrics: true,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("    metrics: messages=").count(), calls, "{text}");
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE rtc_pipeline_stage_items_in_total counter"), "{prom}");
+        assert!(prom.contains("rtc_pipeline_stage_call_nanoseconds_bucket"), "{prom}");
+        assert!(prom.contains("rtc_dpi_candidates_total{matcher=\"rtp\"}"), "{prom}");
+
+        // `.json` extension switches the dump format.
+        let json_path = dir.join("metrics.json");
+        let mut buf = Vec::new();
+        let code = execute(
+            Command::Analyze {
+                dir: dir.clone(),
+                stream: false,
+                chunk: 0,
+                metrics: Some(json_path.clone()),
+                progress_metrics: false,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let parsed: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert!(parsed["metrics"].as_array().is_some_and(|m| !m.is_empty()), "{parsed}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn analyze_exits_nonzero_on_failed_call() {
         let dir = std::env::temp_dir().join(format!("rtc-cli-analyze-fail-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -554,7 +690,11 @@ mod tests {
             .unwrap();
         std::fs::write(&pcap, b"not a pcap").unwrap();
         let mut buf = Vec::new();
-        let code = execute(Command::Analyze { dir: dir.clone(), stream: true, chunk: 0 }, &mut buf).unwrap();
+        let code = execute(
+            Command::Analyze { dir: dir.clone(), stream: true, chunk: 0, metrics: None, progress_metrics: false },
+            &mut buf,
+        )
+        .unwrap();
         assert_eq!(code, 1);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("FAILED"), "{text}");

@@ -435,6 +435,59 @@ pub fn mutate(bytes: &[u8], rng: &mut SplitMix64) -> Vec<u8> {
     out
 }
 
+/// Seed-reproducible fuzz driving.
+///
+/// [`run`](seeded::run) executes one fuzz property for many derived seeds.
+/// When a case panics, the failing seed is printed to stderr before the
+/// panic propagates, and setting `RTC_CONFORMANCE_SEED=<seed>` (decimal or
+/// `0x`-hex) replays exactly that case — so a CI failure reproduces locally
+/// with one environment variable, independent of the case count or
+/// scheduling. `RTC_CONFORMANCE_CASES` scales the sweep (CI runs 10 000).
+pub mod seeded {
+    use super::SplitMix64;
+
+    /// Parse a replay seed as decimal or `0x`-prefixed hex.
+    pub fn parse_seed(raw: &str) -> Option<u64> {
+        let raw = raw.trim();
+        if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            raw.parse().ok()
+        }
+    }
+
+    /// The seed for case `i` of a sweep: one SplitMix64 step per index, so
+    /// case seeds are scattered across the space instead of sequential.
+    pub fn case_seed(base: u64, index: u64) -> u64 {
+        SplitMix64::new(base.wrapping_add(index)).next_u64()
+    }
+
+    /// Run `case` once per derived seed (or once, under
+    /// `RTC_CONFORMANCE_SEED`). On panic, print the failing seed and the
+    /// replay recipe to stderr, then re-panic so the test still fails.
+    pub fn run(label: &str, default_cases: u64, case: impl Fn(u64)) {
+        if let Some(seed) = std::env::var("RTC_CONFORMANCE_SEED").ok().as_deref().and_then(parse_seed) {
+            eprintln!("[rtc-conformance] {label}: replaying seed {seed:#018x}");
+            run_one(label, seed, &case);
+            return;
+        }
+        let cases = std::env::var("RTC_CONFORMANCE_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(default_cases);
+        for index in 0..cases {
+            run_one(label, case_seed(0x5EED_CA5E_0000_0000, index), &case);
+        }
+    }
+
+    fn run_one(label: &str, seed: u64, case: &impl Fn(u64)) {
+        if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(seed))) {
+            eprintln!(
+                "[rtc-conformance] {label}: FAILED at seed {seed:#018x} — replay with\n\
+                 [rtc-conformance]   RTC_CONFORMANCE_SEED={seed} cargo test -p rtc-conformance --test fuzz {label}"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,5 +524,45 @@ mod tests {
             let v = vectors().into_iter().find(|v| v.name == *name).unwrap();
             assert!(v.parser.parse(bytes).is_ok(), "{name}");
         }
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(seeded::parse_seed("12345"), Some(12345));
+        assert_eq!(seeded::parse_seed("0xDEADBEEF"), Some(0xDEAD_BEEF));
+        assert_eq!(seeded::parse_seed(" 0X10 "), Some(16));
+        assert_eq!(seeded::parse_seed("nope"), None);
+        assert_eq!(seeded::parse_seed(""), None);
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_and_scattered() {
+        let seeds: Vec<u64> = (0..32).map(|i| seeded::case_seed(1, i)).collect();
+        assert_eq!(seeds, (0..32).map(|i| seeded::case_seed(1, i)).collect::<Vec<_>>());
+        let distinct: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(distinct.len(), seeds.len(), "derived seeds must not collide");
+        assert!(seeds.windows(2).any(|w| w[1] != w[0].wrapping_add(1)), "seeds must not be sequential");
+    }
+
+    #[test]
+    fn seeded_run_reports_the_failing_seed_and_repanics() {
+        // A passing sweep visits every derived case (the env vars scale or
+        // pin the sweep, so the expected count follows them).
+        let expected = match std::env::var("RTC_CONFORMANCE_SEED") {
+            Ok(_) => 1,
+            Err(_) => std::env::var("RTC_CONFORMANCE_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(5u64),
+        };
+        let visited = std::sync::Mutex::new(Vec::new());
+        seeded::run("all-pass", 5, |seed| visited.lock().unwrap().push(seed));
+        assert_eq!(visited.lock().unwrap().len() as u64, expected);
+
+        // A failing case propagates its panic (after printing the seed).
+        let boom = std::panic::catch_unwind(|| {
+            seeded::run("one-fails", 5, |seed| {
+                let _ = seed;
+                panic!("injected");
+            })
+        });
+        assert!(boom.is_err(), "the case's panic must still fail the test");
     }
 }

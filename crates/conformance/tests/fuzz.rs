@@ -9,10 +9,15 @@
 //! The per-property case count defaults low so `cargo test` stays fast;
 //! CI's conformance job runs `RTC_CONFORMANCE_CASES=10000` under the
 //! `fuzz` profile (release + debug assertions + overflow checks).
+//!
+//! The `seeded_*` properties run through [`rtc_conformance::seeded::run`]:
+//! a failure prints its seed to stderr, and
+//! `RTC_CONFORMANCE_SEED=<seed> cargo test -p rtc-conformance --test fuzz`
+//! replays exactly that case.
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use rtc_conformance::{corpus, mutate, Parser, SplitMix64};
+use rtc_conformance::{corpus, mutate, seeded, Parser, SplitMix64};
 use rtc_pcap::trace::Datagram;
 use rtc_pcap::Timestamp;
 use rtc_wire::ip::FiveTuple;
@@ -146,4 +151,70 @@ proptest! {
         let merged = r.rtc_udp_datagrams();
         prop_assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts), "rtc_udp_datagrams out of order");
     }
+}
+
+/// Random payload bytes of a seed-derived length (biased short, so header
+/// checks and deep parser paths are both exercised).
+fn random_payload(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let len = rng.below(max_len + 1);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Seed-reproducible end-to-end sweep: a random mini-campaign of raw and
+/// mutated-golden datagrams through every parser, the extractor, the full
+/// dissect/check pipeline and the filter. One seed rebuilds the entire
+/// campaign byte for byte.
+#[test]
+fn seeded_campaigns_survive_all_surfaces() {
+    let golden = corpus();
+    seeded::run("seeded_campaigns_survive_all_surfaces", 64, |seed| {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.below(6) + 1;
+        let mut datagrams = Vec::with_capacity(n);
+        for i in 0..n {
+            // Half pure-random payloads, half mutated golden vectors.
+            let payload = if rng.next_u64().is_multiple_of(2) {
+                random_payload(&mut rng, 256)
+            } else {
+                let (_, bytes) = &golden[rng.below(golden.len())];
+                let mut m = bytes.clone();
+                for _ in 0..rng.below(4) + 1 {
+                    m = mutate(&m, &mut rng);
+                }
+                m
+            };
+            exercise_parsers(&payload);
+            for c in rtc_dpi::extract_candidates(&payload, 200) {
+                assert!(c.end() <= payload.len(), "candidate {c:?} overruns len {}", payload.len());
+            }
+            datagrams.push(udp_datagram(i, rng.next_u64() as u16, payload));
+        }
+        let dis = rtc_dpi::dissect_call(&datagrams, &rtc_dpi::DpiConfig::default());
+        assert_eq!(dis.datagrams.len(), n);
+        let checked = rtc_compliance::check_call(&dis);
+        assert!((0.0..=1.0).contains(&checked.volume_compliance()));
+        let window = (Timestamp::from_secs(60), Timestamp::from_secs(360));
+        let r = rtc_filter::run(&datagrams, window, &rtc_filter::FilterConfig::default());
+        let kept: usize = r.rtc_streams.iter().map(|s| s.len()).sum();
+        let s1: usize = r.stage1_removed.iter().map(|s| s.len()).sum();
+        let s2: usize = r.stage2_removed.iter().map(|(s, _)| s.len()).sum();
+        assert_eq!(kept + s1 + s2, n, "every datagram in exactly one filter bucket");
+    });
+}
+
+/// Seed-reproducible parser soak: longer random buffers than the proptest
+/// sweep, replayable by seed alone.
+#[test]
+fn seeded_parsers_survive_long_random_buffers() {
+    seeded::run("seeded_parsers_survive_long_random_buffers", 64, |seed| {
+        let mut rng = SplitMix64::new(seed);
+        let payload = random_payload(&mut rng, 2048);
+        exercise_parsers(&payload);
+        let _ = rtc_wire::rtcp::split_compound(&payload);
+        for k in [0, 3, 64, 200] {
+            for c in rtc_dpi::extract_candidates(&payload, k) {
+                assert!(c.end() <= payload.len() && c.offset <= k);
+            }
+        }
+    });
 }

@@ -36,6 +36,7 @@ pub use rtc_compliance as compliance;
 pub use rtc_dpi as dpi;
 pub use rtc_filter as filter;
 pub use rtc_netemu as netemu;
+pub use rtc_obs as obs;
 pub use rtc_pcap as pcap;
 pub use rtc_report as report;
 pub use rtc_wire as wire;
@@ -56,6 +57,12 @@ pub struct StudyConfig {
     pub filter: rtc_filter::FilterConfig,
     /// DPI configuration (§4.1).
     pub dpi: rtc_dpi::DpiConfig,
+    /// Metrics registry every stage and worker of this run records into
+    /// (cloning a registry shares its storage). Defaults to a fresh enabled
+    /// registry; swap in [`rtc_obs::MetricsRegistry::disabled`] to run
+    /// without instrumentation — the differential tests assert both modes
+    /// produce byte-identical tables.
+    pub obs: rtc_obs::MetricsRegistry,
 }
 
 impl StudyConfig {
@@ -65,6 +72,7 @@ impl StudyConfig {
             experiment: ExperimentConfig::paper_matrix(call_secs, scale, seed),
             filter: rtc_filter::FilterConfig::default(),
             dpi: rtc_dpi::DpiConfig::default(),
+            obs: rtc_obs::MetricsRegistry::new(),
         }
     }
 
@@ -74,6 +82,7 @@ impl StudyConfig {
             experiment: ExperimentConfig::smoke(seed),
             filter: rtc_filter::FilterConfig::default(),
             dpi: rtc_dpi::DpiConfig::default(),
+            obs: rtc_obs::MetricsRegistry::new(),
         }
     }
 }
@@ -175,6 +184,12 @@ pub struct StudyReport {
     /// Per-stage counters/timings summed over all calls, with the peak
     /// filter residency (max over calls).
     pub pipeline: pipeline::PipelineStats,
+    /// Snapshot of the run's metrics registry ([`StudyConfig::obs`]) taken
+    /// when the report was assembled: per-stage/per-matcher counters,
+    /// latency and size histograms, span timings. Empty when the study ran
+    /// with a disabled registry. Export with [`rtc_obs::Snapshot::to_prometheus`]
+    /// or [`rtc_obs::Snapshot::to_json`].
+    pub metrics: rtc_obs::Snapshot,
 }
 
 impl StudyReport {
@@ -296,6 +311,9 @@ impl Study {
                 let queue = &queue;
                 let analyze_one = &analyze_one;
                 handles.push(s.spawn(move || {
+                    // Each worker thread roots its own span hierarchy, so
+                    // call spans nest as `study.call.…` on every thread.
+                    let _study_span = config.obs.span("study");
                     let mut done = Vec::new();
                     let mut failed = Vec::new();
                     while let Some((i, cap)) = queue.pop() {
@@ -329,15 +347,29 @@ impl Study {
         // Fold completed calls through the incremental aggregator — the
         // exact state machine the streaming driver uses, so batch and
         // streaming reports are identical by construction.
+        let _study_span = config.obs.span("study");
         let mut aggregate = rtc_report::Aggregator::new();
         let mut stats = pipeline::PipelineStats::default();
+        let mut analyzed = 0u64;
         for (analysis, call_stats) in analyses.into_iter().flatten() {
+            analyzed += 1;
             stats.absorb(&call_stats);
-            absorb_analysis(&mut aggregate, &mut stats, analysis);
+            absorb_analysis(&mut aggregate, &mut stats, analysis, &config.obs);
         }
+        record_study_totals(&config.obs, analyzed, failures.len() as u64);
         let rtc_report::AggregateReport { data, findings, header_profiles } = aggregate.finish();
-        StudyReport { data, findings, header_profiles, failures, pipeline: stats }
+        drop(_study_span);
+        StudyReport { data, findings, header_profiles, failures, pipeline: stats, metrics: config.obs.snapshot() }
     }
+}
+
+/// Record the run-level call counters.
+fn record_study_totals(obs: &rtc_obs::MetricsRegistry, analyzed: u64, failed: u64) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter("rtc_study_calls_total", &[], "Calls analyzed to completion.").add(analyzed);
+    obs.counter("rtc_study_call_failures_total", &[], "Calls whose analysis failed and was excluded.").add(failed);
 }
 
 /// Fold one call's analysis into the aggregator (the pipeline's fifth
@@ -348,15 +380,19 @@ fn absorb_analysis(
     aggregate: &mut rtc_report::Aggregator,
     stats: &mut pipeline::PipelineStats,
     analysis: CallAnalysis,
+    obs: &rtc_obs::MetricsRegistry,
 ) {
+    let _span = obs.span("aggregate");
     let t = std::time::Instant::now();
     let summaries: Vec<String> = analysis.header_profiles.iter().map(|p| p.summary()).collect();
     let ssrcs = rtc_compliance::findings::ssrc_set(&analysis.dissection);
     aggregate.absorb_call(analysis.record, &analysis.findings, &summaries, ssrcs);
+    let elapsed = t.elapsed();
     let m = stats.stage_mut(pipeline::StageKind::Aggregate);
     m.items_in += 1;
     m.items_out += 1;
-    m.busy += t.elapsed();
+    m.busy += elapsed;
+    pipeline::record_stage_metrics(obs, pipeline::StageKind::Aggregate, 1, 1, elapsed);
 }
 
 /// The streaming study driver: analyzes a saved experiment directory
@@ -365,6 +401,19 @@ fn absorb_analysis(
 /// O(chunk + live streams + one call's RTC traffic), independent of trace
 /// or campaign size.
 pub struct StreamingStudy;
+
+/// Options for [`StreamingStudy::analyze_dir_with`].
+#[derive(Default)]
+pub struct StreamingOptions<'a> {
+    /// How many pcap records are resident per read (0 = reader default).
+    pub chunk_records: usize,
+    /// Per-call progress lines are written here when set.
+    pub progress: Option<&'a mut dyn std::io::Write>,
+    /// Every N completed calls, write a compact metrics summary line to the
+    /// progress writer (0 = never). Needs `progress` and an enabled
+    /// [`StudyConfig::obs`] registry to have any effect.
+    pub metrics_every: usize,
+}
 
 impl StreamingStudy {
     /// Analyze every saved call under `dir`. `chunk_records` bounds how
@@ -375,8 +424,18 @@ impl StreamingStudy {
         dir: impl AsRef<std::path::Path>,
         config: &StudyConfig,
         chunk_records: usize,
-        mut progress: Option<&mut dyn std::io::Write>,
+        progress: Option<&mut dyn std::io::Write>,
     ) -> std::io::Result<StudyReport> {
+        Self::analyze_dir_with(dir, config, StreamingOptions { chunk_records, progress, metrics_every: 0 })
+    }
+
+    /// [`StreamingStudy::analyze_dir`] with the full option set.
+    pub fn analyze_dir_with(
+        dir: impl AsRef<std::path::Path>,
+        config: &StudyConfig,
+        options: StreamingOptions<'_>,
+    ) -> std::io::Result<StudyReport> {
+        let StreamingOptions { chunk_records, mut progress, metrics_every } = options;
         let dir = dir.as_ref();
         let mut manifests: Vec<(std::path::PathBuf, rtc_capture::CallManifest)> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
@@ -403,9 +462,11 @@ impl StreamingStudy {
         manifests.sort_by(|a, b| (&a.1.app, &a.1.network, a.1.repeat).cmp(&(&b.1.app, &b.1.network, b.1.repeat)));
 
         let total = manifests.len();
+        let _study_span = config.obs.span("study");
         let mut aggregate = rtc_report::Aggregator::new();
         let mut stats = pipeline::PipelineStats::default();
         let mut failures: Vec<FailedCall> = Vec::new();
+        let mut analyzed = 0u64;
         for (index, (pcap_path, manifest)) in manifests.into_iter().enumerate() {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                 || -> std::io::Result<(CallAnalysis, pipeline::PipelineStats)> {
@@ -424,8 +485,9 @@ impl StreamingStudy {
             // remaining calls still produce a report.
             let error = match outcome {
                 Ok(Ok((analysis, call_stats))) => {
+                    analyzed += 1;
                     stats.absorb(&call_stats);
-                    absorb_analysis(&mut aggregate, &mut stats, analysis);
+                    absorb_analysis(&mut aggregate, &mut stats, analysis, &config.obs);
                     if let Some(w) = progress.as_deref_mut() {
                         writeln!(
                             w,
@@ -437,6 +499,9 @@ impl StreamingStudy {
                             manifest.repeat,
                             call_stats.summary_line()
                         )?;
+                        if metrics_every > 0 && analyzed.is_multiple_of(metrics_every as u64) {
+                            writeln!(w, "{}", metrics_progress_line(&config.obs.snapshot()))?;
+                        }
                     }
                     continue;
                 }
@@ -461,9 +526,28 @@ impl StreamingStudy {
                 error,
             });
         }
+        record_study_totals(&config.obs, analyzed, failures.len() as u64);
         let rtc_report::AggregateReport { data, findings, header_profiles } = aggregate.finish();
-        Ok(StudyReport { data, findings, header_profiles, failures, pipeline: stats })
+        drop(_study_span);
+        Ok(StudyReport { data, findings, header_profiles, failures, pipeline: stats, metrics: config.obs.snapshot() })
     }
+}
+
+/// One compact line summarizing the registry's headline counters, for the
+/// `--progress-metrics` streaming output.
+fn metrics_progress_line(snap: &rtc_obs::Snapshot) -> String {
+    let peak = match snap.get("rtc_filter_peak_retained_bytes", &[]) {
+        Some(rtc_obs::MetricValue::Gauge(v)) => *v,
+        _ => 0,
+    };
+    format!(
+        "    metrics: messages={} compliant={} candidates={} rejected_datagrams={} peak_retained={}B",
+        snap.counter_family_total("rtc_compliance_messages_total"),
+        snap.counter_family_total("rtc_compliance_compliant_total"),
+        snap.counter_family_total("rtc_dpi_candidates_total"),
+        snap.counter_family_total("rtc_dpi_rejected_datagrams_total"),
+        peak,
+    )
 }
 
 /// Best-effort text of a caught panic payload.

@@ -9,7 +9,7 @@
 //!                            acct.)    resolve)   judge)
 //! ```
 //!
-//! Datagram payloads are zero-copy [`bytes::Bytes`] views of the record
+//! Datagram payloads are zero-copy `bytes::Bytes` views of the record
 //! frame buffers, so a datagram costs a refcount, not a copy, on its way
 //! through the stages. The [`Decode`](StageKind::Decode) and
 //! [`Filter`](StageKind::Filter) stages are truly incremental: records
@@ -30,8 +30,11 @@ use crate::{CallAnalysis, StudyConfig};
 use rtc_compliance::context::CallContextBuilder;
 use rtc_compliance::{check_message, CheckedCall, CheckedMessage};
 use rtc_dpi::resolve::{ContextBuilder, ValidationContext};
+use rtc_dpi::CandidateKind;
 use rtc_dpi::{CallDissection, CandidateBatch, DatagramClass, DatagramDissection, DpiConfig};
 use rtc_filter::{FilterConfig, OnlineFilter, OnlineOutcome, Retention};
+use rtc_obs::registry::{bucket_index, BUCKETS};
+use rtc_obs::MetricsRegistry;
 use rtc_pcap::trace::{decode_record, Datagram, Record};
 use rtc_pcap::Timestamp;
 use rtc_report::CallRecord;
@@ -312,6 +315,43 @@ impl Stage for FilterStage {
     }
 }
 
+/// Sample interval for per-datagram resolve timing: every Nth datagram's
+/// `resolve_datagram` call is clocked and attributed to the matcher of its
+/// first validated message. Sampling keeps the `Instant` overhead out of
+/// the hot loop while still populating latency distributions.
+const RESOLVE_SAMPLE: usize = 64;
+
+/// Plain (non-atomic) per-matcher accumulators the DPI stage fills while it
+/// works and the session flushes into the registry once per call — the hot
+/// extraction/validation loops never touch an atomic. Indexed by
+/// [`CandidateKind::matcher_index`]; the extra latency family is the
+/// "none" attribution for datagrams that resolved to no standard message.
+struct MatcherAccum {
+    /// Candidates the extractor produced, per matcher.
+    seen: [u64; 5],
+    /// Validated (resolved) messages, per matcher.
+    validated: [u64; 5],
+    /// Validated message sizes, pre-bucketed in the registry's log2 layout.
+    msg_bytes: [[u64; BUCKETS]; 5],
+    msg_bytes_sum: [u64; 5],
+    /// Sampled `resolve_datagram` latencies (ns); index 5 = "none".
+    resolve_ns: [[u64; BUCKETS]; 6],
+    resolve_ns_sum: [u64; 6],
+}
+
+impl MatcherAccum {
+    fn new() -> MatcherAccum {
+        MatcherAccum {
+            seen: [0; 5],
+            validated: [0; 5],
+            msg_bytes: [[0; BUCKETS]; 5],
+            msg_bytes_sum: [0; 5],
+            resolve_ns: [[0; BUCKETS]; 6],
+            resolve_ns_sum: [0; 6],
+        }
+    }
+}
+
 /// DPI: on `push`, a datagram's candidates are extracted once (Algorithm 1
 /// lines 5–13) and fed to the validation-context builder; on `finish` the
 /// sealed context resolves every datagram (lines 14–19), reusing the
@@ -324,6 +364,7 @@ pub struct DpiStage {
     datagrams: Vec<Datagram>,
     rejections: BTreeMap<String, usize>,
     rtp_ssrcs: HashMap<rtc_wire::ip::FiveTuple, HashSet<u32>>,
+    matchers: Box<MatcherAccum>,
 }
 
 impl DpiStage {
@@ -336,6 +377,7 @@ impl DpiStage {
             datagrams: Vec::new(),
             rejections: BTreeMap::new(),
             rtp_ssrcs: HashMap::new(),
+            matchers: Box::new(MatcherAccum::new()),
         }
     }
 
@@ -357,6 +399,9 @@ impl Stage for DpiStage {
     fn push(&mut self, d: Datagram, _out: &mut Vec<DatagramDissection>) {
         self.batch.push_payload(&d.payload, self.config.max_offset);
         let candidates = self.batch.get(self.batch.len() - 1);
+        for c in candidates {
+            self.matchers.seen[c.kind.matcher_index()] += 1;
+        }
         self.builder.as_mut().expect("push after finish").observe(&d, candidates);
         self.datagrams.push(d);
     }
@@ -365,7 +410,21 @@ impl Stage for DpiStage {
         let mut ctx: ValidationContext = self.builder.take().expect("finish twice").finish();
         out.reserve(self.datagrams.len());
         for (i, d) in self.datagrams.drain(..).enumerate() {
+            let clock = (i % RESOLVE_SAMPLE == 0).then(Instant::now);
             let dd = rtc_dpi::resolve::resolve_datagram(&d, self.batch.get(i), &ctx);
+            if let Some(t0) = clock {
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let family = dd.messages.first().map(|m| m.kind.matcher_index()).unwrap_or(5);
+                self.matchers.resolve_ns[family][bucket_index(ns)] += 1;
+                self.matchers.resolve_ns_sum[family] = self.matchers.resolve_ns_sum[family].wrapping_add(ns);
+            }
+            for m in &dd.messages {
+                let family = m.kind.matcher_index();
+                let len = m.data.len() as u64;
+                self.matchers.validated[family] += 1;
+                self.matchers.msg_bytes[family][bucket_index(len)] += 1;
+                self.matchers.msg_bytes_sum[family] += len;
+            }
             if dd.class == DatagramClass::FullyProprietary {
                 *self.rejections.entry(rtc_dpi::rejection_key(&d.payload)).or_default() += 1;
             }
@@ -477,6 +536,7 @@ impl CallMeta {
 /// whole-call stages and obtain the analysis plus per-stage metrics.
 pub struct CallSession {
     meta: CallMeta,
+    obs: MetricsRegistry,
     decode: Timed<DecodeStage>,
     filter: Timed<FilterStage>,
     dpi: Timed<DpiStage>,
@@ -491,6 +551,7 @@ impl CallSession {
     /// Start a session for one call.
     pub fn new(meta: CallMeta, config: &StudyConfig) -> CallSession {
         CallSession {
+            obs: config.obs.clone(),
             decode: Timed::new(DecodeStage::new()),
             filter: Timed::new(FilterStage::new(meta.call_window, config.filter.clone())),
             dpi: Timed::new(DpiStage::new(&config.dpi)),
@@ -525,26 +586,37 @@ impl CallSession {
     /// [`PipelineStats`] covers decode/filter/dpi/compliance; the
     /// aggregate slot is filled by the study driver.
     pub fn finish(mut self) -> (CallAnalysis, PipelineStats) {
+        let call_span = self.obs.span("call");
+
         // Filter classifies every stream and releases the accepted RTC UDP
         // datagrams (in batch `rtc_udp_datagrams` order).
         let mut accepted: Vec<Datagram> = Vec::new();
-        self.filter.finish(&mut accepted);
+        {
+            let _s = self.obs.span("filter");
+            self.filter.finish(&mut accepted);
+        }
 
         // DPI: observe each datagram (candidate extraction happens here),
         // then resolve against the sealed validation context.
         let mut dissections: Vec<DatagramDissection> = Vec::new();
-        for d in accepted.drain(..) {
-            self.dpi.push(d, &mut dissections);
+        {
+            let _s = self.obs.span("dpi");
+            for d in accepted.drain(..) {
+                self.dpi.push(d, &mut dissections);
+            }
+            self.dpi.finish(&mut dissections);
         }
-        self.dpi.finish(&mut dissections);
         let (rejections, rtp_ssrcs) = self.dpi.stage.take_call_parts();
 
         // Compliance: observe the call context, then judge every message.
         let mut messages: Vec<CheckedMessage> = Vec::new();
-        for dd in dissections.drain(..) {
-            self.compliance.push(dd, &mut messages);
+        {
+            let _s = self.obs.span("compliance");
+            for dd in dissections.drain(..) {
+                self.compliance.push(dd, &mut messages);
+            }
+            self.compliance.finish(&mut messages);
         }
-        self.compliance.finish(&mut messages);
 
         let dissection =
             CallDissection { datagrams: self.compliance.stage.take_dissections(), rtp_ssrcs, rejections };
@@ -574,6 +646,150 @@ impl CallSession {
         stats.stages[StageKind::Dpi.index()] = self.dpi.metrics();
         stats.stages[StageKind::Compliance.index()] = self.compliance.metrics();
 
+        // One flush per call: everything the stages accumulated in plain
+        // counters lands in the shared registry here, off the hot paths.
+        flush_call_metrics(&self.obs, &stats, outcome, &self.dpi.stage.matchers, &record.rejections, &record.checked);
+        drop(call_span);
+
         (CallAnalysis { record, dissection, findings, header_profiles }, stats)
+    }
+}
+
+/// Record one stage's per-call counters and latency into the registry.
+/// Used by the session for decode/filter/dpi/compliance and by the study
+/// drivers for the aggregate stage.
+pub(crate) fn record_stage_metrics(
+    obs: &MetricsRegistry,
+    kind: StageKind,
+    items_in: u64,
+    items_out: u64,
+    busy: Duration,
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let stage = kind.label();
+    let ns = u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX);
+    obs.counter("rtc_pipeline_stage_items_in_total", &[("stage", stage)], "Items pushed into each pipeline stage.")
+        .add(items_in);
+    obs.counter(
+        "rtc_pipeline_stage_items_out_total",
+        &[("stage", stage)],
+        "Items each pipeline stage emitted downstream.",
+    )
+    .add(items_out);
+    obs.counter(
+        "rtc_pipeline_stage_busy_nanoseconds_total",
+        &[("stage", stage)],
+        "Cumulative wall time inside each stage's push/finish calls.",
+    )
+    .add(ns);
+    obs.histogram(
+        "rtc_pipeline_stage_call_nanoseconds",
+        &[("stage", stage)],
+        "Per-call latency of each pipeline stage (busy time of one call).",
+    )
+    .record(ns);
+}
+
+/// Flush a finished call's accumulated observations into the registry.
+fn flush_call_metrics(
+    obs: &MetricsRegistry,
+    stats: &PipelineStats,
+    outcome: &OnlineOutcome,
+    matchers: &MatcherAccum,
+    rejections: &BTreeMap<String, usize>,
+    checked: &rtc_compliance::CheckedCall,
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+
+    // Stage counters and per-call latency (aggregate is the drivers' job).
+    for kind in [StageKind::Decode, StageKind::Filter, StageKind::Dpi, StageKind::Compliance] {
+        let m = stats.stage(kind);
+        record_stage_metrics(obs, kind, m.items_in, m.items_out, m.busy);
+    }
+
+    // Filter: stream fates, with the stage-2 per-heuristic breakdown, and
+    // the retained-bytes high-water mark across calls.
+    const STREAMS: &str = "rtc_filter_streams_total";
+    const STREAMS_HELP: &str = "5-tuple streams per filtering outcome (stage2 split by heuristic).";
+    obs.counter(STREAMS, &[("outcome", "rtc")], STREAMS_HELP)
+        .add((outcome.rtc.udp_streams + outcome.rtc.tcp_streams) as u64);
+    obs.counter(STREAMS, &[("outcome", "stage1")], STREAMS_HELP)
+        .add((outcome.stage1.udp_streams + outcome.stage1.tcp_streams) as u64);
+    for (heuristic, n) in &outcome.stage2_heuristics {
+        let label = format!("stage2-{}", heuristic.label());
+        obs.counter(STREAMS, &[("outcome", &label)], STREAMS_HELP).add(*n as u64);
+    }
+    obs.counter(
+        "rtc_filter_udp_datagrams_total",
+        &[("outcome", "rtc")],
+        "UDP datagrams the two-stage filter accepted as RTC traffic.",
+    )
+    .add(outcome.rtc.udp_datagrams as u64);
+    obs.gauge(
+        "rtc_filter_peak_retained_bytes",
+        &[],
+        "High-water mark of datagram payload bytes retained by the online filter (max over calls).",
+    )
+    .set_max(outcome.peak_retained_bytes as u64);
+
+    // DPI: the five protocol matchers.
+    for (i, matcher) in CandidateKind::MATCHER_LABELS.iter().enumerate() {
+        obs.counter(
+            "rtc_dpi_candidates_total",
+            &[("matcher", matcher)],
+            "Candidates the offset-shifting extractor produced, per matcher.",
+        )
+        .add(matchers.seen[i]);
+        obs.counter(
+            "rtc_dpi_validated_messages_total",
+            &[("matcher", matcher)],
+            "Messages that survived stream-context validation, per matcher.",
+        )
+        .add(matchers.validated[i]);
+        obs.histogram("rtc_dpi_message_bytes", &[("matcher", matcher)], "Validated message sizes, per matcher.")
+            .merge_buckets(&matchers.msg_bytes[i], matchers.msg_bytes_sum[i]);
+    }
+    for (i, family) in CandidateKind::MATCHER_LABELS.iter().copied().chain(std::iter::once("none")).enumerate() {
+        obs.histogram(
+            "rtc_dpi_resolve_nanoseconds",
+            &[("matcher", family)],
+            "Sampled per-datagram resolution latency, attributed to the matcher of the first validated message.",
+        )
+        .merge_buckets(&matchers.resolve_ns[i], matchers.resolve_ns_sum[i]);
+    }
+    for (reason, n) in rejections {
+        obs.counter(
+            "rtc_dpi_rejected_datagrams_total",
+            &[("reason", reason)],
+            "Fully-proprietary datagrams by WireError taxonomy key.",
+        )
+        .add(*n as u64);
+    }
+
+    // Compliance: the five-criterion judgment.
+    let compliant = checked.messages.iter().filter(|m| m.is_compliant()).count() as u64;
+    obs.counter("rtc_compliance_messages_total", &[], "Messages judged against the five criteria.")
+        .add(checked.messages.len() as u64);
+    obs.counter("rtc_compliance_compliant_total", &[], "Messages satisfying all five criteria.").add(compliant);
+    let mut violations = [0u64; 5];
+    for m in &checked.messages {
+        if let Some(v) = &m.violation {
+            violations[(v.criterion.index() - 1) as usize] += 1;
+        }
+    }
+    const CRITERIA: [&str; 5] = ["1", "2", "3", "4", "5"];
+    for (i, n) in violations.into_iter().enumerate() {
+        if n > 0 {
+            obs.counter(
+                "rtc_compliance_violations_total",
+                &[("criterion", CRITERIA[i])],
+                "Violations by first failed criterion (paper numbering).",
+            )
+            .add(n);
+        }
     }
 }

@@ -1,0 +1,156 @@
+//! Observability-layer guarantees: instrumentation must never change
+//! results, and an instrumented run must actually cover every stage and
+//! matcher in its exported metrics.
+
+use rtc_core::obs::{MetricValue, MetricsRegistry};
+use rtc_core::{Study, StudyConfig};
+
+fn smoke_config(seed: u64) -> StudyConfig {
+    let mut config = StudyConfig::smoke(seed);
+    config.experiment.apps = vec!["zoom".into(), "discord".into(), "meet".into()];
+    config.experiment.networks = vec!["wifi-relay".into()];
+    config
+}
+
+/// Metrics-instrumented analysis produces byte-identical report tables to
+/// the uninstrumented path.
+#[test]
+fn instrumented_analysis_is_invisible_in_the_tables() {
+    let mut enabled = smoke_config(11);
+    enabled.obs = MetricsRegistry::new();
+    let mut disabled = smoke_config(11);
+    disabled.obs = MetricsRegistry::disabled();
+
+    let captures = rtc_core::capture::run_experiment(&enabled.experiment);
+    let with_metrics = Study::analyze(&captures, &enabled);
+    let without_metrics = Study::analyze(&captures, &disabled);
+
+    assert_eq!(with_metrics.data, without_metrics.data);
+    assert_eq!(with_metrics.render_all(), without_metrics.render_all(), "tables must be byte-identical");
+    assert!(!with_metrics.metrics.is_empty(), "enabled registry must capture series");
+    assert!(without_metrics.metrics.is_empty(), "disabled registry must stay empty");
+}
+
+/// The snapshot on the report covers all five pipeline stages (counters +
+/// latency histograms) and all five protocol matchers (counters +
+/// histograms), and exports as well-formed Prometheus text.
+#[test]
+fn report_metrics_cover_every_stage_and_matcher() {
+    let config = smoke_config(13);
+    let report = Study::run(&config);
+    let snap = &report.metrics;
+
+    for stage in ["decode", "filter", "dpi", "compliance", "aggregate"] {
+        match snap.get("rtc_pipeline_stage_items_in_total", &[("stage", stage)]) {
+            Some(MetricValue::Counter(n)) => assert!(*n > 0, "stage {stage} saw no items"),
+            other => panic!("missing items_in counter for stage {stage}: {other:?}"),
+        }
+        match snap.get("rtc_pipeline_stage_call_nanoseconds", &[("stage", stage)]) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, report.data.calls.len() as u64, "stage {stage} latency per call")
+            }
+            other => panic!("missing latency histogram for stage {stage}: {other:?}"),
+        }
+    }
+
+    for matcher in rtc_core::dpi::CandidateKind::MATCHER_LABELS {
+        match snap.get("rtc_dpi_candidates_total", &[("matcher", matcher)]) {
+            Some(MetricValue::Counter(_)) => {}
+            other => panic!("missing candidates counter for matcher {matcher}: {other:?}"),
+        }
+        match snap.get("rtc_dpi_message_bytes", &[("matcher", matcher)]) {
+            Some(MetricValue::Histogram(_)) => {}
+            other => panic!("missing message-size histogram for matcher {matcher}: {other:?}"),
+        }
+        match snap.get("rtc_dpi_resolve_nanoseconds", &[("matcher", matcher)]) {
+            Some(MetricValue::Histogram(_)) => {}
+            other => panic!("missing resolve-latency histogram for matcher {matcher}: {other:?}"),
+        }
+    }
+
+    // The traffic mix actually validates messages from several matchers.
+    let validated = snap.counter_family_total("rtc_dpi_validated_messages_total");
+    assert!(validated > 0, "no validated messages recorded");
+
+    // Counter/stats cross-checks: the registry agrees with PipelineStats.
+    let decode_in = match snap.get("rtc_pipeline_stage_items_in_total", &[("stage", "decode")]) {
+        Some(MetricValue::Counter(n)) => *n,
+        _ => unreachable!(),
+    };
+    assert_eq!(decode_in, report.pipeline.stage(rtc_core::pipeline::StageKind::Decode).items_in);
+    match snap.get("rtc_filter_peak_retained_bytes", &[]) {
+        Some(MetricValue::Gauge(peak)) => assert_eq!(*peak as usize, report.pipeline.peak_retained_bytes),
+        other => panic!("missing peak-retained gauge: {other:?}"),
+    }
+
+    // Compliance counters match the aggregated records.
+    let judged: u64 = report.data.calls.iter().map(|c| c.checked.messages.len() as u64).sum();
+    assert_eq!(snap.counter_family_total("rtc_compliance_messages_total"), judged);
+
+    // Spans: the study → call → stage hierarchy was recorded.
+    for span in ["study.call", "study.call.filter", "study.call.dpi", "study.call.compliance", "study.aggregate"] {
+        match snap.get("rtc_span_nanoseconds", &[("span", span)]) {
+            Some(MetricValue::Histogram(h)) => assert!(h.count > 0, "span {span} never recorded"),
+            other => panic!("missing span series {span}: {other:?}"),
+        }
+    }
+
+    // The Prometheus dump is well-formed and carries every family above.
+    let prom = snap.to_prometheus();
+    for family in [
+        "rtc_pipeline_stage_items_in_total",
+        "rtc_pipeline_stage_call_nanoseconds",
+        "rtc_dpi_candidates_total",
+        "rtc_dpi_message_bytes",
+        "rtc_filter_streams_total",
+        "rtc_compliance_messages_total",
+        "rtc_span_nanoseconds",
+    ] {
+        assert!(prom.contains(&format!("# TYPE {family} ")), "missing TYPE header for {family}");
+    }
+    for line in prom.lines() {
+        assert!(line.starts_with('#') || line.rsplit_once(' ').is_some(), "malformed line: {line:?}");
+    }
+}
+
+/// Batch and streaming drivers agree on the headline counters (wall-time
+/// series will differ; deterministic event counts must not).
+#[test]
+fn batch_and_streaming_record_the_same_event_counts() {
+    let mut batch_config = smoke_config(17);
+    batch_config.obs = MetricsRegistry::new();
+    let captures = rtc_core::capture::run_experiment(&batch_config.experiment);
+    let batch = Study::analyze(&captures, &batch_config);
+
+    let dir = std::env::temp_dir().join(format!("rtc-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    rtc_core::capture::save_experiment(&dir, &captures).unwrap();
+    let mut streaming_config = smoke_config(17);
+    streaming_config.obs = MetricsRegistry::new();
+    let streaming = rtc_core::StreamingStudy::analyze_dir(&dir, &streaming_config, 0, None).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // `run_experiment` order vs. the streaming driver's sorted manifest
+    // order can differ; compare the call sets order-insensitively.
+    let sort_key = |c: &rtc_core::CallRecord| (c.app.clone(), c.network.clone(), c.repeat);
+    let mut batch_calls = batch.data.calls.clone();
+    batch_calls.sort_by_key(sort_key);
+    let mut streaming_calls = streaming.data.calls.clone();
+    streaming_calls.sort_by_key(sort_key);
+    assert_eq!(batch_calls, streaming_calls);
+    for family in [
+        "rtc_compliance_messages_total",
+        "rtc_compliance_compliant_total",
+        "rtc_dpi_candidates_total",
+        "rtc_dpi_validated_messages_total",
+        "rtc_dpi_rejected_datagrams_total",
+        "rtc_filter_streams_total",
+        "rtc_study_calls_total",
+    ] {
+        assert_eq!(
+            batch.metrics.counter_family_total(family),
+            streaming.metrics.counter_family_total(family),
+            "family {family} disagrees between drivers"
+        );
+    }
+}

@@ -103,6 +103,7 @@ fn aggregator_snapshots_converge_to_batch_tables() {
             header_profiles: out.header_profiles.clone(),
             failures: Vec::new(),
             pipeline: Default::default(),
+            metrics: Default::default(),
         };
         assert_eq!(from_final.render_table(artifact), batch.render_table(artifact));
     }

@@ -154,6 +154,30 @@ pub enum CandidateKind {
     QuicShortProbe,
 }
 
+impl CandidateKind {
+    /// Stable labels of the five protocol matchers, in extraction order
+    /// (the label vocabulary of [`CandidateKind::matcher_label`]).
+    pub const MATCHER_LABELS: [&'static str; 5] = ["stun", "channeldata", "rtp", "rtcp", "quic"];
+
+    /// Which of the five matchers produced this candidate, as a stable
+    /// label (used as a metrics label value). Both QUIC header forms come
+    /// from the one QUIC matcher.
+    pub fn matcher_label(&self) -> &'static str {
+        Self::MATCHER_LABELS[self.matcher_index()]
+    }
+
+    /// Index of the producing matcher into [`CandidateKind::MATCHER_LABELS`].
+    pub fn matcher_index(&self) -> usize {
+        match self {
+            CandidateKind::Stun { .. } => 0,
+            CandidateKind::ChannelData { .. } => 1,
+            CandidateKind::Rtp { .. } => 2,
+            CandidateKind::Rtcp { .. } => 3,
+            CandidateKind::QuicLong { .. } | CandidateKind::QuicShortProbe => 4,
+        }
+    }
+}
+
 /// One structural match: a protocol pattern at a payload offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Candidate {

@@ -115,7 +115,7 @@ pub fn group_streams(datagrams: &[Datagram]) -> Vec<Stream> {
 }
 
 /// Which heuristic removed a stream in stage 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Heuristic {
     /// Destination 3-tuple also active outside the call window.
     ThreeTupleTiming,
@@ -125,6 +125,22 @@ pub enum Heuristic {
     LocalIp,
     /// Transport port reserved for a non-RTC service.
     PortExclusion,
+}
+
+impl Heuristic {
+    /// All heuristics, in the paper's application order.
+    pub const ALL: [Heuristic; 4] =
+        [Heuristic::ThreeTupleTiming, Heuristic::TlsSni, Heuristic::LocalIp, Heuristic::PortExclusion];
+
+    /// Stable kebab-case label (used as a metrics label value).
+    pub fn label(self) -> &'static str {
+        match self {
+            Heuristic::ThreeTupleTiming => "3tuple-timing",
+            Heuristic::TlsSni => "tls-sni",
+            Heuristic::LocalIp => "local-ip",
+            Heuristic::PortExclusion => "port-exclusion",
+        }
+    }
 }
 
 /// Configuration of the pipeline.
@@ -319,6 +335,9 @@ pub struct OnlineOutcome {
     pub stage2: StageStats,
     /// RTC (kept) statistics.
     pub rtc: StageStats,
+    /// Streams removed by each stage-2 heuristic (the per-heuristic
+    /// breakdown of `stage2`, for the observability layer).
+    pub stage2_heuristics: BTreeMap<Heuristic, usize>,
     /// High-water mark of retained payload bytes while streaming.
     pub peak_retained_bytes: usize,
 }
@@ -596,6 +615,7 @@ impl OnlineFilter {
         let mut stage1 = StageStats::default();
         let mut stage2 = StageStats::default();
         let mut rtc = StageStats::default();
+        let mut stage2_heuristics: BTreeMap<Heuristic, usize> = BTreeMap::new();
         let mut accepted_udp = Vec::new();
         for (tuple, acct) in streams {
             let class = classify_stream(
@@ -612,7 +632,10 @@ impl OnlineFilter {
             // retained — `absorb` must not read `datagrams.len()` here.
             let stats = match class {
                 StreamClass::Stage1 => &mut stage1,
-                StreamClass::Stage2(_) => &mut stage2,
+                StreamClass::Stage2(h) => {
+                    *stage2_heuristics.entry(h).or_default() += 1;
+                    &mut stage2
+                }
                 StreamClass::Rtc => &mut rtc,
             };
             match tuple.transport {
@@ -637,7 +660,7 @@ impl OnlineFilter {
         // Streams flatten in BTreeMap (tuple) order; the stable sort merges
         // them by capture time exactly like `rtc_udp_datagrams()`.
         accepted_udp.sort_by_key(|d| d.ts);
-        OnlineOutcome { accepted_udp, raw, stage1, stage2, rtc, peak_retained_bytes }
+        OnlineOutcome { accepted_udp, raw, stage1, stage2, rtc, stage2_heuristics, peak_retained_bytes }
     }
 }
 

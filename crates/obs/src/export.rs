@@ -1,0 +1,321 @@
+//! Point-in-time metric snapshots and the two export formats.
+//!
+//! [`Snapshot`] is a plain data copy of every registered series, ordered by
+//! `(name, labels)` so exports are deterministic. Two renderers are
+//! provided: Prometheus text exposition format (for scraping a dumped file
+//! via node-exporter's textfile collector, or eyeballing) and structured
+//! JSON (for the bench schema and programmatic diffing).
+
+use crate::registry::{bucket_upper_bound, FINITE_BUCKETS};
+
+/// A copy of one histogram series: per-bucket (non-cumulative) counts in
+/// log2 bucket order, plus the running sum and total count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, `registry::BUCKETS` entries; the last entry is
+    /// the overflow (`+Inf`) bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values (wrapping modulo 2^64).
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+/// The value of one exported series.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-value gauge.
+    Gauge(u64),
+    /// Log2-bucket histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// One series: name, sorted label pairs, optional help text, value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Sanitized metric name.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+    /// Help text registered with the first series of this family.
+    pub help: Option<String>,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a whole registry, ordered by `(name, labels)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Every registered series.
+    pub metrics: Vec<MetricSample>,
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+impl Snapshot {
+    /// Whether the snapshot holds no series at all.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Look up one series by name and label pairs (order-insensitive).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let mut want: Vec<(String, String)> = labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        want.sort();
+        self.metrics.iter().find(|m| m.name == name && m.labels == want).map(|m| &m.value)
+    }
+
+    /// Sum a counter family across all label combinations.
+    pub fn counter_family_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match &m.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Render as Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Families get one `# HELP`/`# TYPE` header; histograms expand into
+    /// cumulative `_bucket{le="…"}` series (finite bounds are the exact
+    /// powers of two, trimmed after the last non-empty bucket) plus `_sum`
+    /// and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for m in &self.metrics {
+            if last_family != Some(m.name.as_str()) {
+                last_family = Some(m.name.as_str());
+                if let Some(help) = &m.help {
+                    out.push_str("# HELP ");
+                    out.push_str(&m.name);
+                    out.push(' ');
+                    out.push_str(&escape_help(help));
+                    out.push('\n');
+                }
+                out.push_str("# TYPE ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(m.value.type_name());
+                out.push('\n');
+            }
+            match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&series(&m.name, &m.labels, &[]));
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                    out.push('\n');
+                }
+                MetricValue::Histogram(h) => {
+                    let last_used = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0).min(FINITE_BUCKETS - 1);
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate().take(last_used + 1) {
+                        cumulative += c;
+                        let le = bucket_upper_bound(i).expect("finite bucket").to_string();
+                        out.push_str(&series(&format!("{}_bucket", m.name), &m.labels, &[("le", &le)]));
+                        out.push(' ');
+                        out.push_str(&cumulative.to_string());
+                        out.push('\n');
+                    }
+                    out.push_str(&series(&format!("{}_bucket", m.name), &m.labels, &[("le", "+Inf")]));
+                    out.push(' ');
+                    out.push_str(&h.count.to_string());
+                    out.push('\n');
+                    out.push_str(&series(&format!("{}_sum", m.name), &m.labels, &[]));
+                    out.push(' ');
+                    out.push_str(&h.sum.to_string());
+                    out.push('\n');
+                    out.push_str(&series(&format!("{}_count", m.name), &m.labels, &[]));
+                    out.push(' ');
+                    out.push_str(&h.count.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as structured JSON: an array of series objects under
+    /// `"metrics"`, histograms with per-bucket upper bounds and counts.
+    pub fn to_json(&self) -> serde_json::Value {
+        let metrics: Vec<serde_json::Value> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let labels: serde_json::Map<String, serde_json::Value> =
+                    m.labels.iter().map(|(k, v)| (k.clone(), serde_json::Value::from(v.clone()))).collect();
+                let mut obj = serde_json::Map::new();
+                obj.insert("name".into(), m.name.clone().into());
+                obj.insert("type".into(), m.value.type_name().into());
+                if !labels.is_empty() {
+                    obj.insert("labels".into(), serde_json::Value::Object(labels));
+                }
+                match &m.value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                        obj.insert("value".into(), (*v).into());
+                    }
+                    MetricValue::Histogram(h) => {
+                        obj.insert("count".into(), h.count.into());
+                        obj.insert("sum".into(), h.sum.into());
+                        let buckets: Vec<serde_json::Value> = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &c)| c > 0)
+                            .map(|(i, &c)| {
+                                serde_json::json!({
+                                    "le": bucket_upper_bound(i).map(|b| b.to_string()).unwrap_or_else(|| "+Inf".into()),
+                                    "count": c,
+                                })
+                            })
+                            .collect();
+                        obj.insert("buckets".into(), buckets.into());
+                    }
+                }
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        serde_json::json!({ "metrics": metrics })
+    }
+}
+
+/// Render `name{label="value",…}` with label values escaped.
+fn series(name: &str, labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::from(name);
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra.iter().copied()) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("rtc_events_total", &[("stage", "dpi")], "Events per stage.").add(7);
+        reg.counter("rtc_events_total", &[("stage", "filter")], "Events per stage.").add(3);
+        reg.gauge("rtc_peak_bytes", &[], "Peak residency.").set(4096);
+        let h = reg.histogram("rtc_latency_nanoseconds", &[("stage", "dpi")], "Stage latency.");
+        h.record(1);
+        h.record(5);
+        h.record(5);
+        reg
+    }
+
+    #[test]
+    fn prometheus_output_is_well_formed() {
+        let text = sample_registry().snapshot().to_prometheus();
+        // One TYPE header per family, in sorted family order.
+        assert_eq!(text.matches("# TYPE rtc_events_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE rtc_latency_nanoseconds histogram").count(), 1);
+        assert_eq!(text.matches("# TYPE rtc_peak_bytes gauge").count(), 1);
+        assert!(text.contains("rtc_events_total{stage=\"dpi\"} 7"));
+        assert!(text.contains("rtc_events_total{stage=\"filter\"} 3"));
+        assert!(text.contains("rtc_peak_bytes 4096"));
+        // Histogram: cumulative buckets, +Inf equals _count, sum recorded.
+        assert!(text.contains("rtc_latency_nanoseconds_bucket{stage=\"dpi\",le=\"1\"} 1"));
+        assert!(text.contains("rtc_latency_nanoseconds_bucket{stage=\"dpi\",le=\"8\"} 3"));
+        assert!(text.contains("rtc_latency_nanoseconds_bucket{stage=\"dpi\",le=\"+Inf\"} 3"));
+        assert!(text.contains("rtc_latency_nanoseconds_sum{stage=\"dpi\"} 11"));
+        assert!(text.contains("rtc_latency_nanoseconds_count{stage=\"dpi\"} 3"));
+        // Every line is a comment or `name{...} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed exposition line: {line:?}"
+            );
+        }
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_monotone() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[], "");
+        for v in [0u64, 2, 2, 9, 100, 100_000] {
+            h.record(v);
+        }
+        let text = reg.snapshot().to_prometheus();
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("h_bucket")) {
+            let v: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+        assert_eq!(last, 6, "+Inf bucket must equal total count");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[("reason", "quote\" slash\\ nl\n")], "help with \\ and\nnewline").inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains(r#"reason="quote\" slash\\ nl\n""#), "{text}");
+        assert!(text.contains("# HELP m help with \\\\ and\\nnewline"));
+    }
+
+    #[test]
+    fn json_round_trips_values() {
+        let json = sample_registry().snapshot().to_json();
+        let metrics = json["metrics"].as_array().unwrap();
+        assert_eq!(metrics.len(), 4);
+        let counter = metrics.iter().find(|m| m["labels"]["stage"] == "dpi" && m["type"] == "counter").unwrap();
+        assert_eq!(counter["value"], 7);
+        let hist = metrics.iter().find(|m| m["type"] == "histogram").unwrap();
+        assert_eq!(hist["count"], 3);
+        assert_eq!(hist["sum"], 11);
+        // Non-cumulative JSON buckets: 1 value ≤1, 2 values in le=8.
+        let buckets = hist["buckets"].as_array().unwrap();
+        assert_eq!(buckets[0]["le"], "1");
+        assert_eq!(buckets[0]["count"], 1);
+        assert_eq!(buckets[1]["le"], "8");
+        assert_eq!(buckets[1]["count"], 2);
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let snap = sample_registry().snapshot();
+        assert_eq!(snap.get("rtc_events_total", &[("stage", "dpi")]), Some(&MetricValue::Counter(7)));
+        assert_eq!(snap.get("rtc_events_total", &[("stage", "nope")]), None);
+        assert_eq!(snap.counter_family_total("rtc_events_total"), 10);
+        assert!(!snap.is_empty());
+        assert!(Snapshot::default().is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! # rtc-obs
+//!
+//! Observability layer for the RTC protocol-compliance study pipeline.
+//!
+//! The crate provides one shared measurement path for production analysis
+//! runs and the benchmark suite:
+//!
+//! * [`MetricsRegistry`] — a cheaply-clonable handle to a set of named
+//!   metrics: monotonic [`Counter`]s, last-value/high-water [`Gauge`]s and
+//!   fixed log2-bucket [`Histogram`]s. Registration (name → slot lookup)
+//!   takes a short-lived lock; the **record path is lock-free** — handles
+//!   cache an `Arc<AtomicU64>` (or bucket array) and update it with relaxed
+//!   atomics, so instrumented hot loops pay one `fetch_add` per event and
+//!   nothing more. A [`MetricsRegistry::disabled`] registry hands out inert
+//!   handles whose record calls compile down to a branch on a cached bool,
+//!   which is how the differential tests prove observability cannot change
+//!   results.
+//! * [`span`](mod@span) — hierarchical scoped timers. `registry.span("call")`
+//!   pushes onto a thread-local path stack; nested spans concatenate into
+//!   dotted paths (`study.call.dpi`) and each records its elapsed
+//!   nanoseconds into the `rtc_span_nanoseconds{span="…"}` histogram family
+//!   on drop.
+//! * [`Snapshot`] — a point-in-time copy of every metric, exportable as
+//!   Prometheus text exposition ([`Snapshot::to_prometheus`]) or structured
+//!   JSON ([`Snapshot::to_json`]).
+//! * [`alloc`] — the counting global allocator (live/peak byte high-water
+//!   marks) previously private to the `pipeline_perf` bench.
+//! * [`timing`] — best-of-N wall-clock helpers (`time_ms`, `round2`) shared
+//!   by the perf binaries and the bench regression gate.
+//!
+//! Histogram buckets are powers of two: bucket *k* counts values `v` with
+//! `2^(k-1) < v ≤ 2^k` (bucket 0 holds `v ≤ 1`), 64 finite buckets up to
+//! `2^63` plus one overflow bucket. That fixed layout needs no
+//! configuration, covers nanosecond latencies through multi-gigabyte sizes,
+//! and makes the record path a `leading_zeros` plus two relaxed adds.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+// The counting allocator must implement `GlobalAlloc`, which is inherently
+// unsafe; it is the single carve-out from the crate-wide deny.
+#[allow(unsafe_code)]
+pub mod alloc;
+pub mod export;
+pub mod registry;
+pub mod span;
+pub mod timing;
+
+pub use export::{HistogramSnapshot, MetricSample, MetricValue, Snapshot};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use span::Span;
+pub use timing::{round2, time_ms};

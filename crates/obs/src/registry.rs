@@ -1,0 +1,542 @@
+//! The metrics registry: named counters, gauges and log2-bucket histograms
+//! with a lock-free record path.
+//!
+//! Callers register a metric once (taking a short write lock), keep the
+//! returned handle, and record through it with relaxed atomics. Metric
+//! identity is `(name, sorted label pairs)`; re-registering the same
+//! identity returns a handle to the same underlying cell, so concurrent
+//! workers sharing a registry aggregate into one series.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::export::{HistogramSnapshot, MetricSample, MetricValue, Snapshot};
+
+/// Number of finite histogram buckets; bucket `k` has upper bound `2^k`.
+pub const FINITE_BUCKETS: usize = 64;
+/// Total bucket count: the finite buckets plus one overflow (`+Inf`) bucket.
+pub const BUCKETS: usize = FINITE_BUCKETS + 1;
+
+/// Bucket index for a recorded value.
+///
+/// Bucket 0 holds `v ≤ 1`; bucket `k` (1 ≤ k < 64) holds
+/// `2^(k-1) < v ≤ 2^k`; values above `2^63` land in the overflow bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else if v > (1u64 << 63) {
+        FINITE_BUCKETS
+    } else {
+        (64 - (v - 1).leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a finite bucket, `None` for the overflow bucket.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+    (index < FINITE_BUCKETS).then(|| 1u64 << index)
+}
+
+/// Metric identity: sanitized name plus label pairs sorted by label name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+/// The shared storage behind one registered metric.
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Atomic bucket array plus running sum for one histogram series.
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed), count }
+    }
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning is cheap; all clones update the same series. On a handle from a
+/// [`MetricsRegistry::disabled`] registry every record call is a no-op.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: last-written value, with a high-water-mark helper.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.enabled {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if self.enabled {
+            self.cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle over the fixed log2 bucket layout.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+    enabled: bool,
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.enabled {
+            self.core.record(v);
+        }
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Merge a pre-aggregated batch of observations: per-bucket counts in
+    /// this crate's fixed log2 layout (index by [`bucket_index`]; at most
+    /// [`BUCKETS`] entries) plus their value sum. Hot loops accumulate in
+    /// plain local arrays and flush once, paying zero atomics per event.
+    ///
+    /// # Panics
+    /// If `buckets` has more than [`BUCKETS`] entries.
+    pub fn merge_buckets(&self, buckets: &[u64], sum: u64) {
+        assert!(buckets.len() <= BUCKETS, "bucket slice exceeds the fixed layout");
+        if !self.enabled {
+            return;
+        }
+        for (i, &c) in buckets.iter().enumerate() {
+            if c > 0 {
+                self.core.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.core.sum.fetch_add(sum, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.core.snapshot().count
+    }
+}
+
+struct Inner {
+    enabled: bool,
+    metrics: RwLock<BTreeMap<MetricId, Slot>>,
+    help: RwLock<BTreeMap<String, String>>,
+}
+
+/// A cheaply-clonable, thread-safe handle to a set of metrics.
+///
+/// Clones share storage: the study drivers clone one registry into every
+/// worker thread and all of them aggregate into the same series. A
+/// [`disabled`](MetricsRegistry::disabled) registry hands out inert handles
+/// (and records no spans), which keeps uninstrumented runs at zero atomic
+/// traffic.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.inner.enabled)
+            .field("metrics", &self.inner.metrics.read().map(|m| m.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                enabled: true,
+                metrics: RwLock::new(BTreeMap::new()),
+                help: RwLock::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// A registry whose handles ignore every record call.
+    pub fn disabled() -> Self {
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                enabled: false,
+                metrics: RwLock::new(BTreeMap::new()),
+                help: RwLock::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Whether record calls on this registry's handles have any effect.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Register (or look up) a counter series.
+    ///
+    /// # Panics
+    /// If the same `(name, labels)` identity was registered as a different
+    /// metric kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        let slot = self.slot(name, labels, help, || Slot::Counter(Arc::new(AtomicU64::new(0))));
+        match slot {
+            Slot::Counter(cell) => Counter { cell, enabled: self.inner.enabled },
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a gauge series.
+    ///
+    /// # Panics
+    /// If the same `(name, labels)` identity was registered as a different
+    /// metric kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        let slot = self.slot(name, labels, help, || Slot::Gauge(Arc::new(AtomicU64::new(0))));
+        match slot {
+            Slot::Gauge(cell) => Gauge { cell, enabled: self.inner.enabled },
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a histogram series.
+    ///
+    /// # Panics
+    /// If the same `(name, labels)` identity was registered as a different
+    /// metric kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        let slot = self.slot(name, labels, help, || Slot::Histogram(Arc::new(HistogramCore::new())));
+        match slot {
+            Slot::Histogram(core) => Histogram { core, enabled: self.inner.enabled },
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    fn slot(&self, name: &str, labels: &[(&str, &str)], help: &str, make: impl FnOnce() -> Slot) -> Slot {
+        let id = MetricId {
+            name: sanitize_name(name),
+            labels: {
+                let mut ls: Vec<(String, String)> =
+                    labels.iter().map(|(k, v)| (sanitize_name(k), v.to_string())).collect();
+                ls.sort();
+                ls
+            },
+        };
+        if !help.is_empty() {
+            let mut helps = self.inner.help.write().expect("help lock");
+            helps.entry(id.name.clone()).or_insert_with(|| help.to_string());
+        }
+        // Fast path: already registered.
+        {
+            let metrics = self.inner.metrics.read().expect("metrics lock");
+            if let Some(slot) = metrics.get(&id) {
+                return clone_slot(slot);
+            }
+        }
+        let mut metrics = self.inner.metrics.write().expect("metrics lock");
+        clone_slot(metrics.entry(id).or_insert_with(make))
+    }
+
+    /// A point-in-time copy of every registered series.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.inner.metrics.read().expect("metrics lock");
+        let helps = self.inner.help.read().expect("help lock");
+        let samples = metrics
+            .iter()
+            .map(|(id, slot)| MetricSample {
+                name: id.name.clone(),
+                labels: id.labels.clone(),
+                help: helps.get(&id.name).cloned(),
+                value: match slot {
+                    Slot::Counter(cell) => MetricValue::Counter(cell.load(Ordering::Relaxed)),
+                    Slot::Gauge(cell) => MetricValue::Gauge(cell.load(Ordering::Relaxed)),
+                    Slot::Histogram(core) => MetricValue::Histogram(core.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { metrics: samples }
+    }
+}
+
+fn clone_slot(slot: &Slot) -> Slot {
+    match slot {
+        Slot::Counter(c) => Slot::Counter(Arc::clone(c)),
+        Slot::Gauge(g) => Slot::Gauge(Arc::clone(g)),
+        Slot::Histogram(h) => Slot::Histogram(Arc::clone(h)),
+    }
+}
+
+/// Coerce a metric or label name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); invalid characters become `_`.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edge_cases() {
+        // Zero and one share the first bucket (upper bound 1).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        // Exact powers of two sit at the top of their own bucket; one past
+        // the power spills into the next.
+        for k in 1..=63usize {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p), k, "2^{k} belongs to bucket {k}");
+            if k < 63 {
+                assert_eq!(bucket_index(p + 1), k + 1, "2^{k}+1 spills into bucket {}", k + 1);
+            }
+            // 2^k - 1 stays in bucket k for k ≥ 2 (it is above 2^(k-1));
+            // 2^1 - 1 = 1 belongs to bucket 0.
+            assert_eq!(bucket_index(p - 1), if k >= 2 { k } else { 0 }, "2^{k}-1");
+        }
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        // The largest finite bucket and the overflow bucket.
+        assert_eq!(bucket_index(1u64 << 63), 63);
+        assert_eq!(bucket_index((1u64 << 63) + 1), FINITE_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_index_function() {
+        // Every value must land in the first bucket whose upper bound
+        // admits it — the definition the exporter relies on.
+        let probes = [0u64, 1, 2, 3, 4, 7, 8, 9, 1023, 1024, 1025, u64::MAX / 2, (1 << 63), (1 << 63) + 1, u64::MAX];
+        for v in probes {
+            let idx = bucket_index(v);
+            if let Some(ub) = bucket_upper_bound(idx) {
+                assert!(v <= ub, "{v} exceeds its bucket bound {ub}");
+                if idx > 0 {
+                    let lower = bucket_upper_bound(idx - 1).unwrap();
+                    assert!(v > lower, "{v} should be above the previous bound {lower}");
+                }
+            } else {
+                assert!(v > (1u64 << 63), "{v} must only overflow past 2^63");
+            }
+        }
+        assert_eq!(bucket_upper_bound(0), Some(1));
+        assert_eq!(bucket_upper_bound(63), Some(1u64 << 63));
+        assert_eq!(bucket_upper_bound(FINITE_BUCKETS), None);
+    }
+
+    #[test]
+    fn histogram_records_extremes_without_loss() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[], "");
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        let snap = reg.snapshot();
+        let MetricValue::Histogram(hs) = &snap.metrics[0].value else { panic!("not a histogram") };
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.buckets[0], 2);
+        assert_eq!(hs.buckets[63], 1);
+        assert_eq!(hs.buckets[FINITE_BUCKETS], 1);
+        // Sum wraps modulo 2^64 by design (relaxed fetch_add semantics).
+        assert_eq!(hs.sum, 1u64.wrapping_add(u64::MAX).wrapping_add(1 << 63));
+    }
+
+    #[test]
+    fn merge_buckets_matches_individual_records() {
+        let reg = MetricsRegistry::new();
+        let direct = reg.histogram("direct", &[], "");
+        let merged = reg.histogram("merged", &[], "");
+        let values = [0u64, 1, 2, 3, 100, 5000, u64::MAX];
+        let mut local = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for &v in &values {
+            direct.record(v);
+            local[bucket_index(v)] += 1;
+            sum = sum.wrapping_add(v);
+        }
+        merged.merge_buckets(&local, sum);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("direct", &[]), snap.get("merged", &[]));
+    }
+
+    #[test]
+    fn counters_and_gauges_share_series_across_clones() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("rtc_events_total", &[("stage", "dpi")], "events");
+        let b = reg.counter("rtc_events_total", &[("stage", "dpi")], "events");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+
+        let g = reg.gauge("rtc_peak", &[], "peak");
+        g.set_max(10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("m", &[("a", "1"), ("b", "2")], "");
+        let b = reg.counter("m", &[("b", "2"), ("a", "1")], "");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(reg.snapshot().metrics.len(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = MetricsRegistry::disabled();
+        let c = reg.counter("c", &[], "");
+        let g = reg.gauge("g", &[], "");
+        let h = reg.histogram("h", &[], "");
+        c.add(5);
+        g.set(5);
+        g.set_max(9);
+        h.record(5);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn names_are_sanitized_to_the_prometheus_charset() {
+        let reg = MetricsRegistry::new();
+        reg.counter("9bad name-with.dots", &[("bad key", "kept value!")], "").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.metrics[0].name, "_bad_name_with_dots");
+        assert_eq!(snap.metrics[0].labels[0].0, "bad_key");
+        // Label *values* are arbitrary UTF-8, escaped only at export time.
+        assert_eq!(snap.metrics[0].labels[0].1, "kept value!");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[], "");
+        reg.gauge("m", &[], "");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = MetricsRegistry::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("rtc_total", &[], "");
+                    let h = reg.histogram("rtc_lat", &[], "");
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("rtc_total", &[], "").get(), 40_000);
+        assert_eq!(reg.histogram("rtc_lat", &[], "").count(), 40_000);
+    }
+}

@@ -1,0 +1,175 @@
+//! Hierarchical scoped timers.
+//!
+//! A span is a guard: creating it pushes a segment onto a thread-local path
+//! stack, dropping it pops the segment and records the elapsed wall time
+//! into the `rtc_span_nanoseconds{span="…"}` histogram family of the
+//! registry it was opened on. Nested spans concatenate with dots, so the
+//! study drivers produce paths like `study.call.dpi` without any explicit
+//! plumbing of parent names:
+//!
+//! ```
+//! use rtc_obs::MetricsRegistry;
+//! let registry = MetricsRegistry::new();
+//! {
+//!     let _study = registry.span("study");
+//!     let _call = registry.span("call"); // records as "study.call"
+//! }
+//! let snap = registry.snapshot();
+//! assert!(snap.get("rtc_span_nanoseconds", &[("span", "study.call")]).is_some());
+//! ```
+//!
+//! Guards are intentionally `!Send` (the path stack is thread-local);
+//! worker threads each build their own hierarchy. Spans opened on a
+//! [`MetricsRegistry::disabled`] registry skip the stack entirely and
+//! record nothing.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+use crate::registry::MetricsRegistry;
+
+/// Histogram family every span records into.
+pub const SPAN_METRIC: &str = "rtc_span_nanoseconds";
+const SPAN_HELP: &str = "Elapsed wall time of hierarchical spans (dotted path), in nanoseconds.";
+
+thread_local! {
+    /// Stack of full dotted paths of the spans currently open on this thread.
+    static SPAN_PATHS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A scoped timer; see the [module docs](self).
+#[must_use = "a span records on drop — bind it to a named guard"]
+pub struct Span {
+    /// `None` for spans on a disabled registry (fully inert).
+    active: Option<(MetricsRegistry, String, Instant)>,
+    /// Keeps the guard `!Send`: the path stack is thread-local.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl MetricsRegistry {
+    /// Open a span named `name`, nested under any span already open on this
+    /// thread. The elapsed time is recorded when the returned guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span { active: None, _not_send: PhantomData };
+        }
+        let path = SPAN_PATHS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}.{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span { active: Some((self.clone(), path, Instant::now())), _not_send: PhantomData }
+    }
+}
+
+impl Span {
+    /// Full dotted path of this span, if it is recording.
+    pub fn path(&self) -> Option<&str> {
+        self.active.as_ref().map(|(_, path, _)| path.as_str())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((registry, path, start)) = self.active.take() else { return };
+        let elapsed = start.elapsed();
+        SPAN_PATHS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Defensive: drop order should be LIFO, but a leaked/reordered
+            // guard must not corrupt other spans' paths.
+            if let Some(pos) = stack.iter().rposition(|p| *p == path) {
+                stack.remove(pos);
+            }
+        });
+        registry.histogram(SPAN_METRIC, &[("span", &path)], SPAN_HELP).record_duration(elapsed);
+    }
+}
+
+/// Open a span on a registry: `span!(registry, "dpi.extract")`.
+///
+/// Sugar for [`MetricsRegistry::span`]; the result must be bound
+/// (`let _guard = span!(…)`) so it lives to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        $registry.span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::MetricValue;
+
+    #[test]
+    fn nested_spans_build_dotted_paths() {
+        let reg = MetricsRegistry::new();
+        {
+            let study = reg.span("study");
+            assert_eq!(study.path(), Some("study"));
+            {
+                let call = span!(reg, "call");
+                assert_eq!(call.path(), Some("study.call"));
+                let dpi = reg.span("dpi");
+                assert_eq!(dpi.path(), Some("study.call.dpi"));
+            }
+            // Siblings after a closed subtree nest under the same parent.
+            let agg = reg.span("aggregate");
+            assert_eq!(agg.path(), Some("study.aggregate"));
+        }
+        let snap = reg.snapshot();
+        for path in ["study", "study.call", "study.call.dpi", "study.aggregate"] {
+            match snap.get(SPAN_METRIC, &[("span", path)]) {
+                Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1, "{path}"),
+                other => panic!("missing span series {path}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_paths() {
+        let reg = MetricsRegistry::new();
+        let outer = reg.span("outer");
+        let inner_path = std::thread::scope(|s| {
+            let reg = reg.clone();
+            s.spawn(move || {
+                let span = reg.span("worker");
+                span.path().map(String::from)
+            })
+            .join()
+            .unwrap()
+        });
+        // The worker thread has its own empty stack: no "outer." prefix.
+        assert_eq!(inner_path.as_deref(), Some("worker"));
+        drop(outer);
+    }
+
+    #[test]
+    fn disabled_registry_spans_are_inert() {
+        let reg = MetricsRegistry::disabled();
+        {
+            let span = reg.span("study");
+            assert_eq!(span.path(), None);
+        }
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn out_of_order_drop_does_not_corrupt_the_stack() {
+        let reg = MetricsRegistry::new();
+        let a = reg.span("a");
+        let b = reg.span("b");
+        drop(a); // drop the parent first, on purpose
+        let c = reg.span("c");
+        // b is still the innermost live span on the stack.
+        assert_eq!(c.path(), Some("a.b.c"));
+        drop(c);
+        drop(b);
+        SPAN_PATHS.with(|stack| assert!(stack.borrow().is_empty()));
+    }
+}

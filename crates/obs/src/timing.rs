@@ -1,0 +1,43 @@
+//! Wall-clock measurement helpers shared by the perf binaries and the
+//! bench regression gate (moved here from `rtc_bench::perf` so benches and
+//! production share one measurement path).
+
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f` in milliseconds, after one warm-up call
+/// (the usual minimum-latency estimator: robust to scheduler noise, biased
+/// only toward the machine's true speed).
+pub fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Round to two decimals so committed JSON diffs stay readable.
+pub fn round2(ms: f64) -> f64 {
+    (ms * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round2_keeps_two_decimals() {
+        assert_eq!(round2(1.2345), 1.23);
+        assert_eq!(round2(27.444), 27.44);
+        assert_eq!(round2(27.446), 27.45);
+        assert_eq!(round2(0.0), 0.0);
+    }
+
+    #[test]
+    fn time_ms_returns_a_finite_positive_duration() {
+        let ms = time_ms(3, || std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert!(ms.is_finite() && ms >= 0.0);
+    }
+}

@@ -6,6 +6,7 @@
 //! * `run` — execute the study matrix and print/export every artifact,
 //! * `generate` — emit one emulated call as a pcap + JSON manifest,
 //! * `dissect` — analyze an arbitrary pcap/pcapng capture,
+//! * `oracle` — run the differential reference-oracle suite,
 //! * `tables` — list the artifacts and the paper sections they reproduce.
 
 #![warn(missing_docs)]
@@ -75,6 +76,23 @@ pub enum Command {
         /// DPI extraction worker threads (0 = one per core).
         threads: usize,
     },
+    /// Run the differential oracle suite (production pipeline vs the
+    /// RFC-literal reference decoders) and the golden-corpus check.
+    Oracle {
+        /// Experiment seed for the differential matrix.
+        seed: u64,
+        /// Restrict the matrix to these app slugs (empty = all six).
+        apps: Vec<String>,
+        /// DPI worker threads for the multi-threaded configurations.
+        threads: usize,
+        /// Mutation-corpus size.
+        cases: u64,
+        /// Skip the golden-corpus comparison (matrix + mutations only).
+        skip_golden: bool,
+        /// Compare against this snapshot directory instead of the
+        /// committed corpus.
+        golden_dir: Option<PathBuf>,
+    },
     /// List artifacts.
     Tables,
     /// Print usage.
@@ -93,6 +111,8 @@ USAGE:
                           [--progress-metrics]
   rtc-study generate <app> <network> <out.pcap> [--secs N] [--seed N]
   rtc-study dissect <capture.pcap[ng]> [--window START END] [--threads N]
+  rtc-study oracle [--seed N] [--apps a,b] [--threads N] [--cases N]
+                   [--skip-golden] [--golden-dir DIR]
   rtc-study tables
   rtc-study help
 
@@ -105,6 +125,12 @@ line per call reports the per-stage counters and timings.
 Prometheus text exposition by default, JSON when PATH ends in `.json`.
 With `--stream --progress-metrics` a compact metrics summary line follows
 every per-call progress line.
+
+`oracle` replays the app×network matrix through the production pipeline
+and an independent RFC-literal reference implementation under four driver
+configurations (batch/streaming × 1/N threads), drives a seeded mutation
+corpus through both, and recomputes the committed golden snapshots. Any
+divergence or stale snapshot exits nonzero.
 
 The process exits nonzero when any call's analysis failed.
 
@@ -230,6 +256,35 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
             }
             Ok(Command::Dissect { path, window, threads })
+        }
+        "oracle" => {
+            let mut seed = 7u64;
+            let mut apps = Vec::new();
+            let mut threads = 8usize;
+            let mut cases = 2_000u64;
+            let mut skip_golden = false;
+            let mut golden_dir = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+                match flag.as_str() {
+                    "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    "--apps" => apps = value("--apps")?.split(',').map(|s| s.trim().to_string()).collect(),
+                    "--threads" => threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
+                    "--cases" => cases = value("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?,
+                    "--skip-golden" => skip_golden = true,
+                    "--golden-dir" => golden_dir = Some(PathBuf::from(value("--golden-dir")?)),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            for app in &apps {
+                if rtc_core::apps::Application::from_slug(app).is_none() {
+                    return Err(format!("unknown app '{app}'"));
+                }
+            }
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(Command::Oracle { seed, apps, threads, cases, skip_golden, golden_dir })
         }
         other => Err(format!("unknown command '{other}'; try `rtc-study help`")),
     }
@@ -398,6 +453,36 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             }
             Ok(0)
         }
+        Command::Oracle { seed, apps, threads, cases, skip_golden, golden_dir } => {
+            let mut experiment = rtc_core::capture::ExperimentConfig::smoke(seed);
+            if !apps.is_empty() {
+                experiment.apps = apps;
+            }
+            writeln!(
+                out,
+                "differential matrix: {} calls under 4 driver configurations (seed {seed}) ...",
+                experiment.total_calls()
+            )?;
+            let matrix = rtc_oracle::run_matrix(&experiment, threads)?;
+            writeln!(out, "{matrix}")?;
+            let mutations = rtc_oracle::run_mutations(cases, seed);
+            writeln!(out, "{mutations}")?;
+            let mut failed = !matrix.is_clean() || !mutations.is_clean();
+            if !skip_golden {
+                let dir = golden_dir.unwrap_or_else(rtc_oracle::golden_dir);
+                let diffs = rtc_oracle::check_against(&dir, &rtc_oracle::pinned_config())?;
+                if diffs.is_empty() {
+                    writeln!(out, "golden corpus current ({})", dir.display())?;
+                } else {
+                    for d in &diffs {
+                        write!(out, "{d}")?;
+                    }
+                    writeln!(out, "golden corpus out of date; re-bless with `cargo run -p rtc-oracle --bin bless`")?;
+                    failed = true;
+                }
+            }
+            Ok(if failed { 1 } else { 0 })
+        }
     }
 }
 
@@ -529,6 +614,34 @@ mod tests {
         let c = parse(&args("dissect /tmp/meet.pcap --threads 4")).unwrap();
         assert_eq!(c, Command::Dissect { path: PathBuf::from("/tmp/meet.pcap"), window: None, threads: 4 });
         assert!(parse(&args("dissect /tmp/meet.pcap --threads nope")).is_err());
+    }
+
+    #[test]
+    fn parse_oracle_flags() {
+        let c = parse(&args("oracle")).unwrap();
+        assert_eq!(
+            c,
+            Command::Oracle { seed: 7, apps: vec![], threads: 8, cases: 2_000, skip_golden: false, golden_dir: None }
+        );
+        let c = parse(&args(
+            "oracle --seed 3 --apps zoom,meet --threads 2 --cases 500 --skip-golden --golden-dir /tmp/g",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Oracle {
+                seed: 3,
+                apps: vec!["zoom".into(), "meet".into()],
+                threads: 2,
+                cases: 500,
+                skip_golden: true,
+                golden_dir: Some(PathBuf::from("/tmp/g"))
+            }
+        );
+        assert!(parse(&args("oracle --apps nosuchapp")).is_err());
+        assert!(parse(&args("oracle --threads 0")).is_err());
+        assert!(parse(&args("oracle --cases")).is_err());
+        assert!(parse(&args("oracle --bogus")).is_err());
     }
 
     #[test]

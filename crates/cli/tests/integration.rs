@@ -1,0 +1,207 @@
+//! End-to-end tests of the `rtc-study` binary: every subcommand is invoked
+//! as a real process and judged on its exit code and stdout/stderr, the
+//! contract scripts and CI consume. Campaigns are kept to one app × one
+//! network so the suite stays inside the tier-1 budget.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rtc-study")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn rtc-study")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtc-study-it-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Save a one-call campaign with `run --save` and return its directory.
+fn saved_campaign(dir: &Path) {
+    let out = run(&[
+        "run",
+        "--secs",
+        "15",
+        "--repeats",
+        "1",
+        "--seed",
+        "3",
+        "--apps",
+        "zoom",
+        "--networks",
+        "wifi-relay",
+        "--save",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "run --save failed: {}", stderr(&out));
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = run(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("USAGE"), "{text}");
+    assert!(text.contains("rtc-study oracle"), "{text}");
+}
+
+#[test]
+fn unknown_command_exits_two_with_usage_on_stderr() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+    assert!(stdout(&out).is_empty());
+}
+
+#[test]
+fn run_renders_tables_and_exports_artifacts() {
+    let dir = scratch("run");
+    let export = dir.join("artifacts");
+    let out = run(&[
+        "run",
+        "--secs",
+        "15",
+        "--repeats",
+        "1",
+        "--seed",
+        "3",
+        "--apps",
+        "zoom",
+        "--networks",
+        "wifi-relay",
+        "--out",
+        export.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("running 1 calls"), "{text}");
+    assert!(text.contains("Table 1"), "{text}");
+    assert!(text.contains("Table 3"), "{text}");
+    assert!(export.join("summary.json").exists());
+    assert!(export.join("table1.csv").exists());
+    let summary: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(export.join("summary.json")).unwrap()).unwrap();
+    assert!(summary["calls"].as_u64().is_some(), "{summary}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_batch_and_stream_agree_on_rendered_tables() {
+    let dir = scratch("analyze");
+    saved_campaign(&dir);
+
+    let batch = run(&["analyze", dir.to_str().unwrap()]);
+    assert_eq!(batch.status.code(), Some(0), "{}", stderr(&batch));
+    let batch = stdout(&batch);
+    assert!(batch.contains("batch analysis"), "{batch}");
+
+    let streamed = run(&["analyze", dir.to_str().unwrap(), "--stream", "--chunk", "64"]);
+    assert_eq!(streamed.status.code(), Some(0), "{}", stderr(&streamed));
+    let streamed = stdout(&streamed);
+    assert!(streamed.contains("streaming analysis"), "{streamed}");
+    assert!(streamed.contains("[1/1]"), "{streamed}");
+
+    // The drivers must render byte-identical tables; only the preamble and
+    // trailing pipeline timings legitimately differ.
+    let tables = |s: &str| s[s.find("Table 1").unwrap()..s.rfind("pipeline:").unwrap()].to_string();
+    assert_eq!(tables(&batch), tables(&streamed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_corrupt_capture_exits_one() {
+    let dir = scratch("analyze-fail");
+    saved_campaign(&dir);
+    let pcap = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "pcap"))
+        .unwrap();
+    std::fs::write(&pcap, b"not a pcap").unwrap();
+    // The streaming driver records the failure per call and exits 1 after
+    // listing it (the batch loader aborts with an IO error instead).
+    let out = run(&["analyze", dir.to_str().unwrap(), "--stream"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("call(s) failed analysis"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_then_dissect_reports_compliance() {
+    let dir = scratch("dissect");
+    let pcap = dir.join("call.pcap");
+    let out = run(&["generate", "discord", "wifi-p2p", pcap.to_str().unwrap(), "--secs", "15", "--seed", "5"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(pcap.exists());
+    assert!(pcap.with_extension("json").exists());
+
+    let out = run(&["dissect", pcap.to_str().unwrap(), "--threads", "2"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("decodable packets"), "{text}");
+    assert!(text.contains("volume compliance"), "{text}");
+    assert!(text.contains("compliant"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dissect_missing_file_exits_one() {
+    let out = run(&["dissect", "/nonexistent/capture.pcap"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("error:"), "{}", stderr(&out));
+}
+
+#[test]
+fn oracle_reduced_matrix_is_clean() {
+    // One app keeps the 4-configuration sweep cheap; the full matrix and
+    // golden comparison run in the CI `oracle` job.
+    let out = run(&["oracle", "--apps", "zoom", "--threads", "2", "--cases", "300", "--skip-golden", "--seed", "5"]);
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("differential matrix"), "{text}");
+    assert!(text.contains("differential mutations: 300 cases"), "{text}");
+    assert_eq!(text.matches("no divergences").count(), 2, "{text}");
+}
+
+#[test]
+fn oracle_stale_golden_dir_exits_one() {
+    // Pointing --golden-dir at an empty directory must fail the check and
+    // name every missing snapshot. The matrix/mutation stages are kept
+    // minimal; only the golden verdict matters here.
+    let dir = scratch("oracle-golden");
+    let out = run(&[
+        "oracle",
+        "--apps",
+        "zoom",
+        "--threads",
+        "2",
+        "--cases",
+        "50",
+        "--seed",
+        "5",
+        "--golden-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}\n{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("missing from the golden corpus"), "{text}");
+    assert!(text.contains("golden corpus out of date"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -18,8 +18,10 @@ pub struct Finding {
     pub detail: String,
 }
 
-/// The finding taxonomy (paper §5.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The finding taxonomy (paper §5.3). `Ord` follows declaration order and
+/// fixes the rendering order of per-application findings, keeping reports
+/// identical however calls were scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FindingKind {
     /// Constant-byte filler datagrams (Zoom's bandwidth probes).
     FillerDatagrams,

@@ -1,0 +1,58 @@
+//! Determinism guarantees: the study's output is a pure function of the
+//! experiment configuration — independent of DPI worker count and of the
+//! batch-vs-streaming driver choice. The JSON export and every rendered
+//! text artifact must be byte-identical across all combinations.
+
+use rtc_core::capture::{run_experiment, save_experiment, ExperimentConfig};
+use rtc_core::report::json::study_to_json;
+use rtc_core::{StreamingStudy, Study, StudyConfig, StudyReport};
+
+fn config(experiment: &ExperimentConfig, threads: usize) -> StudyConfig {
+    StudyConfig {
+        experiment: experiment.clone(),
+        filter: Default::default(),
+        dpi: rtc_core::dpi::DpiConfig { threads, ..Default::default() },
+        obs: rtc_core::obs::MetricsRegistry::disabled(),
+    }
+}
+
+fn fingerprint(report: &StudyReport) -> (String, String) {
+    assert!(report.failures.is_empty(), "calls failed analysis: {:?}", report.failures);
+    (serde_json::to_string(&study_to_json(&report.data)).unwrap(), report.render_all())
+}
+
+#[test]
+fn study_output_is_invariant_across_threads_and_drivers() {
+    let experiment = ExperimentConfig::smoke(11);
+    let captures = run_experiment(&experiment);
+
+    let scratch = std::env::temp_dir().join(format!("rtc-determinism-{}", std::process::id()));
+    save_experiment(&scratch, &captures).expect("save experiment");
+
+    let baseline = fingerprint(&Study::analyze(&captures, &config(&experiment, 1)));
+    let runs = [
+        ("batch/threads=8", fingerprint(&Study::analyze(&captures, &config(&experiment, 8)))),
+        (
+            "stream/threads=1",
+            fingerprint(&StreamingStudy::analyze_dir(&scratch, &config(&experiment, 1), 0, None).expect("stream")),
+        ),
+        (
+            "stream/threads=8",
+            fingerprint(&StreamingStudy::analyze_dir(&scratch, &config(&experiment, 8), 0, None).expect("stream")),
+        ),
+    ];
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    for (name, (json, text)) in &runs {
+        assert_eq!(json, &baseline.0, "{name}: JSON export differs from batch/threads=1");
+        assert_eq!(text, &baseline.1, "{name}: rendered artifacts differ from batch/threads=1");
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let experiment = ExperimentConfig::smoke(23);
+    let a = fingerprint(&Study::analyze(&run_experiment(&experiment), &config(&experiment, 4)));
+    let b = fingerprint(&Study::analyze(&run_experiment(&experiment), &config(&experiment, 4)));
+    assert_eq!(a, b, "two identical campaigns produced different reports");
+}

@@ -1,0 +1,64 @@
+//! Re-bless (or verify) the committed golden corpus.
+//!
+//! ```text
+//! cargo run -p rtc-oracle --bin bless            # regenerate crates/oracle/golden/
+//! cargo run -p rtc-oracle --bin bless -- --check # verify, exit 1 on any diff
+//! cargo run -p rtc-oracle --bin bless -- --dir D # operate on another directory
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut check = false;
+    let mut dir: PathBuf = rtc_oracle::golden_dir();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--dir" => match args.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--dir needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (expected --check and/or --dir <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = rtc_oracle::pinned_config();
+    if check {
+        match rtc_oracle::check_against(&dir, &config) {
+            Ok(diffs) if diffs.is_empty() => {
+                println!("golden corpus at {} is current", dir.display());
+            }
+            Ok(diffs) => {
+                eprintln!("golden corpus at {} is out of date:", dir.display());
+                for d in &diffs {
+                    eprint!("{d}");
+                }
+                eprintln!("re-bless with `cargo run -p rtc-oracle --bin bless` if the change is intended");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("golden check failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match rtc_oracle::bless_to(&dir, &config) {
+            Ok(files) => {
+                for f in &files {
+                    println!("blessed {}", f.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

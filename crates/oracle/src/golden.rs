@@ -1,0 +1,250 @@
+//! Golden-corpus regression snapshots.
+//!
+//! A committed set of canonical `StudyReport` projections for a pinned
+//! experiment configuration ([`pinned_config`]): one `app_<slug>.json` per
+//! application plus `protocols.json` for the cross-application protocol
+//! table. The whole pipeline is deterministic by construction, so these
+//! files are byte-stable across runs, thread counts and batch/streaming
+//! drivers — any diff is a behavior change that must be either fixed or
+//! consciously re-blessed with:
+//!
+//! ```text
+//! cargo run -p rtc-oracle --bin bless
+//! ```
+//!
+//! `bless --check` (what CI runs) recomputes the snapshots and fails with a
+//! line-level diff when the committed files disagree.
+
+use rtc_core::capture::ExperimentConfig;
+use rtc_core::report::json::study_to_json;
+use rtc_core::{Study, StudyConfig};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The campaign seed the committed corpus is pinned to.
+pub const GOLDEN_SEED: u64 = 42;
+
+/// How many differing lines a [`GoldenDiff`] reports before eliding.
+const MAX_DIFF_LINES: usize = 12;
+
+/// The pinned configuration behind the committed snapshots: the full
+/// app×network smoke matrix at [`GOLDEN_SEED`], single-threaded DPI,
+/// instrumentation off. Everything that could vary is nailed down.
+pub fn pinned_config() -> StudyConfig {
+    StudyConfig {
+        experiment: ExperimentConfig::smoke(GOLDEN_SEED),
+        filter: Default::default(),
+        dpi: rtc_core::dpi::DpiConfig { threads: 1, ..Default::default() },
+        obs: rtc_core::obs::MetricsRegistry::disabled(),
+    }
+}
+
+/// The committed corpus location (`crates/oracle/golden/`).
+pub fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// Compute the snapshot file set for a configuration: file name → contents.
+pub fn compute(config: &StudyConfig) -> BTreeMap<String, String> {
+    let report = Study::run(config);
+    let full = study_to_json(&report.data);
+    let mut files = BTreeMap::new();
+    files.insert(
+        "protocols.json".to_string(),
+        pretty(&serde_json::json!({ "calls": full["calls"].clone(), "protocols": full["protocols"].clone() })),
+    );
+    if let Some(apps) = full["applications"].as_array() {
+        for app in apps {
+            let name = app["application"].as_str().expect("application key is a string");
+            files.insert(format!("app_{}.json", file_slug(name)), pretty(app));
+        }
+    }
+    files
+}
+
+/// Snapshot file stem for an application display name: the experiment slug
+/// when the name is a known application, a sanitized lowercase fallback
+/// otherwise.
+fn file_slug(display: &str) -> String {
+    rtc_core::apps::Application::ALL
+        .iter()
+        .find(|a| a.name() == display)
+        .map(|a| a.slug().to_string())
+        .unwrap_or_else(|| display.to_lowercase().replace(|c: char| !c.is_ascii_alphanumeric(), "-"))
+}
+
+/// Render a JSON value with one scalar per line and two-space indentation.
+/// Hand-rolled rather than `to_string_pretty` so the snapshot format (and
+/// therefore the line-level diffs) is pinned by this crate, not by the
+/// serializer's whims. Object keys are already sorted: `serde_json::Map`
+/// is BTreeMap-backed here.
+fn pretty(value: &serde_json::Value) -> String {
+    let mut s = String::new();
+    render(value, 0, &mut s);
+    s.push('\n');
+    s
+}
+
+fn render(value: &serde_json::Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    match value {
+        serde_json::Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                render(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        serde_json::Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in map.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&serde_json::Value::String(key.clone()).to_string());
+                out.push_str(": ");
+                render(item, indent + 1, out);
+                out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        // Scalars, empty arrays and empty objects render compactly.
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// One snapshot disagreement, rendered as a line-level diff.
+#[derive(Debug, Clone)]
+pub struct GoldenDiff {
+    /// The snapshot file concerned.
+    pub file: String,
+    /// What went wrong, line by line.
+    pub lines: Vec<String>,
+}
+
+impl fmt::Display for GoldenDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.file)?;
+        for l in &self.lines {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+fn line_diff(expected: &str, found: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let (e, g): (Vec<&str>, Vec<&str>) = (expected.lines().collect(), found.lines().collect());
+    for i in 0..e.len().max(g.len()) {
+        match (e.get(i), g.get(i)) {
+            (Some(a), Some(b)) if a == b => continue,
+            (a, b) => out.push(format!(
+                "line {}: expected {} | found {}",
+                i + 1,
+                a.map_or("<end of file>".to_string(), |l| format!("`{}`", l.trim())),
+                b.map_or("<end of file>".to_string(), |l| format!("`{}`", l.trim())),
+            )),
+        }
+        if out.len() >= MAX_DIFF_LINES {
+            out.push(format!("... (diff truncated at {MAX_DIFF_LINES} lines)"));
+            break;
+        }
+    }
+    out
+}
+
+/// Write the snapshot set for `config` into `dir`, replacing any stale
+/// snapshot files. Returns the paths written, in name order.
+pub fn bless_to(dir: &Path, config: &StudyConfig) -> std::io::Result<Vec<PathBuf>> {
+    let files = compute(config);
+    std::fs::create_dir_all(dir)?;
+    // Drop snapshots for applications no longer in the matrix.
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        if name.ends_with(".json") && !files.contains_key(&name) {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    let mut written = Vec::new();
+    for (name, contents) in &files {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Recompute the snapshots for `config` and compare them to the files in
+/// `dir`. Returns one [`GoldenDiff`] per disagreement (missing, stale or
+/// differing file); an empty vec means the corpus is current.
+pub fn check_against(dir: &Path, config: &StudyConfig) -> std::io::Result<Vec<GoldenDiff>> {
+    let expected = compute(config);
+    let mut diffs = Vec::new();
+    for (name, contents) in &expected {
+        match std::fs::read_to_string(dir.join(name)) {
+            Ok(found) if &found == contents => {}
+            Ok(found) => diffs.push(GoldenDiff { file: name.clone(), lines: line_diff(contents, &found) }),
+            Err(_) => diffs.push(GoldenDiff {
+                file: name.clone(),
+                lines: vec!["missing from the golden corpus (run `cargo run -p rtc-oracle --bin bless`)".into()],
+            }),
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            if name.ends_with(".json") && !expected.contains_key(&name) {
+                diffs.push(GoldenDiff {
+                    file: name,
+                    lines: vec!["stale: no longer produced by the pinned configuration".into()],
+                });
+            }
+        }
+    }
+    Ok(diffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_diff_reports_first_disagreement() {
+        let d = line_diff("a\nb\nc", "a\nx\nc");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("line 2"), "{d:?}");
+        assert!(line_diff("same", "same").is_empty());
+    }
+
+    #[test]
+    fn pretty_round_trips_and_is_line_oriented() {
+        let v = serde_json::json!({
+            "b": [1, 2.5, "x"],
+            "a": {"nested": {"k": true}, "empty": {}, "list": []},
+        });
+        let s = pretty(&v);
+        assert!(s.lines().count() > 5, "{s}");
+        assert!(s.ends_with('\n'));
+        let back: serde_json::Value = serde_json::from_str(&s).expect("round-trip parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn file_slugs_use_experiment_slugs() {
+        assert_eq!(file_slug("Google Meet"), "meet");
+        assert_eq!(file_slug("Zoom"), "zoom");
+        assert_eq!(file_slug("Custom App!"), "custom-app-");
+    }
+
+    #[test]
+    fn pinned_config_is_single_threaded() {
+        let c = pinned_config();
+        assert_eq!(c.dpi.threads, 1);
+        assert_eq!(c.experiment.seed, GOLDEN_SEED);
+        assert_eq!(c.experiment.repeats, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Differential oracle and golden-corpus regression subsystem.
+//!
+//! The production pipeline (`rtc-wire` → `rtc-filter` → `rtc-dpi` →
+//! `rtc-compliance` → `rtc-report`) is optimized: zero-copy views,
+//! byte-class prefilters, parallel candidate extraction. This crate is its
+//! adversary. It carries a second, deliberately naive implementation of the
+//! paper's decoding and §4.2 judging methodology — written straight from
+//! the RFC field layouts, allocation-happy, sharing **zero code** with the
+//! production decoders — and drives both over the same inputs:
+//!
+//! * [`refdec`] — reference decoders for STUN, TURN ChannelData, RTP,
+//!   RTCP and QUIC headers.
+//! * [`refreg`] — an independent transcription of the IANA registries.
+//! * [`refcheck`] — the reference five-criterion compliance checker.
+//! * [`differential`] — the drivers: [`differential::run_matrix`] runs the
+//!   production pipeline over the app×network scenario matrix in four
+//!   configurations (batch/streaming × 1/N DPI threads), demands
+//!   byte-identical reports, and re-judges every extracted message with the
+//!   reference checker; [`differential::run_mutations`] feeds the
+//!   conformance mutator corpus through production and reference decoders
+//!   and demands identical accept/reject and violation classification.
+//!   Any disagreement is reported as a [`differential::Divergence`] with a
+//!   minimized repro payload.
+//! * [`golden`] — committed canonical `StudyReport` snapshots with a
+//!   re-blessing workflow (`cargo run -p rtc-oracle --bin bless`) and
+//!   human-readable diffs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod golden;
+pub mod refcheck;
+pub mod refdec;
+pub mod refreg;
+
+pub use differential::{run_matrix, run_mutations, Divergence, MatrixReport, MutationReport};
+pub use golden::{bless_to, check_against, golden_dir, pinned_config, GoldenDiff};
+pub use refcheck::{RefContext, RefContextBuilder, RefVerdict};

@@ -1,0 +1,471 @@
+//! Reference five-criterion compliance checker.
+//!
+//! An independent second implementation of the paper's §4.2 methodology,
+//! built only on the [`crate::refdec`] decoders and the
+//! [`crate::refreg`] registry — nothing from `rtc-compliance`,
+//! `rtc-wire` or `rtc-dpi`. The criteria are evaluated strictly in order
+//! and the first failure wins, exactly as the paper prescribes; the
+//! differential driver compares the resulting criterion *index* (1–5 or
+//! compliant) and type key against the production verdicts.
+//!
+//! Streams are identified by opaque caller-provided keys (a forward and a
+//! reverse label per datagram) so that no production five-tuple type leaks
+//! into the oracle.
+
+use crate::refdec::{self, RefRtcp};
+use crate::refreg;
+use std::collections::{HashMap, HashSet};
+
+/// The oracle's verdict on one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefVerdict {
+    /// Type key rendered the same way production renders `TypeKey`.
+    pub type_key: String,
+    /// 1-based index of the first violated criterion, `None` = compliant.
+    pub criterion: Option<u8>,
+    /// Free-form explanation (not compared against production).
+    pub detail: Option<String>,
+}
+
+impl RefVerdict {
+    fn ok(type_key: impl Into<String>) -> RefVerdict {
+        RefVerdict { type_key: type_key.into(), criterion: None, detail: None }
+    }
+
+    fn fail(type_key: impl Into<String>, criterion: u8, detail: impl Into<String>) -> RefVerdict {
+        RefVerdict { type_key: type_key.into(), criterion: Some(criterion), detail: Some(detail.into()) }
+    }
+}
+
+/// Whole-call STUN context facts, keyed by opaque stream labels.
+#[derive(Debug, Default)]
+pub struct RefContext {
+    sequential: HashSet<(String, [u8; 12])>,
+    over_retransmitted: HashSet<(String, [u8; 12])>,
+    pingpong: HashSet<(String, [u8; 12])>,
+}
+
+/// Builds a [`RefContext`] from STUN observations in capture order.
+#[derive(Debug, Default)]
+pub struct RefContextBuilder {
+    requests: HashMap<String, Vec<([u8; 12], u16)>>,
+    responded: HashSet<(String, [u8; 12])>,
+    allocate_successes: HashMap<String, usize>,
+}
+
+impl RefContextBuilder {
+    /// Record one STUN-candidate message. `stream` labels the carrying
+    /// stream, `reverse` the opposite direction of the same conversation.
+    /// Unparseable messages are ignored, as in production.
+    pub fn observe(&mut self, stream: &str, reverse: &str, bytes: &[u8]) {
+        let Ok(msg) = refdec::decode_stun(bytes) else {
+            return;
+        };
+        match msg.class() {
+            0 => self.requests.entry(stream.to_string()).or_default().push((msg.transaction_id, msg.message_type)),
+            2 | 3 => {
+                // A response answers the request seen on the reverse tuple.
+                self.responded.insert((reverse.to_string(), msg.transaction_id));
+                if msg.message_type == 0x0103 {
+                    *self.allocate_successes.entry(reverse.to_string()).or_default() += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Run the three whole-call analyses (RFC 8489 §6 transaction-ID
+    /// randomness, §6.2.1 retransmission budget, Allocate ping-pong).
+    pub fn finish(self) -> RefContext {
+        let RefContextBuilder { requests, responded, allocate_successes } = self;
+        let mut ctx = RefContext::default();
+        for (stream, obs) in &requests {
+            // Over-retransmission: the RFC allows at most 7 transmissions of
+            // one request; more with no response at all is a violation.
+            let mut counts: HashMap<[u8; 12], usize> = HashMap::new();
+            for (txid, _) in obs {
+                *counts.entry(*txid).or_default() += 1;
+            }
+            for (txid, n) in counts {
+                if n > 7 && !responded.contains(&(stream.clone(), txid)) {
+                    ctx.over_retransmitted.insert((stream.clone(), txid));
+                }
+            }
+
+            // Sequential transaction IDs: read the trailing 8 bytes as a
+            // big-endian counter; a run of 4+ observations each one above
+            // the previous flags every member of the run.
+            let mut run: Vec<[u8; 12]> = Vec::new();
+            let mut prev: Option<u64> = None;
+            let flush = |run: &mut Vec<[u8; 12]>, ctx: &mut RefContext| {
+                if run.len() >= 4 {
+                    for t in run.iter() {
+                        ctx.sequential.insert((stream.clone(), *t));
+                    }
+                }
+                run.clear();
+            };
+            for (txid, _) in obs {
+                let mut tail = [0u8; 8];
+                tail.copy_from_slice(&txid[4..12]);
+                let v = u64::from_be_bytes(tail);
+                match prev {
+                    Some(p) if v == p.wrapping_add(1) => run.push(*txid),
+                    _ => {
+                        flush(&mut run, &mut ctx);
+                        run.push(*txid);
+                    }
+                }
+                prev = Some(v);
+            }
+            flush(&mut run, &mut ctx);
+
+            // Allocate ping-pong: repeated Allocate Requests after the
+            // stream already completed ≥2 successful allocations are
+            // connectivity checks in disguise; all but the first are flagged.
+            let successes = allocate_successes.get(stream).copied().unwrap_or(0);
+            if successes >= 2 {
+                let allocs: Vec<&([u8; 12], u16)> = obs.iter().filter(|(_, t)| *t == 0x0003).collect();
+                if allocs.len() >= 3 {
+                    for (txid, _) in allocs.iter().skip(1) {
+                        ctx.pingpong.insert((stream.clone(), *txid));
+                    }
+                }
+            }
+        }
+        ctx
+    }
+}
+
+/// Judge a STUN/TURN message against criteria 1–5.
+pub fn check_stun(bytes: &[u8], stream: &str, ctx: &RefContext) -> RefVerdict {
+    let msg = match refdec::decode_stun(bytes) {
+        Ok(m) => m,
+        Err(e) => return RefVerdict::fail("0x0000", 2, e),
+    };
+    let t = msg.message_type;
+    let key = format!("{t:#06x}");
+
+    // 1 — the message type must be defined.
+    if !refreg::stun_type_defined(t) {
+        return RefVerdict::fail(key, 1, format!("undefined message type {t:#06x}"));
+    }
+
+    // 2 — header fields: the decoder guarantees the static fields; what
+    // remains is transaction-ID randomness.
+    if ctx.sequential.contains(&(stream.to_string(), msg.transaction_id)) {
+        return RefVerdict::fail(key, 2, "sequential transaction IDs");
+    }
+
+    // 3 — every decoded attribute type must be defined.
+    for a in &msg.attrs {
+        if !refreg::stun_attr_defined(a.typ) {
+            return RefVerdict::fail(key, 3, format!("undefined attribute {:#06x}", a.typ));
+        }
+    }
+
+    // 4 — attribute values, then the FINGERPRINT CRC.
+    for a in &msg.attrs {
+        if let Some(problem) = refreg::stun_attr_value_problem(a.typ, &a.value) {
+            return RefVerdict::fail(key, 4, format!("attribute {:#06x}: {problem}", a.typ));
+        }
+    }
+    if msg.fingerprint_ok() == Some(false) {
+        return RefVerdict::fail(key, 4, "FINGERPRINT CRC mismatch");
+    }
+
+    // 5a — FINGERPRINT must be the final attribute.
+    if let Some(fp) = msg.attrs.iter().position(|a| a.typ == 0x8028) {
+        if fp != msg.attrs.len() - 1 {
+            return RefVerdict::fail(key, 5, "FINGERPRINT not last");
+        }
+    }
+    // 5b — allowed attribute sets (strict TURN indications).
+    if let Some(allowed) = refreg::stun_allowed_attrs(t) {
+        for a in &msg.attrs {
+            if !allowed.contains(&a.typ) {
+                return RefVerdict::fail(key, 5, format!("attribute {:#06x} not permitted in {t:#06x}", a.typ));
+            }
+        }
+    }
+    // 5c — required attributes.
+    for req in refreg::stun_required_attrs(t) {
+        if msg.attribute(*req).is_none() {
+            return RefVerdict::fail(key, 5, format!("required attribute {req:#06x} missing"));
+        }
+    }
+    // 5d — behavioral context.
+    if ctx.over_retransmitted.contains(&(stream.to_string(), msg.transaction_id)) {
+        return RefVerdict::fail(key, 5, "over-retransmitted with no response");
+    }
+    if ctx.pingpong.contains(&(stream.to_string(), msg.transaction_id)) {
+        return RefVerdict::fail(key, 5, "Allocate ping-pong");
+    }
+
+    RefVerdict::ok(key)
+}
+
+/// Judge a TURN ChannelData frame. `trailing` is the number of datagram
+/// bytes left unexplained after the frame.
+pub fn check_channeldata(bytes: &[u8], trailing: usize) -> RefVerdict {
+    let key = "ChannelData";
+    let frame = match refdec::decode_channeldata(bytes) {
+        Ok(f) => f,
+        Err(e) => return RefVerdict::fail(key, 2, e),
+    };
+    // 2 — channel in RFC 8656's allocation range.
+    if !(0x4000..=0x4FFF).contains(&frame.channel) {
+        return RefVerdict::fail(key, 2, format!("channel {:#06x} outside allocation range", frame.channel));
+    }
+    // 2 — over UDP the frame must cover the datagram exactly.
+    if trailing != 0 {
+        return RefVerdict::fail(key, 2, format!("{trailing} unexplained trailing byte(s)"));
+    }
+    RefVerdict::ok(key)
+}
+
+/// Judge an RTP message.
+pub fn check_rtp(bytes: &[u8]) -> RefVerdict {
+    let pkt = match refdec::decode_rtp(bytes) {
+        Ok(p) => p,
+        Err(e) => return RefVerdict::fail("0", 2, e),
+    };
+    let key = format!("{}", pkt.payload_type);
+
+    // 1 — every 7-bit payload type is representable, so this never fires.
+    // 2 — guaranteed by the decode above.
+
+    if let Some(ext) = &pkt.extension {
+        // 3 — the extension mechanism must be a defined one.
+        if !refreg::rtp_ext_profile_defined(ext.profile) {
+            return RefVerdict::fail(key, 3, format!("undefined extension profile {:#06x}", ext.profile));
+        }
+        // 4 — element-level rules.
+        if ext.profile == 0xBEDE {
+            for el in ext.one_byte_elements() {
+                if el.id == 0 && (el.wire_len > 0 || !el.data.is_empty()) {
+                    return RefVerdict::fail(key, 4, "reserved ID 0 with non-zero length");
+                }
+                if el.data.len() != el.wire_len as usize + 1 {
+                    return RefVerdict::fail(key, 4, "one-byte element clipped by extension boundary");
+                }
+            }
+        } else {
+            for el in ext.two_byte_elements() {
+                if el.data.len() != el.wire_len as usize {
+                    return RefVerdict::fail(key, 4, "two-byte element clipped by extension boundary");
+                }
+            }
+        }
+    }
+
+    RefVerdict::ok(key)
+}
+
+/// Judge an RTCP packet. `trailing` is the carrying datagram's unexplained
+/// tail, which decides the plaintext/SRTCP/undefined regime.
+pub fn check_rtcp(bytes: &[u8], trailing: usize) -> RefVerdict {
+    let pkt = match refdec::decode_rtcp(bytes) {
+        Ok(p) => p,
+        Err(e) => return RefVerdict::fail("0", 2, e),
+    };
+    let pt = pkt.packet_type;
+    let key = format!("{pt}");
+
+    // 1 — packet type defined.
+    if !refreg::rtcp_type_defined(pt) {
+        return RefVerdict::fail(key, 1, format!("undefined RTCP packet type {pt}"));
+    }
+
+    // 2 — the count field must fit the declared length.
+    let count = pkt.count as usize;
+    let min_body = match pt {
+        200 => 24 + 24 * count,
+        201 => 4 + 24 * count,
+        202 => 4 * count,
+        203 => 4 * count,
+        204 => 8,
+        205 | 206 => 8,
+        _ => 4,
+    };
+    if pkt.body.len() < min_body {
+        return RefVerdict::fail(key, 2, format!("count {count} inconsistent with {} body bytes", pkt.body.len()));
+    }
+
+    // The trailer regime: 4-byte E||index word plus a 0/4/10/16-byte
+    // authentication tag is SRTCP; anything else non-empty is undefined.
+    let srtcp_tag = match trailing {
+        0 => None,
+        4 => Some(0usize),
+        8 => Some(4),
+        14 => Some(10),
+        20 => Some(16),
+        _ => None,
+    };
+    let encrypted = srtcp_tag.is_some();
+
+    // 3/4 — packet internals, only meaningful in plaintext.
+    if !encrypted {
+        if let Some(v) = check_rtcp_plaintext(&pkt, &key) {
+            return v;
+        }
+    }
+
+    // 4 — SRTCP requires an authentication tag (RFC 3711 §3.4).
+    if srtcp_tag == Some(0) {
+        return RefVerdict::fail(key, 4, "SRTCP trailer without authentication tag");
+    }
+
+    // 5 — unexplained trailing bytes.
+    if trailing != 0 && !encrypted {
+        return RefVerdict::fail(key, 5, format!("{trailing} trailing byte(s) match no defined trailer"));
+    }
+
+    RefVerdict::ok(key)
+}
+
+fn check_rtcp_plaintext(pkt: &RefRtcp, key: &str) -> Option<RefVerdict> {
+    match pkt.packet_type {
+        202 => match refdec::ref_sdes_chunks(pkt.count, &pkt.body) {
+            Ok(chunks) => {
+                for (_, items) in &chunks {
+                    for (item, _) in items {
+                        if !refreg::sdes_item_defined(*item) {
+                            return Some(RefVerdict::fail(key, 3, format!("undefined SDES item {item}")));
+                        }
+                    }
+                }
+                None
+            }
+            Err(_) => Some(RefVerdict::fail(key, 4, "SDES chunks do not walk to the declared length")),
+        },
+        204 => {
+            if pkt.body.len() >= 8 && !pkt.body[4..8].iter().all(|b| (0x21..=0x7E).contains(b) || *b == b' ') {
+                return Some(RefVerdict::fail(key, 4, "APP name is not four ASCII characters"));
+            }
+            None
+        }
+        205 if !refreg::rtpfb_fmt_defined(pkt.count) => {
+            Some(RefVerdict::fail(key, 3, format!("undefined RTPFB format {}", pkt.count)))
+        }
+        206 if !refreg::psfb_fmt_defined(pkt.count) => {
+            Some(RefVerdict::fail(key, 3, format!("undefined PSFB format {}", pkt.count)))
+        }
+        207 => {
+            // XR blocks: type (1), reserved (1), length in words (2).
+            let mut o = 4;
+            while o + 4 <= pkt.body.len() {
+                let block = pkt.body[o];
+                if !refreg::xr_block_defined(block) {
+                    return Some(RefVerdict::fail(key, 3, format!("undefined XR block {block}")));
+                }
+                let words = ((pkt.body[o + 2] as usize) << 8) | pkt.body[o + 3] as usize;
+                o += 4 + 4 * words;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Judge a QUIC long-header packet.
+pub fn check_quic_long(bytes: &[u8]) -> RefVerdict {
+    let h = match refdec::decode_quic_long(bytes) {
+        Ok(h) => h,
+        Err(e) => return RefVerdict::fail("long-0", 2, e),
+    };
+    let key = format!("long-{}", h.type_bits);
+    // 2 — fixed bit set, CIDs capped at 20 bytes (RFC 9000 §17.2).
+    if !h.fixed_bit {
+        return RefVerdict::fail(key, 2, "fixed bit is zero");
+    }
+    if h.dcid.len() > 20 || h.scid.len() > 20 {
+        return RefVerdict::fail(key, 2, "connection ID longer than 20 bytes");
+    }
+    RefVerdict::ok(key)
+}
+
+/// Judge a QUIC short-header packet (the production checker re-parses with
+/// a zero DCID length, so only the first byte matters).
+pub fn check_quic_short(bytes: &[u8]) -> RefVerdict {
+    let key = "short";
+    match refdec::decode_quic_short(bytes, 0) {
+        Ok(h) if h.fixed_bit => RefVerdict::ok(key),
+        Ok(_) => RefVerdict::fail(key, 2, "fixed bit is zero"),
+        Err(e) => RefVerdict::fail(key, 2, e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stun_msg(t: u16, txid: [u8; 12], attrs: &[(u16, &[u8])]) -> Vec<u8> {
+        let mut body = Vec::new();
+        for (typ, value) in attrs {
+            body.extend_from_slice(&typ.to_be_bytes());
+            body.extend_from_slice(&(value.len() as u16).to_be_bytes());
+            body.extend_from_slice(value);
+            while body.len() % 4 != 0 {
+                body.push(0);
+            }
+        }
+        let mut m = Vec::new();
+        m.extend_from_slice(&t.to_be_bytes());
+        m.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        m.extend_from_slice(&0x2112_A442u32.to_be_bytes());
+        m.extend_from_slice(&txid);
+        m.extend_from_slice(&body);
+        m
+    }
+
+    #[test]
+    fn criteria_fire_in_order() {
+        let ctx = RefContext::default();
+        // Undefined type + undefined attribute: criterion 1 wins.
+        let v = check_stun(&stun_msg(0x0800, [1; 12], &[(0x4007, b"x")]), "s", &ctx);
+        assert_eq!(v.criterion, Some(1));
+        // Defined type, undefined attribute: criterion 3.
+        let v = check_stun(&stun_msg(0x0001, [1; 12], &[(0x4007, b"x")]), "s", &ctx);
+        assert_eq!(v.criterion, Some(3));
+        // Bad value: criterion 4.
+        let v = check_stun(&stun_msg(0x0001, [1; 12], &[(0x0024, b"xx")]), "s", &ctx);
+        assert_eq!(v.criterion, Some(4));
+        // Missing required attribute: criterion 5.
+        let v = check_stun(&stun_msg(0x0003, [1; 12], &[]), "s", &ctx);
+        assert_eq!(v.criterion, Some(5));
+        // Clean binding request: compliant.
+        let v = check_stun(&stun_msg(0x0001, [1; 12], &[(0x0024, &[0, 0, 1, 0])]), "s", &ctx);
+        assert_eq!(v.criterion, None);
+        assert_eq!(v.type_key, "0x0001");
+    }
+
+    #[test]
+    fn sequential_context_flags_requests() {
+        let mut b = RefContextBuilder::default();
+        for i in 0..5u64 {
+            let mut txid = [0u8; 12];
+            txid[4..].copy_from_slice(&(100 + i).to_be_bytes());
+            b.observe("fwd", "rev", &stun_msg(0x0001, txid, &[]));
+        }
+        let ctx = b.finish();
+        let mut txid = [0u8; 12];
+        txid[4..].copy_from_slice(&102u64.to_be_bytes());
+        let v = check_stun(&stun_msg(0x0001, txid, &[]), "fwd", &ctx);
+        assert_eq!(v.criterion, Some(2));
+    }
+
+    #[test]
+    fn rtcp_regimes() {
+        // BYE, plaintext, fine.
+        let bye = [0x81u8, 203, 0, 1, 0, 0, 0, 9];
+        assert_eq!(check_rtcp(&bye, 0).criterion, None);
+        // SRTCP with no tag: criterion 4.
+        assert_eq!(check_rtcp(&bye, 4).criterion, Some(4));
+        // 3-byte trailer: criterion 5.
+        assert_eq!(check_rtcp(&bye, 3).criterion, Some(5));
+        // Undefined packet type: criterion 1.
+        let bad = [0x80u8, 198, 0, 1, 0, 0, 0, 0];
+        assert_eq!(check_rtcp(&bad, 0).criterion, Some(1));
+    }
+}

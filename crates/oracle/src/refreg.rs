@@ -1,0 +1,222 @@
+//! Independent registry tables: which codepoints the specifications
+//! define, transcribed a second time straight from the RFC IANA sections
+//! (raw hex, no constants imported from production code).
+//!
+//! The paper counts a codepoint as defined when *any* published RFC
+//! generation defines it (STUN: RFC 3489/5389/8489, TURN: RFC 5766/8656)
+//! or when it comes from publicly documented WebRTC usage (GOOG-PING,
+//! GOOG-NETWORK-INFO, NOMINATION, transport-cc).
+
+/// Whether a 16-bit STUN/TURN message type is defined.
+pub fn stun_type_defined(t: u16) -> bool {
+    matches!(
+        t,
+        // Binding: request / indication / success / error.
+        0x0001 | 0x0011 | 0x0101 | 0x0111
+        // Shared-Secret (RFC 3489, deprecated but published).
+        | 0x0002 | 0x0102 | 0x0112
+        // Allocate, Refresh.
+        | 0x0003 | 0x0103 | 0x0113 | 0x0004 | 0x0104 | 0x0114
+        // Send / Data indications.
+        | 0x0016 | 0x0017
+        // CreatePermission, ChannelBind.
+        | 0x0008 | 0x0108 | 0x0118 | 0x0009 | 0x0109 | 0x0119
+        // TURN-TCP (RFC 6062): Connect, ConnectionBind, ConnectionAttempt.
+        | 0x000A | 0x010A | 0x011A | 0x000B | 0x010B | 0x011B | 0x001C
+        // GOOG-PING request / response (libwebrtc, publicly documented).
+        | 0x0200 | 0x0300
+    )
+}
+
+/// Whether a 16-bit STUN/TURN attribute type is defined.
+pub fn stun_attr_defined(a: u16) -> bool {
+    matches!(
+        a,
+        // Comprehension-required range (RFC 3489/5389/8489 + TURN).
+        0x0001..=0x000D | 0x0012..=0x001A | 0x001C..=0x001E
+        | 0x0020 | 0x0022 | 0x0024..=0x0027 | 0x002A
+        // NOMINATION (draft-thatcher-ice-renomination, public WebRTC usage).
+        | 0x0030
+        // Comprehension-optional range.
+        | 0x8000..=0x8004 | 0x8022 | 0x8023 | 0x8027..=0x802C
+        // GOOG-NETWORK-INFO.
+        | 0xC057
+    )
+}
+
+/// Whether an attribute value violates its prescribed shape (criterion 4).
+/// Returns a description of the problem, or `None` when valid. Details are
+/// free-form (only the criterion index is compared against production).
+pub fn stun_attr_value_problem(a: u16, v: &[u8]) -> Option<String> {
+    fn exact(v: &[u8], n: usize) -> Option<String> {
+        if v.len() == n {
+            None
+        } else {
+            Some(format!("length {} where the RFC prescribes {n}", v.len()))
+        }
+    }
+    fn address(v: &[u8]) -> Option<String> {
+        // RFC 8489 §14.1: zero byte, family, port, then 4 or 16 address bytes.
+        if v.len() < 4 {
+            return Some("address value shorter than 4 bytes".into());
+        }
+        match (v[1], v.len()) {
+            (0x01, 8) | (0x02, 20) => None,
+            (0x01, n) | (0x02, n) => Some(format!("{n} bytes does not fit family {:#04x}", v[1])),
+            (f, _) => Some(format!("unknown address family {f:#04x}")),
+        }
+    }
+    match a {
+        // MAPPED-ADDRESS and friends, plain or XORed.
+        0x0001 | 0x0002 | 0x0004 | 0x0005 | 0x000B | 0x8023 | 0x0020 | 0x0012 | 0x0016 | 0x802B | 0x802C => {
+            address(v)
+        }
+        // CHANNEL-NUMBER: 2 bytes channel + 2 bytes RFFU, channel in range.
+        0x000C => {
+            if v.len() != 4 {
+                return Some(format!("CHANNEL-NUMBER length {}", v.len()));
+            }
+            let ch = ((v[0] as u16) << 8) | v[1] as u16;
+            if (0x4000..=0x4FFF).contains(&ch) {
+                None
+            } else {
+                Some(format!("channel {ch:#06x} outside 0x4000..0x4FFF"))
+            }
+        }
+        // LIFETIME, PRIORITY, FINGERPRINT, RESPONSE-PORT: 4 bytes.
+        0x000D | 0x0024 | 0x8028 | 0x0027 => exact(v, 4),
+        // REQUESTED-TRANSPORT: 4 bytes, protocol 17 (UDP).
+        0x0019 => exact(v, 4).or_else(|| (v[0] != 17).then(|| format!("transport {} is not UDP", v[0]))),
+        // REQUESTED-ADDRESS-FAMILY: 4 bytes, family 1 or 2.
+        0x0017 => exact(v, 4).or_else(|| (v[0] != 1 && v[0] != 2).then(|| format!("family {:#04x}", v[0]))),
+        // ERROR-CODE: ≥4 bytes, class 3..6, number 0..99.
+        0x0009 => {
+            if v.len() < 4 {
+                return Some("ERROR-CODE shorter than 4 bytes".into());
+            }
+            let class = v[2] & 0x07;
+            if !(3..=6).contains(&class) || v[3] > 99 {
+                Some(format!("error code {class}{:02}", v[3]))
+            } else {
+                None
+            }
+        }
+        // MESSAGE-INTEGRITY: 20-byte HMAC-SHA1.
+        0x0008 => exact(v, 20),
+        // MESSAGE-INTEGRITY-SHA256: 16..=32 bytes, 4-byte multiple.
+        0x001C => {
+            (v.len() < 16 || v.len() > 32 || !v.len().is_multiple_of(4)).then(|| format!("SHA256 length {}", v.len()))
+        }
+        // RESERVATION-TOKEN: 8 bytes.
+        0x0022 => exact(v, 8),
+        // EVEN-PORT: 1 byte.
+        0x0018 => exact(v, 1),
+        // USE-CANDIDATE, DONT-FRAGMENT: empty.
+        0x0025 | 0x001A => exact(v, 0),
+        // ICE-CONTROLLED / ICE-CONTROLLING: 8-byte tiebreaker.
+        0x8029 | 0x802A => exact(v, 8),
+        // CONNECTION-ID (RFC 6062): 4 bytes.
+        0x002A => exact(v, 4),
+        // USERNAME: at most 513 bytes.
+        0x0006 => (v.len() > 513).then(|| "USERNAME longer than 513 bytes".into()),
+        // REALM / NONCE / SOFTWARE / ALTERNATE-DOMAIN: at most 763 bytes.
+        0x0014 | 0x0015 | 0x8022 | 0x8003 => (v.len() > 763).then(|| "value longer than 763 bytes".into()),
+        _ => None,
+    }
+}
+
+/// The attribute set a message type permits, or `None` when unrestricted.
+/// RFC 8656 is strict for the two TURN indications only.
+pub fn stun_allowed_attrs(t: u16) -> Option<&'static [u16]> {
+    match t {
+        // Data Indication: XOR-PEER-ADDRESS, DATA, ICMP.
+        0x0017 => Some(&[0x0012, 0x0013, 0x8004]),
+        // Send Indication: XOR-PEER-ADDRESS, DATA, DONT-FRAGMENT.
+        0x0016 => Some(&[0x0012, 0x0013, 0x001A]),
+        _ => None,
+    }
+}
+
+/// Attributes a message type requires.
+pub fn stun_required_attrs(t: u16) -> &'static [u16] {
+    match t {
+        // Binding success: XOR-MAPPED-ADDRESS.
+        0x0101 => &[0x0020],
+        // Allocate request: REQUESTED-TRANSPORT.
+        0x0003 => &[0x0019],
+        // Allocate success: XOR-RELAYED-ADDRESS, LIFETIME, XOR-MAPPED-ADDRESS.
+        0x0103 => &[0x0016, 0x000D, 0x0020],
+        // Refresh success: LIFETIME.
+        0x0104 => &[0x000D],
+        // ChannelBind request: CHANNEL-NUMBER, XOR-PEER-ADDRESS.
+        0x0009 => &[0x000C, 0x0012],
+        // CreatePermission request: XOR-PEER-ADDRESS.
+        0x0008 => &[0x0012],
+        // Send / Data indications: XOR-PEER-ADDRESS, DATA.
+        0x0016 | 0x0017 => &[0x0012, 0x0013],
+        // Error responses: ERROR-CODE.
+        0x0111 | 0x0113 | 0x0114 | 0x0118 | 0x0119 => &[0x0009],
+        _ => &[],
+    }
+}
+
+/// Whether an RTCP packet type is defined (RFC 3550/4585/3611 + RFC 2032's
+/// pre-AVPF FIR/NACK codepoints 192/193).
+pub fn rtcp_type_defined(pt: u8) -> bool {
+    matches!(pt, 192 | 193 | 200..=207)
+}
+
+/// Whether an SDES item type is defined (RFC 3550 §6.5: CNAME..PRIV).
+pub fn sdes_item_defined(item: u8) -> bool {
+    (1..=8).contains(&item)
+}
+
+/// Whether an RTPFB feedback message type is defined.
+pub fn rtpfb_fmt_defined(fmt: u8) -> bool {
+    matches!(fmt, 1 | 3..=11 | 15)
+}
+
+/// Whether a PSFB feedback message type is defined.
+pub fn psfb_fmt_defined(fmt: u8) -> bool {
+    matches!(fmt, 1..=9 | 15)
+}
+
+/// Whether an XR block type is defined (RFC 3611 and extensions).
+pub fn xr_block_defined(block: u8) -> bool {
+    (1..=14).contains(&block)
+}
+
+/// Whether an RTP extension profile identifier is defined (RFC 8285:
+/// 0xBEDE one-byte form, 0x100x two-byte form).
+pub fn rtp_ext_profile_defined(profile: u16) -> bool {
+    profile == 0xBEDE || (0x1000..=0x100F).contains(&profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_range_edges() {
+        // The range-based transcription must not over-include: 0x000E..0x0011
+        // and 0x001B are unassigned, 0x0021 and 0x0023 are reserved.
+        for a in [0x000Eu16, 0x000F, 0x0010, 0x0011, 0x001B, 0x001F, 0x0021, 0x0023, 0x0028, 0x0029] {
+            assert!(!stun_attr_defined(a), "{a:#06x}");
+        }
+        for a in [0x0001u16, 0x000D, 0x0012, 0x001A, 0x001C, 0x001E, 0x0030, 0x8000, 0x8004, 0x8027, 0x802C] {
+            assert!(stun_attr_defined(a), "{a:#06x}");
+        }
+        assert!(!stun_attr_defined(0x8005));
+        assert!(!stun_attr_defined(0x8024));
+        assert!(!stun_attr_defined(0x802D));
+    }
+
+    #[test]
+    fn type_edges() {
+        assert!(stun_type_defined(0x0001));
+        assert!(stun_type_defined(0x0300));
+        assert!(!stun_type_defined(0x0005));
+        assert!(!stun_type_defined(0x0800));
+        assert!(!stun_type_defined(0x0201));
+    }
+}

@@ -1,0 +1,40 @@
+//! The differential suite: production pipeline vs reference oracle.
+//!
+//! Plain `cargo test` runs a reduced matrix and mutation budget so the
+//! suite stays cheap; the CI `oracle` job sets `RTC_ORACLE_FULL=1` and
+//! `RTC_ORACLE_CASES=12000` to sweep the full app×network matrix and a
+//! ≥10k-case mutation corpus.
+
+use rtc_core::capture::ExperimentConfig;
+use rtc_oracle::{run_matrix, run_mutations};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn full_sweep() -> bool {
+    std::env::var("RTC_ORACLE_FULL").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn matrix_has_no_divergences() {
+    let mut experiment = ExperimentConfig::smoke(7);
+    if !full_sweep() {
+        // A STUN/TURN-heavy app and a QUIC app cover every checker even in
+        // the reduced run.
+        experiment.apps = vec!["zoom".into(), "meet".into()];
+    }
+    let report = run_matrix(&experiment, 8).expect("differential driver IO");
+    assert!(report.is_clean(), "{report}");
+    assert!(report.messages > 0, "matrix produced no messages to re-judge");
+    assert_eq!(report.configs.len(), 4, "{report}");
+}
+
+#[test]
+fn mutation_corpus_agrees() {
+    let cases = env_u64("RTC_ORACLE_CASES", 2_000);
+    let seed = env_u64("RTC_ORACLE_SEED", 0x0_5ac1e);
+    let report = run_mutations(cases, seed);
+    assert!(report.is_clean(), "{report}");
+    assert!(report.judged > 0, "no mutated case survived both parsers");
+}

@@ -1,0 +1,80 @@
+//! Golden-corpus guards.
+//!
+//! The cheap tests run on every `cargo test` and fail if any committed
+//! snapshot is deleted, empty or malformed — without re-running the study.
+//! The full recompute-and-compare runs when `RTC_ORACLE_FULL=1` (the CI
+//! `oracle` job, which also verifies that two consecutive bless runs are
+//! byte-identical).
+
+use rtc_oracle::golden;
+
+fn expected_files() -> Vec<String> {
+    let config = golden::pinned_config();
+    let mut files: Vec<String> =
+        config.experiment.applications().iter().map(|a| format!("app_{}.json", a.slug())).collect();
+    files.push("protocols.json".to_string());
+    files
+}
+
+#[test]
+fn every_snapshot_is_committed_and_well_formed() {
+    let dir = golden::golden_dir();
+    for name in expected_files() {
+        let path = dir.join(&name);
+        let contents = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "golden snapshot {} is missing ({e}); restore it or re-bless with \
+                 `cargo run -p rtc-oracle --bin bless`",
+                path.display()
+            )
+        });
+        assert!(!contents.trim().is_empty(), "{name} is empty");
+        let value: serde_json::Value =
+            serde_json::from_str(&contents).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"));
+        if name == "protocols.json" {
+            assert!(value["calls"].as_u64().is_some(), "{name} lacks a calls count");
+            assert!(value["protocols"].as_object().is_some(), "{name} lacks the protocols table");
+        } else {
+            assert!(value["application"].as_str().is_some(), "{name} lacks the application key");
+            assert!(value["volume_compliance"].as_f64().is_some(), "{name} lacks volume_compliance");
+            assert!(value["types"].as_object().is_some(), "{name} lacks the type inventory");
+        }
+    }
+}
+
+#[test]
+fn full_recompute_matches_committed_corpus() {
+    if !std::env::var("RTC_ORACLE_FULL").is_ok_and(|v| v == "1") {
+        return; // cheap runs only guard presence/shape; CI recomputes.
+    }
+    let diffs =
+        golden::check_against(&golden::golden_dir(), &golden::pinned_config()).expect("golden corpus readable");
+    assert!(
+        diffs.is_empty(),
+        "golden corpus out of date:\n{}",
+        diffs.iter().map(|d| d.to_string()).collect::<String>()
+    );
+}
+
+#[test]
+fn bless_is_idempotent() {
+    if !std::env::var("RTC_ORACLE_FULL").is_ok_and(|v| v == "1") {
+        return;
+    }
+    let scratch = std::env::temp_dir().join(format!("rtc-oracle-bless-{}", std::process::id()));
+    let config = golden::pinned_config();
+    let first = golden::bless_to(&scratch, &config).expect("first bless");
+    let snapshot: Vec<(std::path::PathBuf, String)> =
+        first.iter().map(|p| (p.clone(), std::fs::read_to_string(p).unwrap())).collect();
+    let second = golden::bless_to(&scratch, &config).expect("second bless");
+    assert_eq!(first, second, "bless runs wrote different file sets");
+    for (path, contents) in &snapshot {
+        assert_eq!(
+            &std::fs::read_to_string(path).unwrap(),
+            contents,
+            "{} changed between consecutive bless runs",
+            path.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -73,7 +73,11 @@ pub struct StudyData {
 }
 
 impl StudyData {
-    /// Application names in first-seen order.
+    /// Application names in canonical (sorted) order. Sorting here — rather
+    /// than returning first-seen order — makes every rendered artifact
+    /// independent of the order calls were analyzed in, so the batch driver
+    /// (experiment-matrix order) and the streaming driver (directory-sweep
+    /// order) produce byte-identical reports.
     pub fn apps(&self) -> Vec<String> {
         let mut out = Vec::new();
         for c in &self.calls {
@@ -81,6 +85,7 @@ impl StudyData {
                 out.push(c.app.clone());
             }
         }
+        out.sort();
         out
     }
 
@@ -308,17 +313,30 @@ impl Aggregator {
         header_profiles: &[String],
         ssrcs: std::collections::BTreeSet<u32>,
     ) {
+        // Keep the lexicographically-smallest summaries rather than the
+        // first absorbed: "smallest N seen so far" is invariant under call
+        // order, so batch and streaming drivers retain the same profiles.
         let profiles = self.header_profiles.entry(record.app.clone()).or_default();
         for p in header_profiles {
-            if profiles.len() < MAX_HEADER_PROFILES_PER_APP {
+            if !profiles.contains(p) {
                 profiles.push(p.clone());
             }
         }
+        profiles.sort();
+        profiles.truncate(MAX_HEADER_PROFILES_PER_APP);
         self.ssrc_sets.entry((record.app.clone(), record.network.clone())).or_default().push(ssrcs);
+        // One representative finding per kind. The strongest instance (by
+        // count, then detail text) wins rather than the first absorbed, so
+        // the retained example does not depend on call scheduling.
         let entry = self.findings.entry(record.app.clone()).or_default();
         for f in findings {
-            if !entry.iter().any(|e| e.kind == f.kind) {
-                entry.push(f.clone());
+            match entry.iter_mut().find(|e| e.kind == f.kind) {
+                None => entry.push(f.clone()),
+                Some(e) => {
+                    if (f.count, &f.detail) > (e.count, &e.detail) {
+                        *e = f.clone();
+                    }
+                }
             }
         }
         self.calls.push(record);
@@ -344,6 +362,11 @@ impl Aggregator {
             }
         }
         header_profiles.retain(|_, v| !v.is_empty());
+        // Canonical finding order per application (they were collected in
+        // call-completion order, which the driver choice may permute).
+        for list in findings.values_mut() {
+            list.sort_by_key(|f| f.kind);
+        }
         AggregateReport { data: StudyData { calls }, findings, header_profiles }
     }
 }
@@ -474,7 +497,7 @@ mod tests {
         use rtc_compliance::findings::{Finding, FindingKind};
         let s = study();
         let f = Finding { kind: FindingKind::DoubleRtpDatagrams, count: 3, detail: "3 doubles".into() };
-        let dup = Finding { kind: FindingKind::DoubleRtpDatagrams, count: 9, detail: "ignored".into() };
+        let dup = Finding { kind: FindingKind::DoubleRtpDatagrams, count: 9, detail: "9 doubles".into() };
         let mut agg = Aggregator::new();
         assert!(agg.is_empty());
         let reused: std::collections::BTreeSet<u32> = [0xAA, 0xBB].into_iter().collect();
@@ -492,7 +515,8 @@ mod tests {
         assert_eq!(out.data.calls.len(), 3);
         let appa = &out.findings["AppA"];
         assert_eq!(appa.iter().filter(|f| f.kind == FindingKind::DoubleRtpDatagrams).count(), 1, "dedup by kind");
-        assert_eq!(appa[0].detail, "3 doubles", "first occurrence wins");
+        let double = appa.iter().find(|f| f.kind == FindingKind::DoubleRtpDatagrams).unwrap();
+        assert_eq!(double.detail, "9 doubles", "the strongest instance wins, regardless of absorb order");
         assert!(appa.iter().any(|f| f.kind == FindingKind::SsrcReuseAcrossCalls));
         assert!(!out.findings["AppB"].iter().any(|f| f.kind == FindingKind::SsrcReuseAcrossCalls));
         assert_eq!(out.header_profiles["AppA"], vec!["hdr profile".to_string()]);

@@ -1,0 +1,421 @@
+//! Build↔parse round-trip properties for every `rtc-wire` builder.
+//!
+//! Each property serializes structured fields through the crate's builder
+//! and re-parses the bytes through the corresponding checked parser,
+//! asserting that every field survives. These are the inverse guarantees
+//! the differential oracle (`rtc-oracle`) leans on: if a builder and its
+//! parser disagree, golden vectors and synthetic captures stop meaning
+//! what the study thinks they mean.
+
+use proptest::prelude::*;
+use rtc_wire::quic::{Header, LongHeader, LongType, ShortHeader};
+use rtc_wire::rtcp::{
+    self, packet_type, App, Feedback, Packet as RtcpPacket, ReceiverReport, ReportBlock, Sdes, SdesChunk,
+    SenderReport, SrtcpTrailer,
+};
+use rtc_wire::rtp::{Packet as RtpPacket, PacketBuilder};
+use rtc_wire::stun::{attr, ChannelData, Message, MessageBuilder, MAGIC_COOKIE};
+
+// ---------------------------------------------------------------- STUN ----
+
+/// Valid STUN message types: the top two bits must be clear (RFC 5389 §6).
+fn stun_type() -> impl Strategy<Value = u16> {
+    0u16..0x4000
+}
+
+/// Attribute sets that steer clear of FINGERPRINT (0x8028), which carries
+/// its own semantics in `verify_fingerprint`.
+fn stun_attrs() -> impl Strategy<Value = Vec<(u16, Vec<u8>)>> {
+    proptest::collection::vec((0u16..0x8000, proptest::collection::vec(any::<u8>(), 0..40)), 0..5)
+}
+
+proptest! {
+    #[test]
+    fn stun_builder_roundtrips(
+        message_type in stun_type(),
+        txid in any::<[u8; 12]>(),
+        attrs in stun_attrs(),
+    ) {
+        let mut b = MessageBuilder::new(message_type, txid);
+        for (t, v) in &attrs {
+            b = b.attribute(*t, v.clone());
+        }
+        let bytes = b.build();
+
+        let msg = Message::new_checked(&bytes).expect("built message parses");
+        prop_assert_eq!(msg.message_type(), message_type);
+        prop_assert_eq!(msg.transaction_id(), &txid[..]);
+        prop_assert!(msg.has_magic_cookie());
+        prop_assert_eq!(msg.wire_len(), bytes.len());
+        // Attribute padding is on the wire but must not leak into values.
+        prop_assert_eq!(msg.declared_length() % 4, 0);
+        let parsed: Vec<(u16, Vec<u8>)> = msg
+            .attributes()
+            .map(|a| a.map(|a| (a.typ, a.value.to_vec())))
+            .collect::<Result<_, _>>()
+            .expect("built attributes walk cleanly");
+        prop_assert_eq!(parsed, attrs);
+    }
+
+    #[test]
+    fn stun_legacy_builder_roundtrips(
+        message_type in stun_type(),
+        prefix in any::<[u8; 4]>(),
+        txid in any::<[u8; 12]>(),
+    ) {
+        let bytes = MessageBuilder::new_legacy(message_type, prefix, txid).build();
+        let msg = Message::new_checked(&bytes).expect("legacy message parses");
+        prop_assert_eq!(msg.message_type(), message_type);
+        let mut legacy = prefix.to_vec();
+        legacy.extend_from_slice(&txid);
+        prop_assert_eq!(msg.legacy_transaction_id(), &legacy[..]);
+        prop_assert_eq!(msg.has_magic_cookie(), u32::from_be_bytes(prefix) == MAGIC_COOKIE);
+    }
+
+    #[test]
+    fn stun_fingerprint_survives_roundtrip_and_detects_corruption(
+        message_type in stun_type(),
+        txid in any::<[u8; 12]>(),
+        attrs in stun_attrs(),
+    ) {
+        let mut b = MessageBuilder::new(message_type, txid);
+        for (t, v) in &attrs {
+            b = b.attribute(*t, v.clone());
+        }
+        let bytes = b.build_with_fingerprint();
+        let msg = Message::new_checked(&bytes).expect("fingerprinted message parses");
+        prop_assert_eq!(msg.verify_fingerprint(), Some(true));
+        prop_assert!(msg.attribute(attr::FINGERPRINT).is_some());
+
+        // Any corruption of the covered bytes must invalidate the CRC.
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 1] ^= 0xFF;
+        let msg = Message::new_checked(&corrupt).expect("corrupted message still frames");
+        prop_assert_eq!(msg.verify_fingerprint(), Some(false));
+    }
+
+    #[test]
+    fn channeldata_roundtrips(
+        channel in 0x4000u16..=0x7FFF,
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let bytes = ChannelData::build(channel, &data);
+        let cd = ChannelData::new_checked(&bytes).expect("built frame parses");
+        prop_assert_eq!(cd.channel_number(), channel);
+        prop_assert_eq!(cd.declared_length(), data.len());
+        prop_assert_eq!(cd.data(), &data[..]);
+        prop_assert_eq!(cd.wire_len(), bytes.len());
+    }
+}
+
+// ----------------------------------------------------------------- RTP ----
+
+/// One-byte-form elements: IDs 1–14, 1–16 data bytes each.
+fn one_byte_elements() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    proptest::collection::vec((1u8..=14, proptest::collection::vec(any::<u8>(), 1..17)), 1..4)
+}
+
+/// Two-byte-form elements: IDs 1–255, 0–40 data bytes each.
+fn two_byte_elements() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    proptest::collection::vec((1u8..=255, proptest::collection::vec(any::<u8>(), 0..40)), 1..4)
+}
+
+proptest! {
+    #[test]
+    fn rtp_builder_roundtrips(
+        payload_type in 0u8..=127,
+        seq in any::<u16>(),
+        timestamp in any::<u32>(),
+        ssrc in any::<u32>(),
+        marker in any::<bool>(),
+        csrcs in proptest::collection::vec(any::<u32>(), 0..5),
+        payload in proptest::collection::vec(any::<u8>(), 0..120),
+        padding in 0usize..40,
+    ) {
+        let mut b = PacketBuilder::new(payload_type, seq, timestamp, ssrc).marker(marker);
+        for c in &csrcs {
+            b = b.csrc(*c);
+        }
+        let bytes = b.payload(payload.clone()).padding(padding).build();
+
+        let p = RtpPacket::new_checked(&bytes).expect("built packet parses");
+        prop_assert_eq!(p.version(), 2);
+        prop_assert_eq!(p.payload_type(), payload_type);
+        prop_assert_eq!(p.sequence_number(), seq);
+        prop_assert_eq!(p.timestamp(), timestamp);
+        prop_assert_eq!(p.ssrc(), ssrc);
+        prop_assert_eq!(p.marker(), marker);
+        prop_assert_eq!(p.csrcs().collect::<Vec<_>>(), csrcs);
+        prop_assert_eq!(p.has_padding(), padding > 0);
+        prop_assert_eq!(p.padding_len(), padding);
+        prop_assert_eq!(p.payload(), &payload[..]);
+        prop_assert!(!p.has_extension());
+    }
+
+    #[test]
+    fn rtp_raw_extension_roundtrips(
+        profile in any::<u16>(),
+        data in proptest::collection::vec(any::<u8>(), 0..40),
+        payload in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let bytes = PacketBuilder::new(96, 1, 2, 3).extension(profile, data.clone()).payload(payload).build();
+        let p = RtpPacket::new_checked(&bytes).expect("built packet parses");
+        let ext = p.extension().expect("extension present");
+        prop_assert_eq!(ext.profile, profile);
+        // The builder zero-pads the data to a 32-bit boundary.
+        prop_assert_eq!(&ext.data[..data.len()], &data[..]);
+        prop_assert!(ext.data.len() - data.len() < 4);
+        prop_assert!(ext.data[data.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn rtp_one_byte_extension_roundtrips(elements in one_byte_elements()) {
+        let refs: Vec<(u8, &[u8])> = elements.iter().map(|(id, v)| (*id, v.as_slice())).collect();
+        let bytes = PacketBuilder::new(96, 1, 2, 3).one_byte_extension(&refs).payload(vec![0u8; 10]).build();
+        let p = RtpPacket::new_checked(&bytes).expect("built packet parses");
+        let ext = p.extension().expect("extension present");
+        prop_assert!(ext.is_one_byte_form());
+        let parsed: Vec<(u8, Vec<u8>)> =
+            ext.one_byte_elements().iter().map(|e| (e.id, e.data.to_vec())).collect();
+        prop_assert_eq!(parsed, elements);
+    }
+
+    #[test]
+    fn rtp_two_byte_extension_roundtrips(appbits in 0u8..16, elements in two_byte_elements()) {
+        let refs: Vec<(u8, &[u8])> = elements.iter().map(|(id, v)| (*id, v.as_slice())).collect();
+        let bytes =
+            PacketBuilder::new(96, 1, 2, 3).two_byte_extension(appbits, &refs).payload(vec![0u8; 10]).build();
+        let p = RtpPacket::new_checked(&bytes).expect("built packet parses");
+        let ext = p.extension().expect("extension present");
+        prop_assert!(ext.is_two_byte_form());
+        let parsed: Vec<(u8, Vec<u8>)> =
+            ext.two_byte_elements().iter().map(|e| (e.id, e.data.to_vec())).collect();
+        prop_assert_eq!(parsed, elements);
+    }
+}
+
+// ---------------------------------------------------------------- RTCP ----
+
+fn report_block() -> impl Strategy<Value = ReportBlock> {
+    (
+        (any::<u32>(), any::<u8>(), -0x0080_0000i32..0x0080_0000),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+    )
+        .prop_map(|((ssrc, fraction_lost, cumulative_lost), (highest_seq, jitter, last_sr, delay))| {
+            ReportBlock {
+                ssrc,
+                fraction_lost,
+                cumulative_lost,
+                highest_seq,
+                jitter,
+                last_sr,
+                delay_since_last_sr: delay,
+            }
+        })
+}
+
+/// SDES items: nonzero type, value short enough for the one-byte length.
+fn sdes_chunks() -> impl Strategy<Value = Vec<SdesChunk>> {
+    proptest::collection::vec(
+        (any::<u32>(), proptest::collection::vec((1u8..=8, proptest::collection::vec(any::<u8>(), 0..20)), 0..3))
+            .prop_map(|(ssrc, items)| SdesChunk { ssrc, items }),
+        1..4,
+    )
+}
+
+/// Byte vectors whose length is a 32-bit multiple — APP data and feedback
+/// FCI are zero-padded by the builders, so only aligned inputs round-trip
+/// byte-exactly.
+fn aligned_bytes(max_words: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max_words).prop_map(|mut v| {
+        v.truncate(v.len() / 4 * 4);
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn rtcp_sender_report_roundtrips(
+        ssrc in any::<u32>(),
+        ntp in any::<u64>(),
+        rtp_ts in any::<u32>(),
+        packets in any::<u32>(),
+        octets in any::<u32>(),
+        reports in proptest::collection::vec(report_block(), 0..4),
+    ) {
+        let sr = SenderReport {
+            ssrc,
+            ntp_timestamp: ntp,
+            rtp_timestamp: rtp_ts,
+            packet_count: packets,
+            octet_count: octets,
+            reports,
+        };
+        let bytes = sr.build();
+        let p = RtcpPacket::new_checked(&bytes).expect("built packet frames");
+        prop_assert_eq!(p.packet_type(), packet_type::SR);
+        prop_assert_eq!(p.wire_len(), bytes.len());
+        prop_assert_eq!(SenderReport::parse(&p).expect("parses"), sr);
+    }
+
+    #[test]
+    fn rtcp_receiver_report_roundtrips(
+        ssrc in any::<u32>(),
+        reports in proptest::collection::vec(report_block(), 0..4),
+    ) {
+        let rr = ReceiverReport { ssrc, reports };
+        let bytes = rr.build();
+        let p = RtcpPacket::new_checked(&bytes).expect("built packet frames");
+        prop_assert_eq!(p.packet_type(), packet_type::RR);
+        prop_assert_eq!(ReceiverReport::parse(&p).expect("parses"), rr);
+    }
+
+    #[test]
+    fn rtcp_sdes_roundtrips(chunks in sdes_chunks()) {
+        let sdes = Sdes { chunks };
+        let bytes = sdes.build();
+        let p = RtcpPacket::new_checked(&bytes).expect("built packet frames");
+        prop_assert_eq!(p.packet_type(), packet_type::SDES);
+        prop_assert_eq!(Sdes::parse(&p).expect("parses"), sdes);
+    }
+
+    #[test]
+    fn rtcp_app_roundtrips(
+        subtype in 0u8..32,
+        ssrc in any::<u32>(),
+        name in any::<[u8; 4]>(),
+        data in aligned_bytes(40),
+    ) {
+        let app = App { subtype, ssrc, name, data };
+        let bytes = app.build();
+        let p = RtcpPacket::new_checked(&bytes).expect("built packet frames");
+        prop_assert_eq!(p.packet_type(), packet_type::APP);
+        prop_assert_eq!(App::parse(&p).expect("parses"), app);
+    }
+
+    #[test]
+    fn rtcp_feedback_roundtrips(
+        is_psfb in any::<bool>(),
+        fmt in 0u8..32,
+        sender_ssrc in any::<u32>(),
+        media_ssrc in any::<u32>(),
+        fci in aligned_bytes(40),
+    ) {
+        let fb = Feedback {
+            packet_type: if is_psfb { packet_type::PSFB } else { packet_type::RTPFB },
+            fmt,
+            sender_ssrc,
+            media_ssrc,
+            fci,
+        };
+        let bytes = fb.build();
+        let p = RtcpPacket::new_checked(&bytes).expect("built packet frames");
+        prop_assert_eq!(Feedback::parse(&p).expect("parses"), fb);
+    }
+
+    #[test]
+    fn rtcp_bye_roundtrips(ssrcs in proptest::collection::vec(any::<u32>(), 0..6)) {
+        let bytes = rtcp::build_bye(&ssrcs);
+        let p = RtcpPacket::new_checked(&bytes).expect("built packet frames");
+        prop_assert_eq!(p.packet_type(), packet_type::BYE);
+        prop_assert_eq!(p.count() as usize, ssrcs.len());
+        let parsed: Vec<u32> =
+            p.body().chunks_exact(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect();
+        prop_assert_eq!(parsed, ssrcs);
+    }
+
+    #[test]
+    fn srtcp_trailer_roundtrips(
+        encrypted in any::<bool>(),
+        index in 0u32..0x8000_0000,
+        auth_tag_len in (0usize..4).prop_map(|i| [0usize, 4, 10, 16][i]),
+        tag_seed in any::<u64>(),
+    ) {
+        let t = SrtcpTrailer { encrypted, index, auth_tag_len };
+        let bytes = t.build(tag_seed);
+        prop_assert_eq!(bytes.len(), 4 + auth_tag_len);
+        prop_assert_eq!(SrtcpTrailer::parse(&bytes, auth_tag_len).expect("parses"), t);
+        // The tag derivation is deterministic in the seed.
+        prop_assert_eq!(t.build(tag_seed), bytes);
+    }
+
+    #[test]
+    fn rtcp_compound_splits_back_into_its_packets(
+        sr_ssrc in any::<u32>(),
+        sdes_chunks in sdes_chunks(),
+        bye_ssrcs in proptest::collection::vec(any::<u32>(), 1..4),
+    ) {
+        let sr = SenderReport {
+            ssrc: sr_ssrc,
+            ntp_timestamp: 1,
+            rtp_timestamp: 2,
+            packet_count: 3,
+            octet_count: 4,
+            reports: vec![],
+        }
+        .build();
+        let sdes = Sdes { chunks: sdes_chunks }.build();
+        let bye = rtcp::build_bye(&bye_ssrcs);
+        let mut compound = sr.clone();
+        compound.extend_from_slice(&sdes);
+        compound.extend_from_slice(&bye);
+
+        let (packets, remainder) = rtcp::split_compound(&compound);
+        prop_assert_eq!(packets.len(), 3);
+        prop_assert!(remainder.is_empty());
+        prop_assert_eq!(packets[0].as_bytes(), &sr[..]);
+        prop_assert_eq!(packets[1].as_bytes(), &sdes[..]);
+        prop_assert_eq!(packets[2].as_bytes(), &bye[..]);
+        prop_assert_eq!(
+            [packets[0].packet_type(), packets[1].packet_type(), packets[2].packet_type()],
+            [packet_type::SR, packet_type::SDES, packet_type::BYE]
+        );
+    }
+}
+
+// ---------------------------------------------------------------- QUIC ----
+
+fn cid() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..21)
+}
+
+proptest! {
+    #[test]
+    fn quic_long_header_roundtrips(
+        fixed_bit in any::<bool>(),
+        type_bits in 0u8..4,
+        type_specific in 0u8..16,
+        version in any::<u32>(),
+        dcid in cid(),
+        scid in cid(),
+    ) {
+        let h = LongHeader {
+            fixed_bit,
+            long_type: LongType::from_bits(type_bits),
+            type_specific,
+            version,
+            header_len: 7 + dcid.len() + scid.len(),
+            dcid,
+            scid,
+        };
+        let bytes = h.build();
+        prop_assert_eq!(bytes.len(), h.header_len);
+        prop_assert_eq!(LongHeader::parse(&bytes).expect("parses"), h.clone());
+        prop_assert_eq!(Header::parse(&bytes, 0).expect("parses"), Header::Long(h));
+    }
+
+    #[test]
+    fn quic_short_header_roundtrips(
+        fixed_bit in any::<bool>(),
+        spin in any::<bool>(),
+        dcid in cid(),
+    ) {
+        let dcid_len = dcid.len();
+        let h = ShortHeader { fixed_bit, spin, header_len: 1 + dcid_len, dcid };
+        let bytes = h.build();
+        prop_assert_eq!(bytes.len(), h.header_len);
+        prop_assert_eq!(ShortHeader::parse(&bytes, dcid_len).expect("parses"), h.clone());
+        prop_assert_eq!(Header::parse(&bytes, dcid_len).expect("parses"), Header::Short(h));
+    }
+}

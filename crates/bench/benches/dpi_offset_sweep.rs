@@ -29,7 +29,10 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("dpi_offset_sweep");
     group.throughput(Throughput::Bytes(bytes as u64));
-    for k in [16usize, 64, 200, 400] {
+    // 1400 ≈ a full MTU: the "no offset bound" worst case the §4.1.1
+    // ablation argues against; kept in the sweep so the cost of skipping
+    // the bound stays measured.
+    for k in [16usize, 64, 200, 400, 1400] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
                 let d = rtc_core::dpi::dissect_call(
@@ -44,7 +47,7 @@ fn bench(c: &mut Criterion) {
 
     // Machine-readable record of the same sweep (best-of-5 wall times).
     let mut per_k = serde_json::Map::new();
-    for k in [16usize, 64, 200, 400] {
+    for k in [16usize, 64, 200, 400, 1400] {
         let config = rtc_core::dpi::DpiConfig { max_offset: k, ..Default::default() };
         let ms = time_ms(5, || rtc_core::dpi::dissect_call(&rtc_udp, &config).datagrams.len());
         let mib_per_s = bytes as f64 / (1 << 20) as f64 / (ms / 1e3);

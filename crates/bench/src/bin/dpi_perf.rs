@@ -10,7 +10,7 @@
 //! Run with `cargo run --release -p rtc-bench --bin dpi_perf`.
 
 use rtc_bench::perf::{round2, time_ms, upsert_section};
-use rtc_core::dpi::{self, par, DpiConfig};
+use rtc_core::dpi::{self, par, DpiConfig, ScanMode};
 use serde_json::json;
 
 fn main() {
@@ -31,9 +31,55 @@ fn main() {
     println!("extract naive:          {naive:8.2} ms");
     println!("extract fast:           {fast:8.2} ms   ({:.2}x)", naive / fast);
 
+    // Bulk-scan ablation: the same corpus swept per scan backend. The
+    // scalar path is the per-offset dispatch loop; SWAR sweeps u64 lanes;
+    // SIMD adds the SSE2 16-lane pass (skipped where unsupported).
+    let mut bulk_scan = serde_json::Map::new();
+    println!("bulk scan (extract only, active mode = {}):", ScanMode::active().label());
+    for mode in ScanMode::ALL {
+        if mode == ScanMode::Simd && !dpi::scan::simd_supported() {
+            continue;
+        }
+        let ms = time_ms(5, || {
+            let mut out = Vec::new();
+            let mut n = 0usize;
+            for d in &rtc_udp {
+                out.clear();
+                dpi::extract_into_with(&d.payload, k, &mut out, mode);
+                n += out.len();
+            }
+            n
+        });
+        let mib_per_s = bytes as f64 / (1 << 20) as f64 / (ms / 1e3);
+        println!("  {:6} {ms:8.2} ms   {mib_per_s:8.1} MiB/s", mode.label());
+        bulk_scan
+            .insert(mode.label().to_string(), json!({ "ms": round2(ms), "mib_per_s": round2(mib_per_s) }));
+    }
+
     let seq_cfg = DpiConfig { threads: 1, ..DpiConfig::default() };
     let batch = par::extract_all(&rtc_udp, &seq_cfg);
     println!("candidates:             {:8}", batch.candidate_count());
+
+    // Per-matcher candidate counts: what the sweep actually feeds each
+    // validator (recorded so a scanner change that silently drops or
+    // inflates a candidate class shows up in the committed numbers).
+    let mut per_matcher: std::collections::BTreeMap<&str, usize> = Default::default();
+    for i in 0..batch.len() {
+        for c in batch.get(i) {
+            let label = match c.kind {
+                dpi::CandidateKind::Stun { .. } => "stun",
+                dpi::CandidateKind::ChannelData { .. } => "channeldata",
+                dpi::CandidateKind::Rtp { .. } => "rtp",
+                dpi::CandidateKind::Rtcp { .. } => "rtcp",
+                dpi::CandidateKind::QuicLong { .. } => "quic_long",
+                dpi::CandidateKind::QuicShortProbe => "quic_short_probe",
+            };
+            *per_matcher.entry(label).or_default() += 1;
+        }
+    }
+    for (label, n) in &per_matcher {
+        println!("  candidates[{label}]: {n}");
+    }
 
     let validate = time_ms(5, || dpi::resolve::ValidationContext::build(&rtc_udp, &batch, &seq_cfg));
     println!("validation build:       {validate:8.2} ms");
@@ -54,6 +100,15 @@ fn main() {
     let dissect_auto = time_ms(5, || dpi::dissect_call(&rtc_udp, &DpiConfig::default()).datagrams.len());
     println!("dissect_call (auto={auto_threads}): {dissect_auto:8.2} ms");
 
+    // Cross-call scheduling: the same corpus split into three uneven
+    // pseudo-calls, dissected through the shared work-stealing pool.
+    let n = rtc_udp.len();
+    let calls: Vec<&[_]> = vec![&rtc_udp[..n / 2], &rtc_udp[n / 2..n / 2 + n / 8], &rtc_udp[n / 2 + n / 8..]];
+    let dissect_cross = time_ms(5, || {
+        dpi::dissect_calls(&calls, &DpiConfig::default()).iter().map(|c| c.datagrams.len()).sum::<usize>()
+    });
+    println!("dissect_calls (3 calls, auto): {dissect_cross:8.2} ms");
+
     upsert_section(
         "dpi_phases",
         json!({
@@ -67,7 +122,11 @@ fn main() {
             "resolution_ms": round2(resolve),
             "dissect_call_sequential_ms": round2(dissect_seq),
             "dissect_call_auto_ms": round2(dissect_auto),
+            "dissect_calls_cross_call_ms": round2(dissect_cross),
             "auto_threads": auto_threads,
+            "scan_mode": ScanMode::active().label(),
+            "bulk_scan": serde_json::Value::Object(bulk_scan),
+            "candidates_by_matcher": serde_json::to_value(&per_matcher).expect("serializable counts"),
         }),
     );
 }

@@ -241,6 +241,30 @@ pub mod gate {
         }
 
         #[test]
+        fn gates_bulk_scan_throughput_keys() {
+            // The per-backend scan section `dpi_perf` writes: a scan-speed
+            // regression in any backend must fail the gate.
+            let baseline = json!({"dpi_phases": {"bulk_scan": {
+                "scalar": {"ms": 15.6, "mib_per_s": 384.8},
+                "swar": {"ms": 5.5, "mib_per_s": 1091.3},
+                "simd": {"ms": 4.8, "mib_per_s": 1250.5},
+            }}});
+            let slower = json!({"dpi_phases": {"bulk_scan": {
+                "scalar": {"ms": 15.9, "mib_per_s": 377.0},
+                "swar": {"ms": 5.6, "mib_per_s": 1071.0},
+                "simd": {"ms": 9.9, "mib_per_s": 606.3},
+            }}});
+            let checks = compare(&baseline, &slower, 0.25);
+            assert_eq!(checks.len(), 6, "{checks:?}");
+            let failed: Vec<_> = checks.iter().filter(|c| c.failed).map(|c| c.path.as_str()).collect();
+            assert_eq!(
+                failed,
+                ["dpi_phases.bulk_scan.simd.mib_per_s", "dpi_phases.bulk_scan.simd.ms"],
+                "{checks:?}"
+            );
+        }
+
+        #[test]
         fn skips_seed_baseline_and_one_sided_leaves() {
             let baseline = json!({"seed_baseline": {"old_ms": 1.0}, "a": {"x_ms": 1.0}, "gone_ms": 3.0});
             let fresh = json!({"seed_baseline": {"old_ms": 99.0}, "a": {"x_ms": 1.0}, "new_ms": 4.0});

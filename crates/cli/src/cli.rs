@@ -73,7 +73,8 @@ pub enum Command {
         path: PathBuf,
         /// Optional call window (seconds) to enable filtering.
         window: Option<(u64, u64)>,
-        /// DPI extraction worker threads (0 = one per core).
+        /// DPI extraction worker threads (0 = one per available core;
+        /// `RTC_DPI_THREADS` overrides autodetection).
         threads: usize,
     },
     /// Run the differential oracle suite (production pipeline vs the
@@ -420,6 +421,9 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
                     .filter(|d| d.five_tuple.transport == rtc_core::wire::ip::Transport::Udp)
                     .collect(),
             };
+            let planned = rtc_core::dpi::par::planned_threads(rtc_udp.len(), &config.dpi);
+            let requested = if threads == 0 { "auto".to_string() } else { threads.to_string() };
+            writeln!(out, "dpi: scan={}, threads={planned} (requested {requested})", rtc_core::dpi::ScanMode::active().label())?;
             let dissection = rtc_core::dpi::dissect_call(&rtc_udp, &config.dpi);
             let checked = rtc_core::compliance::check_call(&dissection);
             let (by_proto, fully) = dissection.message_distribution();

@@ -292,7 +292,10 @@ impl Study {
         for (i, c) in captures.iter().enumerate() {
             queue.push((i, c));
         }
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        // `hardware_threads` (not raw `available_parallelism`) so the
+        // cgroup-quota misdetection fix and the `RTC_DPI_THREADS` override
+        // govern the study's cross-call pool too.
+        let cores = rtc_dpi::par::hardware_threads();
         let workers = cores.min(captures.len().max(1));
         // Cross-call and intra-call parallelism share the same cores: unless
         // the caller pinned a DPI thread count, give each call's candidate

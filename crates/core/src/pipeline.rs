@@ -426,7 +426,13 @@ impl Stage for DpiStage {
                 self.matchers.msg_bytes_sum[family] += len;
             }
             if dd.class == DatagramClass::FullyProprietary {
-                *self.rejections.entry(rtc_dpi::rejection_key(&d.payload)).or_default() += 1;
+                let key = rtc_dpi::rejection_key(&d.payload);
+                match self.rejections.get_mut(key.as_ref()) {
+                    Some(n) => *n += 1,
+                    None => {
+                        self.rejections.insert(key.into_owned(), 1);
+                    }
+                }
             }
             out.push(dd);
         }

@@ -28,12 +28,16 @@
 //!    fully proprietary.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SSE2 sweep in [`scan`] is the one module
+// allowed to opt back in (`#[allow(unsafe_code)]` with documented safety
+// invariants); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod par;
 pub mod pattern;
 pub mod proprietary;
 pub mod resolve;
+pub mod scan;
 
 use bytes::Bytes;
 use rtc_pcap::trace::Datagram;
@@ -42,9 +46,10 @@ use rtc_wire::ip::FiveTuple;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 pub use pattern::{
-    explain_rejection, extract_candidates, extract_candidates_naive, extract_into, rejection_key, Candidate,
-    CandidateBatch, CandidateKind, CidBuf, Extractor,
+    explain_rejection, extract_candidates, extract_candidates_naive, extract_into, extract_into_with, rejection_key,
+    Candidate, CandidateBatch, CandidateKind, CidBuf, Extractor,
 };
+pub use scan::ScanMode;
 
 /// The protocol families of the study. TURN shares the STUN message format,
 /// so the paper (and this crate) reports them jointly.
@@ -218,12 +223,63 @@ impl CallDissection {
 /// ```
 pub fn dissect_call<D: std::borrow::Borrow<Datagram> + Sync>(datagrams: &[D], config: &DpiConfig) -> CallDissection {
     // ---- Step 1: candidate extraction (Algorithm 1, lines 5–13). -------
-    // One flat candidate batch for the whole call; chunked across worker
-    // threads when the call is large enough (see [`par`]).
+    // One flat candidate batch for the whole call; scheduled over the
+    // work-stealing pool when the call is large enough (see [`par`]).
     let batch = par::extract_all(datagrams, config);
+    dissect_extracted(datagrams, &batch, config)
+}
 
+/// Dissect several calls in one pass: all calls' candidate extraction
+/// shares a single work-stealing pool (see [`par::extract_calls`]), then
+/// validation + resolution run per call across a thread pool sized from
+/// the total workload. Returns one [`CallDissection`] per call, in input
+/// order, byte-identical to calling [`dissect_call`] on each.
+pub fn dissect_calls<D: std::borrow::Borrow<Datagram> + Sync>(
+    calls: &[&[D]],
+    config: &DpiConfig,
+) -> Vec<CallDissection> {
+    let batches = par::extract_calls(calls, config);
+    let total: usize = calls.iter().map(|c| c.len()).sum();
+    let threads = par::planned_threads(total, config).min(calls.len().max(1));
+    if threads <= 1 {
+        return calls.iter().zip(&batches).map(|(c, b)| dissect_extracted(c, b, config)).collect();
+    }
+    // Validation state is per call, so calls are the unit of parallelism
+    // here; an atomic cursor hands them out so short calls don't serialize
+    // behind long ones.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, CallDissection)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, batches) = (&next, &batches);
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(call) = calls.get(i) else { break };
+                        done.push((i, dissect_extracted(call, &batches[i], config)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("dissection worker panicked")).collect()
+    });
+    let mut out: Vec<Option<CallDissection>> = (0..calls.len()).map(|_| None).collect();
+    for (i, dissection) in per_worker.into_iter().flatten() {
+        out[i] = Some(dissection);
+    }
+    out.into_iter().map(|d| d.expect("every call dissected")).collect()
+}
+
+/// Steps 2–3 of [`dissect_call`] against an already-extracted batch.
+fn dissect_extracted<D: std::borrow::Borrow<Datagram> + Sync>(
+    datagrams: &[D],
+    batch: &pattern::CandidateBatch,
+    config: &DpiConfig,
+) -> CallDissection {
     // ---- Step 2: protocol-specific validation (lines 14–19). -----------
-    let mut ctx = resolve::ValidationContext::build(datagrams, &batch, config);
+    let mut ctx = resolve::ValidationContext::build(datagrams, batch, config);
 
     // ---- Step 3: per-datagram resolution and classification. -----------
     let mut out = CallDissection::default();
@@ -232,7 +288,15 @@ pub fn dissect_call<D: std::borrow::Borrow<Datagram> + Sync>(datagrams: &[D], co
         let d = d.borrow();
         let dd = resolve::resolve_datagram(d, batch.get(i), &ctx);
         if dd.class == DatagramClass::FullyProprietary {
-            *out.rejections.entry(pattern::rejection_key(&d.payload)).or_default() += 1;
+            let key = pattern::rejection_key(&d.payload);
+            // Look up by `&str` first: the handful of distinct keys means the
+            // common case is a count bump with no `String` allocation.
+            match out.rejections.get_mut(key.as_ref()) {
+                Some(n) => *n += 1,
+                None => {
+                    out.rejections.insert(key.into_owned(), 1);
+                }
+            }
         }
         out.datagrams.push(dd);
     }

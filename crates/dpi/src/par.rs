@@ -1,42 +1,81 @@
-//! Intra-call parallel candidate extraction.
+//! Cross-call work-stealing candidate extraction.
 //!
 //! Candidate extraction (Algorithm 1, step 1) is embarrassingly parallel
 //! across datagrams: each payload is scanned independently, and only the
-//! later validation pass needs cross-datagram state. For large calls the
-//! driver splits the datagram list into fixed-size chunks, feeds them to
-//! scoped worker threads through a [`crossbeam::queue::SegQueue`], and
-//! stitches the per-chunk [`CandidateBatch`]es back together in input
-//! order. Small calls take the sequential path and pay nothing.
+//! later validation pass needs cross-datagram state. The driver splits
+//! every call's datagram list into fixed-size chunks and schedules the
+//! resulting `(call, chunk)` work items over a [`crossbeam::deque`]
+//! work-stealing pool: one global [`Injector`] seeds per-worker LIFO
+//! deques, and workers that drain their own queue rob their peers. A
+//! single pool therefore load-balances *across* calls — a worker that
+//! finishes a short call's chunks immediately steals from the long call
+//! still in flight, instead of idling at a per-call barrier the way the
+//! old intra-call chunked driver did.
+//!
+//! Small workloads take the sequential path and pay nothing; the
+//! per-chunk batches are stitched back together in input order so every
+//! schedule is byte-identical to sequential extraction.
 
 use crate::pattern::CandidateBatch;
 use crate::DpiConfig;
-use crossbeam::queue::SegQueue;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use rtc_pcap::trace::Datagram;
 use std::borrow::Borrow;
 
 /// Datagrams per work unit. Small enough to balance skewed payload sizes
-/// across workers, large enough that queue traffic is negligible.
+/// across workers, large enough that deque traffic is negligible.
 pub const CHUNK_DATAGRAMS: usize = 256;
 
-/// How many worker threads [`extract_all`] will use for a call of
+/// Worker threads the scheduler uses when `DpiConfig::threads` is 0
+/// ("one per available core").
+///
+/// `RTC_DPI_THREADS` overrides detection entirely (useful for benchmarks
+/// and CI runners). Otherwise [`std::thread::available_parallelism`] is
+/// consulted first; when it reports a single CPU on Linux, the CPU count
+/// from `/proc/cpuinfo` is cross-checked, because a fractional cgroup CPU
+/// quota makes `available_parallelism` round down to 1 even on runners
+/// that expose many cores — which is how the committed benchmarks ended
+/// up recording `auto_threads: 1` on multi-core machines.
+pub fn hardware_threads() -> usize {
+    if let Some(n) = std::env::var("RTC_DPI_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if avail > 1 {
+        return avail;
+    }
+    #[cfg(target_os = "linux")]
+    if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
+        let cpus = cpuinfo.lines().filter(|l| l.starts_with("processor")).count();
+        if cpus > 1 {
+            return cpus;
+        }
+    }
+    avail
+}
+
+/// How many worker threads the scheduler will use for a workload of
 /// `n_datagrams` under `config` — 1 means the sequential path.
 ///
 /// Below [`DpiConfig::parallel_threshold`] the answer is always 1;
-/// otherwise `config.threads` workers (0 = one per available core), never
+/// otherwise `config.threads` workers (0 = [`hardware_threads`]), never
 /// more than there are chunks.
 pub fn planned_threads(n_datagrams: usize, config: &DpiConfig) -> usize {
     if n_datagrams < config.parallel_threshold.max(1) {
         return 1;
     }
     let requested = match config.threads {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        0 => hardware_threads(),
         n => n,
     };
     requested.clamp(1, n_datagrams.div_ceil(CHUNK_DATAGRAMS))
 }
 
-/// Extract candidates for every datagram, in input order, parallelizing
-/// across chunks when [`planned_threads`] says the call is large enough.
+/// Extract candidates for every datagram of one call, in input order,
+/// through the work-stealing pool when [`planned_threads`] says the call
+/// is large enough.
 ///
 /// Generic over owned or borrowed datagram slices (`&[Datagram]` and
 /// `&[&Datagram]` both work), so the borrowed views the filter layer hands
@@ -44,7 +83,21 @@ pub fn planned_threads(n_datagrams: usize, config: &DpiConfig) -> usize {
 pub fn extract_all<D: Borrow<Datagram> + Sync>(datagrams: &[D], config: &DpiConfig) -> CandidateBatch {
     match planned_threads(datagrams.len(), config) {
         0 | 1 => extract_sequential(datagrams, config),
-        threads => extract_chunked(datagrams, config, threads),
+        threads => schedule(&[datagrams], config, threads).pop().expect("one batch per call"),
+    }
+}
+
+/// Extract candidates for several calls in one scheduler pass, returning
+/// one [`CandidateBatch`] per call (same order as `calls`).
+///
+/// All calls' chunks share a single work-stealing pool, so thread count
+/// is planned from the *total* datagram count and short calls never
+/// leave workers idle while a long call finishes.
+pub fn extract_calls<D: Borrow<Datagram> + Sync>(calls: &[&[D]], config: &DpiConfig) -> Vec<CandidateBatch> {
+    let total: usize = calls.iter().map(|c| c.len()).sum();
+    match planned_threads(total, config) {
+        0 | 1 => calls.iter().map(|c| extract_sequential(c, config)).collect(),
+        threads => schedule(calls, config, threads),
     }
 }
 
@@ -56,41 +109,108 @@ fn extract_sequential<D: Borrow<Datagram>>(datagrams: &[D], config: &DpiConfig) 
     batch
 }
 
-fn extract_chunked<D: Borrow<Datagram> + Sync>(
-    datagrams: &[D],
+/// One unit of schedulable work: a contiguous run of datagrams from one
+/// call, tagged with its position so results reassemble in input order.
+struct Task<'a, D> {
+    call: usize,
+    chunk: usize,
+    datagrams: &'a [D],
+}
+
+/// Grab the next task: local deque first, then a batch from the global
+/// injector (refilling the local deque), then rob a peer. Returns `None`
+/// only once every source reports empty without a concurrent `Retry`.
+fn find_task<'a, D: Sync>(
+    local: &Worker<Task<'a, D>>,
+    injector: &Injector<Task<'a, D>>,
+    stealers: &[Stealer<Task<'a, D>>],
+    me: usize,
+) -> Option<Task<'a, D>> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    let mut retry = true;
+    while retry {
+        retry = false;
+        for (i, stealer) in stealers.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+    }
+    None
+}
+
+fn schedule<'a, D: Borrow<Datagram> + Sync>(
+    calls: &[&'a [D]],
     config: &DpiConfig,
     threads: usize,
-) -> CandidateBatch {
-    let work: SegQueue<(usize, &[D])> = SegQueue::new();
-    let n_chunks = datagrams.chunks(CHUNK_DATAGRAMS).len();
-    for item in datagrams.chunks(CHUNK_DATAGRAMS).enumerate() {
-        work.push(item);
-    }
-    let done: SegQueue<(usize, CandidateBatch)> = SegQueue::new();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                while let Some((idx, chunk)) = work.pop() {
-                    let mut batch = CandidateBatch::with_capacity(chunk.len());
-                    for d in chunk {
-                        batch.push_payload(&d.borrow().payload, config.max_offset);
-                    }
-                    done.push((idx, batch));
-                }
-            });
+) -> Vec<CandidateBatch> {
+    let injector: Injector<Task<'a, D>> = Injector::new();
+    let mut chunk_counts = Vec::with_capacity(calls.len());
+    for (call, datagrams) in calls.iter().enumerate() {
+        let mut chunks = 0;
+        for (chunk, slice) in datagrams.chunks(CHUNK_DATAGRAMS).enumerate() {
+            injector.push(Task { call, chunk, datagrams: slice });
+            chunks += 1;
         }
+        chunk_counts.push(chunks);
+    }
+
+    let locals: Vec<Worker<Task<'a, D>>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Task<'a, D>>> = locals.iter().map(Worker::stealer).collect();
+    let (injector, stealers) = (&injector, &stealers[..]);
+    let per_worker: Vec<Vec<(usize, usize, CandidateBatch)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    while let Some(task) = find_task(&local, injector, stealers, me) {
+                        let mut batch = CandidateBatch::with_capacity(task.datagrams.len());
+                        for d in task.datagrams {
+                            batch.push_payload(&d.borrow().payload, config.max_offset);
+                        }
+                        done.push((task.call, task.chunk, batch));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("extraction worker panicked")).collect()
     });
 
-    // Chunks finish out of order; reassemble by index.
-    let mut parts: Vec<Option<CandidateBatch>> = (0..n_chunks).map(|_| None).collect();
-    while let Some((idx, batch)) = done.pop() {
-        parts[idx] = Some(batch);
+    // Chunks finish out of order and on arbitrary workers; reassemble
+    // per call, in chunk order.
+    let mut parts: Vec<Vec<Option<CandidateBatch>>> =
+        chunk_counts.iter().map(|&n| (0..n).map(|_| None).collect()).collect();
+    for (call, chunk, batch) in per_worker.into_iter().flatten() {
+        parts[call][chunk] = Some(batch);
     }
-    let mut out = CandidateBatch::with_capacity(datagrams.len());
-    for part in parts {
-        out.append(part.expect("every chunk extracted"));
-    }
-    out
+    parts
+        .into_iter()
+        .zip(calls)
+        .map(|(chunks, datagrams)| {
+            let mut out = CandidateBatch::with_capacity(datagrams.len());
+            for part in chunks {
+                out.append(part.expect("every chunk extracted"));
+            }
+            out
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -143,28 +263,59 @@ mod tests {
     }
 
     #[test]
-    fn auto_thread_count_uses_available_parallelism() {
+    fn auto_thread_count_uses_hardware_threads() {
         let config = DpiConfig { threads: 0, parallel_threshold: 1, ..DpiConfig::default() };
-        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let hw = hardware_threads();
+        assert!(hw >= 1);
         let planned = planned_threads(100 * CHUNK_DATAGRAMS, &config);
         assert_eq!(planned, hw.clamp(1, 100));
     }
 
     #[test]
-    fn chunked_extraction_matches_sequential_in_order() {
+    fn scheduled_extraction_matches_sequential_in_order() {
         let datagrams = corpus(3 * CHUNK_DATAGRAMS + 17);
         let config = DpiConfig::default();
         let sequential = extract_sequential(&datagrams, &config);
-        // Force the chunked driver with several workers regardless of the
+        // Force the scheduler with several workers regardless of the
         // machine's core count — this is the multi-core observability test.
         for threads in [2, 3, 8] {
-            let chunked = extract_chunked(&datagrams, &config, threads);
-            assert_eq!(chunked.len(), sequential.len());
-            assert_eq!(chunked.candidate_count(), sequential.candidate_count());
-            for i in 0..chunked.len() {
-                assert_eq!(chunked.get(i), sequential.get(i), "datagram {i}, threads {threads}");
+            let scheduled = schedule(&[&datagrams[..]], &config, threads).pop().unwrap();
+            assert_eq!(scheduled.len(), sequential.len());
+            assert_eq!(scheduled.candidate_count(), sequential.candidate_count());
+            for i in 0..scheduled.len() {
+                assert_eq!(scheduled.get(i), sequential.get(i), "datagram {i}, threads {threads}");
             }
         }
+    }
+
+    #[test]
+    fn cross_call_schedule_matches_per_call_sequential() {
+        let a = corpus(2 * CHUNK_DATAGRAMS + 5);
+        let b = corpus(7); // short call: a fraction of one chunk
+        let c = corpus(CHUNK_DATAGRAMS);
+        let config = DpiConfig { threads: 3, parallel_threshold: 1, ..DpiConfig::default() };
+        let calls: Vec<&[Datagram]> = vec![&a, &b, &c];
+        let batches = extract_calls(&calls, &config);
+        assert_eq!(batches.len(), 3);
+        for (call, datagrams) in calls.iter().enumerate() {
+            let expect = extract_sequential(datagrams, &config);
+            assert_eq!(batches[call].len(), expect.len(), "call {call}");
+            for i in 0..expect.len() {
+                assert_eq!(batches[call].get(i), expect.get(i), "call {call}, datagram {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_call_handles_empty_calls_and_empty_input() {
+        let config = DpiConfig { threads: 2, parallel_threshold: 1, ..DpiConfig::default() };
+        assert!(extract_calls::<Datagram>(&[], &config).is_empty());
+        let a = corpus(CHUNK_DATAGRAMS + 3);
+        let empty: Vec<Datagram> = Vec::new();
+        let batches = extract_calls(&[&empty[..], &a[..]], &config);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 0);
+        assert_eq!(batches[1].len(), a.len());
     }
 
     #[test]

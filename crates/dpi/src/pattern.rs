@@ -27,6 +27,7 @@
 //! offset loop as the differential-testing reference; both must produce
 //! byte-identical candidate lists (see `tests/differential.rs`).
 
+use crate::scan::{self, ScanMode};
 use rtc_wire::stun;
 use rtc_wire::{WireError, WireProtocol};
 
@@ -255,10 +256,27 @@ pub fn extract_candidates(payload: &[u8], max_offset: usize) -> Vec<Candidate> {
 
 /// Append all structural candidates of `payload` to `out` (fast path).
 ///
-/// Equivalent to [`extract_candidates_naive`] but consults the first-byte
-/// classification table once per offset, entering only the matchers whose
-/// leading byte could start that protocol.
+/// Equivalent to [`extract_candidates_naive`]; runs the process-wide
+/// [`ScanMode`] — a SWAR or SSE2 bulk sweep by default, the per-offset
+/// scalar loop when `RTC_DPI_SCAN=scalar` forces the escape hatch.
 pub fn extract_into(payload: &[u8], max_offset: usize, out: &mut Vec<Candidate>) {
+    extract_into_with(payload, max_offset, out, ScanMode::active());
+}
+
+/// [`extract_into`] with an explicit scanner mode (differential tests and
+/// the bench harness sweep all modes regardless of the environment).
+pub fn extract_into_with(payload: &[u8], max_offset: usize, out: &mut Vec<Candidate>, mode: ScanMode) {
+    match mode {
+        ScanMode::Scalar => extract_into_scalar(payload, max_offset, out),
+        mode => extract_into_bulk(payload, max_offset, out, mode),
+    }
+}
+
+/// The per-offset dispatch loop: consults the first-byte classification
+/// table once per offset, entering only the matchers whose leading byte
+/// could start that protocol. Retained verbatim as the forced-scalar
+/// escape hatch ([`ScanMode::Scalar`]).
+fn extract_into_scalar(payload: &[u8], max_offset: usize, out: &mut Vec<Candidate>) {
     let limit = max_offset.min(payload.len());
     for i in 0..=limit {
         let tail = &payload[i..];
@@ -297,6 +315,194 @@ pub fn extract_into(payload: &[u8], max_offset: usize, out: &mut Vec<Candidate>)
             out.push(c);
         }
     }
+}
+
+/// The bulk fast path: offset 0 gets the full scalar dispatch (it is the
+/// only offset where ChannelData / QUIC short probes exist), offsets
+/// `1..=limit` are swept by the SWAR/SSE2 pass, and the last few offsets —
+/// where the sweep's shifted loads would run past the payload — fall back
+/// to the gated scalar dispatcher.
+fn extract_into_bulk(payload: &[u8], max_offset: usize, out: &mut Vec<Candidate>, mode: ScanMode) {
+    if payload.is_empty() {
+        return;
+    }
+    let limit = max_offset.min(payload.len() - 1);
+    // Offset 0: all five matchers are reachable; reuse the scalar body.
+    extract_at_zero(payload, out);
+    if limit == 0 {
+        return;
+    }
+    let swept_end = scan::bulk_sweep(payload, 1, limit, mode, |i, hit| dispatch_hit(payload, i, hit, out));
+    for i in swept_end.max(1)..=limit {
+        dispatch_gated(payload, i, out);
+    }
+}
+
+/// Dispatch one swept offset using the class tag the sweep derived
+/// in-vector — no first/second-byte re-derivation, and `RtpPlain` hits are
+/// already fully gated (the sweep proved 12 readable bytes and a first
+/// byte with no CSRCs, extension or padding).
+#[inline]
+fn dispatch_hit(payload: &[u8], i: usize, hit: scan::Hit, out: &mut Vec<Candidate>) {
+    let tail = &payload[i..];
+    match hit {
+        scan::Hit::Stun => {
+            if stun_prefilter(tail) {
+                if let Some(c) = match_stun(tail, i) {
+                    out.push(c);
+                }
+            }
+        }
+        scan::Hit::Rtcp => {
+            if rtcp_prefilter(tail) {
+                if let Some(c) = match_rtcp(tail, i) {
+                    out.push(c);
+                }
+            }
+        }
+        scan::Hit::RtpPlain => {
+            debug_assert!(tail.len() >= 12 && tail[0] & 0x3F == 0);
+            out.push(rtp_candidate(tail, i));
+        }
+        scan::Hit::Rtp => {
+            if tail.len() >= 12 && rtp_gate(tail) {
+                out.push(rtp_candidate(tail, i));
+            }
+        }
+        scan::Hit::Quic => {
+            if let Some(c) = match_quic_long(tail, i) {
+                out.push(c);
+            }
+        }
+    }
+}
+
+/// Fused RTP length/version gate: the same checks as [`match_rtp`] /
+/// `rtp::Packet::new_checked` (header + CSRCs + declared extension fit,
+/// sane padding trailer), reading each header byte once — this is the
+/// hottest dispatch path, and the general parser re-derives what the gate
+/// already knows. Caller guarantees `tail.len() >= 12`.
+#[inline(always)]
+fn rtp_gate(tail: &[u8]) -> bool {
+    let b0 = tail[0];
+    let mut header_len = RTP_HEADER_LEN[(b0 & 0x0F) as usize] as usize;
+    let mut ok = tail.len() >= header_len;
+    if ok && b0 & 0x10 != 0 {
+        ok = tail.len() >= header_len + 4 && {
+            let words = u16::from_be_bytes([tail[header_len + 2], tail[header_len + 3]]) as usize;
+            header_len += 4 + 4 * words;
+            tail.len() >= header_len
+        };
+    }
+    if ok && b0 & 0x20 != 0 {
+        let pad = tail[tail.len() - 1] as usize;
+        ok = pad != 0 && header_len + pad <= tail.len();
+    }
+    ok
+}
+
+/// Build the accepted-RTP candidate (an RTP message claims the whole tail).
+#[inline(always)]
+fn rtp_candidate(tail: &[u8], i: usize) -> Candidate {
+    Candidate {
+        offset: i,
+        len: tail.len(),
+        kind: CandidateKind::Rtp {
+            ssrc: u32::from_be_bytes([tail[8], tail[9], tail[10], tail[11]]),
+            payload_type: tail[1] & 0x7F,
+            seq: u16::from_be_bytes([tail[2], tail[3]]),
+        },
+        data_attr: None,
+    }
+}
+
+/// Offset-0 dispatch (shared by the bulk path): identical to the scalar
+/// loop's `i == 0` iteration.
+#[inline]
+fn extract_at_zero(payload: &[u8], out: &mut Vec<Candidate>) {
+    let class = FIRST_BYTE_CLASS[payload[0] as usize];
+    if class & F_STUN != 0 {
+        if let Some(c) = match_stun(payload, 0) {
+            out.push(c);
+        }
+    } else if class & F_DEMUX01 != 0 {
+        if class & F_CHANNELDATA != 0 {
+            if let Some(c) = match_channeldata(payload, 0) {
+                out.push(c);
+            }
+        }
+        if let Some(c) = match_quic_short(payload, 0) {
+            out.push(c);
+        }
+    } else if class & F_RTP_RTCP != 0 {
+        if let Some(c) = match_rtcp(payload, 0) {
+            out.push(c);
+        } else if let Some(c) = match_rtp(payload, 0) {
+            out.push(c);
+        }
+    } else if let Some(c) = match_quic_long(payload, 0) {
+        out.push(c);
+    }
+}
+
+/// Validate one swept (or tail) offset `i >= 1` and push its candidate.
+/// Demux-01 classes never reach here (they only exist at offset 0); the
+/// remaining classes re-derive from the top two bits, then run cheap
+/// table-driven length gates before entering the full matcher.
+#[inline]
+fn dispatch_gated(payload: &[u8], i: usize, out: &mut Vec<Candidate>) {
+    let tail = &payload[i..];
+    match tail[0] >> 6 {
+        0b00 => {
+            if stun_prefilter(tail) {
+                if let Some(c) = match_stun(tail, i) {
+                    out.push(c);
+                }
+            }
+        }
+        0b10 => {
+            if tail.len() >= 2 && (200..=207).contains(&tail[1]) {
+                if rtcp_prefilter(tail) {
+                    if let Some(c) = match_rtcp(tail, i) {
+                        out.push(c);
+                    }
+                }
+            } else if tail.len() >= 12 && rtp_gate(tail) {
+                out.push(rtp_candidate(tail, i));
+            }
+        }
+        0b11 => {
+            if let Some(c) = match_quic_long(tail, i) {
+                out.push(c);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Fixed RTP header length (12 bytes + 4 per CSRC) by the first byte's low
+/// nibble — the table-driven length gate of the RTP hot path.
+static RTP_HEADER_LEN: [u8; 16] = [12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72];
+
+/// Necessary conditions for [`match_stun`] to accept, checked branch-lean
+/// before the full header parse + TLV walk: room for the header, 4-byte
+/// aligned declared length, and either the magic cookie or (cookie-less
+/// RFC 3489) an exact payload cover with at least one attribute.
+#[inline]
+fn stun_prefilter(tail: &[u8]) -> bool {
+    if tail.len() < stun::HEADER_LEN {
+        return false;
+    }
+    let declared = u16::from_be_bytes([tail[2], tail[3]]) as usize;
+    (declared & 3 == 0)
+        & (tail[4..8] == stun::MAGIC_COOKIE.to_be_bytes() || (declared != 0 && stun::HEADER_LEN + declared == tail.len()))
+}
+
+/// Necessary conditions for [`match_rtcp`]: the declared length (in 32-bit
+/// words, +1) must fit the remaining payload.
+#[inline]
+fn rtcp_prefilter(tail: &[u8]) -> bool {
+    tail.len() >= 4 && 4 * (u16::from_be_bytes([tail[2], tail[3]]) as usize + 1) <= tail.len()
 }
 
 /// Reference extraction: the literal every-matcher-at-every-offset loop,
@@ -582,26 +788,29 @@ pub fn explain_rejection(payload: &[u8]) -> Option<WireError> {
 /// study report: [`WireError::taxonomy_key`] when the offset-0 parse fails,
 /// or a first-byte-class fallback when the bytes parse structurally but
 /// fail stream validation (seq continuity, SSRC cross-check, CID match…).
-pub fn rejection_key(payload: &[u8]) -> String {
+///
+/// Returns a `Cow` so the (frequent) static keys cost no allocation —
+/// dissection counts one key per fully-proprietary datagram.
+pub fn rejection_key(payload: &[u8]) -> std::borrow::Cow<'static, str> {
+    use std::borrow::Cow;
     if payload.is_empty() {
-        return "empty payload".to_string();
+        return Cow::Borrowed("empty payload");
     }
     if let Some(e) = explain_rejection(payload) {
-        return e.taxonomy_key();
+        return Cow::Owned(e.taxonomy_key());
     }
-    let class = match payload[0] >> 6 {
-        0b00 => "stun",
-        0b01 => "channeldata/quic-short",
+    Cow::Borrowed(match payload[0] >> 6 {
+        0b00 => "stun: failed stream validation",
+        0b01 => "channeldata/quic-short: failed stream validation",
         0b10 => {
             if payload.len() >= 2 && (200..=207).contains(&payload[1]) {
-                "rtcp"
+                "rtcp: failed stream validation"
             } else {
-                "rtp"
+                "rtp: failed stream validation"
             }
         }
-        _ => "quic",
-    };
-    format!("{class}: failed stream validation")
+        _ => "quic: failed stream validation",
+    })
 }
 
 #[cfg(test)]

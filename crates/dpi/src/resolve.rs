@@ -12,12 +12,14 @@ use std::collections::{HashMap, HashSet};
 /// individual candidates.
 #[derive(Debug, Default)]
 pub struct ValidationContext {
-    /// `(directional stream, SSRC)` groups that passed the RTP
-    /// sequence-continuity test.
-    valid_rtp_groups: HashSet<(FiveTuple, u32)>,
-    /// `(directional stream, legacy message type)` groups with enough
-    /// members to trust a cookie-less STUN match.
-    legacy_stun_groups: HashSet<(FiveTuple, u16)>,
+    /// Per directional stream: SSRCs whose groups passed the RTP
+    /// sequence-continuity test (tiny per stream, so a flat list beats a
+    /// set — and the stream key hashes once per *datagram*, not per
+    /// candidate, via [`StreamView`]).
+    valid_rtp_groups: HashMap<FiveTuple, Vec<u32>>,
+    /// Per directional stream: legacy message types with enough members to
+    /// trust a cookie-less STUN match.
+    legacy_stun_groups: HashMap<FiveTuple, Vec<u16>>,
     /// RTP SSRCs per *conversation* (canonical stream key), from valid
     /// groups — the RTCP cross-validation set.
     pub rtp_ssrcs: HashMap<FiveTuple, HashSet<u32>>,
@@ -25,6 +27,21 @@ pub struct ValidationContext {
     /// [`CidBuf`] storage — building the set allocates nothing per packet).
     quic_cids: HashMap<FiveTuple, HashSet<CidBuf>>,
 }
+
+/// One datagram's slice of the validation context: every stream-keyed map
+/// is resolved once up front, so per-candidate validation touches only
+/// small flat lists and never re-hashes a [`FiveTuple`]. With tens of
+/// (mostly false-positive) candidates per datagram, those hashes used to
+/// dominate resolution.
+struct StreamView<'a> {
+    rtp: &'a [u32],
+    legacy: &'a [u16],
+    rtcp_ssrcs: Option<&'a HashSet<u32>>,
+    quic_cids: Option<&'a HashSet<CidBuf>>,
+}
+
+static NO_U32: [u32; 0] = [];
+static NO_U16: [u16; 0] = [];
 
 impl ValidationContext {
     /// Build the context from all candidates of a call (validation is a
@@ -45,21 +62,29 @@ impl ValidationContext {
         builder.finish()
     }
 
-    fn rtp_valid(&self, stream: FiveTuple, ssrc: u32) -> bool {
-        self.valid_rtp_groups.contains(&(stream, ssrc))
+    fn stream_view(&self, stream: FiveTuple) -> StreamView<'_> {
+        let canonical = stream.canonical();
+        StreamView {
+            rtp: self.valid_rtp_groups.get(&stream).map_or(&NO_U32[..], Vec::as_slice),
+            legacy: self.legacy_stun_groups.get(&stream).map_or(&NO_U16[..], Vec::as_slice),
+            rtcp_ssrcs: self.rtp_ssrcs.get(&canonical),
+            quic_cids: self.quic_cids.get(&canonical),
+        }
     }
+}
 
-    fn rtcp_ssrc_valid(&self, stream: FiveTuple, ssrc: Option<u32>) -> bool {
+impl StreamView<'_> {
+    fn rtcp_ssrc_valid(&self, ssrc: Option<u32>) -> bool {
         match ssrc {
             // RFC 3550 does not forbid SSRC 0, and Discord uses it (§5.3).
             Some(0) => true,
-            Some(s) => self.rtp_ssrcs.get(&stream.canonical()).is_some_and(|set| set.contains(&s)),
+            Some(s) => self.rtcp_ssrcs.is_some_and(|set| set.contains(&s)),
             None => false,
         }
     }
 
-    fn quic_short_valid(&self, stream: FiveTuple, payload: &[u8]) -> bool {
-        let Some(cids) = self.quic_cids.get(&stream.canonical()) else {
+    fn quic_short_valid(&self, payload: &[u8]) -> bool {
+        let Some(cids) = self.quic_cids else {
             return false;
         };
         cids.iter().any(|cid| payload.len() > cid.len() && payload[1..1 + cid.len()] == *cid.as_slice())
@@ -149,7 +174,7 @@ impl ContextBuilder {
     /// Validate the accumulated groups into the final [`ValidationContext`].
     pub fn finish(self) -> ValidationContext {
         let ContextBuilder { rtp_min_group, rtp_max_seq_gap, streams, mut rtp_rows, legacy, mut ctx, .. } = self;
-        rtp_rows.sort_unstable();
+        bucket_sort_rows(&mut rtp_rows);
         let mut i = 0;
         while i < rtp_rows.len() {
             let key = rtp_rows[i].0;
@@ -185,16 +210,59 @@ impl ContextBuilder {
             if small * 2 >= members.len() - 1 && consistent_header {
                 let stream = streams[(key >> 32) as usize];
                 let ssrc = key as u32;
-                ctx.valid_rtp_groups.insert((stream, ssrc));
+                ctx.valid_rtp_groups.entry(stream).or_default().push(ssrc);
                 ctx.rtp_ssrcs.entry(stream.canonical()).or_default().insert(ssrc);
             }
         }
         for ((stream, message_type), n) in legacy {
             if n >= 2 {
-                ctx.legacy_stun_groups.insert((stream, message_type));
+                ctx.legacy_stun_groups.entry(stream).or_default().push(message_type);
             }
         }
         ctx
+    }
+}
+
+/// Sort RTP rows by their packed `stream_id << 32 | ssrc` key (full
+/// lexicographic tuple order, same result as `rows.sort_unstable()`): one
+/// counting-sort scatter over the low 16 SSRC bits, then a comparison sort
+/// inside each tiny bucket. Noise keys are near-uniform over the buckets
+/// (mean occupancy ~1) while a real media stream's rows land in one bucket
+/// already grouped, so the per-bucket sorts touch almost nothing — about
+/// half the cost of a multi-pass radix at this volume, and far below the
+/// global comparison sort.
+fn bucket_sort_rows(rows: &mut Vec<(u64, u32, u16, u8)>) {
+    const BUCKETS: usize = 1 << 16;
+    if rows.len() < 64 {
+        rows.sort_unstable();
+        return;
+    }
+    let mut counts = vec![0u32; BUCKETS];
+    for r in rows.iter() {
+        counts[r.0 as usize & (BUCKETS - 1)] += 1;
+    }
+    let mut sum = 0u32;
+    for c in counts.iter_mut() {
+        let n = *c;
+        *c = sum;
+        sum += n;
+    }
+    let mut aux: Vec<(u64, u32, u16, u8)> = vec![(0, 0, 0, 0); rows.len()];
+    for r in rows.iter() {
+        let b = r.0 as usize & (BUCKETS - 1);
+        aux[counts[b] as usize] = *r;
+        counts[b] += 1;
+    }
+    std::mem::swap(rows, &mut aux);
+    // After the scatter `counts[b]` is bucket b's end; the previous bucket's
+    // end is its start. Equal keys can never span buckets.
+    let mut start = 0usize;
+    for &end in counts.iter() {
+        let end = end as usize;
+        if end - start > 1 {
+            rows[start..end].sort_unstable();
+        }
+        start = end;
     }
 }
 
@@ -218,6 +286,7 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
     }
 
     let payload = &d.payload;
+    let view = ctx.stream_view(d.five_tuple);
     let mut accepted: Vec<Accepted> = Vec::new();
     let mut free = 0usize; // next unclaimed top-level byte
     let mut container: Option<(usize, usize)> = None; // nested-allowed region
@@ -234,15 +303,13 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
             // extraction, plus repetition — the paper pairs transactions to
             // the same end; a single structural match of the weak RFC 3489
             // header is not trustworthy.
-            CandidateKind::Stun { modern: false, message_type } => {
-                ctx.legacy_stun_groups.contains(&(d.five_tuple, *message_type))
-            }
+            CandidateKind::Stun { modern: false, message_type } => view.legacy.contains(message_type),
             CandidateKind::ChannelData { .. } => true, // exact-length at extraction
-            CandidateKind::Rtp { ssrc, .. } => ctx.rtp_valid(d.five_tuple, *ssrc),
+            CandidateKind::Rtp { ssrc, .. } => view.rtp.contains(ssrc),
             CandidateKind::Rtcp { .. } => {
                 let body = &payload[c.offset + 4..c.offset + c.len];
                 let ssrc = (body.len() >= 4).then(|| u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
-                ctx.rtcp_ssrc_valid(d.five_tuple, ssrc)
+                view.rtcp_ssrc_valid(ssrc)
                     // Compound continuation: an RTCP packet directly following
                     // an accepted RTCP packet belongs to the same compound.
                     || (c.offset == free
@@ -251,7 +318,7 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
                         }))
             }
             CandidateKind::QuicLong { .. } => true,
-            CandidateKind::QuicShortProbe => ctx.quic_short_valid(d.five_tuple, payload),
+            CandidateKind::QuicShortProbe => view.quic_short_valid(payload),
         };
         if !pre_valid {
             continue;
@@ -301,17 +368,6 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
     }
 
     // --- Classification (§4.1.2) ------------------------------------------
-    let messages: Vec<DpiMessage> = accepted
-        .iter()
-        .map(|a| DpiMessage {
-            protocol: protocol_of(&a.kind),
-            kind: a.kind.clone(),
-            offset: a.offset,
-            data: payload.slice(a.offset..a.offset + a.len),
-            nested: a.nested,
-        })
-        .collect();
-
     let prefix = accepted.iter().find(|a| !a.nested).map(|a| a.offset).unwrap_or(0);
     let trailing_len = payload.len().saturating_sub(free);
     let last_top = accepted.iter().rev().find(|a| !a.nested);
@@ -323,7 +379,7 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
     let trailing_tolerated =
         trailing_len == 0 || (last_is_rtcp && trailing_len <= 16) || (last_is_channeldata && trailing_len <= 3);
 
-    let class = if messages.is_empty() {
+    let class = if accepted.is_empty() {
         DatagramClass::FullyProprietary
     } else if prefix > 0 || gap_in_middle || nested_gap > 0 || !trailing_tolerated {
         DatagramClass::ProprietaryHeader
@@ -331,8 +387,20 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
         DatagramClass::Standard
     };
     let prop_header_len = if prefix > 0 { prefix } else { nested_gap };
-
     let prefix_end = accepted.iter().find(|a| !a.nested).map(|a| a.offset).unwrap_or(payload.len());
+
+    // Built last so the accepted kinds move instead of cloning again.
+    let messages: Vec<DpiMessage> = accepted
+        .into_iter()
+        .map(|a| DpiMessage {
+            protocol: protocol_of(&a.kind),
+            kind: a.kind,
+            offset: a.offset,
+            data: payload.slice(a.offset..a.offset + a.len),
+            nested: a.nested,
+        })
+        .collect();
+
     DatagramDissection {
         ts: d.ts,
         stream: d.five_tuple,

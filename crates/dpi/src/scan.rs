@@ -1,0 +1,571 @@
+//! Bulk candidate-position scanning: the SWAR/SIMD front end of the
+//! extraction fast path.
+//!
+//! The per-offset dispatch loop ([`crate::pattern::extract_into`]'s scalar
+//! form) pays a table lookup, a branch tree, and usually a matcher call at
+//! *every* payload offset. This module replaces that with a bulk sweep: a
+//! SWAR pass (u64 lanes, portable) or an SSE2 pass (16-byte lanes, x86-64
+//! only) computes, for 8 or 16 offsets at a time, a bitset of positions
+//! that could possibly start a protocol message — and only those positions
+//! reach the matchers. The masks encode *necessary* conditions derived
+//! from the matchers themselves, so the candidate stream is byte-identical
+//! to the scalar loop (differential tests enforce this).
+//!
+//! ## Lane layout and per-class gates
+//!
+//! Five shifted loads per 8-offset block (`w0` at `i`, `w1` at `i+1`, `w2`
+//! at `i+2`, `w3` at `i+3`, `w4` at `i+4`) provide every byte the gates
+//! consult. With `HI = 0x8080…80` marking each lane's top bit:
+//!
+//! | class        | gate (per offset `i`)                                   |
+//! |--------------|---------------------------------------------------------|
+//! | STUN         | `b[i]>>6 == 0` ∧ `b[i+3]&3 == 0` (length alignment) ∧ (`b[i+4] == 0x21` (cookie) ∨ `b[i+2]\|b[i+3] ≠ 0` (legacy needs attributes)) |
+//! | RTP/RTCP     | `b[i]>>6 == 2` (version field)                          |
+//! | QUIC long    | `b[i]>>6 == 3` ∧ `b[i+1] ∈ {0x00, 0x6b}` (first version byte of v1/v2) |
+//! | ChannelData / QUIC short | offset 0 only — handled scalar, never scanned |
+//!
+//! The union of the three class masks is one `u64` (SWAR: HI bit per lane)
+//! or `u16` (SSE2: `movemask` bit per lane); set bits are iterated in
+//! ascending offset order with `trailing_zeros`, preserving the scalar
+//! loop's candidate order exactly.
+//!
+//! ## Per-class hit tags
+//!
+//! Alongside the union mask, each block keeps per-class masks so the
+//! dispatcher receives a resolved [`Hit`] instead of re-deriving the
+//! class from the payload byte:
+//!
+//! * [`Hit::Rtcp`] — demuxed in-vector: `b[i+1] ∈ 200..=207` is exactly
+//!   `b[i+1] & 0xF8 == 0xC8`, one masked compare per block.
+//! * [`Hit::RtpPlain`] — RTP with `b[i] & 0x3F == 0` (no CSRCs, no
+//!   extension, no padding). The sweep region guarantees 12 readable
+//!   bytes past the offset, so these positions are *complete* gates: the
+//!   dispatcher pushes the candidate without any further length check.
+//! * [`Hit::Rtp`] — remaining version-2 positions; the dispatcher still
+//!   runs the table-driven header-length/extension/padding gate.
+//! * [`Hit::Stun`] / [`Hit::Quic`] — class masks as per the table above;
+//!   the matchers validate as before.
+//!
+//! ## Mode selection
+//!
+//! [`ScanMode::active`] picks the widest supported pass at first use and
+//! caches it. `RTC_DPI_SCAN=scalar|swar|simd` forces a mode — `scalar` is
+//! the differential-testing escape hatch (and what the CI baseline job
+//! pins), `simd` silently degrades to SWAR where SSE2 is unavailable.
+
+use std::sync::OnceLock;
+
+/// Which bulk pass the extraction fast path runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// The per-offset dispatch loop (the pre-bulk fast path, retained as
+    /// the forced-scalar escape hatch for differential testing).
+    Scalar,
+    /// Portable u64-lane SWAR sweep, 8 offsets per step.
+    Swar,
+    /// SSE2 sweep, 16 offsets per step (x86-64; degrades to SWAR elsewhere).
+    Simd,
+}
+
+impl ScanMode {
+    /// All modes, for exhaustive differential sweeps.
+    pub const ALL: [ScanMode; 3] = [ScanMode::Scalar, ScanMode::Swar, ScanMode::Simd];
+
+    /// Stable label (bench JSON keys, CI matrix names).
+    pub fn label(self) -> &'static str {
+        match self {
+            ScanMode::Scalar => "scalar",
+            ScanMode::Swar => "swar",
+            ScanMode::Simd => "simd",
+        }
+    }
+
+    /// The process-wide active mode: `RTC_DPI_SCAN` if set (first use wins,
+    /// the value is cached), else the widest pass the CPU supports.
+    pub fn active() -> ScanMode {
+        static ACTIVE: OnceLock<ScanMode> = OnceLock::new();
+        *ACTIVE.get_or_init(|| ScanMode::from_env(std::env::var("RTC_DPI_SCAN").ok().as_deref()))
+    }
+
+    /// Resolve an `RTC_DPI_SCAN` value (unknown values select the default).
+    pub fn from_env(var: Option<&str>) -> ScanMode {
+        match var {
+            Some("scalar") => ScanMode::Scalar,
+            Some("swar") => ScanMode::Swar,
+            Some("simd") => ScanMode::Simd,
+            _ => {
+                if simd_supported() {
+                    ScanMode::Simd
+                } else {
+                    ScanMode::Swar
+                }
+            }
+        }
+    }
+}
+
+/// Whether the SIMD pass is really vectorized on this target (SSE2 is
+/// baseline on x86-64, so this is a compile-time fact, not a runtime probe;
+/// `ScanMode::Simd` still *works* elsewhere — it runs the SWAR pass).
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("sse2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ---- SWAR primitives -------------------------------------------------------
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// HI bit set in every lane whose byte equals `k` (exact; the classic
+/// zero-byte SWAR test applied to `w ^ broadcast(k)`).
+#[inline(always)]
+fn eq_mask(w: u64, k: u8) -> u64 {
+    let x = w ^ (LO.wrapping_mul(k as u64));
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// HI bit set in every lane whose byte equals the corresponding lane of
+/// `e` (the same zero-byte test on `w ^ e`; exact — borrows propagate only
+/// out of matching lanes, where they cannot flip the verdict).
+#[inline(always)]
+fn eq_vec(w: u64, e: u64) -> u64 {
+    let x = w ^ e;
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Little-endian lane indices: lane `j` holds the byte value `j`.
+const LANE_IDX: u64 = 0x0706_0504_0302_0100;
+
+/// Cookie-less (RFC 3489) STUN gate: lane `j` passes iff the 16-bit
+/// declared length at `b[i+j+2..i+j+4]` exactly covers the rest of the
+/// payload (`declared == base - j`, where `base = len - 20 - i`). The two
+/// bytes are compared per-lane: high bytes against a broadcast constant,
+/// low bytes against a lane-indexed ramp. Blocks where the ramp would
+/// borrow across lanes (or `base` leaves u16 range mid-block) fall back to
+/// the any-nonzero-declared superset — rare, and the scalar prefilter
+/// still applies the exact test.
+#[inline(always)]
+fn swar_legacy_mask(w2: u64, w3: u64, base: isize) -> u64 {
+    if !(0..=0xFFFF + 7).contains(&base) {
+        return 0; // no lane's 16-bit declared length can match
+    }
+    if !(7..=0xFFFF).contains(&base) || base & 0xFF < 7 {
+        return (eq_mask(w2, 0) & eq_mask(w3, 0)) ^ HI; // nonzero declared
+    }
+    let hi = LO.wrapping_mul((base >> 8) as u64);
+    let lo = LO.wrapping_mul((base & 0xFF) as u64).wrapping_sub(LANE_IDX);
+    eq_vec(w2, hi) & eq_vec(w3, lo)
+}
+
+/// Which gate admitted a swept offset. The dispatcher trusts this tag
+/// instead of re-deriving the class from payload bytes, and the sweep
+/// resolves the RTP/RTCP second-byte demux (and the fully-gated "plain"
+/// RTP shape) in-vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Hit {
+    /// Top bits `00`, aligned declared length, cookie or legacy cover.
+    Stun,
+    /// Top bits `10`, second byte in the RTCP packet-type range 200–207.
+    Rtcp,
+    /// Top bits `10`, RTCP excluded, and a first byte with no CSRCs, no
+    /// extension and no padding (`b & 0x3F == 0`): every RTP gate already
+    /// passed in-vector (the bulk region guarantees 12 readable bytes), so
+    /// the dispatcher can accept without further checks.
+    RtpPlain,
+    /// Top bits `10`, RTCP excluded; the remaining RTP length gates run
+    /// scalar in the dispatcher.
+    Rtp,
+    /// Top bits `11` with a plausible QUIC version byte.
+    Quic,
+}
+
+/// Per-class lane masks for one block (HI bit per lane for SWAR, movemask
+/// bit per lane for SSE2). `all` is the union; the sub-masks partition it.
+struct BlockMasks<M> {
+    all: M,
+    stun: M,
+    rtcp: M,
+    rtp_plain: M,
+    rtp_full: M,
+}
+
+impl BlockMasks<u64> {
+    /// Classify the lowest set bit of `bit` (a one-hot mask). Quic is the
+    /// residual class — its bits are in `all` but no sub-mask.
+    #[inline(always)]
+    fn hit_of(&self, bit: u64) -> Hit {
+        if bit & self.rtp_plain != 0 {
+            Hit::RtpPlain
+        } else if bit & self.rtp_full != 0 {
+            Hit::Rtp
+        } else if bit & self.rtcp != 0 {
+            Hit::Rtcp
+        } else if bit & self.stun != 0 {
+            Hit::Stun
+        } else {
+            Hit::Quic
+        }
+    }
+}
+
+/// Per-lane class/gate masks for the 8 offsets starting at the base of
+/// `w0..w4` (shifted loads: `wN` holds bytes `i+N .. i+N+8`; `w2` feeds
+/// only the caller-computed `legacy` mask).
+#[inline(always)]
+fn swar_block_mask(w0: u64, w1: u64, w3: u64, w4: u64, legacy: u64) -> BlockMasks<u64> {
+    // Top-two-bit classes: bit7 is each lane's top bit; bit6 shifts into
+    // the bit7 slot of the *same* lane under `<< 1`.
+    let b7 = w0 & HI;
+    let b6 = (w0 << 1) & HI;
+    let class00 = !b7 & !b6 & HI;
+    let class10 = b7 & !b6;
+    let class11 = b7 & b6;
+
+    // STUN: declared length 4-byte aligned (low two bits of b[i+3] clear),
+    // and either the magic cookie's first byte at b[i+4] or a cookie-less
+    // exact payload cover (the caller-supplied `legacy` lane mask).
+    let aligned = !((w3 << 7) | (w3 << 6)) & HI;
+    let stun = class00 & aligned & (eq_mask(w4, 0x21) | legacy);
+
+    // RTP/RTCP demux on the second byte: 200..=207 is (b & 0xF8) == 0xC8.
+    let rtcp = class10 & eq_mask(w1 & LO.wrapping_mul(0xF8), 0xC8);
+    let rtp = class10 ^ rtcp;
+    // Plain RTP first byte: version 2 with cc = x = p = 0.
+    let rtp_plain = rtp & eq_mask(w0 & LO.wrapping_mul(0x3F), 0x00);
+
+    // QUIC long: only versions 1 (0x0000_0001) and 2 (0x6b33_43cf) are
+    // accepted, so the version's first byte b[i+1] must be 0x00 or 0x6b.
+    let quic = class11 & (eq_mask(w1, 0x00) | eq_mask(w1, 0x6b));
+
+    BlockMasks { all: stun | class10 | quic, stun, rtcp, rtp_plain, rtp_full: rtp ^ rtp_plain }
+}
+
+/// Sweep offsets `first..=last` of `payload` with the SWAR pass, invoking
+/// `dispatch(i, hit)` for every offset whose gates pass, in ascending
+/// order. Offsets past `payload.len() - 12` (where the shifted loads would
+/// run off the end) are left to the caller's scalar tail loop; the returned
+/// value is one past the last offset actually swept.
+#[inline]
+pub(crate) fn swar_sweep(payload: &[u8], first: usize, last: usize, mut dispatch: impl FnMut(usize, Hit)) -> usize {
+    // Every lane of a block must satisfy i + 4 + 8 <= len.
+    let Some(load_end) = payload.len().checked_sub(12) else { return first };
+    let mut i = first;
+    while i + 7 <= last && i + 7 <= load_end {
+        let at = |o: usize| u64::from_le_bytes(payload[i + o..i + o + 8].try_into().expect("8-byte load"));
+        let legacy = swar_legacy_mask(at(2), at(3), payload.len() as isize - 20 - i as isize);
+        let masks = swar_block_mask(at(0), at(1), at(3), at(4), legacy);
+        let mut mask = masks.all;
+        while mask != 0 {
+            let bit = mask & mask.wrapping_neg();
+            dispatch(i + (bit.trailing_zeros() / 8) as usize, masks.hit_of(bit));
+            mask ^= bit;
+        }
+        i += 8;
+    }
+    i
+}
+
+// ---- SSE2 pass -------------------------------------------------------------
+
+/// The 16-lane SSE2 twin of [`swar_sweep`]. Same gates, same dispatch
+/// order; `movemask` turns the lane comparisons into one 16-bit offset
+/// bitset per block.
+///
+/// This is the one module in the crate allowed to use `unsafe`: SSE2
+/// intrinsics and unaligned 16-byte loads have no safe stable equivalent.
+/// Safety rests on one invariant, checked in the sweep loop: every load
+/// reads `payload[i + o .. i + o + 16]` with `i + o + 16 <= payload.len()`.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod sse2 {
+    use super::{BlockMasks, Hit};
+    use std::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_or_si128, _mm_set1_epi8,
+        _mm_setr_epi8, _mm_setzero_si128, _mm_sub_epi8, _mm_xor_si128,
+    };
+
+    /// See [`super::swar_sweep`]; sweeps 16 offsets per block.
+    #[inline]
+    pub(crate) fn sweep(payload: &[u8], first: usize, last: usize, mut dispatch: impl FnMut(usize, Hit)) -> usize {
+        let Some(load_end) = payload.len().checked_sub(20) else { return first };
+        let mut i = first;
+        while i + 15 <= last && i + 15 <= load_end {
+            // SAFETY: i + 15 <= len - 20, so the widest load (offset 4)
+            // reads payload[i+4 .. i+20] ⊆ payload. `_mm_loadu_si128` has
+            // no alignment requirement.
+            let masks = unsafe {
+                let at = |o: usize| _mm_loadu_si128(payload.as_ptr().add(i + o) as *const __m128i);
+                let legacy = legacy_mask(at(2), at(3), payload.len() as isize - 20 - i as isize);
+                block_mask(at(0), at(1), at(3), at(4), legacy)
+            };
+            let mut mask = masks.all;
+            while mask != 0 {
+                let bit = mask & mask.wrapping_neg();
+                let hit = if bit & masks.rtp_plain != 0 {
+                    Hit::RtpPlain
+                } else if bit & masks.rtp_full != 0 {
+                    Hit::Rtp
+                } else if bit & masks.rtcp != 0 {
+                    Hit::Rtcp
+                } else if bit & masks.stun != 0 {
+                    Hit::Stun
+                } else {
+                    Hit::Quic
+                };
+                dispatch(i + bit.trailing_zeros() as usize, hit);
+                mask ^= bit;
+            }
+            i += 16;
+        }
+        i
+    }
+
+    /// The 16-lane twin of [`super::swar_legacy_mask`]: all-ones lanes where
+    /// the 16-bit declared length exactly covers the rest of the payload.
+    #[inline(always)]
+    fn legacy_mask(v2: __m128i, v3: __m128i, base: isize) -> __m128i {
+        // SAFETY: SSE2 is unconditionally available on x86-64 (baseline ISA).
+        unsafe {
+            let zero = _mm_setzero_si128();
+            if !(0..=0xFFFF + 15).contains(&base) {
+                return zero; // no lane's 16-bit declared length can match
+            }
+            if !(15..=0xFFFF).contains(&base) || base & 0xFF < 15 {
+                // Ramp under/overflows mid-block: any-nonzero-declared superset.
+                let z16 = _mm_and_si128(_mm_cmpeq_epi8(v2, zero), _mm_cmpeq_epi8(v3, zero));
+                return _mm_xor_si128(z16, _mm_set1_epi8(-1));
+            }
+            let idx = _mm_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+            let hi = _mm_set1_epi8((base >> 8) as u8 as i8);
+            let lo = _mm_sub_epi8(_mm_set1_epi8((base & 0xFF) as u8 as i8), idx);
+            _mm_and_si128(_mm_cmpeq_epi8(v2, hi), _mm_cmpeq_epi8(v3, lo))
+        }
+    }
+
+    /// The 16-lane version of [`super::swar_block_mask`] (same gate table),
+    /// with each class lowered to a movemask bitset.
+    #[inline(always)]
+    fn block_mask(v0: __m128i, v1: __m128i, v3: __m128i, v4: __m128i, legacy: __m128i) -> BlockMasks<u32> {
+        // SAFETY: SSE2 is unconditionally available on x86-64 (baseline ISA).
+        unsafe {
+            let zero = _mm_setzero_si128();
+            let top = _mm_and_si128(v0, _mm_set1_epi8(0xC0u8 as i8));
+            let class00 = _mm_cmpeq_epi8(top, zero);
+            let class10 = _mm_cmpeq_epi8(top, _mm_set1_epi8(0x80u8 as i8));
+            let class11 = _mm_cmpeq_epi8(top, _mm_set1_epi8(0xC0u8 as i8));
+
+            let aligned = _mm_cmpeq_epi8(_mm_and_si128(v3, _mm_set1_epi8(0x03)), zero);
+            let cookie = _mm_cmpeq_epi8(v4, _mm_set1_epi8(0x21));
+            let stun = _mm_and_si128(_mm_and_si128(class00, aligned), _mm_or_si128(cookie, legacy));
+
+            // RTP/RTCP demux on the second byte: 200..=207 is (b & 0xF8) == 0xC8.
+            let rtcp_byte = _mm_cmpeq_epi8(_mm_and_si128(v1, _mm_set1_epi8(0xF8u8 as i8)), _mm_set1_epi8(0xC8u8 as i8));
+            let rtcp = _mm_and_si128(class10, rtcp_byte);
+            // Plain RTP first byte: version 2 with cc = x = p = 0.
+            let plain_byte = _mm_cmpeq_epi8(_mm_and_si128(v0, _mm_set1_epi8(0x3F)), zero);
+
+            let v1_ok = _mm_or_si128(_mm_cmpeq_epi8(v1, zero), _mm_cmpeq_epi8(v1, _mm_set1_epi8(0x6bu8 as i8)));
+            let quic = _mm_and_si128(class11, v1_ok);
+
+            let stun = _mm_movemask_epi8(stun) as u32;
+            let class10 = _mm_movemask_epi8(class10) as u32;
+            let rtcp = _mm_movemask_epi8(rtcp) as u32;
+            let plain = _mm_movemask_epi8(plain_byte) as u32;
+            let quic = _mm_movemask_epi8(quic) as u32;
+            let rtp = class10 ^ rtcp;
+            let rtp_plain = rtp & plain;
+            BlockMasks { all: stun | class10 | quic, stun, rtcp, rtp_plain, rtp_full: rtp ^ rtp_plain }
+        }
+    }
+}
+
+/// Sweep with the widest pass `mode` provides on this target. Returns one
+/// past the last offset swept (the caller finishes the tail scalar-wise).
+#[inline]
+pub(crate) fn bulk_sweep(
+    payload: &[u8],
+    first: usize,
+    last: usize,
+    mode: ScanMode,
+    dispatch: impl FnMut(usize, Hit),
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if mode == ScanMode::Simd {
+        // The 16-lane pass stops up to 35 offsets before the payload end
+        // (block stride + load width); narrower u64 blocks keep sweeping
+        // where no 16-byte load fits, leaving at most the SWAR tail for
+        // the caller's scalar loop.
+        let mut dispatch = dispatch;
+        let end = sse2::sweep(payload, first, last, &mut dispatch);
+        return swar_sweep(payload, end, last, dispatch);
+    }
+    let _ = mode;
+    swar_sweep(payload, first, last, dispatch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Positions the dispatcher's exact prefilters could accept — the sweep
+    /// must visit every one of these (soundness floor).
+    fn strict_gate(payload: &[u8], i: usize) -> bool {
+        let tail = &payload[i..];
+        match tail[0] >> 6 {
+            0b00 => {
+                tail.len() >= 20 && {
+                    let declared = u16::from_be_bytes([tail[2], tail[3]]) as usize;
+                    declared & 3 == 0 && (tail[4] == 0x21 || (declared != 0 && 20 + declared == tail.len()))
+                }
+            }
+            0b10 => true,
+            0b11 => tail.len() >= 2 && matches!(tail[1], 0x00 | 0x6b),
+            _ => false,
+        }
+    }
+
+    /// The loosest mask any block may emit (fallback blocks widen the
+    /// legacy-STUN cover test to any-nonzero-declared) — the sweep must
+    /// never visit a position outside these (tightness ceiling).
+    fn loose_gate(payload: &[u8], i: usize) -> bool {
+        let tail = &payload[i..];
+        match tail[0] >> 6 {
+            0b00 => {
+                tail.len() >= 5 && tail[3] & 3 == 0 && {
+                    let declared = u16::from_be_bytes([tail[2], tail[3]]) as usize;
+                    tail[4] == 0x21 || declared != 0 || 20 + declared == tail.len()
+                }
+            }
+            0b10 => true,
+            0b11 => tail.len() >= 2 && matches!(tail[1], 0x00 | 0x6b),
+            _ => false,
+        }
+    }
+
+    /// The hit tag the dispatcher will trust, re-derived scalar-wise.
+    fn reference_hit(payload: &[u8], i: usize) -> Hit {
+        let tail = &payload[i..];
+        match tail[0] >> 6 {
+            0b00 => Hit::Stun,
+            0b10 => {
+                if (200..=207).contains(&tail[1]) {
+                    Hit::Rtcp
+                } else if tail[0] & 0x3F == 0 {
+                    Hit::RtpPlain
+                } else {
+                    Hit::Rtp
+                }
+            }
+            0b11 => Hit::Quic,
+            _ => panic!("demux-01 lanes are never swept"),
+        }
+    }
+
+    fn check_sweep(payload: &[u8], mode: ScanMode) {
+        let last = payload.len().saturating_sub(1);
+        let mut got = Vec::new();
+        let end = bulk_sweep(payload, 0, last, mode, |i, hit| got.push((i, hit)));
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "ascending order");
+        for &(i, hit) in &got {
+            assert!(i < end, "dispatch past the reported sweep end");
+            assert!(loose_gate(payload, i), "mode {mode:?}: over-wide gate at {i}");
+            assert_eq!(hit, reference_hit(payload, i), "mode {mode:?}: wrong hit tag at {i}");
+            if hit == Hit::RtpPlain {
+                // The dispatcher accepts RtpPlain without length checks.
+                assert!(i + 12 <= payload.len(), "mode {mode:?}: plain hit without 12 bytes at {i}");
+            }
+        }
+        for i in (0..end).filter(|&i| strict_gate(payload, i)) {
+            assert!(got.iter().any(|&(g, _)| g == i), "mode {mode:?}: missed strict position {i}");
+        }
+        // The sweep must stop early enough that no gate load overflowed,
+        // but late enough that the scalar tail stays short.
+        let max_lane = match mode {
+            ScanMode::Simd if simd_supported() => 16,
+            _ => 8,
+        };
+        assert!(end <= payload.len().saturating_sub(12));
+        if payload.len() >= 12 + max_lane {
+            assert!(end + 12 + max_lane > payload.len().min(last + 1), "sweep stopped too early at {end}");
+        }
+    }
+
+    #[test]
+    fn sweeps_agree_with_reference_gates() {
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        for len in [0usize, 1, 11, 12, 13, 19, 20, 21, 31, 32, 64, 100, 255, 1400] {
+            let mut payload = vec![0u8; len];
+            for b in payload.iter_mut() {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (rng >> 33) as u8;
+            }
+            for mode in ScanMode::ALL {
+                check_sweep(&payload, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_fill_payloads_mask_out_completely() {
+        // Zero fill: STUN class at every offset, but no cookie and a zero
+        // declared length — the nz16 gate must kill every lane.
+        for fill in [0x00u8, 0x04, 0x3C] {
+            let payload = vec![fill; 256];
+            let mut got = Vec::new();
+            swar_sweep(&payload, 0, 255, |i, _| got.push(i));
+            if fill == 0 {
+                assert!(got.is_empty(), "zero fill must be fully masked");
+            }
+            check_sweep(&payload, ScanMode::Swar);
+            check_sweep(&payload, ScanMode::Simd);
+        }
+    }
+
+    #[test]
+    fn legacy_exact_cover_positions_are_swept() {
+        // A cookie-less STUN header whose declared length exactly covers
+        // the rest of the payload must be swept at any offset, whichever
+        // lane of whichever block it lands in.
+        for off in 0..48 {
+            let attrs = 24usize;
+            let mut p = vec![0xE5u8; off]; // class-11 junk that fails the QUIC gate
+            p.push(0x00);
+            p.push(0x01);
+            p.extend_from_slice(&(attrs as u16).to_be_bytes());
+            p.extend_from_slice(&[0u8; 16]); // rest of the header, no cookie
+            p.extend_from_slice(&[0x7Au8; 24]);
+            for mode in ScanMode::ALL {
+                let mut got = Vec::new();
+                let end = bulk_sweep(&p, 0, p.len() - 1, mode, |i, _| got.push(i));
+                if off < end {
+                    assert!(got.contains(&off), "mode {mode:?}, offset {off}");
+                }
+                check_sweep(&p, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_selection_honors_env_values() {
+        assert_eq!(ScanMode::from_env(Some("scalar")), ScanMode::Scalar);
+        assert_eq!(ScanMode::from_env(Some("swar")), ScanMode::Swar);
+        assert_eq!(ScanMode::from_env(Some("simd")), ScanMode::Simd);
+        let default = ScanMode::from_env(None);
+        assert_eq!(default, ScanMode::from_env(Some("bogus")));
+        assert_ne!(default, ScanMode::Scalar, "default must be a bulk pass");
+        assert_eq!(default == ScanMode::Simd, simd_supported());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = ScanMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, ["scalar", "swar", "simd"]);
+    }
+}

@@ -7,7 +7,13 @@
 //! and extraction depths, not just the traffic our emulators produce.
 
 use proptest::prelude::*;
-use rtc_dpi::{extract_candidates, extract_candidates_naive, CandidateBatch, Extractor};
+use rtc_dpi::{extract_candidates, extract_candidates_naive, extract_into_with, CandidateBatch, Extractor, ScanMode};
+
+/// Every scanner backend that can run on this machine: scalar and SWAR
+/// always, the SIMD path only where the CPU supports it.
+fn scan_modes() -> Vec<ScanMode> {
+    ScanMode::ALL.into_iter().filter(|&m| m != ScanMode::Simd || rtc_dpi::scan::simd_supported()).collect()
+}
 
 /// A payload with a real protocol message (or pure junk) behind an
 /// arbitrary prefix, so the sweep exercises both matcher hits and the
@@ -82,6 +88,61 @@ proptest! {
     }
 
     #[test]
+    fn every_scan_mode_matches_naive_on_arbitrary_bytes(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        k in 0usize..=400,
+    ) {
+        let naive = extract_candidates_naive(&payload, k);
+        for mode in scan_modes() {
+            let mut got = Vec::new();
+            extract_into_with(&payload, k, &mut got, mode);
+            prop_assert_eq!(&got, &naive, "mode {}", mode.label());
+        }
+    }
+
+    #[test]
+    fn every_scan_mode_matches_naive_on_structured_payloads(
+        payload in structured_payload(),
+        k in 0usize..=400,
+    ) {
+        let naive = extract_candidates_naive(&payload, k);
+        for mode in scan_modes() {
+            let mut got = Vec::new();
+            extract_into_with(&payload, k, &mut got, mode);
+            prop_assert_eq!(&got, &naive, "mode {}", mode.label());
+        }
+    }
+
+    #[test]
+    fn chunk_split_batches_append_identically(
+        payloads in proptest::collection::vec(structured_payload(), 0..12),
+        split in 0usize..12,
+        k in 0usize..=400,
+    ) {
+        // The parallel driver extracts chunks independently and appends
+        // them; a payload must dissect the same whichever side of a chunk
+        // boundary it lands on.
+        let split = split.min(payloads.len());
+        let mut whole = CandidateBatch::with_capacity(payloads.len());
+        for p in &payloads {
+            whole.push_payload(p, k);
+        }
+        let mut head = CandidateBatch::with_capacity(split);
+        for p in &payloads[..split] {
+            head.push_payload(p, k);
+        }
+        let mut tail = CandidateBatch::with_capacity(payloads.len() - split);
+        for p in &payloads[split..] {
+            tail.push_payload(p, k);
+        }
+        head.append(tail);
+        prop_assert_eq!(head.len(), whole.len());
+        for i in 0..whole.len() {
+            prop_assert_eq!(head.get(i), whole.get(i), "payload {}", i);
+        }
+    }
+
+    #[test]
     fn batch_spans_match_per_payload_naive_extraction(
         payloads in proptest::collection::vec(structured_payload(), 0..8),
         k in 0usize..=400,
@@ -93,6 +154,32 @@ proptest! {
         prop_assert_eq!(batch.len(), payloads.len());
         for (i, p) in payloads.iter().enumerate() {
             prop_assert_eq!(batch.get(i), &extract_candidates_naive(p, k)[..]);
+        }
+    }
+}
+
+/// The classic bulk-scan off-by-one spots, exhaustively: a real message
+/// placed at every offset around u64-lane and 16-byte-block boundaries,
+/// with every short-tail length that forces the vector loops to hand the
+/// payload end back to the scalar loop.
+#[test]
+fn lane_boundary_straddles_match_naive_in_every_mode() {
+    let rtp = rtc_wire::rtp::PacketBuilder::new(96, 7, 0xABCD_EF01, 0x42).payload(vec![0x5A; 9]).build();
+    let stun = rtc_wire::stun::MessageBuilder::new(0x0001, [9; 12]).build();
+    let rtcp = rtc_wire::rtcp::build_bye(&[0xFEED_BEEF]);
+    for msg in [&rtp[..], &stun[..], &rtcp[..]] {
+        for prefix in 0..48usize {
+            for tail in 0..24usize {
+                let mut p: Vec<u8> = (0..prefix).map(|j| (j * 7 + 1) as u8).collect();
+                p.extend_from_slice(msg);
+                p.extend((0..tail).map(|j| (j * 11 + 3) as u8));
+                let naive = extract_candidates_naive(&p, 200);
+                for mode in scan_modes() {
+                    let mut got = Vec::new();
+                    extract_into_with(&p, 200, &mut got, mode);
+                    assert_eq!(got, naive, "mode={} prefix={prefix} tail={tail}", mode.label());
+                }
+            }
         }
     }
 }

@@ -270,6 +270,21 @@ impl FilterResult {
         out.sort_by_key(|d| d.ts);
         out
     }
+
+    /// Like [`FilterResult::rtc_udp_datagrams`], but consumes the result
+    /// and *moves* the retained datagrams out — the owned handoff for
+    /// callers that outlive the filter result (each payload stays a
+    /// zero-copy view into its capture buffer either way).
+    pub fn into_rtc_udp_datagrams(self) -> Vec<Datagram> {
+        let mut out: Vec<Datagram> = self
+            .rtc_streams
+            .into_iter()
+            .filter(|s| s.tuple.transport == Transport::Udp)
+            .flat_map(|s| s.datagrams)
+            .collect();
+        out.sort_by_key(|d| d.ts);
+        out
+    }
 }
 
 /// How many early segments of a TCP stream are scanned for a ClientHello.

@@ -103,10 +103,23 @@ struct FileHeader {
     link_type: LinkType,
 }
 
+/// Bytes per arena chunk the reader carves record buffers from. Records
+/// larger than this get their own allocation.
+const ARENA_CHUNK: usize = 1 << 16;
+
 /// Streaming pcap reader.
+///
+/// Record payloads are carved out of a shared chunk arena: the reader
+/// fills [`ARENA_CHUNK`]-sized `BytesMut` buffers and freezes a view per
+/// record, so a chunk of ~90 average-sized records costs one heap
+/// allocation instead of one per record, and every downstream `Datagram`
+/// payload is a range-indexed view into the same buffer (zero copies from
+/// file read to candidate extraction). A chunk is released once every
+/// record sliced from it is dropped.
 pub struct Reader<R: Read> {
     inner: R,
     header: FileHeader,
+    arena: bytes::BytesMut,
 }
 
 impl<R: Read> Reader<R> {
@@ -132,7 +145,7 @@ impl<R: Read> Reader<R> {
         };
         let link_code = read_u32(&h[20..24]);
         let link_type = LinkType::from_code(link_code).ok_or(Error::Malformed("unsupported link type"))?;
-        Ok(Reader { inner, header: FileHeader { swapped, nanos, link_type } })
+        Ok(Reader { inner, header: FileHeader { swapped, nanos, link_type }, arena: bytes::BytesMut::new() })
     }
 
     /// The trace's link-layer type.
@@ -168,9 +181,17 @@ impl<R: Read> Reader<R> {
             return Err(Error::Malformed("incl_len > orig_len"));
         }
         let micros = if self.header.nanos { ts_frac / 1000 } else { ts_frac };
-        let mut data = vec![0u8; incl_len];
-        self.inner.read_exact(&mut data)?;
-        Ok(Some(Record { ts: Timestamp::from_micros(ts_sec * 1_000_000 + micros), data: data.into() }))
+        // Carve the record out of the arena. `reserve` reuses spare
+        // capacity in the current chunk and only allocates a fresh one
+        // when the chunk is exhausted (outstanding record views keep the
+        // old chunk alive, so it cannot be recycled in place).
+        if self.arena.capacity() < incl_len {
+            self.arena.reserve(incl_len.max(ARENA_CHUNK));
+        }
+        self.arena.resize(incl_len, 0);
+        self.inner.read_exact(&mut self.arena[..incl_len])?;
+        let data = self.arena.split_to(incl_len).freeze();
+        Ok(Some(Record { ts: Timestamp::from_micros(ts_sec * 1_000_000 + micros), data }))
     }
 
     /// Read the remaining records into a [`Trace`].

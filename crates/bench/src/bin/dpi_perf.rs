@@ -52,8 +52,7 @@ fn main() {
         });
         let mib_per_s = bytes as f64 / (1 << 20) as f64 / (ms / 1e3);
         println!("  {:6} {ms:8.2} ms   {mib_per_s:8.1} MiB/s", mode.label());
-        bulk_scan
-            .insert(mode.label().to_string(), json!({ "ms": round2(ms), "mib_per_s": round2(mib_per_s) }));
+        bulk_scan.insert(mode.label().to_string(), json!({ "ms": round2(ms), "mib_per_s": round2(mib_per_s) }));
     }
 
     let seq_cfg = DpiConfig { threads: 1, ..DpiConfig::default() };
@@ -108,6 +107,38 @@ fn main() {
         dpi::dissect_calls(&calls, &DpiConfig::default()).iter().map(|c| c.datagrams.len()).sum::<usize>()
     });
     println!("dissect_calls (3 calls, auto): {dissect_cross:8.2} ms");
+
+    // Validation tail in isolation: context build (range-partitioned group
+    // validation) and per-datagram resolution (chunked work stealing),
+    // serial vs the parallel drivers. These are the post-extraction stages
+    // the `validation_tail` gate in BENCH_dpi.json watches.
+    let auto_cfg = DpiConfig::default();
+    let validate_auto = time_ms(5, || dpi::resolve::ValidationContext::build(&rtc_udp, &batch, &auto_cfg));
+    let resolve_auto = time_ms(5, || par::resolve_all(&rtc_udp, &batch, &ctx, &auto_cfg, 0).0.len());
+    let tail_serial = validate + resolve;
+    let tail_auto = validate_auto + resolve_auto;
+    let tail_mib_per_s = bytes as f64 / (1 << 20) as f64 / (tail_auto / 1e3);
+    let call_gib_per_s = bytes as f64 / (1 << 30) as f64 / (dissect_auto / 1e3);
+    println!("validation tail (1 thr): {tail_serial:7.2} ms   (build {validate:.2} + resolve {resolve:.2})");
+    println!(
+        "validation tail (auto):  {tail_auto:7.2} ms   ({tail_mib_per_s:.1} MiB/s; build {validate_auto:.2} + resolve {resolve_auto:.2})"
+    );
+    println!("dissect_call (auto):    {call_gib_per_s:8.3} GiB/s end to end");
+
+    upsert_section(
+        "validation_tail",
+        json!({
+            "validation_build_serial_ms": round2(validate),
+            "validation_build_auto_ms": round2(validate_auto),
+            "resolve_serial_ms": round2(resolve),
+            "resolve_auto_ms": round2(resolve_auto),
+            "tail_serial_ms": round2(tail_serial),
+            "tail_auto_ms": round2(tail_auto),
+            "tail_auto_mib_per_s": round2(tail_mib_per_s),
+            "dissect_call_auto_gib_per_s": round2(call_gib_per_s),
+            "auto_threads": auto_threads,
+        }),
+    );
 
     upsert_section(
         "dpi_phases",

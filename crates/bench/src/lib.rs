@@ -138,9 +138,9 @@ pub mod gate {
 
     /// Classify a JSON key as a perf metric, or `None` to skip it.
     pub fn direction_for(key: &str) -> Option<Direction> {
-        if key.contains("mib_per_s") {
+        if key.contains("mib_per_s") || key.contains("gib_per_s") {
             Some(Direction::HigherIsBetter)
-        } else if key.ends_with("_ms") || key.ends_with("_secs") {
+        } else if key == "ms" || key.ends_with("_ms") || key == "secs" || key.ends_with("_secs") {
             Some(Direction::LowerIsBetter)
         } else {
             None
@@ -150,9 +150,9 @@ pub mod gate {
     /// The smallest baseline worth gating for a key: wall-time leaves
     /// below ~1 ms are dominated by scheduler noise and are skipped.
     fn noise_floor(key: &str) -> f64 {
-        if key.ends_with("_ms") {
+        if key == "ms" || key.ends_with("_ms") {
             1.0
-        } else if key.ends_with("_secs") {
+        } else if key == "secs" || key.ends_with("_secs") {
             0.05
         } else {
             0.0
@@ -257,9 +257,39 @@ pub mod gate {
             let checks = compare(&baseline, &slower, 0.25);
             assert_eq!(checks.len(), 6, "{checks:?}");
             let failed: Vec<_> = checks.iter().filter(|c| c.failed).map(|c| c.path.as_str()).collect();
+            assert_eq!(failed, ["dpi_phases.bulk_scan.simd.mib_per_s", "dpi_phases.bulk_scan.simd.ms"], "{checks:?}");
+        }
+
+        #[test]
+        fn gates_validation_tail_keys() {
+            // The validation-tail section `dpi_perf` writes: both wall-time
+            // (ms, lower is better) and throughput (MiB/s and GiB/s, higher
+            // is better) leaves are gated; `auto_threads` carries no unit
+            // suffix and is recorded but never gated.
+            let baseline = json!({"validation_tail": {
+                "tail_serial_ms": 20.0,
+                "tail_auto_ms": 18.0,
+                "tail_auto_mib_per_s": 900.0,
+                "dissect_call_auto_gib_per_s": 1.1,
+                "auto_threads": 4,
+            }});
+            let worse = json!({"validation_tail": {
+                "tail_serial_ms": 20.5,
+                "tail_auto_ms": 31.0,
+                "tail_auto_mib_per_s": 520.0,
+                "dissect_call_auto_gib_per_s": 0.6,
+                "auto_threads": 4,
+            }});
+            let checks = compare(&baseline, &worse, 0.25);
+            assert_eq!(checks.len(), 4, "{checks:?}");
+            let failed: Vec<_> = checks.iter().filter(|c| c.failed).map(|c| c.path.as_str()).collect();
             assert_eq!(
                 failed,
-                ["dpi_phases.bulk_scan.simd.mib_per_s", "dpi_phases.bulk_scan.simd.ms"],
+                [
+                    "validation_tail.dissect_call_auto_gib_per_s",
+                    "validation_tail.tail_auto_mib_per_s",
+                    "validation_tail.tail_auto_ms",
+                ],
                 "{checks:?}"
             );
         }

@@ -423,7 +423,11 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             };
             let planned = rtc_core::dpi::par::planned_threads(rtc_udp.len(), &config.dpi);
             let requested = if threads == 0 { "auto".to_string() } else { threads.to_string() };
-            writeln!(out, "dpi: scan={}, threads={planned} (requested {requested})", rtc_core::dpi::ScanMode::active().label())?;
+            writeln!(
+                out,
+                "dpi: scan={}, threads={planned} (requested {requested})",
+                rtc_core::dpi::ScanMode::active().label()
+            )?;
             let dissection = rtc_core::dpi::dissect_call(&rtc_udp, &config.dpi);
             let checked = rtc_core::compliance::check_call(&dissection);
             let (by_proto, fully) = dissection.message_distribution();

@@ -408,16 +408,18 @@ impl Stage for DpiStage {
 
     fn finish(&mut self, out: &mut Vec<DatagramDissection>) {
         let mut ctx: ValidationContext = self.builder.take().expect("finish twice").finish();
-        out.reserve(self.datagrams.len());
-        for (i, d) in self.datagrams.drain(..).enumerate() {
-            let clock = (i % RESOLVE_SAMPLE == 0).then(Instant::now);
-            let dd = rtc_dpi::resolve::resolve_datagram(&d, self.batch.get(i), &ctx);
-            if let Some(t0) = clock {
-                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                let family = dd.messages.first().map(|m| m.kind.matcher_index()).unwrap_or(5);
-                self.matchers.resolve_ns[family][bucket_index(ns)] += 1;
-                self.matchers.resolve_ns_sum[family] = self.matchers.resolve_ns_sum[family].wrapping_add(ns);
-            }
+        // Resolution fans out over the work-stealing chunks for large calls
+        // (and stays serial below the threshold); every RESOLVE_SAMPLE-th
+        // datagram is clocked inside the worker that resolves it.
+        let (dissections, samples) =
+            rtc_dpi::par::resolve_all(&self.datagrams, &self.batch, &ctx, &self.config, RESOLVE_SAMPLE);
+        for (i, ns) in samples {
+            let family = dissections[i].messages.first().map(|m| m.kind.matcher_index()).unwrap_or(5);
+            self.matchers.resolve_ns[family][bucket_index(ns)] += 1;
+            self.matchers.resolve_ns_sum[family] = self.matchers.resolve_ns_sum[family].wrapping_add(ns);
+        }
+        out.reserve(dissections.len());
+        for (dd, d) in dissections.into_iter().zip(self.datagrams.drain(..)) {
             for m in &dd.messages {
                 let family = m.kind.matcher_index();
                 let len = m.data.len() as u64;

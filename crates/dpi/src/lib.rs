@@ -96,11 +96,12 @@ pub struct DpiConfig {
     pub rtp_min_group: usize,
     /// Maximum forward sequence gap still considered continuous.
     pub rtp_max_seq_gap: u16,
-    /// Worker threads for intra-call candidate extraction: 0 = one per
-    /// available core (see [`par::planned_threads`]).
+    /// Worker threads for candidate extraction, group validation and
+    /// resolution: 0 = one per available core (see
+    /// [`par::planned_threads`] and [`par::hardware_threads`]).
     pub threads: usize,
-    /// Minimum datagram count before extraction is parallelized; smaller
-    /// calls always take the sequential path.
+    /// Minimum datagram count before the DPI stages are parallelized;
+    /// smaller calls always take the sequential path.
     pub parallel_threshold: usize,
 }
 
@@ -229,47 +230,23 @@ pub fn dissect_call<D: std::borrow::Borrow<Datagram> + Sync>(datagrams: &[D], co
     dissect_extracted(datagrams, &batch, config)
 }
 
-/// Dissect several calls in one pass: all calls' candidate extraction
-/// shares a single work-stealing pool (see [`par::extract_calls`]), then
-/// validation + resolution run per call across a thread pool sized from
-/// the total workload. Returns one [`CallDissection`] per call, in input
-/// order, byte-identical to calling [`dissect_call`] on each.
+/// Dissect several calls in one pass through a single work-stealing pool
+/// whose items are both extract and resolve chunks (see
+/// [`par::dissect_calls_pooled`]): the worker that finishes a call's last
+/// extract chunk seals its validation context and publishes the call's
+/// resolve chunks into the same pool, so validation of one call overlaps
+/// resolution of another with no stage barrier. Returns one
+/// [`CallDissection`] per call, in input order, byte-identical to calling
+/// [`dissect_call`] on each.
 pub fn dissect_calls<D: std::borrow::Borrow<Datagram> + Sync>(
     calls: &[&[D]],
     config: &DpiConfig,
 ) -> Vec<CallDissection> {
-    let batches = par::extract_calls(calls, config);
     let total: usize = calls.iter().map(|c| c.len()).sum();
-    let threads = par::planned_threads(total, config).min(calls.len().max(1));
-    if threads <= 1 {
-        return calls.iter().zip(&batches).map(|(c, b)| dissect_extracted(c, b, config)).collect();
+    match par::planned_threads(total, config) {
+        0 | 1 => calls.iter().map(|c| dissect_call(c, config)).collect(),
+        threads => par::dissect_calls_pooled(calls, config, threads),
     }
-    // Validation state is per call, so calls are the unit of parallelism
-    // here; an atomic cursor hands them out so short calls don't serialize
-    // behind long ones.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, CallDissection)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (next, batches) = (&next, &batches);
-                s.spawn(move || {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(call) = calls.get(i) else { break };
-                        done.push((i, dissect_extracted(call, &batches[i], config)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("dissection worker panicked")).collect()
-    });
-    let mut out: Vec<Option<CallDissection>> = (0..calls.len()).map(|_| None).collect();
-    for (i, dissection) in per_worker.into_iter().flatten() {
-        out[i] = Some(dissection);
-    }
-    out.into_iter().map(|d| d.expect("every call dissected")).collect()
 }
 
 /// Steps 2–3 of [`dissect_call`] against an already-extracted batch.
@@ -282,13 +259,13 @@ fn dissect_extracted<D: std::borrow::Borrow<Datagram> + Sync>(
     let mut ctx = resolve::ValidationContext::build(datagrams, batch, config);
 
     // ---- Step 3: per-datagram resolution and classification. -----------
+    // Pure per-datagram work against the frozen context; `resolve_all`
+    // fans chunks over workers when the call is large enough.
+    let (dissections, _) = par::resolve_all(datagrams, batch, &ctx, config, 0);
     let mut out = CallDissection::default();
-    out.datagrams.reserve(datagrams.len());
-    for (i, d) in datagrams.iter().enumerate() {
-        let d = d.borrow();
-        let dd = resolve::resolve_datagram(d, batch.get(i), &ctx);
+    for (dd, d) in dissections.iter().zip(datagrams) {
         if dd.class == DatagramClass::FullyProprietary {
-            let key = pattern::rejection_key(&d.payload);
+            let key = pattern::rejection_key(&d.borrow().payload);
             // Look up by `&str` first: the handful of distinct keys means the
             // common case is a count bump with no `String` allocation.
             match out.rejections.get_mut(key.as_ref()) {
@@ -298,8 +275,8 @@ fn dissect_extracted<D: std::borrow::Borrow<Datagram> + Sync>(
                 }
             }
         }
-        out.datagrams.push(dd);
     }
+    out.datagrams = dissections;
     // The context is done once every datagram is resolved; hand its SSRC
     // map to the caller instead of cloning it wholesale.
     out.rtp_ssrcs = std::mem::take(&mut ctx.rtp_ssrcs);
@@ -658,7 +635,7 @@ mod tests {
         for dg in &d {
             let dd = dissect_datagram(dg, &mut extractor, &ctx, &config);
             if dd.class == DatagramClass::FullyProprietary {
-                *streamed.rejections.entry(rejection_key(&dg.payload)).or_default() += 1;
+                *streamed.rejections.entry(rejection_key(&dg.payload).into_owned()).or_default() += 1;
             }
             streamed.datagrams.push(dd);
         }

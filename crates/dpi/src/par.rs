@@ -1,4 +1,4 @@
-//! Cross-call work-stealing candidate extraction.
+//! Cross-call work-stealing extraction and resolution.
 //!
 //! Candidate extraction (Algorithm 1, step 1) is embarrassingly parallel
 //! across datagrams: each payload is scanned independently, and only the
@@ -12,48 +12,139 @@
 //! still in flight, instead of idling at a per-call barrier the way the
 //! old intra-call chunked driver did.
 //!
-//! Small workloads take the sequential path and pay nothing; the
-//! per-chunk batches are stitched back together in input order so every
-//! schedule is byte-identical to sequential extraction.
+//! Resolution (step 3) is embarrassingly parallel too once a call's
+//! [`ValidationContext`] is frozen: [`resolve_all`] fans a sealed call's
+//! datagrams out over chunked workers, and [`dissect_calls_pooled`] runs
+//! the *whole* multi-call dissection through one pool with two item
+//! classes — `Extract(call, chunk)` and `Resolve(call, chunk)` — where the
+//! worker that extracts a call's last chunk seals its context and publishes
+//! that call's resolve items, so validation of call A overlaps resolution
+//! of call B with no global barrier between the stages.
+//!
+//! Small workloads take the sequential path and pay nothing; per-chunk
+//! results are stitched back together in input order so every schedule is
+//! byte-identical to the sequential computation.
 
 use crate::pattern::CandidateBatch;
-use crate::DpiConfig;
+use crate::resolve::{resolve_datagram, ContextBuilder, ValidationContext};
+use crate::{CallDissection, DatagramClass, DatagramDissection, DpiConfig};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use rtc_pcap::trace::Datagram;
 use std::borrow::Borrow;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Datagrams per work unit. Small enough to balance skewed payload sizes
 /// across workers, large enough that deque traffic is negligible.
 pub const CHUNK_DATAGRAMS: usize = 256;
 
+/// Parse an `RTC_DPI_THREADS` override. Unset, empty or whitespace-only
+/// values mean "no override" and stay silent (the CI matrix passes an
+/// empty string for the unset leg); anything else that is not a positive
+/// integer is *ignored with a warning* — the silent-typo failure mode is
+/// exactly what the diagnostic exists for.
+fn threads_override(raw: Option<&str>) -> Option<usize> {
+    let v = raw?.trim();
+    if v.is_empty() {
+        return None;
+    }
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            rtc_obs::diag::warn_once(
+                "rtc-dpi-threads-unparsable",
+                &format!("ignoring RTC_DPI_THREADS={v:?}: not a positive integer; using detected core count"),
+            );
+            None
+        }
+    }
+}
+
+/// ceil(quota / period) CPUs, the thread count a CFS bandwidth limit
+/// actually admits; `None` when the inputs describe no limit.
+fn quota_to_threads(quota: u64, period: u64) -> Option<usize> {
+    if quota == 0 || period == 0 {
+        return None;
+    }
+    Some(usize::try_from(quota.div_ceil(period)).unwrap_or(usize::MAX).max(1))
+}
+
+/// cgroup v2 `cpu.max`: `"max 100000"` (no limit) or `"<quota> <period>"`
+/// in microseconds.
+fn parse_cgroup2_cpu_max(contents: &str) -> Option<usize> {
+    let mut fields = contents.split_whitespace();
+    let quota = fields.next()?;
+    if quota == "max" {
+        return None;
+    }
+    quota_to_threads(quota.parse().ok()?, fields.next()?.parse().ok()?)
+}
+
+/// cgroup v1 `cpu.cfs_quota_us` / `cpu.cfs_period_us`: quota `-1` (or any
+/// non-positive value) means no limit.
+fn parse_cgroup1_cfs(quota: &str, period: &str) -> Option<usize> {
+    let quota: i64 = quota.trim().parse().ok()?;
+    if quota <= 0 {
+        return None;
+    }
+    let period: i64 = period.trim().parse().ok()?;
+    if period <= 0 {
+        return None;
+    }
+    quota_to_threads(quota as u64, period as u64)
+}
+
+/// The CPU limit imposed by the calling process's cgroup, if any. Reads
+/// the unified-hierarchy `cpu.max` first (the common case in containers,
+/// where a cgroup namespace puts the limit at the mount root), then the
+/// v1 CFS bandwidth knobs.
+#[cfg(target_os = "linux")]
+fn cgroup_cpu_limit() -> Option<usize> {
+    if let Ok(contents) = std::fs::read_to_string("/sys/fs/cgroup/cpu.max") {
+        return parse_cgroup2_cpu_max(&contents);
+    }
+    let quota = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").ok()?;
+    let period = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_period_us").ok()?;
+    parse_cgroup1_cfs(&quota, &period)
+}
+
 /// Worker threads the scheduler uses when `DpiConfig::threads` is 0
 /// ("one per available core").
 ///
 /// `RTC_DPI_THREADS` overrides detection entirely (useful for benchmarks
-/// and CI runners). Otherwise [`std::thread::available_parallelism`] is
-/// consulted first; when it reports a single CPU on Linux, the CPU count
-/// from `/proc/cpuinfo` is cross-checked, because a fractional cgroup CPU
-/// quota makes `available_parallelism` round down to 1 even on runners
-/// that expose many cores — which is how the committed benchmarks ended
-/// up recording `auto_threads: 1` on multi-core machines.
+/// and CI runners); a value that is set but unparsable is ignored with a
+/// one-shot [`rtc_obs::diag`] warning instead of silently. Otherwise
+/// [`std::thread::available_parallelism`] is consulted first; when it
+/// reports a single CPU on Linux, the CPU count from `/proc/cpuinfo` is
+/// cross-checked, because a *fractional* cgroup CPU quota makes
+/// `available_parallelism` round down to 1 even on runners that expose
+/// many cores. The cross-check counts **host** CPUs though, so the result
+/// is clamped back to the cgroup's own `cpu.max` / CFS quota — a container
+/// limited to 4 of 64 cores gets 4 workers, not 64.
 pub fn hardware_threads() -> usize {
-    if let Some(n) = std::env::var("RTC_DPI_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
-        if n > 0 {
-            return n;
-        }
+    if let Some(n) = threads_override(std::env::var("RTC_DPI_THREADS").ok().as_deref()) {
+        return n;
     }
     let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    if avail > 1 {
-        return avail;
-    }
+    #[allow(unused_mut)]
+    let mut detected = avail;
     #[cfg(target_os = "linux")]
-    if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
-        let cpus = cpuinfo.lines().filter(|l| l.starts_with("processor")).count();
-        if cpus > 1 {
-            return cpus;
+    {
+        if detected == 1 {
+            if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
+                let cpus = cpuinfo.lines().filter(|l| l.starts_with("processor")).count();
+                if cpus > 1 {
+                    detected = cpus;
+                }
+            }
+        }
+        if let Some(limit) = cgroup_cpu_limit() {
+            detected = detected.min(limit);
         }
     }
-    avail
+    detected.max(1)
 }
 
 /// How many worker threads the scheduler will use for a workload of
@@ -109,6 +200,79 @@ fn extract_sequential<D: Borrow<Datagram>>(datagrams: &[D], config: &DpiConfig) 
     batch
 }
 
+/// Resolve every datagram of one call against its sealed context, fanning
+/// chunks out over [`planned_threads`] workers (1 = plain serial loop).
+///
+/// `resolve_datagram` is a pure function of `(datagram, candidates, ctx)`,
+/// so the dissections are byte-identical at every thread count; chunks are
+/// reassembled in input order. When `sample_every > 0`, every
+/// `sample_every`-th datagram (by input index, same indices at every
+/// thread count) is wall-clocked and returned as `(index, nanoseconds)`
+/// pairs in index order — the observability layer's resolve-latency
+/// sampling, kept out of the other datagrams' hot path.
+pub fn resolve_all<D: Borrow<Datagram> + Sync>(
+    datagrams: &[D],
+    batch: &CandidateBatch,
+    ctx: &ValidationContext,
+    config: &DpiConfig,
+    sample_every: usize,
+) -> (Vec<DatagramDissection>, Vec<(usize, u64)>) {
+    let resolve_chunk = |start: usize, slice: &[D]| {
+        let mut out = Vec::with_capacity(slice.len());
+        let mut samples = Vec::new();
+        for (k, d) in slice.iter().enumerate() {
+            let i = start + k;
+            let clock = (sample_every > 0 && i.is_multiple_of(sample_every)).then(Instant::now);
+            out.push(resolve_datagram(d.borrow(), batch.get(i), ctx));
+            if let Some(t0) = clock {
+                samples.push((i, u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)));
+            }
+        }
+        (out, samples)
+    };
+
+    let threads = planned_threads(datagrams.len(), config);
+    if threads <= 1 {
+        return resolve_chunk(0, datagrams);
+    }
+    let n_chunks = datagrams.len().div_ceil(CHUNK_DATAGRAMS);
+    let next = AtomicUsize::new(0);
+    type ChunkOut = (Vec<DatagramDissection>, Vec<(usize, u64)>);
+    let per_worker: Vec<Vec<(usize, ChunkOut)>> = std::thread::scope(|s| {
+        let (next, resolve_chunk) = (&next, &resolve_chunk);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let ci = next.fetch_add(1, Ordering::Relaxed);
+                        if ci >= n_chunks {
+                            break;
+                        }
+                        let start = ci * CHUNK_DATAGRAMS;
+                        let end = (start + CHUNK_DATAGRAMS).min(datagrams.len());
+                        done.push((ci, resolve_chunk(start, &datagrams[start..end])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("resolve worker panicked")).collect()
+    });
+    let mut chunks: Vec<Option<ChunkOut>> = (0..n_chunks).map(|_| None).collect();
+    for (ci, out) in per_worker.into_iter().flatten() {
+        chunks[ci] = Some(out);
+    }
+    let mut dissections = Vec::with_capacity(datagrams.len());
+    let mut samples = Vec::new();
+    for c in chunks {
+        let (d, sm) = c.expect("every chunk resolved");
+        dissections.extend(d);
+        samples.extend(sm);
+    }
+    (dissections, samples)
+}
+
 /// One unit of schedulable work: a contiguous run of datagrams from one
 /// call, tagged with its position so results reassemble in input order.
 struct Task<'a, D> {
@@ -117,21 +281,16 @@ struct Task<'a, D> {
     datagrams: &'a [D],
 }
 
-/// Grab the next task: local deque first, then a batch from the global
+/// Grab the next item: local deque first, then a batch from the global
 /// injector (refilling the local deque), then rob a peer. Returns `None`
 /// only once every source reports empty without a concurrent `Retry`.
-fn find_task<'a, D: Sync>(
-    local: &Worker<Task<'a, D>>,
-    injector: &Injector<Task<'a, D>>,
-    stealers: &[Stealer<Task<'a, D>>],
-    me: usize,
-) -> Option<Task<'a, D>> {
-    if let Some(task) = local.pop() {
-        return Some(task);
+fn steal_next<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T>], me: usize) -> Option<T> {
+    if let Some(item) = local.pop() {
+        return Some(item);
     }
     loop {
         match injector.steal_batch_and_pop(local) {
-            Steal::Success(task) => return Some(task),
+            Steal::Success(item) => return Some(item),
             Steal::Retry => continue,
             Steal::Empty => break,
         }
@@ -144,7 +303,7 @@ fn find_task<'a, D: Sync>(
                 continue;
             }
             match stealer.steal() {
-                Steal::Success(task) => return Some(task),
+                Steal::Success(item) => return Some(item),
                 Steal::Retry => retry = true,
                 Steal::Empty => {}
             }
@@ -179,7 +338,7 @@ fn schedule<'a, D: Borrow<Datagram> + Sync>(
             .map(|(me, local)| {
                 s.spawn(move || {
                     let mut done = Vec::new();
-                    while let Some(task) = find_task(&local, injector, stealers, me) {
+                    while let Some(task) = steal_next(&local, injector, stealers, me) {
                         let mut batch = CandidateBatch::with_capacity(task.datagrams.len());
                         for d in task.datagrams {
                             batch.push_payload(&d.borrow().payload, config.max_offset);
@@ -208,6 +367,180 @@ fn schedule<'a, D: Borrow<Datagram> + Sync>(
             for part in chunks {
                 out.append(part.expect("every chunk extracted"));
             }
+            out
+        })
+        .collect()
+}
+
+/// A call's extraction output plus its sealed validation state, published
+/// once the last extract chunk completes.
+struct Sealed {
+    batch: CandidateBatch,
+    ctx: ValidationContext,
+}
+
+/// One resolved chunk: its dissections plus the rejection-taxonomy counts
+/// accumulated while classifying them.
+type ResolvedChunk = (Vec<DatagramDissection>, BTreeMap<String, usize>);
+
+/// Per-call bookkeeping for the unified extract→resolve pool.
+struct CallState<'a, D> {
+    datagrams: &'a [D],
+    chunks: usize,
+    /// Extract chunks not yet finished; the worker that takes this to zero
+    /// seals the call.
+    pending_extract: AtomicUsize,
+    parts: Mutex<Vec<Option<CandidateBatch>>>,
+    sealed: OnceLock<Sealed>,
+    resolved: Mutex<Vec<Option<ResolvedChunk>>>,
+}
+
+/// The two item classes of the unified pool.
+#[derive(Clone, Copy)]
+enum Item {
+    Extract { call: usize, chunk: usize },
+    Resolve { call: usize, chunk: usize },
+}
+
+fn chunk_of<D>(datagrams: &[D], chunk: usize) -> &[D] {
+    let start = chunk * CHUNK_DATAGRAMS;
+    &datagrams[start..(start + CHUNK_DATAGRAMS).min(datagrams.len())]
+}
+
+/// Dissect several calls through one work-stealing pool whose items are
+/// *both* extract and resolve chunks: the worker that completes a call's
+/// last extract chunk reassembles its batch (chunk order), runs the
+/// observation pass and serial group validation — identical inputs, in
+/// identical order, to the sequential path — seals the context, and
+/// publishes the call's resolve items into the same injector. Workers
+/// therefore stream from extracting one call into resolving another with
+/// no stage barrier; per-chunk dissections and rejection counts reassemble
+/// in input order, so the result is byte-identical to sequential
+/// [`crate::dissect_call`] per call.
+///
+/// Resolve items are created dynamically, so the pool can't pre-count its
+/// work: an `outstanding` counter (incremented before each publish,
+/// decremented after each completion) keeps idle workers parked until the
+/// queues are empty *and* nothing is still running that could publish
+/// more.
+pub(crate) fn dissect_calls_pooled<'a, D: Borrow<Datagram> + Sync>(
+    calls: &[&'a [D]],
+    config: &DpiConfig,
+    threads: usize,
+) -> Vec<CallDissection> {
+    let states: Vec<CallState<'a, D>> = calls
+        .iter()
+        .map(|&datagrams| {
+            let chunks = datagrams.len().div_ceil(CHUNK_DATAGRAMS);
+            CallState {
+                datagrams,
+                chunks,
+                pending_extract: AtomicUsize::new(chunks),
+                parts: Mutex::new((0..chunks).map(|_| None).collect()),
+                sealed: OnceLock::new(),
+                resolved: Mutex::new((0..chunks).map(|_| None).collect()),
+            }
+        })
+        .collect();
+
+    let injector: Injector<Item> = Injector::new();
+    let mut total = 0usize;
+    for (call, st) in states.iter().enumerate() {
+        for chunk in 0..st.chunks {
+            injector.push(Item::Extract { call, chunk });
+            total += 1;
+        }
+    }
+    let outstanding = AtomicUsize::new(total);
+
+    let locals: Vec<Worker<Item>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Item>> = locals.iter().map(Worker::stealer).collect();
+    let (injector, stealers, states_ref, outstanding) = (&injector, &stealers[..], &states[..], &outstanding);
+    std::thread::scope(|s| {
+        for (me, local) in locals.into_iter().enumerate() {
+            s.spawn(move || loop {
+                let Some(item) = steal_next(&local, injector, stealers, me) else {
+                    if outstanding.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    // A peer may still be sealing a call and about to
+                    // publish its resolve items; stay in the pool.
+                    std::thread::yield_now();
+                    continue;
+                };
+                match item {
+                    Item::Extract { call, chunk } => {
+                        let st = &states_ref[call];
+                        let slice = chunk_of(st.datagrams, chunk);
+                        let mut batch = CandidateBatch::with_capacity(slice.len());
+                        for d in slice {
+                            batch.push_payload(&d.borrow().payload, config.max_offset);
+                        }
+                        st.parts.lock().expect("parts poisoned")[chunk] = Some(batch);
+                        if st.pending_extract.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let parts = std::mem::take(&mut *st.parts.lock().expect("parts poisoned"));
+                            let mut full = CandidateBatch::with_capacity(st.datagrams.len());
+                            for part in parts {
+                                full.append(part.expect("every chunk extracted"));
+                            }
+                            let mut builder = ContextBuilder::new(config);
+                            for (d, cands) in st.datagrams.iter().zip(full.iter()) {
+                                builder.observe(d.borrow(), cands);
+                            }
+                            let ctx = builder.finish_with_threads(1);
+                            assert!(st.sealed.set(Sealed { batch: full, ctx }).is_ok(), "call sealed twice");
+                            for chunk in 0..st.chunks {
+                                outstanding.fetch_add(1, Ordering::Release);
+                                injector.push(Item::Resolve { call, chunk });
+                            }
+                        }
+                    }
+                    Item::Resolve { call, chunk } => {
+                        let st = &states_ref[call];
+                        let sealed = st.sealed.get().expect("resolve before seal");
+                        let slice = chunk_of(st.datagrams, chunk);
+                        let start = chunk * CHUNK_DATAGRAMS;
+                        let mut dissections = Vec::with_capacity(slice.len());
+                        let mut rejections: BTreeMap<String, usize> = BTreeMap::new();
+                        for (k, d) in slice.iter().enumerate() {
+                            let d = d.borrow();
+                            let dd = resolve_datagram(d, sealed.batch.get(start + k), &sealed.ctx);
+                            if dd.class == DatagramClass::FullyProprietary {
+                                let key = crate::pattern::rejection_key(&d.payload);
+                                match rejections.get_mut(key.as_ref()) {
+                                    Some(n) => *n += 1,
+                                    None => {
+                                        rejections.insert(key.into_owned(), 1);
+                                    }
+                                }
+                            }
+                            dissections.push(dd);
+                        }
+                        st.resolved.lock().expect("resolved poisoned")[chunk] = Some((dissections, rejections));
+                    }
+                }
+                outstanding.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+    });
+
+    states
+        .into_iter()
+        .map(|mut st| {
+            if st.chunks == 0 {
+                return CallDissection::default();
+            }
+            let mut out = CallDissection::default();
+            out.datagrams.reserve(st.datagrams.len());
+            for part in std::mem::take(&mut *st.resolved.lock().expect("resolved poisoned")) {
+                let (dissections, rejections) = part.expect("every chunk resolved");
+                out.datagrams.extend(dissections);
+                for (key, n) in rejections {
+                    *out.rejections.entry(key).or_default() += n;
+                }
+            }
+            let mut sealed = st.sealed.take().expect("call sealed");
+            out.rtp_ssrcs = std::mem::take(&mut sealed.ctx.rtp_ssrcs);
             out
         })
         .collect()
@@ -272,6 +605,43 @@ mod tests {
     }
 
     #[test]
+    fn threads_override_parses_and_warns() {
+        assert_eq!(threads_override(None), None);
+        assert_eq!(threads_override(Some("")), None, "empty = unset (CI matrix passes \"\")");
+        assert_eq!(threads_override(Some("  ")), None);
+        assert_eq!(threads_override(Some("8")), Some(8));
+        assert_eq!(threads_override(Some(" 3 ")), Some(3));
+        // Unparsable: ignored, but loudly.
+        assert_eq!(threads_override(Some("banana")), None);
+        assert!(
+            rtc_obs::diag::warnings().iter().any(|m| m.contains("RTC_DPI_THREADS") && m.contains("banana")),
+            "unparsable override must leave a diagnostic"
+        );
+        assert_eq!(threads_override(Some("0")), None, "zero threads is not a usable override");
+        assert_eq!(threads_override(Some("-2")), None);
+    }
+
+    #[test]
+    fn cgroup_quota_parsing() {
+        // v2 cpu.max
+        assert_eq!(parse_cgroup2_cpu_max("max 100000\n"), None, "no limit");
+        assert_eq!(parse_cgroup2_cpu_max("400000 100000\n"), Some(4));
+        assert_eq!(parse_cgroup2_cpu_max("150000 100000"), Some(2), "fractional quota rounds up");
+        assert_eq!(parse_cgroup2_cpu_max("50000 100000"), Some(1), "sub-core quota still gets one worker");
+        assert_eq!(parse_cgroup2_cpu_max(""), None);
+        assert_eq!(parse_cgroup2_cpu_max("garbage"), None);
+        assert_eq!(parse_cgroup2_cpu_max("100000"), None, "missing period");
+        // v1 cfs files
+        assert_eq!(parse_cgroup1_cfs("-1\n", "100000\n"), None, "-1 = unlimited");
+        assert_eq!(parse_cgroup1_cfs("400000", "100000"), Some(4));
+        assert_eq!(parse_cgroup1_cfs("250000", "100000"), Some(3), "ceil(2.5)");
+        assert_eq!(parse_cgroup1_cfs("50000", "100000"), Some(1));
+        assert_eq!(parse_cgroup1_cfs("0", "100000"), None);
+        assert_eq!(parse_cgroup1_cfs("100000", "0"), None);
+        assert_eq!(parse_cgroup1_cfs("junk", "100000"), None);
+    }
+
+    #[test]
     fn scheduled_extraction_matches_sequential_in_order() {
         let datagrams = corpus(3 * CHUNK_DATAGRAMS + 17);
         let config = DpiConfig::default();
@@ -330,6 +700,44 @@ mod tests {
         let out = extract_all(&datagrams, &par_cfg);
         for (i, d) in datagrams.iter().enumerate() {
             assert_eq!(out.get(i), &extract_candidates(&d.payload, par_cfg.max_offset)[..]);
+        }
+    }
+
+    #[test]
+    fn resolve_all_matches_serial_at_every_thread_count() {
+        let datagrams = corpus(4 * CHUNK_DATAGRAMS + 31);
+        let serial_cfg = DpiConfig { threads: 1, parallel_threshold: usize::MAX, ..DpiConfig::default() };
+        let batch = extract_sequential(&datagrams, &serial_cfg);
+        let ctx = ValidationContext::build(&datagrams, &batch, &serial_cfg);
+        let (serial, serial_samples) = resolve_all(&datagrams, &batch, &ctx, &serial_cfg, 64);
+        assert_eq!(serial_samples.len(), datagrams.len().div_ceil(64));
+        for threads in [2usize, 3, 8] {
+            let cfg = DpiConfig { threads, parallel_threshold: 1, ..DpiConfig::default() };
+            let (par, samples) = resolve_all(&datagrams, &batch, &ctx, &cfg, 64);
+            assert_eq!(par, serial, "threads {threads}");
+            // Identical sample indices in identical order (values are wall
+            // clock and may differ).
+            let idx: Vec<usize> = samples.iter().map(|&(i, _)| i).collect();
+            let serial_idx: Vec<usize> = serial_samples.iter().map(|&(i, _)| i).collect();
+            assert_eq!(idx, serial_idx, "threads {threads}");
+        }
+        // sample_every = 0: no sampling at all.
+        let (_, none) = resolve_all(&datagrams, &batch, &ctx, &serial_cfg, 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn pooled_dissection_matches_per_call_dissect() {
+        let a = corpus(2 * CHUNK_DATAGRAMS + 5);
+        let b = corpus(7);
+        let c = corpus(CHUNK_DATAGRAMS);
+        let empty: Vec<Datagram> = Vec::new();
+        let calls: Vec<&[Datagram]> = vec![&a, &b, &empty, &c];
+        let serial_cfg = DpiConfig { threads: 1, parallel_threshold: usize::MAX, ..DpiConfig::default() };
+        let expect: Vec<CallDissection> = calls.iter().map(|c| crate::dissect_call(c, &serial_cfg)).collect();
+        for threads in [2usize, 3, 8] {
+            let got = dissect_calls_pooled(&calls, &serial_cfg, threads);
+            assert_eq!(got, expect, "threads {threads}");
         }
     }
 }

@@ -453,11 +453,9 @@ fn extract_at_zero(payload: &[u8], out: &mut Vec<Candidate>) {
 fn dispatch_gated(payload: &[u8], i: usize, out: &mut Vec<Candidate>) {
     let tail = &payload[i..];
     match tail[0] >> 6 {
-        0b00 => {
-            if stun_prefilter(tail) {
-                if let Some(c) = match_stun(tail, i) {
-                    out.push(c);
-                }
+        0b00 if stun_prefilter(tail) => {
+            if let Some(c) = match_stun(tail, i) {
+                out.push(c);
             }
         }
         0b10 => {
@@ -495,7 +493,8 @@ fn stun_prefilter(tail: &[u8]) -> bool {
     }
     let declared = u16::from_be_bytes([tail[2], tail[3]]) as usize;
     (declared & 3 == 0)
-        & (tail[4..8] == stun::MAGIC_COOKIE.to_be_bytes() || (declared != 0 && stun::HEADER_LEN + declared == tail.len()))
+        & (tail[4..8] == stun::MAGIC_COOKIE.to_be_bytes()
+            || (declared != 0 && stun::HEADER_LEN + declared == tail.len()))
 }
 
 /// Necessary conditions for [`match_rtcp`]: the declared length (in 32-bit

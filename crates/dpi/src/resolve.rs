@@ -6,6 +6,7 @@ use crate::{DatagramClass, DatagramDissection, DpiConfig, DpiMessage, Protocol};
 use rtc_pcap::trace::Datagram;
 use rtc_wire::ip::FiveTuple;
 use std::borrow::Borrow;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
 /// Stream-context facts gathered across the whole call, used to validate
@@ -13,12 +14,12 @@ use std::collections::{HashMap, HashSet};
 #[derive(Debug, Default)]
 pub struct ValidationContext {
     /// Per directional stream: SSRCs whose groups passed the RTP
-    /// sequence-continuity test (tiny per stream, so a flat list beats a
-    /// set — and the stream key hashes once per *datagram*, not per
-    /// candidate, via [`StreamView`]).
+    /// sequence-continuity test, sorted ascending (tiny per stream, so a
+    /// flat sorted list beats a set — and the stream key hashes once per
+    /// *datagram*, not per candidate, via [`StreamView`]).
     valid_rtp_groups: HashMap<FiveTuple, Vec<u32>>,
     /// Per directional stream: legacy message types with enough members to
-    /// trust a cookie-less STUN match.
+    /// trust a cookie-less STUN match, sorted ascending.
     legacy_stun_groups: HashMap<FiveTuple, Vec<u16>>,
     /// RTP SSRCs per *conversation* (canonical stream key), from valid
     /// groups — the RTCP cross-validation set.
@@ -42,6 +43,27 @@ struct StreamView<'a> {
 
 static NO_U32: [u32; 0] = [];
 static NO_U16: [u16; 0] = [];
+
+/// Membership test on a small sorted slice via a branch-free binary search:
+/// the probe is a conditional move per halving, so the (overwhelmingly
+/// mispredicting) noise candidates never stall on a data-dependent branch
+/// the way `slice::contains` does. Falls back to the same answer as
+/// `s.contains(&x)` — callers must keep the slice sorted ascending.
+#[inline]
+fn sorted_contains<T: Copy + Ord>(s: &[T], x: T) -> bool {
+    let mut base = 0usize;
+    let mut size = s.len();
+    if size == 0 {
+        return false;
+    }
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        base = if s[mid] <= x { mid } else { base };
+        size -= half;
+    }
+    s[base] == x
+}
 
 impl ValidationContext {
     /// Build the context from all candidates of a call (validation is a
@@ -104,8 +126,7 @@ impl StreamView<'_> {
 /// [`finish`]: ContextBuilder::finish
 #[derive(Debug)]
 pub struct ContextBuilder {
-    rtp_min_group: usize,
-    rtp_max_seq_gap: u16,
+    config: DpiConfig,
     // RTP: collect per-(stream, ssrc) sequence numbers and first header
     // bytes in capture order. Legacy STUN: count per-(stream, type).
     //
@@ -120,17 +141,18 @@ pub struct ContextBuilder {
     // arrival index preserves capture order within each group.
     stream_ids: HashMap<FiveTuple, u32>,
     streams: Vec<FiveTuple>,
-    rtp_rows: Vec<(u64, u32, u16, u8)>,
+    rtp_rows: Vec<RtpRow>,
     legacy: HashMap<(FiveTuple, u16), usize>,
     ctx: ValidationContext,
 }
+
+type RtpRow = (u64, u32, u16, u8);
 
 impl ContextBuilder {
     /// Start accumulating observations for one call.
     pub fn new(config: &DpiConfig) -> ContextBuilder {
         ContextBuilder {
-            rtp_min_group: config.rtp_min_group,
-            rtp_max_seq_gap: config.rtp_max_seq_gap,
+            config: *config,
             stream_ids: HashMap::new(),
             streams: Vec::new(),
             rtp_rows: Vec::new(),
@@ -171,99 +193,198 @@ impl ContextBuilder {
         }
     }
 
-    /// Validate the accumulated groups into the final [`ValidationContext`].
+    /// Validate the accumulated groups into the final [`ValidationContext`],
+    /// parallelizing the RTP group scan when the workload and config call
+    /// for it (see [`finish_with_threads`]): below
+    /// [`DpiConfig::parallel_threshold`] rows the scan is serial, otherwise
+    /// `DpiConfig::threads` workers (0 = one per core) split it.
+    ///
+    /// [`finish_with_threads`]: ContextBuilder::finish_with_threads
     pub fn finish(self) -> ValidationContext {
-        let ContextBuilder { rtp_min_group, rtp_max_seq_gap, streams, mut rtp_rows, legacy, mut ctx, .. } = self;
+        let threads = if self.rtp_rows.len() < self.config.parallel_threshold.max(1) {
+            1
+        } else {
+            match self.config.threads {
+                0 => crate::par::hardware_threads(),
+                n => n,
+            }
+        };
+        self.finish_with_threads(threads)
+    }
+
+    /// [`finish`](ContextBuilder::finish) with an explicit worker count.
+    ///
+    /// `threads <= 1` runs the serial scan. Otherwise the sorted row array
+    /// is cut into `threads` contiguous ranges with every boundary advanced
+    /// to the next key change, so a `(stream, SSRC)` group — a run of equal
+    /// keys, which the sort made contiguous — is always scanned whole by
+    /// exactly one worker and the test sees the same members as the serial
+    /// scan. Partial results are concatenated in partition order, which is
+    /// row order, so the context maps are built in the identical sequence
+    /// either way: the outcome is byte-for-byte independent of `threads`.
+    pub fn finish_with_threads(self, threads: usize) -> ValidationContext {
+        let ContextBuilder { config, streams, mut rtp_rows, legacy, mut ctx, .. } = self;
         bucket_sort_rows(&mut rtp_rows);
-        let mut i = 0;
-        while i < rtp_rows.len() {
-            let key = rtp_rows[i].0;
-            let mut j = i + 1;
-            while j < rtp_rows.len() && rtp_rows[j].0 == key {
-                j += 1;
+        let (min_group, max_gap) = (config.rtp_min_group, config.rtp_max_seq_gap);
+        let valid_keys: Vec<u64> = if threads <= 1 || rtp_rows.len() < 2 {
+            scan_groups(&rtp_rows, min_group, max_gap)
+        } else {
+            let t = threads.min(rtp_rows.len());
+            let mut bounds = Vec::with_capacity(t + 1);
+            bounds.push(0usize);
+            for i in 1..t {
+                let mut b = (i * rtp_rows.len() / t).max(*bounds.last().expect("non-empty"));
+                while b < rtp_rows.len() && rtp_rows[b].0 == rtp_rows[b - 1].0 {
+                    b += 1;
+                }
+                bounds.push(b);
             }
-            let members = &rtp_rows[i..j];
-            i = j;
-            if members.len() < rtp_min_group {
-                continue;
-            }
-            // Majority of successive deltas must be small positive steps:
-            // real media advances its sequence number monotonically (with
-            // loss gaps), while pattern false-positives produce noise.
-            let small = members
-                .windows(2)
-                .filter(|w| {
-                    let delta = w[1].2.wrapping_sub(w[0].2);
-                    (1..=rtp_max_seq_gap).contains(&delta)
-                })
-                .count();
-            // A real stream also keeps its first header byte (version,
-            // padding/extension flags, CSRC count) essentially constant,
-            // while offset-aliasing false positives read a varying byte.
-            let mut byte_counts = [0u32; 256];
-            let mut modal = 0u32;
-            for &(_, _, _, b) in members {
-                byte_counts[b as usize] += 1;
-                modal = modal.max(byte_counts[b as usize]);
-            }
-            let consistent_header = modal as usize * 4 >= members.len() * 3;
-            if small * 2 >= members.len() - 1 && consistent_header {
-                let stream = streams[(key >> 32) as usize];
-                let ssrc = key as u32;
-                ctx.valid_rtp_groups.entry(stream).or_default().push(ssrc);
-                ctx.rtp_ssrcs.entry(stream.canonical()).or_default().insert(ssrc);
-            }
+            bounds.push(rtp_rows.len());
+            let parts: Vec<Vec<u64>> = std::thread::scope(|s| {
+                let handles: Vec<_> = bounds
+                    .windows(2)
+                    .map(|w| {
+                        let slice = &rtp_rows[w[0]..w[1]];
+                        s.spawn(move || scan_groups(slice, min_group, max_gap))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("validation worker panicked")).collect()
+            });
+            parts.concat()
+        };
+        for key in valid_keys {
+            let stream = streams[(key >> 32) as usize];
+            let ssrc = key as u32;
+            ctx.valid_rtp_groups.entry(stream).or_default().push(ssrc);
+            ctx.rtp_ssrcs.entry(stream.canonical()).or_default().insert(ssrc);
         }
         for ((stream, message_type), n) in legacy {
             if n >= 2 {
                 ctx.legacy_stun_groups.entry(stream).or_default().push(message_type);
             }
         }
+        // The per-stream lists are searched per candidate with
+        // [`sorted_contains`]; freeze them in sorted order (which also makes
+        // the legacy lists deterministic despite HashMap iteration).
+        for v in ctx.valid_rtp_groups.values_mut() {
+            v.sort_unstable();
+        }
+        for v in ctx.legacy_stun_groups.values_mut() {
+            v.sort_unstable();
+        }
         ctx
     }
 }
 
-/// Sort RTP rows by their packed `stream_id << 32 | ssrc` key (full
-/// lexicographic tuple order, same result as `rows.sort_unstable()`): one
-/// counting-sort scatter over the low 16 SSRC bits, then a comparison sort
-/// inside each tiny bucket. Noise keys are near-uniform over the buckets
-/// (mean occupancy ~1) while a real media stream's rows land in one bucket
-/// already grouped, so the per-bucket sorts touch almost nothing — about
-/// half the cost of a multi-pass radix at this volume, and far below the
-/// global comparison sort.
-fn bucket_sort_rows(rows: &mut Vec<(u64, u32, u16, u8)>) {
+/// Scan one contiguous range of sorted RTP rows and return the keys of the
+/// groups that pass validation, in row (= ascending-key-run) order. The
+/// slice must contain only whole groups: every run of equal keys starts
+/// and ends inside it.
+fn scan_groups(rows: &[RtpRow], min_group: usize, max_gap: u16) -> Vec<u64> {
+    let mut valid = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        let key = rows[i].0;
+        let mut j = i + 1;
+        while j < rows.len() && rows[j].0 == key {
+            j += 1;
+        }
+        let members = &rows[i..j];
+        i = j;
+        if members.len() < min_group {
+            continue;
+        }
+        // Majority of successive deltas must be small positive steps:
+        // real media advances its sequence number monotonically (with
+        // loss gaps), while pattern false-positives produce noise.
+        let small = members
+            .windows(2)
+            .filter(|w| {
+                let delta = w[1].2.wrapping_sub(w[0].2);
+                (1..=max_gap).contains(&delta)
+            })
+            .count();
+        // A real stream also keeps its first header byte (version,
+        // padding/extension flags, CSRC count) essentially constant,
+        // while offset-aliasing false positives read a varying byte.
+        let mut byte_counts = [0u32; 256];
+        let mut modal = 0u32;
+        for &(_, _, _, b) in members {
+            byte_counts[b as usize] += 1;
+            modal = modal.max(byte_counts[b as usize]);
+        }
+        let consistent_header = modal as usize * 4 >= members.len() * 3;
+        if small * 2 >= members.len() - 1 && consistent_header {
+            valid.push(key);
+        }
+    }
+    valid
+}
+
+/// Reusable per-thread scratch for [`bucket_sort_rows`]: the 256 KiB count
+/// table and the scatter target survive between calls, so a steady-state
+/// `finish` performs no sort allocations at all (the swap below leaves the
+/// previous row buffer behind as the next call's scatter target).
+struct SortScratch {
+    counts: Vec<u32>,
+    aux: Vec<RtpRow>,
+}
+
+thread_local! {
+    static SORT_SCRATCH: RefCell<SortScratch> = const { RefCell::new(SortScratch { counts: Vec::new(), aux: Vec::new() }) };
+}
+
+/// Sort RTP rows so equal packed `stream_id << 32 | ssrc` keys are
+/// contiguous and each run is internally in full lexicographic tuple order:
+/// one counting-sort scatter over the low 16 SSRC bits, then a comparison
+/// sort inside each tiny bucket. Noise keys are near-uniform over the
+/// buckets (mean occupancy ~1) while a real media stream's rows land in one
+/// bucket already grouped, so the per-bucket sorts touch almost nothing —
+/// about half the cost of a multi-pass radix at this volume, and far below
+/// the global comparison sort. The count table and scatter buffer come from
+/// a thread-local [`SortScratch`] instead of being allocated per call.
+fn bucket_sort_rows(rows: &mut Vec<RtpRow>) {
     const BUCKETS: usize = 1 << 16;
     if rows.len() < 64 {
         rows.sort_unstable();
         return;
     }
-    let mut counts = vec![0u32; BUCKETS];
-    for r in rows.iter() {
-        counts[r.0 as usize & (BUCKETS - 1)] += 1;
-    }
-    let mut sum = 0u32;
-    for c in counts.iter_mut() {
-        let n = *c;
-        *c = sum;
-        sum += n;
-    }
-    let mut aux: Vec<(u64, u32, u16, u8)> = vec![(0, 0, 0, 0); rows.len()];
-    for r in rows.iter() {
-        let b = r.0 as usize & (BUCKETS - 1);
-        aux[counts[b] as usize] = *r;
-        counts[b] += 1;
-    }
-    std::mem::swap(rows, &mut aux);
-    // After the scatter `counts[b]` is bucket b's end; the previous bucket's
-    // end is its start. Equal keys can never span buckets.
-    let mut start = 0usize;
-    for &end in counts.iter() {
-        let end = end as usize;
-        if end - start > 1 {
-            rows[start..end].sort_unstable();
+    SORT_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        if scratch.counts.len() != BUCKETS {
+            scratch.counts = vec![0u32; BUCKETS];
+        } else {
+            scratch.counts.fill(0);
         }
-        start = end;
-    }
+        let counts = &mut scratch.counts;
+        for r in rows.iter() {
+            counts[r.0 as usize & (BUCKETS - 1)] += 1;
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = sum;
+            sum += n;
+        }
+        scratch.aux.clear();
+        scratch.aux.resize(rows.len(), (0, 0, 0, 0));
+        for r in rows.iter() {
+            let b = r.0 as usize & (BUCKETS - 1);
+            scratch.aux[counts[b] as usize] = *r;
+            counts[b] += 1;
+        }
+        std::mem::swap(rows, &mut scratch.aux);
+        // After the scatter `counts[b]` is bucket b's end; the previous
+        // bucket's end is its start. Equal keys can never span buckets.
+        let mut start = 0usize;
+        for &end in counts.iter() {
+            let end = end as usize;
+            if end - start > 1 {
+                rows[start..end].sort_unstable();
+            }
+            start = end;
+        }
+    });
 }
 
 fn protocol_of(kind: &CandidateKind) -> Protocol {
@@ -290,9 +411,11 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
     let mut accepted: Vec<Accepted> = Vec::new();
     let mut free = 0usize; // next unclaimed top-level byte
     let mut container: Option<(usize, usize)> = None; // nested-allowed region
+    let mut container_nested = 0usize; // nested messages in the CURRENT container
     let mut nested_free = 0usize;
     let mut gap_in_middle = false;
-    let mut nested_gap = 0usize;
+    let mut container_gap = false; // unclaimed container bytes adjacent to nested messages
+    let mut nested_gap = 0usize; // offset of the first such gap, for prop_header_len
 
     for c in candidates {
         // --- Validation (step 2) -----------------------------------------
@@ -303,19 +426,26 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
             // extraction, plus repetition — the paper pairs transactions to
             // the same end; a single structural match of the weak RFC 3489
             // header is not trustworthy.
-            CandidateKind::Stun { modern: false, message_type } => view.legacy.contains(message_type),
+            CandidateKind::Stun { modern: false, message_type } => sorted_contains(view.legacy, *message_type),
             CandidateKind::ChannelData { .. } => true, // exact-length at extraction
-            CandidateKind::Rtp { ssrc, .. } => view.rtp.contains(ssrc),
+            CandidateKind::Rtp { ssrc, .. } => sorted_contains(view.rtp, *ssrc),
             CandidateKind::Rtcp { .. } => {
                 let body = &payload[c.offset + 4..c.offset + c.len];
                 let ssrc = (body.len() >= 4).then(|| u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
                 view.rtcp_ssrc_valid(ssrc)
-                    // Compound continuation: an RTCP packet directly following
-                    // an accepted RTCP packet belongs to the same compound.
-                    || (c.offset == free
-                        && accepted.last().is_some_and(|a| {
-                            !a.nested && matches!(a.kind, CandidateKind::Rtcp { .. })
-                        }))
+                    // Compound continuation: an RTCP packet that starts
+                    // exactly where the most recently accepted RTCP message
+                    // ends belongs to the same compound — whether that
+                    // message was top-level or nested inside a container
+                    // (compounds relayed through ChannelData / STUN DATA
+                    // continue inside the container; a compound may also
+                    // start right after a container that ends in RTCP).
+                    // Byte adjacency subsumes the last *top-level* check:
+                    // a non-adjacent candidate can never continue a
+                    // compound, wherever the previous message sat.
+                    || accepted
+                        .last()
+                        .is_some_and(|a| matches!(a.kind, CandidateKind::Rtcp { .. }) && a.offset + a.len == c.offset)
             }
             CandidateKind::QuicLong { .. } => true,
             CandidateKind::QuicShortProbe => view.quic_short_valid(payload),
@@ -325,11 +455,19 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
         }
 
         // --- Overlap / nesting resolution (step 3) ------------------------
-        if let Some((ds, de)) = container {
-            if c.offset >= nested_free.max(ds) && c.end() <= de {
-                if accepted.iter().filter(|a| a.nested).count() == 0 && c.offset > ds {
-                    nested_gap = c.offset; // proprietary bytes inside the container
+        if let Some((_, de)) = container {
+            if c.offset >= nested_free && c.end() <= de {
+                if c.offset > nested_free {
+                    // Unclaimed container bytes before this nested message:
+                    // proprietary framing inside the container (§4.1.2) —
+                    // both before the first nested message and between
+                    // nested messages.
+                    container_gap = true;
+                    if nested_gap == 0 {
+                        nested_gap = c.offset;
+                    }
                 }
+                container_nested += 1;
                 nested_free = c.end();
                 accepted.push(Accepted { kind: c.kind.clone(), offset: c.offset, len: c.len, nested: true });
                 continue;
@@ -339,12 +477,24 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
             if c.offset > free && !accepted.is_empty() {
                 gap_in_middle = true;
             }
+            // Closing the previous container: bytes between its last nested
+            // message and its declared end are proprietary too. Containers
+            // whose payload validated no nested message at all stay opaque
+            // application data (ChannelData's normal case).
+            if container_nested > 0 {
+                if let Some((_, de)) = container {
+                    if nested_free < de {
+                        container_gap = true;
+                    }
+                }
+            }
             // New containers: ChannelData payloads and STUN DATA attributes.
             container = match (&c.kind, c.data_attr) {
                 (CandidateKind::ChannelData { .. }, _) => Some((c.offset + 4, c.end())),
                 (CandidateKind::Stun { .. }, Some((s, e))) => Some((c.offset + s, c.offset + e)),
                 _ => None,
             };
+            container_nested = 0;
             nested_free = container.map(|(s, _)| s).unwrap_or(0);
             free = c.end();
             accepted.push(Accepted { kind: c.kind.clone(), offset: c.offset, len: c.len, nested: false });
@@ -366,6 +516,15 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
         }
         // Otherwise: overlapping candidate, dropped.
     }
+    // The last container closes at end of input: a tail gap after its last
+    // nested message is proprietary the same as an interior one.
+    if container_nested > 0 {
+        if let Some((_, de)) = container {
+            if nested_free < de {
+                container_gap = true;
+            }
+        }
+    }
 
     // --- Classification (§4.1.2) ------------------------------------------
     let prefix = accepted.iter().find(|a| !a.nested).map(|a| a.offset).unwrap_or(0);
@@ -381,7 +540,7 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
 
     let class = if accepted.is_empty() {
         DatagramClass::FullyProprietary
-    } else if prefix > 0 || gap_in_middle || nested_gap > 0 || !trailing_tolerated {
+    } else if prefix > 0 || gap_in_middle || container_gap || !trailing_tolerated {
         DatagramClass::ProprietaryHeader
     } else {
         DatagramClass::Standard
@@ -410,5 +569,239 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
         trailing: payload.slice(free.min(payload.len())..),
         class,
         prop_header_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rtc_pcap::Timestamp;
+    use rtc_wire::rtp::PacketBuilder;
+
+    fn dgram(ts_ms: u64, payload: Vec<u8>) -> Datagram {
+        Datagram {
+            ts: Timestamp::from_millis(ts_ms),
+            five_tuple: FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "1.2.3.4:2000".parse().unwrap()),
+            payload: Bytes::from(payload),
+        }
+    }
+
+    #[test]
+    fn sorted_contains_agrees_with_linear_search() {
+        for len in 0..12usize {
+            let s: Vec<u32> = (0..len as u32).map(|i| i * 3 + 1).collect();
+            for x in 0..40u32 {
+                assert_eq!(sorted_contains(&s, x), s.contains(&x), "len {len}, x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_sort_groups_equal_keys_in_tuple_order() {
+        // Keys engineered to collide in the low 16 bits and to exceed the
+        // 64-row sort_unstable cutoff, so the scatter + per-bucket path runs.
+        let mut rows: Vec<RtpRow> = (0..200u32)
+            .map(|i| {
+                let key = ((i % 7) as u64) << 32 | ((i % 3) as u64) << 16 | (i % 5) as u64;
+                (key, 199 - i, (i % 11) as u16, (i % 2) as u8)
+            })
+            .collect();
+        let mut expect = rows.clone();
+        expect.sort_unstable();
+        bucket_sort_rows(&mut rows);
+        // Same multiset, equal keys contiguous and internally tuple-sorted.
+        let mut seen: Vec<u64> = Vec::new();
+        let mut i = 0;
+        while i < rows.len() {
+            let key = rows[i].0;
+            assert!(!seen.contains(&key), "key {key:#x} appears in two runs");
+            seen.push(key);
+            let mut j = i;
+            while j < rows.len() && rows[j].0 == key {
+                if j > i {
+                    assert!(rows[j - 1] <= rows[j], "run not sorted at {j}");
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        let mut resorted = rows.clone();
+        resorted.sort_unstable();
+        assert_eq!(resorted, expect);
+        // Scratch reuse: a second sort through the same thread-local arena
+        // must be just as correct.
+        let mut rows2: Vec<RtpRow> = (0..150u32).map(|i| ((i % 4) as u64, i, i as u16, 0)).collect();
+        bucket_sort_rows(&mut rows2);
+        assert!(rows2.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// SSRC groups whose rows interleave across many datagrams (and many
+    /// streams) must regroup exactly, serial and partitioned alike.
+    #[test]
+    fn interleaved_ssrc_groups_validate_across_datagrams() {
+        let config = DpiConfig::default();
+        let tuples: Vec<FiveTuple> = (0..4)
+            .map(|i| {
+                FiveTuple::udp(format!("10.0.0.{}:1000", i + 1).parse().unwrap(), "1.2.3.4:2000".parse().unwrap())
+            })
+            .collect();
+        let ssrcs = [0x0101u32, 0x0202, 0x0303, 0x1_0101]; // last collides with first in the low 16 bits
+                                                           // Round-robin interleave: datagram n carries stream n%4, ssrc n%4,
+                                                           // seq n/4 — every group's rows are maximally spread out.
+        let dgrams: Vec<Datagram> = (0..48u32)
+            .map(|n| {
+                let payload =
+                    PacketBuilder::new(96, (n / 4) as u16, n, ssrcs[(n % 4) as usize]).payload(vec![7; 40]).build();
+                Datagram {
+                    ts: Timestamp::from_millis(n as u64),
+                    five_tuple: tuples[(n % 4) as usize],
+                    payload: Bytes::from(payload),
+                }
+            })
+            .collect();
+        let build = |threads: usize| {
+            let mut b = ContextBuilder::new(&config);
+            for d in &dgrams {
+                let cands = crate::pattern::extract_candidates(&d.payload, config.max_offset);
+                b.observe(d, &cands);
+            }
+            b.finish_with_threads(threads)
+        };
+        for threads in [1usize, 2, 3, 7, 16] {
+            let ctx = build(threads);
+            for (i, t) in tuples.iter().enumerate() {
+                let valid = ctx.valid_rtp_groups.get(t).unwrap_or_else(|| panic!("stream {i} missing"));
+                assert!(valid.contains(&ssrcs[i]), "threads {threads}: stream {i} lost ssrc {:#x}", ssrcs[i]);
+                assert!(valid.windows(2).all(|w| w[0] < w[1]), "unsorted ssrc list");
+            }
+        }
+    }
+
+    /// Partitioned validation must agree with serial over adversarial row
+    /// layouts: many groups of varying size, boundaries landing mid-group.
+    #[test]
+    fn finish_with_threads_matches_serial() {
+        let config = DpiConfig { rtp_min_group: 3, ..DpiConfig::default() };
+        let tuple = FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "1.2.3.4:2000".parse().unwrap());
+        // 40 SSRC groups, sizes 1..=8 cycling: some below min_group, some
+        // valid, some with broken continuity (every 5th group scrambled).
+        let mut dgrams = Vec::new();
+        let mut ts = 0u64;
+        for g in 0..40u32 {
+            let size = (g % 8 + 1) as u16;
+            for s in 0..size {
+                let seq = if g % 5 == 0 { s.wrapping_mul(9371) } else { 100 + s };
+                let p = PacketBuilder::new(96, seq, ts as u32, 0x4000_0000 + g).payload(vec![5; 30]).build();
+                dgrams.push(Datagram { ts: Timestamp::from_millis(ts), five_tuple: tuple, payload: Bytes::from(p) });
+                ts += 1;
+            }
+        }
+        let contexts: Vec<ValidationContext> = [1usize, 2, 4, 5, 9]
+            .iter()
+            .map(|&threads| {
+                let mut b = ContextBuilder::new(&config);
+                for d in &dgrams {
+                    let cands = crate::pattern::extract_candidates(&d.payload, config.max_offset);
+                    b.observe(d, &cands);
+                }
+                b.finish_with_threads(threads)
+            })
+            .collect();
+        let serial = &contexts[0];
+        assert!(!serial.valid_rtp_groups.is_empty(), "test must validate something");
+        for (i, ctx) in contexts.iter().enumerate().skip(1) {
+            assert_eq!(ctx.valid_rtp_groups, serial.valid_rtp_groups, "context {i}");
+            assert_eq!(ctx.rtp_ssrcs, serial.rtp_ssrcs, "context {i}");
+        }
+    }
+
+    /// A gap between two nested messages, or after the last nested message,
+    /// must classify as ProprietaryHeader (§4.1.2) — the historical bug
+    /// only caught the gap before the *first* nested message.
+    #[test]
+    fn container_interior_and_tail_gaps_classify_proprietary() {
+        use rtc_wire::rtcp::SenderReport;
+        use rtc_wire::stun::ChannelData;
+        let config = DpiConfig::default();
+        let sr = |ssrc: u32| {
+            SenderReport {
+                ssrc,
+                ntp_timestamp: 1,
+                rtp_timestamp: 2,
+                packet_count: 3,
+                octet_count: 4,
+                reports: vec![],
+            }
+            .build()
+        };
+        // Establish the RTP stream so nested RTCP cross-validates.
+        let mut dgrams: Vec<Datagram> = (0..5u16)
+            .map(|i| dgram(i as u64, PacketBuilder::new(96, i, 0, 0x7777).payload(vec![0; 40]).build()))
+            .collect();
+        // [CD [SR] [4 junk bytes] ]: tail gap after the last nested message.
+        // (Junk leads 0x00: the STUN matcher rejects it on length, and no
+        // other matcher class can start there.)
+        let mut inner = sr(0x7777);
+        inner.extend_from_slice(&[0x00, 0x01, 0x02, 0x03]);
+        dgrams.push(dgram(100, ChannelData::build(0x4001, &inner)));
+        // [CD [SR] [4 junk] [SR] ]: gap *between* nested messages.
+        let mut inner2 = sr(0x7777);
+        inner2.extend_from_slice(&[0x00, 0x01, 0x02, 0x03]);
+        inner2.extend_from_slice(&sr(0x7777));
+        dgrams.push(dgram(101, ChannelData::build(0x4001, &inner2)));
+        let out = crate::dissect_call(&dgrams, &config);
+        let tail_gap = &out.datagrams[5];
+        assert_eq!(tail_gap.class, DatagramClass::ProprietaryHeader, "tail gap: {tail_gap:?}");
+        let mid_gap = &out.datagrams[6];
+        assert_eq!(mid_gap.class, DatagramClass::ProprietaryHeader, "interior gap");
+        assert_eq!(mid_gap.messages.iter().filter(|m| m.nested).count(), 2, "both SRs recovered");
+    }
+
+    /// An RTCP compound continuing across/after a container: the second
+    /// nested RTCP (unknown SSRC) continues the compound inside the
+    /// container, and a top-level RTCP right after a STUN DATA container
+    /// that ends in RTCP is a continuation too — the historical rule
+    /// required `accepted.last()` to be *top-level* RTCP and rejected both.
+    #[test]
+    fn rtcp_compound_continues_through_and_after_containers() {
+        use rtc_wire::rtcp::{build_bye, SenderReport};
+        use rtc_wire::stun::{attr, msg_type, ChannelData, MessageBuilder};
+        let config = DpiConfig::default();
+        let sr = SenderReport {
+            ssrc: 0x9999,
+            ntp_timestamp: 1,
+            rtp_timestamp: 2,
+            packet_count: 3,
+            octet_count: 4,
+            reports: vec![],
+        }
+        .build();
+        let mut dgrams: Vec<Datagram> = (0..5u16)
+            .map(|i| dgram(i as u64, PacketBuilder::new(96, i, 0, 0x9999).payload(vec![0; 40]).build()))
+            .collect();
+        // Nested compound: [CD [SR][BYE(foreign ssrc)] ] — BYE's SSRC never
+        // validates on its own, only as a compound continuation.
+        let mut compound = sr.clone();
+        compound.extend_from_slice(&build_bye(&[0xABCD_EF01]));
+        dgrams.push(dgram(100, ChannelData::build(0x4001, &compound)));
+        // After-container compound: [STUN(DATA=[SR])][BYE(foreign ssrc)] —
+        // the BYE starts exactly where the DATA container (and its nested
+        // SR) ends. ChannelData can't frame this shape (its matcher allows
+        // at most 3 trailing bytes), but modern STUN tolerates a suffix.
+        let mut after =
+            MessageBuilder::new(msg_type::DATA_INDICATION, [3; 12]).attribute(attr::DATA, sr.clone()).build();
+        after.extend_from_slice(&build_bye(&[0xABCD_EF01]));
+        dgrams.push(dgram(101, after));
+        let out = crate::dissect_call(&dgrams, &config);
+        let nested = &out.datagrams[5];
+        assert_eq!(nested.class, DatagramClass::Standard, "nested compound: {nested:?}");
+        assert_eq!(nested.messages.len(), 3, "CD + SR + BYE");
+        assert!(nested.messages[1].nested && nested.messages[2].nested);
+        let tail = &out.datagrams[6];
+        assert_eq!(tail.messages.len(), 3, "STUN + nested SR + top-level BYE: {tail:?}");
+        assert!(tail.messages[1].nested, "SR sits in the DATA attribute");
+        assert!(!tail.messages[2].nested, "BYE after the container is top-level");
+        assert_eq!(tail.class, DatagramClass::Standard);
     }
 }

@@ -123,21 +123,29 @@ pub fn simd_supported() -> bool {
 const LO: u64 = 0x0101_0101_0101_0101;
 const HI: u64 = 0x8080_8080_8080_8080;
 
-/// HI bit set in every lane whose byte equals `k` (exact; the classic
-/// zero-byte SWAR test applied to `w ^ broadcast(k)`).
+/// HI bit set in every lane of `x` whose byte is zero. This must be the
+/// carry-free form — `(x & !HI) + !HI` keeps every lane below 0x100, so
+/// no carry crosses lanes. The classic `(x - LO) & !x & HI` test is *not*
+/// exact per lane: a zero lane's borrow falsely flags a following `0x01`
+/// lane, which both panicked the fully-gated RTP dispatch and let a bogus
+/// RTCP lane steal an offset from the `class10 ^ rtcp` RTP partition
+/// (a swar-vs-scalar divergence on adversarial payloads).
+#[inline(always)]
+fn zero_lanes(x: u64) -> u64 {
+    !(((x & !HI).wrapping_add(!HI)) | x) & HI
+}
+
+/// HI bit set in every lane whose byte equals `k` (exact per lane).
 #[inline(always)]
 fn eq_mask(w: u64, k: u8) -> u64 {
-    let x = w ^ (LO.wrapping_mul(k as u64));
-    x.wrapping_sub(LO) & !x & HI
+    zero_lanes(w ^ (LO.wrapping_mul(k as u64)))
 }
 
 /// HI bit set in every lane whose byte equals the corresponding lane of
-/// `e` (the same zero-byte test on `w ^ e`; exact — borrows propagate only
-/// out of matching lanes, where they cannot flip the verdict).
+/// `e` (exact per lane; same carry-free zero test on `w ^ e`).
 #[inline(always)]
 fn eq_vec(w: u64, e: u64) -> u64 {
-    let x = w ^ e;
-    x.wrapping_sub(LO) & !x & HI
+    zero_lanes(w ^ e)
 }
 
 /// Little-endian lane indices: lane `j` holds the byte value `j`.
@@ -366,7 +374,8 @@ mod sse2 {
             let stun = _mm_and_si128(_mm_and_si128(class00, aligned), _mm_or_si128(cookie, legacy));
 
             // RTP/RTCP demux on the second byte: 200..=207 is (b & 0xF8) == 0xC8.
-            let rtcp_byte = _mm_cmpeq_epi8(_mm_and_si128(v1, _mm_set1_epi8(0xF8u8 as i8)), _mm_set1_epi8(0xC8u8 as i8));
+            let rtcp_byte =
+                _mm_cmpeq_epi8(_mm_and_si128(v1, _mm_set1_epi8(0xF8u8 as i8)), _mm_set1_epi8(0xC8u8 as i8));
             let rtcp = _mm_and_si128(class10, rtcp_byte);
             // Plain RTP first byte: version 2 with cc = x = p = 0.
             let plain_byte = _mm_cmpeq_epi8(_mm_and_si128(v0, _mm_set1_epi8(0x3F)), zero);
@@ -485,13 +494,15 @@ mod tests {
         for i in (0..end).filter(|&i| strict_gate(payload, i)) {
             assert!(got.iter().any(|&(g, _)| g == i), "mode {mode:?}: missed strict position {i}");
         }
-        // The sweep must stop early enough that no gate load overflowed,
-        // but late enough that the scalar tail stays short.
+        // The sweep must stop early enough that no gate load overflowed
+        // (every swept lane sits at or below `len - 12`, so `end`, one past
+        // the last lane, may reach `len - 11`), but late enough that the
+        // scalar tail stays short.
         let max_lane = match mode {
             ScanMode::Simd if simd_supported() => 16,
             _ => 8,
         };
-        assert!(end <= payload.len().saturating_sub(12));
+        assert!(end <= payload.len().saturating_sub(11), "swept lane past len-12 (end {end})");
         if payload.len() >= 12 + max_lane {
             assert!(end + 12 + max_lane > payload.len().min(last + 1), "sweep stopped too early at {end}");
         }
@@ -549,6 +560,23 @@ mod tests {
                 }
                 check_sweep(&p, mode);
             }
+        }
+    }
+
+    #[test]
+    fn swar_eq_masks_have_no_borrow_false_positives() {
+        // A matching lane must not leak into the next lane differing by
+        // one: under the classic `(x - LO) & !x & HI` zero test, the
+        // borrow out of lane 0 (first byte 0x80, plain-RTP mask 0x00)
+        // falsely flagged lane 1 (first byte 0x81, mask 0x01) as
+        // `RtpPlain`, skipping the CSRC length gate entirely.
+        let mut p = vec![0u8; 24];
+        p[0] = 0x80; // plain RTP first byte at offset 0
+        p[1] = 0x81; // RTP with cc = 1 at offset 1 — needs the scalar gate
+        let mut got = Vec::new();
+        swar_sweep(&p, 0, p.len() - 1, |i, hit| got.push((i, hit)));
+        for (i, hit) in got {
+            assert_eq!(hit, reference_hit(&p, i), "borrow leaked into offset {i}");
         }
     }
 

@@ -1,0 +1,130 @@
+//! Differential property tests for the parallel validation tail.
+//!
+//! The range-partitioned group validation in `ContextBuilder::finish` and
+//! the work-stealing resolve stage behind [`rtc_dpi::dissect_call`] /
+//! [`rtc_dpi::dissect_calls`] must produce dissections *identical* to the
+//! single-threaded path — not just equivalent: byte-identical classes,
+//! message lists, SSRC sets and rejection taxonomies — on randomized calls
+//! whose RTP groups interleave across datagrams and straddle both the
+//! validation partition boundaries and the resolve chunk boundaries.
+
+use proptest::prelude::*;
+use rtc_dpi::par::CHUNK_DATAGRAMS;
+use rtc_dpi::{dissect_call, dissect_calls, DpiConfig};
+use rtc_pcap::{trace::Datagram, Timestamp};
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::rtcp::{build_bye, SenderReport};
+use rtc_wire::rtp::PacketBuilder;
+use rtc_wire::stun::{ChannelData, MessageBuilder};
+
+fn config(threads: usize) -> DpiConfig {
+    // `parallel_threshold: 1` forces every stage down the parallel path
+    // even for the small calls the generator favours; `threads: 1` is the
+    // sequential baseline by construction (see `planned_threads`).
+    DpiConfig { threads, parallel_threshold: 1, ..DpiConfig::default() }
+}
+
+fn stream(pick: bool) -> FiveTuple {
+    if pick {
+        FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "1.2.3.4:2000".parse().unwrap())
+    } else {
+        FiveTuple::udp("10.0.0.2:3000".parse().unwrap(), "5.6.7.8:4000".parse().unwrap())
+    }
+}
+
+fn sr(ssrc: u32) -> Vec<u8> {
+    SenderReport { ssrc, ntp_timestamp: 1, rtp_timestamp: 2, packet_count: 3, octet_count: 4, reports: vec![] }
+        .build()
+}
+
+/// Build one call from a script of `(ssrc_pick, kind, alt_stream, junk)`
+/// steps. RTP sequence numbers advance per `(stream, ssrc)` so groups
+/// accumulate enough continuity to validate, while interleaving freely
+/// with the other SSRCs, RTCP, STUN, containers and junk — the shapes the
+/// sorted-row partitioner has to keep together.
+fn build_call(steps: &[(u8, u8, bool, u8)]) -> Vec<Datagram> {
+    let ssrcs = [0x1111_0001u32, 0x2222_0002, 0x3333_0003];
+    let mut seq = [[0u16; 3]; 2];
+    let mut out = Vec::with_capacity(steps.len());
+    for (i, &(pick, kind, alt, junk)) in steps.iter().enumerate() {
+        let s = (pick % 3) as usize;
+        let ssrc = ssrcs[s];
+        let payload = match kind % 8 {
+            // RTP dominates so `(stream, SSRC)` groups actually form.
+            0..=3 => {
+                let sq = &mut seq[alt as usize][s];
+                *sq = sq.wrapping_add(1);
+                PacketBuilder::new(96, *sq, i as u32, ssrc).payload(vec![junk; 8 + (junk as usize % 24)]).build()
+            }
+            4 => sr(ssrc),
+            5 => {
+                let mut compound = sr(ssrc);
+                compound.extend_from_slice(&build_bye(&[0xABCD_EF01]));
+                ChannelData::build(0x4001, &compound)
+            }
+            6 => MessageBuilder::new(0x0001, [junk; 12]).build(),
+            _ => vec![junk; 4 + (junk as usize % 40)],
+        };
+        out.push(Datagram {
+            ts: Timestamp::from_millis(i as u64 * 5),
+            five_tuple: stream(alt),
+            payload: payload.into(),
+        });
+    }
+    out
+}
+
+fn call_strategy(max_steps: usize) -> impl Strategy<Value = Vec<Datagram>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>(), any::<u8>()), 1..max_steps)
+        .prop_map(|steps| build_call(&steps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// dissect_call under 2, 3 and 8 threads ≡ 1 thread, on calls whose
+    /// groups interleave arbitrarily.
+    #[test]
+    fn parallel_tail_matches_serial(call in call_strategy(96)) {
+        let baseline = dissect_call(&call, &config(1));
+        for threads in [2usize, 3, 8] {
+            let par = dissect_call(&call, &config(threads));
+            prop_assert_eq!(&par, &baseline, "threads={}", threads);
+        }
+    }
+
+    /// Calls sized right around the resolve chunk boundary, so groups and
+    /// containers straddle `CHUNK_DATAGRAMS` partitions.
+    #[test]
+    fn chunk_straddling_calls_match_serial(
+        extra in 0usize..48,
+        seed_steps in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>(), any::<u8>()), 8..32),
+    ) {
+        // Tile the random script up past one chunk boundary: the same
+        // (stream, SSRC) groups then span several chunks and partitions.
+        let mut steps = Vec::new();
+        while steps.len() < CHUNK_DATAGRAMS + extra {
+            steps.extend_from_slice(&seed_steps);
+        }
+        steps.truncate(CHUNK_DATAGRAMS + extra);
+        let call = build_call(&steps);
+        let baseline = dissect_call(&call, &config(1));
+        let par = dissect_call(&call, &config(4));
+        prop_assert_eq!(&par, &baseline);
+    }
+
+    /// The cross-call pool (`dissect_calls`) ≡ per-call serial dissection:
+    /// validation of one call overlapping resolution of another must not
+    /// leak state between calls or reorder results.
+    #[test]
+    fn pooled_calls_match_per_call_serial(
+        calls in proptest::collection::vec(call_strategy(48), 1..5),
+    ) {
+        let slices: Vec<&[Datagram]> = calls.iter().map(|c| &c[..]).collect();
+        let baseline: Vec<_> = calls.iter().map(|c| dissect_call(c, &config(1))).collect();
+        for threads in [1usize, 3] {
+            let pooled = dissect_calls(&slices, &config(threads));
+            prop_assert_eq!(&pooled, &baseline, "threads={}", threads);
+        }
+    }
+}

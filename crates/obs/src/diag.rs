@@ -1,0 +1,55 @@
+//! One-shot diagnostic warnings.
+//!
+//! Configuration problems discovered deep inside hot paths (an unparsable
+//! environment override, a malformed cgroup file) must not spam stderr on
+//! every call, but silently ignoring them is how the `RTC_DPI_THREADS`
+//! typo class of bug ships. [`warn_once`] deduplicates by key: the first
+//! caller prints to stderr and records the message, every later caller
+//! with the same key is a no-op. [`warnings`] exposes the recorded list so
+//! tests (and the CLI) can assert a warning actually fired.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+struct DiagState {
+    seen: HashSet<&'static str>,
+    messages: Vec<String>,
+}
+
+fn state() -> &'static Mutex<DiagState> {
+    static STATE: OnceLock<Mutex<DiagState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(DiagState { seen: HashSet::new(), messages: Vec::new() }))
+}
+
+/// Emit `message` to stderr the first time `key` is seen in this process;
+/// later calls with the same key are silent. Returns whether the message
+/// was emitted. Keys are static so call sites self-document the warning
+/// class they deduplicate on.
+pub fn warn_once(key: &'static str, message: &str) -> bool {
+    let mut st = state().lock().expect("diag state poisoned");
+    if !st.seen.insert(key) {
+        return false;
+    }
+    eprintln!("[rtc-obs] warning: {message}");
+    st.messages.push(message.to_string());
+    true
+}
+
+/// Every message emitted through [`warn_once`] so far, in emission order.
+pub fn warnings() -> Vec<String> {
+    state().lock().expect("diag state poisoned").messages.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_warning_with_same_key_is_suppressed() {
+        assert!(warn_once("diag-test-key", "first message"));
+        assert!(!warn_once("diag-test-key", "second message"));
+        let recorded = warnings();
+        assert!(recorded.iter().any(|m| m == "first message"));
+        assert!(!recorded.iter().any(|m| m == "second message"));
+    }
+}

@@ -41,6 +41,7 @@
 // unsafe; it is the single carve-out from the crate-wide deny.
 #[allow(unsafe_code)]
 pub mod alloc;
+pub mod diag;
 pub mod export;
 pub mod registry;
 pub mod span;

@@ -63,6 +63,30 @@ fn hex(bytes: &[u8]) -> String {
     s
 }
 
+/// Write every divergence into the directory named by the
+/// `RTC_ORACLE_REPRO_DIR` environment variable: a `<prefix>-NNN.txt`
+/// description per divergence, plus a `<prefix>-NNN.bin` with the minimized
+/// repro payload when the divergence carries one. CI uploads the directory
+/// as a failure artifact. Returns the number of divergences written; a
+/// no-op returning 0 when the variable is unset or there is nothing to dump.
+pub fn dump_repros(prefix: &str, divergences: &[Divergence]) -> std::io::Result<usize> {
+    let dir = match std::env::var_os("RTC_ORACLE_REPRO_DIR") {
+        Some(d) if !d.is_empty() => std::path::PathBuf::from(d),
+        _ => return Ok(0),
+    };
+    if divergences.is_empty() {
+        return Ok(0);
+    }
+    std::fs::create_dir_all(&dir)?;
+    for (i, d) in divergences.iter().enumerate() {
+        std::fs::write(dir.join(format!("{prefix}-{i:03}.txt")), format!("{d}\n"))?;
+        if let Some(repro) = &d.repro {
+            std::fs::write(dir.join(format!("{prefix}-{i:03}.bin")), repro)?;
+        }
+    }
+    Ok(divergences.len())
+}
+
 /// Outcome of [`run_matrix`].
 #[derive(Debug, Default)]
 pub struct MatrixReport {
@@ -80,6 +104,11 @@ impl MatrixReport {
     /// Whether production and oracle agreed everywhere.
     pub fn is_clean(&self) -> bool {
         self.divergences.is_empty()
+    }
+
+    /// Dump this report's divergences via [`dump_repros`].
+    pub fn dump_repros(&self, prefix: &str) -> std::io::Result<usize> {
+        dump_repros(prefix, &self.divergences)
     }
 }
 
@@ -120,6 +149,11 @@ impl MutationReport {
     /// Whether production and oracle agreed everywhere.
     pub fn is_clean(&self) -> bool {
         self.divergences.is_empty()
+    }
+
+    /// Dump this report's divergences via [`dump_repros`].
+    pub fn dump_repros(&self, prefix: &str) -> std::io::Result<usize> {
+        dump_repros(prefix, &self.divergences)
     }
 }
 

@@ -25,7 +25,8 @@ fn matrix_has_no_divergences() {
         experiment.apps = vec!["zoom".into(), "meet".into()];
     }
     let report = run_matrix(&experiment, 8).expect("differential driver IO");
-    assert!(report.is_clean(), "{report}");
+    let dumped = report.dump_repros("matrix").expect("repro dump IO");
+    assert!(report.is_clean(), "{report}\n({dumped} repro file(s) dumped to RTC_ORACLE_REPRO_DIR)");
     assert!(report.messages > 0, "matrix produced no messages to re-judge");
     assert_eq!(report.configs.len(), 4, "{report}");
 }
@@ -35,6 +36,7 @@ fn mutation_corpus_agrees() {
     let cases = env_u64("RTC_ORACLE_CASES", 2_000);
     let seed = env_u64("RTC_ORACLE_SEED", 0x0_5ac1e);
     let report = run_mutations(cases, seed);
-    assert!(report.is_clean(), "{report}");
+    let dumped = report.dump_repros("mutation").expect("repro dump IO");
+    assert!(report.is_clean(), "{report}\n({dumped} repro file(s) dumped to RTC_ORACLE_REPRO_DIR)");
     assert!(report.judged > 0, "no mutated case survived both parsers");
 }

@@ -1,0 +1,134 @@
+//! Named regression vectors for resolution-layer bugs, cross-checked
+//! against the reference oracle.
+//!
+//! Each vector reproduces a historical misclassification in
+//! `resolve_datagram` and pins two things at once: the production
+//! classification (§4.1.2) and the reference checker's agreement on every
+//! message the production DPI recovered from the datagram. The unit tests
+//! in `rtc-dpi` pin the classification alone; these add the independent
+//! oracle's opinion so a regression in either grammar is caught.
+
+use bytes::Bytes;
+use rtc_core::compliance::{check_message, context::CallContext};
+use rtc_core::dpi::{dissect_call, CandidateKind, DatagramClass, DpiConfig};
+use rtc_core::pcap::{trace::Datagram, Timestamp};
+use rtc_core::wire::ip::FiveTuple;
+use rtc_core::wire::rtcp::{build_bye, SenderReport};
+use rtc_core::wire::rtp::PacketBuilder;
+use rtc_core::wire::stun::{attr, msg_type, ChannelData, MessageBuilder};
+use rtc_oracle::{refcheck, refdec, RefContextBuilder};
+
+fn dgram(ts_ms: u64, payload: Vec<u8>) -> Datagram {
+    Datagram {
+        ts: Timestamp::from_millis(ts_ms),
+        five_tuple: FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "1.2.3.4:2000".parse().unwrap()),
+        payload: Bytes::from(payload),
+    }
+}
+
+fn sr(ssrc: u32) -> Vec<u8> {
+    SenderReport { ssrc, ntp_timestamp: 1, rtp_timestamp: 2, packet_count: 3, octet_count: 4, reports: vec![] }
+        .build()
+}
+
+/// RTP packets establishing `ssrc` on the test stream, so nested RTCP
+/// cross-validates against a known sender.
+fn rtp_preamble(ssrc: u32) -> Vec<Datagram> {
+    (0..5u16).map(|i| dgram(i as u64, PacketBuilder::new(96, i, 0, ssrc).payload(vec![0; 40]).build())).collect()
+}
+
+/// Re-judge every message the production DPI recovered from `dgrams`
+/// with the reference checker and demand identical type keys and
+/// criterion indices. Mirrors the per-message sweep of `run_matrix`.
+fn crosscheck(dgrams: &[Datagram], dissection: &rtc_core::dpi::CallDissection) {
+    let prod_ctx = CallContext::build(dissection);
+    let mut builder = RefContextBuilder::default();
+    for (dg, msg) in dissection.messages() {
+        if matches!(msg.kind, CandidateKind::Stun { .. }) {
+            builder.observe(&format!("{:?}", dg.stream), &format!("{:?}", dg.stream.reversed()), &msg.data);
+        }
+    }
+    let ref_ctx = builder.finish();
+    assert_eq!(dissection.datagrams.len(), dgrams.len());
+    for (dg, msg) in dissection.messages() {
+        let orac = match &msg.kind {
+            CandidateKind::Stun { .. } => refcheck::check_stun(&msg.data, &format!("{:?}", dg.stream), &ref_ctx),
+            CandidateKind::ChannelData { .. } => refcheck::check_channeldata(&msg.data, dg.trailing.len()),
+            CandidateKind::Rtp { .. } => refcheck::check_rtp(&msg.data),
+            CandidateKind::Rtcp { .. } => refcheck::check_rtcp(&msg.data, dg.trailing.len()),
+            CandidateKind::QuicLong { .. } => refcheck::check_quic_long(&msg.data),
+            CandidateKind::QuicShortProbe => refcheck::check_quic_short(&msg.data),
+        };
+        let prod = check_message(dg, msg, &prod_ctx);
+        assert_eq!(
+            (prod.type_key.to_string(), prod.violation.as_ref().map(|v| v.criterion.index())),
+            (orac.type_key.clone(), orac.criterion),
+            "oracle disagrees on {:?} ({})",
+            msg.kind,
+            orac.detail.as_deref().unwrap_or("compliant"),
+        );
+    }
+}
+
+/// The container-gap vector: `resolve_datagram` historically classified a
+/// ChannelData container with unclaimed bytes *between* nested messages
+/// (or between the last nested message and the container end) as
+/// `Standard`. §4.1.2 says proprietary framing inside standard containers
+/// is `ProprietaryHeader`.
+#[test]
+fn container_gap_vector_is_proprietary_header_and_oracle_agrees() {
+    let mut dgrams = rtp_preamble(0x7777);
+    // [CD [SR] [4 junk] [SR] ]: gap between nested messages.
+    let mut inner = sr(0x7777);
+    inner.extend_from_slice(&[0x00, 0x01, 0x02, 0x03]);
+    inner.extend_from_slice(&sr(0x7777));
+    dgrams.push(dgram(100, ChannelData::build(0x4001, &inner)));
+    // [CD [SR] [4 junk] ]: tail gap after the last nested message.
+    let mut tail = sr(0x7777);
+    tail.extend_from_slice(&[0x00, 0x01, 0x02, 0x03]);
+    dgrams.push(dgram(101, ChannelData::build(0x4001, &tail)));
+
+    let out = dissect_call(&dgrams, &DpiConfig::default());
+    let mid = &out.datagrams[5];
+    assert_eq!(mid.class, DatagramClass::ProprietaryHeader, "interior gap: {mid:?}");
+    assert_eq!(mid.messages.iter().filter(|m| m.nested).count(), 2, "both nested SRs recovered");
+    let end = &out.datagrams[6];
+    assert_eq!(end.class, DatagramClass::ProprietaryHeader, "tail gap: {end:?}");
+
+    // The reference decoder must also accept every recovered nested RTCP —
+    // the gap is proprietary framing, not a decoder disagreement.
+    for (_, msg) in out.messages() {
+        if matches!(msg.kind, CandidateKind::Rtcp { .. }) {
+            refdec::decode_rtcp(&msg.data).expect("reference decoder accepts recovered SR");
+        }
+    }
+    crosscheck(&dgrams, &out);
+}
+
+/// The compound-continuation vector: the historical rule consulted only
+/// `accepted.last()`, so an RTCP packet continuing a compound whose
+/// previous accepted entry was *nested* (inside a ChannelData or STUN DATA
+/// container) was wrongly rejected.
+#[test]
+fn rtcp_after_container_vector_is_standard_and_oracle_agrees() {
+    let mut dgrams = rtp_preamble(0x9999);
+    // Nested compound: [CD [SR][BYE(foreign ssrc)] ].
+    let mut compound = sr(0x9999);
+    compound.extend_from_slice(&build_bye(&[0xABCD_EF01]));
+    dgrams.push(dgram(100, ChannelData::build(0x4001, &compound)));
+    // After-container compound: [STUN(DATA=[SR])][BYE(foreign ssrc)].
+    let mut after = MessageBuilder::new(msg_type::DATA_INDICATION, [3; 12]).attribute(attr::DATA, sr(0x9999)).build();
+    after.extend_from_slice(&build_bye(&[0xABCD_EF01]));
+    dgrams.push(dgram(101, after));
+
+    let out = dissect_call(&dgrams, &DpiConfig::default());
+    let nested = &out.datagrams[5];
+    assert_eq!(nested.class, DatagramClass::Standard, "nested compound: {nested:?}");
+    assert_eq!(nested.messages.len(), 3, "CD + SR + BYE");
+    let tail = &out.datagrams[6];
+    assert_eq!(tail.class, DatagramClass::Standard, "after-container compound: {tail:?}");
+    assert_eq!(tail.messages.len(), 3, "STUN + nested SR + top-level BYE");
+    assert!(!tail.messages[2].nested, "BYE after the container is top-level");
+
+    crosscheck(&dgrams, &out);
+}

@@ -1,0 +1,206 @@
+//! Live-service benchmark: fleet ingest throughput, per-call HTTP ingest
+//! latency, and peak-residency proxies via the counting global allocator.
+//!
+//! A staggered multi-tenant fleet is pumped through the sharded session
+//! engine twice — once in-process through the deterministic virtual-time
+//! driver, once over the HTTP front-end with concurrent uploaders — and
+//! the per-tenant reports of both runs are asserted byte-identical to
+//! offline batch analysis of the same plan. That makes this bench a CI
+//! differential smoke for the service on top of the numbers it records:
+//!
+//!   * end-to-end ingest throughput (MiB of raw traffic per second) for
+//!     the in-process and HTTP paths,
+//!   * p50/p99 wall time of one `POST /ingest` round trip,
+//!   * the live run's allocation high-water mark, which stays bounded by
+//!     the plan's concurrency cap, not the fleet size.
+//!
+//! Results are upserted into `BENCH_service.json` at the repository root
+//! (override with `BENCH_SERVICE_JSON`).
+//!
+//! Run with `cargo run --release -p rtc-bench --bin service_perf`.
+
+use rtc_bench::perf::round2;
+use rtc_core::netemu::fleet::{FleetPlan, FleetSpec};
+use rtc_core::obs::{alloc, MetricsRegistry};
+use rtc_core::StudyConfig;
+use rtc_service::{
+    batch_reports, drive_fleet, http_post, serve, Engine, FleetDriveOptions, ServiceConfig, ServiceFlags,
+};
+use serde_json::json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
+
+const SEED: u64 = 424_242;
+
+fn write_results(value: serde_json::Value) {
+    let path: std::path::PathBuf = std::env::var_os("BENCH_SERVICE_JSON")
+        .map(Into::into)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json"));
+    match serde_json::to_string_pretty(&value) {
+        Ok(s) => match std::fs::write(&path, s + "\n") {
+            Ok(()) => eprintln!("[rtc-bench] wrote {}", path.display()),
+            Err(e) => eprintln!("[rtc-bench] cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("[rtc-bench] cannot serialize results: {e}"),
+    }
+}
+
+fn mib(bytes: usize) -> f64 {
+    (bytes as f64 / (1 << 20) as f64 * 100.0).round() / 100.0
+}
+
+fn study() -> StudyConfig {
+    let mut config = StudyConfig::smoke(SEED);
+    config.obs = MetricsRegistry::disabled();
+    config
+}
+
+fn engine_config(shards: usize, queue: usize) -> ServiceConfig {
+    let mut config = ServiceConfig::new(study());
+    config.shards = shards;
+    config.queue_capacity = queue;
+    config.chunk_records = 256;
+    config
+}
+
+fn main() {
+    let spec = FleetSpec {
+        calls: 300,
+        tenants: 6,
+        apps: ["zoom", "facetime", "whatsapp", "messenger", "discord", "meet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        networks: Vec::new(),
+        seed: SEED,
+        mean_gap_us: 25_000,
+        call_duration_us: 2_000_000,
+        max_concurrent: 16,
+    };
+    let plan = FleetPlan::build(spec);
+    let opts = FleetDriveOptions { call_secs: 8, scale: 0.08, chunk_records: 256 };
+    println!(
+        "fleet: {} calls, {} tenants, peak concurrency {}",
+        plan.calls.len(),
+        plan.tenants().len(),
+        plan.peak_concurrency()
+    );
+
+    // In-process path: the deterministic virtual-time driver, traces
+    // materialized lazily between their start and finish events.
+    let base = alloc::reset_peak();
+    let t0 = std::time::Instant::now();
+    let engine = Engine::start(engine_config(4, 32));
+    let stats = drive_fleet(&engine, &plan, &opts).expect("fleet drive");
+    let live = engine.shutdown();
+    let live_secs = t0.elapsed().as_secs_f64();
+    let live_alloc_peak = alloc::peak_since(base);
+    assert!(live.errors.is_empty(), "live run errored: {:?}", live.errors);
+    assert_eq!(stats.calls, plan.calls.len());
+    let raw_bytes: usize = live.reports.values().flat_map(|r| r.data.calls.iter()).map(|c| c.raw_bytes).sum();
+    let live_throughput = mib(raw_bytes) / live_secs;
+    println!(
+        "in-process: {live_secs:.2}s  ({live_throughput:.1} MiB/s raw)  alloc peak {:.2} MiB  driver peak {} live calls",
+        mib(live_alloc_peak),
+        stats.peak_live
+    );
+
+    // HTTP path: concurrent uploaders, one POST per call, per-call round
+    // trips recorded for the latency distribution.
+    let engine = std::sync::Arc::new(Engine::start(engine_config(4, 32)));
+    let flags = ServiceFlags::new();
+    let server = serve("127.0.0.1:0", engine.clone(), flags).expect("bind");
+    let addr = server.local_addr();
+    let next = AtomicUsize::new(0);
+    let body_bytes = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(plan.calls.len()));
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::AcqRel);
+                let Some(call) = plan.calls.get(i) else { return };
+                let capture = rtc_service::fleet::materialize(call, &opts).expect("materialize");
+                let body = rtc_core::pcap::to_bytes(&capture.trace);
+                let manifest = serde_json::to_string(&capture.manifest).expect("manifest json");
+                drop(capture);
+                body_bytes.fetch_add(body.len(), Ordering::AcqRel);
+                let path = format!("/ingest/{}/{}", call.tenant, call.call_id);
+                let p0 = std::time::Instant::now();
+                let (status, response) =
+                    http_post(addr, &path, &[("X-RTC-Manifest", &manifest)], &body).expect("POST /ingest");
+                let ms = p0.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(status, 200, "{response}");
+                latencies.lock().expect("latencies").push(ms);
+            });
+        }
+    });
+    // Uploads return at enqueue; the drain is part of shutdown and thus of
+    // the measured wall time.
+    server.shutdown();
+    let http = std::sync::Arc::try_unwrap(engine).ok().expect("engine uniquely owned").shutdown();
+    let http_secs = t0.elapsed().as_secs_f64();
+    assert!(http.errors.is_empty(), "http run errored: {:?}", http.errors);
+    let mut lat = latencies.into_inner().expect("latencies");
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    let uploaded = body_bytes.load(Ordering::Acquire);
+    let http_throughput = mib(uploaded) / http_secs;
+    println!(
+        "http:       {http_secs:.2}s  ({http_throughput:.1} MiB/s on the wire)  ingest p50 {:.2} ms  p99 {:.2} ms",
+        pct(0.5),
+        pct(0.99)
+    );
+
+    // Offline comparator: both live paths must match it byte for byte.
+    let base = alloc::reset_peak();
+    let t0 = std::time::Instant::now();
+    let batch = batch_reports(&plan, &opts, &study()).expect("batch analysis");
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let batch_alloc_peak = alloc::peak_since(base);
+    println!("batch:      {batch_secs:.2}s  alloc peak {:.2} MiB", mib(batch_alloc_peak));
+    for (tenant, report) in &batch {
+        assert_eq!(live.reports[tenant].data, report.data, "in-process diverged for {tenant}");
+        assert_eq!(live.reports[tenant].render_all(), report.render_all(), "in-process render diverged for {tenant}");
+        assert_eq!(http.reports[tenant].data, report.data, "http diverged for {tenant}");
+        assert_eq!(http.reports[tenant].render_all(), report.render_all(), "http render diverged for {tenant}");
+    }
+    // The driver's residency guarantee: live calls never exceed the plan's
+    // concurrency cap even though the fleet is ~20x larger.
+    assert!(
+        stats.peak_live <= plan.peak_concurrency(),
+        "driver held {} calls live, plan caps at {}",
+        stats.peak_live,
+        plan.peak_concurrency()
+    );
+
+    write_results(json!({
+        "fleet": {
+            "calls": plan.calls.len(),
+            "tenants": plan.tenants().len(),
+            "peak_concurrency": plan.peak_concurrency(),
+            "records": stats.records,
+            "raw_trace_bytes": raw_bytes,
+            "http_body_bytes": uploaded,
+        },
+        "in_process": {
+            "live_secs": round2(live_secs),
+            "live_mib_per_s": round2(live_throughput),
+            "live_alloc_peak_bytes": live_alloc_peak,
+            "driver_peak_live_calls": stats.peak_live,
+        },
+        "http": {
+            "http_secs": round2(http_secs),
+            "http_mib_per_s": round2(http_throughput),
+            "ingest_p50_ms": round2(pct(0.5)),
+            "ingest_p99_ms": round2(pct(0.99)),
+        },
+        "batch_reference": {
+            "batch_secs": round2(batch_secs),
+            "batch_alloc_peak_bytes": batch_alloc_peak,
+        },
+    }));
+}

@@ -142,10 +142,18 @@ pub fn scenario_for(
 /// Run a single call and capture it.
 pub fn run_call(config: &ExperimentConfig, app: Application, network: NetworkConfig, repeat: usize) -> CallCapture {
     let scenario = scenario_for(config, app, network, repeat);
-    let trace = generate_call_trace(&scenario);
+    synthesize_call(&scenario, repeat)
+}
+
+/// Synthesize one call outside the experiment matrix: an explicit
+/// scenario plus the repeat index recorded in its manifest. The live
+/// service's fleet driver materializes planned calls with this, so a
+/// fleet call is reproducible from `(app, network, seed, repeat)` alone.
+pub fn synthesize_call(scenario: &CallScenario, repeat: usize) -> CallCapture {
+    let trace = generate_call_trace(scenario);
     let manifest = CallManifest {
-        app: app.slug().to_string(),
-        network: network.label().to_string(),
+        app: scenario.app.slug().to_string(),
+        network: scenario.network.label().to_string(),
         repeat,
         seed: scenario.seed,
         capture_start_us: scenario.capture_start().as_micros(),
@@ -231,18 +239,24 @@ pub fn save_experiment(dir: impl AsRef<std::path::Path>, captures: &[CallCapture
     Ok(())
 }
 
-/// Load a campaign saved by [`save_experiment`].
-pub fn load_experiment(dir: impl AsRef<std::path::Path>) -> std::io::Result<Vec<CallCapture>> {
+/// Scan a campaign directory saved by [`save_experiment`]: parse and
+/// validate every `.json` manifest, and return `(pcap path, manifest)`
+/// pairs sorted by `(app, network, repeat)`.
+///
+/// This is the single manifest→capture discovery path shared by the batch
+/// loader ([`load_experiment`]), the streaming driver
+/// (`rtc_core::StreamingStudy`), and the live service's offline
+/// comparison runs — slug validation happens here, where the offending
+/// file is known, rather than panicking deep inside the analysis.
+pub fn scan_experiment(dir: impl AsRef<std::path::Path>) -> std::io::Result<Vec<(std::path::PathBuf, CallManifest)>> {
     let mut out = Vec::new();
     for entry in std::fs::read_dir(dir.as_ref())? {
         let path = entry?.path();
         if path.extension().and_then(|e| e.to_str()) != Some("json") {
             continue;
         }
-        let manifest: CallManifest = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
-        // Reject unknown slugs here, where the offending file is known —
-        // downstream accessors (`application()`, `network_config()`) would
-        // otherwise panic deep inside the analysis.
+        let manifest: CallManifest =
+            serde_json::from_str(&std::fs::read_to_string(&path)?).map_err(std::io::Error::other)?;
         if Application::from_slug(&manifest.app).is_none() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -255,17 +269,19 @@ pub fn load_experiment(dir: impl AsRef<std::path::Path>) -> std::io::Result<Vec<
                 format!("{}: unknown network label {:?}", path.display(), manifest.network),
             ));
         }
-        let pcap_path = path.with_extension("pcap");
+        out.push((path.with_extension("pcap"), manifest));
+    }
+    out.sort_by(|a, b| (&a.1.app, &a.1.network, a.1.repeat).cmp(&(&b.1.app, &b.1.network, b.1.repeat)));
+    Ok(out)
+}
+
+/// Load a campaign saved by [`save_experiment`].
+pub fn load_experiment(dir: impl AsRef<std::path::Path>) -> std::io::Result<Vec<CallCapture>> {
+    let mut out = Vec::new();
+    for (pcap_path, manifest) in scan_experiment(dir)? {
         let trace = rtc_pcap::read_file(&pcap_path).map_err(|e| std::io::Error::other(e.to_string()))?;
         out.push(CallCapture { manifest, trace });
     }
-    out.sort_by(|a, b| {
-        (&a.manifest.app, &a.manifest.network, a.manifest.repeat).cmp(&(
-            &b.manifest.app,
-            &b.manifest.network,
-            b.manifest.repeat,
-        ))
-    });
     Ok(out)
 }
 

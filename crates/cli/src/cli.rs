@@ -7,6 +7,7 @@
 //! * `generate` — emit one emulated call as a pcap + JSON manifest,
 //! * `dissect` — analyze an arbitrary pcap/pcapng capture,
 //! * `oracle` — run the differential reference-oracle suite,
+//! * `serve` — run the multi-tenant live-analysis service,
 //! * `tables` — list the artifacts and the paper sections they reproduce.
 
 #![warn(missing_docs)]
@@ -94,6 +95,42 @@ pub enum Command {
         /// committed corpus.
         golden_dir: Option<PathBuf>,
     },
+    /// Run the multi-tenant live-analysis service.
+    Serve {
+        /// Listen address (`host:port`; port 0 picks a free port).
+        listen: String,
+        /// Session-shard (worker-thread) count.
+        shards: usize,
+        /// Per-shard bounded ingest-queue capacity, in messages.
+        queue: usize,
+        /// Idle-session eviction timeout in seconds (0 disables the sweeper).
+        idle_secs: u64,
+        /// Records per shard message on the ingest path (0 = reader default).
+        chunk: usize,
+        /// Study seed; also seeds the synthetic fleet schedule.
+        seed: u64,
+        /// Drive this many synthetic calls through the HTTP front-end
+        /// (0 = just serve).
+        fleet: usize,
+        /// Tenants the synthetic fleet is spread over.
+        tenants: usize,
+        /// Emulated duration of each fleet call, seconds.
+        call_secs: u64,
+        /// Traffic scale for fleet calls, in (0, 1].
+        scale: f64,
+        /// Concurrent fleet upload workers.
+        workers: usize,
+        /// Write the live per-tenant rendered reports here at shutdown.
+        report_dir: Option<PathBuf>,
+        /// Also analyze the fleet offline (batch) and write those renders
+        /// here, for diffing against the live reports.
+        batch_dir: Option<PathBuf>,
+        /// Dump the metrics snapshot here at exit (`.json` = JSON, else
+        /// Prometheus text exposition).
+        metrics: Option<PathBuf>,
+        /// Shut down as soon as the fleet drive completes.
+        exit_after_fleet: bool,
+    },
     /// List artifacts.
     Tables,
     /// Print usage.
@@ -114,6 +151,11 @@ USAGE:
   rtc-study dissect <capture.pcap[ng]> [--window START END] [--threads N]
   rtc-study oracle [--seed N] [--apps a,b] [--threads N] [--cases N]
                    [--skip-golden] [--golden-dir DIR]
+  rtc-study serve [--listen HOST:PORT] [--shards N] [--queue N]
+                  [--idle-secs N] [--chunk N] [--seed N]
+                  [--fleet N] [--tenants N] [--secs N] [--scale F]
+                  [--workers N] [--report-dir DIR] [--batch-dir DIR]
+                  [--metrics PATH] [--exit-after-fleet]
   rtc-study tables
   rtc-study help
 
@@ -132,6 +174,17 @@ and an independent RFC-literal reference implementation under four driver
 configurations (batch/streaming × 1/N threads), drives a seeded mutation
 corpus through both, and recomputes the committed golden snapshots. Any
 divergence or stale snapshot exits nonzero.
+
+`serve` boots the multi-tenant live-analysis service: `POST
+/ingest/<tenant>/<call-id>` accepts a raw pcap body (manifest in the
+`X-RTC-Manifest` header) and analyzes it incrementally on one of
+`--shards` session-owning worker threads; `GET /report/<tenant>` renders
+the tenant's live report, `GET /metrics` exposes the Prometheus scrape
+surface (service gauges included), and `POST /shutdown` — or SIGINT —
+drains every live session and exits. With `--fleet N` the service drives
+N staggered synthetic calls through its own HTTP front-end; adding
+`--batch-dir` writes the equivalent offline batch renders next to the
+live ones so they can be diffed byte for byte.
 
 The process exits nonzero when any call's analysis failed.
 
@@ -286,6 +339,78 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 return Err("--threads must be at least 1".into());
             }
             Ok(Command::Oracle { seed, apps, threads, cases, skip_golden, golden_dir })
+        }
+        "serve" => {
+            let mut listen = "127.0.0.1:0".to_string();
+            let mut shards = 4usize;
+            let mut queue = 64usize;
+            let mut idle_secs = 0u64;
+            let mut chunk = 0usize;
+            let mut seed = 2025u64;
+            let mut fleet = 0usize;
+            let mut tenants = 4usize;
+            let mut call_secs = 6u64;
+            let mut scale = 0.05f64;
+            let mut workers = 8usize;
+            let mut report_dir = None;
+            let mut batch_dir = None;
+            let mut metrics = None;
+            let mut exit_after_fleet = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+                match flag.as_str() {
+                    "--listen" => listen = value("--listen")?,
+                    "--shards" => shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?,
+                    "--queue" => queue = value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?,
+                    "--idle-secs" => {
+                        idle_secs = value("--idle-secs")?.parse().map_err(|e| format!("--idle-secs: {e}"))?
+                    }
+                    "--chunk" => chunk = value("--chunk")?.parse().map_err(|e| format!("--chunk: {e}"))?,
+                    "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    "--fleet" => fleet = value("--fleet")?.parse().map_err(|e| format!("--fleet: {e}"))?,
+                    "--tenants" => tenants = value("--tenants")?.parse().map_err(|e| format!("--tenants: {e}"))?,
+                    "--secs" => call_secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+                    "--scale" => scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+                    "--workers" => workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?,
+                    "--report-dir" => report_dir = Some(PathBuf::from(value("--report-dir")?)),
+                    "--batch-dir" => batch_dir = Some(PathBuf::from(value("--batch-dir")?)),
+                    "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
+                    "--exit-after-fleet" => exit_after_fleet = true,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            if queue == 0 {
+                return Err("--queue must be at least 1".into());
+            }
+            if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
+                return Err("--scale must be in (0, 1]".into());
+            }
+            if fleet > 0 && tenants == 0 {
+                return Err("--tenants must be at least 1".into());
+            }
+            if fleet == 0 && (exit_after_fleet || batch_dir.is_some()) {
+                return Err("--exit-after-fleet and --batch-dir need --fleet".into());
+            }
+            Ok(Command::Serve {
+                listen,
+                shards,
+                queue,
+                idle_secs,
+                chunk,
+                seed,
+                fleet,
+                tenants,
+                call_secs,
+                scale,
+                workers,
+                report_dir,
+                batch_dir,
+                metrics,
+                exit_after_fleet,
+            })
         }
         other => Err(format!("unknown command '{other}'; try `rtc-study help`")),
     }
@@ -491,6 +616,111 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             }
             Ok(if failed { 1 } else { 0 })
         }
+        Command::Serve {
+            listen,
+            shards,
+            queue,
+            idle_secs,
+            chunk,
+            seed,
+            fleet,
+            tenants,
+            call_secs,
+            scale,
+            workers,
+            report_dir,
+            batch_dir,
+            metrics,
+            exit_after_fleet,
+        } => {
+            use std::sync::atomic::Ordering;
+            let study = StudyConfig::smoke(seed);
+            let registry = study.obs.clone();
+            let mut config = rtc_service::ServiceConfig::new(study);
+            config.shards = shards;
+            config.queue_capacity = queue;
+            config.idle_timeout = std::time::Duration::from_secs(idle_secs);
+            config.chunk_records = chunk;
+            let engine = std::sync::Arc::new(rtc_service::Engine::start(config));
+            let flags = rtc_service::ServiceFlags::new();
+            rtc_service::signal::install();
+            let server = rtc_service::serve(&listen, engine.clone(), flags.clone())?;
+            let addr = server.local_addr();
+            writeln!(out, "serving on http://{addr} ({shards} shard(s), queue {queue})")?;
+            out.flush()?;
+            let plan = (fleet > 0).then(|| {
+                let apps: Vec<String> =
+                    rtc_core::apps::Application::ALL.iter().map(|a| a.slug().to_string()).collect();
+                rtc_core::netemu::fleet::FleetPlan::build(rtc_core::netemu::fleet::FleetSpec::new(
+                    fleet, tenants, apps, seed,
+                ))
+            });
+            let opts = rtc_service::FleetDriveOptions { call_secs, scale, chunk_records: chunk };
+            if let Some(plan) = &plan {
+                writeln!(
+                    out,
+                    "driving a {}-call fleet over {} tenant(s) through {} upload worker(s) ...",
+                    plan.calls.len(),
+                    plan.tenants().len(),
+                    workers
+                )?;
+                out.flush()?;
+                let stats = rtc_service::drive_fleet_http(addr, plan, &opts, workers)?;
+                flags.fleet_done.store(true, Ordering::Release);
+                writeln!(out, "fleet ingested: {} call(s), {} record(s)", stats.calls, stats.records)?;
+                out.flush()?;
+                if exit_after_fleet {
+                    flags.shutdown.store(true, Ordering::Release);
+                }
+            }
+            while !flags.shutdown.load(Ordering::Acquire) && !rtc_service::signal::shutdown_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            writeln!(out, "shutting down: draining live sessions ...")?;
+            out.flush()?;
+            server.shutdown();
+            let engine = std::sync::Arc::try_unwrap(engine)
+                .map_err(|_| std::io::Error::other("engine still referenced after server shutdown"))?;
+            let summary = engine.shutdown();
+            writeln!(
+                out,
+                "done: {} finished, {} evicted, {} tenant report(s)",
+                summary.finished,
+                summary.evicted,
+                summary.reports.len()
+            )?;
+            if let Some(dir) = report_dir {
+                std::fs::create_dir_all(&dir)?;
+                for (tenant, report) in &summary.reports {
+                    std::fs::write(dir.join(format!("{tenant}.txt")), report.render_all())?;
+                }
+                writeln!(out, "live reports written to {}", dir.display())?;
+            }
+            if let (Some(dir), Some(plan)) = (batch_dir, &plan) {
+                // The comparator runs with a disabled registry so the
+                // dumped metrics describe only the live service.
+                let mut batch_study = StudyConfig::smoke(seed);
+                batch_study.obs = rtc_core::obs::MetricsRegistry::disabled();
+                let batch = rtc_service::batch_reports(plan, &opts, &batch_study)?;
+                std::fs::create_dir_all(&dir)?;
+                for (tenant, report) in &batch {
+                    std::fs::write(dir.join(format!("{tenant}.txt")), report.render_all())?;
+                }
+                writeln!(out, "batch reports written to {}", dir.display())?;
+            }
+            if let Some(path) = metrics {
+                write_metrics(&path, &registry.snapshot())?;
+                writeln!(out, "metrics written to {}", path.display())?;
+            }
+            if summary.errors.is_empty() {
+                return Ok(0);
+            }
+            for e in &summary.errors {
+                writeln!(out, "SESSION ERROR: {} / {}: {}", e.key.tenant, e.key.call_id, e.error)?;
+            }
+            writeln!(out, "{} session(s) errored", summary.errors.len())?;
+            Ok(1)
+        }
     }
 }
 
@@ -650,6 +880,108 @@ mod tests {
         assert!(parse(&args("oracle --threads 0")).is_err());
         assert!(parse(&args("oracle --cases")).is_err());
         assert!(parse(&args("oracle --bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        match parse(&args("serve")).unwrap() {
+            Command::Serve { listen, shards, queue, fleet, exit_after_fleet, .. } => {
+                assert_eq!(listen, "127.0.0.1:0");
+                assert_eq!(shards, 4);
+                assert_eq!(queue, 64);
+                assert_eq!(fleet, 0);
+                assert!(!exit_after_fleet);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&args(
+            "serve --listen 0.0.0.0:8080 --shards 8 --queue 32 --idle-secs 5 --chunk 128 --seed 3 \
+             --fleet 40 --tenants 2 --secs 4 --scale 0.1 --workers 6 --report-dir /tmp/live \
+             --batch-dir /tmp/batch --metrics /tmp/m.prom --exit-after-fleet",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                listen,
+                shards,
+                queue,
+                idle_secs,
+                chunk,
+                seed,
+                fleet,
+                tenants,
+                call_secs,
+                scale,
+                workers,
+                report_dir,
+                batch_dir,
+                metrics,
+                exit_after_fleet,
+            } => {
+                assert_eq!(listen, "0.0.0.0:8080");
+                assert_eq!((shards, queue, idle_secs, chunk, seed), (8, 32, 5, 128, 3));
+                assert_eq!((fleet, tenants, call_secs, workers), (40, 2, 4, 6));
+                assert!((scale - 0.1).abs() < 1e-9);
+                assert_eq!(report_dir, Some(PathBuf::from("/tmp/live")));
+                assert_eq!(batch_dir, Some(PathBuf::from("/tmp/batch")));
+                assert_eq!(metrics, Some(PathBuf::from("/tmp/m.prom")));
+                assert!(exit_after_fleet);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("serve --shards 0")).is_err());
+        assert!(parse(&args("serve --queue 0")).is_err());
+        assert!(parse(&args("serve --scale 2.0")).is_err());
+        assert!(parse(&args("serve --exit-after-fleet")).is_err(), "needs --fleet");
+        assert!(parse(&args("serve --batch-dir /tmp/x")).is_err(), "needs --fleet");
+        assert!(parse(&args("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn serve_fleet_live_reports_match_batch() {
+        let dir = std::env::temp_dir().join(format!("rtc-cli-serve-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let live_dir = dir.join("live");
+        let batch_dir = dir.join("batch");
+        let metrics_path = dir.join("metrics.prom");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut buf = Vec::new();
+        let code = execute(
+            Command::Serve {
+                listen: "127.0.0.1:0".into(),
+                shards: 3,
+                queue: 8,
+                idle_secs: 0,
+                chunk: 128,
+                seed: 11,
+                fleet: 12,
+                tenants: 2,
+                call_secs: 4,
+                scale: 0.04,
+                workers: 4,
+                report_dir: Some(live_dir.clone()),
+                batch_dir: Some(batch_dir.clone()),
+                metrics: Some(metrics_path.clone()),
+                exit_after_fleet: true,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("fleet ingested: 12 call(s)"), "{text}");
+        // Live per-tenant renders are byte-identical to the offline batch.
+        for tenant in ["tenant-0", "tenant-1"] {
+            let live = std::fs::read_to_string(live_dir.join(format!("{tenant}.txt"))).unwrap();
+            let batch = std::fs::read_to_string(batch_dir.join(format!("{tenant}.txt"))).unwrap();
+            assert!(!live.is_empty());
+            assert_eq!(live, batch, "{tenant} live vs batch render diverged");
+        }
+        // The dumped scrape surface includes the service gauges.
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(prom.contains("rtc_service_sessions_finished_total"), "{prom}");
+        assert!(prom.contains("rtc_service_active_sessions"), "{prom}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -110,11 +110,7 @@ pub fn analyze_capture(cap: &CallCapture, config: &StudyConfig) -> CallAnalysis 
 
 /// [`analyze_capture`], also returning the per-stage counters/timings.
 pub fn analyze_capture_staged(cap: &CallCapture, config: &StudyConfig) -> (CallAnalysis, pipeline::PipelineStats) {
-    let mut session = pipeline::CallSession::new(pipeline::CallMeta::of(&cap.manifest), config);
-    for record in &cap.trace.records {
-        session.push_record(record.clone());
-    }
-    session.finish()
+    pipeline::run_session(pipeline::CallMeta::of(&cap.manifest), config, cap.trace.records.iter().cloned())
 }
 
 /// The artifacts of the paper's evaluation section.
@@ -379,7 +375,12 @@ fn record_study_totals(obs: &rtc_obs::MetricsRegistry, analyzed: u64, failed: u6
 /// stage), timing it under [`pipeline::StageKind::Aggregate`]. Only the
 /// compact by-products survive: the record, findings, header-profile
 /// summaries, and SSRC inventory — the dissection is dropped here.
-fn absorb_analysis(
+/// Fold one completed call into an aggregator (and the aggregate-stage
+/// counters): header-profile summaries, SSRC inventory, findings, record.
+/// The batch driver, the streaming driver, and the live service all absorb
+/// through this one path, which is what makes their reports comparable
+/// byte for byte.
+pub fn absorb_analysis(
     aggregate: &mut rtc_report::Aggregator,
     stats: &mut pipeline::PipelineStats,
     analysis: CallAnalysis,
@@ -439,30 +440,7 @@ impl StreamingStudy {
         options: StreamingOptions<'_>,
     ) -> std::io::Result<StudyReport> {
         let StreamingOptions { chunk_records, mut progress, metrics_every } = options;
-        let dir = dir.as_ref();
-        let mut manifests: Vec<(std::path::PathBuf, rtc_capture::CallManifest)> = Vec::new();
-        for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("json") {
-                continue;
-            }
-            let manifest: rtc_capture::CallManifest =
-                serde_json::from_str(&std::fs::read_to_string(&path)?).map_err(std::io::Error::other)?;
-            if rtc_apps::Application::from_slug(&manifest.app).is_none() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("{}: unknown application slug {:?}", path.display(), manifest.app),
-                ));
-            }
-            if rtc_netemu::NetworkConfig::from_label(&manifest.network).is_none() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("{}: unknown network label {:?}", path.display(), manifest.network),
-                ));
-            }
-            manifests.push((path.with_extension("pcap"), manifest));
-        }
-        manifests.sort_by(|a, b| (&a.1.app, &a.1.network, a.1.repeat).cmp(&(&b.1.app, &b.1.network, b.1.repeat)));
+        let manifests = rtc_capture::scan_experiment(dir)?;
 
         let total = manifests.len();
         let _study_span = config.obs.span("study");
@@ -471,19 +449,9 @@ impl StreamingStudy {
         let mut failures: Vec<FailedCall> = Vec::new();
         let mut analyzed = 0u64;
         for (index, (pcap_path, manifest)) in manifests.into_iter().enumerate() {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                || -> std::io::Result<(CallAnalysis, pipeline::PipelineStats)> {
-                    let mut reader = rtc_pcap::open_file(&pcap_path, chunk_records)
-                        .map_err(|e| std::io::Error::other(e.to_string()))?;
-                    let mut session = pipeline::CallSession::new(pipeline::CallMeta::of(&manifest), config);
-                    while let Some(chunk) = reader.next_chunk().map_err(|e| std::io::Error::other(e.to_string()))? {
-                        for record in chunk {
-                            session.push_record(record);
-                        }
-                    }
-                    Ok(session.finish())
-                },
-            ));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pipeline::analyze_saved_call(&pcap_path, &manifest, config, chunk_records)
+            }));
             // A broken or poisoned capture is recorded and skipped; the
             // remaining calls still produce a report.
             let error = match outcome {

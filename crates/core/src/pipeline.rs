@@ -663,6 +663,44 @@ impl CallSession {
     }
 }
 
+/// Drive one call end to end through a fresh [`CallSession`]: construct
+/// from the metadata, feed every record, finish. This is the single
+/// session-construction/finish code path shared by the batch driver
+/// ([`crate::analyze_capture_staged`]), the streaming driver
+/// ([`crate::StreamingStudy`]), and the live service (`rtc-service`).
+pub fn run_session(
+    meta: CallMeta,
+    config: &StudyConfig,
+    records: impl IntoIterator<Item = Record>,
+) -> (CallAnalysis, PipelineStats) {
+    let mut session = CallSession::new(meta, config);
+    for record in records {
+        session.push_record(record);
+    }
+    session.finish()
+}
+
+/// Analyze one saved call by streaming its pcap file through a
+/// [`CallSession`] in bounded chunks (`chunk_records == 0` uses the
+/// reader default). Peak memory is O(chunk + live streams + one call's
+/// RTC traffic), independent of the trace size.
+pub fn analyze_saved_call(
+    pcap_path: &std::path::Path,
+    manifest: &rtc_capture::CallManifest,
+    config: &StudyConfig,
+    chunk_records: usize,
+) -> std::io::Result<(CallAnalysis, PipelineStats)> {
+    let mut reader =
+        rtc_pcap::open_file(pcap_path, chunk_records).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut session = CallSession::new(CallMeta::of(manifest), config);
+    while let Some(chunk) = reader.next_chunk().map_err(|e| std::io::Error::other(e.to_string()))? {
+        for record in chunk {
+            session.push_record(record);
+        }
+    }
+    Ok(session.finish())
+}
+
 /// Record one stage's per-call counters and latency into the registry.
 /// Used by the session for decode/filter/dpi/compliance and by the study
 /// drivers for the aggregate stage.

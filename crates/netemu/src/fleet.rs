@@ -1,0 +1,237 @@
+//! Synthetic fleet planning: hundreds–thousands of emulated calls with
+//! staggered starts, spread across tenants, for driving the live-analysis
+//! service.
+//!
+//! This module is pure scheduling — *which* call starts *when*, owned by
+//! *which* tenant — and deliberately knows nothing about trace synthesis
+//! or ingestion. The service layer materializes each [`ScheduledCall`]
+//! into traffic (via `rtc-capture`) only while the call is live, which is
+//! what keeps fleet-driver residency bounded by concurrency rather than
+//! fleet size.
+//!
+//! Plans are fully deterministic from [`FleetSpec`]: the same spec always
+//! yields the same calls with the same seeds and the same start offsets,
+//! so a live fleet run can be replayed offline call by call.
+
+use crate::rng::DetRng;
+use crate::NetworkConfig;
+
+/// Parameters of a synthetic call fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Total calls in the fleet.
+    pub calls: usize,
+    /// Number of tenants the calls are spread over (round-robin).
+    pub tenants: usize,
+    /// Application slugs to cycle through (e.g. `rtc_apps` slugs). Must be
+    /// non-empty; the planner validates nothing app-specific.
+    pub apps: Vec<String>,
+    /// Network labels to cycle through; defaults to all of
+    /// [`NetworkConfig::ALL`] when empty.
+    pub networks: Vec<String>,
+    /// Schedule seed. Also the root of every per-call trace seed.
+    pub seed: u64,
+    /// Mean inter-arrival gap between call starts, microseconds.
+    pub mean_gap_us: u64,
+    /// Nominal call duration used for overlap accounting, microseconds.
+    pub call_duration_us: u64,
+    /// Cap on concurrently-live calls; starts are pushed back to respect
+    /// it. `0` means unlimited.
+    pub max_concurrent: usize,
+}
+
+impl FleetSpec {
+    /// A small-but-representative default: `calls` calls over `tenants`
+    /// tenants, ~50 ms apart, 2 s nominal duration, at most 32 live.
+    pub fn new(calls: usize, tenants: usize, apps: Vec<String>, seed: u64) -> FleetSpec {
+        FleetSpec {
+            calls,
+            tenants,
+            apps,
+            networks: Vec::new(),
+            seed,
+            mean_gap_us: 50_000,
+            call_duration_us: 2_000_000,
+            max_concurrent: 32,
+        }
+    }
+}
+
+/// One planned call: identity, workload parameters, and schedule slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledCall {
+    /// Owning tenant (`"tenant-3"`).
+    pub tenant: String,
+    /// Fleet-unique call id (`"tenant-3/call-00017"`), usable as a session key.
+    pub call_id: String,
+    /// Application slug for trace synthesis.
+    pub app_slug: String,
+    /// Network configuration label.
+    pub network_label: String,
+    /// Repeat index; unique per `(tenant, app, network)` so per-tenant
+    /// reports have distinct call identities.
+    pub repeat: usize,
+    /// Per-call trace seed, derived from the fleet seed.
+    pub seed: u64,
+    /// Scheduled start, microseconds from fleet start.
+    pub start_offset_us: u64,
+}
+
+/// A materialized, time-sorted fleet schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPlan {
+    /// The spec this plan was derived from.
+    pub spec: FleetSpec,
+    /// Calls in start order (ties broken by call id).
+    pub calls: Vec<ScheduledCall>,
+}
+
+impl FleetPlan {
+    /// Plan a fleet from its spec. Deterministic: equal specs yield equal
+    /// plans.
+    ///
+    /// # Panics
+    /// If `spec.apps` is empty or `spec.tenants == 0` with calls planned.
+    pub fn build(spec: FleetSpec) -> FleetPlan {
+        assert!(spec.calls == 0 || !spec.apps.is_empty(), "fleet needs app slugs");
+        assert!(spec.calls == 0 || spec.tenants > 0, "fleet needs at least one tenant");
+        let networks: Vec<String> = if spec.networks.is_empty() {
+            NetworkConfig::ALL.iter().map(|n| n.label().to_string()).collect()
+        } else {
+            spec.networks.clone()
+        };
+        let mut rng = DetRng::new(spec.seed).fork("fleet-schedule");
+        // Per-tenant (app, network) cycle position → repeat counters, so
+        // every (tenant, app, network, repeat) identity is unique.
+        let cells = spec.apps.len() * networks.len();
+        let mut next_cell = vec![0usize; spec.tenants.max(1)];
+        let mut clock_us = 0u64;
+        // Min-heap of scheduled end times enforcing max_concurrent.
+        let mut live_ends = std::collections::BinaryHeap::new();
+        let mut calls = Vec::with_capacity(spec.calls);
+        for index in 0..spec.calls {
+            let tenant_idx = index % spec.tenants;
+            let cell = next_cell[tenant_idx];
+            next_cell[tenant_idx] += 1;
+            let app_slug = spec.apps[(cell % cells) % spec.apps.len()].clone();
+            let network_label = networks[(cell % cells) / spec.apps.len()].clone();
+            let repeat = cell / cells;
+            // Uniform gap in [0, 2·mean] keeps the schedule staggered but
+            // bounded; mean 0 degenerates to simultaneous starts.
+            if spec.mean_gap_us > 0 {
+                clock_us += rng.below(2 * spec.mean_gap_us + 1);
+            }
+            if spec.max_concurrent > 0 {
+                while live_ends.len() >= spec.max_concurrent {
+                    let std::cmp::Reverse(earliest_end) = live_ends.pop().expect("non-empty heap");
+                    clock_us = clock_us.max(earliest_end);
+                }
+                live_ends.push(std::cmp::Reverse(clock_us + spec.call_duration_us));
+            }
+            calls.push(ScheduledCall {
+                tenant: format!("tenant-{tenant_idx}"),
+                call_id: format!("tenant-{tenant_idx}/call-{index:05}"),
+                app_slug,
+                network_label,
+                repeat,
+                seed: DetRng::new(spec.seed).fork(&format!("call-{index}")).next_u64(),
+                start_offset_us: clock_us,
+            });
+        }
+        calls.sort_by(|a, b| (a.start_offset_us, &a.call_id).cmp(&(b.start_offset_us, &b.call_id)));
+        FleetPlan { spec, calls }
+    }
+
+    /// Tenant names present in the plan, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut t: Vec<String> = self.calls.iter().map(|c| c.tenant.clone()).collect();
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    /// The highest number of calls live at once under the plan's nominal
+    /// call duration (starts inclusive, ends exclusive).
+    pub fn peak_concurrency(&self) -> usize {
+        let mut events: Vec<(u64, i64)> = Vec::with_capacity(self.calls.len() * 2);
+        for c in &self.calls {
+            events.push((c.start_offset_us, 1));
+            events.push((c.start_offset_us + self.spec.call_duration_us, -1));
+        }
+        events.sort();
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in events {
+            live += delta;
+            peak = peak.max(live);
+        }
+        peak as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(calls: usize, tenants: usize, max_concurrent: usize) -> FleetSpec {
+        let mut s = FleetSpec::new(calls, tenants, vec!["zoom".into(), "facetime".into(), "discord".into()], 99);
+        s.max_concurrent = max_concurrent;
+        s
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = FleetPlan::build(spec(250, 4, 16));
+        let b = FleetPlan::build(spec(250, 4, 16));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identities_are_unique_per_tenant() {
+        let plan = FleetPlan::build(spec(300, 5, 0));
+        let mut seen = std::collections::HashSet::new();
+        for c in &plan.calls {
+            assert!(
+                seen.insert((c.tenant.clone(), c.app_slug.clone(), c.network_label.clone(), c.repeat)),
+                "duplicate identity for {}",
+                c.call_id
+            );
+            assert!(NetworkConfig::from_label(&c.network_label).is_some());
+        }
+        assert_eq!(plan.tenants().len(), 5);
+    }
+
+    #[test]
+    fn max_concurrent_is_respected() {
+        let plan = FleetPlan::build(spec(400, 3, 8));
+        assert!(plan.peak_concurrency() <= 8, "peak {}", plan.peak_concurrency());
+        // And the cap actually binds for a dense schedule.
+        let unbounded = FleetPlan::build(spec(400, 3, 0));
+        assert!(unbounded.peak_concurrency() > 8);
+    }
+
+    #[test]
+    fn starts_are_sorted_and_staggered() {
+        let plan = FleetPlan::build(spec(100, 2, 16));
+        let offsets: Vec<u64> = plan.calls.iter().map(|c| c.start_offset_us).collect();
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        // Staggering: not all simultaneous.
+        assert!(offsets.last().unwrap() > &0);
+    }
+
+    #[test]
+    fn seeds_differ_between_calls() {
+        let plan = FleetPlan::build(spec(50, 1, 0));
+        let mut seeds: Vec<u64> = plan.calls.iter().map(|c| c.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), plan.calls.len());
+    }
+
+    #[test]
+    fn empty_fleet_is_empty() {
+        let plan = FleetPlan::build(FleetSpec::new(0, 0, Vec::new(), 1));
+        assert!(plan.calls.is_empty());
+        assert_eq!(plan.peak_concurrency(), 0);
+    }
+}

@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 
 pub mod addr;
+pub mod fleet;
 pub mod net;
 pub mod rng;
 pub mod sink;
 
 pub use addr::AddressAllocator;
+pub use fleet::{FleetPlan, FleetSpec, ScheduledCall};
 pub use net::{NetworkConfig, PathProfile, TransmissionMode};
 pub use rng::DetRng;
 pub use sink::TrafficSink;

@@ -1,0 +1,356 @@
+//! A minimal HTTP/1.1 server for live scrape and ingest surfaces.
+//!
+//! The study's toolchain is fully vendored and offline; rather than gate
+//! the live service on an async runtime we don't ship, this module serves
+//! the existing exporters over a deliberately small subset of HTTP/1.1 on
+//! `std::net`: one request per connection (`Connection: close`),
+//! `Content-Length` bodies only (no chunked transfer), thread per
+//! connection. That subset is exactly what `curl`, Prometheus scrapers,
+//! and the in-process fleet driver need, and a blocking body stream is
+//! load-bearing: a slow consumer propagates backpressure to the sender
+//! through TCP flow control instead of buffering unboundedly.
+//!
+//! [`Handler`] implementations see the parsed request line and headers
+//! plus the body as an incremental [`Read`] already limited to the
+//! declared `Content-Length` — large ingest bodies are never materialized
+//! by the server itself.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest accepted request head (request line + headers), a defense
+/// against malformed or hostile peers.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// One parsed request, body unread. The body reader is limited to the
+/// declared `Content-Length`; handlers may stream it incrementally or
+/// ignore it (the server drains any unread remainder).
+pub struct Request<'a> {
+    /// Request method, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path including any query string, as sent.
+    pub path: String,
+    headers: Vec<(String, String)>,
+    /// The request body, limited to `Content-Length` bytes.
+    pub body: &'a mut dyn Read,
+}
+
+impl Request<'_> {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response; the server adds `Content-Length` and `Connection: close`.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response { status: 200, content_type: "text/plain; charset=utf-8".into(), body: body.into().into_bytes() }
+    }
+
+    /// 200 with a JSON body.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response { status: 200, content_type: "application/json".into(), body: body.into().into_bytes() }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8".into(), body: message.into().into_bytes() }
+    }
+
+    /// 404 for an unknown route.
+    pub fn not_found() -> Response {
+        Response::error(404, "not found\n")
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// A request handler. Implementations must be `Send + Sync`: connections
+/// are served concurrently, one thread each.
+pub trait Handler: Send + Sync {
+    /// Produce the response for one request. Reading `req.body` is
+    /// optional; unread bytes are drained by the server.
+    fn handle(&self, req: &mut Request<'_>) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&mut Request<'_>) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &mut Request<'_>) -> Response {
+        self(req)
+    }
+}
+
+/// A running HTTP server. Dropping without [`Server::shutdown`] leaves the
+/// accept thread running until process exit; call `shutdown` for a clean
+/// stop that waits out in-flight connections.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `handler`.
+    pub fn bind(addr: &str, handler: Arc<dyn Handler>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_stop = Arc::clone(&stop);
+        let accept_active = Arc::clone(&active);
+        let accept_thread = std::thread::Builder::new().name("rtc-http-accept".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = Arc::clone(&handler);
+                let active = Arc::clone(&accept_active);
+                active.fetch_add(1, Ordering::AcqRel);
+                let spawned = std::thread::Builder::new().name("rtc-http-conn".into()).spawn(move || {
+                    let _ = serve_connection(stream, &*handler);
+                    active.fetch_sub(1, Ordering::AcqRel);
+                });
+                if let Err(e) = spawned {
+                    accept_active.fetch_sub(1, Ordering::AcqRel);
+                    crate::diag::warn_once(
+                        "http-spawn-failed",
+                        &format!("http: failed to spawn connection thread: {e}"),
+                    );
+                }
+            }
+        })?;
+        Ok(Server { addr: local, stop, active, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wait for in-flight connections to finish, and join
+    /// the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `incoming()`; a throwaway connection
+        // wakes it so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        while self.active.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, handler: &dyn Handler) -> io::Result<()> {
+    // A read deadline bounds how long a stalled or hostile peer can pin a
+    // connection thread; body streaming resets it per read.
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let (method, path, headers) = match read_head(&mut reader) {
+        Ok(head) => head,
+        Err(e) => {
+            let resp = Response::error(400, format!("bad request: {e}\n"));
+            let _ = resp.write_to(&mut stream);
+            return Ok(());
+        }
+    };
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    let mut body = reader.take(content_length);
+    let mut req = Request { method, path, headers, body: &mut body };
+    let resp = handler.handle(&mut req);
+    // Drain whatever the handler left unread so the peer's writes don't
+    // error before it reads our response.
+    let _ = io::copy(&mut body, &mut io::sink());
+    resp.write_to(&mut stream)
+}
+
+/// Parsed request head: method, path, and header `(name, value)` pairs.
+type RequestHead = (String, String, Vec<(String, String)>);
+
+fn read_head(reader: &mut impl BufRead) -> io::Result<RequestHead> {
+    let mut read_line = |budget: &mut usize| -> io::Result<String> {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-head"));
+        }
+        *budget = budget.checked_sub(n).ok_or_else(|| io::Error::other("request head too large"))?;
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    };
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(&mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("malformed request line {request_line:?}")));
+    };
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("malformed header line {line:?}")));
+        };
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), path.to_string(), headers))
+}
+
+/// Route the registry scrape endpoints: `/metrics` (Prometheus text
+/// exposition) and `/metrics.json` (structured JSON). Returns `None` for
+/// any other path so callers can layer their own routes.
+pub fn route_metrics(registry: &crate::MetricsRegistry, path: &str) -> Option<Response> {
+    match path {
+        "/metrics" => Some(Response::text(registry.snapshot().to_prometheus())),
+        "/metrics.json" => Some(Response::json(registry.snapshot().to_json().to_string())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        let status = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = out.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_routes_and_metrics() {
+        let registry = crate::MetricsRegistry::new();
+        registry.counter("rtc_http_test_total", &[], "test counter").add(7);
+        let reg = registry.clone();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(move |req: &mut Request<'_>| {
+                if let Some(resp) = route_metrics(&reg, &req.path) {
+                    return resp;
+                }
+                match req.path.as_str() {
+                    "/healthz" => Response::text("ok\n"),
+                    _ => Response::not_found(),
+                }
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/healthz"), (200, "ok\n".to_string()));
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("rtc_http_test_total 7"), "{metrics}");
+        let (status, json) = get(addr, "/metrics.json");
+        assert_eq!(status, 200);
+        assert!(json.contains("rtc_http_test_total"), "{json}");
+        assert_eq!(get(addr, "/nope").0, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn streams_post_bodies_by_content_length() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(|req: &mut Request<'_>| {
+                let mut body = Vec::new();
+                req.body.read_to_end(&mut body).unwrap();
+                let tag = req.header("x-rtc-manifest").unwrap_or("-").to_string();
+                Response::text(format!("{} {} {tag}", req.method, body.len()))
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let payload = "z".repeat(10_000);
+        let raw = format!(
+            "POST /ingest/t0/call-1 HTTP/1.1\r\nHost: x\r\nX-RTC-Manifest: {{\"app\":\"zoom\"}}\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        );
+        let (status, body) = request(addr, &raw);
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST 10000 {\"app\":\"zoom\"}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_head_is_rejected_not_fatal() {
+        let server = Server::bind("127.0.0.1:0", Arc::new(|_req: &mut Request<'_>| Response::text("ok"))).unwrap();
+        let addr = server.local_addr();
+        let (status, _) = request(addr, "not-http\r\n\r\n");
+        assert_eq!(status, 400);
+        // The server is still alive.
+        let (status, _) = request(addr, "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unread_body_is_drained() {
+        let server =
+            Server::bind("127.0.0.1:0", Arc::new(|_req: &mut Request<'_>| Response::text("ignored body"))).unwrap();
+        let addr = server.local_addr();
+        let payload = "y".repeat(200_000);
+        let raw = format!("POST /x HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{payload}", payload.len());
+        let (status, body) = request(addr, &raw);
+        assert_eq!(status, 200);
+        assert_eq!(body, "ignored body");
+        server.shutdown();
+    }
+}

@@ -43,6 +43,7 @@
 pub mod alloc;
 pub mod diag;
 pub mod export;
+pub mod http;
 pub mod registry;
 pub mod span;
 pub mod timing;

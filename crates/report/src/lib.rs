@@ -238,6 +238,17 @@ impl StudyData {
         out
     }
 
+    /// Sort the call records into canonical `(app, network, repeat)` order.
+    ///
+    /// Every rendering accessor above is already order-invariant, but the
+    /// raw `calls` vector preserves absorption order — which depends on
+    /// call scheduling when shards or threads race. Canonicalizing makes
+    /// whole-`StudyData` comparisons (and JSON exports of the raw call
+    /// list) byte-deterministic across drivers.
+    pub fn sort_canonical(&mut self) {
+        self.calls.sort_by(|a, b| (&a.app, &a.network, a.repeat).cmp(&(&b.app, &b.network, b.repeat)));
+    }
+
     /// Figure-3 class shares for one application.
     pub fn app_class_shares(&self, app: &str) -> (f64, f64, f64) {
         let mut std_c = 0usize;
@@ -347,6 +358,59 @@ impl Aggregator {
     /// [`Aggregator::finish`]'s `data` once every call is absorbed.
     pub fn snapshot(&self) -> StudyData {
         StudyData { calls: self.calls.clone() }
+    }
+
+    /// A point-in-time [`AggregateReport`] — [`Aggregator::finish`] on a
+    /// clone of the current state, with the call list in canonical order.
+    /// This is the live report endpoint's view: it can be taken repeatedly
+    /// while absorption continues, and once every call is absorbed it is
+    /// byte-identical to the sealed report (after canonical sorting).
+    pub fn snapshot_report(&self) -> AggregateReport {
+        let mut out = self.clone().finish();
+        out.data.sort_canonical();
+        out
+    }
+
+    /// Fold another aggregator's state into this one, as if `other`'s
+    /// calls had been absorbed here directly.
+    ///
+    /// Merging is commutative and associative up to the order of the
+    /// `calls` vector (see [`StudyData::sort_canonical`]): findings keep
+    /// the strongest instance per kind, header profiles keep the
+    /// lexicographically-smallest [`MAX_HEADER_PROFILES_PER_APP`] of the
+    /// union (smallest-N is closed under union of smallest-N sides), and
+    /// SSRC inventories concatenate (the reuse detector is order-
+    /// invariant). This is how the sharded live service folds per-shard
+    /// partial aggregations into one per-tenant report.
+    pub fn merge(&mut self, other: Aggregator) {
+        let Aggregator { calls, findings, header_profiles, ssrc_sets } = other;
+        self.calls.extend(calls);
+        for (app, list) in findings {
+            let entry = self.findings.entry(app).or_default();
+            for f in list {
+                match entry.iter_mut().find(|e| e.kind == f.kind) {
+                    None => entry.push(f),
+                    Some(e) => {
+                        if (f.count, &f.detail) > (e.count, &e.detail) {
+                            *e = f;
+                        }
+                    }
+                }
+            }
+        }
+        for (app, list) in header_profiles {
+            let profiles = self.header_profiles.entry(app).or_default();
+            for p in list {
+                if !profiles.contains(&p) {
+                    profiles.push(p);
+                }
+            }
+            profiles.sort();
+            profiles.truncate(MAX_HEADER_PROFILES_PER_APP);
+        }
+        for (cell, sets) in ssrc_sets {
+            self.ssrc_sets.entry(cell).or_default().extend(sets);
+        }
     }
 
     /// Seal the study: run the cross-call analyses (SSRC reuse per
@@ -520,6 +584,64 @@ mod tests {
         assert!(appa.iter().any(|f| f.kind == FindingKind::SsrcReuseAcrossCalls));
         assert!(!out.findings["AppB"].iter().any(|f| f.kind == FindingKind::SsrcReuseAcrossCalls));
         assert_eq!(out.header_profiles["AppA"], vec!["hdr profile".to_string()]);
+    }
+
+    #[test]
+    fn merge_equals_sequential_absorb() {
+        use rtc_compliance::findings::{Finding, FindingKind};
+        let s = study();
+        let weak = Finding { kind: FindingKind::DoubleRtpDatagrams, count: 3, detail: "3 doubles".into() };
+        let strong = Finding { kind: FindingKind::DoubleRtpDatagrams, count: 9, detail: "9 doubles".into() };
+        let ssrcs: std::collections::BTreeSet<u32> = [0xAA, 0xBB].into_iter().collect();
+
+        // Sequential: all three calls through one aggregator.
+        let mut seq = Aggregator::new();
+        seq.absorb_call(s.calls[0].clone(), std::slice::from_ref(&weak), &["p2".into()], ssrcs.clone());
+        seq.absorb_call(s.calls[1].clone(), std::slice::from_ref(&strong), &["p1".into()], ssrcs.clone());
+        seq.absorb_call(s.calls[0].clone(), &[], &[], ssrcs.clone());
+
+        // Sharded: calls split across two aggregators, merged in the
+        // opposite order.
+        let mut shard_a = Aggregator::new();
+        shard_a.absorb_call(s.calls[0].clone(), std::slice::from_ref(&weak), &["p2".into()], ssrcs.clone());
+        shard_a.absorb_call(s.calls[0].clone(), &[], &[], ssrcs.clone());
+        let mut shard_b = Aggregator::new();
+        shard_b.absorb_call(s.calls[1].clone(), std::slice::from_ref(&strong), &["p1".into()], ssrcs.clone());
+        let mut merged = Aggregator::new();
+        merged.merge(shard_b);
+        merged.merge(shard_a);
+        assert_eq!(merged.len(), seq.len());
+
+        let mut a = seq.finish();
+        let mut b = merged.finish();
+        a.data.sort_canonical();
+        b.data.sort_canonical();
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.header_profiles, b.header_profiles);
+        // The cross-call SSRC reuse detector sees the same inventory either way.
+        assert!(a.findings["AppA"].iter().any(|f| f.kind == FindingKind::SsrcReuseAcrossCalls));
+    }
+
+    #[test]
+    fn snapshot_report_converges_to_finish() {
+        let s = study();
+        let ssrcs: std::collections::BTreeSet<u32> = [1].into_iter().collect();
+        let mut agg = Aggregator::new();
+        agg.absorb_call(s.calls[1].clone(), &[], &["h".into()], ssrcs.clone());
+        // Mid-study snapshot renders without disturbing state.
+        let mid = agg.snapshot_report();
+        assert_eq!(mid.data.calls.len(), 1);
+        assert_eq!(agg.len(), 1);
+        agg.absorb_call(s.calls[0].clone(), &[], &[], ssrcs);
+        let snap = agg.snapshot_report();
+        let mut fin = agg.finish();
+        fin.data.sort_canonical();
+        assert_eq!(snap.data, fin.data);
+        assert_eq!(snap.findings, fin.findings);
+        assert_eq!(snap.header_profiles, fin.header_profiles);
+        // Canonical order: AppA sorts before AppB despite absorb order.
+        assert_eq!(snap.data.calls[0].app, "AppA");
     }
 
     #[test]

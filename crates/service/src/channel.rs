@@ -1,0 +1,226 @@
+//! A bounded blocking MPSC channel.
+//!
+//! The ingest queues between front-end sources and shard workers must be
+//! **bounded with blocking sends**: a slow shard pushes back on exactly
+//! the sources feeding it (and, through TCP flow control, on their remote
+//! peers) instead of buffering unboundedly. The vendored `crossbeam` shim
+//! ships only lock-free queues without capacity or blocking, so the
+//! channel is built directly on `Mutex` + two `Condvar`s — per-message
+//! cost is irrelevant next to the per-chunk pipeline work it gates.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    capacity: usize,
+    /// Signaled when the queue shrinks (senders wait on it when full).
+    not_full: Condvar,
+    /// Signaled when the queue grows or closes (receiver waits on it).
+    not_empty: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// The sending half; clone freely. Dropping the last clone closes the
+/// channel once the queue drains.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiver was dropped; the message comes back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Disconnected<T>(pub T);
+
+/// Create a channel holding at most `capacity` in-flight messages.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be positive");
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::with_capacity(capacity)),
+        capacity,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake the receiver so it can observe EOF.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Unblock senders stuck waiting for space they'll never get.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, blocking while the queue is at capacity. Returns
+    /// the value if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), Disconnected<T>> {
+        let mut queue = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(Disconnected(value));
+            }
+            if queue.len() < self.shared.capacity {
+                queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            queue = self.shared.not_full.wait(queue).expect("channel lock poisoned");
+        }
+    }
+
+    /// Messages currently queued (the shard's live queue-depth gauge).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock poisoned").len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Messages currently queued. The receiving side's view of the same
+    /// depth [`Sender::len`] reports — the shard worker gauges its own
+    /// backlog without holding a `Sender` (which would keep the channel
+    /// from ever reaching EOF).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock poisoned").len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dequeue the next message, blocking while the queue is empty.
+    /// Returns `None` once every sender is dropped and the queue drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut queue = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(v) = queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            queue = self.shared.not_empty.wait(queue).expect("channel lock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 5);
+        drop(tx);
+        assert_eq!((0..6).map_while(|_| rx.recv()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_recv() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the receiver drains one
+            tx.len()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!t.is_finished(), "send should block while full");
+        assert_eq!(rx.recv(), Some(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(Disconnected(2)));
+    }
+
+    #[test]
+    fn receiver_sees_eof_after_last_sender_drops() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx2.send(8).unwrap();
+            drop(tx2);
+        });
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), Some(8));
+        assert_eq!(rx.recv(), None);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = bounded(3);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        got.sort();
+        let mut want: Vec<i32> = (0..4).flat_map(|p| (0..50).map(move |i| p * 100 + i)).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,542 @@
+//! The sharded session engine.
+//!
+//! Sessions are keyed by `(tenant, call-id)` and pinned to one of N
+//! shards by a stable FNV-1a hash of the key — a session never migrates,
+//! so each shard processes its sessions single-threaded and
+//! byte-deterministically regardless of how many shards run or how the
+//! other shards are scheduled. Each shard owns:
+//!
+//! * its live [`CallSession`]s (the streaming pipeline state machines),
+//! * a per-tenant partial [`rtc_report::Aggregator`] absorbing finished
+//!   sessions through the same [`rtc_core::absorb_analysis`] path the
+//!   batch and streaming drivers use,
+//! * a bounded ingest queue ([`crate::channel`]): when the shard falls
+//!   behind, `send` blocks the sources feeding it — backpressure, not
+//!   buffering.
+//!
+//! Reports merge shard-partial aggregators per tenant
+//! ([`rtc_report::Aggregator::merge`] is order-invariant) and sort call
+//! records canonically, so the merged result is byte-identical to
+//! analyzing each tenant's calls offline in one batch — the differential
+//! suite in `tests/` proves it across shard counts and interleavings.
+
+use crate::channel::{self, Sender};
+use rtc_capture::CallManifest;
+use rtc_core::pipeline::{CallMeta, CallSession, PipelineStats};
+use rtc_core::{StudyConfig, StudyReport};
+use rtc_pcap::trace::Record;
+use rtc_report::Aggregator;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Identity of one live session.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionKey {
+    /// Owning tenant; reports are per tenant.
+    pub tenant: String,
+    /// Call identity within the tenant (call id or serialized 5-tuple).
+    pub call_id: String,
+}
+
+impl SessionKey {
+    /// Build a key.
+    pub fn new(tenant: impl Into<String>, call_id: impl Into<String>) -> SessionKey {
+        SessionKey { tenant: tenant.into(), call_id: call_id.into() }
+    }
+
+    /// Stable shard routing: FNV-1a over the key bytes. Deliberately not
+    /// `DefaultHasher` (randomly seeded per process) so a key maps to the
+    /// same shard in every run — determinism is provable, not incidental.
+    pub fn shard(&self, shards: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.tenant.bytes().chain([0xffu8]).chain(self.call_id.bytes()) {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        (h % shards as u64) as usize
+    }
+}
+
+/// One session that failed (ingest error or a panic inside the pipeline).
+#[derive(Debug, Clone)]
+pub struct SessionError {
+    /// The failing session.
+    pub key: SessionKey,
+    /// What went wrong.
+    pub error: String,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards (session-owning worker threads).
+    pub shards: usize,
+    /// Bounded per-shard ingest queue capacity, in messages.
+    pub queue_capacity: usize,
+    /// Evict sessions with no ingest activity for this long (via
+    /// `finish()`, so their partial traffic still reports). `ZERO`
+    /// disables the idle sweeper — sessions then end only on explicit
+    /// finish or shutdown.
+    pub idle_timeout: Duration,
+    /// Pcap records per ingest chunk when streaming a capture in
+    /// (0 = the `rtc_pcap` reader default).
+    pub chunk_records: usize,
+    /// The analysis configuration shared by every session. Its metrics
+    /// registry also receives the service gauges.
+    pub study: StudyConfig,
+}
+
+impl ServiceConfig {
+    /// Defaults: 4 shards, 64-message queues, no idle sweeper.
+    pub fn new(study: StudyConfig) -> ServiceConfig {
+        ServiceConfig { shards: 4, queue_capacity: 64, idle_timeout: Duration::ZERO, chunk_records: 0, study }
+    }
+}
+
+enum ShardMsg {
+    Open { key: SessionKey, manifest: CallManifest },
+    Records { key: SessionKey, records: Vec<Record> },
+    Finish { key: SessionKey },
+    Sweep { deadline: Instant },
+}
+
+struct LiveSession {
+    session: CallSession,
+    last_activity: Instant,
+}
+
+/// Mutable per-shard state. The shard worker takes the lock once per
+/// message; report endpoints take it briefly to clone the partials.
+struct ShardState {
+    sessions: HashMap<SessionKey, LiveSession>,
+    tenants: BTreeMap<String, Aggregator>,
+    stats: PipelineStats,
+    errors: Vec<SessionError>,
+    opened: u64,
+    finished: u64,
+    evicted: u64,
+}
+
+impl ShardState {
+    fn new() -> ShardState {
+        ShardState {
+            sessions: HashMap::new(),
+            tenants: BTreeMap::new(),
+            stats: PipelineStats::default(),
+            errors: Vec::new(),
+            opened: 0,
+            finished: 0,
+            evicted: 0,
+        }
+    }
+}
+
+struct ShardGauges {
+    active: rtc_obs::Gauge,
+    queue_depth: rtc_obs::Gauge,
+    retained: rtc_obs::Gauge,
+    finished: rtc_obs::Counter,
+    evictions: rtc_obs::Counter,
+    records: rtc_obs::Counter,
+}
+
+struct Shard {
+    sender: Sender<ShardMsg>,
+    state: Arc<Mutex<ShardState>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Aggregate results of a full service run, produced by
+/// [`Engine::shutdown`].
+pub struct ServiceSummary {
+    /// Per-tenant sealed reports (canonically sorted call order).
+    pub reports: BTreeMap<String, StudyReport>,
+    /// Per-stage counters summed over every session.
+    pub stats: PipelineStats,
+    /// Sessions that errored (ingest errors and contained panics).
+    pub errors: Vec<SessionError>,
+    /// Sessions completed via explicit finish or shutdown drain.
+    pub finished: u64,
+    /// Sessions completed by the idle sweeper.
+    pub evicted: u64,
+}
+
+/// Live counters for status endpoints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStatus {
+    /// Currently live sessions across all shards.
+    pub active_sessions: usize,
+    /// Sessions opened so far.
+    pub opened: u64,
+    /// Sessions finished so far (explicit finish; excludes evictions).
+    pub finished: u64,
+    /// Sessions evicted by the idle sweeper so far.
+    pub evicted: u64,
+    /// Sessions errored so far.
+    pub errors: usize,
+    /// Queued ingest messages per shard.
+    pub queue_depths: Vec<usize>,
+}
+
+/// The sharded session engine. Cheap to share behind an `Arc`; ingest
+/// methods block (backpressure) when the target shard's queue is full.
+pub struct Engine {
+    shards: Vec<Shard>,
+    config: ServiceConfig,
+    janitor: Option<std::thread::JoinHandle<()>>,
+    janitor_stop: Arc<AtomicBool>,
+}
+
+impl Engine {
+    /// Start the shard workers (and the idle sweeper when configured).
+    pub fn start(config: ServiceConfig) -> Engine {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        let obs = &config.study.obs;
+        let mut shards = Vec::with_capacity(config.shards);
+        for shard_index in 0..config.shards {
+            let (sender, receiver) = channel::bounded::<ShardMsg>(config.queue_capacity.max(1));
+            let state = Arc::new(Mutex::new(ShardState::new()));
+            let label = shard_index.to_string();
+            let gauges = ShardGauges {
+                active: obs.gauge(
+                    "rtc_service_active_sessions",
+                    &[("shard", &label)],
+                    "live sessions owned by this shard",
+                ),
+                queue_depth: obs.gauge("rtc_service_queue_depth", &[("shard", &label)], "queued ingest messages"),
+                retained: obs.gauge(
+                    "rtc_service_retained_bytes",
+                    &[("shard", &label)],
+                    "bytes retained by live sessions",
+                ),
+                finished: obs.counter(
+                    "rtc_service_sessions_finished_total",
+                    &[("shard", &label)],
+                    "sessions finished",
+                ),
+                evictions: obs.counter("rtc_service_evictions_total", &[("shard", &label)], "idle sessions evicted"),
+                records: obs.counter(
+                    "rtc_service_ingest_records_total",
+                    &[("shard", &label)],
+                    "pcap records ingested",
+                ),
+            };
+            let worker_state = Arc::clone(&state);
+            let worker_config = config.study.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("rtc-shard-{shard_index}"))
+                .spawn(move || shard_worker(receiver, worker_state, worker_config, gauges))
+                .expect("spawn shard worker");
+            shards.push(Shard { sender, state, worker: Some(worker) });
+        }
+        let janitor_stop = Arc::new(AtomicBool::new(false));
+        let janitor = (config.idle_timeout > Duration::ZERO).then(|| {
+            let stop = Arc::clone(&janitor_stop);
+            let senders: Vec<Sender<ShardMsg>> = shards.iter().map(|s| s.sender.clone()).collect();
+            let timeout = config.idle_timeout;
+            std::thread::Builder::new()
+                .name("rtc-service-janitor".into())
+                .spawn(move || {
+                    let period = (timeout / 4).max(Duration::from_millis(10));
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(period);
+                        let Some(deadline) = Instant::now().checked_sub(timeout) else { continue };
+                        for s in &senders {
+                            let _ = s.send(ShardMsg::Sweep { deadline });
+                        }
+                    }
+                })
+                .expect("spawn janitor")
+        });
+        Engine { shards, config, janitor, janitor_stop }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn shard_of(&self, key: &SessionKey) -> &Shard {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    fn send(&self, key: &SessionKey, msg: ShardMsg) -> std::io::Result<()> {
+        self.shard_of(key).sender.send(msg).map_err(|_| std::io::Error::other("engine shut down"))
+    }
+
+    /// Open a session. Validates the manifest's app slug and network
+    /// label before admitting it.
+    pub fn open(&self, key: SessionKey, manifest: CallManifest) -> std::io::Result<()> {
+        if rtc_apps::Application::from_slug(&manifest.app).is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown application slug {:?}", manifest.app),
+            ));
+        }
+        if rtc_netemu::NetworkConfig::from_label(&manifest.network).is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown network label {:?}", manifest.network),
+            ));
+        }
+        let shard = self.shard_of(&key);
+        shard.sender.send(ShardMsg::Open { key, manifest }).map_err(|_| std::io::Error::other("engine shut down"))
+    }
+
+    /// Feed records to a live session. Blocks when the shard queue is
+    /// full (backpressure).
+    pub fn push_records(&self, key: &SessionKey, records: Vec<Record>) -> std::io::Result<()> {
+        self.send(key, ShardMsg::Records { key: key.clone(), records })
+    }
+
+    /// Finish a session: runs the remaining pipeline stages and folds the
+    /// call into its tenant's aggregation.
+    pub fn finish(&self, key: &SessionKey) -> std::io::Result<()> {
+        self.send(key, ShardMsg::Finish { key: key.clone() })
+    }
+
+    /// Ingest one complete call from a pcap byte stream, chunk by chunk:
+    /// open → records → finish. The reader is consumed incrementally, so
+    /// arbitrarily large bodies never materialize.
+    pub fn ingest_stream(
+        &self,
+        key: SessionKey,
+        manifest: CallManifest,
+        reader: impl Read,
+    ) -> std::io::Result<usize> {
+        let mut trace = rtc_pcap::TraceReader::new(reader, self.config.chunk_records)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.open(key.clone(), manifest)?;
+        let mut total = 0usize;
+        loop {
+            match trace.next_chunk() {
+                Ok(Some(chunk)) => {
+                    total += chunk.len();
+                    self.push_records(&key, chunk)?;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Mid-stream corruption: the partial session is still
+                    // finished so the tenant report accounts for the call.
+                    self.finish(&key)?;
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+        }
+        self.finish(&key)?;
+        Ok(total)
+    }
+
+    /// Live engine counters (status endpoint).
+    pub fn status(&self) -> EngineStatus {
+        let mut status = EngineStatus::default();
+        for shard in &self.shards {
+            let st = shard.state.lock().expect("shard state poisoned");
+            status.active_sessions += st.sessions.len();
+            status.opened += st.opened;
+            status.finished += st.finished;
+            status.evicted += st.evicted;
+            status.errors += st.errors.len();
+            status.queue_depths.push(shard.sender.len());
+        }
+        status
+    }
+
+    /// Point-in-time per-tenant reports: shard partials merged per tenant
+    /// and snapshotted with canonical call order. Live sessions are not
+    /// included (they have not finished).
+    pub fn tenant_reports(&self) -> BTreeMap<String, StudyReport> {
+        let mut merged: BTreeMap<String, Aggregator> = BTreeMap::new();
+        let mut stats = PipelineStats::default();
+        let mut errors: Vec<SessionError> = Vec::new();
+        for shard in &self.shards {
+            let st = shard.state.lock().expect("shard state poisoned");
+            for (tenant, agg) in &st.tenants {
+                merged.entry(tenant.clone()).or_default().merge(agg.clone());
+            }
+            stats.absorb(&st.stats);
+            errors.extend(st.errors.iter().cloned());
+        }
+        merged.into_iter().map(|(tenant, agg)| (tenant.clone(), seal_report(&tenant, agg, &stats, &errors))).collect()
+    }
+
+    /// Stop ingesting, finish every live session, join the workers, and
+    /// seal the per-tenant reports.
+    pub fn shutdown(mut self) -> ServiceSummary {
+        self.janitor_stop.store(true, Ordering::Release);
+        if let Some(j) = self.janitor.take() {
+            let _ = j.join();
+        }
+        let mut merged: BTreeMap<String, Aggregator> = BTreeMap::new();
+        let mut summary = ServiceSummary {
+            reports: BTreeMap::new(),
+            stats: PipelineStats::default(),
+            errors: Vec::new(),
+            finished: 0,
+            evicted: 0,
+        };
+        // Dropping a shard's only sender closes its queue; the worker
+        // drains pending messages, finishes remaining live sessions, and
+        // exits.
+        for shard in std::mem::take(&mut self.shards) {
+            let Shard { sender, state, worker } = shard;
+            drop(sender);
+            if let Some(w) = worker {
+                let _ = w.join();
+            }
+            let st = state.lock().expect("shard state poisoned");
+            for (tenant, agg) in &st.tenants {
+                merged.entry(tenant.clone()).or_default().merge(agg.clone());
+            }
+            summary.stats.absorb(&st.stats);
+            summary.errors.extend(st.errors.iter().cloned());
+            summary.finished += st.finished;
+            summary.evicted += st.evicted;
+        }
+        let stats = summary.stats.clone();
+        summary.reports = merged
+            .into_iter()
+            .map(|(tenant, agg)| (tenant.clone(), seal_report(&tenant, agg, &stats, &summary.errors)))
+            .collect();
+        summary
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // An engine dropped without `shutdown()` must not leave the
+        // janitor looping forever; the shard workers exit on their own
+        // once the senders drop with the struct.
+        self.janitor_stop.store(true, Ordering::Release);
+    }
+}
+
+/// Seal one tenant's merged aggregation into a renderable [`StudyReport`].
+/// Call order is canonicalized so the result is independent of shard
+/// scheduling; the tenant's session errors surface as `failures`, matching
+/// the CLI's failed-call reporting convention.
+fn seal_report(tenant: &str, agg: Aggregator, stats: &PipelineStats, errors: &[SessionError]) -> StudyReport {
+    let mut report = agg.snapshot_report();
+    report.data.sort_canonical();
+    let failures = errors
+        .iter()
+        .filter(|e| e.key.tenant == tenant)
+        .enumerate()
+        .map(|(i, e)| rtc_core::FailedCall {
+            index: i,
+            app: e.key.call_id.clone(),
+            network: String::new(),
+            error: e.error.clone(),
+        })
+        .collect();
+    StudyReport {
+        data: report.data,
+        findings: report.findings,
+        header_profiles: report.header_profiles,
+        failures,
+        pipeline: stats.clone(),
+        metrics: rtc_obs::Snapshot::default(),
+    }
+}
+
+fn shard_worker(
+    receiver: channel::Receiver<ShardMsg>,
+    state: Arc<Mutex<ShardState>>,
+    study: StudyConfig,
+    gauges: ShardGauges,
+) {
+    loop {
+        gauges.queue_depth.set(receiver.len() as u64);
+        let Some(msg) = receiver.recv() else { break };
+        let mut st = state.lock().expect("shard state poisoned");
+        match msg {
+            ShardMsg::Open { key, manifest } => {
+                if st.sessions.contains_key(&key) {
+                    st.errors
+                        .push(SessionError { key: key.clone(), error: "duplicate open for live session".into() });
+                    continue;
+                }
+                let session = CallSession::new(CallMeta::of(&manifest), &study);
+                st.sessions.insert(key, LiveSession { session, last_activity: Instant::now() });
+                st.opened += 1;
+                gauges.active.set(st.sessions.len() as u64);
+            }
+            ShardMsg::Records { key, records } => {
+                let n = records.len() as u64;
+                match st.sessions.get_mut(&key) {
+                    None => st.errors.push(SessionError { key, error: "records for unknown session".into() }),
+                    Some(live) => {
+                        live.last_activity = Instant::now();
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            for r in records {
+                                live.session.push_record(r);
+                            }
+                        }));
+                        gauges.records.add(n);
+                        if let Err(panic) = outcome {
+                            let error = crate::panic_text(panic.as_ref());
+                            st.sessions.remove(&key);
+                            st.errors.push(SessionError { key, error });
+                            gauges.active.set(st.sessions.len() as u64);
+                        }
+                    }
+                }
+                let retained: usize = st.sessions.values().map(|l| l.session.retained_bytes()).sum();
+                gauges.retained.set(retained as u64);
+            }
+            ShardMsg::Finish { key } => {
+                match st.sessions.remove(&key) {
+                    None => st.errors.push(SessionError { key, error: "finish for unknown session".into() }),
+                    Some(live) => {
+                        finish_session(&mut st, key, live, &study);
+                        st.finished += 1;
+                        gauges.finished.add(1);
+                    }
+                }
+                gauges.active.set(st.sessions.len() as u64);
+            }
+            ShardMsg::Sweep { deadline } => {
+                let idle: Vec<SessionKey> =
+                    st.sessions.iter().filter(|(_, l)| l.last_activity <= deadline).map(|(k, _)| k.clone()).collect();
+                for key in idle {
+                    let live = st.sessions.remove(&key).expect("key just listed");
+                    finish_session(&mut st, key, live, &study);
+                    st.evicted += 1;
+                    gauges.evictions.add(1);
+                }
+                gauges.active.set(st.sessions.len() as u64);
+            }
+        }
+    }
+    // Channel closed: finish every remaining live session (graceful
+    // shutdown drains, it never discards).
+    let mut st = state.lock().expect("shard state poisoned");
+    let remaining: Vec<SessionKey> = st.sessions.keys().cloned().collect();
+    for key in remaining {
+        let live = st.sessions.remove(&key).expect("key just listed");
+        finish_session(&mut st, key, live, &study);
+        st.finished += 1;
+        gauges.finished.add(1);
+    }
+    gauges.active.set(0);
+    gauges.retained.set(0);
+    gauges.queue_depth.set(0);
+}
+
+fn finish_session(st: &mut ShardState, key: SessionKey, live: LiveSession, study: &StudyConfig) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| live.session.finish()));
+    let ShardState { tenants, stats, errors, .. } = st;
+    match outcome {
+        Ok((analysis, call_stats)) => {
+            stats.absorb(&call_stats);
+            let agg = tenants.entry(key.tenant.clone()).or_default();
+            rtc_core::absorb_analysis(agg, stats, analysis, &study.obs);
+        }
+        Err(panic) => {
+            let error = crate::panic_text(panic.as_ref());
+            errors.push(SessionError { key, error });
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Differential proof: a fleet ingested through the live sharded service
+//! produces per-tenant reports byte-identical to offline batch analysis
+//! of the same traffic — across shard counts, chunk sizes, tenant
+//! counts, and interleavings.
+
+use proptest::prelude::*;
+use rtc_core::StudyConfig;
+use rtc_netemu::fleet::{FleetPlan, FleetSpec};
+use rtc_service::{batch_reports, drive_fleet, Engine, FleetDriveOptions, ServiceConfig, SessionKey};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn study(seed: u64) -> StudyConfig {
+    let mut config = StudyConfig::smoke(seed);
+    // Differential runs do not need metrics; a disabled registry also
+    // re-proves observability cannot influence results.
+    config.obs = rtc_obs::MetricsRegistry::disabled();
+    config
+}
+
+fn plan(calls: usize, tenants: usize, seed: u64, apps: &[&str]) -> FleetPlan {
+    let spec = FleetSpec::new(calls, tenants, apps.iter().map(|s| s.to_string()).collect(), seed);
+    FleetPlan::build(spec)
+}
+
+fn opts(chunk_records: usize) -> FleetDriveOptions {
+    FleetDriveOptions { call_secs: 6, scale: 0.04, chunk_records }
+}
+
+fn live_reports(
+    plan: &FleetPlan,
+    opts: &FleetDriveOptions,
+    seed: u64,
+    shards: usize,
+) -> BTreeMap<String, rtc_core::StudyReport> {
+    let mut config = ServiceConfig::new(study(seed));
+    config.shards = shards;
+    config.queue_capacity = 8;
+    let engine = Engine::start(config);
+    drive_fleet(&engine, plan, opts).expect("fleet drive");
+    let summary = engine.shutdown();
+    assert!(summary.errors.is_empty(), "live run errored: {:?}", summary.errors);
+    summary.reports
+}
+
+fn assert_reports_identical(
+    live: &BTreeMap<String, rtc_core::StudyReport>,
+    batch: &BTreeMap<String, rtc_core::StudyReport>,
+) {
+    assert_eq!(live.keys().collect::<Vec<_>>(), batch.keys().collect::<Vec<_>>(), "tenant sets differ");
+    for (tenant, live_report) in live {
+        let batch_report = &batch[tenant];
+        assert_eq!(live_report.data, batch_report.data, "tenant {tenant}: call data differs");
+        assert_eq!(live_report.findings, batch_report.findings, "tenant {tenant}: findings differ");
+        assert_eq!(
+            live_report.header_profiles, batch_report.header_profiles,
+            "tenant {tenant}: header profiles differ"
+        );
+        // The acceptance bar: rendered reports are byte-identical.
+        assert_eq!(live_report.render_all(), batch_report.render_all(), "tenant {tenant}: rendered reports differ");
+    }
+}
+
+#[test]
+fn live_fleet_matches_batch_per_tenant() {
+    let plan = plan(18, 3, 41, &["zoom", "discord", "whatsapp"]);
+    let opts = opts(256);
+    let live = live_reports(&plan, &opts, 41, 4);
+    let batch = batch_reports(&plan, &opts, &study(41)).expect("batch analysis");
+    assert_eq!(live.len(), 3);
+    assert_reports_identical(&live, &batch);
+}
+
+#[test]
+fn shard_count_does_not_change_reports() {
+    let plan = plan(12, 2, 77, &["facetime", "messenger"]);
+    let opts = opts(64);
+    let one = live_reports(&plan, &opts, 77, 1);
+    let many = live_reports(&plan, &opts, 77, 7);
+    assert_reports_identical(&one, &many);
+}
+
+#[test]
+fn unchunked_ingest_matches_chunked() {
+    let plan = plan(8, 2, 5, &["meet", "zoom"]);
+    let chunked = live_reports(&plan, &opts(32), 5, 3);
+    let whole = live_reports(&plan, &opts(0), 5, 3);
+    assert_reports_identical(&chunked, &whole);
+}
+
+#[test]
+fn idle_sessions_are_evicted_via_finish() {
+    let fleet = plan(4, 1, 9, &["zoom"]);
+    let opts = opts(128);
+    let mut config = ServiceConfig::new(study(9));
+    config.shards = 2;
+    config.idle_timeout = Duration::from_millis(60);
+    let engine = Engine::start(config);
+    // Open every call and push its records but never send finish.
+    for call in &fleet.calls {
+        let capture = rtc_service::fleet::materialize(call, &opts).unwrap();
+        let key = SessionKey::new(&call.tenant, &call.call_id);
+        engine.open(key.clone(), capture.manifest.clone()).unwrap();
+        engine.push_records(&key, capture.trace.records).unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = engine.status();
+        if status.evicted == 4 && status.active_sessions == 0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "eviction timed out: {status:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Evicted sessions were finished, not discarded: the tenant report
+    // carries all four calls and matches the offline batch.
+    let summary = engine.shutdown();
+    assert!(summary.errors.is_empty(), "{:?}", summary.errors);
+    assert_eq!(summary.evicted, 4);
+    assert_eq!(summary.finished, 0);
+    let batch = batch_reports(&fleet, &opts, &study(9)).unwrap();
+    assert_reports_identical(&summary.reports, &batch);
+}
+
+#[test]
+fn ingest_errors_are_contained_and_reported() {
+    let engine = Engine::start(ServiceConfig::new(study(1)));
+    // Records for a session that was never opened.
+    let key = SessionKey::new("tenant-0", "ghost");
+    engine.push_records(&key, Vec::new()).unwrap();
+    // Finish for an unknown session.
+    engine.finish(&SessionKey::new("tenant-0", "phantom")).unwrap();
+    // An invalid manifest is rejected synchronously.
+    let mut manifest =
+        rtc_service::fleet::materialize(&plan(1, 1, 2, &["zoom"]).calls[0], &FleetDriveOptions::default())
+            .unwrap()
+            .manifest;
+    manifest.app = "not-an-app".into();
+    let err = engine.open(SessionKey::new("tenant-0", "bad"), manifest).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let summary = engine.shutdown();
+    assert_eq!(summary.errors.len(), 2, "{:?}", summary.errors);
+    assert!(summary.reports.is_empty() || summary.reports.values().all(|r| r.data.calls.is_empty()));
+}
+
+#[test]
+fn duplicate_open_is_an_error_not_a_reset() {
+    let fleet = plan(1, 1, 3, &["discord"]);
+    let opts = FleetDriveOptions::default();
+    let capture = rtc_service::fleet::materialize(&fleet.calls[0], &opts).unwrap();
+    let engine = Engine::start(ServiceConfig::new(study(3)));
+    let key = SessionKey::new("t", "c");
+    engine.open(key.clone(), capture.manifest.clone()).unwrap();
+    engine.open(key.clone(), capture.manifest.clone()).unwrap();
+    engine.push_records(&key, capture.trace.records.clone()).unwrap();
+    engine.finish(&key).unwrap();
+    let summary = engine.shutdown();
+    assert_eq!(summary.errors.len(), 1);
+    assert!(summary.errors[0].error.contains("duplicate open"));
+    // The original session survived the duplicate and produced its call.
+    assert_eq!(summary.reports["t"].data.calls.len(), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized fleets: seeds × fleet size × tenants × shard count ×
+    /// chunk size. Live ≡ batch, per tenant, byte for byte.
+    #[test]
+    fn random_fleets_live_equals_batch(
+        seed in 0u64..1_000,
+        calls in 4usize..16,
+        tenants in 1usize..4,
+        shards in 1usize..6,
+        chunk_pick in 0usize..4,
+    ) {
+        let chunk = [17usize, 93, 256, 0][chunk_pick];
+        let apps = ["zoom", "facetime", "whatsapp", "messenger", "discord", "meet"];
+        let picked: Vec<&str> = apps.iter().copied().take(1 + (seed as usize % apps.len())).collect();
+        let plan = plan(calls, tenants, seed, &picked);
+        let opts = opts(chunk);
+        let live = live_reports(&plan, &opts, seed, shards);
+        let batch = batch_reports(&plan, &opts, &study(seed)).expect("batch analysis");
+        prop_assert_eq!(live.len(), plan.tenants().len());
+        for (tenant, live_report) in &live {
+            let batch_report = &batch[tenant];
+            prop_assert_eq!(&live_report.data, &batch_report.data, "tenant {}", tenant);
+            prop_assert_eq!(&live_report.findings, &batch_report.findings, "tenant {}", tenant);
+            prop_assert_eq!(
+                live_report.render_all(),
+                batch_report.render_all(),
+                "tenant {} render", tenant
+            );
+        }
+    }
+}

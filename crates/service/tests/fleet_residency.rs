@@ -1,0 +1,80 @@
+//! Acceptance test for the live service at fleet scale: a ≥200-call
+//! staggered multi-tenant fleet ingested through multiple shards yields
+//! per-tenant reports byte-identical to offline batch analysis, and the
+//! live run's peak memory is bounded by the *live-session* count, not the
+//! fleet size — asserted with the counting global allocator.
+//!
+//! This lives in its own test binary because `#[global_allocator]` is
+//! per-binary and the measurement only tolerates one region at a time.
+
+#[global_allocator]
+static ALLOC: rtc_obs::alloc::CountingAlloc = rtc_obs::alloc::CountingAlloc;
+
+use rtc_core::StudyConfig;
+use rtc_netemu::fleet::{FleetPlan, FleetSpec};
+use rtc_service::{batch_reports, drive_fleet, Engine, FleetDriveOptions, ServiceConfig};
+
+#[test]
+fn large_fleet_matches_batch_with_bounded_residency() {
+    let spec = FleetSpec {
+        calls: 220,
+        tenants: 5,
+        apps: ["zoom", "facetime", "whatsapp", "messenger", "discord", "meet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        networks: Vec::new(),
+        seed: 2026,
+        mean_gap_us: 40_000,
+        call_duration_us: 1_500_000,
+        max_concurrent: 12,
+    };
+    let plan = FleetPlan::build(spec);
+    assert!(plan.calls.len() >= 200);
+    assert!(plan.peak_concurrency() <= 12);
+    let opts = FleetDriveOptions { call_secs: 6, scale: 0.04, chunk_records: 256 };
+
+    let study = || {
+        let mut c = StudyConfig::smoke(2026);
+        c.obs = rtc_obs::MetricsRegistry::disabled();
+        c
+    };
+
+    // Live: sharded service, lazily materialized staggered fleet.
+    let baseline = rtc_obs::alloc::reset_peak();
+    let mut config = ServiceConfig::new(study());
+    config.shards = 4;
+    config.queue_capacity = 16;
+    let engine = Engine::start(config);
+    let stats = drive_fleet(&engine, &plan, &opts).expect("fleet drive");
+    let summary = engine.shutdown();
+    let live_peak = rtc_obs::alloc::peak_since(baseline);
+    assert!(summary.errors.is_empty(), "live run errored: {:?}", summary.errors);
+    assert_eq!(stats.calls, plan.calls.len());
+    assert_eq!(summary.finished, plan.calls.len() as u64);
+    assert!(stats.peak_live <= 12, "driver materialized {} calls at once", stats.peak_live);
+
+    // Reference: every capture materialized simultaneously — what a
+    // naive "collect the fleet, then analyze" driver would hold. The
+    // live path must stay well under it; factor 2 keeps the assertion
+    // robust to allocator noise while still proving O(live) vs O(fleet).
+    let baseline = rtc_obs::alloc::reset_peak();
+    let all: Vec<_> =
+        plan.calls.iter().map(|c| rtc_service::fleet::materialize(c, &opts).expect("materialize")).collect();
+    let materialize_all_peak = rtc_obs::alloc::peak_since(baseline);
+    drop(all);
+    assert!(
+        live_peak * 2 < materialize_all_peak,
+        "live peak {live_peak} B is not bounded: materialize-everything peak is {materialize_all_peak} B"
+    );
+
+    // And the acceptance bar: per-tenant reports byte-identical to batch.
+    let batch = batch_reports(&plan, &opts, &study()).expect("batch analysis");
+    assert_eq!(summary.reports.len(), 5);
+    assert_eq!(summary.reports.keys().collect::<Vec<_>>(), batch.keys().collect::<Vec<_>>(), "tenant sets differ");
+    for (tenant, live_report) in &summary.reports {
+        let batch_report = &batch[tenant];
+        assert_eq!(live_report.data, batch_report.data, "tenant {tenant}: call data differs");
+        assert_eq!(live_report.render_all(), batch_report.render_all(), "tenant {tenant}: rendered report differs");
+    }
+}

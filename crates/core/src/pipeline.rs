@@ -570,6 +570,12 @@ impl CallSession {
         }
     }
 
+    /// The call's ground-truth metadata (session tables report failures
+    /// with the manifest's app/network, matching the batch driver).
+    pub fn meta(&self) -> &CallMeta {
+        &self.meta
+    }
+
     /// Feed one capture record through decode and the online filter.
     pub fn push_record(&mut self, record: Record) {
         self.decode.push(record, &mut self.decoded);

@@ -151,6 +151,12 @@ impl Server {
                 active.fetch_add(1, Ordering::AcqRel);
                 let spawned = std::thread::Builder::new().name("rtc-http-conn".into()).spawn(move || {
                     let _ = serve_connection(stream, &*handler);
+                    // Release the handler clone BEFORE signalling done:
+                    // `shutdown()` returning promises callers that no
+                    // handler Arc survives (the CLI unwraps an Arc the
+                    // handler captured), so the decrement must be the
+                    // last thing that happens.
+                    drop(handler);
                     active.fetch_sub(1, Ordering::AcqRel);
                 });
                 if let Err(e) = spawned {
@@ -327,6 +333,34 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(body, "POST 10000 {\"app\":\"zoom\"}");
         server.shutdown();
+    }
+
+    // `shutdown()` must not return while any connection thread still
+    // holds its handler clone: the CLI `Arc::try_unwrap`s state the
+    // handler captured. Hammer the server and check unique ownership
+    // after every shutdown; repetitions make the drop/decrement race
+    // actually fire if the ordering regresses.
+    #[test]
+    fn shutdown_releases_every_handler_clone() {
+        for _ in 0..20 {
+            let state = Arc::new(AtomicUsize::new(0));
+            let captured = Arc::clone(&state);
+            let server = Server::bind(
+                "127.0.0.1:0",
+                Arc::new(move |_req: &mut Request<'_>| {
+                    captured.fetch_add(1, Ordering::AcqRel);
+                    Response::text("ok")
+                }),
+            )
+            .unwrap();
+            let addr = server.local_addr();
+            let clients: Vec<_> = (0..4).map(|_| std::thread::spawn(move || get(addr, "/x"))).collect();
+            for c in clients {
+                c.join().unwrap();
+            }
+            server.shutdown();
+            assert_eq!(Arc::strong_count(&state), 1, "handler clone outlived shutdown()");
+        }
     }
 
     #[test]

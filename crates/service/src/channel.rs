@@ -61,19 +61,34 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
+        // Decrement and notify while holding the queue mutex. `recv()`
+        // checks the sender count and parks under that same mutex, so with
+        // it held here a receiver is either before its check (and will see
+        // zero) or already parked in `wait()` (and gets the notify).
+        // Without the lock the notify can land in the gap between the
+        // receiver's check and its `wait()`, and the EOF wakeup is lost —
+        // the shard worker would sleep forever. `into_inner` instead of a
+        // panic keeps a poisoned lock from aborting inside drop.
+        let guard = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last sender gone: wake the receiver so it can observe EOF.
             self.shared.not_empty.notify_all();
         }
+        drop(guard);
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
+        // Same lost-wakeup discipline as `Sender::drop`: `send()` checks
+        // the receiver count and parks under the queue mutex, so the
+        // decrement-and-notify must hold it too.
+        let guard = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Unblock senders stuck waiting for space they'll never get.
             self.shared.not_full.notify_all();
         }
+        drop(guard);
     }
 }
 
@@ -195,6 +210,39 @@ mod tests {
         assert_eq!(rx.recv(), Some(8));
         assert_eq!(rx.recv(), None);
         t.join().unwrap();
+    }
+
+    // Race the last-sender drop against a receiver entering its wait; a
+    // lost EOF wakeup leaves the receiver parked forever and the join
+    // (hence the test) hangs. Many iterations to actually hit the window.
+    #[test]
+    fn eof_wakeup_survives_drop_recv_race() {
+        for _ in 0..500 {
+            let (tx, rx) = bounded::<u32>(2);
+            let receiver = std::thread::spawn(move || while rx.recv().is_some() {});
+            let sender = std::thread::spawn(move || {
+                tx.send(1).unwrap();
+                drop(tx);
+            });
+            sender.join().unwrap();
+            receiver.join().unwrap();
+        }
+    }
+
+    // Race the receiver drop against a sender blocking on a full queue;
+    // a lost disconnect wakeup leaves the sender parked forever.
+    #[test]
+    fn disconnect_wakeup_survives_drop_send_race() {
+        for _ in 0..500 {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(0).unwrap();
+            let sender = std::thread::spawn(move || {
+                let _ = tx.send(1); // either queued or Disconnected, never stuck
+            });
+            let dropper = std::thread::spawn(move || drop(rx));
+            dropper.join().unwrap();
+            sender.join().unwrap();
+        }
     }
 
     #[test]

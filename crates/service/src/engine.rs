@@ -64,6 +64,11 @@ impl SessionKey {
 pub struct SessionError {
     /// The failing session.
     pub key: SessionKey,
+    /// Application display name from the session's manifest; empty when
+    /// the error predates a manifest (records/finish for an unknown key).
+    pub app: String,
+    /// Network label from the session's manifest; empty likewise.
+    pub network: String,
     /// What went wrong.
     pub error: String,
 }
@@ -112,7 +117,10 @@ struct LiveSession {
 struct ShardState {
     sessions: HashMap<SessionKey, LiveSession>,
     tenants: BTreeMap<String, Aggregator>,
-    stats: PipelineStats,
+    /// Pipeline counters per tenant, so a tenant's sealed report carries
+    /// its own calls' stats (the batch driver's convention), not the
+    /// engine-wide mixture.
+    tenant_stats: BTreeMap<String, PipelineStats>,
     errors: Vec<SessionError>,
     opened: u64,
     finished: u64,
@@ -124,7 +132,7 @@ impl ShardState {
         ShardState {
             sessions: HashMap::new(),
             tenants: BTreeMap::new(),
-            stats: PipelineStats::default(),
+            tenant_stats: BTreeMap::new(),
             errors: Vec::new(),
             opened: 0,
             finished: 0,
@@ -346,20 +354,31 @@ impl Engine {
 
     /// Point-in-time per-tenant reports: shard partials merged per tenant
     /// and snapshotted with canonical call order. Live sessions are not
-    /// included (they have not finished).
+    /// included (they have not finished); a tenant whose sessions all
+    /// errored still reports, with empty data and populated `failures`.
     pub fn tenant_reports(&self) -> BTreeMap<String, StudyReport> {
-        let mut merged: BTreeMap<String, Aggregator> = BTreeMap::new();
-        let mut stats = PipelineStats::default();
+        let mut merged: BTreeMap<String, (Aggregator, PipelineStats)> = BTreeMap::new();
         let mut errors: Vec<SessionError> = Vec::new();
         for shard in &self.shards {
             let st = shard.state.lock().expect("shard state poisoned");
             for (tenant, agg) in &st.tenants {
-                merged.entry(tenant.clone()).or_default().merge(agg.clone());
+                merged.entry(tenant.clone()).or_default().0.merge(agg.clone());
             }
-            stats.absorb(&st.stats);
+            for (tenant, stats) in &st.tenant_stats {
+                merged.entry(tenant.clone()).or_default().1.absorb(stats);
+            }
             errors.extend(st.errors.iter().cloned());
         }
-        merged.into_iter().map(|(tenant, agg)| (tenant.clone(), seal_report(&tenant, agg, &stats, &errors))).collect()
+        for e in &errors {
+            merged.entry(e.key.tenant.clone()).or_default();
+        }
+        merged
+            .into_iter()
+            .map(|(tenant, (agg, stats))| {
+                let report = seal_report(&tenant, agg, &stats, &errors);
+                (tenant, report)
+            })
+            .collect()
     }
 
     /// Stop ingesting, finish every live session, join the workers, and
@@ -369,7 +388,7 @@ impl Engine {
         if let Some(j) = self.janitor.take() {
             let _ = j.join();
         }
-        let mut merged: BTreeMap<String, Aggregator> = BTreeMap::new();
+        let mut merged: BTreeMap<String, (Aggregator, PipelineStats)> = BTreeMap::new();
         let mut summary = ServiceSummary {
             reports: BTreeMap::new(),
             stats: PipelineStats::default(),
@@ -388,17 +407,29 @@ impl Engine {
             }
             let st = state.lock().expect("shard state poisoned");
             for (tenant, agg) in &st.tenants {
-                merged.entry(tenant.clone()).or_default().merge(agg.clone());
+                merged.entry(tenant.clone()).or_default().0.merge(agg.clone());
             }
-            summary.stats.absorb(&st.stats);
+            for (tenant, stats) in &st.tenant_stats {
+                merged.entry(tenant.clone()).or_default().1.absorb(stats);
+            }
             summary.errors.extend(st.errors.iter().cloned());
             summary.finished += st.finished;
             summary.evicted += st.evicted;
         }
-        let stats = summary.stats.clone();
+        for e in &summary.errors {
+            merged.entry(e.key.tenant.clone()).or_default();
+        }
+        // Engine-wide stats fold over the per-tenant partials: stage
+        // counters add, the residency high-water mark takes the max.
+        for (_, (_, stats)) in &merged {
+            summary.stats.absorb(stats);
+        }
         summary.reports = merged
             .into_iter()
-            .map(|(tenant, agg)| (tenant.clone(), seal_report(&tenant, agg, &stats, &summary.errors)))
+            .map(|(tenant, (agg, stats))| {
+                let report = seal_report(&tenant, agg, &stats, &summary.errors);
+                (tenant, report)
+            })
             .collect();
         summary
     }
@@ -415,19 +446,25 @@ impl Drop for Engine {
 
 /// Seal one tenant's merged aggregation into a renderable [`StudyReport`].
 /// Call order is canonicalized so the result is independent of shard
-/// scheduling; the tenant's session errors surface as `failures`, matching
-/// the CLI's failed-call reporting convention.
+/// scheduling. `stats` is the tenant's own pipeline counters (not the
+/// engine-wide mixture), and the tenant's session errors surface as
+/// `failures` carrying the manifest's app/network like the batch driver's.
+/// The live service has no global input order, so `FailedCall::index` is
+/// the position in the tenant's canonically sorted failure list — also
+/// shard-scheduling-independent; call-level identity stays available on
+/// [`ServiceSummary::errors`].
 fn seal_report(tenant: &str, agg: Aggregator, stats: &PipelineStats, errors: &[SessionError]) -> StudyReport {
     let mut report = agg.snapshot_report();
     report.data.sort_canonical();
-    let failures = errors
-        .iter()
-        .filter(|e| e.key.tenant == tenant)
+    let mut failed: Vec<&SessionError> = errors.iter().filter(|e| e.key.tenant == tenant).collect();
+    failed.sort_by(|a, b| (&a.app, &a.network, &a.key.call_id).cmp(&(&b.app, &b.network, &b.key.call_id)));
+    let failures = failed
+        .into_iter()
         .enumerate()
         .map(|(i, e)| rtc_core::FailedCall {
             index: i,
-            app: e.key.call_id.clone(),
-            network: String::new(),
+            app: e.app.clone(),
+            network: e.network.clone(),
             error: e.error.clone(),
         })
         .collect();
@@ -453,12 +490,17 @@ fn shard_worker(
         let mut st = state.lock().expect("shard state poisoned");
         match msg {
             ShardMsg::Open { key, manifest } => {
+                let meta = CallMeta::of(&manifest);
                 if st.sessions.contains_key(&key) {
-                    st.errors
-                        .push(SessionError { key: key.clone(), error: "duplicate open for live session".into() });
+                    st.errors.push(SessionError {
+                        key: key.clone(),
+                        app: meta.app,
+                        network: meta.network,
+                        error: "duplicate open for live session".into(),
+                    });
                     continue;
                 }
-                let session = CallSession::new(CallMeta::of(&manifest), &study);
+                let session = CallSession::new(meta, &study);
                 st.sessions.insert(key, LiveSession { session, last_activity: Instant::now() });
                 st.opened += 1;
                 gauges.active.set(st.sessions.len() as u64);
@@ -466,7 +508,12 @@ fn shard_worker(
             ShardMsg::Records { key, records } => {
                 let n = records.len() as u64;
                 match st.sessions.get_mut(&key) {
-                    None => st.errors.push(SessionError { key, error: "records for unknown session".into() }),
+                    None => st.errors.push(SessionError {
+                        key,
+                        app: String::new(),
+                        network: String::new(),
+                        error: "records for unknown session".into(),
+                    }),
                     Some(live) => {
                         live.last_activity = Instant::now();
                         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -477,8 +524,9 @@ fn shard_worker(
                         gauges.records.add(n);
                         if let Err(panic) = outcome {
                             let error = crate::panic_text(panic.as_ref());
+                            let meta = live.session.meta().clone();
                             st.sessions.remove(&key);
-                            st.errors.push(SessionError { key, error });
+                            st.errors.push(SessionError { key, app: meta.app, network: meta.network, error });
                             gauges.active.set(st.sessions.len() as u64);
                         }
                     }
@@ -488,7 +536,12 @@ fn shard_worker(
             }
             ShardMsg::Finish { key } => {
                 match st.sessions.remove(&key) {
-                    None => st.errors.push(SessionError { key, error: "finish for unknown session".into() }),
+                    None => st.errors.push(SessionError {
+                        key,
+                        app: String::new(),
+                        network: String::new(),
+                        error: "finish for unknown session".into(),
+                    }),
                     Some(live) => {
                         finish_session(&mut st, key, live, &study);
                         st.finished += 1;
@@ -526,17 +579,19 @@ fn shard_worker(
 }
 
 fn finish_session(st: &mut ShardState, key: SessionKey, live: LiveSession, study: &StudyConfig) {
+    let meta = live.session.meta().clone();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| live.session.finish()));
-    let ShardState { tenants, stats, errors, .. } = st;
+    let ShardState { tenants, tenant_stats, errors, .. } = st;
     match outcome {
         Ok((analysis, call_stats)) => {
+            let stats = tenant_stats.entry(key.tenant.clone()).or_default();
             stats.absorb(&call_stats);
             let agg = tenants.entry(key.tenant.clone()).or_default();
             rtc_core::absorb_analysis(agg, stats, analysis, &study.obs);
         }
         Err(panic) => {
             let error = crate::panic_text(panic.as_ref());
-            errors.push(SessionError { key, error });
+            errors.push(SessionError { key, app: meta.app, network: meta.network, error });
         }
     }
 }

@@ -1,0 +1,176 @@
+//! Scale-study benchmark: end-to-end wall time, peak RSS, and per-shard
+//! throughput of the sharded study runner (`rtc_shard`).
+//!
+//! A CI-sized paper-tier campaign (the 18-call smoke matrix at 30
+//! emulated seconds per call) is planned, generated, and analyzed by
+//! every shard sequentially in this process, then merged exactly from
+//! the shards' final snapshots. The merged report is asserted
+//! byte-identical to the single-process batch reference of the same
+//! corpus — the sharded runner's acceptance property — so this bench is
+//! also a CI differential smoke on top of the numbers it records:
+//!
+//!   * end-to-end campaign wall time (generate + analyze + checkpoint +
+//!     merge) and the batch-reference wall time for comparison,
+//!   * peak resident set size (`VmHWM`), which stays bounded by one
+//!     call's working set, not the corpus size,
+//!   * per-shard and aggregate analysis throughput in MiB of raw
+//!     capture per second.
+//!
+//! Results are upserted into `BENCH_study.json` at the repository root
+//! (override with `BENCH_STUDY_JSON`).
+//!
+//! Run with `cargo run --release -p rtc-bench --bin study_perf`.
+
+use rtc_bench::perf::round2;
+use rtc_core::capture::ExperimentConfig;
+use rtc_core::obs::alloc;
+use rtc_shard::{merge_shards, run_shard, CorpusPlan, ShardOptions};
+use serde_json::json;
+use std::path::PathBuf;
+
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
+
+const SEED: u64 = 424_242;
+const SHARDS: usize = 3;
+const CHUNK_RECORDS: usize = 512;
+
+fn write_results(value: serde_json::Value) {
+    let path: PathBuf = std::env::var_os("BENCH_STUDY_JSON")
+        .map(Into::into)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_study.json"));
+    match serde_json::to_string_pretty(&value) {
+        Ok(s) => match std::fs::write(&path, s + "\n") {
+            Ok(()) => eprintln!("[rtc-bench] wrote {}", path.display()),
+            Err(e) => eprintln!("[rtc-bench] cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("[rtc-bench] cannot serialize results: {e}"),
+    }
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1 << 20) as f64
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("rtc-study-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create campaign dir");
+
+    // The CI-sized shrink of the paper tier: the full app × network
+    // matrix at one repeat, 60 emulated seconds, 20% traffic scale —
+    // heavy enough that per-shard wall times clear the measurable range.
+    // The plan is built directly (not via `Tier`, whose env overrides are
+    // for the CLI) so the bench is immune to ambient RTC_STUDY_* vars.
+    let mut experiment = ExperimentConfig::paper_matrix(60, 0.2, SEED);
+    experiment.repeats = 1;
+    let plan = CorpusPlan { tier: "paper".to_string(), shards: SHARDS, experiment };
+    plan.save(&dir).expect("save plan");
+    let calls = plan.calls().len();
+    println!("campaign: {calls} calls over {SHARDS} shard(s), seed {SEED}");
+
+    let options = ShardOptions {
+        record_interval: 50_000,
+        chunk_records: CHUNK_RECORDS,
+        oracle_sample: 10,
+        stop_after_calls: None,
+    };
+
+    // Warm-up: one throwaway campaign primes the page cache, the branch
+    // predictors, and the allocator before anything is timed — without
+    // it the first run measures cold-start, not the runner.
+    let warm = dir.join("warmup");
+    plan.save(&warm).expect("save warm-up plan");
+    for shard in 0..SHARDS {
+        run_shard(&warm, shard, &options).expect("warm-up shard");
+    }
+    std::fs::remove_dir_all(&warm).ok();
+
+    // End-to-end campaign: every shard generates and analyzes its slice
+    // (sequentially here — one process — so the wall time is the sum of
+    // shard work plus the merge, with no multi-process scheduling noise).
+    let base = alloc::reset_peak();
+    let t0 = std::time::Instant::now();
+    for shard in 0..SHARDS {
+        let outcome = run_shard(&dir, shard, &options).expect("run shard");
+        assert!(!outcome.stopped_early && !outcome.resumed);
+        assert_eq!(outcome.calls, outcome.calls_owned);
+    }
+    let merged = merge_shards(&dir).expect("merge shards");
+    let study_secs = t0.elapsed().as_secs_f64();
+    let alloc_peak = alloc::peak_since(base);
+    assert!(merged.report.failures.is_empty(), "campaign had failed calls: {:?}", merged.report.failures);
+    assert_eq!(merged.report.data.calls.len(), calls);
+    assert!(merged.oracle_calls > 0, "oracle sample never fired");
+
+    let records: u64 = merged.shards.iter().map(|s| s.records).sum();
+    let raw_bytes: u64 = merged.shards.iter().map(|s| s.bytes).sum();
+    let study_throughput = mib(raw_bytes) / study_secs;
+    // VmHWM covers the whole process; the counting allocator's window is
+    // the fallback where procfs is unavailable.
+    let peak_rss = alloc::peak_rss_bytes().unwrap_or(alloc_peak as u64);
+    println!(
+        "study:  {study_secs:.2}s  ({study_throughput:.1} MiB/s raw)  peak RSS {:.1} MiB  {} records",
+        mib(peak_rss),
+        records
+    );
+    // Per-shard throughput is recorded for the record but deliberately
+    // kept off the gate's key patterns (`wall` is seconds, `rate` is
+    // MiB/s): individual shard walls are sub-second, where a 25% delta
+    // is scheduler noise; the aggregate `study_*` keys above are gated.
+    let mut shard_throughput = serde_json::Map::new();
+    for s in &merged.shards {
+        let rate = mib(s.bytes) / s.elapsed_secs;
+        println!(
+            "shard {}: {} call(s), {:.1} MiB in {:.2}s ({rate:.1} MiB/s)",
+            s.shard,
+            s.calls,
+            mib(s.bytes),
+            s.elapsed_secs
+        );
+        shard_throughput.insert(
+            format!("shard{}", s.shard),
+            json!({
+                "calls": s.calls,
+                "raw_mib": round2(mib(s.bytes)),
+                "wall": round2(s.elapsed_secs),
+                "rate": round2(rate),
+            }),
+        );
+    }
+
+    // Acceptance property: the merge is exact, byte for byte, against the
+    // single-process batch run of the same corpus.
+    let t0 = std::time::Instant::now();
+    let reference = rtc_shard::runner::batch_reference(&dir, CHUNK_RECORDS).expect("batch reference");
+    let batch_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        merged.report.render_all(),
+        reference.render_all(),
+        "merged sharded report diverged from the batch reference"
+    );
+    println!("batch:  {batch_secs:.2}s  (reference re-analysis; render byte-identical)");
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    write_results(json!({
+        "campaign": {
+            "tier": "paper-smoke",
+            "calls": calls,
+            "shards": SHARDS,
+            "records": records,
+            "raw_trace_bytes": raw_bytes,
+            "oracle_calls": merged.oracle_calls,
+        },
+        "study": {
+            "study_secs": round2(study_secs),
+            "study_mib_per_s": round2(study_throughput),
+            "peak_rss_mib": round2(mib(peak_rss)),
+            "alloc_peak_bytes": alloc_peak,
+        },
+        "shards": serde_json::Value::Object(shard_throughput),
+        "batch_reference": {
+            "batch_secs": round2(batch_secs),
+        },
+    }));
+}

@@ -97,8 +97,9 @@ pub mod perf {
 /// job.
 ///
 /// Both sides are JSON trees as written by `dpi_perf` / `pipeline_perf`.
-/// Only performance leaves are compared: keys ending in `_ms` or `_secs`
-/// (lower is better) and keys containing `mib_per_s` (higher is better).
+/// Only performance leaves are compared: keys ending in `_ms`, `_secs`,
+/// or `_rss_mib` (lower is better) and keys containing `mib_per_s`
+/// (higher is better).
 /// Counts, byte totals, and the hand-recorded `seed_baseline` section are
 /// ignored, as are wall-time leaves too small to measure reliably
 /// (baseline under 1 ms / 50 ms-of-seconds — at that scale a 25 % delta
@@ -140,7 +141,13 @@ pub mod gate {
     pub fn direction_for(key: &str) -> Option<Direction> {
         if key.contains("mib_per_s") || key.contains("gib_per_s") {
             Some(Direction::HigherIsBetter)
-        } else if key == "ms" || key.ends_with("_ms") || key == "secs" || key.ends_with("_secs") {
+        } else if key == "ms"
+            || key.ends_with("_ms")
+            || key == "secs"
+            || key.ends_with("_secs")
+            || key == "rss_mib"
+            || key.ends_with("_rss_mib")
+        {
             Some(Direction::LowerIsBetter)
         } else {
             None
@@ -207,8 +214,24 @@ pub mod gate {
             assert_eq!(direction_for("dissect_call_auto_ms"), Some(Direction::LowerIsBetter));
             assert_eq!(direction_for("streaming_secs"), Some(Direction::LowerIsBetter));
             assert_eq!(direction_for("streaming_mib_per_s"), Some(Direction::HigherIsBetter));
+            assert_eq!(direction_for("rss_mib"), Some(Direction::LowerIsBetter));
+            assert_eq!(direction_for("peak_rss_mib"), Some(Direction::LowerIsBetter));
             assert_eq!(direction_for("datagrams"), None);
             assert_eq!(direction_for("payload_bytes"), None);
+            // `*_mib` alone is a size, not a residency metric.
+            assert_eq!(direction_for("corpus_mib"), None);
+        }
+
+        #[test]
+        fn gates_peak_rss_growth() {
+            // The residency key `study_perf` writes: memory regressions gate
+            // exactly like wall-time ones, with no noise floor (RSS starts
+            // in the tens of MiB; there is no sub-measurable regime).
+            let baseline = json!({"study": {"peak_rss_mib": 80.0, "study_secs": 4.0}});
+            let bloated = json!({"study": {"peak_rss_mib": 120.0, "study_secs": 4.1}});
+            let checks = compare(&baseline, &bloated, 0.25);
+            let failed: Vec<_> = checks.iter().filter(|c| c.failed).map(|c| c.path.as_str()).collect();
+            assert_eq!(failed, ["study.peak_rss_mib"], "{checks:?}");
         }
 
         #[test]

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
 
 /// Parameters of a full experiment campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Applications to test (paper: all six).
     pub apps: Vec<String>,
@@ -230,12 +230,29 @@ pub fn save_experiment(dir: impl AsRef<std::path::Path>, captures: &[CallCapture
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     for cap in captures {
-        let stem = format!("{}_{}_{}", cap.manifest.app, cap.manifest.network, cap.manifest.repeat);
-        rtc_pcap::write_file(dir.join(format!("{stem}.pcap")), &cap.trace)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        let json = serde_json::to_string_pretty(&cap.manifest)?;
-        std::fs::write(dir.join(format!("{stem}.json")), json)?;
+        save_call(dir, cap)?;
     }
+    Ok(())
+}
+
+/// Persist one call into a campaign directory, atomically: the `.pcap`
+/// and `.json` are each written to a temporary sibling and renamed into
+/// place, so a writer killed mid-save never leaves a torn capture behind.
+/// The sharded study runner depends on this — after a crash, every file
+/// [`scan_experiment`] discovers is complete, and re-running the call
+/// simply replaces it with identical bytes (generation is deterministic).
+pub fn save_call(dir: impl AsRef<std::path::Path>, cap: &CallCapture) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    let stem = format!("{}_{}_{}", cap.manifest.app, cap.manifest.network, cap.manifest.repeat);
+    let pcap_tmp = dir.join(format!("{stem}.pcap.tmp"));
+    rtc_pcap::write_file(&pcap_tmp, &cap.trace).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::rename(&pcap_tmp, dir.join(format!("{stem}.pcap")))?;
+    // Manifest second: scan_experiment keys on `.json`, so a call becomes
+    // discoverable only once its pcap is already in place.
+    let json = serde_json::to_string_pretty(&cap.manifest)?;
+    let json_tmp = dir.join(format!("{stem}.json.tmp"));
+    std::fs::write(&json_tmp, json)?;
+    std::fs::rename(&json_tmp, dir.join(format!("{stem}.json")))?;
     Ok(())
 }
 

@@ -8,6 +8,9 @@
 //! * `dissect` — analyze an arbitrary pcap/pcapng capture,
 //! * `oracle` — run the differential reference-oracle suite,
 //! * `serve` — run the multi-tenant live-analysis service,
+//! * `scale` — run a paper- or city-scale campaign sharded over worker
+//!   processes, with checkpointed resume (`scale-shard` is the hidden
+//!   per-shard child entry point),
 //! * `tables` — list the artifacts and the paper sections they reproduce.
 
 #![warn(missing_docs)]
@@ -131,6 +134,46 @@ pub enum Command {
         /// Shut down as soon as the fleet drive completes.
         exit_after_fleet: bool,
     },
+    /// Run a sharded multi-process study campaign.
+    Scale {
+        /// Scale tier (`paper` or `city`); `None` when resuming (the
+        /// persisted plan fixes it).
+        tier: Option<String>,
+        /// Number of shard worker processes; `None` when resuming.
+        shards: Option<usize>,
+        /// Fresh campaign directory (plan + corpus + checkpoints + report).
+        dir: Option<PathBuf>,
+        /// Resume an interrupted campaign from this directory instead.
+        resume: Option<PathBuf>,
+        /// Campaign seed.
+        seed: u64,
+        /// Checkpoint after this many newly decoded records per shard
+        /// (0 = final snapshot only).
+        record_interval: u64,
+        /// Records per read chunk in the streaming analyzer (0 = default).
+        chunk: usize,
+        /// Re-judge every Nth shard-local call against the reference
+        /// oracle (0 = no sampling).
+        oracle_sample: usize,
+        /// After merging, re-analyze the corpus single-process and assert
+        /// the merged report is byte-identical.
+        verify_batch: bool,
+        /// Write the merged rendered report here.
+        report: Option<PathBuf>,
+    },
+    /// Hidden: run one shard of a campaign (spawned by `scale`).
+    ScaleShard {
+        /// Campaign directory holding `plan.json`.
+        dir: PathBuf,
+        /// Shard index in `0..plan.shards`.
+        shard: usize,
+        /// Checkpoint record interval (0 = final snapshot only).
+        record_interval: u64,
+        /// Records per read chunk (0 = default).
+        chunk: usize,
+        /// Oracle sampling period (0 = off).
+        oracle_sample: usize,
+    },
     /// List artifacts.
     Tables,
     /// Print usage.
@@ -156,6 +199,11 @@ USAGE:
                   [--fleet N] [--tenants N] [--secs N] [--scale F]
                   [--workers N] [--report-dir DIR] [--batch-dir DIR]
                   [--metrics PATH] [--exit-after-fleet]
+  rtc-study scale --tier paper|city --dir DIR [--shards N] [--seed N]
+                  [--record-interval N] [--chunk N] [--oracle-sample N]
+                  [--verify-batch] [--report FILE]
+  rtc-study scale --resume DIR [--record-interval N] [--chunk N]
+                  [--oracle-sample N] [--verify-batch] [--report FILE]
   rtc-study tables
   rtc-study help
 
@@ -185,6 +233,19 @@ drains every live session and exits. With `--fleet N` the service drives
 N staggered synthetic calls through its own HTTP front-end; adding
 `--batch-dir` writes the equivalent offline batch renders next to the
 live ones so they can be diffed byte for byte.
+
+`scale` runs a full study campaign sharded over worker processes: the
+experiment matrix is resolved once into `DIR/plan.json` (versioned;
+`RTC_STUDY_SECS` / `RTC_STUDY_SCALE` / `RTC_STUDY_REPEATS` size it down
+for CI), partitioned round-robin into `--shards` child processes, each of
+which generates, saves, and chunk-stream-analyzes its calls, writing an
+atomic resume checkpoint every `--record-interval` decoded records. A
+killed campaign continues with `--resume DIR`; finished shards are
+skipped and interrupted ones restart from their last checkpoint. When
+all shards finish, their snapshots merge into one report — byte-identical
+to a single-process batch run of the same plan (`--verify-batch` proves
+it in-process). The `paper` tier is the paper's 90-call matrix; `city`
+is the same matrix at 10x the repeats.
 
 The process exits nonzero when any call's analysis failed.
 
@@ -410,6 +471,107 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 batch_dir,
                 metrics,
                 exit_after_fleet,
+            })
+        }
+        "scale" => {
+            let mut tier = None;
+            let mut shards = None;
+            let mut dir = None;
+            let mut resume = None;
+            let mut seed = 2025u64;
+            let mut seed_set = false;
+            let mut record_interval = 50_000u64;
+            let mut chunk = 0usize;
+            let mut oracle_sample = 10usize;
+            let mut verify_batch = false;
+            let mut report = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+                match flag.as_str() {
+                    "--tier" => tier = Some(value("--tier")?),
+                    "--shards" => shards = Some(value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?),
+                    "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+                    "--resume" => resume = Some(PathBuf::from(value("--resume")?)),
+                    "--seed" => {
+                        seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                        seed_set = true;
+                    }
+                    "--record-interval" => {
+                        record_interval =
+                            value("--record-interval")?.parse().map_err(|e| format!("--record-interval: {e}"))?
+                    }
+                    "--chunk" => chunk = value("--chunk")?.parse().map_err(|e| format!("--chunk: {e}"))?,
+                    "--oracle-sample" => {
+                        oracle_sample =
+                            value("--oracle-sample")?.parse().map_err(|e| format!("--oracle-sample: {e}"))?
+                    }
+                    "--verify-batch" => verify_batch = true,
+                    "--report" => report = Some(PathBuf::from(value("--report")?)),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            match (&dir, &resume) {
+                (None, None) => return Err("scale: need --dir DIR (fresh) or --resume DIR".into()),
+                (Some(_), Some(_)) => return Err("scale: --dir and --resume are mutually exclusive".into()),
+                (Some(_), None) => {
+                    let t = tier.as_deref().ok_or("scale: --dir needs --tier paper|city")?;
+                    if rtc_shard::Tier::parse(t).is_none() {
+                        return Err(format!("unknown tier '{t}' (expected paper or city)"));
+                    }
+                    if shards == Some(0) {
+                        return Err("--shards must be at least 1".into());
+                    }
+                }
+                (None, Some(_)) => {
+                    // The persisted plan fixes the matrix; flags that would
+                    // contradict it are rejected rather than ignored.
+                    if tier.is_some() || shards.is_some() || seed_set {
+                        return Err("scale: --tier/--shards/--seed come from the plan when resuming".into());
+                    }
+                }
+            }
+            Ok(Command::Scale {
+                tier,
+                shards,
+                dir,
+                resume,
+                seed,
+                record_interval,
+                chunk,
+                oracle_sample,
+                verify_batch,
+                report,
+            })
+        }
+        "scale-shard" => {
+            let mut dir = None;
+            let mut shard = None;
+            let mut record_interval = 50_000u64;
+            let mut chunk = 0usize;
+            let mut oracle_sample = 10usize;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+                match flag.as_str() {
+                    "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+                    "--shard" => shard = Some(value("--shard")?.parse().map_err(|e| format!("--shard: {e}"))?),
+                    "--record-interval" => {
+                        record_interval =
+                            value("--record-interval")?.parse().map_err(|e| format!("--record-interval: {e}"))?
+                    }
+                    "--chunk" => chunk = value("--chunk")?.parse().map_err(|e| format!("--chunk: {e}"))?,
+                    "--oracle-sample" => {
+                        oracle_sample =
+                            value("--oracle-sample")?.parse().map_err(|e| format!("--oracle-sample: {e}"))?
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::ScaleShard {
+                dir: dir.ok_or("scale-shard: missing --dir")?,
+                shard: shard.ok_or("scale-shard: missing --shard")?,
+                record_interval,
+                chunk,
+                oracle_sample,
             })
         }
         other => Err(format!("unknown command '{other}'; try `rtc-study help`")),
@@ -721,6 +883,152 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             writeln!(out, "{} session(s) errored", summary.errors.len())?;
             Ok(1)
         }
+        Command::Scale {
+            tier,
+            shards,
+            dir,
+            resume,
+            seed,
+            record_interval,
+            chunk,
+            oracle_sample,
+            verify_batch,
+            report,
+        } => {
+            let dir = match (dir, resume) {
+                (Some(dir), None) => {
+                    if rtc_shard::CorpusPlan::path(&dir).exists() {
+                        return Err(std::io::Error::other(format!(
+                            "{}: plan.json already exists — continue it with `rtc-study scale --resume {}`",
+                            dir.display(),
+                            dir.display()
+                        )));
+                    }
+                    let tier = rtc_shard::Tier::parse(tier.as_deref().expect("validated at parse"))
+                        .expect("validated at parse");
+                    let plan = rtc_shard::CorpusPlan::build(tier, shards.unwrap_or(4), seed);
+                    plan.save(&dir)?;
+                    writeln!(
+                        out,
+                        "planned {} calls ({} tier, seed {seed}) over {} shard(s) in {}",
+                        plan.experiment.total_calls(),
+                        plan.tier,
+                        plan.shards,
+                        dir.display()
+                    )?;
+                    dir
+                }
+                (None, Some(dir)) => {
+                    let plan = rtc_shard::CorpusPlan::load(&dir)?;
+                    writeln!(
+                        out,
+                        "resuming {} tier campaign: {} calls over {} shard(s)",
+                        plan.tier,
+                        plan.experiment.total_calls(),
+                        plan.shards
+                    )?;
+                    dir
+                }
+                _ => unreachable!("validated at parse"),
+            };
+            let plan = rtc_shard::CorpusPlan::load(&dir)?;
+            out.flush()?;
+
+            // One OS process per unfinished shard, sharing the corpus
+            // directory; each child checkpoints independently, so a kill
+            // of any subset leaves a resumable campaign.
+            let exe = std::env::current_exe()?;
+            let mut children = Vec::new();
+            for shard in 0..plan.shards {
+                if rtc_shard::runner::done_path(&dir, shard).exists() {
+                    writeln!(out, "shard {shard}: already finished, skipping")?;
+                    continue;
+                }
+                let child = std::process::Command::new(&exe)
+                    .arg("scale-shard")
+                    .arg("--dir")
+                    .arg(&dir)
+                    .args(["--shard", &shard.to_string()])
+                    .args(["--record-interval", &record_interval.to_string()])
+                    .args(["--chunk", &chunk.to_string()])
+                    .args(["--oracle-sample", &oracle_sample.to_string()])
+                    .spawn()?;
+                children.push((shard, child));
+            }
+            out.flush()?;
+            let mut failed = Vec::new();
+            for (shard, mut child) in children {
+                let status = child.wait()?;
+                if !status.success() {
+                    failed.push((shard, status));
+                }
+            }
+            if !failed.is_empty() {
+                for (shard, status) in &failed {
+                    writeln!(out, "shard {shard} exited with {status}")?;
+                }
+                writeln!(out, "campaign interrupted — continue with `rtc-study scale --resume {}`", dir.display())?;
+                return Ok(1);
+            }
+
+            let merged = rtc_shard::merge_shards(&dir)?;
+            for s in &merged.shards {
+                let mib = s.bytes as f64 / (1024.0 * 1024.0);
+                let rate = if s.elapsed_secs > 0.0 { mib / s.elapsed_secs } else { 0.0 };
+                writeln!(
+                    out,
+                    "shard {}: {} call(s), {} record(s), {mib:.1} MiB in {:.1}s ({rate:.1} MiB/s)",
+                    s.shard, s.calls, s.records, s.elapsed_secs
+                )?;
+            }
+            if merged.oracle_calls > 0 {
+                writeln!(
+                    out,
+                    "oracle sample: {} call(s) / {} message(s) re-judged, no divergences",
+                    merged.oracle_calls, merged.oracle_messages
+                )?;
+            }
+            let rendered = merged.report.render_all();
+            if let Some(path) = &report {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                std::fs::write(path, &rendered)?;
+                writeln!(out, "merged report written to {}", path.display())?;
+            } else {
+                writeln!(out, "{rendered}")?;
+            }
+            if verify_batch {
+                let batch = rtc_shard::runner::batch_reference(&dir, chunk)?;
+                if batch.render_all() != rendered {
+                    writeln!(out, "VERIFY FAILED: merged report differs from the single-process batch run")?;
+                    return Ok(1);
+                }
+                writeln!(out, "verify-batch: merged report is byte-identical to the single-process batch run")?;
+            }
+            report_exit_code(&merged.report, out)
+        }
+        Command::ScaleShard { dir, shard, record_interval, chunk, oracle_sample } => {
+            let options = rtc_shard::ShardOptions {
+                record_interval,
+                chunk_records: chunk,
+                oracle_sample,
+                stop_after_calls: None,
+            };
+            let outcome = rtc_shard::run_shard(&dir, shard, &options)?;
+            writeln!(
+                out,
+                "shard {shard}: {}/{} call(s), {} record(s), {} byte(s){}",
+                outcome.calls,
+                outcome.calls_owned,
+                outcome.records,
+                outcome.bytes,
+                if outcome.resumed { " (resumed)" } else { "" }
+            )?;
+            Ok(0)
+        }
     }
 }
 
@@ -935,6 +1243,64 @@ mod tests {
         assert!(parse(&args("serve --exit-after-fleet")).is_err(), "needs --fleet");
         assert!(parse(&args("serve --batch-dir /tmp/x")).is_err(), "needs --fleet");
         assert!(parse(&args("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_scale_flags() {
+        let c = parse(&args(
+            "scale --tier paper --dir /tmp/c --shards 3 --seed 5 --record-interval 1000 \
+                             --chunk 64 --oracle-sample 4 --verify-batch --report /tmp/c/report.txt",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Scale {
+                tier: Some("paper".into()),
+                shards: Some(3),
+                dir: Some(PathBuf::from("/tmp/c")),
+                resume: None,
+                seed: 5,
+                record_interval: 1000,
+                chunk: 64,
+                oracle_sample: 4,
+                verify_batch: true,
+                report: Some(PathBuf::from("/tmp/c/report.txt")),
+            }
+        );
+        match parse(&args("scale --resume /tmp/c")).unwrap() {
+            Command::Scale { tier, shards, dir, resume, .. } => {
+                assert_eq!((tier, shards, dir), (None, None, None));
+                assert_eq!(resume, Some(PathBuf::from("/tmp/c")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("scale")).is_err(), "needs --dir or --resume");
+        assert!(parse(&args("scale --dir /tmp/c")).is_err(), "fresh run needs --tier");
+        assert!(parse(&args("scale --tier block --dir /tmp/c")).is_err(), "unknown tier");
+        assert!(parse(&args("scale --tier paper --dir /tmp/c --shards 0")).is_err());
+        assert!(parse(&args("scale --tier paper --dir /tmp/c --resume /tmp/c")).is_err(), "exclusive");
+        assert!(parse(&args("scale --resume /tmp/c --tier paper")).is_err(), "plan fixes the tier");
+        assert!(parse(&args("scale --resume /tmp/c --shards 2")).is_err(), "plan fixes the shards");
+        assert!(parse(&args("scale --resume /tmp/c --seed 9")).is_err(), "plan fixes the seed");
+        assert!(parse(&args("scale --bogus")).is_err());
+
+        let c = parse(&args(
+            "scale-shard --dir /tmp/c --shard 2 --record-interval 100 --chunk 8 \
+                             --oracle-sample 3",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::ScaleShard {
+                dir: PathBuf::from("/tmp/c"),
+                shard: 2,
+                record_interval: 100,
+                chunk: 8,
+                oracle_sample: 3,
+            }
+        );
+        assert!(parse(&args("scale-shard --shard 2")).is_err(), "needs --dir");
+        assert!(parse(&args("scale-shard --dir /tmp/c")).is_err(), "needs --shard");
     }
 
     #[test]

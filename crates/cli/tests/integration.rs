@@ -14,6 +14,14 @@ fn run(args: &[&str]) -> Output {
     Command::new(bin()).args(args).output().expect("spawn rtc-study")
 }
 
+fn run_env(args: &[&str], env: &[(&str, &str)]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .envs(env.iter().map(|(k, v)| (k.to_string(), v.to_string())))
+        .output()
+        .expect("spawn rtc-study")
+}
+
 fn stdout(o: &Output) -> String {
     String::from_utf8_lossy(&o.stdout).into_owned()
 }
@@ -166,6 +174,117 @@ fn dissect_missing_file_exits_one() {
     let out = run(&["dissect", "/nonexistent/capture.pcap"]);
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("error:"), "{}", stderr(&out));
+}
+
+/// CI-sized shrink of the paper tier: 18 calls of 8 emulated seconds at
+/// 5% traffic scale (~350–420 pcap records per call). The plan resolves
+/// these overrides once, at `--dir` time, so resumes are immune to them.
+const SMALL_TIER: [(&str, &str); 3] =
+    [("RTC_STUDY_SECS", "8"), ("RTC_STUDY_SCALE", "0.05"), ("RTC_STUDY_REPEATS", "1")];
+
+#[test]
+fn scale_campaign_merges_verifies_and_survives_kill_resume() {
+    let base = scratch("scale");
+    let ref_dir = base.join("ref");
+    let killed_dir = base.join("killed");
+    let ref_report = base.join("ref-report.txt");
+    let killed_report = base.join("killed-report.txt");
+
+    // Uninterrupted sharded campaign; --verify-batch re-analyzes the
+    // corpus single-process in the same invocation and byte-compares.
+    let out = run_env(
+        &[
+            "scale",
+            "--tier",
+            "paper",
+            "--dir",
+            ref_dir.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--seed",
+            "5",
+            "--record-interval",
+            "300",
+            "--chunk",
+            "64",
+            "--oracle-sample",
+            "7",
+            "--verify-batch",
+            "--report",
+            ref_report.to_str().unwrap(),
+        ],
+        &SMALL_TIER,
+    );
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("planned 18 calls"), "{text}");
+    assert!(text.contains("verify-batch: merged report is byte-identical"), "{text}");
+    assert!(text.contains("oracle sample:"), "{text}");
+    assert!(ref_dir.join("plan.json").exists());
+    assert!(ref_dir.join("shard-0.done.json").exists());
+
+    // Re-planning over an existing campaign is refused, with the way out.
+    let out = run_env(&["scale", "--tier", "paper", "--dir", ref_dir.to_str().unwrap()], &SMALL_TIER);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stderr(&out).contains("--resume"), "{}", stderr(&out));
+
+    // Same campaign, but shard 0 is SIGTERM-ed after ~1000 decoded
+    // records (call 3 of 9) — past its first checkpoints, before the end.
+    let mut kill_env = SMALL_TIER.to_vec();
+    kill_env.push(("RTC_STUDY_KILL_SHARD", "0"));
+    kill_env.push(("RTC_STUDY_KILL_AFTER_RECORDS", "1000"));
+    let out = run_env(
+        &[
+            "scale",
+            "--tier",
+            "paper",
+            "--dir",
+            killed_dir.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--seed",
+            "5",
+            "--record-interval",
+            "300",
+            "--chunk",
+            "64",
+            "--oracle-sample",
+            "7",
+        ],
+        &kill_env,
+    );
+    assert_eq!(out.status.code(), Some(1), "{}\n{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("campaign interrupted"), "{text}");
+    assert!(killed_dir.join("shard-0.ckpt.json").exists(), "killed shard should leave a checkpoint behind");
+    assert!(!killed_dir.join("shard-0.done.json").exists());
+
+    // Resume (no kill hook this time): the finished shard is skipped, the
+    // killed one continues from its checkpoint, and the merged report is
+    // byte-identical to the uninterrupted campaign's.
+    let out = run(&[
+        "scale",
+        "--resume",
+        killed_dir.to_str().unwrap(),
+        "--record-interval",
+        "300",
+        "--chunk",
+        "64",
+        "--oracle-sample",
+        "7",
+        "--report",
+        killed_report.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("resuming paper tier campaign"), "{text}");
+    assert!(text.contains("shard 1: already finished, skipping"), "{text}");
+    assert_eq!(
+        std::fs::read_to_string(&ref_report).unwrap(),
+        std::fs::read_to_string(&killed_report).unwrap(),
+        "kill-and-resume changed the merged report bytes"
+    );
+    std::fs::remove_dir_all(&base).ok();
 }
 
 #[test]

@@ -522,7 +522,7 @@ fn metrics_progress_line(snap: &rtc_obs::Snapshot) -> String {
 }
 
 /// Best-effort text of a caught panic payload.
-fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+pub fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {

@@ -232,7 +232,7 @@ pub fn dissect_call<D: std::borrow::Borrow<Datagram> + Sync>(datagrams: &[D], co
 
 /// Dissect several calls in one pass through a single work-stealing pool
 /// whose items are both extract and resolve chunks (see
-/// [`par::dissect_calls_pooled`]): the worker that finishes a call's last
+/// `par::dissect_calls_pooled`): the worker that finishes a call's last
 /// extract chunk seals its validation context and publishes the call's
 /// resolve chunks into the same pool, so validation of one call overlaps
 /// resolution of another with no stage barrier. Returns one

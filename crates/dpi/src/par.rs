@@ -14,7 +14,7 @@
 //!
 //! Resolution (step 3) is embarrassingly parallel too once a call's
 //! [`ValidationContext`] is frozen: [`resolve_all`] fans a sealed call's
-//! datagrams out over chunked workers, and [`dissect_calls_pooled`] runs
+//! datagrams out over chunked workers, and `dissect_calls_pooled` runs
 //! the *whole* multi-call dissection through one pool with two item
 //! classes — `Extract(call, chunk)` and `Resolve(call, chunk)` — where the
 //! worker that extracts a call's last chunk seals its context and publishes

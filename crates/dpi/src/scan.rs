@@ -32,18 +32,18 @@
 //! ## Per-class hit tags
 //!
 //! Alongside the union mask, each block keeps per-class masks so the
-//! dispatcher receives a resolved [`Hit`] instead of re-deriving the
+//! dispatcher receives a resolved `Hit` instead of re-deriving the
 //! class from the payload byte:
 //!
-//! * [`Hit::Rtcp`] — demuxed in-vector: `b[i+1] ∈ 200..=207` is exactly
+//! * `Hit::Rtcp` — demuxed in-vector: `b[i+1] ∈ 200..=207` is exactly
 //!   `b[i+1] & 0xF8 == 0xC8`, one masked compare per block.
-//! * [`Hit::RtpPlain`] — RTP with `b[i] & 0x3F == 0` (no CSRCs, no
+//! * `Hit::RtpPlain` — RTP with `b[i] & 0x3F == 0` (no CSRCs, no
 //!   extension, no padding). The sweep region guarantees 12 readable
 //!   bytes past the offset, so these positions are *complete* gates: the
 //!   dispatcher pushes the candidate without any further length check.
-//! * [`Hit::Rtp`] — remaining version-2 positions; the dispatcher still
+//! * `Hit::Rtp` — remaining version-2 positions; the dispatcher still
 //!   runs the table-driven header-length/extension/padding gate.
-//! * [`Hit::Stun`] / [`Hit::Quic`] — class masks as per the table above;
+//! * `Hit::Stun` / `Hit::Quic` — class masks as per the table above;
 //!   the matchers validate as before.
 //!
 //! ## Mode selection

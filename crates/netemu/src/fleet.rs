@@ -169,6 +169,26 @@ impl FleetPlan {
     }
 }
 
+/// Round-robin shard membership: of `total` planned items, the indices
+/// owned by `shard` out of `shards` (item `i` belongs to shard
+/// `i % shards`).
+///
+/// Interleaved assignment — rather than contiguous ranges — keeps every
+/// shard's workload a representative cross-section of the experiment
+/// matrix (the matrix enumerates repeats innermost, so contiguous ranges
+/// would give one shard all of one application's calls). Both the fleet
+/// driver's tenant spread above and the corpus planner's shard partition
+/// use this scheme, so "which worker owns call N" has one answer
+/// everywhere.
+///
+/// # Panics
+/// If `shards == 0` or `shard >= shards`.
+pub fn shard_members(total: usize, shards: usize, shard: usize) -> impl Iterator<Item = usize> {
+    assert!(shards > 0, "at least one shard");
+    assert!(shard < shards, "shard index {shard} out of range 0..{shards}");
+    (shard..total).step_by(shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +246,20 @@ mod tests {
         seeds.sort();
         seeds.dedup();
         assert_eq!(seeds.len(), plan.calls.len());
+    }
+
+    #[test]
+    fn shard_members_partition_exactly() {
+        for (total, shards) in [(0, 1), (1, 1), (7, 3), (90, 4), (90, 90), (5, 8)] {
+            let mut seen = vec![0usize; total];
+            for shard in 0..shards {
+                for i in shard_members(total, shards, shard) {
+                    assert_eq!(i % shards, shard);
+                    seen[i] += 1;
+                }
+            }
+            assert!(seen.iter().all(|n| *n == 1), "every index owned exactly once ({total}/{shards})");
+        }
     }
 
     #[test]

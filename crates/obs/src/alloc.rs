@@ -73,3 +73,25 @@ pub fn reset_peak() -> usize {
 pub fn peak_since(baseline: usize) -> usize {
     PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
 }
+
+/// Process peak resident set size in bytes, from `/proc/self/status`'s
+/// `VmHWM` line (the kernel's high-water mark — covers every allocation
+/// source, not just the Rust global allocator). Returns `None` on
+/// platforms without procfs; callers fall back to the counting-allocator
+/// peak there.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_reads_vmhwm() {
+        let rss = super::peak_rss_bytes().expect("procfs VmHWM available on linux");
+        assert!(rss > 0);
+    }
+}

@@ -350,77 +350,92 @@ pub fn run_matrix(experiment: &ExperimentConfig, threads: usize) -> std::io::Res
     for cap in &captures {
         let scenario = format!("{}/{}#{}", cap.manifest.app, cap.manifest.network, cap.manifest.repeat);
         let analysis = analyze_capture(cap, &config);
+        let (messages, divergences) = rejudge_call(&scenario, &analysis);
+        out.messages += messages;
+        out.divergences.extend(divergences);
+    }
 
-        // Build both whole-call contexts from the same dissection.
-        let prod_ctx = CallContext::build(&analysis.dissection);
-        let mut builder = RefContextBuilder::default();
-        for (dgram, msg) in analysis.dissection.messages() {
-            if matches!(msg.kind, CandidateKind::Stun { .. }) {
-                builder.observe(&stream_label(&dgram.stream), &stream_label(&dgram.stream.reversed()), &msg.data);
-            }
+    Ok(out)
+}
+
+/// Re-judge every DPI-extracted message of one analyzed call with the
+/// reference checker and verify the rejection-taxonomy invariant.
+///
+/// Returns `(messages re-judged, divergences)`. This is the per-call unit
+/// of [`run_matrix`]'s oracle pass, exported so the sharded study runner
+/// can re-judge a deterministic sample of its calls without re-running the
+/// whole differential matrix.
+pub fn rejudge_call(scenario: &str, analysis: &rtc_core::CallAnalysis) -> (usize, Vec<Divergence>) {
+    let mut messages = 0usize;
+    let mut out = Vec::new();
+
+    // Build both whole-call contexts from the same dissection.
+    let prod_ctx = CallContext::build(&analysis.dissection);
+    let mut builder = RefContextBuilder::default();
+    for (dgram, msg) in analysis.dissection.messages() {
+        if matches!(msg.kind, CandidateKind::Stun { .. }) {
+            builder.observe(&stream_label(&dgram.stream), &stream_label(&dgram.stream.reversed()), &msg.data);
         }
-        let ref_ctx = builder.finish();
+    }
+    let ref_ctx = builder.finish();
 
-        let extracted: Vec<(&DatagramDissection, &DpiMessage)> = analysis.dissection.messages().collect();
-        let checked = &analysis.record.checked.messages;
-        if extracted.len() != checked.len() {
-            out.divergences.push(Divergence {
-                scenario,
-                kind: "verdict".into(),
-                detail: format!("{} extracted messages but {} verdicts", extracted.len(), checked.len()),
-                repro: None,
+    let extracted: Vec<(&DatagramDissection, &DpiMessage)> = analysis.dissection.messages().collect();
+    let checked = &analysis.record.checked.messages;
+    if extracted.len() != checked.len() {
+        out.push(Divergence {
+            scenario: scenario.to_string(),
+            kind: "verdict".into(),
+            detail: format!("{} extracted messages but {} verdicts", extracted.len(), checked.len()),
+            repro: None,
+        });
+        return (messages, out);
+    }
+
+    for ((dgram, msg), prod) in extracted.iter().zip(checked) {
+        messages += 1;
+        if let Err(e) = oracle_decodes(msg) {
+            out.push(Divergence {
+                scenario: scenario.to_string(),
+                kind: "decode".into(),
+                detail: format!("DPI extracted a {:?} message the reference decoder rejects: {e}", msg.protocol),
+                repro: Some(msg.data.to_vec()),
             });
             continue;
         }
-
-        for ((dgram, msg), prod) in extracted.iter().zip(checked) {
-            out.messages += 1;
-            if let Err(e) = oracle_decodes(msg) {
-                out.divergences.push(Divergence {
-                    scenario: scenario.clone(),
-                    kind: "decode".into(),
-                    detail: format!("DPI extracted a {:?} message the reference decoder rejects: {e}", msg.protocol),
-                    repro: Some(msg.data.to_vec()),
-                });
-                continue;
-            }
-            let orac = oracle_judge(dgram, msg, &ref_ctx);
-            let (prod_key, prod_crit) = verdict_of(prod);
-            if prod_key != orac.type_key || prod_crit != orac.criterion {
-                let repro = minimize(&msg.data, |data| {
-                    let (p, o) = both_judge(data, &msg.kind, dgram, &prod_ctx, &ref_ctx);
-                    p != o
-                });
-                out.divergences.push(Divergence {
-                    scenario: scenario.clone(),
-                    kind: "verdict".into(),
-                    detail: format!(
-                        "production {prod_key}/{prod_crit:?} vs oracle {}/{:?} ({})",
-                        orac.type_key,
-                        orac.criterion,
-                        orac.detail.as_deref().unwrap_or("compliant"),
-                    ),
-                    repro: Some(repro),
-                });
-            }
-        }
-
-        // --- Rejection-taxonomy invariant: every fully proprietary
-        // datagram contributes exactly one taxonomy entry.
-        let fully =
-            analysis.dissection.datagrams.iter().filter(|d| d.class == DatagramClass::FullyProprietary).count();
-        let taxonomy: usize = analysis.record.rejections.values().sum();
-        if fully != taxonomy {
-            out.divergences.push(Divergence {
-                scenario: scenario.clone(),
-                kind: "rejections".into(),
-                detail: format!("{fully} fully proprietary datagrams but {taxonomy} taxonomy entries"),
-                repro: None,
+        let orac = oracle_judge(dgram, msg, &ref_ctx);
+        let (prod_key, prod_crit) = verdict_of(prod);
+        if prod_key != orac.type_key || prod_crit != orac.criterion {
+            let repro = minimize(&msg.data, |data| {
+                let (p, o) = both_judge(data, &msg.kind, dgram, &prod_ctx, &ref_ctx);
+                p != o
+            });
+            out.push(Divergence {
+                scenario: scenario.to_string(),
+                kind: "verdict".into(),
+                detail: format!(
+                    "production {prod_key}/{prod_crit:?} vs oracle {}/{:?} ({})",
+                    orac.type_key,
+                    orac.criterion,
+                    orac.detail.as_deref().unwrap_or("compliant"),
+                ),
+                repro: Some(repro),
             });
         }
     }
 
-    Ok(out)
+    // --- Rejection-taxonomy invariant: every fully proprietary
+    // datagram contributes exactly one taxonomy entry.
+    let fully = analysis.dissection.datagrams.iter().filter(|d| d.class == DatagramClass::FullyProprietary).count();
+    let taxonomy: usize = analysis.record.rejections.values().sum();
+    if fully != taxonomy {
+        out.push(Divergence {
+            scenario: scenario.to_string(),
+            kind: "rejections".into(),
+            detail: format!("{fully} fully proprietary datagrams but {taxonomy} taxonomy entries"),
+            repro: None,
+        });
+    }
+    (messages, out)
 }
 
 /// The oracle-side mirror of [`rtc_conformance::Parser::parse`]: accept or

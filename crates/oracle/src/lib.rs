@@ -34,6 +34,8 @@ pub mod refcheck;
 pub mod refdec;
 pub mod refreg;
 
-pub use differential::{dump_repros, run_matrix, run_mutations, Divergence, MatrixReport, MutationReport};
+pub use differential::{
+    dump_repros, rejudge_call, run_matrix, run_mutations, Divergence, MatrixReport, MutationReport,
+};
 pub use golden::{bless_to, check_against, golden_dir, pinned_config, GoldenDiff};
 pub use refcheck::{RefContext, RefContextBuilder, RefVerdict};

@@ -110,7 +110,7 @@ const ARENA_CHUNK: usize = 1 << 16;
 /// Streaming pcap reader.
 ///
 /// Record payloads are carved out of a shared chunk arena: the reader
-/// fills [`ARENA_CHUNK`]-sized `BytesMut` buffers and freezes a view per
+/// fills `ARENA_CHUNK`-sized `BytesMut` buffers and freezes a view per
 /// record, so a chunk of ~90 average-sized records costs one heap
 /// allocation instead of one per record, and every downstream `Datagram`
 /// payload is a range-indexed view into the same buffer (zero copies from

@@ -16,6 +16,7 @@
 pub mod figures;
 pub mod json;
 pub mod render;
+pub mod state;
 pub mod tables;
 
 use rtc_compliance::{CheckedCall, CheckedMessage, TypeKey};

@@ -1,0 +1,467 @@
+//! Checkpoint (de)serialization of the incremental [`Aggregator`] state.
+//!
+//! The sharded study runner persists each shard's partial aggregation so a
+//! killed shard resumes from its last checkpoint instead of restarting
+//! (DESIGN.md "Scale tiers"). The encoding is explicit JSON — the same
+//! hand-rolled `serde_json::Value` idiom as [`crate::json`] — so the
+//! format is auditable and the round-trip is exact: deserialize → `merge`
+//! equals the in-memory merge for any shard split (property-tested in
+//! `tests/checkpoint_roundtrip.rs`).
+//!
+//! Every enum is encoded by its stable wire label (never a discriminant
+//! index), so a checkpoint written by one build is readable by any build
+//! that understands the same version header.
+
+use crate::{Aggregator, CallRecord};
+use rtc_compliance::findings::{Finding, FindingKind};
+use rtc_compliance::{CheckedCall, CheckedMessage, Criterion, TypeKey, Violation};
+use rtc_dpi::Protocol;
+use rtc_pcap::Timestamp;
+use rtc_wire::ip::{FiveTuple, Transport};
+use rtc_wire::{Reason, WireError, WireProtocol};
+use serde_json::{json, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Deserialization failure: which field was malformed and why.
+pub type StateError = String;
+
+fn err(what: &str, v: &Value) -> StateError {
+    format!("checkpoint state: invalid {what}: {}", serde_json::to_string(v).unwrap_or_default())
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, StateError> {
+    v.get(key).ok_or_else(|| format!("checkpoint state: missing field `{key}`"))
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, StateError> {
+    v.as_u64().ok_or_else(|| err(what, v))
+}
+
+fn as_usize(v: &Value, what: &str) -> Result<usize, StateError> {
+    Ok(as_u64(v, what)? as usize)
+}
+
+fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, StateError> {
+    v.as_str().ok_or_else(|| err(what, v))
+}
+
+fn as_array<'a>(v: &'a Value, what: &str) -> Result<&'a Vec<Value>, StateError> {
+    v.as_array().ok_or_else(|| err(what, v))
+}
+
+/// Intern a malformed-field constraint back to `&'static str`.
+///
+/// [`Reason::Malformed`] carries a static string naming the violated
+/// constraint; deserialization re-materializes it by leaking once per
+/// distinct constraint. The pool is bounded by the (small, fixed) set of
+/// constraint strings the wire grammars emit, so the leak is a one-time
+/// cost per process, not per checkpoint.
+fn intern_constraint(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL.get_or_init(Default::default).lock().expect("constraint intern pool");
+    if let Some(hit) = pool.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+fn protocol_to_value(p: Protocol) -> Value {
+    json!(p.label())
+}
+
+fn protocol_from_value(v: &Value) -> Result<Protocol, StateError> {
+    let s = as_str(v, "protocol")?;
+    Protocol::ALL.iter().copied().find(|p| p.label() == s).ok_or_else(|| err("protocol", v))
+}
+
+fn wire_protocol_to_value(p: WireProtocol) -> Value {
+    json!(p.label())
+}
+
+fn wire_protocol_from_value(v: &Value) -> Result<WireProtocol, StateError> {
+    const ALL: [WireProtocol; 7] = [
+        WireProtocol::Ip,
+        WireProtocol::Stun,
+        WireProtocol::Rtp,
+        WireProtocol::Rtcp,
+        WireProtocol::Xr,
+        WireProtocol::Quic,
+        WireProtocol::Tls,
+    ];
+    let s = as_str(v, "wire protocol")?;
+    ALL.iter().copied().find(|p| p.label() == s).ok_or_else(|| err("wire protocol", v))
+}
+
+fn wire_error_to_value(e: &WireError) -> Value {
+    let reason = match e.reason {
+        Reason::Truncated => json!("truncated"),
+        Reason::Malformed(what) => json!({ "malformed": what }),
+    };
+    json!({ "protocol": wire_protocol_to_value(e.protocol), "offset": e.offset, "reason": reason })
+}
+
+fn wire_error_from_value(v: &Value) -> Result<WireError, StateError> {
+    let protocol = wire_protocol_from_value(get(v, "protocol")?)?;
+    let offset = as_usize(get(v, "offset")?, "wire error offset")?;
+    let reason = get(v, "reason")?;
+    let reason = if reason.as_str() == Some("truncated") {
+        Reason::Truncated
+    } else {
+        Reason::Malformed(intern_constraint(as_str(get(reason, "malformed")?, "malformed constraint")?))
+    };
+    Ok(WireError { protocol, offset, reason })
+}
+
+fn criterion_to_value(c: Criterion) -> Value {
+    json!(c.index())
+}
+
+fn criterion_from_value(v: &Value) -> Result<Criterion, StateError> {
+    match as_u64(v, "criterion")? {
+        1 => Ok(Criterion::MessageTypeDefined),
+        2 => Ok(Criterion::HeaderFieldsValid),
+        3 => Ok(Criterion::AttributeTypesDefined),
+        4 => Ok(Criterion::AttributeValuesValid),
+        5 => Ok(Criterion::SyntaxSemanticIntegrity),
+        _ => Err(err("criterion", v)),
+    }
+}
+
+fn type_key_to_value(k: TypeKey) -> Value {
+    match k {
+        TypeKey::Stun(t) => json!({ "t": "stun", "n": t }),
+        TypeKey::ChannelData => json!({ "t": "channel-data" }),
+        TypeKey::Rtp(pt) => json!({ "t": "rtp", "n": pt }),
+        TypeKey::Rtcp(pt) => json!({ "t": "rtcp", "n": pt }),
+        TypeKey::QuicLong(t) => json!({ "t": "quic-long", "n": t }),
+        TypeKey::QuicShort => json!({ "t": "quic-short" }),
+    }
+}
+
+fn type_key_from_value(v: &Value) -> Result<TypeKey, StateError> {
+    let n = || as_u64(get(v, "n")?, "type key number");
+    match as_str(get(v, "t")?, "type key tag")? {
+        "stun" => Ok(TypeKey::Stun(n()? as u16)),
+        "channel-data" => Ok(TypeKey::ChannelData),
+        "rtp" => Ok(TypeKey::Rtp(n()? as u8)),
+        "rtcp" => Ok(TypeKey::Rtcp(n()? as u8)),
+        "quic-long" => Ok(TypeKey::QuicLong(n()? as u8)),
+        "quic-short" => Ok(TypeKey::QuicShort),
+        _ => Err(err("type key", v)),
+    }
+}
+
+fn five_tuple_to_value(t: &FiveTuple) -> Value {
+    let transport = match t.transport {
+        Transport::Udp => "udp",
+        Transport::Tcp => "tcp",
+    };
+    json!({ "src": t.src.to_string(), "dst": t.dst.to_string(), "transport": transport })
+}
+
+fn five_tuple_from_value(v: &Value) -> Result<FiveTuple, StateError> {
+    let sock = |key: &str| -> Result<std::net::SocketAddr, StateError> {
+        as_str(get(v, key)?, "socket address")?.parse().map_err(|_| err("socket address", v))
+    };
+    let transport = match as_str(get(v, "transport")?, "transport")? {
+        "udp" => Transport::Udp,
+        "tcp" => Transport::Tcp,
+        _ => return Err(err("transport", v)),
+    };
+    Ok(FiveTuple { src: sock("src")?, dst: sock("dst")?, transport })
+}
+
+fn violation_to_value(v: &Violation) -> Value {
+    json!({
+        "criterion": criterion_to_value(v.criterion),
+        "detail": v.detail.clone(),
+        "wire": v.wire.as_ref().map(wire_error_to_value).unwrap_or(Value::Null),
+    })
+}
+
+fn violation_from_value(v: &Value) -> Result<Violation, StateError> {
+    let wire = get(v, "wire")?;
+    Ok(Violation {
+        criterion: criterion_from_value(get(v, "criterion")?)?,
+        detail: as_str(get(v, "detail")?, "violation detail")?.to_string(),
+        wire: if wire.is_null() { None } else { Some(wire_error_from_value(wire)?) },
+    })
+}
+
+fn message_to_value(m: &CheckedMessage) -> Value {
+    json!({
+        "protocol": protocol_to_value(m.protocol),
+        "type_key": type_key_to_value(m.type_key),
+        "ts": m.ts.as_micros(),
+        "stream": five_tuple_to_value(&m.stream),
+        "violation": m.violation.as_ref().map(violation_to_value).unwrap_or(Value::Null),
+    })
+}
+
+fn message_from_value(v: &Value) -> Result<CheckedMessage, StateError> {
+    let violation = get(v, "violation")?;
+    Ok(CheckedMessage {
+        protocol: protocol_from_value(get(v, "protocol")?)?,
+        type_key: type_key_from_value(get(v, "type_key")?)?,
+        ts: Timestamp::from_micros(as_u64(get(v, "ts")?, "timestamp")?),
+        stream: five_tuple_from_value(get(v, "stream")?)?,
+        violation: if violation.is_null() { None } else { Some(violation_from_value(violation)?) },
+    })
+}
+
+fn stage_stats_to_value(s: &rtc_filter::StageStats) -> Value {
+    json!([s.udp_streams, s.udp_datagrams, s.tcp_streams, s.tcp_segments])
+}
+
+fn stage_stats_from_value(v: &Value) -> Result<rtc_filter::StageStats, StateError> {
+    let a = as_array(v, "stage stats")?;
+    if a.len() != 4 {
+        return Err(err("stage stats", v));
+    }
+    let n = |i: usize| as_usize(&a[i], "stage stat");
+    Ok(rtc_filter::StageStats { udp_streams: n(0)?, udp_datagrams: n(1)?, tcp_streams: n(2)?, tcp_segments: n(3)? })
+}
+
+/// Serialize one [`CallRecord`] (used per-call by the shard checkpoint).
+pub fn record_to_value(r: &CallRecord) -> Value {
+    json!({
+        "app": r.app.clone(),
+        "network": r.network.clone(),
+        "repeat": r.repeat,
+        "raw_bytes": r.raw_bytes,
+        "raw": stage_stats_to_value(&r.raw),
+        "stage1": stage_stats_to_value(&r.stage1),
+        "stage2": stage_stats_to_value(&r.stage2),
+        "rtc": stage_stats_to_value(&r.rtc),
+        "classes": json!([r.classes.0, r.classes.1, r.classes.2]),
+        "messages": r.checked.messages.iter().map(message_to_value).collect::<Vec<_>>(),
+        "fully_proprietary_datagrams": r.checked.fully_proprietary_datagrams,
+        "rejections": r.rejections.iter().map(|(k, n)| (k.clone(), json!(*n))).collect::<serde_json::Map<_, _>>(),
+    })
+}
+
+/// Deserialize one [`CallRecord`].
+pub fn record_from_value(v: &Value) -> Result<CallRecord, StateError> {
+    let classes = as_array(get(v, "classes")?, "classes")?;
+    if classes.len() != 3 {
+        return Err(err("classes", get(v, "classes")?));
+    }
+    let mut rejections = BTreeMap::new();
+    for (k, n) in get(v, "rejections")?.as_object().ok_or_else(|| err("rejections", v))?.iter() {
+        rejections.insert(k.clone(), as_usize(n, "rejection count")?);
+    }
+    let messages =
+        as_array(get(v, "messages")?, "messages")?.iter().map(message_from_value).collect::<Result<Vec<_>, _>>()?;
+    Ok(CallRecord {
+        app: as_str(get(v, "app")?, "app")?.to_string(),
+        network: as_str(get(v, "network")?, "network")?.to_string(),
+        repeat: as_usize(get(v, "repeat")?, "repeat")?,
+        raw_bytes: as_usize(get(v, "raw_bytes")?, "raw_bytes")?,
+        raw: stage_stats_from_value(get(v, "raw")?)?,
+        stage1: stage_stats_from_value(get(v, "stage1")?)?,
+        stage2: stage_stats_from_value(get(v, "stage2")?)?,
+        rtc: stage_stats_from_value(get(v, "rtc")?)?,
+        classes: (
+            as_usize(&classes[0], "class count")?,
+            as_usize(&classes[1], "class count")?,
+            as_usize(&classes[2], "class count")?,
+        ),
+        checked: CheckedCall {
+            messages,
+            fully_proprietary_datagrams: as_usize(get(v, "fully_proprietary_datagrams")?, "fully proprietary")?,
+        },
+        rejections,
+    })
+}
+
+fn finding_to_value(f: &Finding) -> Value {
+    json!({ "kind": finding_kind_label(f.kind), "count": f.count, "detail": f.detail.clone() })
+}
+
+fn finding_kind_label(k: FindingKind) -> &'static str {
+    match k {
+        FindingKind::FillerDatagrams => "filler-datagrams",
+        FindingKind::DoubleRtpDatagrams => "double-rtp-datagrams",
+        FindingKind::ZeroSenderSsrc => "zero-sender-ssrc",
+        FindingKind::DirectionTrailer => "direction-trailer",
+        FindingKind::ProprietaryKeepalives => "proprietary-keepalives",
+        FindingKind::SsrcReuseAcrossCalls => "ssrc-reuse-across-calls",
+    }
+}
+
+fn finding_from_value(v: &Value) -> Result<Finding, StateError> {
+    const ALL: [FindingKind; 6] = [
+        FindingKind::FillerDatagrams,
+        FindingKind::DoubleRtpDatagrams,
+        FindingKind::ZeroSenderSsrc,
+        FindingKind::DirectionTrailer,
+        FindingKind::ProprietaryKeepalives,
+        FindingKind::SsrcReuseAcrossCalls,
+    ];
+    let label = as_str(get(v, "kind")?, "finding kind")?;
+    let kind = ALL.iter().copied().find(|k| finding_kind_label(*k) == label).ok_or_else(|| err("finding kind", v))?;
+    Ok(Finding {
+        kind,
+        count: as_usize(get(v, "count")?, "finding count")?,
+        detail: as_str(get(v, "detail")?, "finding detail")?.to_string(),
+    })
+}
+
+impl Aggregator {
+    /// Serialize the full aggregation state for a shard checkpoint.
+    ///
+    /// The inverse is [`Aggregator::from_state_value`]; the round-trip is
+    /// exact (`PartialEq` on every component), so `deserialize → merge`
+    /// over any shard split reproduces the in-memory merge bit for bit.
+    pub fn to_state_value(&self) -> Value {
+        let calls: Vec<Value> = self.calls.iter().map(record_to_value).collect();
+        let findings: serde_json::Map<String, Value> = self
+            .findings
+            .iter()
+            .map(|(app, list)| (app.clone(), Value::Array(list.iter().map(finding_to_value).collect())))
+            .collect();
+        let header_profiles: serde_json::Map<String, Value> =
+            self.header_profiles.iter().map(|(app, list)| (app.clone(), json!(list.as_slice()))).collect();
+        // `(app, network)`-keyed map flattened to an array of cells:
+        // JSON object keys are strings, tuples are not.
+        let ssrc_sets: Vec<Value> = self
+            .ssrc_sets
+            .iter()
+            .map(|((app, network), sets)| {
+                let sets: Vec<Value> =
+                    sets.iter().map(|s| Value::Array(s.iter().map(|n| json!(*n)).collect())).collect();
+                json!({ "app": app, "network": network, "sets": sets })
+            })
+            .collect();
+        json!({
+            "calls": calls,
+            "findings": findings,
+            "header_profiles": header_profiles,
+            "ssrc_sets": ssrc_sets,
+        })
+    }
+
+    /// Rebuild an aggregator from a checkpointed state value.
+    pub fn from_state_value(v: &Value) -> Result<Aggregator, StateError> {
+        let calls =
+            as_array(get(v, "calls")?, "calls")?.iter().map(record_from_value).collect::<Result<Vec<_>, _>>()?;
+        let mut findings = BTreeMap::new();
+        for (app, list) in get(v, "findings")?.as_object().ok_or_else(|| err("findings", v))?.iter() {
+            let list =
+                as_array(list, "finding list")?.iter().map(finding_from_value).collect::<Result<Vec<_>, _>>()?;
+            findings.insert(app.clone(), list);
+        }
+        let mut header_profiles = BTreeMap::new();
+        for (app, list) in get(v, "header_profiles")?.as_object().ok_or_else(|| err("header profiles", v))?.iter() {
+            let list = as_array(list, "header profile list")?
+                .iter()
+                .map(|p| as_str(p, "header profile").map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?;
+            header_profiles.insert(app.clone(), list);
+        }
+        let mut ssrc_sets: BTreeMap<(String, String), Vec<BTreeSet<u32>>> = BTreeMap::new();
+        for cell in as_array(get(v, "ssrc_sets")?, "ssrc sets")? {
+            let app = as_str(get(cell, "app")?, "ssrc cell app")?.to_string();
+            let network = as_str(get(cell, "network")?, "ssrc cell network")?.to_string();
+            let sets = as_array(get(cell, "sets")?, "ssrc set list")?
+                .iter()
+                .map(|s| {
+                    as_array(s, "ssrc set")?.iter().map(|n| as_u64(n, "ssrc").map(|n| n as u32)).collect::<Result<
+                        BTreeSet<u32>,
+                        _,
+                    >>(
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            ssrc_sets.insert((app, network), sets);
+        }
+        Ok(Aggregator { calls, findings, header_profiles, ssrc_sets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aggregator() -> Aggregator {
+        let mut agg = Aggregator::new();
+        let wire = WireError::malformed(WireProtocol::Stun, 2, "length alignment");
+        let msg = CheckedMessage {
+            protocol: Protocol::StunTurn,
+            type_key: TypeKey::Stun(0x0001),
+            ts: Timestamp::from_micros(1_234_567),
+            stream: FiveTuple::udp("10.0.0.1:3478".parse().unwrap(), "[2001:db8::1]:443".parse().unwrap()),
+            violation: Some(Violation {
+                criterion: Criterion::AttributeValuesValid,
+                detail: "bad length".into(),
+                wire: Some(wire),
+            }),
+        };
+        let ok = CheckedMessage {
+            protocol: Protocol::Rtp,
+            type_key: TypeKey::Rtp(96),
+            ts: Timestamp::ZERO,
+            stream: FiveTuple::tcp("192.168.1.2:5004".parse().unwrap(), "1.2.3.4:5004".parse().unwrap()),
+            violation: None,
+        };
+        let record = CallRecord {
+            app: "Zoom".into(),
+            network: "cellular".into(),
+            repeat: 2,
+            raw_bytes: 4321,
+            raw: rtc_filter::StageStats { udp_streams: 9, udp_datagrams: 100, tcp_streams: 3, tcp_segments: 40 },
+            stage1: Default::default(),
+            stage2: rtc_filter::StageStats { udp_streams: 1, udp_datagrams: 7, tcp_streams: 0, tcp_segments: 0 },
+            rtc: rtc_filter::StageStats { udp_streams: 2, udp_datagrams: 80, tcp_streams: 0, tcp_segments: 0 },
+            classes: (50, 20, 10),
+            checked: CheckedCall { messages: vec![msg, ok], fully_proprietary_datagrams: 10 },
+            rejections: BTreeMap::from([("stun: truncated".to_string(), 4)]),
+        };
+        let finding = Finding { kind: FindingKind::DoubleRtpDatagrams, count: 7, detail: "7 doubles".into() };
+        agg.absorb_call(record, &[finding], &["profile A".into()], [0xAA, 0xBB].into_iter().collect());
+        agg
+    }
+
+    #[test]
+    fn state_round_trips_exactly() {
+        let agg = sample_aggregator();
+        let v = agg.to_state_value();
+        // Through a string too: the checkpoint file is serialized text.
+        let text = serde_json::to_string(&v).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        let back = Aggregator::from_state_value(&parsed).unwrap();
+        assert_eq!(back.calls, agg.calls);
+        assert_eq!(back.findings, agg.findings);
+        assert_eq!(back.header_profiles, agg.header_profiles);
+        assert_eq!(back.ssrc_sets, agg.ssrc_sets);
+    }
+
+    #[test]
+    fn deserialized_merge_equals_in_memory_merge() {
+        let agg = sample_aggregator();
+        let mut direct = Aggregator::new();
+        direct.merge(agg.clone());
+        let mut via_state = Aggregator::new();
+        via_state.merge(Aggregator::from_state_value(&agg.to_state_value()).unwrap());
+        assert_eq!(direct.snapshot(), via_state.snapshot());
+        let a = direct.finish();
+        let b = via_state.finish();
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.header_profiles, b.header_profiles);
+    }
+
+    #[test]
+    fn malformed_fields_error_with_context() {
+        let agg = sample_aggregator();
+        let mut v = agg.to_state_value();
+        v.as_object_mut().unwrap().remove("findings");
+        let e = Aggregator::from_state_value(&v).unwrap_err();
+        assert!(e.contains("findings"), "error names the missing field: {e}");
+
+        let bad: Value = serde_json::from_str(r#"{"calls": [{"app": 3}]}"#).unwrap();
+        assert!(Aggregator::from_state_value(&bad).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests of the checkpoint state encoding (`rtc_report::state`):
+//! for *any* aggregator contents and *any* shard split, serializing each
+//! shard's partial aggregation to checkpoint JSON, deserializing it back,
+//! and merging equals the purely in-memory merge — and a resumed partial
+//! (checkpoint round-trip mid-stream) plus the remainder equals the
+//! unsplit run.
+
+use proptest::prelude::*;
+use rtc_compliance::findings::{Finding, FindingKind};
+use rtc_compliance::{CheckedCall, CheckedMessage, Criterion, TypeKey, Violation};
+use rtc_dpi::Protocol;
+use rtc_pcap::Timestamp;
+use rtc_report::{Aggregator, CallRecord, StudyData};
+use rtc_wire::ip::FiveTuple;
+use rtc_wire::{WireError, WireProtocol};
+use std::collections::{BTreeMap, BTreeSet};
+
+const APPS: [&str; 4] = ["Zoom", "Discord", "FaceTime", "Messenger"];
+const NETWORKS: [&str; 3] = ["wifi-p2p", "cellular", "wifi-sfu"];
+const CONSTRAINTS: [&str; 3] = ["length alignment", "bad version", "short header"];
+const DETAILS: [&str; 4] = ["", "unknown attribute", "padding bit set", "reserved value"];
+
+fn arb_type_key() -> impl Strategy<Value = TypeKey> {
+    (0usize..6, any::<u16>()).prop_map(|(k, n)| match k {
+        0 => TypeKey::Stun(n),
+        1 => TypeKey::ChannelData,
+        2 => TypeKey::Rtp(n as u8),
+        3 => TypeKey::Rtcp(n as u8),
+        4 => TypeKey::QuicLong((n % 4) as u8),
+        _ => TypeKey::QuicShort,
+    })
+}
+
+fn arb_wire_error() -> impl Strategy<Value = WireError> {
+    (0usize..3, 0usize..64, 0usize..=CONSTRAINTS.len()).prop_map(|(p, offset, what)| {
+        let protocol = [WireProtocol::Stun, WireProtocol::Rtp, WireProtocol::Quic][p];
+        match what.checked_sub(1) {
+            None => WireError::truncated(protocol, offset),
+            Some(i) => WireError::malformed(protocol, offset, CONSTRAINTS[i]),
+        }
+    })
+}
+
+fn arb_violation() -> impl Strategy<Value = Option<Violation>> {
+    (any::<bool>(), 0usize..5, 0usize..DETAILS.len(), any::<bool>(), arb_wire_error()).prop_map(
+        |(present, criterion, detail, with_wire, wire)| {
+            present.then(|| Violation {
+                criterion: [
+                    Criterion::MessageTypeDefined,
+                    Criterion::HeaderFieldsValid,
+                    Criterion::AttributeTypesDefined,
+                    Criterion::AttributeValuesValid,
+                    Criterion::SyntaxSemanticIntegrity,
+                ][criterion],
+                detail: DETAILS[detail].to_string(),
+                wire: with_wire.then_some(wire),
+            })
+        },
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = CheckedMessage> {
+    (0usize..4, arb_type_key(), 0u64..10_000_000, any::<[u8; 6]>(), arb_violation()).prop_map(
+        |(protocol, type_key, micros, addr, violation)| CheckedMessage {
+            protocol: [Protocol::StunTurn, Protocol::Rtp, Protocol::Rtcp, Protocol::Quic][protocol],
+            type_key,
+            ts: Timestamp::from_micros(micros),
+            stream: FiveTuple::udp(
+                format!("10.0.{}.{}:{}", addr[0], addr[1], 1024 + addr[2] as u16).parse().unwrap(),
+                format!("172.16.{}.{}:{}", addr[3], addr[4], 1024 + addr[5] as u16).parse().unwrap(),
+            ),
+            violation,
+        },
+    )
+}
+
+fn arb_finding() -> impl Strategy<Value = Finding> {
+    (0usize..5, 1usize..1000, 0usize..DETAILS.len()).prop_map(|(kind, count, detail)| Finding {
+        kind: [
+            FindingKind::FillerDatagrams,
+            FindingKind::DoubleRtpDatagrams,
+            FindingKind::ZeroSenderSsrc,
+            FindingKind::DirectionTrailer,
+            FindingKind::ProprietaryKeepalives,
+        ][kind],
+        count,
+        detail: DETAILS[detail].to_string(),
+    })
+}
+
+/// Everything `Aggregator::absorb_call` takes for one call. The repeat
+/// index is assigned at absorption time so every generated call has a
+/// unique `(app, network, repeat)` coordinate, as real campaigns do.
+#[derive(Debug, Clone)]
+struct GenCall {
+    app: &'static str,
+    network: &'static str,
+    messages: Vec<CheckedMessage>,
+    fully: usize,
+    findings: Vec<Finding>,
+    profiles: Vec<String>,
+    ssrcs: BTreeSet<u32>,
+}
+
+fn arb_call() -> impl Strategy<Value = GenCall> {
+    (
+        0usize..APPS.len(),
+        0usize..NETWORKS.len(),
+        collection::vec(arb_message(), 0..6),
+        0usize..40,
+        collection::vec(arb_finding(), 0..3),
+        collection::vec((0usize..26, 1usize..9), 0..3),
+        collection::vec(any::<u32>(), 0..4),
+    )
+        .prop_map(|(app, network, messages, fully, findings, profiles, ssrcs)| GenCall {
+            app: APPS[app],
+            network: NETWORKS[network],
+            messages,
+            fully,
+            findings,
+            profiles: profiles
+                .into_iter()
+                .map(|(letter, len)| {
+                    let c = (b'a' + letter as u8) as char;
+                    std::iter::repeat_n(c, len).collect()
+                })
+                .collect(),
+            ssrcs: ssrcs.into_iter().collect(),
+        })
+}
+
+fn absorb(agg: &mut Aggregator, call: &GenCall, repeat: usize) {
+    let record = CallRecord {
+        app: call.app.to_string(),
+        network: call.network.to_string(),
+        repeat,
+        raw_bytes: 1000 + repeat,
+        raw: Default::default(),
+        stage1: Default::default(),
+        stage2: Default::default(),
+        rtc: Default::default(),
+        classes: (call.messages.len(), 2, call.fully),
+        checked: CheckedCall { messages: call.messages.clone(), fully_proprietary_datagrams: call.fully },
+        rejections: BTreeMap::from([("stun: truncated".to_string(), call.fully)]),
+    };
+    agg.absorb_call(record, &call.findings, &call.profiles, call.ssrcs.clone());
+}
+
+/// Serialize → string → parse → deserialize, the exact path a checkpoint
+/// file takes through disk.
+fn through_checkpoint(agg: &Aggregator) -> Aggregator {
+    let text = serde_json::to_string(&agg.to_state_value()).expect("serialize state");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("parse state");
+    Aggregator::from_state_value(&v).expect("deserialize state")
+}
+
+type Canonical = (StudyData, BTreeMap<String, Vec<Finding>>, BTreeMap<String, Vec<String>>);
+
+fn canonical(agg: Aggregator) -> Canonical {
+    let report = agg.finish();
+    let mut data = report.data;
+    data.sort_canonical();
+    (data, report.findings, report.header_profiles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Checkpoint serialize → deserialize → merge over a random shard
+    /// split equals the in-memory merge of the same shards — snapshot for
+    /// snapshot and finished report for finished report.
+    #[test]
+    fn checkpointed_shard_merge_equals_in_memory(
+        calls in collection::vec(arb_call(), 1..12),
+        shards in 1usize..5,
+    ) {
+        let mut partials: Vec<Aggregator> = (0..shards).map(|_| Aggregator::new()).collect();
+        for (i, call) in calls.iter().enumerate() {
+            absorb(&mut partials[i % shards], call, i);
+        }
+
+        let mut in_memory = Aggregator::new();
+        for p in &partials {
+            in_memory.merge(p.clone());
+        }
+        let mut via_checkpoint = Aggregator::new();
+        for p in &partials {
+            via_checkpoint.merge(through_checkpoint(p));
+        }
+
+        prop_assert_eq!(via_checkpoint.snapshot(), in_memory.snapshot());
+        prop_assert_eq!(canonical(via_checkpoint), canonical(in_memory));
+    }
+
+    /// A shard that checkpoints mid-stream, resumes from the deserialized
+    /// state, and absorbs the remainder ends up exactly where the
+    /// never-interrupted shard does.
+    #[test]
+    fn resumed_partial_plus_remainder_equals_unsplit(
+        calls in collection::vec(arb_call(), 2..12),
+        cut_raw in any::<u64>(),
+    ) {
+        let cut = 1 + (cut_raw as usize) % (calls.len() - 1);
+
+        let mut unsplit = Aggregator::new();
+        for (i, call) in calls.iter().enumerate() {
+            absorb(&mut unsplit, call, i);
+        }
+
+        let mut partial = Aggregator::new();
+        for (i, call) in calls[..cut].iter().enumerate() {
+            absorb(&mut partial, call, i);
+        }
+        let mut resumed = through_checkpoint(&partial);
+        for (i, call) in calls[cut..].iter().enumerate() {
+            absorb(&mut resumed, call, cut + i);
+        }
+
+        prop_assert_eq!(resumed.snapshot(), unsplit.snapshot());
+        prop_assert_eq!(canonical(resumed), canonical(unsplit));
+    }
+}

@@ -421,7 +421,7 @@ impl Engine {
         }
         // Engine-wide stats fold over the per-tenant partials: stage
         // counters add, the residency high-water mark takes the max.
-        for (_, (_, stats)) in &merged {
+        for (_, stats) in merged.values() {
             summary.stats.absorb(stats);
         }
         summary.reports = merged

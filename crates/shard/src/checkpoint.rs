@@ -1,0 +1,381 @@
+//! Per-shard resume state: the serialized `Aggregator` snapshot, the
+//! shard-local cursor, pipeline counters, and recorded failures, all
+//! under a version/seed header the loader validates before trusting a
+//! byte of the payload.
+//!
+//! ## Format (version 1)
+//!
+//! One JSON object per checkpoint file:
+//!
+//! ```text
+//! {
+//!   "magic":   "rtc-study-checkpoint",   // file-format magic
+//!   "version": 1,                        // format version
+//!   "tier":    "paper",                  // plan tier label
+//!   "seed":    42,                       // campaign seed
+//!   "shards":  8,                        // partition width
+//!   "shard":   3,                        // which shard this is
+//!   "cursor":  11,            // shard-local calls completed (resume point)
+//!   "records": 123456,        // pcap records decoded so far
+//!   "bytes":   98765432,      // raw capture bytes analyzed so far
+//!   "oracle_calls": 2,        // calls re-judged by the oracle sample
+//!   "oracle_messages": 4096,  // messages the oracle re-judged
+//!   "elapsed_secs": 12.5,     // shard wall time accumulated across runs
+//!   "stats": { "stages": [[in, out, busy_ns] x5], "peak_retained_bytes": n },
+//!   "failures": [{ "index": n, "app": s, "network": s, "error": s }],
+//!   "aggregator": { ... }     // rtc_report::state encoding
+//! }
+//! ```
+//!
+//! Writes are atomic — the text goes to a `.tmp` sibling which is then
+//! renamed over the destination — so a shard killed mid-write leaves
+//! either the previous complete checkpoint or a stray `.tmp`, never a
+//! truncated file under the real name. Loads reject, with distinct
+//! errors: non-JSON/truncated files, wrong magic, unknown versions, and
+//! header fields (seed, tier, shard count, shard index) that disagree
+//! with the plan being resumed.
+
+use rtc_core::pipeline::{PipelineStats, StageKind};
+use rtc_core::report::Aggregator;
+use rtc_core::FailedCall;
+use serde_json::{json, Value};
+use std::io;
+use std::path::Path;
+
+/// File-format magic of shard checkpoints and final shard snapshots.
+pub const CHECKPOINT_MAGIC: &str = "rtc-study-checkpoint";
+/// Checkpoint file-format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// The identity a checkpoint must match to be resumable under a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Plan tier label.
+    pub tier: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Shard-partition width.
+    pub shards: usize,
+    /// This shard's index.
+    pub shard: usize,
+}
+
+/// One shard's persisted progress. Also the schema of the *final* shard
+/// snapshot (`shard-N.done.json`) the merge step consumes — a finished
+/// shard is just a checkpoint whose cursor covers every owned call.
+#[derive(Debug, Clone)]
+pub struct ShardCheckpoint {
+    /// Identity guard.
+    pub header: CheckpointHeader,
+    /// Shard-local calls completed; resume skips this many.
+    pub cursor: usize,
+    /// Pcap records decoded so far.
+    pub records: u64,
+    /// Raw capture bytes analyzed so far.
+    pub bytes: u64,
+    /// Calls re-judged by the deterministic oracle sample.
+    pub oracle_calls: usize,
+    /// Messages the oracle re-judged.
+    pub oracle_messages: usize,
+    /// Wall seconds this shard has spent, accumulated across resumes.
+    pub elapsed_secs: f64,
+    /// Per-stage counters summed over the shard's completed calls.
+    pub stats: PipelineStats,
+    /// Calls whose analysis failed (global matrix indices).
+    pub failures: Vec<FailedCall>,
+    /// The partial aggregation.
+    pub aggregator: Aggregator,
+}
+
+impl ShardCheckpoint {
+    /// A fresh, empty checkpoint for one shard.
+    pub fn fresh(header: CheckpointHeader) -> ShardCheckpoint {
+        ShardCheckpoint {
+            header,
+            cursor: 0,
+            records: 0,
+            bytes: 0,
+            oracle_calls: 0,
+            oracle_messages: 0,
+            elapsed_secs: 0.0,
+            stats: PipelineStats::default(),
+            failures: Vec::new(),
+            aggregator: Aggregator::new(),
+        }
+    }
+
+    /// Serialize to the version-1 JSON document.
+    pub fn to_json(&self) -> Value {
+        let stages: Vec<Value> = StageKind::ALL
+            .iter()
+            .map(|k| {
+                let m = self.stats.stage(*k);
+                json!([m.items_in, m.items_out, m.busy.as_nanos() as u64])
+            })
+            .collect();
+        let failures: Vec<Value> = self
+            .failures
+            .iter()
+            .map(|f| json!({ "index": f.index, "app": f.app.clone(), "network": f.network.clone(), "error": f.error.clone() }))
+            .collect();
+        json!({
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "tier": self.header.tier.clone(),
+            "seed": self.header.seed,
+            "shards": self.header.shards,
+            "shard": self.header.shard,
+            "cursor": self.cursor,
+            "records": self.records,
+            "bytes": self.bytes,
+            "oracle_calls": self.oracle_calls,
+            "oracle_messages": self.oracle_messages,
+            "elapsed_secs": self.elapsed_secs,
+            "stats": { "stages": stages, "peak_retained_bytes": self.stats.peak_retained_bytes },
+            "failures": failures,
+            "aggregator": self.aggregator.to_state_value(),
+        })
+    }
+
+    /// Write atomically to `path`: serialize, write a `.tmp` sibling,
+    /// rename into place.
+    pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        write_text_atomic(path, &serde_json::to_string(&self.to_json())?)
+    }
+
+    /// Load a checkpoint and validate it against the plan identity the
+    /// caller is resuming. Every rejection names the file and the exact
+    /// disagreement.
+    pub fn load(path: &Path, expect: &CheckpointHeader) -> io::Result<ShardCheckpoint> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        let v: Value = serde_json::from_str(&text).map_err(|e| {
+            invalid(path, format_args!("corrupt checkpoint (not valid JSON: {e}) — delete it to restart this shard"))
+        })?;
+        if v.get("magic").and_then(Value::as_str) != Some(CHECKPOINT_MAGIC) {
+            return Err(invalid(path, format_args!("missing {CHECKPOINT_MAGIC:?} magic — not a shard checkpoint")));
+        }
+        let version = v.get("version").and_then(Value::as_u64);
+        if version != Some(CHECKPOINT_VERSION) {
+            let got = version.map_or_else(|| "missing".to_string(), |n| format!("version {n}"));
+            return Err(invalid(
+                path,
+                format_args!("checkpoint {got}, this build reads version {CHECKPOINT_VERSION}"),
+            ));
+        }
+        let header = CheckpointHeader {
+            tier: str_field(&v, path, "tier")?.to_string(),
+            seed: u64_field(&v, path, "seed")?,
+            shards: u64_field(&v, path, "shards")? as usize,
+            shard: u64_field(&v, path, "shard")? as usize,
+        };
+        if header != *expect {
+            return Err(invalid(
+                path,
+                format_args!(
+                    "checkpoint is for tier={} seed={} shards={} shard={}, but the plan being resumed is tier={} seed={} shards={} shard={}",
+                    header.tier, header.seed, header.shards, header.shard,
+                    expect.tier, expect.seed, expect.shards, expect.shard,
+                ),
+            ));
+        }
+        let stats_v = v.get("stats").ok_or_else(|| invalid(path, format_args!("missing stats")))?;
+        let mut stats = PipelineStats::default();
+        let stages = stats_v
+            .get("stages")
+            .and_then(Value::as_array)
+            .filter(|s| s.len() == StageKind::ALL.len())
+            .ok_or_else(|| invalid(path, format_args!("bad stage metrics")))?;
+        for (kind, stage) in StageKind::ALL.iter().zip(stages) {
+            let trio = stage
+                .as_array()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| invalid(path, format_args!("bad stage metric triple")))?;
+            let n =
+                |i: usize| trio[i].as_u64().ok_or_else(|| invalid(path, format_args!("non-integer stage metric")));
+            let m = stats.stage_mut(*kind);
+            m.items_in = n(0)?;
+            m.items_out = n(1)?;
+            m.busy = std::time::Duration::from_nanos(n(2)?);
+        }
+        stats.peak_retained_bytes = stats_v
+            .get("peak_retained_bytes")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| invalid(path, format_args!("missing peak_retained_bytes")))?
+            as usize;
+        let mut failures = Vec::new();
+        for f in v
+            .get("failures")
+            .and_then(Value::as_array)
+            .ok_or_else(|| invalid(path, format_args!("missing failures")))?
+        {
+            failures.push(FailedCall {
+                index: u64_field(f, path, "index")? as usize,
+                app: str_field(f, path, "app")?.to_string(),
+                network: str_field(f, path, "network")?.to_string(),
+                error: str_field(f, path, "error")?.to_string(),
+            });
+        }
+        let aggregator =
+            v.get("aggregator").ok_or_else(|| invalid(path, format_args!("missing aggregator"))).and_then(|a| {
+                Aggregator::from_state_value(a).map_err(|e| invalid(path, format_args!("corrupt aggregator: {e}")))
+            })?;
+        Ok(ShardCheckpoint {
+            header,
+            cursor: u64_field(&v, path, "cursor")? as usize,
+            records: u64_field(&v, path, "records")?,
+            bytes: u64_field(&v, path, "bytes")?,
+            oracle_calls: u64_field(&v, path, "oracle_calls")? as usize,
+            oracle_messages: u64_field(&v, path, "oracle_messages")? as usize,
+            elapsed_secs: v
+                .get("elapsed_secs")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| invalid(path, format_args!("missing elapsed_secs")))?,
+            stats,
+            failures,
+            aggregator,
+        })
+    }
+}
+
+fn str_field<'a>(v: &'a Value, path: &Path, name: &str) -> io::Result<&'a str> {
+    v.get(name).and_then(Value::as_str).ok_or_else(|| invalid(path, format_args!("missing field `{name}`")))
+}
+
+fn u64_field(v: &Value, path: &Path, name: &str) -> io::Result<u64> {
+    v.get(name).and_then(Value::as_u64).ok_or_else(|| invalid(path, format_args!("missing field `{name}`")))
+}
+
+fn invalid(path: &Path, what: std::fmt::Arguments<'_>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
+}
+
+/// Write `text` to `path` atomically: a `.tmp` sibling is written in full
+/// and then renamed over the destination, so readers (and post-crash
+/// resumes) only ever observe complete files.
+pub fn write_text_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> CheckpointHeader {
+        CheckpointHeader { tier: "paper".into(), seed: 42, shards: 8, shard: 3 }
+    }
+
+    fn sample() -> ShardCheckpoint {
+        let mut c = ShardCheckpoint::fresh(header());
+        c.cursor = 11;
+        c.records = 123_456;
+        c.bytes = 98_765_432;
+        c.oracle_calls = 2;
+        c.oracle_messages = 4096;
+        c.elapsed_secs = 12.5;
+        c.stats.stage_mut(StageKind::Decode).items_in = 123_456;
+        c.stats.stage_mut(StageKind::Decode).items_out = 123_400;
+        c.stats.stage_mut(StageKind::Decode).busy = std::time::Duration::from_millis(250);
+        c.stats.peak_retained_bytes = 65_536;
+        c.failures.push(FailedCall {
+            index: 7,
+            app: "zoom".into(),
+            network: "cellular".into(),
+            error: "boom".into(),
+        });
+        c
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtc-shard-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("shard-3.ckpt.json");
+        let c = sample();
+        c.write_atomic(&path).unwrap();
+        let back = ShardCheckpoint::load(&path, &header()).unwrap();
+        assert_eq!(back.header, c.header);
+        assert_eq!(back.cursor, c.cursor);
+        assert_eq!(back.records, c.records);
+        assert_eq!(back.bytes, c.bytes);
+        assert_eq!(back.oracle_calls, c.oracle_calls);
+        assert_eq!(back.oracle_messages, c.oracle_messages);
+        assert_eq!(back.stats.stage(StageKind::Decode).items_in, 123_456);
+        assert_eq!(back.stats.stage(StageKind::Decode).busy, std::time::Duration::from_millis(250));
+        assert_eq!(back.stats.peak_retained_bytes, 65_536);
+        assert_eq!(back.failures.len(), 1);
+        assert_eq!(back.failures[0].index, 7);
+        assert!(back.aggregator.is_empty());
+        // No `.tmp` left behind.
+        assert!(!dir.join("shard-3.ckpt.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_is_atomic_never_truncated() {
+        let dir = scratch("atomic");
+        let path = dir.join("shard-3.ckpt.json");
+        // A stale tmp file from a kill mid-write must not shadow or
+        // corrupt the real checkpoint.
+        std::fs::write(dir.join("shard-3.ckpt.json.tmp"), "garbage{{{").unwrap();
+        sample().write_atomic(&path).unwrap();
+        assert!(ShardCheckpoint::load(&path, &header()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let dir = scratch("truncated");
+        let path = dir.join("shard-3.ckpt.json");
+        let full = serde_json::to_string(&sample().to_json()).unwrap();
+        // Simulate a non-atomic writer dying mid-write: half the bytes.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let e = ShardCheckpoint::load(&path, &header()).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("corrupt checkpoint"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_version_and_seed_mismatches() {
+        let dir = scratch("mismatch");
+        let path = dir.join("shard-3.ckpt.json");
+
+        let mut v = sample().to_json();
+        v.as_object_mut().unwrap().insert("version".into(), json!(999));
+        write_text_atomic(&path, &serde_json::to_string(&v).unwrap()).unwrap();
+        let e = ShardCheckpoint::load(&path, &header()).unwrap_err();
+        assert!(e.to_string().contains("version 999"), "{e}");
+
+        sample().write_atomic(&path).unwrap();
+        let other_seed = CheckpointHeader { seed: 43, ..header() };
+        let e = ShardCheckpoint::load(&path, &other_seed).unwrap_err();
+        assert!(e.to_string().contains("seed=42") && e.to_string().contains("seed=43"), "{e}");
+
+        let other_shards = CheckpointHeader { shards: 4, ..header() };
+        assert!(ShardCheckpoint::load(&path, &other_shards).is_err());
+
+        let other_tier = CheckpointHeader { tier: "city".into(), ..header() };
+        assert!(ShardCheckpoint::load(&path, &other_tier).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let dir = scratch("magic");
+        let path = dir.join("shard-3.ckpt.json");
+        write_text_atomic(&path, "{\"magic\": \"rtc-study-plan\", \"version\": 1}").unwrap();
+        let e = ShardCheckpoint::load(&path, &header()).unwrap_err();
+        assert!(e.to_string().contains("magic"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

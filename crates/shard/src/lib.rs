@@ -1,0 +1,37 @@
+//! # rtc-shard
+//!
+//! The sharded multi-process study runner: generates, saves, and analyzes
+//! a full paper-scale corpus (~20M datagrams across the 300-second
+//! app×network matrix) and a 10× city-scale tier, without ever holding
+//! more than one call's RTC traffic in memory per shard.
+//!
+//! Three pieces, one per module:
+//!
+//! * [`plan`] — the deterministic corpus planner: resolves a scale
+//!   [`plan::Tier`] into an `ExperimentConfig`, persists it as
+//!   `plan.json` (with a version header), and partitions the matrix into
+//!   round-robin shards with forked per-call seeds (the same derivation
+//!   as the batch driver, so shard N's call is the batch run's call).
+//! * [`checkpoint`] — per-shard resume state: serialized `Aggregator`
+//!   snapshot + cursor + pipeline counters, written atomically
+//!   (tempfile + rename) at a configurable record interval, with a
+//!   version/seed header the loader validates before trusting anything.
+//! * [`runner`] — drives one shard (generate → save atomically →
+//!   chunk-streamed analysis → absorb → checkpoint, with oracle
+//!   re-judgement on a deterministic sample), and merges all shards'
+//!   final snapshots into one `StudyReport` byte-identical to a
+//!   single-process batch run of the same plan.
+//!
+//! The `rtc-study scale` CLI surface and the `study-scale` /
+//! `checkpoint-resume` CI jobs sit on top of this crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod plan;
+pub mod runner;
+
+pub use checkpoint::{CheckpointHeader, ShardCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use plan::{CorpusPlan, PlannedCall, Tier};
+pub use runner::{merge_shards, run_shard, MergedStudy, ShardOptions, ShardOutcome};

@@ -1,0 +1,118 @@
+//! End-to-end properties of the sharded runner: the merged report is
+//! byte-identical to a single-process batch run of the same plan, and
+//! a shard interrupted mid-run resumes from its checkpoint to the exact
+//! same bytes as an uninterrupted campaign.
+
+use rtc_core::capture::ExperimentConfig;
+use rtc_core::report::json::study_to_json;
+use rtc_core::StudyReport;
+use rtc_shard::runner::{batch_reference, checkpoint_path, done_path};
+use rtc_shard::{merge_shards, run_shard, CorpusPlan, ShardOptions};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtc-shard-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_plan(shards: usize, seed: u64) -> CorpusPlan {
+    CorpusPlan { tier: "paper".into(), shards, experiment: ExperimentConfig::smoke(seed) }
+}
+
+fn options() -> ShardOptions {
+    // A record interval small enough that every shard writes several
+    // periodic checkpoints along the way, and a sample rate that
+    // exercises the oracle path on a few calls per shard.
+    ShardOptions { record_interval: 2_000, chunk_records: 64, oracle_sample: 5, stop_after_calls: None }
+}
+
+fn fingerprint(report: &StudyReport) -> (String, String) {
+    assert!(report.failures.is_empty(), "calls failed analysis: {:?}", report.failures);
+    (serde_json::to_string(&study_to_json(&report.data)).unwrap(), report.render_all())
+}
+
+#[test]
+fn merged_shards_equal_single_process_batch() {
+    let dir = scratch("merge");
+    let plan = small_plan(3, 7);
+    plan.save(&dir).unwrap();
+
+    for shard in 0..plan.shards {
+        let outcome = run_shard(&dir, shard, &options()).unwrap();
+        assert!(!outcome.stopped_early);
+        assert!(!outcome.resumed);
+        assert_eq!(outcome.calls, outcome.calls_owned);
+        assert!(outcome.records > 0, "shard {shard} decoded nothing");
+        assert!(done_path(&dir, shard).exists());
+        assert!(!checkpoint_path(&dir, shard).exists(), "final snapshot must clear the periodic checkpoint");
+    }
+
+    let merged = merge_shards(&dir).unwrap();
+    assert_eq!(merged.shards.len(), plan.shards);
+    assert!(merged.oracle_calls > 0, "oracle sample never fired");
+    assert!(merged.oracle_messages > 0);
+
+    let batch = batch_reference(&dir, 64).unwrap();
+    assert_eq!(fingerprint(&merged.report), fingerprint(&batch), "sharded merge diverged from batch run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_shard_matches_uninterrupted_campaign() {
+    let uninterrupted = scratch("resume-a");
+    let interrupted = scratch("resume-b");
+    let plan = small_plan(2, 11);
+    plan.save(&uninterrupted).unwrap();
+    plan.save(&interrupted).unwrap();
+
+    for shard in 0..plan.shards {
+        run_shard(&uninterrupted, shard, &options()).unwrap();
+    }
+    let reference = merge_shards(&uninterrupted).unwrap();
+
+    // Interrupt shard 0 after two calls (the checkpoint-on-stop path is
+    // the same code a SIGTERM-ed shard relies on), then resume it.
+    let stopped = run_shard(&interrupted, 0, &ShardOptions { stop_after_calls: Some(2), ..options() }).unwrap();
+    assert!(stopped.stopped_early);
+    assert_eq!(stopped.calls, 2);
+    assert!(checkpoint_path(&interrupted, 0).exists());
+    assert!(!done_path(&interrupted, 0).exists());
+
+    let resumed = run_shard(&interrupted, 0, &options()).unwrap();
+    assert!(resumed.resumed, "second invocation must pick up the checkpoint");
+    assert_eq!(resumed.calls, resumed.calls_owned);
+    run_shard(&interrupted, 1, &options()).unwrap();
+
+    let merged = merge_shards(&interrupted).unwrap();
+    assert_eq!(
+        fingerprint(&merged.report),
+        fingerprint(&reference.report),
+        "kill-and-resume changed the merged report"
+    );
+    let _ = std::fs::remove_dir_all(&uninterrupted);
+    let _ = std::fs::remove_dir_all(&interrupted);
+}
+
+#[test]
+fn finished_shard_rerun_is_a_no_op() {
+    let dir = scratch("noop");
+    small_plan(2, 13).save(&dir).unwrap();
+    let first = run_shard(&dir, 0, &options()).unwrap();
+    let again = run_shard(&dir, 0, &options()).unwrap();
+    assert_eq!(again.calls, first.calls);
+    assert_eq!(again.records, first.records);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_names_unfinished_shards() {
+    let dir = scratch("missing");
+    small_plan(3, 17).save(&dir).unwrap();
+    run_shard(&dir, 1, &options()).unwrap();
+    let e = merge_shards(&dir).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("0, 2"), "should name unfinished shards: {msg}");
+    assert!(msg.contains("--resume"), "should point at the resume flag: {msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

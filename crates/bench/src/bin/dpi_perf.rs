@@ -30,6 +30,9 @@ fn main() {
     });
     println!("extract naive:          {naive:8.2} ms");
     println!("extract fast:           {fast:8.2} ms   ({:.2}x)", naive / fast);
+    // The extraction above drove every parser: if coverage probes exist in
+    // this build they have fired by now, and the numbers are worthless.
+    rtc_bench::assert_uninstrumented();
 
     // Bulk-scan ablation: the same corpus swept per scan backend. The
     // scalar path is the per-offset dispatch loop; SWAR sweeps u64 lanes;

@@ -89,6 +89,9 @@ fn main() {
 
     assert!(streaming.failures.is_empty() && batch.failures.is_empty());
     assert_eq!(streaming.data, batch.data, "streaming and batch must agree");
+    // Both passes parsed the whole campaign: any coverage probe compiled
+    // into this build has fired by now — refuse to report if so.
+    rtc_bench::assert_uninstrumented();
 
     // Instrumentation overhead: the same streaming analysis, best-of-3,
     // with the metrics registry disabled vs. enabled.

@@ -43,6 +43,25 @@ pub fn shared_capture() -> &'static (rtc_core::CallCapture, StudyConfig) {
     })
 }
 
+/// Refuse to publish numbers from a coverage-instrumented build.
+///
+/// The parser crates carry `rtc_cov::probe!` coverage markers behind
+/// per-crate `cov-probes` features that only `rtc-fuzz` turns on. A
+/// `cargo run -p rtc-bench` build resolves features for this package
+/// alone, so the probes compile to nothing — but a binary taken from a
+/// workspace-wide build unifies with `rtc-fuzz` and every parser hot
+/// path gains an atomic hit-counter increment, tainting every
+/// measurement. Call this *after* parser-driving work: if any probe
+/// fired, the build is instrumented and the bench must not report.
+pub fn assert_uninstrumented() {
+    assert!(
+        rtc_cov::is_silent(),
+        "coverage probes fired: this binary was built with cov-probes enabled \
+         (workspace-unified build?); re-run via `cargo run --release -p rtc-bench` \
+         so the bench measures the uninstrumented parsers"
+    );
+}
+
 /// Print a regenerated artifact with a paper-comparison banner.
 pub fn print_artifact(report: &StudyReport, artifact: rtc_core::Artifact, paper_note: &str) {
     println!("\n{}", report.render_table(artifact));

@@ -174,6 +174,24 @@ pub enum Command {
         /// Oracle sampling period (0 = off).
         oracle_sample: usize,
     },
+    /// Run the coverage-guided differential fuzzer, or replay one input.
+    Fuzz {
+        /// Executions per target.
+        budget: u64,
+        /// Base RNG seed (every target derives its own stream).
+        seed: u64,
+        /// Target labels (empty = all targets).
+        targets: Vec<String>,
+        /// Persist the corpus, findings and `stats.json` here.
+        out: Option<PathBuf>,
+        /// Run the feedback-free baseline instead of the guided engine.
+        baseline: bool,
+        /// Run both arms on the same budget and print the comparison.
+        head_to_head: bool,
+        /// Replay this hex input under the oracles instead of fuzzing
+        /// (requires exactly one `--target`).
+        replay: Option<String>,
+    },
     /// List artifacts.
     Tables,
     /// Print usage.
@@ -204,6 +222,9 @@ USAGE:
                   [--verify-batch] [--report FILE]
   rtc-study scale --resume DIR [--record-interval N] [--chunk N]
                   [--oracle-sample N] [--verify-batch] [--report FILE]
+  rtc-study fuzz [--budget N] [--seed N] [--target T]... [--out DIR]
+                 [--baseline | --head-to-head]
+  rtc-study fuzz --target T --replay HEX
   rtc-study tables
   rtc-study help
 
@@ -246,6 +267,18 @@ all shards finish, their snapshots merge into one report — byte-identical
 to a single-process batch run of the same plan (`--verify-batch` proves
 it in-process). The `paper` tier is the paper's 90-call matrix; `city`
 is the same matrix at 10x the repeats.
+
+`fuzz` runs the deterministic coverage-guided differential fuzzer over
+the parsing stack: seeds from the conformance golden corpus, structure-
+aware mutations, in-tree `rtc-cov` probe feedback, and two oracles
+(panics/debug-asserts, and production-vs-reference divergence). Every
+finding prints a minimized standalone replay command; `--out DIR` also
+persists the corpus and a deterministic `stats.json`. `--baseline`
+disables coverage feedback (mutate-the-seeds-only), `--head-to-head`
+runs both arms on the same budget and prints the coverage comparison.
+The process exits nonzero when any finding fires.
+
+fuzz targets: stun channeldata rtp rtcp quic datagram pcap plan checkpoint
 
 The process exits nonzero when any call's analysis failed.
 
@@ -573,6 +606,40 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 chunk,
                 oracle_sample,
             })
+        }
+        "fuzz" => {
+            let mut budget = 5_000u64;
+            let mut seed = 0x5EED_F077u64;
+            let mut targets = Vec::new();
+            let mut out = None;
+            let mut baseline = false;
+            let mut head_to_head = false;
+            let mut replay = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+                match flag.as_str() {
+                    "--budget" => budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?,
+                    "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    "--target" => targets.push(value("--target")?),
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    "--baseline" => baseline = true,
+                    "--head-to-head" => head_to_head = true,
+                    "--replay" => replay = Some(value("--replay")?),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            for t in &targets {
+                if rtc_fuzz::Target::parse(t).is_none() {
+                    return Err(format!("unknown fuzz target '{t}' (see `rtc-study help`)"));
+                }
+            }
+            if baseline && head_to_head {
+                return Err("fuzz: --baseline and --head-to-head are mutually exclusive".into());
+            }
+            if replay.is_some() && targets.len() != 1 {
+                return Err("fuzz: --replay needs exactly one --target".into());
+            }
+            Ok(Command::Fuzz { budget, seed, targets, out, baseline, head_to_head, replay })
         }
         other => Err(format!("unknown command '{other}'; try `rtc-study help`")),
     }
@@ -1029,6 +1096,65 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> std::io::Resul
             )?;
             Ok(0)
         }
+        Command::Fuzz { budget, seed, targets, out: out_dir, baseline, head_to_head, replay } => {
+            let targets: Vec<rtc_fuzz::Target> = if targets.is_empty() {
+                rtc_fuzz::Target::ALL.to_vec()
+            } else {
+                targets.iter().map(|t| rtc_fuzz::Target::parse(t).expect("validated at parse")).collect()
+            };
+            if let Some(hex) = replay {
+                let Some(bytes) = rtc_fuzz::hex_decode(&hex) else {
+                    writeln!(out, "fuzz: --replay payload is not valid hex")?;
+                    return Ok(2);
+                };
+                let (desc, bug) = rtc_fuzz::replay(targets[0], &bytes);
+                writeln!(out, "{desc}")?;
+                return Ok(i32::from(bug));
+            }
+            let config = rtc_fuzz::FuzzConfig { budget, seed, targets, guided: !baseline, ..Default::default() };
+            if head_to_head {
+                let (guided, base) = rtc_fuzz::head_to_head(&config);
+                write!(out, "{}", rtc_fuzz::render_head_to_head(&guided, &base))?;
+                if let Some(dir) = out_dir {
+                    rtc_fuzz::persist(&guided, &dir.join("guided"))?;
+                    rtc_fuzz::persist(&base, &dir.join("baseline"))?;
+                    std::fs::write(dir.join("head-to-head.md"), rtc_fuzz::render_head_to_head(&guided, &base))?;
+                    writeln!(out, "artifacts written to {}", dir.display())?;
+                }
+                let findings = guided.findings().count() + base.findings().count();
+                return Ok(if findings > 0 { 1 } else { 0 });
+            }
+            let report = rtc_fuzz::fuzz(&config);
+            for t in &report.targets {
+                writeln!(
+                    out,
+                    "{:<12} execs={:>7} corpus={:>4} signatures={:>5} slots={:>4} findings={}",
+                    t.target.label(),
+                    t.executions,
+                    t.corpus.len(),
+                    t.unique_signatures,
+                    t.coverage_slots,
+                    t.findings.len()
+                )?;
+                for f in &t.findings {
+                    writeln!(out, "  FINDING [{}] {}", f.kind, f.detail)?;
+                    writeln!(out, "    replay: {}", f.replay_command())?;
+                }
+            }
+            if let Some(dir) = out_dir {
+                rtc_fuzz::persist(&report, &dir)?;
+                writeln!(out, "artifacts written to {}", dir.display())?;
+            }
+            let findings = report.findings().count();
+            writeln!(
+                out,
+                "fuzz: {} target(s), {} unique signature(s), {} finding(s)",
+                report.targets.len(),
+                report.total_unique_signatures(),
+                findings
+            )?;
+            Ok(if findings > 0 { 1 } else { 0 })
+        }
     }
 }
 
@@ -1119,6 +1245,49 @@ mod tests {
         assert!(parse(&args("analyze /tmp/exp --bogus")).is_err());
         assert!(parse(&args("analyze /tmp/exp --metrics")).is_err());
         assert!(parse(&args("analyze /tmp/exp --progress-metrics")).is_err(), "needs --stream");
+    }
+
+    #[test]
+    fn parse_fuzz_flags() {
+        let c = parse(&args("fuzz")).unwrap();
+        assert_eq!(
+            c,
+            Command::Fuzz {
+                budget: 5_000,
+                seed: 0x5EED_F077,
+                targets: vec![],
+                out: None,
+                baseline: false,
+                head_to_head: false,
+                replay: None,
+            }
+        );
+        let c = parse(&args("fuzz --budget 100 --seed 7 --target stun --target rtp --out /tmp/f --head-to-head"))
+            .unwrap();
+        match c {
+            Command::Fuzz { budget, seed, targets, out, baseline, head_to_head, replay } => {
+                assert_eq!(budget, 100);
+                assert_eq!(seed, 7);
+                assert_eq!(targets, vec!["stun", "rtp"]);
+                assert_eq!(out, Some(PathBuf::from("/tmp/f")));
+                assert!(!baseline);
+                assert!(head_to_head);
+                assert_eq!(replay, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&args("fuzz --target datagram --replay a442")).unwrap() {
+            Command::Fuzz { targets, replay, .. } => {
+                assert_eq!(targets, vec!["datagram"]);
+                assert_eq!(replay, Some("a442".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("fuzz --target nonsense")).is_err());
+        assert!(parse(&args("fuzz --baseline --head-to-head")).is_err());
+        assert!(parse(&args("fuzz --replay a442")).is_err(), "replay needs exactly one --target");
+        assert!(parse(&args("fuzz --target stun --target rtp --replay a442")).is_err());
+        assert!(parse(&args("fuzz --budget nope")).is_err());
     }
 
     #[test]

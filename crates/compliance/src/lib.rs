@@ -83,14 +83,37 @@ pub struct Violation {
     pub wire: Option<WireError>,
 }
 
+/// Coverage probe on violation construction: one rtc-cov slot per failing
+/// criterion, so the fuzzer distinguishes *which* of the five criteria an
+/// input trips. Compiled out without the `cov-probes` feature.
+#[inline]
+fn cov_violation(criterion: Criterion) {
+    #[cfg(feature = "cov-probes")]
+    {
+        match criterion {
+            Criterion::MessageTypeDefined => rtc_cov::probe!("compliance.violation.c1"),
+            Criterion::HeaderFieldsValid => rtc_cov::probe!("compliance.violation.c2"),
+            Criterion::AttributeTypesDefined => rtc_cov::probe!("compliance.violation.c3"),
+            Criterion::AttributeValuesValid => rtc_cov::probe!("compliance.violation.c4"),
+            Criterion::SyntaxSemanticIntegrity => rtc_cov::probe!("compliance.violation.c5"),
+        }
+    }
+    #[cfg(not(feature = "cov-probes"))]
+    {
+        let _ = criterion;
+    }
+}
+
 impl Violation {
     /// Construct a violation.
     pub fn new(criterion: Criterion, detail: impl Into<String>) -> Violation {
+        cov_violation(criterion);
         Violation { criterion, detail: detail.into(), wire: None }
     }
 
     /// Construct a violation from a wire-level parse error.
     pub fn from_wire(criterion: Criterion, error: WireError) -> Violation {
+        cov_violation(criterion);
         Violation { criterion, detail: error.to_string(), wire: Some(error) }
     }
 }
@@ -184,6 +207,17 @@ pub fn check_message(
         CandidateKind::Rtcp { .. } => rtcp::check_rtcp(dgram, msg),
         CandidateKind::QuicLong { .. } | CandidateKind::QuicShortProbe => quic::check_quic(dgram, msg),
     };
+    #[cfg(feature = "cov-probes")]
+    {
+        if violation.is_none() {
+            match msg.protocol {
+                Protocol::StunTurn => rtc_cov::probe!("compliance.ok.stun-turn"),
+                Protocol::Rtp => rtc_cov::probe!("compliance.ok.rtp"),
+                Protocol::Rtcp => rtc_cov::probe!("compliance.ok.rtcp"),
+                Protocol::Quic => rtc_cov::probe!("compliance.ok.quic"),
+            }
+        }
+    }
     CheckedMessage { protocol: msg.protocol, type_key, ts: dgram.ts, stream: dgram.stream, violation }
 }
 

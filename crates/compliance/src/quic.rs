@@ -12,6 +12,7 @@ use rtc_wire::quic::{LongHeader, ShortHeader};
 pub fn check_quic(_dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Option<Violation>) {
     match &msg.kind {
         CandidateKind::QuicLong { .. } => {
+            rtc_cov::probe!("compliance.quic.long");
             let parsed = match LongHeader::parse(&msg.data) {
                 Ok(h) => h,
                 Err(e) => return (TypeKey::QuicLong(0), Some(Violation::from_wire(Criterion::HeaderFieldsValid, e))),
@@ -31,6 +32,7 @@ pub fn check_quic(_dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Op
             (key, None)
         }
         CandidateKind::QuicShortProbe => {
+            rtc_cov::probe!("compliance.quic.short");
             let key = TypeKey::QuicShort;
             // The DPI validated the DCID against the stream's connection
             // IDs; here the fixed bit is re-checked on the first byte.

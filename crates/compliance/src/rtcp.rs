@@ -39,6 +39,14 @@ pub enum TrailerKind {
 
 /// Classify a datagram's trailing bytes.
 pub fn classify_trailer(trailing: &[u8]) -> TrailerKind {
+    #[cfg(feature = "cov-probes")]
+    {
+        match trailing.len() {
+            0 => rtc_cov::probe!("compliance.trailer.none"),
+            4 | 8 | 14 | 20 => rtc_cov::probe!("compliance.trailer.srtcp"),
+            _ => rtc_cov::probe!("compliance.trailer.undefined"),
+        }
+    }
     match trailing.len() {
         0 => TrailerKind::None,
         // An SRTCP trailer is the 4-byte E||index word plus an
@@ -96,6 +104,12 @@ pub fn check_rtcp(dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Opt
 
     let trailer = classify_trailer(&dgram.trailing);
     let encrypted = matches!(trailer, TrailerKind::Srtcp { .. });
+    #[cfg(feature = "cov-probes")]
+    {
+        if encrypted {
+            rtc_cov::probe!("compliance.rtcp.srtcp-regime");
+        }
+    }
 
     // Criteria 3/4 on packet internals — only meaningful in plaintext.
     if !encrypted {

@@ -26,6 +26,14 @@ pub fn check_rtp(_dgram: &DatagramDissection, msg: &DpiMessage) -> (TypeKey, Opt
     // checked parse above.
 
     if let Some(ext) = parsed.extension() {
+        #[cfg(feature = "cov-probes")]
+        {
+            if ext.is_one_byte_form() {
+                rtc_cov::probe!("compliance.rtp.ext-one-byte");
+            } else {
+                rtc_cov::probe!("compliance.rtp.ext-two-byte");
+            }
+        }
         // Criterion 3: the extension mechanism must be a defined one.
         if !registry::rtp_ext_profile_defined(ext.profile) {
             return (

@@ -71,6 +71,12 @@ pub fn check_stun(dgram: &DatagramDissection, msg: &DpiMessage, ctx: &CallContex
     }
     // Criterion 4: a FINGERPRINT must carry the correct CRC-32 (RFC 8489
     // §14.7) — verifiable without keys, unlike MESSAGE-INTEGRITY.
+    #[cfg(feature = "cov-probes")]
+    {
+        if parsed.verify_fingerprint().is_some() {
+            rtc_cov::probe!("compliance.stun.fingerprint-present");
+        }
+    }
     if parsed.verify_fingerprint() == Some(false) {
         return (
             key,
@@ -95,6 +101,7 @@ pub fn check_stun(dgram: &DatagramDissection, msg: &DpiMessage, ctx: &CallContex
     }
     // 5b. Allowed attribute set (strict for TURN indications).
     if let Some(allowed) = registry::stun_allowed_attrs(message_type) {
+        rtc_cov::probe!("compliance.stun.allowed-attr-set");
         for a in parsed.attributes().flatten() {
             if !allowed.contains(&a.typ) {
                 return (

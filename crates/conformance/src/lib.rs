@@ -395,13 +395,28 @@ impl SplitMix64 {
     }
 }
 
+/// Number of distinct mutation operators [`mutate_op`] implements. Op
+/// indices are taken modulo this, so schedulers (the coverage-guided
+/// fuzzer's power schedule) can cycle operators without re-deriving the
+/// count.
+pub const MUTATION_OPS: u64 = 6;
+
 /// Apply one structure-aware mutation to `bytes`: a bit flip, byte
 /// overwrite, truncation, random extension, chunk duplication or adjacent
 /// swap — the mutations that turn a valid packet into the near-valid
 /// malformed inputs real captures contain.
 pub fn mutate(bytes: &[u8], rng: &mut SplitMix64) -> Vec<u8> {
+    let op = rng.next_u64() % MUTATION_OPS;
+    mutate_op(bytes, op, rng)
+}
+
+/// Apply mutation operator `op % MUTATION_OPS` to `bytes`. Exposed so a
+/// scheduler can pick the operator itself (e.g. sweep all operators over
+/// one corpus entry) while reusing exactly the operator bodies — and thus
+/// the RNG-consumption pattern — of [`mutate`].
+pub fn mutate_op(bytes: &[u8], op: u64, rng: &mut SplitMix64) -> Vec<u8> {
     let mut out = bytes.to_vec();
-    match rng.next_u64() % 6 {
+    match op % MUTATION_OPS {
         0 if !out.is_empty() => {
             let i = rng.below(out.len());
             out[i] ^= 1 << rng.below(8);

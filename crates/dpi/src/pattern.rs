@@ -404,6 +404,7 @@ fn rtp_gate(tail: &[u8]) -> bool {
 /// Build the accepted-RTP candidate (an RTP message claims the whole tail).
 #[inline(always)]
 fn rtp_candidate(tail: &[u8], i: usize) -> Candidate {
+    rtc_cov::probe!("dpi.match.rtp");
     Candidate {
         offset: i,
         len: tail.len(),
@@ -647,6 +648,17 @@ fn match_stun(tail: &[u8], offset: usize) -> Option<Candidate> {
         }
         attr_offset += 4 + vlen + (4 - vlen % 4) % 4;
     }
+    #[cfg(feature = "cov-probes")]
+    {
+        if modern {
+            rtc_cov::probe!("dpi.match.stun-modern");
+        } else {
+            rtc_cov::probe!("dpi.match.stun-legacy");
+        }
+        if data_attr.is_some() {
+            rtc_cov::probe!("dpi.match.stun-data-attr");
+        }
+    }
     Some(Candidate {
         offset,
         len: msg.wire_len(),
@@ -672,6 +684,14 @@ fn match_channeldata(tail: &[u8], offset: usize) -> Option<Candidate> {
     if tail.len() < cd.wire_len() || tail.len() - cd.wire_len() > 3 {
         return None;
     }
+    #[cfg(feature = "cov-probes")]
+    {
+        if tail.len() == cd.wire_len() {
+            rtc_cov::probe!("dpi.match.channeldata-exact");
+        } else {
+            rtc_cov::probe!("dpi.match.channeldata-shortfall");
+        }
+    }
     Some(Candidate {
         offset,
         len: cd.wire_len(),
@@ -686,6 +706,7 @@ fn match_rtcp(tail: &[u8], offset: usize) -> Option<Candidate> {
         return None;
     }
     let p = rtc_wire::rtcp::Packet::new_checked(tail).ok()?;
+    rtc_cov::probe!("dpi.match.rtcp");
     Some(Candidate {
         offset,
         len: p.wire_len(),
@@ -735,6 +756,7 @@ fn match_quic_long(tail: &[u8], offset: usize) -> Option<Candidate> {
     }
     let dcid = CidBuf::try_from_slice(h.dcid)?;
     let scid = CidBuf::try_from_slice(h.scid)?;
+    rtc_cov::probe!("dpi.match.quic-long");
     Some(Candidate {
         offset,
         len: tail.len(),
@@ -747,6 +769,7 @@ fn match_quic_long(tail: &[u8], offset: usize) -> Option<Candidate> {
 fn match_quic_short(tail: &[u8], offset: usize) -> Option<Candidate> {
     let b0 = *tail.first()?;
     if offset == 0 && b0 & 0xC0 == 0x40 && tail.len() >= 9 {
+        rtc_cov::probe!("dpi.match.quic-short-probe");
         return Some(Candidate { offset, len: tail.len(), kind: CandidateKind::QuicShortProbe, data_attr: None });
     }
     None

@@ -501,12 +501,18 @@ pub fn resolve_datagram(d: &Datagram, candidates: &[Candidate], ctx: &Validation
             continue;
         }
         // Overlap with the previous top-level message: only RTP-after-RTP
-        // truncation is defined (Zoom's double-RTP, §5.3).
+        // truncation is defined (Zoom's double-RTP, §5.3). The truncated
+        // prefix must itself re-parse as RTP: the original match was gated
+        // against the full tail, and cutting it short can strand a padding
+        // trailer or a CSRC/extension list past the new end — in that case
+        // the second "packet" is a false positive inside the first one's
+        // payload, not a concatenation boundary.
         let truncatable = accepted.last().is_some_and(|a| {
             !a.nested
                 && matches!(a.kind, CandidateKind::Rtp { .. })
                 && matches!(c.kind, CandidateKind::Rtp { .. })
                 && c.offset >= a.offset + rtc_wire::rtp::MIN_HEADER_LEN
+                && rtc_wire::rtp::Packet::new_checked(&payload[a.offset..c.offset]).is_ok()
         });
         if truncatable {
             let prev = accepted.last_mut().expect("just matched");

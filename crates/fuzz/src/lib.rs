@@ -1,0 +1,211 @@
+//! # rtc-fuzz
+//!
+//! A deterministic, coverage-guided, differential fuzzer for the study's
+//! entire parsing stack, built on the vendored offline toolchain alone —
+//! no nightly, no libFuzzer, no sanitizer runtime.
+//!
+//! ## How the pieces fit
+//!
+//! * **Feedback** comes from [`rtc_cov`]: instrumented crates (rtc-wire,
+//!   rtc-pcap, rtc-dpi, rtc-compliance, rtc-shard) mark parser decision
+//!   points with `rtc_cov::probe!`, which bump slots of a process-global
+//!   AFL-style hit-counter map. This crate turns those probes on for its
+//!   whole build graph by enabling each crate's `cov-probes` feature;
+//!   builds without rtc-fuzz compile the probes to nothing.
+//! * **Targets** ([`Target`]) wrap every parser-facing surface: the five
+//!   wire parsers (differentially against `rtc_oracle`'s reference
+//!   decoders via [`rtc_oracle::differential_one`]), the full DPI
+//!   dissect/check datagram path with a reference-decoder cross-check,
+//!   the pcap/pcapng readers, and the rtc-shard plan/checkpoint loaders.
+//! * **The loop** ([`fuzz`]) seeds from the conformance golden vectors,
+//!   mutates with the same structure-aware [`rtc_conformance::mutate`]
+//!   operators (driven by `SplitMix64`), and — when guided — admits
+//!   inputs that light up never-seen coverage into the corpus, with a
+//!   power schedule that favors fresh entries (offline trimming lives in
+//!   [`minimize_corpus_entry`]). Budgets are counted in executions, the
+//!   loop is
+//!   single-threaded, and the DPI is pinned to one thread, so the same
+//!   `(seed, budget)` always reproduces the same corpus, stats and
+//!   findings byte-for-byte.
+//! * **Oracles**: a crash oracle (panics and debug-assertions, caught per
+//!   execution) and the divergence oracle (production vs reference
+//!   decoder/checker disagreement). Every finding is minimized while its
+//!   class still reproduces and printed with a standalone
+//!   `rtc-study fuzz --replay <hex>` command.
+//!
+//! The feedback-free baseline ([`FuzzConfig::guided`]` = false`) mutates
+//! only the seeds; [`head_to_head`] runs both arms on an equal budget to
+//! demonstrate the guided loop's coverage advantage.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod target;
+
+pub use engine::{
+    fuzz, input_signature, minimize_corpus_entry, minimize_input, replay, CorpusEntry, Finding, FuzzConfig,
+    FuzzReport, TargetReport,
+};
+pub use target::{dpi_config, RunOutcome, Target};
+
+use serde_json::{json, Value};
+use std::io;
+use std::path::Path;
+
+/// Lowercase hex encoding (replay payloads).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decode a `hex_encode` string (whitespace tolerated around it).
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2).map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok()).collect()
+}
+
+/// Render a run's statistics as the deterministic `stats.json` document
+/// (serde_json maps are sorted, and the report carries no timestamps, so
+/// equal runs produce byte-identical text).
+pub fn stats_json(report: &FuzzReport) -> Value {
+    let mut targets = serde_json::Map::new();
+    for t in &report.targets {
+        targets.insert(
+            t.target.label().to_string(),
+            json!({
+                "executions": t.executions,
+                "corpus": t.corpus.len(),
+                "unique_signatures": t.unique_signatures,
+                "coverage_slots": t.coverage_slots,
+                "findings": t.findings.len(),
+            }),
+        );
+    }
+    let findings: Vec<Value> = report
+        .findings()
+        .map(|f| {
+            json!({
+                "target": f.target.label(),
+                "kind": f.kind.clone(),
+                "detail": f.detail.clone(),
+                "input_hex": hex_encode(&f.input),
+                "replay": f.replay_command(),
+            })
+        })
+        .collect();
+    json!({
+        "magic": "rtc-fuzz-stats",
+        "guided": report.guided,
+        "seed": report.seed,
+        "budget_per_target": report.budget,
+        "targets": Value::Object(targets),
+        "total_unique_signatures": report.total_unique_signatures(),
+        "findings": findings,
+    })
+}
+
+/// Persist a run to `dir`: `stats.json` at the top, then per target a
+/// `corpus/` of `<index>-<signature>.bin` entries and a `findings/` of
+/// `<index>-<kind>.bin`/`.txt` pairs. Every name and byte is a pure
+/// function of the run's outcome, so two identical runs write identical
+/// trees (the determinism test diffs them).
+pub fn persist(report: &FuzzReport, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("stats.json"), format!("{:#}\n", stats_json(report)))?;
+    for t in &report.targets {
+        let corpus_dir = dir.join(t.target.label()).join("corpus");
+        std::fs::create_dir_all(&corpus_dir)?;
+        for (i, entry) in t.corpus.iter().enumerate() {
+            std::fs::write(corpus_dir.join(format!("{i:04}-{:016x}.bin", entry.signature)), &entry.bytes)?;
+        }
+        if !t.findings.is_empty() {
+            let findings_dir = dir.join(t.target.label()).join("findings");
+            std::fs::create_dir_all(&findings_dir)?;
+            for (i, f) in t.findings.iter().enumerate() {
+                std::fs::write(findings_dir.join(format!("{i:02}-{}.bin", f.kind)), &f.input)?;
+                std::fs::write(
+                    findings_dir.join(format!("{i:02}-{}.txt", f.kind)),
+                    format!("[{}] {}\nreplay: {}\n", f.kind, f.detail, f.replay_command()),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the guided engine and the feedback-free baseline on the **same**
+/// seeds, budget and mutation operators, returning `(guided, baseline)`.
+pub fn head_to_head(config: &FuzzConfig) -> (FuzzReport, FuzzReport) {
+    let guided = fuzz(&FuzzConfig { guided: true, ..config.clone() });
+    let baseline = fuzz(&FuzzConfig { guided: false, ..config.clone() });
+    (guided, baseline)
+}
+
+/// Render the head-to-head comparison as the committed markdown report.
+pub fn render_head_to_head(guided: &FuzzReport, baseline: &FuzzReport) -> String {
+    let mut out = String::new();
+    out.push_str("# Coverage-guided vs feedback-free: equal-budget head-to-head\n\n");
+    out.push_str(&format!(
+        "Generated by `rtc-study fuzz --head-to-head --budget {} --seed {}`.\n\n\
+         Both arms share the seeds, the mutation operators and the per-target\n\
+         execution budget; the only difference is that the guided arm admits\n\
+         coverage-novel inputs into its corpus while the baseline only ever\n\
+         mutates the seeds.\n\n",
+        guided.budget, guided.seed,
+    ));
+    out.push_str(
+        "| target | guided signatures | baseline signatures | guided slots | baseline slots | guided corpus |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|\n");
+    for (g, b) in guided.targets.iter().zip(&baseline.targets) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            g.target.label(),
+            g.unique_signatures,
+            b.unique_signatures,
+            g.coverage_slots,
+            b.coverage_slots,
+            g.corpus.len(),
+        ));
+    }
+    out.push_str(&format!(
+        "| **total** | **{}** | **{}** | | | |\n\n",
+        guided.total_unique_signatures(),
+        baseline.total_unique_signatures(),
+    ));
+    let (g, b) = (guided.total_unique_signatures(), baseline.total_unique_signatures());
+    out.push_str(&format!(
+        "Guided explores **{g}** distinct coverage signatures against the\nbaseline's **{b}** on the same budget ({}).\n",
+        if g > b { "strictly more" } else { "NOT more — investigate" },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes = vec![0x00, 0x7F, 0xFF, 0x12];
+        assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
+        assert_eq!(hex_decode("zz"), None);
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode(" 0a0b \n"), Some(vec![0x0A, 0x0B]), "whitespace tolerated");
+    }
+
+    #[test]
+    fn stats_json_is_stable_shape() {
+        let report = FuzzReport { guided: true, seed: 1, budget: 0, targets: vec![] };
+        let v = stats_json(&report);
+        assert_eq!(v["magic"], "rtc-fuzz-stats");
+        assert_eq!(v["total_unique_signatures"], 0);
+    }
+}

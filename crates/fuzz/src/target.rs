@@ -1,0 +1,279 @@
+//! The fuzzable entry points: every parser-facing surface of the study
+//! stack, each with its seed corpus and its divergence oracle.
+
+use bytes::Bytes;
+use rtc_conformance::{vectors, Expect, Parser};
+use rtc_core::capture::ExperimentConfig;
+use rtc_dpi::{CandidateKind, DpiConfig, DpiMessage};
+use rtc_oracle::{differential_one, refdec};
+use rtc_pcap::trace::Datagram;
+use rtc_pcap::Timestamp;
+use rtc_shard::{CheckpointHeader, CorpusPlan, ShardCheckpoint};
+use rtc_wire::ip::FiveTuple;
+use std::path::Path;
+
+/// One fuzzable entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Target {
+    /// `stun::Message::new_checked` differentially against the oracle.
+    Stun,
+    /// `stun::ChannelData::new_checked` differentially against the oracle.
+    ChannelData,
+    /// `rtp::Packet::new_checked` differentially against the oracle.
+    Rtp,
+    /// `rtcp::Packet::new_checked` differentially against the oracle.
+    Rtcp,
+    /// `quic::Header::parse` differentially against the oracle.
+    Quic,
+    /// The full datagram path: DPI extraction, validation, resolution and
+    /// compliance checking, with every extracted message cross-checked
+    /// against the reference decoders.
+    Datagram,
+    /// `rtc_pcap::parse_any` (classic and pcapng) plus per-record
+    /// link-layer decoding.
+    Pcap,
+    /// `CorpusPlan::parse_text` (study plan loader).
+    Plan,
+    /// `ShardCheckpoint::parse_text` (shard resume loader).
+    Checkpoint,
+}
+
+/// What one execution of a target reported (panics are caught separately
+/// by the engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No oracle fired.
+    Clean,
+    /// Production and reference disagreed.
+    Divergence {
+        /// Disagreement category (`parse`, `verdict`, `decode`).
+        kind: String,
+        /// Human-readable description of both sides.
+        detail: String,
+    },
+}
+
+impl Target {
+    /// Every target, in a fixed order (stats and corpus layout follow it).
+    pub const ALL: [Target; 9] = [
+        Target::Stun,
+        Target::ChannelData,
+        Target::Rtp,
+        Target::Rtcp,
+        Target::Quic,
+        Target::Datagram,
+        Target::Pcap,
+        Target::Plan,
+        Target::Checkpoint,
+    ];
+
+    /// Stable CLI / corpus-directory label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Target::Stun => "stun",
+            Target::ChannelData => "channeldata",
+            Target::Rtp => "rtp",
+            Target::Rtcp => "rtcp",
+            Target::Quic => "quic",
+            Target::Datagram => "datagram",
+            Target::Pcap => "pcap",
+            Target::Plan => "plan",
+            Target::Checkpoint => "checkpoint",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<Target> {
+        Target::ALL.into_iter().find(|t| t.label() == s)
+    }
+
+    /// The wire parser behind a differential target, if it is one.
+    fn parser(self) -> Option<Parser> {
+        match self {
+            Target::Stun => Some(Parser::Stun),
+            Target::ChannelData => Some(Parser::ChannelData),
+            Target::Rtp => Some(Parser::Rtp),
+            Target::Rtcp => Some(Parser::Rtcp),
+            Target::Quic => Some(Parser::Quic),
+            _ => None,
+        }
+    }
+
+    /// The seed corpus: named byte strings known to exercise the target's
+    /// accept paths (plus its documented reject edges).
+    pub fn seeds(self) -> Vec<(String, Vec<u8>)> {
+        if let Some(parser) = self.parser() {
+            // Golden vectors of this parser — accepted AND rejected, so the
+            // mutator starts from both sides of every boundary.
+            return vectors()
+                .into_iter()
+                .filter(|v| v.parser == parser)
+                .map(|v| (v.name.to_string(), v.bytes))
+                .collect();
+        }
+        match self {
+            Target::Datagram => {
+                // Every accepted golden vector doubles as a datagram
+                // payload: the DPI must find the message at offset 0.
+                let mut out: Vec<(String, Vec<u8>)> = vectors()
+                    .into_iter()
+                    .filter(|v| v.expect == Expect::Accept)
+                    .map(|v| (v.name.to_string(), v.bytes))
+                    .collect();
+                // And one multi-message compound: STUN followed by trailing
+                // bytes, the nested/overlap resolution paths.
+                let mut compound = rtc_wire::stun::MessageBuilder::new(0x0001, [9; 12]).build_with_fingerprint();
+                compound.extend_from_slice(&[0xAA; 6]);
+                out.push(("stun-with-trailing".into(), compound));
+                out
+            }
+            Target::Pcap => {
+                let mut trace = rtc_pcap::Trace::new();
+                trace.push(rtc_pcap::Record { ts: Timestamp::from_micros(1), data: Bytes::from_static(&[0u8; 60]) });
+                trace.push(rtc_pcap::Record {
+                    ts: Timestamp::from_micros(2),
+                    data: Bytes::from_static(&[0xFFu8; 48]),
+                });
+                vec![
+                    ("classic-two-records".into(), rtc_pcap::to_bytes(&trace)),
+                    ("pcapng-two-records".into(), rtc_pcap::pcapng::to_bytes(&trace)),
+                ]
+            }
+            Target::Plan => {
+                let plan = CorpusPlan { tier: "paper".into(), shards: 4, experiment: ExperimentConfig::smoke(7) };
+                vec![(
+                    "plan-smoke".into(),
+                    serde_json::to_string(&plan.to_json()).expect("plan serializes").into_bytes(),
+                )]
+            }
+            Target::Checkpoint => {
+                let ckpt = ShardCheckpoint::fresh(expect_header());
+                vec![(
+                    "checkpoint-fresh".into(),
+                    serde_json::to_string(&ckpt.to_json()).expect("checkpoint serializes").into_bytes(),
+                )]
+            }
+            _ => unreachable!("parser targets handled above"),
+        }
+    }
+
+    /// Execute the target once over `bytes`. Panics (the crash oracle)
+    /// propagate to the engine's `catch_unwind`.
+    pub fn run(self, bytes: &[u8]) -> RunOutcome {
+        if let Some(parser) = self.parser() {
+            return match differential_one(parser, bytes) {
+                Some(d) => RunOutcome::Divergence { kind: d.kind, detail: d.detail },
+                None => RunOutcome::Clean,
+            };
+        }
+        match self {
+            Target::Datagram => run_datagram(bytes),
+            Target::Pcap => {
+                if let Ok(trace) = rtc_pcap::parse_any(bytes) {
+                    for r in &trace.records {
+                        let _ = rtc_pcap::decode_record(r);
+                    }
+                    let _ = trace.time_range();
+                }
+                RunOutcome::Clean
+            }
+            Target::Plan => {
+                if let Ok(text) = std::str::from_utf8(bytes) {
+                    let _ = CorpusPlan::parse_text(text, Path::new("<fuzz>"));
+                }
+                RunOutcome::Clean
+            }
+            Target::Checkpoint => {
+                if let Ok(text) = std::str::from_utf8(bytes) {
+                    let _ = ShardCheckpoint::parse_text(text, Path::new("<fuzz>"), &expect_header());
+                }
+                RunOutcome::Clean
+            }
+            _ => unreachable!("parser targets handled above"),
+        }
+    }
+}
+
+/// The fixed identity fuzzed checkpoints are validated against.
+fn expect_header() -> CheckpointHeader {
+    CheckpointHeader { tier: "paper".into(), seed: 42, shards: 8, shard: 3 }
+}
+
+/// The DPI configuration every fuzz execution uses: strictly sequential
+/// (threads pinned to 1, parallel fan-out disabled) so coverage and
+/// corpus evolution cannot depend on scheduling or the `RTC_DPI_THREADS`
+/// environment.
+pub fn dpi_config() -> DpiConfig {
+    DpiConfig { threads: 1, parallel_threshold: usize::MAX, ..DpiConfig::default() }
+}
+
+/// Full pipeline over one fuzzed datagram payload: dissect, check
+/// compliance, and cross-check every extracted message against the
+/// reference decoders (the same invariant `rtc_oracle::rejudge_call`
+/// enforces on emulated captures — the DPI must never emit a message the
+/// independent grammar rejects).
+fn run_datagram(bytes: &[u8]) -> RunOutcome {
+    let d = Datagram {
+        ts: Timestamp::ZERO,
+        five_tuple: FiveTuple::udp("10.0.0.1:1000".parse().unwrap(), "10.0.0.2:2000".parse().unwrap()),
+        payload: Bytes::copy_from_slice(bytes),
+    };
+    let call = rtc_dpi::dissect_call(&[d], &dpi_config());
+    let _ = rtc_compliance::check_call(&call);
+    for (_dgram, msg) in call.messages() {
+        if let Err(e) = ref_decodes(msg) {
+            return RunOutcome::Divergence {
+                kind: "decode".into(),
+                detail: format!("DPI extracted a {:?} message the reference decoder rejects: {e}", msg.protocol),
+            };
+        }
+    }
+    RunOutcome::Clean
+}
+
+/// Whether the oracle's own decoder accepts a DPI-extracted message
+/// (mirrors the dispatch of the oracle's `rejudge_call` decode pass).
+fn ref_decodes(msg: &DpiMessage) -> Result<(), String> {
+    match &msg.kind {
+        CandidateKind::Stun { .. } => refdec::decode_stun(&msg.data).map(drop),
+        CandidateKind::ChannelData { .. } => refdec::decode_channeldata(&msg.data).map(drop),
+        CandidateKind::Rtp { .. } => refdec::decode_rtp(&msg.data).map(drop),
+        CandidateKind::Rtcp { .. } => refdec::decode_rtcp(&msg.data).map(drop),
+        CandidateKind::QuicLong { .. } => refdec::decode_quic_long(&msg.data).map(drop),
+        CandidateKind::QuicShortProbe => refdec::decode_quic_short(&msg.data, 0).map(drop),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_target_has_seeds_and_runs_them_clean() {
+        for t in Target::ALL {
+            let seeds = t.seeds();
+            assert!(!seeds.is_empty(), "{} has seeds", t.label());
+            for (name, bytes) in &seeds {
+                // Seeds must execute without panicking; golden reject
+                // vectors are fine (reject agreement is Clean).
+                let out = t.run(bytes);
+                assert_eq!(out, RunOutcome::Clean, "{}/{name}", t.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for t in Target::ALL {
+            assert_eq!(Target::parse(t.label()), Some(t));
+        }
+        assert_eq!(Target::parse("nope"), None);
+    }
+
+    #[test]
+    fn datagram_target_handles_arbitrary_bytes() {
+        for len in [0usize, 1, 7, 64] {
+            let _ = Target::Datagram.run(&vec![0x5Au8; len]);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The engine's reproducibility contract: the same `(seed, budget,
+//! targets)` configuration produces a byte-identical persisted tree —
+//! stats, corpus files and findings — on every run, regardless of the
+//! `RTC_DPI_THREADS` environment (the loop is single-threaded and pins
+//! the DPI to one thread precisely so scheduling can never leak into
+//! coverage or corpus evolution).
+
+use rtc_fuzz::{fuzz, persist, stats_json, FuzzConfig, Target};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn config() -> FuzzConfig {
+    FuzzConfig {
+        budget: 300,
+        seed: 0xD37E_2217,
+        targets: vec![Target::Stun, Target::Datagram, Target::Plan],
+        guided: true,
+        max_len: 2_048,
+    }
+}
+
+/// Collect every file under `dir` as `relative path → bytes`.
+fn tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+#[test]
+fn same_config_produces_byte_identical_artifacts() {
+    let base = std::env::temp_dir().join(format!("rtc-fuzz-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Three runs: twice under one thread override, once under another —
+    // the dissection inside the datagram target must not see either.
+    let mut trees = Vec::new();
+    let mut stats = Vec::new();
+    for (i, threads) in ["1", "1", "8"].iter().enumerate() {
+        std::env::set_var("RTC_DPI_THREADS", threads);
+        let report = fuzz(&config());
+        let dir = base.join(format!("run{i}"));
+        persist(&report, &dir).unwrap();
+        trees.push(tree(&dir));
+        stats.push(format!("{:#}", stats_json(&report)));
+    }
+    std::env::remove_var("RTC_DPI_THREADS");
+
+    assert_eq!(stats[0], stats[1], "same env: stats must be identical");
+    assert_eq!(stats[0], stats[2], "RTC_DPI_THREADS must not influence the run");
+    assert_eq!(trees[0], trees[1], "same env: persisted trees must be identical");
+    assert_eq!(trees[0], trees[2], "RTC_DPI_THREADS must not influence persisted artifacts");
+    assert!(trees[0].contains_key("stats.json"));
+    assert!(trees[0].keys().any(|k| k.starts_with("datagram/corpus/")), "corpus files persisted");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn fuzz_dpi_is_pinned_single_threaded() {
+    // The determinism above rests on this: the datagram target hands the
+    // DPI a one-thread config with parallel fan-out disabled.
+    let c = rtc_fuzz::dpi_config();
+    assert_eq!(c.threads, 1);
+    assert_eq!(c.parallel_threshold, usize::MAX);
+}

@@ -1,0 +1,39 @@
+//! The guided loop must beat the feedback-free baseline on an equal
+//! execution budget — the engine's reason to exist. Deterministic seeds
+//! make the comparison exact, so this is a hard assertion, not a trend.
+
+use rtc_fuzz::{head_to_head, render_head_to_head, FuzzConfig, Target};
+
+#[test]
+fn guided_beats_feedback_free_on_equal_budget() {
+    let config = FuzzConfig {
+        budget: 800,
+        seed: 0x5EED_F077,
+        targets: vec![Target::Datagram, Target::Rtcp, Target::ChannelData],
+        guided: true,
+        max_len: 4_096,
+    };
+    let (guided, baseline) = head_to_head(&config);
+
+    assert!(guided.guided && !baseline.guided);
+    assert_eq!(guided.budget, baseline.budget);
+    for (g, b) in guided.targets.iter().zip(&baseline.targets) {
+        assert_eq!(g.target, b.target);
+        assert_eq!(g.executions, b.executions, "{}: equal budget spent", g.target.label());
+    }
+
+    let (g, b) = (guided.total_unique_signatures(), baseline.total_unique_signatures());
+    assert!(g > b, "guided must explore strictly more coverage signatures: guided={g} baseline={b}");
+
+    // The guided corpus grew beyond the shared seeds; the baseline's
+    // never does (it is the seeds, by construction).
+    let seeds: usize = config.targets.iter().map(|t| t.seeds().len()).sum();
+    let guided_corpus: usize = guided.targets.iter().map(|t| t.corpus.len()).sum();
+    let baseline_corpus: usize = baseline.targets.iter().map(|t| t.corpus.len()).sum();
+    assert!(guided_corpus > seeds, "guided corpus grew: {guided_corpus} > {seeds}");
+    assert_eq!(baseline_corpus, seeds, "baseline corpus is exactly the seeds");
+
+    let rendered = render_head_to_head(&guided, &baseline);
+    assert!(rendered.contains("strictly more"), "{rendered}");
+    assert!(rendered.contains("| datagram |"));
+}

@@ -1,0 +1,88 @@
+//! Property tests for the corpus minimizer: minimization must preserve
+//! the exact coverage signature that earned an input its corpus place,
+//! never grow the input, and reach a fixed point; and every corpus entry
+//! a guided run retains must carry the signature its bytes actually
+//! produce on replay.
+
+use proptest::prelude::*;
+use rtc_fuzz::{fuzz, input_signature, minimize_corpus_entry, minimize_input, replay, FuzzConfig, Target};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Signature preservation: the minimized input lights up exactly the
+    /// bucketed coverage of the original, on every target class (a wire
+    /// parser, the full datagram pipeline, and a text loader).
+    #[test]
+    fn minimized_input_preserves_coverage_signature(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+        which in 0usize..3,
+    ) {
+        let target = [Target::Rtp, Target::Datagram, Target::Checkpoint][which];
+        let original = input_signature(target, &bytes);
+        let (minimized, sig) = minimize_corpus_entry(target, &bytes);
+        prop_assert_eq!(sig, original, "reported signature is the original input's");
+        prop_assert_eq!(input_signature(target, &minimized), original, "minimized bytes reproduce it");
+        prop_assert!(minimized.len() <= bytes.len(), "minimization never grows the input");
+    }
+
+    /// The schedule reaches a fixed point: minimizing a minimized input
+    /// changes nothing (so offline corpus trimming is idempotent).
+    #[test]
+    fn minimization_is_idempotent(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let target = Target::Stun;
+        let (once, sig) = minimize_corpus_entry(target, &bytes);
+        let (twice, sig2) = minimize_corpus_entry(target, &once);
+        prop_assert_eq!(&twice, &once);
+        prop_assert_eq!(sig2, sig);
+    }
+
+    /// The generic schedule keeps its predicate true throughout and ends
+    /// on an input still satisfying it.
+    #[test]
+    fn minimize_input_keeps_predicate_true(
+        prefix in proptest::collection::vec(any::<u8>(), 0..48),
+        suffix in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let needle = [0xDE, 0xAD, 0xBE];
+        let mut bytes = prefix;
+        bytes.extend_from_slice(&needle);
+        bytes.extend_from_slice(&suffix);
+        let contains = |b: &[u8]| b.windows(needle.len()).any(|w| w == needle);
+        let out = minimize_input(&bytes, contains);
+        prop_assert!(contains(&out));
+        prop_assert!(out.len() <= bytes.len());
+        prop_assert_eq!(out.as_slice(), &needle, "nothing but the needle survives");
+    }
+}
+
+/// Every corpus entry a guided run retains replays to the signature the
+/// engine recorded for it — corpus files on disk are honest reproducers.
+#[test]
+fn retained_corpus_entries_replay_their_signatures() {
+    let config = FuzzConfig {
+        budget: 250,
+        seed: 0xC0FF_EE11,
+        targets: vec![Target::Rtcp, Target::Datagram],
+        guided: true,
+        max_len: 2_048,
+    };
+    let report = fuzz(&config);
+    for t in &report.targets {
+        assert!(!t.corpus.is_empty());
+        for entry in &t.corpus {
+            assert_eq!(
+                input_signature(t.target, &entry.bytes),
+                entry.signature,
+                "{} corpus entry signature mismatch",
+                t.target.label()
+            );
+        }
+        // And none of the retained entries is a latent finding: replaying
+        // a corpus entry (as the printed replay command would) stays clean.
+        for entry in &t.corpus {
+            let (desc, bug) = replay(t.target, &entry.bytes);
+            assert!(!bug, "{desc}");
+        }
+    }
+}

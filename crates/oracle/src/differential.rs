@@ -508,6 +508,56 @@ fn oracle_judge_parser(parser: Parser, bytes: &[u8]) -> (String, Option<u8>) {
     (v.type_key, v.criterion)
 }
 
+/// Run the full production-vs-oracle differential on **one** input: the
+/// production parser and the reference decoder must agree on
+/// accept/reject, and where both accept, the production and reference
+/// checkers must classify violations identically.
+///
+/// Returns the divergence — `kind` is `parse` or `verdict`, the repro is
+/// truncation-minimized, and `scenario` is left empty for the caller to
+/// fill in — or `None` when the two sides agree. This is the per-input
+/// unit of [`run_mutations`], exported so the coverage-guided fuzzer can
+/// use the same divergence oracle on inputs it discovers.
+pub fn differential_one(parser: Parser, bytes: &[u8]) -> Option<Divergence> {
+    let prod_ok = parser.parse(bytes).is_ok();
+    let orac = oracle_parse(parser, bytes);
+    if prod_ok != orac.is_ok() {
+        let repro = minimize(bytes, |b| parser.parse(b).is_ok() != oracle_parse(parser, b).is_ok());
+        return Some(Divergence {
+            scenario: String::new(),
+            kind: "parse".into(),
+            detail: format!(
+                "production {} but oracle {}",
+                if prod_ok { "accepts" } else { "rejects" },
+                match orac {
+                    Ok(()) => "accepts".to_string(),
+                    Err(e) => format!("rejects ({e})"),
+                },
+            ),
+            repro: Some(repro),
+        });
+    }
+    if !prod_ok {
+        return None;
+    }
+    let prod = prod_judge_parser(parser, bytes);
+    let orac = oracle_judge_parser(parser, bytes);
+    if prod != orac {
+        let repro = minimize(bytes, |b| {
+            parser.parse(b).is_ok()
+                && oracle_parse(parser, b).is_ok()
+                && prod_judge_parser(parser, b) != oracle_judge_parser(parser, b)
+        });
+        return Some(Divergence {
+            scenario: String::new(),
+            kind: "verdict".into(),
+            detail: format!("production {prod:?} vs oracle {orac:?}"),
+            repro: Some(repro),
+        });
+    }
+    None
+}
+
 /// Drive `cases` mutated conformance vectors through both sides.
 ///
 /// Every case starts from an accepted golden vector, applies 1–3 mutation
@@ -529,44 +579,14 @@ pub fn run_mutations(cases: u64, seed: u64) -> MutationReport {
         }
         let scenario = format!("case {i} (seed {seed}, from `{}`)", v.name);
 
-        let prod_ok = v.parser.parse(&bytes).is_ok();
-        let orac = oracle_parse(v.parser, &bytes);
-        if prod_ok != orac.is_ok() {
-            let repro = minimize(&bytes, |b| v.parser.parse(b).is_ok() != oracle_parse(v.parser, b).is_ok());
-            out.divergences.push(Divergence {
-                scenario,
-                kind: "parse".into(),
-                detail: format!(
-                    "production {} but oracle {}",
-                    if prod_ok { "accepts" } else { "rejects" },
-                    match orac {
-                        Ok(()) => "accepts".to_string(),
-                        Err(e) => format!("rejects ({e})"),
-                    },
-                ),
-                repro: Some(repro),
-            });
-            continue;
+        let divergence = differential_one(v.parser, &bytes);
+        let parse_diverged = divergence.as_ref().is_some_and(|d| d.kind == "parse");
+        if !parse_diverged && v.parser.parse(&bytes).is_ok() {
+            out.judged += 1;
         }
-        if !prod_ok {
-            continue;
-        }
-
-        out.judged += 1;
-        let prod = prod_judge_parser(v.parser, &bytes);
-        let orac = oracle_judge_parser(v.parser, &bytes);
-        if prod != orac {
-            let repro = minimize(&bytes, |b| {
-                v.parser.parse(b).is_ok()
-                    && oracle_parse(v.parser, b).is_ok()
-                    && prod_judge_parser(v.parser, b) != oracle_judge_parser(v.parser, b)
-            });
-            out.divergences.push(Divergence {
-                scenario,
-                kind: "verdict".into(),
-                detail: format!("production {:?} vs oracle {:?}", prod, orac),
-                repro: Some(repro),
-            });
+        if let Some(mut d) = divergence {
+            d.scenario = scenario;
+            out.divergences.push(d);
         }
     }
 

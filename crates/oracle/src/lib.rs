@@ -35,7 +35,8 @@ pub mod refdec;
 pub mod refreg;
 
 pub use differential::{
-    dump_repros, rejudge_call, run_matrix, run_mutations, Divergence, MatrixReport, MutationReport,
+    differential_one, dump_repros, minimize, oracle_parse, rejudge_call, run_matrix, run_mutations, Divergence,
+    MatrixReport, MutationReport,
 };
 pub use golden::{bless_to, check_against, golden_dir, pinned_config, GoldenDiff};
 pub use refcheck::{RefContext, RefContextBuilder, RefVerdict};

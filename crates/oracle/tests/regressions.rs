@@ -105,6 +105,90 @@ fn container_gap_vector_is_proprietary_header_and_oracle_agrees() {
     crosscheck(&dgrams, &out);
 }
 
+/// Decode the `--replay` hex payload of a fuzz finding.
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2));
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+}
+
+/// Every message the DPI recovered must be accepted by the independent
+/// reference decoder — the invariant the datagram fuzz target enforces.
+fn all_messages_ref_decode(out: &rtc_core::dpi::CallDissection) {
+    for (_, msg) in out.messages() {
+        let decoded = match &msg.kind {
+            CandidateKind::Stun { .. } => refdec::decode_stun(&msg.data).map(drop),
+            CandidateKind::ChannelData { .. } => refdec::decode_channeldata(&msg.data).map(drop),
+            CandidateKind::Rtp { .. } => refdec::decode_rtp(&msg.data).map(drop),
+            CandidateKind::Rtcp { .. } => refdec::decode_rtcp(&msg.data).map(drop),
+            CandidateKind::QuicLong { .. } => refdec::decode_quic_long(&msg.data).map(drop),
+            CandidateKind::QuicShortProbe => refdec::decode_quic_short(&msg.data, 0).map(drop),
+        };
+        decoded.unwrap_or_else(|e| panic!("reference decoder rejects recovered {:?}: {e}", msg.kind));
+    }
+}
+
+/// The fuzz-found RTP-truncation vectors (`rtc-study fuzz --target
+/// datagram`, seed 0x5EED_F077): the RTP-after-RTP truncation rule
+/// (Zoom's double-RTP, §5.3) historically cut the previous packet at the
+/// next candidate's offset checking only that a minimal header remained.
+/// The original match was length-gated against the *full* tail, so the
+/// cut could strand a padding trailer or a CSRC list past the new end —
+/// and the DPI emitted an "RTP" message the reference decoder rejects.
+/// The fix re-parses the truncated prefix and refuses the truncation when
+/// it no longer stands alone as RTP.
+#[test]
+fn fuzz_rtp_truncation_blobs_stay_decodable() {
+    // Minimized fuzzer inputs, verbatim. Historically diverged with
+    // "padding count 18 is invalid for a 28-byte packet" and
+    // "4 CSRCs overrun the 12-byte buffer" respectively.
+    const STRANDED_PADDING: &str = "a442000004102112a442070707727463008028000480000400102112a442000400102112a4420707a442000004102112a44207078028000480002112a4420707a442000004102112a4420707070707070707802200037274630007070707802200037274630080280004f212a44207070707070707070707070780220003727463008028";
+    const CSRC_OVERRUN: &str = "a442000004102112a44207070780228028000480000400102112a442000480000400102128000480000400102112a442000400102112a4420707a442000004102112a4420707a442000400102112a4420707a442000004102112a44207070707070707070707802200037274630080280004";
+    for hex in [STRANDED_PADDING, CSRC_OVERRUN] {
+        let dgrams = vec![dgram(0, unhex(hex))];
+        let out = dissect_call(&dgrams, &DpiConfig::default());
+        all_messages_ref_decode(&out);
+    }
+}
+
+/// Constructive minimal repros of the two fuzz-found truncation classes.
+/// In both, a validated RTP packet carries payload bytes that *look* like
+/// another RTP header, so the resolver sees an overlapping RTP candidate
+/// at offset 12 — but cutting the packet there would orphan its padding
+/// trailer (first vector) or its CSRC list (second vector). The resolver
+/// must keep the packet whole and drop the interior false positive.
+#[test]
+fn rtp_truncation_keeps_invalid_prefixes_whole() {
+    let ssrc = 0x1111_1111;
+    // Embedded lookalike: a plain 12-byte RTP header reusing the
+    // validated SSRC, so the interior candidate passes stream validation.
+    let lookalike = PacketBuilder::new(96, 99, 0, ssrc).build();
+
+    // P bit set, 8 padding octets: truncating at offset 12 would leave a
+    // 12-byte packet whose last byte (SSRC low byte 0x11 = 17) reads as a
+    // padding count larger than the packet.
+    let padded = PacketBuilder::new(96, 5, 0, ssrc).payload(lookalike.clone()).padding(8).build();
+
+    // CC=1 (16-byte header) whose CSRC starts with 0x80 so offset 12 scans
+    // as an RTP candidate: truncating there would leave a 12-byte packet
+    // whose declared CSRC overruns it. The lookalike's SSRC field lands on
+    // payload bytes 4..8.
+    let mut tail = vec![0u8; 4];
+    tail.extend_from_slice(&ssrc.to_be_bytes());
+    let with_csrc = PacketBuilder::new(96, 6, 0, ssrc).csrc(0x8061_6263).payload(tail).build();
+
+    for crafted in [padded, with_csrc] {
+        let mut dgrams = rtp_preamble(ssrc);
+        dgrams.push(dgram(100, crafted.clone()));
+        let out = dissect_call(&dgrams, &DpiConfig::default());
+        let last = out.datagrams.last().unwrap();
+        assert_eq!(last.messages.len(), 1, "one whole RTP message, no bogus split: {last:?}");
+        assert!(matches!(last.messages[0].kind, CandidateKind::Rtp { .. }), "{last:?}");
+        assert_eq!(last.messages[0].data.len(), crafted.len(), "message spans the whole packet");
+        all_messages_ref_decode(&out);
+        crosscheck(&dgrams, &out);
+    }
+}
+
 /// The compound-continuation vector: the historical rule consulted only
 /// `accepted.last()`, so an RTCP packet continuing a compound whose
 /// previous accepted entry was *nested* (inside a ChannelData or STUN DATA

@@ -50,6 +50,18 @@ impl core::fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Coverage probe on malformed-capture rejections: each distinct
+/// constraint string is its own rtc-cov slot. Compiled out without the
+/// `cov-probes` feature.
+#[inline]
+fn malformed(what: &'static str) -> Error {
+    #[cfg(feature = "cov-probes")]
+    {
+        rtc_cov::hit(rtc_cov::dynamic_id(&["pcap-error", what]));
+    }
+    Error::Malformed(what)
+}
+
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Error {
         Error::Io(e)
@@ -144,7 +156,16 @@ impl<R: Read> Reader<R> {
             }
         };
         let link_code = read_u32(&h[20..24]);
-        let link_type = LinkType::from_code(link_code).ok_or(Error::Malformed("unsupported link type"))?;
+        let link_type = LinkType::from_code(link_code).ok_or_else(|| malformed("unsupported link type"))?;
+        #[cfg(feature = "cov-probes")]
+        {
+            match (swapped, nanos) {
+                (false, false) => rtc_cov::probe!("pcap.header.be-micros"),
+                (false, true) => rtc_cov::probe!("pcap.header.be-nanos"),
+                (true, false) => rtc_cov::probe!("pcap.header.le-micros"),
+                (true, true) => rtc_cov::probe!("pcap.header.le-nanos"),
+            }
+        }
         Ok(Reader { inner, header: FileHeader { swapped, nanos, link_type }, arena: bytes::BytesMut::new() })
     }
 
@@ -175,10 +196,10 @@ impl<R: Read> Reader<R> {
         let incl_len = read_u32(&h[8..12]) as usize;
         let orig_len = read_u32(&h[12..16]) as usize;
         if incl_len > DEFAULT_SNAPLEN as usize {
-            return Err(Error::Malformed("record exceeds snaplen"));
+            return Err(malformed("record exceeds snaplen"));
         }
         if incl_len > orig_len {
-            return Err(Error::Malformed("incl_len > orig_len"));
+            return Err(malformed("incl_len > orig_len"));
         }
         let micros = if self.header.nanos { ts_frac / 1000 } else { ts_frac };
         // Carve the record out of the arena. `reserve` reuses spare
@@ -191,6 +212,7 @@ impl<R: Read> Reader<R> {
         self.arena.resize(incl_len, 0);
         self.inner.read_exact(&mut self.arena[..incl_len])?;
         let data = self.arena.split_to(incl_len).freeze();
+        rtc_cov::probe!("pcap.record.accept");
         Ok(Some(Record { ts: Timestamp::from_micros(ts_sec * 1_000_000 + micros), data }))
     }
 
@@ -284,8 +306,10 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
 /// section-header magic, anything else is tried as classic pcap.
 pub fn parse_any(bytes: &[u8]) -> Result<Trace> {
     if pcapng::sniff(bytes) {
+        rtc_cov::probe!("pcap.sniff.pcapng");
         pcapng::parse(bytes)
     } else {
+        rtc_cov::probe!("pcap.sniff.classic");
         parse(bytes)
     }
 }

@@ -9,7 +9,7 @@
 //! per-interface timestamp resolution (`if_tsresol`), unknown blocks and
 //! options skipped; name-resolution and statistics blocks ignored.
 
-use crate::{Error, LinkType, Record, Result, Timestamp, Trace};
+use crate::{LinkType, Record, Result, Timestamp, Trace};
 
 /// Block type of the Section Header Block.
 pub const SHB_TYPE: u32 = 0x0A0D_0D0A;
@@ -41,7 +41,7 @@ pub fn sniff(bytes: &[u8]) -> bool {
 /// undecodable records in a classic pcap.
 pub fn parse(bytes: &[u8]) -> Result<Trace> {
     if !sniff(bytes) {
-        return Err(Error::Malformed("not a pcapng section header"));
+        return Err(crate::malformed("not a pcapng section header"));
     }
     let mut offset = 0usize;
     let mut big_endian = true;
@@ -60,26 +60,36 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
             big_endian = match bom_be {
                 BYTE_ORDER_MAGIC => true,
                 m if m.swap_bytes() == BYTE_ORDER_MAGIC => false,
-                _ => return Err(Error::Malformed("bad byte-order magic")),
+                _ => return Err(crate::malformed("bad byte-order magic")),
             };
             interfaces.clear();
         }
         let block_type = read_u32(bytes, offset, big_endian)?;
         let total_len = read_u32(bytes, offset + 4, big_endian)? as usize;
         if total_len < 12 || !total_len.is_multiple_of(4) || offset + total_len > bytes.len() {
-            return Err(Error::Malformed("block length"));
+            return Err(crate::malformed("block length"));
         }
         let body = &bytes[offset + 8..offset + total_len - 4];
         // Trailing length must echo the leading one.
         if read_u32(bytes, offset + total_len - 4, big_endian)? as usize != total_len {
-            return Err(Error::Malformed("trailing block length mismatch"));
+            return Err(crate::malformed("trailing block length mismatch"));
         }
 
+        #[cfg(feature = "cov-probes")]
+        {
+            match block_type {
+                SHB_TYPE => rtc_cov::probe!("pcapng.block.shb"),
+                IDB_TYPE => rtc_cov::probe!("pcapng.block.idb"),
+                EPB_TYPE => rtc_cov::probe!("pcapng.block.epb"),
+                SPB_TYPE => rtc_cov::probe!("pcapng.block.spb"),
+                _ => rtc_cov::probe!("pcapng.block.unknown"),
+            }
+        }
         match block_type {
             SHB_TYPE => {} // handled above
             IDB_TYPE => {
                 if body.len() < 8 {
-                    return Err(Error::Malformed("idb too short"));
+                    return Err(crate::malformed("idb too short"));
                 }
                 let link_code = read_u16(body, 0, big_endian)? as u32;
                 let link_type = LinkType::from_code(link_code);
@@ -93,6 +103,7 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
                         break;
                     }
                     if code == 9 && len == 1 {
+                        rtc_cov::probe!("pcapng.idb.tsresol");
                         let v = body[o + 4];
                         iface.ticks_per_sec =
                             if v & 0x80 != 0 { 1u64 << (v & 0x7F) } else { 10u64.pow((v & 0x7F).min(12) as u32) };
@@ -109,17 +120,18 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
             }
             EPB_TYPE => {
                 if body.len() < 20 {
-                    return Err(Error::Malformed("epb too short"));
+                    return Err(crate::malformed("epb too short"));
                 }
                 let iface_id = read_u32(body, 0, big_endian)? as usize;
                 let ts_hi = read_u32(body, 4, big_endian)? as u64;
                 let ts_lo = read_u32(body, 8, big_endian)? as u64;
                 let cap_len = read_u32(body, 12, big_endian)? as usize;
                 if 20 + cap_len > body.len() {
-                    return Err(Error::Malformed("epb capture length"));
+                    return Err(crate::malformed("epb capture length"));
                 }
-                let iface = interfaces.get(iface_id).ok_or(Error::Malformed("unknown interface"))?;
+                let iface = interfaces.get(iface_id).ok_or_else(|| crate::malformed("unknown interface"))?;
                 if iface.link_type.is_none() {
+                    rtc_cov::probe!("pcapng.epb.skip-unsupported-link");
                     offset += total_len;
                     continue; // unsupported link type: skip the packet
                 }
@@ -133,7 +145,7 @@ pub fn parse(bytes: &[u8]) -> Result<Trace> {
             SPB_TYPE => {
                 // Simple packets have no timestamp and belong to interface 0.
                 if body.len() < 4 {
-                    return Err(Error::Malformed("spb too short"));
+                    return Err(crate::malformed("spb too short"));
                 }
                 let orig_len = read_u32(body, 0, big_endian)? as usize;
                 let cap_len = orig_len.min(body.len() - 4);
@@ -197,13 +209,13 @@ fn push_block(out: &mut Vec<u8>, block_type: u32, body: &[u8]) {
 }
 
 fn read_u32(buf: &[u8], offset: usize, big_endian: bool) -> Result<u32> {
-    let b = buf.get(offset..offset + 4).ok_or(Error::Malformed("truncated block"))?;
+    let b = buf.get(offset..offset + 4).ok_or_else(|| crate::malformed("truncated block"))?;
     let v = u32::from_be_bytes([b[0], b[1], b[2], b[3]]);
     Ok(if big_endian { v } else { v.swap_bytes() })
 }
 
 fn read_u16(buf: &[u8], offset: usize, big_endian: bool) -> Result<u16> {
-    let b = buf.get(offset..offset + 2).ok_or(Error::Malformed("truncated block"))?;
+    let b = buf.get(offset..offset + 2).ok_or_else(|| crate::malformed("truncated block"))?;
     let v = u16::from_be_bytes([b[0], b[1]]);
     Ok(if big_endian { v } else { v.swap_bytes() })
 }

@@ -149,12 +149,23 @@ impl ShardCheckpoint {
     pub fn load(path: &Path, expect: &CheckpointHeader) -> io::Result<ShardCheckpoint> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
-        let v: Value = serde_json::from_str(&text).map_err(|e| {
+        Self::parse_text(&text, path, expect)
+    }
+
+    /// Parse and validate a checkpoint document from text. `origin` names
+    /// the source in error messages (the on-disk path, or a synthetic
+    /// label for in-memory inputs — the fuzzer drives this entry point
+    /// with arbitrary bytes).
+    pub fn parse_text(text: &str, origin: &Path, expect: &CheckpointHeader) -> io::Result<ShardCheckpoint> {
+        let path = origin;
+        let v: Value = serde_json::from_str(text).map_err(|e| {
             invalid(path, format_args!("corrupt checkpoint (not valid JSON: {e}) — delete it to restart this shard"))
         })?;
+        rtc_cov::probe!("shard.ckpt.json-ok");
         if v.get("magic").and_then(Value::as_str) != Some(CHECKPOINT_MAGIC) {
             return Err(invalid(path, format_args!("missing {CHECKPOINT_MAGIC:?} magic — not a shard checkpoint")));
         }
+        rtc_cov::probe!("shard.ckpt.magic-ok");
         let version = v.get("version").and_then(Value::as_u64);
         if version != Some(CHECKPOINT_VERSION) {
             let got = version.map_or_else(|| "missing".to_string(), |n| format!("version {n}"));
@@ -179,6 +190,7 @@ impl ShardCheckpoint {
                 ),
             ));
         }
+        rtc_cov::probe!("shard.ckpt.header-ok");
         let stats_v = v.get("stats").ok_or_else(|| invalid(path, format_args!("missing stats")))?;
         let mut stats = PipelineStats::default();
         let stages = stats_v
@@ -220,6 +232,7 @@ impl ShardCheckpoint {
             v.get("aggregator").ok_or_else(|| invalid(path, format_args!("missing aggregator"))).and_then(|a| {
                 Aggregator::from_state_value(a).map_err(|e| invalid(path, format_args!("corrupt aggregator: {e}")))
             })?;
+        rtc_cov::probe!("shard.ckpt.accept");
         Ok(ShardCheckpoint {
             header,
             cursor: u64_field(&v, path, "cursor")? as usize,
@@ -247,6 +260,13 @@ fn u64_field(v: &Value, path: &Path, name: &str) -> io::Result<u64> {
 }
 
 fn invalid(path: &Path, what: std::fmt::Arguments<'_>) -> io::Error {
+    // One coverage probe per distinct rejection message (digits squashed),
+    // mirroring `plan::invalid` — see there.
+    #[cfg(feature = "cov-probes")]
+    {
+        let squashed: String = what.to_string().chars().filter(|c| !c.is_ascii_digit()).collect();
+        rtc_cov::hit(rtc_cov::dynamic_id(&["checkpoint-invalid", &squashed]));
+    }
     io::Error::new(io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
 }
 

@@ -175,38 +175,57 @@ impl CorpusPlan {
         let path = Self::path(dir);
         let text = std::fs::read_to_string(&path)
             .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
-        let v: Value =
-            serde_json::from_str(&text).map_err(|e| invalid(&path, format_args!("not valid JSON ({e})")))?;
+        Self::parse_text(&text, &path)
+    }
+
+    /// Parse and validate a plan document from text. `origin` names the
+    /// source in error messages (the on-disk path, or a synthetic label
+    /// for in-memory inputs — the fuzzer drives this entry point with
+    /// arbitrary bytes).
+    pub fn parse_text(text: &str, origin: &Path) -> io::Result<CorpusPlan> {
+        let path = origin;
+        let v: Value = serde_json::from_str(text).map_err(|e| invalid(path, format_args!("not valid JSON ({e})")))?;
+        rtc_cov::probe!("shard.plan.json-ok");
         if v.get("magic").and_then(Value::as_str) != Some(PLAN_MAGIC) {
-            return Err(invalid(&path, format_args!("missing {PLAN_MAGIC:?} magic — not a study plan")));
+            return Err(invalid(path, format_args!("missing {PLAN_MAGIC:?} magic — not a study plan")));
         }
+        rtc_cov::probe!("shard.plan.magic-ok");
         let version = v.get("version").and_then(Value::as_u64);
         if version != Some(PLAN_VERSION) {
             return Err(invalid(
-                &path,
+                path,
                 format_args!("plan version {version:?}, this build reads version {PLAN_VERSION}"),
             ));
         }
         let tier = v
             .get("tier")
             .and_then(Value::as_str)
-            .ok_or_else(|| invalid(&path, format_args!("missing tier")))?
+            .ok_or_else(|| invalid(path, format_args!("missing tier")))?
             .to_string();
-        let shards =
-            v.get("shards")
-                .and_then(Value::as_u64)
-                .filter(|s| *s > 0)
-                .ok_or_else(|| invalid(&path, format_args!("missing or zero shard count")))? as usize;
+        let shards = v
+            .get("shards")
+            .and_then(Value::as_u64)
+            .filter(|s| *s > 0)
+            .ok_or_else(|| invalid(path, format_args!("missing or zero shard count")))? as usize;
         let experiment =
-            v.get("experiment").ok_or_else(|| invalid(&path, format_args!("missing experiment"))).and_then(|e| {
+            v.get("experiment").ok_or_else(|| invalid(path, format_args!("missing experiment"))).and_then(|e| {
                 serde::Deserialize::from_value(e)
-                    .map_err(|d: serde::DeError| invalid(&path, format_args!("bad experiment config ({})", d.0)))
+                    .map_err(|d: serde::DeError| invalid(path, format_args!("bad experiment config ({})", d.0)))
             })?;
+        rtc_cov::probe!("shard.plan.accept");
         Ok(CorpusPlan { tier, shards, experiment })
     }
 }
 
 fn invalid(path: &Path, what: std::fmt::Arguments<'_>) -> io::Error {
+    // One coverage probe per distinct rejection message (digits squashed
+    // so embedded versions/counts do not explode the id space) — the
+    // fuzzer's feedback for the loader's reject paths.
+    #[cfg(feature = "cov-probes")]
+    {
+        let squashed: String = what.to_string().chars().filter(|c| !c.is_ascii_digit()).collect();
+        rtc_cov::hit(rtc_cov::dynamic_id(&["plan-invalid", &squashed]));
+    }
     io::Error::new(io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
 }
 

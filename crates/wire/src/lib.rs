@@ -114,14 +114,34 @@ pub struct WireError {
     pub reason: Reason,
 }
 
+/// Coverage probe on the error taxonomy: every distinct `(protocol,
+/// constraint, log2 offset)` rejection site lands in its own rtc-cov map
+/// slot, so the fuzzer sees *which* grammar rule fired and roughly where —
+/// across all parsers, from one instrumentation point. Compiled out
+/// entirely without the `cov-probes` feature.
+#[inline]
+fn cov_error(protocol: WireProtocol, offset: usize, what: &'static str) {
+    #[cfg(feature = "cov-probes")]
+    {
+        let bucket = usize::BITS - offset.leading_zeros();
+        rtc_cov::hit(rtc_cov::dynamic_id(&["wire-error", protocol.label(), what]).rotate_left(bucket));
+    }
+    #[cfg(not(feature = "cov-probes"))]
+    {
+        let _ = (protocol, offset, what);
+    }
+}
+
 impl WireError {
     /// A truncation error: the field at `offset` runs past the buffer end.
     pub fn truncated(protocol: WireProtocol, offset: usize) -> WireError {
+        cov_error(protocol, offset, "truncated");
         WireError { protocol, offset, reason: Reason::Truncated }
     }
 
     /// A malformed-field error: the field at `offset` violates `what`.
     pub fn malformed(protocol: WireProtocol, offset: usize, what: &'static str) -> WireError {
+        cov_error(protocol, offset, what);
         WireError { protocol, offset, reason: Reason::Malformed(what) }
     }
 

@@ -109,6 +109,21 @@ impl<'a> LongHeaderRef<'a> {
         let dcid = field::slice_at(P, buf, 6, dcid_len)?;
         let scid_len = field::u8_at(P, buf, 6 + dcid_len)? as usize;
         let scid = field::slice_at(P, buf, 7 + dcid_len, scid_len)?;
+        #[cfg(feature = "cov-probes")]
+        {
+            match version {
+                0 => rtc_cov::probe!("quic.long.accept-vneg"),
+                VERSION_1 => rtc_cov::probe!("quic.long.accept-v1"),
+                VERSION_2 => rtc_cov::probe!("quic.long.accept-v2"),
+                _ => rtc_cov::probe!("quic.long.accept-other-version"),
+            }
+            if dcid_len > 20 || scid_len > 20 {
+                rtc_cov::probe!("quic.long.oversize-cid");
+            }
+            if b0 & 0x40 == 0 {
+                rtc_cov::probe!("quic.long.fixed-bit-clear");
+            }
+        }
         Ok(LongHeaderRef {
             fixed_bit: b0 & 0x40 != 0,
             long_type: LongType::from_bits((b0 >> 4) & 0b11),
@@ -185,6 +200,14 @@ impl ShortHeader {
             return Err(WireError::malformed(P, 0, "not a short header"));
         }
         let dcid = field::slice_at(P, buf, 1, dcid_len)?.to_vec();
+        #[cfg(feature = "cov-probes")]
+        {
+            if b0 & 0x40 == 0 {
+                rtc_cov::probe!("quic.short.fixed-bit-clear");
+            } else {
+                rtc_cov::probe!("quic.short.accept");
+            }
+        }
         Ok(ShortHeader { fixed_bit: b0 & 0x40 != 0, spin: b0 & 0x20 != 0, dcid, header_len: 1 + dcid_len })
     }
 

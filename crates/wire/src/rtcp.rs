@@ -56,6 +56,22 @@ impl<'a> Packet<'a> {
         if buf.len() < 4 * (words + 1) {
             return Err(WireError::truncated(P, buf.len()));
         }
+        #[cfg(feature = "cov-probes")]
+        {
+            // One probe per well-known packet type keeps the per-type body
+            // grammars apart in the coverage signature.
+            match buf[1] {
+                packet_type::SR => rtc_cov::probe!("rtcp.accept.sr"),
+                packet_type::RR => rtc_cov::probe!("rtcp.accept.rr"),
+                packet_type::SDES => rtc_cov::probe!("rtcp.accept.sdes"),
+                packet_type::BYE => rtc_cov::probe!("rtcp.accept.bye"),
+                packet_type::APP => rtc_cov::probe!("rtcp.accept.app"),
+                packet_type::RTPFB => rtc_cov::probe!("rtcp.accept.rtpfb"),
+                packet_type::PSFB => rtc_cov::probe!("rtcp.accept.psfb"),
+                packet_type::XR => rtc_cov::probe!("rtcp.accept.xr"),
+                _ => rtc_cov::probe!("rtcp.accept.other-type"),
+            }
+        }
         Ok(Packet { buf })
     }
 
@@ -121,10 +137,15 @@ pub fn split_compound(buf: &[u8]) -> (Vec<Packet<'_>>, &[u8]) {
         match Packet::new_checked(&buf[offset..]) {
             Ok(p) => {
                 offset += p.wire_len();
+                rtc_cov::probe!("rtcp.compound.step");
                 packets.push(p);
             }
             Err(_) => break,
         }
+    }
+    #[cfg(feature = "cov-probes")]
+    if offset < buf.len() {
+        rtc_cov::probe!("rtcp.compound.trailing");
     }
     (packets, &buf[offset..])
 }

@@ -76,6 +76,18 @@ impl<'a> Packet<'a> {
             if pad == 0 || header_len + pad > buf.len() {
                 return Err(WireError::malformed(P, buf.len() - 1, "padding"));
             }
+            rtc_cov::probe!("rtp.accept-padded");
+        }
+        #[cfg(feature = "cov-probes")]
+        {
+            if cc > 0 {
+                rtc_cov::probe!("rtp.accept-csrcs");
+            }
+            if b0 & 0x10 != 0 {
+                rtc_cov::probe!("rtp.accept-extension");
+            } else {
+                rtc_cov::probe!("rtp.accept-plain");
+            }
         }
         Ok(Packet { buf })
     }
@@ -243,6 +255,7 @@ impl<'a> Extension<'a> {
             let len_field = b & 0x0F;
             let data_len = len_field as usize + 1;
             let end = (i + 1 + data_len).min(self.data.len());
+            rtc_cov::probe!("rtp.ext.one-byte-element");
             out.push(ExtElement { id, wire_len: len_field, data: &self.data[i + 1..end] });
             i += 1 + data_len;
         }
@@ -261,6 +274,7 @@ impl<'a> Extension<'a> {
             }
             let len = self.data[i + 1] as usize;
             let end = (i + 2 + len).min(self.data.len());
+            rtc_cov::probe!("rtp.ext.two-byte-element");
             out.push(ExtElement { id, wire_len: len as u8, data: &self.data[i + 2..end] });
             i += 2 + len;
         }

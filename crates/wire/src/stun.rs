@@ -307,6 +307,18 @@ impl<'a> Message<'a> {
         if buf.len() < HEADER_LEN + length {
             return Err(WireError::truncated(P, buf.len()));
         }
+        #[cfg(feature = "cov-probes")]
+        {
+            let cookie = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]) == MAGIC_COOKIE;
+            if cookie {
+                rtc_cov::probe!("stun.msg.accept-modern");
+            } else {
+                rtc_cov::probe!("stun.msg.accept-legacy");
+            }
+            if length == 0 {
+                rtc_cov::probe!("stun.msg.no-attributes");
+            }
+        }
         Ok(Message { buf })
     }
 
@@ -379,10 +391,17 @@ impl<'a> Message<'a> {
             let Ok(a) = a else { return Some(false) };
             if a.typ == attr::FINGERPRINT {
                 if a.value.len() != 4 {
+                    rtc_cov::probe!("stun.fingerprint.bad-length");
                     return Some(false);
                 }
                 let expected = crc32(&self.buf[..offset]) ^ FINGERPRINT_XOR;
                 let got = u32::from_be_bytes([a.value[0], a.value[1], a.value[2], a.value[3]]);
+                #[cfg(feature = "cov-probes")]
+                if expected == got {
+                    rtc_cov::probe!("stun.fingerprint.match");
+                } else {
+                    rtc_cov::probe!("stun.fingerprint.mismatch");
+                }
                 return Some(expected == got);
             }
             offset += 4 + a.value.len() + (4 - a.value.len() % 4) % 4;
@@ -431,6 +450,7 @@ impl<'a> Iterator for AttributeIter<'a> {
         };
         // Advance past the value and its padding to the 4-byte boundary.
         self.offset += 4 + len + (4 - len % 4) % 4;
+        rtc_cov::probe!("stun.attr.step");
         Some(Ok(Attribute { typ, value }))
     }
 }
@@ -647,6 +667,7 @@ impl<'a> ChannelData<'a> {
         if buf.len() < 4 + length {
             return Err(WireError::truncated(P, buf.len()));
         }
+        rtc_cov::probe!("stun.channeldata.accept");
         Ok(ChannelData { buf })
     }
 
